@@ -1,0 +1,74 @@
+//! One Criterion bench per paper figure, at reduced scale.
+//!
+//! These wrap the same experiment functions the `figures` binary runs at
+//! full scale, so `cargo bench` exercises every figure's code path and
+//! tracks the simulator's own performance over time. The scientific
+//! output (the tables) comes from `cargo run -p bench --release --bin
+//! figures -- all`.
+
+use bench::capacity::{self, CapacityConfig, NodeModel};
+use bench::dfsio::{self, DfsIoConfig};
+use bench::increase;
+use bench::replay::{self, ReplayConfig};
+use bench::Mode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use erms::IncreaseStrategy;
+use simcore::units::MB;
+use std::hint::black_box;
+
+fn fig3_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_replay");
+    g.sample_size(10);
+    let mut cfg = ReplayConfig::small();
+    cfg.trace.num_jobs = 40;
+    cfg.cooldown = simcore::SimDuration::from_secs(600);
+    g.bench_function("vanilla_fifo", |b| {
+        b.iter(|| replay::run(black_box(Mode::Vanilla), "fifo", &cfg).jobs_completed);
+    });
+    g.bench_function("erms_tau8_fair", |b| {
+        b.iter(|| replay::run(black_box(Mode::Erms { tau_hot: 8.0 }), "fair", &cfg).jobs_completed);
+    });
+    g.finish();
+}
+
+fn fig6_dfsio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_dfsio");
+    g.sample_size(10);
+    let cfg = DfsIoConfig {
+        replications: vec![1, 3],
+        thread_counts: vec![7, 21],
+        file_size: 256 * MB,
+    };
+    g.bench_function("matrix_2x2", |b| {
+        b.iter(|| dfsio::run(black_box(&cfg)).len());
+    });
+    g.finish();
+}
+
+fn fig7_increase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_increase");
+    g.sample_size(10);
+    g.bench_function("direct_256mb", |b| {
+        b.iter(|| increase::time_increase(256 * MB, 3, 8, IncreaseStrategy::Direct).seconds);
+    });
+    g.bench_function("one_by_one_256mb", |b| {
+        b.iter(|| increase::time_increase(256 * MB, 3, 8, IncreaseStrategy::OneByOne).seconds);
+    });
+    g.finish();
+}
+
+fn fig8_fig9_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fig9_capacity");
+    g.sample_size(10);
+    let cfg = CapacityConfig::small();
+    g.bench_function("trial_all_active_r3_n20", |b| {
+        b.iter(|| capacity::trial(NodeModel::AllActive, 3, 20, &cfg).mean_throughput_mb_s);
+    });
+    g.bench_function("trial_active_standby_r6_n20", |b| {
+        b.iter(|| capacity::trial(NodeModel::ActiveStandby, 6, 20, &cfg).mean_throughput_mb_s);
+    });
+    g.finish();
+}
+
+criterion_group!(figures, fig3_replay, fig6_dfsio, fig7_increase, fig8_fig9_capacity);
+criterion_main!(figures);

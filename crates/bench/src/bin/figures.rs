@@ -1,0 +1,302 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run -p bench --release --bin figures -- all
+//! cargo run -p bench --release --bin figures -- fig3 [--small]
+//! ```
+//!
+//! Each subcommand prints the figure's rows/series as text tables and
+//! archives the structured result under `results/<figure>.json`.
+
+use bench::capacity::{self, CapacityConfig};
+use bench::common::{write_json, Mode};
+use bench::dfsio::{self, DfsIoConfig};
+use bench::increase::{self, IncreaseConfig};
+use bench::replay::{self, ReplayConfig};
+use std::env;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|all]... [--small]\n\
+             Regenerates the paper's evaluation figures; tables go to stdout,\n\
+             JSON to results/. --small runs reduced-scale variants."
+        );
+        return;
+    }
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let which = if which.is_empty() || which.contains(&"all") {
+        vec!["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
+    } else {
+        which
+    };
+
+    let wall = Instant::now();
+    // fig3/4/5 share the replay runs; compute them once
+    let needs_replay = which.iter().any(|f| matches!(*f, "fig3" | "fig4" | "fig5"));
+    let replays = if needs_replay {
+        run_replays(small)
+    } else {
+        Vec::new()
+    };
+
+    for fig in &which {
+        match *fig {
+            "fig3" => fig3(&replays),
+            "fig4" => fig4(&replays),
+            "fig5" => fig5(&replays),
+            "fig6" => fig6(small),
+            "fig7" => fig7(small),
+            "fig8" => fig8(small),
+            "fig9" => fig9(small),
+            other => eprintln!("unknown figure '{other}' (use fig3..fig9 or all)"),
+        }
+    }
+    eprintln!("\n[figures done in {:.1}s]", wall.elapsed().as_secs_f64());
+}
+
+fn replay_cfg(small: bool) -> ReplayConfig {
+    if small {
+        ReplayConfig::small()
+    } else {
+        ReplayConfig::default()
+    }
+}
+
+fn run_replays(small: bool) -> Vec<replay::ReplayResult> {
+    let cfg = replay_cfg(small);
+    let mut out = Vec::new();
+    for sched in ["fifo", "fair"] {
+        for mode in [
+            Mode::Vanilla,
+            Mode::Erms { tau_hot: 8.0 },
+            Mode::Erms { tau_hot: 6.0 },
+            Mode::Erms { tau_hot: 4.0 },
+        ] {
+            eprintln!("[replay] scheduler={sched} mode={}", mode.label());
+            out.push(replay::run(mode, sched, &cfg));
+        }
+    }
+    out
+}
+
+fn fig3(replays: &[replay::ReplayResult]) {
+    println!("\n== Figure 3(a): average reading throughput (MB/s) ==");
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "scheduler", "vanilla", "erms_tau8", "erms_tau6", "erms_tau4");
+    for sched in ["fifo", "fair"] {
+        let row: Vec<f64> = ["vanilla", "erms_tau8", "erms_tau6", "erms_tau4"]
+            .iter()
+            .map(|m| cell(replays, sched, m).read_throughput_mb_s)
+            .collect();
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            sched, row[0], row[1], row[2], row[3]
+        );
+    }
+    println!("\n== Figure 3(b): data locality of jobs (fraction node-local) ==");
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "scheduler", "vanilla", "erms_tau8", "erms_tau6", "erms_tau4");
+    for sched in ["fifo", "fair"] {
+        let row: Vec<f64> = ["vanilla", "erms_tau8", "erms_tau6", "erms_tau4"]
+            .iter()
+            .map(|m| cell(replays, sched, m).data_locality)
+            .collect();
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            sched, row[0], row[1], row[2], row[3]
+        );
+    }
+    write_json("fig3", &replays);
+}
+
+fn cell<'a>(replays: &'a [replay::ReplayResult], sched: &str, mode: &str) -> &'a replay::ReplayResult {
+    replays
+        .iter()
+        .find(|r| r.scheduler == sched && r.mode == mode)
+        .expect("replay cell exists")
+}
+
+fn fig4(replays: &[replay::ReplayResult]) {
+    println!("\n== Figure 4: CDF of data accesses over time ==");
+    let r = cell(replays, "fifo", "vanilla");
+    println!("{:>10} {:>8}", "time (h)", "CDF");
+    let n = r.access_cdf.len();
+    for (t, f) in sampled(&r.access_cdf, 15) {
+        println!("{t:>10.2} {f:>8.3}");
+    }
+    let _ = n;
+    write_json("fig4", &r.access_cdf);
+}
+
+fn fig5(replays: &[replay::ReplayResult]) {
+    println!("\n== Figure 5: storage space utilisation over time (GB) ==");
+    let v = cell(replays, "fair", "vanilla");
+    let e = cell(replays, "fair", "erms_tau8");
+    println!("{:>10} {:>12} {:>12}", "time (h)", "vanilla", "ERMS");
+    let pts = 15usize;
+    for i in 0..pts {
+        let vt = pick(&v.storage_gb, i, pts);
+        let et = pick(&e.storage_gb, i, pts);
+        println!("{:>10.2} {:>12.2} {:>12.2}", vt.0, vt.1, et.1);
+    }
+    println!(
+        "peak: vanilla {:.2} GB vs ERMS {:.2} GB; final: vanilla {:.2} GB vs ERMS {:.2} GB",
+        v.peak_storage_gb, e.peak_storage_gb, v.final_storage_gb, e.final_storage_gb
+    );
+    if e.all_active_node_hours > 0.0 {
+        println!(
+            "standby energy: {:.1} node-hours used vs {:.1} node-hours all-active",
+            e.standby_node_hours, e.all_active_node_hours
+        );
+    }
+    write_json("fig5", &vec![v.clone(), e.clone()]);
+}
+
+fn sampled(series: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    (0..n).map(|i| pick(series, i, n)).collect()
+}
+
+fn pick(series: &[(f64, f64)], i: usize, n: usize) -> (f64, f64) {
+    if series.is_empty() {
+        return (0.0, 0.0);
+    }
+    let idx = (i * (series.len() - 1)) / (n - 1).max(1);
+    series[idx]
+}
+
+fn fig6(small: bool) {
+    let cfg = if small {
+        DfsIoConfig::small()
+    } else {
+        DfsIoConfig::default()
+    };
+    eprintln!("[fig6] TestDFSIO matrix…");
+    let cells = dfsio::run(&cfg);
+    println!("\n== Figure 6: TestDFSIO avg execution time (s) vs replication ==");
+    print!("{:<10}", "threads");
+    for &r in &cfg.replications {
+        print!(" {:>8}", format!("r={r}"));
+    }
+    println!();
+    for &t in &cfg.thread_counts {
+        print!("{t:<10}");
+        for &r in &cfg.replications {
+            let c = cells
+                .iter()
+                .find(|c| c.replication == r && c.threads == t)
+                .expect("cell");
+            print!(" {:>8.2}", c.mean_exec_secs);
+        }
+        println!();
+    }
+    write_json("fig6", &cells);
+}
+
+fn fig7(small: bool) {
+    let cfg = if small {
+        IncreaseConfig::small()
+    } else {
+        IncreaseConfig::default()
+    };
+    eprintln!("[fig7] replica-increase strategies…");
+    let cells = increase::run(&cfg);
+    println!("\n== Figure 7: time (s) to raise replication {} -> {} ==", cfg.from_replication, cfg.to_replication);
+    println!("{:>10} {:>10} {:>12}", "size (MB)", "whole", "one-by-one");
+    for &size in &cfg.file_sizes {
+        let mb = size / (1 << 20);
+        let whole = cells
+            .iter()
+            .find(|c| c.file_size_mb == mb && c.strategy == "whole")
+            .expect("cell");
+        let one = cells
+            .iter()
+            .find(|c| c.file_size_mb == mb && c.strategy == "one_by_one")
+            .expect("cell");
+        println!("{:>10} {:>10.2} {:>12.2}", mb, whole.seconds, one.seconds);
+    }
+    write_json("fig7", &cells);
+}
+
+fn fig8(small: bool) {
+    let cfg = if small {
+        CapacityConfig::small()
+    } else {
+        CapacityConfig::default()
+    };
+    let replications: Vec<usize> = if small { vec![1, 2, 4] } else { (1..=8).collect() };
+    eprintln!("[fig8] max sustained concurrency…");
+    let rows = capacity::run_fig8(&cfg, &replications);
+    println!("\n== Figure 8: max concurrent readers sustained (QoS >= {:.0} MB/s) ==", cfg.qos_mb_s);
+    println!("{:>10} {:>12} {:>16}", "replicas", "all_active", "active_standby");
+    for &r in &replications {
+        let aa = rows
+            .iter()
+            .find(|c| c.replication == r && c.model == "all_active")
+            .expect("row");
+        let asb = rows
+            .iter()
+            .find(|c| c.replication == r && c.model == "active_standby")
+            .expect("row");
+        println!("{:>10} {:>12} {:>16}", r, aa.max_concurrent, asb.max_concurrent);
+    }
+    // the τ_M calibration the paper derives from this figure: the
+    // marginal sessions each extra replica adds on busy nodes (slope of
+    // the all-active curve — the per-replica service capacity)
+    let aa: Vec<&capacity::Fig8Row> = rows
+        .iter()
+        .filter(|c| c.model == "all_active")
+        .collect();
+    if aa.len() >= 2 {
+        let first = aa.first().expect("non-empty");
+        let last = aa.last().expect("non-empty");
+        let dr = (last.replication - first.replication).max(1);
+        let slope = (last.max_concurrent.saturating_sub(first.max_concurrent)) as f64 / dr as f64;
+        println!("≈ {slope:.1} sessions per extra replica sustained → τ_M calibration");
+    }
+    write_json("fig8", &rows);
+}
+
+fn fig9(small: bool) {
+    let cfg = if small {
+        CapacityConfig::small()
+    } else {
+        CapacityConfig::default()
+    };
+    let readers = if small { 30 } else { 70 };
+    let replications: Vec<usize> = if small { vec![3, 5] } else { (3..=8).collect() };
+    eprintln!("[fig9] {readers} concurrent readers vs replicas…");
+    let rows = capacity::run_fig9(&cfg, readers, &replications);
+    println!("\n== Figure 9(a): read throughput (MB/s) at {readers} concurrent readers ==");
+    println!("{:>10} {:>12} {:>16}", "replicas", "all_active", "active_standby");
+    for &r in &replications {
+        let aa = row(&rows, r, "all_active");
+        let asb = row(&rows, r, "active_standby");
+        println!(
+            "{:>10} {:>12.2} {:>16.2}",
+            r, aa.mean_throughput_mb_s, asb.mean_throughput_mb_s
+        );
+    }
+    println!("\n== Figure 9(b): avg execution time (s) at {readers} concurrent readers ==");
+    println!("{:>10} {:>12} {:>16}", "replicas", "all_active", "active_standby");
+    for &r in &replications {
+        let aa = row(&rows, r, "all_active");
+        let asb = row(&rows, r, "active_standby");
+        println!("{:>10} {:>12.2} {:>16.2}", r, aa.mean_exec_secs, asb.mean_exec_secs);
+    }
+    write_json("fig9", &rows);
+}
+
+fn row<'a>(rows: &'a [capacity::Trial], r: usize, model: &str) -> &'a capacity::Trial {
+    rows.iter()
+        .find(|c| c.replication == r && c.model == model)
+        .expect("trial exists")
+}

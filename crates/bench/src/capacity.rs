@@ -1,0 +1,297 @@
+//! Figures 8 and 9 — session capacity and the Active/Standby model.
+//!
+//! Both figures read a 1 GB file directly (no MapReduce) while every
+//! *active* node runs background task I/O — in a busy production
+//! cluster each tasktracker keeps its map slots full, so per-node
+//! background intensity is a property of the node, not of the cluster
+//! width ("standby nodes might be better than active nodes when the
+//! active nodes are heavily used"). The two deployments compared:
+//!
+//! * **all-active** — 18 serving nodes, all busy with local task I/O;
+//!   the hot file's replicas all sit on busy disks;
+//! * **active/standby** — 10 busy active nodes + 8 standby; the file's
+//!   *extra* replicas (beyond the default 3) land on freshly
+//!   commissioned standby nodes whose disks serve hot reads only.
+//!
+//! Fig. 8 sweeps the replica count and reports the maximum number of
+//! concurrent readers the replica set sustains at a QoS floor ("the
+//! maximum concurrent access number of each replica could hold is
+//! 8-10"). Fig. 9 fixes 70 concurrent readers and reports throughput
+//! and execution time versus replica count.
+
+use erms::ErmsPlacement;
+use hdfs_sim::topology::{ClientId, Endpoint};
+use hdfs_sim::{ClusterConfig, ClusterSim, DefaultRackAware, NodeId};
+use serde::Serialize;
+use simcore::stats::OnlineStats;
+use simcore::units::{Bytes, GB, MB};
+
+/// Deployment variants of Figures 8/9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeModel {
+    AllActive,
+    ActiveStandby,
+}
+
+impl NodeModel {
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeModel::AllActive => "all_active",
+            NodeModel::ActiveStandby => "active_standby",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct CapacityConfig {
+    pub file_size: Bytes,
+    /// Local task-I/O streams each *active* node runs throughout the
+    /// measurement (map slots kept full by the background job queue).
+    pub background_sessions_per_node: usize,
+    /// Size of each node's local background file (must outlast the
+    /// measurement at shared disk rates).
+    pub background_file_size: Bytes,
+    /// QoS floor defining "could hold" (MB/s per reader).
+    pub qos_mb_s: f64,
+    /// Fig. 8 search bounds and step.
+    pub max_probe: usize,
+    pub probe_step: usize,
+}
+
+impl Default for CapacityConfig {
+    fn default() -> Self {
+        CapacityConfig {
+            file_size: GB,
+            background_sessions_per_node: 2,
+            background_file_size: 8 * GB,
+            qos_mb_s: 8.0,
+            max_probe: 120,
+            probe_step: 4,
+        }
+    }
+}
+
+impl CapacityConfig {
+    pub fn small() -> Self {
+        CapacityConfig {
+            file_size: 256 * MB,
+            background_file_size: 2 * GB,
+            max_probe: 60,
+            probe_step: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Build the deployment and return (cluster, hot file path).
+fn setup(model: NodeModel, replication: usize, cfg: &CapacityConfig) -> (ClusterSim, String) {
+    let base = ClusterConfig::paper_testbed();
+    let hot_path = "/capacity/hot".to_string();
+    match model {
+        NodeModel::AllActive => {
+            let mut c = ClusterSim::new(base, Box::new(DefaultRackAware));
+            create_background(&mut c, cfg);
+            c.create_file(&hot_path, cfg.file_size, replication, None)
+                .expect("fresh cluster");
+            (c, hot_path)
+        }
+        NodeModel::ActiveStandby => {
+            let mut c = ClusterSim::new(base, Box::new(ErmsPlacement::new()));
+            let standby: Vec<NodeId> = (10..18).map(NodeId).collect();
+            c.designate_standby(&standby);
+            // base data + background land on the 10 active nodes
+            create_background(&mut c, cfg);
+            let file = c
+                .create_file(&hot_path, cfg.file_size, 3.min(replication), None)
+                .expect("fresh cluster");
+            // commission the standby pool, then park the extras there
+            for &n in &standby {
+                c.commission(n);
+            }
+            c.run_until_quiescent(); // boots complete
+            if replication > 3 {
+                c.set_file_replication(file, replication);
+                c.run_until_quiescent(); // copies land before measuring
+            }
+            (c, hot_path)
+        }
+    }
+}
+
+/// One background file per active node, pinned to that node (r = 1 with
+/// the node as writer), so each local task stream hits only its own disk.
+fn create_background(c: &mut ClusterSim, cfg: &CapacityConfig) {
+    let nodes: Vec<NodeId> = c.topology().nodes().collect();
+    for n in nodes {
+        if c.node_state(n) != hdfs_sim::datanode::NodeState::Active {
+            continue;
+        }
+        c.create_file(
+            &format!("/capacity/bg_{}", n.0),
+            cfg.background_file_size,
+            1,
+            Some(n),
+        )
+        .expect("fresh cluster");
+    }
+}
+
+/// Start the per-node local task streams on every active node.
+fn start_background(c: &mut ClusterSim, cfg: &CapacityConfig) {
+    let nodes: Vec<NodeId> = c.topology().nodes().collect();
+    for n in nodes {
+        let path = format!("/capacity/bg_{}", n.0);
+        if c.namespace().resolve(&path).is_none() {
+            continue; // standby node: no background work
+        }
+        for _ in 0..cfg.background_sessions_per_node {
+            c.open_read(Endpoint::Node(n), &path)
+                .expect("background file exists");
+        }
+    }
+}
+
+/// Measured outcome of one (model, replication, readers) trial.
+#[derive(Debug, Clone, Serialize)]
+pub struct Trial {
+    pub model: String,
+    pub replication: usize,
+    pub readers: usize,
+    pub mean_throughput_mb_s: f64,
+    pub min_throughput_mb_s: f64,
+    pub mean_exec_secs: f64,
+}
+
+/// Run one trial: N hot readers against the deployment.
+pub fn trial(model: NodeModel, replication: usize, readers: usize, cfg: &CapacityConfig) -> Trial {
+    let (mut c, hot) = setup(model, replication, cfg);
+    start_background(&mut c, cfg);
+    c.drain_completed_reads();
+    for i in 0..readers {
+        c.open_read(Endpoint::Client(ClientId(1 + i as u32)), &hot)
+            .expect("hot file exists");
+    }
+    c.run_until_quiescent();
+    let mut tput = OnlineStats::new();
+    let mut exec = OnlineStats::new();
+    for r in c.drain_completed_reads() {
+        if r.path != hot || r.failed {
+            continue;
+        }
+        tput.push(r.throughput_mb_s());
+        exec.push(r.duration());
+    }
+    Trial {
+        model: model.label().to_string(),
+        replication,
+        readers,
+        mean_throughput_mb_s: tput.mean(),
+        min_throughput_mb_s: if tput.count() == 0 { 0.0 } else { tput.min() },
+        mean_exec_secs: exec.mean(),
+    }
+}
+
+/// Fig. 8: the largest reader count whose mean throughput stays at or
+/// above the QoS floor.
+pub fn max_sustained(model: NodeModel, replication: usize, cfg: &CapacityConfig) -> (usize, Vec<Trial>) {
+    let mut best = 0usize;
+    let mut trials = Vec::new();
+    let mut n = cfg.probe_step;
+    while n <= cfg.max_probe {
+        let t = trial(model, replication, n, cfg);
+        let ok = t.mean_throughput_mb_s >= cfg.qos_mb_s;
+        trials.push(t);
+        if !ok {
+            break;
+        }
+        best = n;
+        n += cfg.probe_step;
+    }
+    (best, trials)
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Row {
+    pub model: String,
+    pub replication: usize,
+    pub max_concurrent: usize,
+}
+
+/// Fig. 8 sweep.
+pub fn run_fig8(cfg: &CapacityConfig, replications: &[usize]) -> Vec<Fig8Row> {
+    let mut out = Vec::new();
+    for model in [NodeModel::AllActive, NodeModel::ActiveStandby] {
+        for &r in replications {
+            let (max, _) = max_sustained(model, r, cfg);
+            out.push(Fig8Row {
+                model: model.label().to_string(),
+                replication: r,
+                max_concurrent: max,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 9 sweep: fixed reader count across replica counts.
+pub fn run_fig9(cfg: &CapacityConfig, readers: usize, replications: &[usize]) -> Vec<Trial> {
+    let mut out = Vec::new();
+    for model in [NodeModel::AllActive, NodeModel::ActiveStandby] {
+        for &r in replications {
+            out.push(trial(model, r, readers, cfg));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_replicas_sustain_more_readers() {
+        let cfg = CapacityConfig::small();
+        let (max1, _) = max_sustained(NodeModel::AllActive, 1, &cfg);
+        let (max4, _) = max_sustained(NodeModel::AllActive, 4, &cfg);
+        assert!(
+            max4 > max1,
+            "r=4 should hold more readers: {max4} vs {max1}"
+        );
+    }
+
+    #[test]
+    fn standby_extras_beat_all_active_under_load() {
+        let cfg = CapacityConfig::small();
+        let readers = 40;
+        let aa = trial(NodeModel::AllActive, 6, readers, &cfg);
+        let asb = trial(NodeModel::ActiveStandby, 6, readers, &cfg);
+        assert!(
+            asb.mean_throughput_mb_s >= aa.mean_throughput_mb_s,
+            "active/standby {} vs all-active {}",
+            asb.mean_throughput_mb_s,
+            aa.mean_throughput_mb_s
+        );
+    }
+
+    #[test]
+    fn standby_setup_parks_extras_on_standby() {
+        let cfg = CapacityConfig::small();
+        let (c, hot) = setup(NodeModel::ActiveStandby, 6, &cfg);
+        let file = c.namespace().resolve(&hot).unwrap();
+        let block = c.namespace().file(file).unwrap().blocks[0];
+        let standby_holders = (10..18)
+            .map(NodeId)
+            .filter(|&n| c.node_holds(n, block))
+            .count();
+        assert_eq!(c.blockmap().replica_count(block), 6);
+        assert!(standby_holders >= 3, "extras on standby: {standby_holders}");
+    }
+
+    #[test]
+    fn exec_time_rises_with_readers() {
+        let cfg = CapacityConfig::small();
+        let t_small = trial(NodeModel::AllActive, 3, 6, &cfg);
+        let t_big = trial(NodeModel::AllActive, 3, 40, &cfg);
+        assert!(t_big.mean_exec_secs > t_small.mean_exec_secs);
+    }
+}

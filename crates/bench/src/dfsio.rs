@@ -1,0 +1,100 @@
+//! Figure 6 — TestDFSIO read performance.
+//!
+//! "We used different number of concurrent threads (from 7 to 35) to
+//! read the same data, and examined the average execution time of these
+//! jobs. The results show that high concurrent reading threads decrease
+//! the system performance, while high replication factor could increase
+//! system performance."
+//!
+//! One fresh cluster per (replication, threads) cell; every thread reads
+//! the same 1 GB file.
+
+use hdfs_sim::{ClusterConfig, ClusterSim, DefaultRackAware};
+use serde::Serialize;
+use simcore::units::{Bytes, GB};
+use workload::DfsIoSpec;
+
+#[derive(Debug, Clone)]
+pub struct DfsIoConfig {
+    pub replications: Vec<usize>,
+    pub thread_counts: Vec<usize>,
+    pub file_size: Bytes,
+}
+
+impl Default for DfsIoConfig {
+    fn default() -> Self {
+        DfsIoConfig {
+            replications: vec![1, 2, 3, 4, 5, 6],
+            thread_counts: vec![7, 14, 21, 28, 35],
+            file_size: GB,
+        }
+    }
+}
+
+impl DfsIoConfig {
+    pub fn small() -> Self {
+        DfsIoConfig {
+            replications: vec![1, 3, 5],
+            thread_counts: vec![7, 21],
+            file_size: GB / 4,
+        }
+    }
+}
+
+/// One cell of the Fig. 6 matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct DfsIoCell {
+    pub replication: usize,
+    pub threads: usize,
+    pub mean_exec_secs: f64,
+    pub mean_throughput_mb_s: f64,
+    pub aggregate_mb_s: f64,
+}
+
+/// Run the whole matrix.
+pub fn run(cfg: &DfsIoConfig) -> Vec<DfsIoCell> {
+    let mut out = Vec::new();
+    for &r in &cfg.replications {
+        for &threads in &cfg.thread_counts {
+            let mut cluster =
+                ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware));
+            let spec = DfsIoSpec {
+                file_count: 1,
+                file_size: cfg.file_size,
+                replication: r,
+                concurrent_readers: threads,
+            };
+            let report = spec.run_read_round(&mut cluster);
+            out.push(DfsIoCell {
+                replication: r,
+                threads,
+                mean_exec_secs: report.exec_secs.mean(),
+                mean_throughput_mb_s: report.throughput_mb_s.mean(),
+                aggregate_mb_s: report.aggregate_mb_s,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_shapes_hold() {
+        let cells = run(&DfsIoConfig::small());
+        let cell = |r: usize, t: usize| {
+            cells
+                .iter()
+                .find(|c| c.replication == r && c.threads == t)
+                .unwrap()
+        };
+        // more threads on the same data ⇒ slower
+        assert!(cell(1, 21).mean_exec_secs > cell(1, 7).mean_exec_secs);
+        assert!(cell(3, 21).mean_exec_secs > cell(3, 7).mean_exec_secs);
+        // more replicas at the same load ⇒ faster
+        assert!(cell(5, 21).mean_exec_secs < cell(1, 21).mean_exec_secs);
+        assert!(cell(3, 7).mean_exec_secs <= cell(1, 7).mean_exec_secs * 1.05);
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 7 — direct vs one-by-one replica increase.
+//!
+//! "There are two ways to increase replicas: increasing the replica
+//! directly to the optimal one or increasing replica one by one...
+//! It is clear that increasing the replica directly to the optimal one
+//! is a better choice." The harness raises a file from the default
+//! factor to the optimum under both strategies across the paper's file
+//! sizes (64 MB – 8 GB) and reports the wall-clock each takes.
+
+use erms::IncreaseStrategy;
+use hdfs_sim::{ClusterConfig, ClusterSim, DefaultRackAware};
+use serde::Serialize;
+use simcore::units::{Bytes, GB, MB};
+
+#[derive(Debug, Clone)]
+pub struct IncreaseConfig {
+    pub file_sizes: Vec<Bytes>,
+    pub from_replication: usize,
+    pub to_replication: usize,
+}
+
+impl Default for IncreaseConfig {
+    fn default() -> Self {
+        IncreaseConfig {
+            file_sizes: vec![
+                64 * MB,
+                128 * MB,
+                256 * MB,
+                512 * MB,
+                GB,
+                2 * GB,
+                4 * GB,
+                8 * GB,
+            ],
+            from_replication: 3,
+            to_replication: 8,
+        }
+    }
+}
+
+impl IncreaseConfig {
+    pub fn small() -> Self {
+        IncreaseConfig {
+            file_sizes: vec![64 * MB, 256 * MB],
+            ..Self::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct IncreaseCell {
+    pub file_size_mb: u64,
+    pub strategy: String,
+    pub seconds: f64,
+    pub copies: usize,
+}
+
+/// Time one increase of `size` bytes under `strategy`.
+pub fn time_increase(size: Bytes, from: usize, to: usize, strategy: IncreaseStrategy) -> IncreaseCell {
+    let mut cluster = ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware));
+    let file = cluster
+        .create_file("/fig7/data", size, from, None)
+        .expect("fresh cluster");
+    let t0 = cluster.now();
+    let mut copies = 0usize;
+    for step in strategy.steps(from, to) {
+        copies += cluster.set_file_replication(file, step).len();
+        // one-by-one waits for each step to land before requesting the
+        // next, which is precisely what makes it slow
+        cluster.run_until_quiescent();
+    }
+    let seconds = (cluster.now() - t0).as_secs_f64();
+    // verify the end state really reached the target
+    for &b in &cluster.namespace().file(file).expect("file exists").blocks.clone() {
+        assert_eq!(cluster.blockmap().replica_count(b), to);
+    }
+    IncreaseCell {
+        file_size_mb: size / MB,
+        strategy: match strategy {
+            IncreaseStrategy::Direct => "whole".to_string(),
+            IncreaseStrategy::OneByOne => "one_by_one".to_string(),
+        },
+        seconds,
+        copies,
+    }
+}
+
+/// Run the full Fig. 7 sweep.
+pub fn run(cfg: &IncreaseConfig) -> Vec<IncreaseCell> {
+    let mut out = Vec::new();
+    for &size in &cfg.file_sizes {
+        for strategy in [IncreaseStrategy::Direct, IncreaseStrategy::OneByOne] {
+            out.push(time_increase(
+                size,
+                cfg.from_replication,
+                cfg.to_replication,
+                strategy,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_beats_one_by_one() {
+        for &size in &[64 * MB, 512 * MB] {
+            let direct = time_increase(size, 3, 8, IncreaseStrategy::Direct);
+            let stepwise = time_increase(size, 3, 8, IncreaseStrategy::OneByOne);
+            assert_eq!(direct.copies, stepwise.copies, "same replicas moved");
+            assert!(
+                direct.seconds < stepwise.seconds,
+                "size {size}: direct {} vs one-by-one {}",
+                direct.seconds,
+                stepwise.seconds
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_files_take_longer() {
+        let small = time_increase(64 * MB, 3, 8, IncreaseStrategy::Direct);
+        let large = time_increase(GB, 3, 8, IncreaseStrategy::Direct);
+        assert!(large.seconds > small.seconds * 2.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! `bench` — the experiment harness regenerating every figure of the
+//! paper's evaluation (Section IV).
+//!
+//! Each module implements one experiment family as a pure function from
+//! a (scalable) configuration to a serialisable result; the `figures`
+//! binary prints the same rows/series the paper plots and archives JSON
+//! under `results/`. Criterion benches wrap scaled-down variants of the
+//! same functions plus component micro-benchmarks.
+//!
+//! | paper figure | module | what it shows |
+//! |---|---|---|
+//! | Fig. 3(a)(b) | [`replay`] | SWIM replay: read throughput & job locality, FIFO/Fair × {vanilla, ERMS τ_M=8,6,4} |
+//! | Fig. 4       | [`replay`] | CDF of data accesses over time |
+//! | Fig. 5       | [`replay`] | storage utilisation over time, vanilla vs ERMS |
+//! | Fig. 6       | [`dfsio`]  | TestDFSIO read time vs replication × thread count |
+//! | Fig. 7       | [`increase`] | direct vs one-by-one replica increase |
+//! | Fig. 8       | [`capacity`] | max sustainable concurrency vs replicas, all-active vs active/standby |
+//! | Fig. 9(a)(b) | [`capacity`] | throughput & exec time at 70 readers vs replicas |
+
+pub mod ablation;
+pub mod capacity;
+pub mod common;
+pub mod dfsio;
+pub mod increase;
+pub mod replay;
+
+pub use common::Mode;

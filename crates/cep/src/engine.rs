@@ -1,0 +1,256 @@
+//! Event routing, query registration and subscriptions.
+//!
+//! The engine is the piece ERMS talks to: register queries (built in
+//! code or compiled from EPL text), push every audit event at it, and
+//! either poll grouped rows or subscribe a callback that fires whenever
+//! a query's HAVING clause admits a row for the arriving event's group.
+
+use crate::event::Event;
+use crate::pattern::{FollowedBy, PatternMatch, PatternState};
+use crate::query::{GroupRow, QuerySpec, QueryState};
+use simcore::SimTime;
+use std::collections::BTreeMap;
+
+/// Handle to a registered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(u64);
+
+/// Handle to a registered sequence pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternId(u64);
+
+/// A fired subscription row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    pub query: QueryId,
+    pub time: SimTime,
+    pub group: String,
+    pub value: f64,
+}
+
+type Callback = Box<dyn FnMut(&Row)>;
+
+/// The CEP engine.
+#[derive(Default)]
+pub struct CepEngine {
+    queries: BTreeMap<QueryId, QueryState>,
+    subscriptions: BTreeMap<QueryId, Vec<Callback>>,
+    patterns: BTreeMap<PatternId, (PatternState, Vec<PatternMatch>)>,
+    next_id: u64,
+    events_seen: u64,
+}
+
+impl CepEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a query; returns its handle.
+    pub fn register(&mut self, spec: QuerySpec) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.queries.insert(id, QueryState::new(spec));
+        id
+    }
+
+    /// Remove a query (and its subscriptions).
+    pub fn unregister(&mut self, id: QueryId) {
+        self.queries.remove(&id);
+        self.subscriptions.remove(&id);
+    }
+
+    /// Register a sequence pattern ("A followed by B within t").
+    pub fn register_pattern(&mut self, spec: FollowedBy) -> PatternId {
+        let id = PatternId(self.next_id);
+        self.next_id += 1;
+        self.patterns
+            .insert(id, (PatternState::new(spec), Vec::new()));
+        id
+    }
+
+    /// Take the matches a pattern produced since the last drain.
+    pub fn drain_matches(&mut self, id: PatternId) -> Vec<PatternMatch> {
+        self.patterns
+            .get_mut(&id)
+            .map(|(_, buf)| std::mem::take(buf))
+            .unwrap_or_default()
+    }
+
+    /// Attach a callback fired when an arriving event makes the query
+    /// emit a row for that event's group (requires a HAVING clause to be
+    /// selective; without one it fires on every accepted event).
+    pub fn subscribe<F>(&mut self, id: QueryId, callback: F)
+    where
+        F: FnMut(&Row) + 'static,
+    {
+        self.subscriptions.entry(id).or_default().push(Box::new(callback));
+    }
+
+    /// Push one event through every registered query and pattern.
+    pub fn push(&mut self, event: &Event) {
+        self.events_seen += 1;
+        for (state, buf) in self.patterns.values_mut() {
+            buf.extend(state.offer(event));
+        }
+        let mut fired: Vec<Row> = Vec::new();
+        for (&id, state) in self.queries.iter_mut() {
+            if !state.offer(event) {
+                continue;
+            }
+            if !self.subscriptions.contains_key(&id) {
+                continue;
+            }
+            // Evaluate only the arriving event's group: subscriptions are
+            // per-trigger, polling covers whole-table reads.
+            let group_key = match &state.spec.group_by {
+                Some(field) => match event.get(field) {
+                    Some(v) => v.to_string(),
+                    None => continue,
+                },
+                None => String::new(),
+            };
+            let value = state.value_for(event.time, &group_key);
+            if state.spec.having.is_none_or(|h| h.test(value)) {
+                fired.push(Row {
+                    query: id,
+                    time: event.time,
+                    group: group_key,
+                    value,
+                });
+            }
+        }
+        for row in &fired {
+            if let Some(callbacks) = self.subscriptions.get_mut(&row.query) {
+                for cb in callbacks.iter_mut() {
+                    cb(row);
+                }
+            }
+        }
+    }
+
+    /// Poll the current grouped rows of a query at `now`.
+    pub fn rows(&mut self, id: QueryId, now: SimTime) -> Vec<GroupRow> {
+        self.queries
+            .get_mut(&id)
+            .map(|q| q.rows(now))
+            .unwrap_or_default()
+    }
+
+    /// Current aggregate for one group of a query.
+    pub fn value_for(&mut self, id: QueryId, now: SimTime, key: &str) -> f64 {
+        self.queries
+            .get_mut(&id)
+            .map(|q| q.value_for(now, key))
+            .unwrap_or(0.0)
+    }
+
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Comparison;
+    use simcore::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn access(t: u64, path: &str) -> Event {
+        Event::new(SimTime::from_secs(t), "audit")
+            .with("cmd", "open")
+            .with("src", path)
+    }
+
+    #[test]
+    fn register_push_poll() {
+        let mut eng = CepEngine::new();
+        let q = eng.register(QuerySpec::count_per_group(
+            "audit",
+            "src",
+            SimDuration::from_secs(60),
+        ));
+        for p in ["/a", "/a", "/b"] {
+            eng.push(&access(1, p));
+        }
+        let rows = eng.rows(q, SimTime::from_secs(1));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(eng.value_for(q, SimTime::from_secs(1), "/a"), 2.0);
+        assert_eq!(eng.events_seen(), 3);
+    }
+
+    #[test]
+    fn subscription_fires_on_threshold() {
+        let mut eng = CepEngine::new();
+        let mut spec = QuerySpec::count_per_group("audit", "src", SimDuration::from_secs(60));
+        spec.having = Some(Comparison::Ge(3.0));
+        let q = eng.register(spec);
+        let fired: Rc<RefCell<Vec<Row>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = fired.clone();
+        eng.subscribe(q, move |row| sink.borrow_mut().push(row.clone()));
+
+        eng.push(&access(0, "/cold_path_accessed_once"));
+        for t in 0..5u64 {
+            eng.push(&access(t, "/hot"));
+        }
+        let fired = fired.borrow();
+        // /hot fires on its 3rd, 4th, 5th access; the other path never
+        assert_eq!(fired.len(), 3);
+        assert!(fired.iter().all(|r| r.group == "/hot"));
+        assert_eq!(fired[0].value, 3.0);
+        assert_eq!(fired[2].value, 5.0);
+    }
+
+    #[test]
+    fn multiple_queries_route_independently() {
+        let mut eng = CepEngine::new();
+        let by_src = eng.register(QuerySpec::count_per_group(
+            "audit",
+            "src",
+            SimDuration::from_secs(60),
+        ));
+        let blocks = eng.register(QuerySpec::count_per_group(
+            "block_read",
+            "blk",
+            SimDuration::from_secs(60),
+        ));
+        eng.push(&access(0, "/a"));
+        eng.push(&Event::new(SimTime::from_secs(0), "block_read").with("blk", "blk_1"));
+        assert_eq!(eng.rows(by_src, SimTime::ZERO).len(), 1);
+        assert_eq!(eng.rows(blocks, SimTime::ZERO).len(), 1);
+        assert_eq!(eng.query_count(), 2);
+    }
+
+    #[test]
+    fn unregister_stops_routing() {
+        let mut eng = CepEngine::new();
+        let q = eng.register(QuerySpec::count_per_group(
+            "audit",
+            "src",
+            SimDuration::from_secs(60),
+        ));
+        eng.unregister(q);
+        eng.push(&access(0, "/a"));
+        assert!(eng.rows(q, SimTime::ZERO).is_empty());
+        assert_eq!(eng.query_count(), 0);
+    }
+
+    #[test]
+    fn window_decay_drops_counts() {
+        let mut eng = CepEngine::new();
+        let q = eng.register(QuerySpec::count_per_group(
+            "audit",
+            "src",
+            SimDuration::from_secs(10),
+        ));
+        eng.push(&access(0, "/a"));
+        eng.push(&access(1, "/a"));
+        assert_eq!(eng.value_for(q, SimTime::from_secs(1), "/a"), 2.0);
+        // long silence → everything expires
+        assert_eq!(eng.value_for(q, SimTime::from_secs(100), "/a"), 0.0);
+    }
+}

@@ -1,0 +1,786 @@
+//! A small EPL-like continuous-query language.
+//!
+//! The paper observes that CEP systems "use an SQL-standard-based
+//! continuous query language to express the query demands"; this module
+//! provides a compact dialect that compiles to [`QuerySpec`]:
+//!
+//! ```text
+//! select count(*) from audit(cmd = 'open') . win:time(60)
+//!     group by src having count(*) > 10
+//! ```
+//!
+//! * aggregates: `count(*)`, `sum(f)`, `avg(f)`, `max(f)`, `min(f)`,
+//!   `count_distinct(f)`
+//! * windows: `win:time(seconds)` and `win:length(n)`
+//! * predicates on the FROM type: `field = literal`, `!=`, `>`, `<`
+//! * keywords are case-insensitive; strings take single quotes.
+
+use crate::event::Value;
+use crate::query::{AggFn, Comparison, Predicate, QuerySpec, WindowSpec};
+use simcore::SimDuration;
+use std::fmt;
+
+/// Parse failure with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EPL parse error at byte {}: {}", self.position, self.message)
+    }
+}
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Star,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Colon,
+    Eq,
+    Ne,
+    Gt,
+    Ge,
+    Lt,
+    Le,
+    Arrow,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Token)>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let c = self.bytes[self.pos];
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'*' => {
+                    out.push((start, Token::Star));
+                    self.pos += 1;
+                }
+                b'(' => {
+                    out.push((start, Token::LParen));
+                    self.pos += 1;
+                }
+                b')' => {
+                    out.push((start, Token::RParen));
+                    self.pos += 1;
+                }
+                b',' => {
+                    out.push((start, Token::Comma));
+                    self.pos += 1;
+                }
+                b'.' => {
+                    out.push((start, Token::Dot));
+                    self.pos += 1;
+                }
+                b':' => {
+                    out.push((start, Token::Colon));
+                    self.pos += 1;
+                }
+                b'=' => {
+                    out.push((start, Token::Eq));
+                    self.pos += 1;
+                }
+                b'!' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        out.push((start, Token::Ne));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error("expected '=' after '!'"));
+                    }
+                }
+                b'>' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        out.push((start, Token::Ge));
+                        self.pos += 2;
+                    } else {
+                        out.push((start, Token::Gt));
+                        self.pos += 1;
+                    }
+                }
+                b'<' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        out.push((start, Token::Le));
+                        self.pos += 2;
+                    } else {
+                        out.push((start, Token::Lt));
+                        self.pos += 1;
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    let s = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.bytes.len() {
+                        return Err(self.error("unterminated string literal"));
+                    }
+                    out.push((start, Token::Str(self.src[s..self.pos].to_string())));
+                    self.pos += 1;
+                }
+                b'-' if self.bytes.get(self.pos + 1) == Some(&b'>') => {
+                    out.push((start, Token::Arrow));
+                    self.pos += 2;
+                }
+                b'0'..=b'9' | b'-' => {
+                    let s = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len()
+                        && (self.bytes[self.pos].is_ascii_digit() || self.bytes[self.pos] == b'.')
+                    {
+                        self.pos += 1;
+                    }
+                    let text = &self.src[s..self.pos];
+                    let n: f64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("bad number '{text}'")))?;
+                    out.push((s, Token::Number(n)));
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' || c == b'/' => {
+                    let s = self.pos;
+                    while self.pos < self.bytes.len()
+                        && (self.bytes[self.pos].is_ascii_alphanumeric()
+                            || matches!(self.bytes[self.pos], b'_' | b'/' | b'-'))
+                    {
+                        self.pos += 1;
+                    }
+                    out.push((s, Token::Ident(self.src[s..self.pos].to_string())));
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character '{}'", other as char)));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.idx).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens
+            .get(self.idx)
+            .or_else(|| self.tokens.last())
+            .map(|(p, _)| *p)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.pos(),
+        }
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.error(format!("expected keyword '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.idx += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn aggregate(&mut self) -> Result<AggFn, ParseError> {
+        let name = self.ident("aggregate function")?.to_ascii_lowercase();
+        self.expect(&Token::LParen, "'('")?;
+        let agg = match name.as_str() {
+            "count" => {
+                self.expect(&Token::Star, "'*'")?;
+                AggFn::Count
+            }
+            "sum" => AggFn::Sum(self.ident("field name")?),
+            "avg" => AggFn::Avg(self.ident("field name")?),
+            "max" => AggFn::Max(self.ident("field name")?),
+            "min" => AggFn::Min(self.ident("field name")?),
+            "count_distinct" => AggFn::CountDistinct(self.ident("field name")?),
+            other => return Err(self.error(format!("unknown aggregate '{other}'"))),
+        };
+        self.expect(&Token::RParen, "')'")?;
+        Ok(agg)
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Value::str(s)),
+            Some(Token::Number(n)) => {
+                if n.fract() == 0.0 {
+                    Ok(Value::Int(n as i64))
+                } else {
+                    Ok(Value::Float(n))
+                }
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            other => Err(self.error(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn predicates(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        let mut preds = Vec::new();
+        if self.peek() != Some(&Token::LParen) {
+            return Ok(preds);
+        }
+        self.next(); // consume '('
+        if self.peek() == Some(&Token::RParen) {
+            self.next();
+            return Ok(preds);
+        }
+        loop {
+            let field = self.ident("predicate field")?;
+            let op = self
+                .next()
+                .ok_or_else(|| self.error("expected comparison operator"))?;
+            let pred = match op {
+                Token::Eq => Predicate::Eq(field, self.literal()?),
+                Token::Ne => Predicate::Ne(field, self.literal()?),
+                Token::Gt => Predicate::Gt(field, self.number("numeric bound")?),
+                Token::Lt => Predicate::Lt(field, self.number("numeric bound")?),
+                other => return Err(self.error(format!("bad predicate operator {other:?}"))),
+            };
+            preds.push(pred);
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(self.error(format!("expected ',' or ')', found {other:?}"))),
+            }
+        }
+        Ok(preds)
+    }
+
+    fn window(&mut self) -> Result<WindowSpec, ParseError> {
+        self.expect(&Token::Dot, "'.' before window clause")?;
+        self.keyword("win")?;
+        self.expect(&Token::Colon, "':'")?;
+        let kind = self.ident("window kind")?.to_ascii_lowercase();
+        self.expect(&Token::LParen, "'('")?;
+        let n = self.number("window size")?;
+        self.expect(&Token::RParen, "')'")?;
+        match kind.as_str() {
+            "time" => Ok(WindowSpec::Time(SimDuration::from_secs_f64(n))),
+            "length" => {
+                if n < 1.0 || n.fract() != 0.0 {
+                    return Err(self.error("length window needs a positive integer"));
+                }
+                Ok(WindowSpec::Length(n as usize))
+            }
+            other => Err(self.error(format!("unknown window kind '{other}'"))),
+        }
+    }
+
+    fn having(&mut self) -> Result<Option<(AggFn, Comparison)>, ParseError> {
+        if !self.try_keyword("having") {
+            return Ok(None);
+        }
+        let agg = self.aggregate()?;
+        let op = self
+            .next()
+            .ok_or_else(|| self.error("expected comparison after HAVING aggregate"))?;
+        let bound = self.number("threshold")?;
+        let cmp = match op {
+            Token::Gt => Comparison::Gt(bound),
+            Token::Ge => Comparison::Ge(bound),
+            Token::Lt => Comparison::Lt(bound),
+            Token::Le => Comparison::Le(bound),
+            Token::Eq => Comparison::Eq(bound),
+            other => return Err(self.error(format!("bad HAVING operator {other:?}"))),
+        };
+        Ok(Some((agg, cmp)))
+    }
+}
+
+/// Render a [`QuerySpec`] back to EPL text. `parse(&to_epl(q)) == q`
+/// for every spec expressible in the dialect (property-tested below);
+/// used to log the judge's active queries in a human-auditable form.
+pub fn to_epl(spec: &QuerySpec) -> String {
+    let mut out = String::from("select ");
+    out.push_str(&agg_text(&spec.aggregate));
+    out.push_str(" from ");
+    out.push_str(spec.from.as_deref().unwrap_or("_any"));
+    if !spec.predicates.is_empty() {
+        out.push('(');
+        for (i, p) in spec.predicates.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&pred_text(p));
+        }
+        out.push(')');
+    }
+    match spec.window {
+        WindowSpec::Time(d) => {
+            out.push_str(&format!(".win:time({})", d.as_secs_f64()));
+        }
+        WindowSpec::Length(n) => {
+            out.push_str(&format!(".win:length({n})"));
+        }
+    }
+    if let Some(g) = &spec.group_by {
+        out.push_str(" group by ");
+        out.push_str(g);
+    }
+    if let Some(h) = spec.having {
+        out.push_str(" having ");
+        out.push_str(&agg_text(&spec.aggregate));
+        let (op, bound) = match h {
+            Comparison::Gt(b) => (">", b),
+            Comparison::Ge(b) => (">=", b),
+            Comparison::Lt(b) => ("<", b),
+            Comparison::Le(b) => ("<=", b),
+            Comparison::Eq(b) => ("=", b),
+        };
+        out.push_str(&format!(" {op} {bound}"));
+    }
+    out
+}
+
+fn agg_text(a: &AggFn) -> String {
+    match a {
+        AggFn::Count => "count(*)".to_string(),
+        AggFn::Sum(f) => format!("sum({f})"),
+        AggFn::Avg(f) => format!("avg({f})"),
+        AggFn::Max(f) => format!("max({f})"),
+        AggFn::Min(f) => format!("min({f})"),
+        AggFn::CountDistinct(f) => format!("count_distinct({f})"),
+    }
+}
+
+fn pred_text(p: &Predicate) -> String {
+    let val = |v: &Value| -> String {
+        match v {
+            Value::Str(s) => format!("'{s}'"),
+            other => other.to_string(),
+        }
+    };
+    match p {
+        Predicate::Eq(f, v) => format!("{f} = {}", val(v)),
+        Predicate::Ne(f, v) => format!("{f} != {}", val(v)),
+        Predicate::Gt(f, b) => format!("{f} > {b}"),
+        Predicate::Lt(f, b) => format!("{f} < {b}"),
+        // `Has` has no surface syntax; encode as an always-matchable
+        // inequality against an impossible sentinel value
+        Predicate::Has(f) => format!("{f} != '__no_such_value__'"),
+    }
+}
+
+/// Compile a pattern string to a [`crate::pattern::FollowedBy`].
+///
+/// Grammar:
+///
+/// ```text
+/// pattern := filter '->' filter 'within' seconds ['on' field]
+/// filter  := event_type [ '(' predicates ')' ]
+/// ```
+///
+/// e.g. `audit(cmd='create') -> audit(cmd='open') within 60 on src`.
+pub fn parse_pattern(src: &str) -> Result<crate::pattern::FollowedBy, ParseError> {
+    use crate::pattern::EventFilter;
+    let tokens = Lexer::new(src).tokens()?;
+    let mut p = Parser { tokens, idx: 0 };
+
+    let leg = |p: &mut Parser| -> Result<EventFilter, ParseError> {
+        let ty = p.ident("event type")?;
+        let predicates = p.predicates()?;
+        Ok(EventFilter {
+            event_type: Some(ty),
+            predicates,
+        })
+    };
+    let first = leg(&mut p)?;
+    p.expect(&Token::Arrow, "'->' between pattern legs")?;
+    let second = leg(&mut p)?;
+    p.keyword("within")?;
+    let secs = p.number("window seconds")?;
+    if secs <= 0.0 {
+        return Err(p.error("pattern window must be positive"));
+    }
+    let key_field = if p.try_keyword("on") {
+        Some(p.ident("correlation field")?)
+    } else {
+        None
+    };
+    if p.peek().is_some() {
+        return Err(p.error("trailing tokens after pattern"));
+    }
+    Ok(crate::pattern::FollowedBy {
+        first,
+        second,
+        within: SimDuration::from_secs_f64(secs),
+        key_field,
+    })
+}
+
+/// Compile an EPL string to a [`QuerySpec`].
+pub fn parse(src: &str) -> Result<QuerySpec, ParseError> {
+    let tokens = Lexer::new(src).tokens()?;
+    let mut p = Parser { tokens, idx: 0 };
+
+    p.keyword("select")?;
+    let aggregate = p.aggregate()?;
+    p.keyword("from")?;
+    let from = p.ident("event type")?;
+    let predicates = p.predicates()?;
+    let window = p.window()?;
+
+    let group_by = if p.try_keyword("group") {
+        p.keyword("by")?;
+        Some(p.ident("group-by field")?)
+    } else {
+        None
+    };
+
+    let having = p.having()?;
+    if let Some((h_agg, _)) = &having {
+        if h_agg != &aggregate {
+            return Err(p.error("HAVING aggregate must match the SELECT aggregate"));
+        }
+    }
+    if p.peek().is_some() {
+        return Err(p.error("trailing tokens after query"));
+    }
+
+    Ok(QuerySpec {
+        from: Some(from),
+        predicates,
+        window,
+        group_by,
+        aggregate,
+        having: having.map(|(_, c)| c),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_query_parses() {
+        let q = parse(
+            "select count(*) from audit(cmd = 'open') . win:time(60) \
+             group by src having count(*) > 10",
+        )
+        .unwrap();
+        assert_eq!(q.from.as_deref(), Some("audit"));
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.window, WindowSpec::Time(SimDuration::from_secs(60)));
+        assert_eq!(q.group_by.as_deref(), Some("src"));
+        assert_eq!(q.aggregate, AggFn::Count);
+        assert_eq!(q.having, Some(Comparison::Gt(10.0)));
+    }
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("select count(*) from block_read.win:length(100)").unwrap();
+        assert_eq!(q.from.as_deref(), Some("block_read"));
+        assert!(q.predicates.is_empty());
+        assert_eq!(q.window, WindowSpec::Length(100));
+        assert!(q.group_by.is_none());
+        assert!(q.having.is_none());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("SELECT COUNT(*) FROM a.WIN:TIME(5) GROUP BY f").is_ok());
+    }
+
+    #[test]
+    fn all_aggregates() {
+        for (src, want) in [
+            ("sum(bytes)", AggFn::Sum("bytes".into())),
+            ("avg(bytes)", AggFn::Avg("bytes".into())),
+            ("max(bytes)", AggFn::Max("bytes".into())),
+            ("min(bytes)", AggFn::Min("bytes".into())),
+            ("count_distinct(ip)", AggFn::CountDistinct("ip".into())),
+        ] {
+            let q = parse(&format!("select {src} from audit.win:time(1)")).unwrap();
+            assert_eq!(q.aggregate, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn multiple_predicates() {
+        let q = parse(
+            "select count(*) from audit(cmd = 'open', size > 100, ok = true).win:time(9)",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert!(matches!(&q.predicates[1], Predicate::Gt(f, b) if f == "size" && *b == 100.0));
+        assert!(matches!(&q.predicates[2], Predicate::Eq(f, Value::Bool(true)) if f == "ok"));
+    }
+
+    #[test]
+    fn having_operators() {
+        for (op, want) in [
+            (">", Comparison::Gt(2.0)),
+            (">=", Comparison::Ge(2.0)),
+            ("<", Comparison::Lt(2.0)),
+            ("<=", Comparison::Le(2.0)),
+            ("=", Comparison::Eq(2.0)),
+        ] {
+            let q = parse(&format!(
+                "select count(*) from a.win:time(1) having count(*) {op} 2"
+            ))
+            .unwrap();
+            assert_eq!(q.having, Some(want), "{op}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("select frobnicate(*) from a.win:time(1)").is_err());
+        assert!(parse("select count(*) from a.win:bogus(1)").is_err());
+        assert!(parse("select count(*) from a.win:length(0)").is_err());
+        assert!(parse("select count(*) from a.win:time(1) extra junk").is_err());
+        assert!(parse("select count(*) from a(x = 'unterminated.win:time(1)").is_err());
+        let err = parse("select count(*) from a.win:time(1) having sum(x) > 2").unwrap_err();
+        assert!(err.message.contains("must match"), "{err}");
+    }
+
+    #[test]
+    fn parsed_query_runs() {
+        use crate::engine::CepEngine;
+        use crate::event::Event;
+        use simcore::SimTime;
+        let spec = parse(
+            "select count(*) from audit(cmd='open').win:time(30) group by src",
+        )
+        .unwrap();
+        let mut eng = CepEngine::new();
+        let q = eng.register(spec);
+        for i in 0..4u64 {
+            eng.push(
+                &Event::new(SimTime::from_secs(i), "audit")
+                    .with("cmd", "open")
+                    .with("src", "/hot"),
+            );
+        }
+        assert_eq!(eng.value_for(q, SimTime::from_secs(3), "/hot"), 4.0);
+    }
+
+    #[test]
+    fn pattern_syntax_parses() {
+        use crate::pattern::EventFilter;
+        let p = parse_pattern(
+            "audit(cmd='create') -> audit(cmd='open') within 60 on src",
+        )
+        .unwrap();
+        assert_eq!(p.within, SimDuration::from_secs(60));
+        assert_eq!(p.key_field.as_deref(), Some("src"));
+        let expect_leg = |cmd: &str| {
+            EventFilter::of_type("audit")
+                .with(Predicate::Eq("cmd".into(), Value::str(cmd)))
+        };
+        assert_eq!(p.first, expect_leg("create"));
+        assert_eq!(p.second, expect_leg("open"));
+        // without correlation key
+        let p = parse_pattern("node_down -> read_failed within 30").unwrap();
+        assert!(p.key_field.is_none());
+    }
+
+    #[test]
+    fn pattern_syntax_errors() {
+        assert!(parse_pattern("audit within 5").is_err());
+        assert!(parse_pattern("a -> b").is_err(), "missing within");
+        assert!(parse_pattern("a -> b within 0").is_err());
+        assert!(parse_pattern("a -> b within 5 extra").is_err());
+    }
+
+    #[test]
+    fn parsed_pattern_runs_in_engine() {
+        use crate::engine::CepEngine;
+        use crate::event::Event;
+        use simcore::SimTime;
+        let mut eng = CepEngine::new();
+        let pat = eng.register_pattern(
+            parse_pattern("audit(cmd='create') -> audit(cmd='open') within 60 on src")
+                .unwrap(),
+        );
+        let mk = |t: u64, cmd: &str| {
+            Event::new(SimTime::from_secs(t), "audit")
+                .with("cmd", cmd)
+                .with("src", "/fresh")
+        };
+        eng.push(&mk(0, "create"));
+        eng.push(&mk(10, "open"));
+        let matches = eng.drain_matches(pat);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].gap(), SimDuration::from_secs(10));
+        assert!(eng.drain_matches(pat).is_empty(), "drained once");
+    }
+
+    #[test]
+    fn to_epl_round_trips_known_queries() {
+        for src in [
+            "select count(*) from audit(cmd = 'open').win:time(60) group by src having count(*) > 10",
+            "select sum(bytes) from block_read.win:length(100)",
+            "select avg(bytes) from block_read(dn != 'dn3', bytes > 100).win:time(5) group by dn",
+        ] {
+            let q = parse(src).unwrap();
+            let printed = to_epl(&q);
+            let back = parse(&printed).unwrap_or_else(|e| panic!("reparse '{printed}': {e}"));
+            assert_eq!(q, back, "{src}");
+        }
+    }
+
+    mod roundtrip_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn ident() -> impl Strategy<Value = String> {
+            "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+        }
+
+        fn agg() -> impl Strategy<Value = AggFn> {
+            prop_oneof![
+                Just(AggFn::Count),
+                ident().prop_map(AggFn::Sum),
+                ident().prop_map(AggFn::Avg),
+                ident().prop_map(AggFn::Max),
+                ident().prop_map(AggFn::Min),
+                ident().prop_map(AggFn::CountDistinct),
+            ]
+        }
+
+        fn pred() -> impl Strategy<Value = Predicate> {
+            prop_oneof![
+                (ident(), "[a-z0-9/_]{1,10}")
+                    .prop_map(|(f, v)| Predicate::Eq(f, Value::str(v))),
+                (ident(), -1000i64..1000)
+                    .prop_map(|(f, v)| Predicate::Eq(f, Value::Int(v))),
+                (ident(), "[a-z]{1,6}")
+                    .prop_map(|(f, v)| Predicate::Ne(f, Value::str(v))),
+                (ident(), 0.0f64..1e6).prop_map(|(f, b)| Predicate::Gt(f, b)),
+                (ident(), 0.0f64..1e6).prop_map(|(f, b)| Predicate::Lt(f, b)),
+            ]
+        }
+
+        fn window() -> impl Strategy<Value = WindowSpec> {
+            prop_oneof![
+                (1u64..100_000).prop_map(|s| WindowSpec::Time(SimDuration::from_secs(s))),
+                (1usize..100_000).prop_map(WindowSpec::Length),
+            ]
+        }
+
+        fn having() -> impl Strategy<Value = Option<Comparison>> {
+            prop_oneof![
+                Just(None),
+                (0.0f64..1e6).prop_map(|b| Some(Comparison::Gt(b))),
+                (0.0f64..1e6).prop_map(|b| Some(Comparison::Ge(b))),
+                (0.0f64..1e6).prop_map(|b| Some(Comparison::Lt(b))),
+                (0.0f64..1e6).prop_map(|b| Some(Comparison::Le(b))),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            #[test]
+            fn parse_inverts_to_epl(
+                from in ident(),
+                preds in prop::collection::vec(pred(), 0..4),
+                win in window(),
+                group in prop::option::of(ident()),
+                aggregate in agg(),
+                hav in having(),
+            ) {
+                let spec = QuerySpec {
+                    from: Some(from),
+                    predicates: preds,
+                    window: win,
+                    group_by: group,
+                    aggregate,
+                    having: hav,
+                };
+                let text = to_epl(&spec);
+                let back = parse(&text)
+                    .unwrap_or_else(|e| panic!("reparse '{text}': {e}"));
+                prop_assert_eq!(spec, back);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_lex_as_idents() {
+        // group-by fields and event types may contain '/','_','-'
+        let q = parse("select count(*) from block_read.win:time(1) group by blk_id").unwrap();
+        assert_eq!(q.group_by.as_deref(), Some("blk_id"));
+    }
+}

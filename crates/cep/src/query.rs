@@ -1,0 +1,381 @@
+//! Continuous queries.
+//!
+//! A [`QuerySpec`] is the declarative shape
+//! `FROM type(predicates…) .win:… [GROUP BY field] SELECT agg(field)
+//! [HAVING agg ⋄ threshold]`; [`QueryState`] is its incremental runtime:
+//! it owns a window, applies the filter on arrival and computes grouped
+//! aggregates on demand. ERMS's data judge runs a handful of these over
+//! the audit stream (accesses per file, accesses per block, accesses per
+//! datanode).
+
+use crate::event::{Event, Value};
+use crate::window::Window;
+use simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Window clause of a query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowSpec {
+    Time(SimDuration),
+    Length(usize),
+}
+
+impl WindowSpec {
+    pub fn instantiate(self) -> Window {
+        match self {
+            WindowSpec::Time(d) => Window::time(d),
+            WindowSpec::Length(n) => Window::length(n),
+        }
+    }
+}
+
+/// A filter on one event field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    Eq(String, Value),
+    Ne(String, Value),
+    Gt(String, f64),
+    Lt(String, f64),
+    /// Field exists (any value).
+    Has(String),
+}
+
+impl Predicate {
+    pub fn matches(&self, event: &Event) -> bool {
+        match self {
+            Predicate::Eq(k, v) => event.get(k).is_some_and(|x| x.loosely_eq(v)),
+            Predicate::Ne(k, v) => event.get(k).is_some_and(|x| !x.loosely_eq(v)),
+            Predicate::Gt(k, t) => event.get(k).and_then(Value::as_f64).is_some_and(|x| x > *t),
+            Predicate::Lt(k, t) => event.get(k).and_then(Value::as_f64).is_some_and(|x| x < *t),
+            Predicate::Has(k) => event.get(k).is_some(),
+        }
+    }
+}
+
+/// Aggregate function over the windowed events of one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFn {
+    Count,
+    Sum(String),
+    Avg(String),
+    Max(String),
+    Min(String),
+    /// Count of distinct values of a field (e.g. distinct client IPs).
+    CountDistinct(String),
+}
+
+impl AggFn {
+    pub fn apply<'a>(&self, events: impl Iterator<Item = &'a Event>) -> f64 {
+        match self {
+            AggFn::Count => events.count() as f64,
+            AggFn::Sum(f) => events.filter_map(|e| e.get(f)?.as_f64()).sum(),
+            AggFn::Avg(f) => {
+                let vals: Vec<f64> = events.filter_map(|e| e.get(f)?.as_f64()).collect();
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            }
+            AggFn::Max(f) => events
+                .filter_map(|e| e.get(f)?.as_f64())
+                .fold(f64::NEG_INFINITY, f64::max),
+            AggFn::Min(f) => events
+                .filter_map(|e| e.get(f)?.as_f64())
+                .fold(f64::INFINITY, f64::min),
+            AggFn::CountDistinct(f) => {
+                let mut seen: Vec<String> = events
+                    .filter_map(|e| e.get(f).map(|v| v.to_string()))
+                    .collect();
+                seen.sort_unstable();
+                seen.dedup();
+                seen.len() as f64
+            }
+        }
+    }
+}
+
+/// HAVING-clause comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Comparison {
+    Gt(f64),
+    Ge(f64),
+    Lt(f64),
+    Le(f64),
+    Eq(f64),
+}
+
+impl Comparison {
+    pub fn test(self, x: f64) -> bool {
+        match self {
+            Comparison::Gt(t) => x > t,
+            Comparison::Ge(t) => x >= t,
+            Comparison::Lt(t) => x < t,
+            Comparison::Le(t) => x <= t,
+            Comparison::Eq(t) => (x - t).abs() < f64::EPSILON,
+        }
+    }
+}
+
+/// Declarative query description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Event type to consume; `None` consumes every type.
+    pub from: Option<String>,
+    pub predicates: Vec<Predicate>,
+    pub window: WindowSpec,
+    pub group_by: Option<String>,
+    pub aggregate: AggFn,
+    pub having: Option<Comparison>,
+}
+
+impl QuerySpec {
+    /// Count events of `event_type` per `group_field` within a sliding
+    /// time window — the workhorse shape for ERMS's judge.
+    pub fn count_per_group(
+        event_type: impl Into<String>,
+        group_field: impl Into<String>,
+        window: SimDuration,
+    ) -> Self {
+        QuerySpec {
+            from: Some(event_type.into()),
+            predicates: Vec::new(),
+            window: WindowSpec::Time(window),
+            group_by: Some(group_field.into()),
+            aggregate: AggFn::Count,
+            having: None,
+        }
+    }
+
+    pub fn accepts(&self, event: &Event) -> bool {
+        if let Some(ty) = &self.from {
+            if event.event_type.as_ref() != ty {
+                return false;
+            }
+        }
+        self.predicates.iter().all(|p| p.matches(event))
+    }
+}
+
+/// Output row of a query: group key (empty string for ungrouped) and
+/// aggregate value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    pub key: Arc<str>,
+    pub value: f64,
+}
+
+/// Incremental runtime of one query.
+#[derive(Debug)]
+pub struct QueryState {
+    pub spec: QuerySpec,
+    window: Window,
+}
+
+impl QueryState {
+    pub fn new(spec: QuerySpec) -> Self {
+        let window = spec.window.instantiate();
+        QueryState { spec, window }
+    }
+
+    /// Offer an event; returns true if it entered the window.
+    pub fn offer(&mut self, event: &Event) -> bool {
+        if !self.spec.accepts(event) {
+            return false;
+        }
+        self.window.push(event.clone());
+        true
+    }
+
+    /// Evaluate grouped aggregates at `now`, applying HAVING.
+    /// Rows come out sorted by group key for determinism.
+    pub fn rows(&mut self, now: SimTime) -> Vec<GroupRow> {
+        self.window.expire(now);
+        let mut rows = Vec::new();
+        match &self.spec.group_by {
+            None => {
+                let v = self.spec.aggregate.apply(self.window.iter());
+                if self.spec.having.is_none_or(|h| h.test(v)) {
+                    rows.push(GroupRow {
+                        key: Arc::from(""),
+                        value: v,
+                    });
+                }
+            }
+            Some(field) => {
+                let mut groups: BTreeMap<String, Vec<&Event>> = BTreeMap::new();
+                for e in self.window.iter() {
+                    if let Some(v) = e.get(field) {
+                        groups.entry(v.to_string()).or_default().push(e);
+                    }
+                }
+                for (key, events) in groups {
+                    let v = self.spec.aggregate.apply(events.into_iter());
+                    if self.spec.having.is_none_or(|h| h.test(v)) {
+                        rows.push(GroupRow {
+                            key: Arc::from(key.as_str()),
+                            value: v,
+                        });
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Aggregate value for one specific group key at `now` (no HAVING).
+    pub fn value_for(&mut self, now: SimTime, key: &str) -> f64 {
+        self.window.expire(now);
+        let field = match &self.spec.group_by {
+            Some(f) => f,
+            None => return self.spec.aggregate.apply(self.window.iter()),
+        };
+        let events = self
+            .window
+            .iter()
+            .filter(|e| e.get(field).is_some_and(|v| v.to_string() == key));
+        self.spec.aggregate.apply(events)
+    }
+
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(t: u64, path: &str) -> Event {
+        Event::new(SimTime::from_secs(t), "audit")
+            .with("cmd", "open")
+            .with("src", path)
+    }
+
+    #[test]
+    fn predicate_matching() {
+        let e = access(1, "/a").with("size", 10i64);
+        assert!(Predicate::Eq("cmd".into(), Value::str("open")).matches(&e));
+        assert!(!Predicate::Eq("cmd".into(), Value::str("create")).matches(&e));
+        assert!(Predicate::Ne("cmd".into(), Value::str("create")).matches(&e));
+        assert!(Predicate::Gt("size".into(), 5.0).matches(&e));
+        assert!(!Predicate::Lt("size".into(), 5.0).matches(&e));
+        assert!(Predicate::Has("src".into()).matches(&e));
+        assert!(!Predicate::Has("dst".into()).matches(&e));
+        // missing field never matches comparisons
+        assert!(!Predicate::Gt("nope".into(), 0.0).matches(&e));
+    }
+
+    #[test]
+    fn count_per_group_within_window() {
+        let spec = QuerySpec::count_per_group("audit", "src", SimDuration::from_secs(10));
+        let mut q = QueryState::new(spec);
+        for (t, p) in [(0, "/a"), (1, "/a"), (2, "/b"), (8, "/a"), (20, "/b")] {
+            q.offer(&access(t, p));
+        }
+        // now = 20: only events with t + 10 >= 20 remain → t=20 (/b)
+        let rows = q.rows(SimTime::from_secs(20));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key.as_ref(), "/b");
+        assert_eq!(rows[0].value, 1.0);
+    }
+
+    #[test]
+    fn rows_sorted_by_key() {
+        let spec = QuerySpec::count_per_group("audit", "src", SimDuration::from_secs(100));
+        let mut q = QueryState::new(spec);
+        for p in ["/z", "/a", "/m", "/a"] {
+            q.offer(&access(1, p));
+        }
+        let rows = q.rows(SimTime::from_secs(1));
+        let keys: Vec<&str> = rows.iter().map(|r| r.key.as_ref()).collect();
+        assert_eq!(keys, vec!["/a", "/m", "/z"]);
+        assert_eq!(rows[0].value, 2.0);
+    }
+
+    #[test]
+    fn having_filters_rows() {
+        let mut spec = QuerySpec::count_per_group("audit", "src", SimDuration::from_secs(100));
+        spec.having = Some(Comparison::Ge(2.0));
+        let mut q = QueryState::new(spec);
+        for p in ["/a", "/a", "/b"] {
+            q.offer(&access(1, p));
+        }
+        let rows = q.rows(SimTime::from_secs(1));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key.as_ref(), "/a");
+    }
+
+    #[test]
+    fn type_and_predicate_filter_on_offer() {
+        let mut spec = QuerySpec::count_per_group("audit", "src", SimDuration::from_secs(100));
+        spec.predicates.push(Predicate::Eq("cmd".into(), Value::str("open")));
+        let mut q = QueryState::new(spec);
+        assert!(q.offer(&access(0, "/a")));
+        let wrong_type = Event::new(SimTime::ZERO, "block_read").with("src", "/a");
+        assert!(!q.offer(&wrong_type));
+        let wrong_cmd = Event::new(SimTime::ZERO, "audit")
+            .with("cmd", "delete")
+            .with("src", "/a");
+        assert!(!q.offer(&wrong_cmd));
+        assert_eq!(q.window_len(), 1);
+    }
+
+    #[test]
+    fn aggregates() {
+        let evs: Vec<Event> = [1.0, 2.0, 3.0, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Event::new(SimTime::from_secs(i as u64), "m").with("v", v))
+            .collect();
+        assert_eq!(AggFn::Count.apply(evs.iter()), 4.0);
+        assert_eq!(AggFn::Sum("v".into()).apply(evs.iter()), 8.0);
+        assert_eq!(AggFn::Avg("v".into()).apply(evs.iter()), 2.0);
+        assert_eq!(AggFn::Max("v".into()).apply(evs.iter()), 3.0);
+        assert_eq!(AggFn::Min("v".into()).apply(evs.iter()), 1.0);
+        assert_eq!(AggFn::CountDistinct("v".into()).apply(evs.iter()), 3.0);
+        assert_eq!(AggFn::Avg("v".into()).apply(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn value_for_specific_group() {
+        let spec = QuerySpec::count_per_group("audit", "src", SimDuration::from_secs(100));
+        let mut q = QueryState::new(spec);
+        for p in ["/a", "/a", "/b"] {
+            q.offer(&access(1, p));
+        }
+        assert_eq!(q.value_for(SimTime::from_secs(1), "/a"), 2.0);
+        assert_eq!(q.value_for(SimTime::from_secs(1), "/b"), 1.0);
+        assert_eq!(q.value_for(SimTime::from_secs(1), "/c"), 0.0);
+    }
+
+    #[test]
+    fn ungrouped_query_single_row() {
+        let spec = QuerySpec {
+            from: Some("audit".into()),
+            predicates: vec![],
+            window: WindowSpec::Length(2),
+            group_by: None,
+            aggregate: AggFn::Count,
+            having: None,
+        };
+        let mut q = QueryState::new(spec);
+        for t in 0..5 {
+            q.offer(&access(t, "/a"));
+        }
+        let rows = q.rows(SimTime::from_secs(4));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].value, 2.0, "length window caps at 2");
+    }
+
+    #[test]
+    fn comparison_tests() {
+        assert!(Comparison::Gt(1.0).test(2.0));
+        assert!(!Comparison::Gt(1.0).test(1.0));
+        assert!(Comparison::Ge(1.0).test(1.0));
+        assert!(Comparison::Lt(1.0).test(0.5));
+        assert!(Comparison::Le(1.0).test(1.0));
+        assert!(Comparison::Eq(2.0).test(2.0));
+    }
+}

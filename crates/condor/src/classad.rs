@@ -1,0 +1,391 @@
+//! ClassAds: attribute sets plus a small expression language.
+//!
+//! A ClassAd is a map from attribute names to expressions. Matchmaking
+//! evaluates each side's `Requirements` expression in a context where
+//! `my.x` refers to the owning ad and `target.x` to the candidate ad,
+//! following the original Condor semantics. Missing attributes evaluate
+//! to `Undefined`, which propagates through operators and fails boolean
+//! tests — so a requirement on an absent attribute never matches, rather
+//! than erroring.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A ClassAd value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CVal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    /// Result of referencing a missing attribute.
+    Undefined,
+}
+
+impl CVal {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            CVal::Int(i) => Some(*i as f64),
+            CVal::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            CVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn is_undefined(&self) -> bool {
+        matches!(self, CVal::Undefined)
+    }
+}
+
+impl fmt::Display for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CVal::Int(i) => write!(f, "{i}"),
+            CVal::Float(x) => write!(f, "{x}"),
+            CVal::Str(s) => write!(f, "\"{s}\""),
+            CVal::Bool(b) => write!(f, "{b}"),
+            CVal::Undefined => write!(f, "undefined"),
+        }
+    }
+}
+
+impl From<i64> for CVal {
+    fn from(v: i64) -> Self {
+        CVal::Int(v)
+    }
+}
+impl From<f64> for CVal {
+    fn from(v: f64) -> Self {
+        CVal::Float(v)
+    }
+}
+impl From<&str> for CVal {
+    fn from(v: &str) -> Self {
+        CVal::Str(v.to_string())
+    }
+}
+impl From<bool> for CVal {
+    fn from(v: bool) -> Self {
+        CVal::Bool(v)
+    }
+}
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Which ad an attribute reference resolves against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// `my.attr` — the ad being evaluated.
+    My,
+    /// `target.attr` — the candidate on the other side of the match.
+    Target,
+    /// Bare `attr` — resolves against `my`, then `target` (Condor's
+    /// lookup order for unscoped names).
+    Auto,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Lit(CVal),
+    Attr(Scope, String),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    pub fn lit(v: impl Into<CVal>) -> Expr {
+        Expr::Lit(v.into())
+    }
+    pub fn attr(name: impl Into<String>) -> Expr {
+        Expr::Attr(Scope::Auto, name.into())
+    }
+    pub fn my(name: impl Into<String>) -> Expr {
+        Expr::Attr(Scope::My, name.into())
+    }
+    pub fn target(name: impl Into<String>) -> Expr {
+        Expr::Attr(Scope::Target, name.into())
+    }
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Evaluate against (my, target). `target` may be `None` when an ad
+    /// is evaluated standalone.
+    pub fn eval(&self, my: &ClassAd, target: Option<&ClassAd>) -> CVal {
+        match self {
+            Expr::Lit(v) => v.clone(),
+            Expr::Attr(scope, name) => match scope {
+                Scope::My => my.get(name).cloned().unwrap_or(CVal::Undefined),
+                Scope::Target => target
+                    .and_then(|t| t.get(name))
+                    .cloned()
+                    .unwrap_or(CVal::Undefined),
+                Scope::Auto => my
+                    .get(name)
+                    .or_else(|| target.and_then(|t| t.get(name)))
+                    .cloned()
+                    .unwrap_or(CVal::Undefined),
+            },
+            Expr::Not(e) => match e.eval(my, target).as_bool() {
+                Some(b) => CVal::Bool(!b),
+                None => CVal::Undefined,
+            },
+            Expr::Bin(op, l, r) => {
+                let lv = l.eval(my, target);
+                // short-circuit boolean ops
+                match op {
+                    BinOp::And
+                        if lv.as_bool() == Some(false) => {
+                            return CVal::Bool(false);
+                        }
+                    BinOp::Or
+                        if lv.as_bool() == Some(true) => {
+                            return CVal::Bool(true);
+                        }
+                    _ => {}
+                }
+                let rv = r.eval(my, target);
+                eval_bin(*op, &lv, &rv)
+            }
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, l: &CVal, r: &CVal) -> CVal {
+    use BinOp::*;
+    match op {
+        And => match (l.as_bool(), r.as_bool()) {
+            (Some(a), Some(b)) => CVal::Bool(a && b),
+            _ => CVal::Undefined,
+        },
+        Or => match (l.as_bool(), r.as_bool()) {
+            (Some(a), Some(b)) => CVal::Bool(a || b),
+            _ => CVal::Undefined,
+        },
+        Eq | Ne => {
+            let equal = match (l, r) {
+                (CVal::Str(a), CVal::Str(b)) => Some(a == b),
+                (CVal::Bool(a), CVal::Bool(b)) => Some(a == b),
+                _ => match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => Some(a == b),
+                    _ => None,
+                },
+            };
+            match equal {
+                Some(e) => CVal::Bool(if op == Eq { e } else { !e }),
+                None => CVal::Undefined,
+            }
+        }
+        Lt | Le | Gt | Ge => {
+            let ord = match (l, r) {
+                (CVal::Str(a), CVal::Str(b)) => Some(a.cmp(b)),
+                _ => match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => a.partial_cmp(&b),
+                    _ => None,
+                },
+            };
+            match ord {
+                Some(o) => CVal::Bool(match op {
+                    Lt => o.is_lt(),
+                    Le => o.is_le(),
+                    Gt => o.is_gt(),
+                    Ge => o.is_ge(),
+                    _ => unreachable!(),
+                }),
+                None => CVal::Undefined,
+            }
+        }
+        Add | Sub | Mul | Div => match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => {
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => {
+                        if b == 0.0 {
+                            return CVal::Undefined;
+                        }
+                        a / b
+                    }
+                    _ => unreachable!(),
+                };
+                // preserve integerness where both sides were ints
+                if matches!((l, r), (CVal::Int(_), CVal::Int(_))) && v.fract() == 0.0 {
+                    CVal::Int(v as i64)
+                } else {
+                    CVal::Float(v)
+                }
+            }
+            _ => CVal::Undefined,
+        },
+    }
+}
+
+/// An attribute set. Attribute names are case-sensitive (unlike real
+/// Condor) — everything in this workspace generates them from code, so
+/// case-folding would only mask typos.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassAd {
+    attrs: BTreeMap<String, CVal>,
+}
+
+impl ClassAd {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<CVal>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<CVal>) {
+        self.attrs.insert(name.into(), value.into());
+    }
+
+    pub fn get(&self, name: &str) -> Option<&CVal> {
+        self.attrs.get(name)
+    }
+
+    pub fn remove(&mut self, name: &str) -> Option<CVal> {
+        self.attrs.remove(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CVal)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Evaluate an expression with this ad as `my`.
+    pub fn eval(&self, expr: &Expr, target: Option<&ClassAd>) -> CVal {
+        expr.eval(self, target)
+    }
+}
+
+impl fmt::Display for ClassAd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[")?;
+        for (k, v) in &self.attrs {
+            writeln!(f, "  {k} = {v};")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> ClassAd {
+        ClassAd::new()
+            .with("Memory", 8192i64)
+            .with("Disk", 250.0)
+            .with("Rack", "rack1")
+            .with("Standby", true)
+    }
+
+    #[test]
+    fn literal_and_attr_eval() {
+        let ad = machine();
+        assert_eq!(ad.eval(&Expr::lit(5i64), None), CVal::Int(5));
+        assert_eq!(ad.eval(&Expr::my("Memory"), None), CVal::Int(8192));
+        assert_eq!(ad.eval(&Expr::my("Missing"), None), CVal::Undefined);
+    }
+
+    #[test]
+    fn scoped_resolution() {
+        let my = ClassAd::new().with("x", 1i64);
+        let target = ClassAd::new().with("x", 2i64).with("y", 3i64);
+        assert_eq!(Expr::my("x").eval(&my, Some(&target)), CVal::Int(1));
+        assert_eq!(Expr::target("x").eval(&my, Some(&target)), CVal::Int(2));
+        // Auto: my first, then target
+        assert_eq!(Expr::attr("x").eval(&my, Some(&target)), CVal::Int(1));
+        assert_eq!(Expr::attr("y").eval(&my, Some(&target)), CVal::Int(3));
+        assert_eq!(Expr::target("x").eval(&my, None), CVal::Undefined);
+    }
+
+    #[test]
+    fn arithmetic_preserves_int() {
+        let ad = ClassAd::new();
+        let e = Expr::bin(BinOp::Add, Expr::lit(2i64), Expr::lit(3i64));
+        assert_eq!(ad.eval(&e, None), CVal::Int(5));
+        let e = Expr::bin(BinOp::Div, Expr::lit(7i64), Expr::lit(2i64));
+        assert_eq!(ad.eval(&e, None), CVal::Float(3.5));
+        let e = Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64));
+        assert_eq!(ad.eval(&e, None), CVal::Undefined);
+    }
+
+    #[test]
+    fn comparisons() {
+        let ad = machine();
+        let e = Expr::bin(BinOp::Ge, Expr::my("Memory"), Expr::lit(4096i64));
+        assert_eq!(ad.eval(&e, None), CVal::Bool(true));
+        let e = Expr::bin(BinOp::Eq, Expr::my("Rack"), Expr::lit("rack1"));
+        assert_eq!(ad.eval(&e, None), CVal::Bool(true));
+        let e = Expr::bin(BinOp::Lt, Expr::my("Rack"), Expr::lit("rack2"));
+        assert_eq!(ad.eval(&e, None), CVal::Bool(true), "strings order lexically");
+        // comparing across kinds is Undefined, not an error or false
+        let e = Expr::bin(BinOp::Eq, Expr::my("Rack"), Expr::lit(1i64));
+        assert_eq!(ad.eval(&e, None), CVal::Undefined);
+    }
+
+    #[test]
+    fn boolean_logic_and_undefined_propagation() {
+        let ad = machine();
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        let u = Expr::my("Missing");
+        assert_eq!(ad.eval(&Expr::bin(BinOp::And, t.clone(), f.clone()), None), CVal::Bool(false));
+        assert_eq!(ad.eval(&Expr::bin(BinOp::Or, f.clone(), t.clone()), None), CVal::Bool(true));
+        assert_eq!(ad.eval(&Expr::Not(Box::new(t.clone())), None), CVal::Bool(false));
+        // undefined && true → undefined; but false && undefined short-circuits
+        assert_eq!(ad.eval(&Expr::bin(BinOp::And, u.clone(), t.clone()), None), CVal::Undefined);
+        assert_eq!(ad.eval(&Expr::bin(BinOp::And, f, u.clone()), None), CVal::Bool(false));
+        assert_eq!(ad.eval(&Expr::bin(BinOp::Or, t, u.clone()), None), CVal::Bool(true));
+        assert_eq!(ad.eval(&Expr::Not(Box::new(u)), None), CVal::Undefined);
+    }
+
+    #[test]
+    fn ad_mutation() {
+        let mut ad = machine();
+        assert_eq!(ad.len(), 4);
+        ad.set("Memory", 16384i64);
+        assert_eq!(ad.get("Memory"), Some(&CVal::Int(16384)));
+        assert_eq!(ad.remove("Disk"), Some(CVal::Float(250.0)));
+        assert_eq!(ad.len(), 3);
+        assert!(!ad.is_empty());
+    }
+
+    #[test]
+    fn display_is_condor_shaped() {
+        let s = ClassAd::new().with("A", 1i64).with("B", "x").to_string();
+        assert!(s.contains("A = 1;"));
+        assert!(s.contains("B = \"x\";"));
+    }
+}

@@ -1,0 +1,48 @@
+//! `condor` — the task-execution substrate ERMS schedules through.
+//!
+//! The paper uses Condor for three things (Section III.A/B):
+//!
+//! 1. **ClassAds** represent "the characteristics and constraints of nodes
+//!    and replicas" and detect datanode commission/decommission — module
+//!    [`classad`] (attribute sets + a boolean/arithmetic expression
+//!    language with `my.`/`target.` scoping) and [`matchmaker`]
+//!    (symmetric requirements matching with rank ordering).
+//! 2. **Scheduling**: replica-increase and erasure-*decode* tasks run
+//!    immediately, replica-decrease and erasure-*encode* tasks run "when
+//!    the HDFS cluster is idle" — module [`scheduler`].
+//! 3. **The user log** records every replication/coding task so failed
+//!    tasks "could rollback automatically" and operators "can replay all
+//!    operations" — module [`journal`].
+//!
+//! The crate is generic over the task payload: ERMS supplies its own
+//! replication/erasure commands (`erms::manager`), tests use plain enums.
+//!
+//! ```
+//! use condor::{Outcome, Priority, Scheduler};
+//! use simcore::SimTime;
+//!
+//! let mut sched: Scheduler<&str> = Scheduler::new(4, 3);
+//! sched.submit(SimTime::ZERO, "increase /hot to r=8", Priority::Immediate);
+//! sched.submit(SimTime::ZERO, "encode /cold", Priority::WhenIdle);
+//!
+//! // a busy cluster only runs the immediate class
+//! let dispatched = sched.dispatch(SimTime::from_secs(1), false);
+//! assert_eq!(dispatched.len(), 1);
+//! let (job, payload) = (&dispatched[0].0, dispatched[0].1);
+//! assert_eq!(payload, "increase /hot to r=8");
+//! sched.report(SimTime::from_secs(2), *job, Outcome::Success);
+//!
+//! // everything is journalled for rollback and replay
+//! assert_eq!(sched.journal().len(), 4);
+//! ```
+
+pub mod classad;
+pub mod journal;
+pub mod matchmaker;
+pub mod parser;
+pub mod scheduler;
+
+pub use classad::{CVal, ClassAd, Expr};
+pub use journal::{Journal, JournalEntry, JournalEvent};
+pub use matchmaker::Matchmaker;
+pub use scheduler::{JobId, JobState, Outcome, Priority, Scheduler};

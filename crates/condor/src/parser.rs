@@ -1,0 +1,331 @@
+//! Text syntax for ClassAd expressions.
+//!
+//! Recursive-descent parser with the usual precedence ladder:
+//!
+//! ```text
+//! or    := and ( '||' and )*
+//! and   := cmp ( '&&' cmp )*
+//! cmp   := add ( ('=='|'!='|'<'|'<='|'>'|'>=') add )?
+//! add   := mul ( ('+'|'-') mul )*
+//! mul   := unary ( ('*'|'/') unary )*
+//! unary := '!' unary | primary
+//! primary := number | string | true | false | undefined
+//!          | ('my.'|'target.')? ident | '(' or ')'
+//! ```
+//!
+//! ERMS writes its node/replica requirements as strings, e.g.
+//! `target.Standby == true && target.FreeDisk > 64 && target.Rack == my.Rack`.
+
+use crate::classad::{BinOp, CVal, Expr, Scope};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExprParseError {
+    pub message: String,
+    pub position: usize,
+}
+
+impl fmt::Display for ExprParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "classad parse error at {}: {}", self.position, self.message)
+    }
+}
+impl std::error::Error for ExprParseError {}
+
+struct P<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, message: impl Into<String>) -> ExprParseError {
+        ExprParseError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(self.text[start..self.pos].to_string())
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr, ExprParseError> {
+        let mut lhs = self.and()?;
+        while self.eat("||") {
+            let rhs = self.and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, ExprParseError> {
+        let mut lhs = self.cmp()?;
+        while self.eat("&&") {
+            let rhs = self.cmp()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp(&mut self) -> Result<Expr, ExprParseError> {
+        let lhs = self.add()?;
+        // longest-match first
+        let ops: &[(&str, BinOp)] = &[
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ];
+        for (tok, op) in ops {
+            if self.eat(tok) {
+                let rhs = self.add()?;
+                return Ok(Expr::bin(*op, lhs, rhs));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add(&mut self) -> Result<Expr, ExprParseError> {
+        let mut lhs = self.mul()?;
+        loop {
+            if self.eat("+") {
+                let rhs = self.mul()?;
+                lhs = Expr::bin(BinOp::Add, lhs, rhs);
+            } else if self.peek() == Some(b'-') && !self.text[self.pos + 1..].starts_with(|c: char| c.is_ascii_digit()) {
+                self.pos += 1;
+                let rhs = self.mul()?;
+                lhs = Expr::bin(BinOp::Sub, lhs, rhs);
+            } else if self.peek() == Some(b'-') {
+                // could still be subtraction of a literal: `a - 3`
+                self.pos += 1;
+                let rhs = self.mul()?;
+                lhs = Expr::bin(BinOp::Sub, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr, ExprParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat("*") {
+                let rhs = self.unary()?;
+                lhs = Expr::bin(BinOp::Mul, lhs, rhs);
+            } else if self.eat("/") {
+                let rhs = self.unary()?;
+                lhs = Expr::bin(BinOp::Div, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ExprParseError> {
+        if self.peek() == Some(b'!') && !self.text[self.pos + 1..].starts_with('=') {
+            self.pos += 1;
+            let inner = self.unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ExprParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.or()?;
+                if !self.eat(")") {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.err("unterminated string"));
+                }
+                let s = self.text[start..self.pos].to_string();
+                self.pos += 1;
+                Ok(Expr::Lit(CVal::Str(s)))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                let start = self.pos;
+                if c == b'-' {
+                    self.pos += 1;
+                }
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.')
+                {
+                    self.pos += 1;
+                }
+                let text = &self.text[start..self.pos];
+                if text.contains('.') {
+                    let f: f64 = text.parse().map_err(|_| self.err("bad float"))?;
+                    Ok(Expr::Lit(CVal::Float(f)))
+                } else {
+                    let i: i64 = text.parse().map_err(|_| self.err("bad integer"))?;
+                    Ok(Expr::Lit(CVal::Int(i)))
+                }
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.ident().ok_or_else(|| self.err("expected identifier"))?;
+                match name.as_str() {
+                    "true" => return Ok(Expr::Lit(CVal::Bool(true))),
+                    "false" => return Ok(Expr::Lit(CVal::Bool(false))),
+                    "undefined" => return Ok(Expr::Lit(CVal::Undefined)),
+                    _ => {}
+                }
+                let scope = match name.as_str() {
+                    "my" | "MY" => Some(Scope::My),
+                    "target" | "TARGET" => Some(Scope::Target),
+                    _ => None,
+                };
+                if let Some(scope) = scope {
+                    if self.eat(".") {
+                        let attr = self
+                            .ident()
+                            .ok_or_else(|| self.err("expected attribute after scope"))?;
+                        return Ok(Expr::Attr(scope, attr));
+                    }
+                }
+                Ok(Expr::Attr(Scope::Auto, name))
+            }
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of expression")),
+        }
+    }
+}
+
+/// Parse a ClassAd expression string.
+pub fn parse_expr(src: &str) -> Result<Expr, ExprParseError> {
+    let mut p = P {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+    };
+    let e = p.or()?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classad::ClassAd;
+
+    fn eval(src: &str, my: &ClassAd, target: Option<&ClassAd>) -> CVal {
+        parse_expr(src).unwrap().eval(my, target)
+    }
+
+    #[test]
+    fn literals() {
+        let ad = ClassAd::new();
+        assert_eq!(eval("42", &ad, None), CVal::Int(42));
+        assert_eq!(eval("-7", &ad, None), CVal::Int(-7));
+        assert_eq!(eval("2.5", &ad, None), CVal::Float(2.5));
+        assert_eq!(eval("\"hello\"", &ad, None), CVal::Str("hello".into()));
+        assert_eq!(eval("true", &ad, None), CVal::Bool(true));
+        assert_eq!(eval("undefined", &ad, None), CVal::Undefined);
+    }
+
+    #[test]
+    fn precedence() {
+        let ad = ClassAd::new();
+        assert_eq!(eval("1 + 2 * 3", &ad, None), CVal::Int(7));
+        assert_eq!(eval("(1 + 2) * 3", &ad, None), CVal::Int(9));
+        assert_eq!(eval("10 - 4 - 3", &ad, None), CVal::Int(3), "left assoc");
+        assert_eq!(eval("1 + 1 == 2 && 3 > 2", &ad, None), CVal::Bool(true));
+        assert_eq!(eval("false || true && false", &ad, None), CVal::Bool(false));
+    }
+
+    #[test]
+    fn scoped_attributes() {
+        let my = ClassAd::new().with("Rack", "r1").with("Need", 3i64);
+        let target = ClassAd::new()
+            .with("Rack", "r1")
+            .with("FreeDisk", 120i64)
+            .with("Standby", true);
+        let req = "target.Standby == true && target.FreeDisk > my.Need * 10 && target.Rack == my.Rack";
+        assert_eq!(eval(req, &my, Some(&target)), CVal::Bool(true));
+        let other = ClassAd::new().with("Rack", "r2").with("FreeDisk", 120i64).with("Standby", true);
+        assert_eq!(eval(req, &my, Some(&other)), CVal::Bool(false));
+    }
+
+    #[test]
+    fn negation_and_not_equals() {
+        let ad = ClassAd::new().with("Busy", false);
+        assert_eq!(eval("!Busy", &ad, None), CVal::Bool(true));
+        assert_eq!(eval("1 != 2", &ad, None), CVal::Bool(true));
+        assert_eq!(eval("!(1 != 2)", &ad, None), CVal::Bool(false));
+    }
+
+    #[test]
+    fn undefined_attribute_fails_requirement() {
+        let ad = ClassAd::new();
+        let v = eval("Memory >= 1024", &ad, None);
+        assert_eq!(v, CVal::Undefined);
+        assert_ne!(v.as_bool(), Some(true), "must not match");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("(1 + 2").is_err());
+        assert!(parse_expr("\"open").is_err());
+        assert!(parse_expr("1 2").is_err());
+        assert!(parse_expr("my.").is_err());
+    }
+
+    #[test]
+    fn subtraction_of_literals() {
+        let ad = ClassAd::new().with("x", 10i64);
+        assert_eq!(eval("x - 3", &ad, None), CVal::Int(7));
+        assert_eq!(eval("x - 3 > 5", &ad, None), CVal::Bool(true));
+    }
+}

@@ -1,0 +1,434 @@
+//! Two-priority task scheduling.
+//!
+//! The paper: Condor "schedules the increasing replication tasks and
+//! erasure decoding tasks immediately, while run\[ning\] the decreasing
+//! replication tasks and erasure encoding tasks when the HDFS cluster is
+//! idle." The scheduler therefore keeps two FIFO queues:
+//!
+//! * [`Priority::Immediate`] — dispatched on every tick,
+//! * [`Priority::WhenIdle`] — dispatched only when the caller reports the
+//!   cluster idle.
+//!
+//! Execution is cooperative: [`Scheduler::dispatch`] hands out up to
+//! `max_concurrent` runnable payloads; the caller performs them against
+//! the HDFS simulator and calls [`Scheduler::report`]. Failures retry up
+//! to `max_attempts`, after which the job is journalled for rollback and
+//! surfaced via [`Scheduler::take_rollbacks`].
+
+use crate::journal::{Journal, JournalEvent};
+use simcore::SimTime;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+pub use crate::journal::JobId;
+
+/// Scheduling class of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Replica increases, erasure decodes: run now.
+    Immediate,
+    /// Replica decreases, erasure encodes: run when the cluster is idle.
+    WhenIdle,
+}
+
+/// Result the executor reports for a dispatched job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    Success,
+    Failure(String),
+}
+
+/// Live job state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Completed,
+    /// Permanently failed; rollback pending or done.
+    Failed,
+}
+
+#[derive(Debug, Clone)]
+struct Job<P> {
+    payload: P,
+    priority: Priority,
+    state: JobState,
+    attempts: u32,
+}
+
+/// The Condor-like scheduler.
+pub struct Scheduler<P> {
+    jobs: BTreeMap<JobId, Job<P>>,
+    immediate: VecDeque<JobId>,
+    idle: VecDeque<JobId>,
+    running: BTreeSet<JobId>,
+    journal: Journal<P>,
+    rollbacks: Vec<(JobId, P)>,
+    next_id: u64,
+    max_concurrent: usize,
+    max_attempts: u32,
+}
+
+impl<P: Clone> Scheduler<P> {
+    pub fn new(max_concurrent: usize, max_attempts: u32) -> Self {
+        assert!(max_concurrent >= 1 && max_attempts >= 1);
+        Scheduler {
+            jobs: BTreeMap::new(),
+            immediate: VecDeque::new(),
+            idle: VecDeque::new(),
+            running: BTreeSet::new(),
+            journal: Journal::new(),
+            rollbacks: Vec::new(),
+            next_id: 0,
+            max_concurrent,
+            max_attempts,
+        }
+    }
+
+    /// Enqueue a job.
+    pub fn submit(&mut self, now: SimTime, payload: P, priority: Priority) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.journal.record(
+            now,
+            id,
+            JournalEvent::Submitted {
+                payload: payload.clone(),
+                priority,
+            },
+        );
+        self.jobs.insert(
+            id,
+            Job {
+                payload,
+                priority,
+                state: JobState::Queued,
+                attempts: 0,
+            },
+        );
+        match priority {
+            Priority::Immediate => self.immediate.push_back(id),
+            Priority::WhenIdle => self.idle.push_back(id),
+        }
+        id
+    }
+
+    /// Hand out runnable jobs: immediate jobs always, idle-class jobs
+    /// only when `cluster_idle`. Respects the concurrency cap.
+    pub fn dispatch(&mut self, now: SimTime, cluster_idle: bool) -> Vec<(JobId, P)> {
+        let mut out = Vec::new();
+        while self.running.len() < self.max_concurrent {
+            let id = match self.immediate.pop_front() {
+                Some(id) => id,
+                None if cluster_idle => match self.idle.pop_front() {
+                    Some(id) => id,
+                    None => break,
+                },
+                None => break,
+            };
+            let job = self.jobs.get_mut(&id).expect("queued job exists");
+            debug_assert_eq!(job.state, JobState::Queued);
+            job.state = JobState::Running;
+            job.attempts += 1;
+            self.journal
+                .record(now, id, JournalEvent::Started { attempt: job.attempts });
+            self.running.insert(id);
+            out.push((id, job.payload.clone()));
+        }
+        out
+    }
+
+    /// Report the outcome of a dispatched job.
+    ///
+    /// # Panics
+    /// If `id` was not running (double-report or bogus id) — that is
+    /// always a driver bug.
+    pub fn report(&mut self, now: SimTime, id: JobId, outcome: Outcome) {
+        assert!(self.running.remove(&id), "{id} was not running");
+        let job = self.jobs.get_mut(&id).expect("running job exists");
+        match outcome {
+            Outcome::Success => {
+                job.state = JobState::Completed;
+                self.journal.record(now, id, JournalEvent::Completed);
+            }
+            Outcome::Failure(reason) => {
+                self.journal.record(
+                    now,
+                    id,
+                    JournalEvent::Failed {
+                        reason,
+                        attempt: job.attempts,
+                    },
+                );
+                if job.attempts < self.max_attempts {
+                    job.state = JobState::Queued;
+                    match job.priority {
+                        Priority::Immediate => self.immediate.push_back(id),
+                        Priority::WhenIdle => self.idle.push_back(id),
+                    }
+                } else {
+                    job.state = JobState::Failed;
+                    self.journal.record(now, id, JournalEvent::RollbackRequested);
+                    self.rollbacks.push((id, job.payload.clone()));
+                }
+            }
+        }
+    }
+
+    /// Drain permanently-failed jobs whose effects the caller must undo;
+    /// draining journals them as rolled back.
+    pub fn take_rollbacks(&mut self, now: SimTime) -> Vec<(JobId, P)> {
+        let out = std::mem::take(&mut self.rollbacks);
+        for (id, _) in &out {
+            self.journal.record(now, *id, JournalEvent::RolledBack);
+        }
+        out
+    }
+
+    pub fn state(&self, id: JobId) -> Option<JobState> {
+        self.jobs.get(&id).map(|j| j.state)
+    }
+
+    pub fn journal(&self) -> &Journal<P> {
+        &self.journal
+    }
+
+    /// (queued_immediate, queued_idle, running) sizes.
+    pub fn queue_depths(&self) -> (usize, usize, usize) {
+        (self.immediate.len(), self.idle.len(), self.running.len())
+    }
+
+    pub fn pending(&self) -> usize {
+        self.immediate.len() + self.idle.len() + self.running.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::ReplayState;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn immediate_runs_even_when_busy() {
+        let mut s: Scheduler<&str> = Scheduler::new(4, 2);
+        s.submit(t(0), "inc_replica", Priority::Immediate);
+        s.submit(t(0), "encode_cold", Priority::WhenIdle);
+        let d = s.dispatch(t(1), false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1, "inc_replica");
+        let (qi, ql, run) = s.queue_depths();
+        assert_eq!((qi, ql, run), (0, 1, 1));
+    }
+
+    #[test]
+    fn idle_work_waits_for_idleness() {
+        let mut s: Scheduler<&str> = Scheduler::new(4, 2);
+        s.submit(t(0), "decrease", Priority::WhenIdle);
+        assert!(s.dispatch(t(1), false).is_empty());
+        let d = s.dispatch(t(2), true);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn immediate_preempts_idle_in_dispatch_order() {
+        let mut s: Scheduler<&str> = Scheduler::new(1, 2);
+        s.submit(t(0), "idle1", Priority::WhenIdle);
+        s.submit(t(0), "imm1", Priority::Immediate);
+        let d = s.dispatch(t(1), true);
+        assert_eq!(d.len(), 1, "capacity 1");
+        assert_eq!(d[0].1, "imm1", "immediate first even if submitted later");
+    }
+
+    #[test]
+    fn concurrency_cap_respected() {
+        let mut s: Scheduler<u32> = Scheduler::new(2, 1);
+        for i in 0..5 {
+            s.submit(t(0), i, Priority::Immediate);
+        }
+        let d1 = s.dispatch(t(1), false);
+        assert_eq!(d1.len(), 2);
+        assert!(s.dispatch(t(1), false).is_empty(), "cap reached");
+        s.report(t(2), d1[0].0, Outcome::Success);
+        let d2 = s.dispatch(t(2), false);
+        assert_eq!(d2.len(), 1, "slot freed");
+    }
+
+    #[test]
+    fn retry_then_success() {
+        let mut s: Scheduler<&str> = Scheduler::new(1, 3);
+        let id = s.submit(t(0), "flaky", Priority::Immediate);
+        let d = s.dispatch(t(1), false);
+        s.report(t(2), d[0].0, Outcome::Failure("net".into()));
+        assert_eq!(s.state(id), Some(JobState::Queued), "requeued");
+        let d = s.dispatch(t(3), false);
+        s.report(t(4), d[0].0, Outcome::Success);
+        assert_eq!(s.state(id), Some(JobState::Completed));
+        assert!(s.take_rollbacks(t(5)).is_empty());
+    }
+
+    #[test]
+    fn permanent_failure_triggers_rollback() {
+        let mut s: Scheduler<&str> = Scheduler::new(1, 2);
+        let id = s.submit(t(0), "doomed", Priority::Immediate);
+        for attempt in 0..2 {
+            let d = s.dispatch(t(attempt), false);
+            assert_eq!(d.len(), 1, "attempt {attempt}");
+            s.report(t(attempt + 1), d[0].0, Outcome::Failure("disk".into()));
+        }
+        assert_eq!(s.state(id), Some(JobState::Failed));
+        let rb = s.take_rollbacks(t(10));
+        assert_eq!(rb, vec![(id, "doomed")]);
+        assert!(s.take_rollbacks(t(11)).is_empty(), "rollbacks drain once");
+        assert_eq!(s.journal().replay()[&id], ReplayState::RolledBack);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not running")]
+    fn double_report_panics() {
+        let mut s: Scheduler<&str> = Scheduler::new(1, 1);
+        s.submit(t(0), "x", Priority::Immediate);
+        let d = s.dispatch(t(0), false);
+        s.report(t(1), d[0].0, Outcome::Success);
+        s.report(t(2), d[0].0, Outcome::Success);
+    }
+
+    #[test]
+    fn journal_replay_matches_live_state() {
+        let mut s: Scheduler<u32> = Scheduler::new(3, 2);
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            let pri = if i % 2 == 0 { Priority::Immediate } else { Priority::WhenIdle };
+            ids.push(s.submit(t(0), i, pri));
+        }
+        let d = s.dispatch(t(1), true);
+        for (n, (id, _)) in d.iter().enumerate() {
+            let outcome = if n == 0 {
+                Outcome::Failure("x".into())
+            } else {
+                Outcome::Success
+            };
+            s.report(t(2), *id, outcome);
+        }
+        let replayed = s.journal().replay();
+        for id in &ids {
+            let live = s.state(*id).unwrap();
+            let rep = replayed.get(&crate::journal::JobId(id.0)).copied();
+            let expected = match live {
+                JobState::Queued => ReplayState::Queued,
+                JobState::Running => ReplayState::Running,
+                JobState::Completed => ReplayState::Completed,
+                JobState::Failed => ReplayState::FailedAwaitingRollback,
+            };
+            assert_eq!(rep, Some(expected), "{id}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use crate::journal::ReplayState;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Submit { idle_class: bool },
+            Dispatch { idle: bool },
+            ReportNext { ok: bool },
+            TakeRollbacks,
+        }
+
+        fn op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                any::<bool>().prop_map(|idle_class| Op::Submit { idle_class }),
+                any::<bool>().prop_map(|idle| Op::Dispatch { idle }),
+                any::<bool>().prop_map(|ok| Op::ReportNext { ok }),
+                Just(Op::TakeRollbacks),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn journal_replay_always_matches_live_state(
+                ops in prop::collection::vec(op(), 1..60),
+                cap in 1usize..4,
+                attempts in 1u32..4,
+            ) {
+                let mut s: Scheduler<u32> = Scheduler::new(cap, attempts);
+                let mut running: Vec<JobId> = Vec::new();
+                let mut clock = 0u64;
+                let mut submitted: Vec<JobId> = Vec::new();
+                for o in ops {
+                    clock += 1;
+                    let now = t(clock);
+                    match o {
+                        Op::Submit { idle_class } => {
+                            let pri = if idle_class {
+                                Priority::WhenIdle
+                            } else {
+                                Priority::Immediate
+                            };
+                            submitted.push(s.submit(now, clock as u32, pri));
+                        }
+                        Op::Dispatch { idle } => {
+                            for (id, _) in s.dispatch(now, idle) {
+                                running.push(id);
+                            }
+                        }
+                        Op::ReportNext { ok } => {
+                            if let Some(id) = running.pop() {
+                                let outcome = if ok {
+                                    Outcome::Success
+                                } else {
+                                    Outcome::Failure("x".into())
+                                };
+                                s.report(now, id, outcome);
+                            }
+                        }
+                        Op::TakeRollbacks => {
+                            s.take_rollbacks(now);
+                        }
+                    }
+                }
+                // invariant: replaying the journal reconstructs exactly
+                // the live state of every job ever submitted
+                let replayed = s.journal().replay();
+                for id in submitted {
+                    let live = s.state(id).expect("submitted job tracked");
+                    let rep = replayed
+                        .get(&crate::journal::JobId(id.0))
+                        .copied()
+                        .expect("journalled");
+                    let matches = match live {
+                        JobState::Queued => rep == ReplayState::Queued,
+                        JobState::Running => rep == ReplayState::Running,
+                        JobState::Completed => rep == ReplayState::Completed,
+                        JobState::Failed => {
+                            rep == ReplayState::FailedAwaitingRollback
+                                || rep == ReplayState::RolledBack
+                        }
+                    };
+                    prop_assert!(matches, "{id}: live {live:?} vs replay {rep:?}");
+                }
+                // invariant: queue depths never exceed what was submitted
+                let (qi, ql, run) = s.queue_depths();
+                prop_assert!(run <= cap);
+                prop_assert!(qi + ql + run <= s.journal().replay().len());
+            }
+        }
+    }
+
+    #[test]
+    fn pending_counts() {
+        let mut s: Scheduler<u32> = Scheduler::new(2, 1);
+        s.submit(t(0), 1, Priority::Immediate);
+        s.submit(t(0), 2, Priority::WhenIdle);
+        assert_eq!(s.pending(), 2);
+        let d = s.dispatch(t(1), false);
+        assert_eq!(s.pending(), 2, "running still pending");
+        s.report(t(2), d[0].0, Outcome::Success);
+        assert_eq!(s.pending(), 1);
+    }
+}

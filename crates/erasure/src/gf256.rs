@@ -1,0 +1,222 @@
+//! Arithmetic in GF(2^8).
+//!
+//! The field is constructed over the AES polynomial
+//! `x^8 + x^4 + x^3 + x + 1` (0x11B) with generator 3. Multiplication and
+//! division go through 256-entry log/exp tables built once at startup;
+//! the tables make shard-sized multiply-accumulate loops a table lookup
+//! plus an add, which is what keeps software Reed–Solomon fast.
+
+use std::sync::OnceLock;
+
+/// Reduction polynomial (without the x^8 term) — AES's 0x1B.
+const POLY: u16 = 0x11B;
+/// A generator of the multiplicative group.
+const GENERATOR: u8 = 3;
+
+struct Tables {
+    /// exp[i] = g^i for i in 0..255, extended to 510 entries so
+    /// `exp[log a + log b]` needs no modular reduction.
+    exp: [u8; 512],
+    /// log[a] for a in 1..=255; log[0] is unused (set to 0).
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u16;
+            // multiply x by the generator in GF(2^8)
+            let mut next = 0u16;
+            let mut a = x;
+            let mut b = GENERATOR as u16;
+            while b != 0 {
+                if b & 1 != 0 {
+                    next ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= POLY;
+                }
+                b >>= 1;
+            }
+            x = next;
+        }
+        debug_assert_eq!(x, 1, "generator must have order 255");
+        for i in 255..512usize {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (= subtraction = XOR).
+#[inline(always)]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication.
+#[inline(always)]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse. Panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Field division `a / b`. Panics when `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Exponentiation `a^n`.
+pub fn pow(a: u8, mut n: u32) -> u8 {
+    if a == 0 {
+        return if n == 0 { 1 } else { 0 };
+    }
+    n %= 255;
+    let t = tables();
+    t.exp[(t.log[a as usize] as u32 * n % 255) as usize]
+}
+
+/// `dst[i] ^= c * src[i]` — the inner loop of every encode/decode.
+///
+/// Specialises `c == 1` to plain XOR: that case dominates systematic
+/// encodes and parity checks.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    match c {
+        0 => {}
+        1 => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d ^= s;
+            }
+        }
+        _ => {
+            let t = tables();
+            let logc = t.log[c as usize] as usize;
+            for (d, &s) in dst.iter_mut().zip(src) {
+                if s != 0 {
+                    *d ^= t.exp[logc + t.log[s as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
+/// `dst[i] = c * src[i]`.
+pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    dst.fill(0);
+    mul_acc_slice(dst, src, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_is_xor() {
+        assert_eq!(add(0x53, 0xCA), 0x99);
+        assert_eq!(add(7, 7), 0);
+    }
+
+    #[test]
+    fn known_products() {
+        // 0x53 * 0xCA = 0x01 in the AES field — classic test vector.
+        assert_eq!(mul(0x53, 0xCA), 0x01);
+        assert_eq!(mul(2, 3), 6);
+        assert_eq!(mul(0, 0xFF), 0);
+        assert_eq!(mul(1, 0xAB), 0xAB);
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn zero_has_no_inverse() {
+        inv(0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [1u8, 2, 3, 0x1D, 0xFF] {
+            let mut acc = 1u8;
+            for n in 0..20u32 {
+                assert_eq!(pow(a, n), acc, "a={a} n={n}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(!seen[x as usize], "generator order < 255");
+            seen[x as usize] = true;
+            x = mul(x, GENERATOR);
+        }
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn slice_kernels() {
+        let src = [1u8, 2, 3, 250];
+        let mut dst = [0u8; 4];
+        mul_slice(&mut dst, &src, 2);
+        for i in 0..4 {
+            assert_eq!(dst[i], mul(src[i], 2));
+        }
+        mul_acc_slice(&mut dst, &src, 1);
+        for i in 0..4 {
+            assert_eq!(dst[i], mul(src[i], 2) ^ src[i]);
+        }
+        // c = 0 leaves dst untouched
+        let before = dst;
+        mul_acc_slice(&mut dst, &src, 0);
+        assert_eq!(dst, before);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutative_associative(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(a, b), mul(b, a));
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+
+        #[test]
+        fn distributive(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+
+        #[test]
+        fn div_inverts_mul(a: u8, b in 1u8..=255) {
+            prop_assert_eq!(div(mul(a, b), b), a);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Dense matrices over GF(2^8).
+//!
+//! Reed–Solomon needs three matrix operations: building a generator,
+//! selecting rows for surviving shards, and inverting the selection to
+//! recover data. Matrices here are tiny (`(k+m) × k`, k+m ≤ 256), so a
+//! straightforward row-major `Vec<u8>` with Gauss–Jordan inversion is
+//! both simple and fast.
+
+use crate::gf256;
+use std::fmt;
+
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    pub fn from_rows(rows: Vec<Vec<u8>>) -> Self {
+        assert!(!rows.is_empty());
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let data = rows.into_iter().flatten().collect();
+        Matrix {
+            rows: 0,
+            cols,
+            data,
+        }
+        .with_fixed_rows()
+    }
+
+    fn with_fixed_rows(mut self) -> Self {
+        self.rows = self.data.len() / self.cols;
+        self
+    }
+
+    /// Vandermonde matrix `V[i][j] = (i+1)^j` over GF(256) — used as the
+    /// raw material for the systematic RS generator. Using `i+1` (not
+    /// `i`) keeps every evaluation point non-zero so the matrix has no
+    /// zero rows.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 255, "GF(256) Vandermonde supports at most 255 rows");
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = gf256::pow((i + 1) as u8, j as u32);
+            }
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn row(&self, i: usize) -> &[u8] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+    pub fn row_mut(&mut self, i: usize) -> &mut [u8] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// A new matrix consisting of the given rows of `self`, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut m = Matrix::zero(indices.len(), self.cols);
+        for (out, &i) in indices.iter().enumerate() {
+            let src = self.row(i).to_vec();
+            m.row_mut(out).copy_from_slice(&src);
+        }
+        m
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = gf256::mul(a, rhs[(k, j)]);
+                    out[(i, j)] = gf256::add(out[(i, j)], prod);
+                }
+            }
+        }
+        out
+    }
+
+    /// Gauss–Jordan inversion. Returns `None` for singular matrices.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // find a pivot
+            let pivot = (col..n).find(|&r| a[(r, col)] != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // normalise pivot row
+            let p = a[(col, col)];
+            let pinv = gf256::inv(p);
+            scale_row(a.row_mut(col), pinv);
+            scale_row(inv.row_mut(col), pinv);
+            // eliminate the column everywhere else
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a[(r, col)];
+                if factor == 0 {
+                    continue;
+                }
+                let (arow, apiv) = two_rows(&mut a, r, col);
+                gf256::mul_acc_slice(arow, apiv, factor);
+                let (irow, ipiv) = two_rows(&mut inv, r, col);
+                gf256::mul_acc_slice(irow, ipiv, factor);
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let cols = self.cols;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
+    }
+}
+
+fn scale_row(row: &mut [u8], c: u8) {
+    for x in row.iter_mut() {
+        *x = gf256::mul(*x, c);
+    }
+}
+
+/// Borrow two distinct rows, one mutably and one shared.
+fn two_rows(m: &mut Matrix, target: usize, source: usize) -> (&mut [u8], &[u8]) {
+    assert_ne!(target, source);
+    let cols = m.cols;
+    if target < source {
+        let (head, tail) = m.data.split_at_mut(source * cols);
+        (
+            &mut head[target * cols..(target + 1) * cols],
+            &tail[..cols],
+        )
+    } else {
+        let (head, tail) = m.data.split_at_mut(target * cols);
+        (
+            &mut tail[..cols],
+            &head[source * cols..(source + 1) * cols],
+        )
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = u8;
+    fn index(&self, (r, c): (usize, usize)) -> &u8 {
+        &self.data[r * self.cols + c]
+    }
+}
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut u8 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:02X?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_times_anything() {
+        let m = Matrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let i3 = Matrix::identity(3);
+        assert_eq!(m.mul(&i3), m);
+        let i2 = Matrix::identity(2);
+        assert_eq!(i2.mul(&m), m);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = Matrix::from_rows(vec![vec![56, 23, 98], vec![3, 100, 200], vec![45, 201, 123]]);
+        let inv = m.inverse().expect("invertible");
+        assert_eq!(m.mul(&inv), Matrix::identity(3));
+        assert_eq!(inv.mul(&m), Matrix::identity(3));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        // two identical rows
+        let m = Matrix::from_rows(vec![vec![1, 2], vec![1, 2]]);
+        assert!(m.inverse().is_none());
+        let z = Matrix::zero(2, 2);
+        assert!(z.inverse().is_none());
+    }
+
+    #[test]
+    fn vandermonde_square_is_invertible() {
+        for n in 1..=12 {
+            let v = Matrix::vandermonde(n, n);
+            assert!(v.inverse().is_some(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let m = Matrix::from_rows(vec![vec![1], vec![2], vec![3], vec![4]]);
+        let s = m.select_rows(&[3, 0]);
+        assert_eq!(s.row(0), &[4]);
+        assert_eq!(s.row(1), &[1]);
+    }
+
+    #[test]
+    fn swap_rows_works_both_directions() {
+        let mut m = Matrix::from_rows(vec![vec![1, 1], vec![2, 2], vec![3, 3]]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[3, 3]);
+        assert_eq!(m.row(2), &[1, 1]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[2, 2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_vandermonde_submatrices_invert(
+            seed in 0u64..10_000,
+        ) {
+            // Select any k rows of an extended Vandermonde-derived systematic
+            // generator; the classic Vandermonde property guarantees
+            // invertibility for the plain Vandermonde itself.
+            let k = 4usize;
+            let v = Matrix::vandermonde(8, k);
+            // pick 4 distinct rows deterministically from seed
+            let mut idx: Vec<usize> = (0..8).collect();
+            let mut s = seed;
+            for i in (1..idx.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (s >> 33) as usize % (i + 1);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            let sub = v.select_rows(&idx);
+            prop_assert!(sub.inverse().is_some(), "rows {idx:?} must invert");
+        }
+    }
+}

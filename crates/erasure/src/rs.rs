@@ -1,0 +1,531 @@
+//! Systematic Reed–Solomon coding, `RS(k, m)`.
+//!
+//! A stripe holds `k` data shards and `m` parity shards; **any** `k` of
+//! the `k + m` shards reconstruct the stripe, i.e. the code tolerates any
+//! `m` erasures. The generator is an extended Vandermonde matrix
+//! normalised so its top `k × k` block is the identity (systematic form:
+//! data shards are stored verbatim, which is what lets ERMS keep one
+//! plain HDFS replica readable without decoding).
+//!
+//! The paper's cold-data configuration — "a replication factor of one and
+//! four coding parities" — is the HDFS-RAID layout: each block of a
+//! stripe keeps a single replica and the stripe gains four parity blocks,
+//! i.e. `RS(k, 4)` with the HDFS-RAID default stripe width `k = 10`
+//! (overhead 1.4× instead of triplication's 3×). Available here as
+//! [`ReedSolomon::paper_cold_code`].
+
+use crate::gf256;
+use crate::matrix::Matrix;
+use crate::recovery::DecodeError;
+use rayon::prelude::*;
+
+/// Shards below this size are encoded serially; Rayon's fork/join
+/// overhead dominates under it.
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// Errors constructing a code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// `k` must be ≥ 1.
+    NoDataShards,
+    /// `m` must be ≥ 1.
+    NoParityShards,
+    /// GF(256) Vandermonde construction supports at most 255 total shards.
+    TooManyShards { total: usize },
+}
+
+impl std::fmt::Display for CodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodeError::NoDataShards => write!(f, "k must be at least 1"),
+            CodeError::NoParityShards => write!(f, "m must be at least 1"),
+            CodeError::TooManyShards { total } => {
+                write!(f, "k+m = {total} exceeds the GF(256) limit of 255")
+            }
+        }
+    }
+}
+impl std::error::Error for CodeError {}
+
+/// A systematic Reed–Solomon coder.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// `(k+m) × k` generator; top block is I_k, bottom `m` rows make parity.
+    gen: Matrix,
+}
+
+impl ReedSolomon {
+    pub fn new(k: usize, m: usize) -> Result<Self, CodeError> {
+        if k == 0 {
+            return Err(CodeError::NoDataShards);
+        }
+        if m == 0 {
+            return Err(CodeError::NoParityShards);
+        }
+        if k + m > 255 {
+            return Err(CodeError::TooManyShards { total: k + m });
+        }
+        // Normalise a Vandermonde so the top k×k block becomes identity.
+        // Row-selection invertibility survives the column transform, so
+        // any k rows of `gen` still invert.
+        let v = Matrix::vandermonde(k + m, k);
+        let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top.inverse().expect("square Vandermonde is invertible");
+        let gen = v.mul(&top_inv);
+        debug_assert_eq!(
+            gen.select_rows(&(0..k).collect::<Vec<_>>()),
+            Matrix::identity(k),
+            "generator must be systematic"
+        );
+        Ok(ReedSolomon { k, m, gen })
+    }
+
+    /// The configuration the paper evaluates for cold data: blocks kept
+    /// at replication one, four parities per stripe of ten (HDFS-RAID's
+    /// default stripe width).
+    pub fn paper_cold_code() -> Self {
+        ReedSolomon::new(10, 4).expect("RS(10,4) is always valid")
+    }
+
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+    pub fn parity_shards(&self) -> usize {
+        self.m
+    }
+    pub fn total_shards(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Storage overhead factor of the code: total bytes stored per byte
+    /// of data (e.g. RS(1,4) → 5.0, RS(10,4) → 1.4, 3× replication → 3.0).
+    pub fn overhead_factor(&self) -> f64 {
+        (self.k + self.m) as f64 / self.k as f64
+    }
+
+    /// Compute the `m` parity shards for `k` equal-length data shards.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, DecodeError> {
+        self.check_data(data)?;
+        let len = data[0].len();
+        let rows: Vec<usize> = (self.k..self.k + self.m).collect();
+        let encode_row = |&r: &usize| -> Vec<u8> {
+            let mut parity = vec![0u8; len];
+            for (j, shard) in data.iter().enumerate() {
+                gf256::mul_acc_slice(&mut parity, shard, self.gen[(r, j)]);
+            }
+            parity
+        };
+        let parities = if len >= PARALLEL_THRESHOLD && self.m > 1 {
+            rows.par_iter().map(encode_row).collect()
+        } else {
+            rows.iter().map(encode_row).collect()
+        };
+        Ok(parities)
+    }
+
+    /// Verify that `shards` (all `k+m`, in order) are a consistent stripe.
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, DecodeError> {
+        if shards.len() != self.total_shards() {
+            return Err(DecodeError::WrongShardCount {
+                expected: self.total_shards(),
+                actual: shards.len(),
+            });
+        }
+        let expected = self.encode(&shards[..self.k])?;
+        Ok(expected
+            .iter()
+            .zip(&shards[self.k..])
+            .all(|(e, s)| e == s))
+    }
+
+    /// Reconstruct every missing shard in place. `shards` has `k+m`
+    /// slots; `None` marks an erasure. Fails when fewer than `k` shards
+    /// survive.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), DecodeError> {
+        if shards.len() != self.total_shards() {
+            return Err(DecodeError::WrongShardCount {
+                expected: self.total_shards(),
+                actual: shards.len(),
+            });
+        }
+        let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.k {
+            return Err(DecodeError::TooFewShards {
+                needed: self.k,
+                available: present.len(),
+            });
+        }
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let len = shards[present[0]]
+            .as_ref()
+            .expect("present shard")
+            .len();
+        for &i in &present {
+            let l = shards[i].as_ref().expect("present shard").len();
+            if l != len {
+                return Err(DecodeError::ShardLengthMismatch);
+            }
+        }
+
+        // Decode matrix: rows of the generator for the first k surviving
+        // shards, inverted, gives data = D * survivors.
+        let use_rows: Vec<usize> = present.iter().copied().take(self.k).collect();
+        let sub = self.gen.select_rows(&use_rows);
+        let dec = sub.inverse().ok_or(DecodeError::SingularDecodeMatrix)?;
+
+        // Recover missing *data* shards first.
+        let survivors: Vec<&Vec<u8>> = use_rows
+            .iter()
+            .map(|&i| shards[i].as_ref().expect("survivor"))
+            .collect();
+        let mut recovered_data: Vec<(usize, Vec<u8>)> = Vec::new();
+        for &mi in missing.iter().filter(|&&i| i < self.k) {
+            let mut out = vec![0u8; len];
+            for (c, surv) in survivors.iter().enumerate() {
+                gf256::mul_acc_slice(&mut out, surv, dec[(mi, c)]);
+            }
+            recovered_data.push((mi, out));
+        }
+        for (i, shard) in recovered_data {
+            shards[i] = Some(shard);
+        }
+
+        // With all data shards live, re-encode any missing parity rows.
+        let data: Vec<Vec<u8>> = (0..self.k)
+            .map(|i| shards[i].as_ref().expect("data shard present").clone())
+            .collect();
+        for &mi in missing.iter().filter(|&&i| i >= self.k) {
+            let mut parity = vec![0u8; len];
+            for (j, shard) in data.iter().enumerate() {
+                gf256::mul_acc_slice(&mut parity, shard, self.gen[(mi, j)]);
+            }
+            shards[mi] = Some(parity);
+        }
+        Ok(())
+    }
+
+    /// Incrementally update the parity shards after data shard
+    /// `shard_index` changed from `old` to `new`, without touching the
+    /// other `k-1` data shards.
+    ///
+    /// Linear-code identity: `parity_j += g[j][i]·(old ⊕ new)`. This is
+    /// what lets a cold-tier update rewrite one block plus `m` parities
+    /// instead of re-reading the whole stripe.
+    pub fn update_parity(
+        &self,
+        parities: &mut [Vec<u8>],
+        shard_index: usize,
+        old: &[u8],
+        new: &[u8],
+    ) -> Result<(), DecodeError> {
+        if parities.len() != self.m {
+            return Err(DecodeError::WrongShardCount {
+                expected: self.m,
+                actual: parities.len(),
+            });
+        }
+        if shard_index >= self.k {
+            return Err(DecodeError::WrongShardCount {
+                expected: self.k,
+                actual: shard_index,
+            });
+        }
+        let len = old.len();
+        if new.len() != len || parities.iter().any(|p| p.len() != len) {
+            return Err(DecodeError::ShardLengthMismatch);
+        }
+        let delta: Vec<u8> = old.iter().zip(new).map(|(&a, &b)| a ^ b).collect();
+        for (j, parity) in parities.iter_mut().enumerate() {
+            let coeff = self.gen[(self.k + j, shard_index)];
+            gf256::mul_acc_slice(parity, &delta, coeff);
+        }
+        Ok(())
+    }
+
+    /// Split a byte payload into `k` zero-padded equal shards.
+    pub fn split(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = payload.len().div_ceil(self.k).max(1);
+        (0..self.k)
+            .map(|i| {
+                let start = (i * shard_len).min(payload.len());
+                let end = ((i + 1) * shard_len).min(payload.len());
+                let mut shard = payload[start..end].to_vec();
+                shard.resize(shard_len, 0);
+                shard
+            })
+            .collect()
+    }
+
+    /// Reassemble the payload from data shards, trimming padding to
+    /// `payload_len`.
+    pub fn join(&self, data: &[Vec<u8>], payload_len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload_len);
+        for shard in data {
+            out.extend_from_slice(shard);
+        }
+        out.truncate(payload_len);
+        out
+    }
+
+    fn check_data(&self, data: &[Vec<u8>]) -> Result<(), DecodeError> {
+        if data.len() != self.k {
+            return Err(DecodeError::WrongShardCount {
+                expected: self.k,
+                actual: data.len(),
+            });
+        }
+        let len = data[0].len();
+        if data.iter().any(|s| s.len() != len) {
+            return Err(DecodeError::ShardLengthMismatch);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_data(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| {
+                        let x = seed
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add((i * len + j) as u64);
+                        (x >> 32) as u8
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_validates_params() {
+        assert_eq!(ReedSolomon::new(0, 4).unwrap_err(), CodeError::NoDataShards);
+        assert_eq!(ReedSolomon::new(4, 0).unwrap_err(), CodeError::NoParityShards);
+        assert!(matches!(
+            ReedSolomon::new(200, 100),
+            Err(CodeError::TooManyShards { total: 300 })
+        ));
+        assert!(ReedSolomon::new(10, 4).is_ok());
+    }
+
+    #[test]
+    fn paper_cold_code_shape() {
+        let rs = ReedSolomon::paper_cold_code();
+        assert_eq!(rs.data_shards(), 10);
+        assert_eq!(rs.parity_shards(), 4);
+        assert!((rs.overhead_factor() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_verify_round_trip() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 512, 1);
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity.len(), 2);
+        let mut all = data.clone();
+        all.extend(parity);
+        assert!(rs.verify(&all).unwrap());
+        // corrupt one byte → verification fails
+        all[5][100] ^= 0xFF;
+        assert!(!rs.verify(&all).unwrap());
+    }
+
+    #[test]
+    fn reconstruct_all_single_erasures() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = sample_data(5, 256, 2);
+        let parity = rs.encode(&data).unwrap();
+        let mut full: Vec<Vec<u8>> = data.clone();
+        full.extend(parity);
+        for victim in 0..8 {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[victim] = None;
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &full[i], "victim {victim} shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_max_erasures() {
+        let rs = ReedSolomon::new(4, 3).unwrap();
+        let data = sample_data(4, 128, 3);
+        let parity = rs.encode(&data).unwrap();
+        let mut full = data.clone();
+        full.extend(parity);
+        // lose 3 shards: two data + one parity
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[2] = None;
+        shards[5] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.as_ref().unwrap(), &full[i]);
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_fails() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 64, 4);
+        let parity = rs.encode(&data).unwrap();
+        let mut full = data;
+        full.extend(parity);
+        let mut shards: Vec<Option<Vec<u8>>> = full.into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[3] = None;
+        assert!(matches!(
+            rs.reconstruct(&mut shards),
+            Err(DecodeError::TooFewShards {
+                needed: 3,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let data = vec![vec![1, 2, 3], vec![4, 5]];
+        assert!(matches!(
+            rs.encode(&data),
+            Err(DecodeError::ShardLengthMismatch)
+        ));
+    }
+
+    #[test]
+    fn split_join_round_trip() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        for len in [0usize, 1, 3, 4, 17, 1024, 1000] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 7 % 251) as u8).collect();
+            let shards = rs.split(&payload);
+            assert_eq!(shards.len(), 4);
+            let l0 = shards[0].len();
+            assert!(shards.iter().all(|s| s.len() == l0));
+            let back = rs.join(&shards, payload.len());
+            assert_eq!(back, payload, "len {len}");
+        }
+    }
+
+    #[test]
+    fn rs_1_4_protects_a_block() {
+        // Degenerate single-block stripe: one data replica, four parities;
+        // losing the data copy plus up to 3 parities still recovers.
+        let rs = ReedSolomon::new(1, 4).unwrap();
+        let block = sample_data(1, 4096, 5);
+        let parity = rs.encode(&block).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = std::iter::once(block[0].clone())
+            .chain(parity)
+            .map(Some)
+            .collect();
+        shards[0] = None; // lose the only data replica
+        shards[1] = None;
+        shards[3] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[0].as_ref().unwrap(), &block[0]);
+    }
+
+    #[test]
+    fn incremental_parity_update_matches_reencode() {
+        let rs = ReedSolomon::new(6, 3).unwrap();
+        let mut data = sample_data(6, 512, 9);
+        let mut parity = rs.encode(&data).unwrap();
+        // mutate shard 2
+        let old = data[2].clone();
+        let new: Vec<u8> = old.iter().map(|&b| b.wrapping_add(13)).collect();
+        rs.update_parity(&mut parity, 2, &old, &new).unwrap();
+        data[2] = new;
+        let fresh = rs.encode(&data).unwrap();
+        assert_eq!(parity, fresh, "incremental update must equal re-encode");
+    }
+
+    #[test]
+    fn incremental_update_validates_inputs() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 16, 1);
+        let mut parity = rs.encode(&data).unwrap();
+        assert!(matches!(
+            rs.update_parity(&mut parity[..1].to_vec(), 0, &data[0], &data[0]),
+            Err(DecodeError::WrongShardCount { .. })
+        ));
+        assert!(matches!(
+            rs.update_parity(&mut parity, 9, &data[0], &data[0]),
+            Err(DecodeError::WrongShardCount { .. })
+        ));
+        let short = vec![0u8; 8];
+        assert!(matches!(
+            rs.update_parity(&mut parity, 0, &data[0], &short),
+            Err(DecodeError::ShardLengthMismatch)
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn incremental_updates_compose(
+            seed in 0u64..10_000,
+            k in 2usize..7,
+            m in 1usize..4,
+            len in 1usize..128,
+        ) {
+            // several successive single-shard updates stay consistent
+            let rs = ReedSolomon::new(k, m).unwrap();
+            let mut data = sample_data(k, len, seed);
+            let mut parity = rs.encode(&data).unwrap();
+            let mut s = seed;
+            for step in 0..4u64 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(step);
+                let idx = (s >> 33) as usize % k;
+                let old = data[idx].clone();
+                let new: Vec<u8> = old.iter().map(|&b| b ^ (s as u8 | 1)).collect();
+                rs.update_parity(&mut parity, idx, &old, &new).unwrap();
+                data[idx] = new;
+            }
+            let fresh = rs.encode(&data).unwrap();
+            prop_assert_eq!(parity, fresh);
+        }
+
+        #[test]
+        fn any_k_of_n_reconstructs(
+            seed in 0u64..1_000_000,
+            k in 1usize..8,
+            m in 1usize..5,
+            len in 1usize..300,
+        ) {
+            let rs = ReedSolomon::new(k, m).unwrap();
+            let data = sample_data(k, len, seed);
+            let parity = rs.encode(&data).unwrap();
+            let mut full = data.clone();
+            full.extend(parity);
+
+            // knock out m shards chosen pseudo-randomly
+            let mut idx: Vec<usize> = (0..k + m).collect();
+            let mut s = seed;
+            for i in (1..idx.len()).rev() {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let j = (s >> 33) as usize % (i + 1);
+                idx.swap(i, j);
+            }
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            for &victim in idx.iter().take(m) {
+                shards[victim] = None;
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, sh) in shards.iter().enumerate() {
+                prop_assert_eq!(sh.as_ref().unwrap(), &full[i]);
+            }
+        }
+    }
+}

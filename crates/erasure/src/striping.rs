@@ -1,0 +1,204 @@
+//! Mapping HDFS block groups onto code stripes.
+//!
+//! When ERMS demotes a cold file, its blocks stop being triplicated:
+//! they are grouped into stripes of `k` blocks, `m` parity blocks are
+//! generated per stripe, and every block's replication factor drops to
+//! one. This module computes that layout and the storage deltas that the
+//! Figure 5 harness plots. It is deliberately byte-free — the simulator
+//! accounts sizes, while [`crate::rs`] does real byte-level coding in
+//! tests and benches.
+
+use serde::{Deserialize, Serialize};
+
+/// Static shape of a stripe code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLayout {
+    /// Data blocks per stripe.
+    pub k: usize,
+    /// Parity blocks per stripe.
+    pub m: usize,
+}
+
+impl StripeLayout {
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(k >= 1 && m >= 1);
+        StripeLayout { k, m }
+    }
+
+    /// The paper's cold-data layout (HDFS-RAID defaults).
+    pub fn paper_default() -> Self {
+        StripeLayout::new(10, 4)
+    }
+
+    /// Storage multiplier relative to raw data size.
+    pub fn overhead_factor(self) -> f64 {
+        (self.k + self.m) as f64 / self.k as f64
+    }
+
+    /// Erasures tolerated per stripe.
+    pub fn fault_tolerance(self) -> usize {
+        self.m
+    }
+}
+
+/// One stripe of a file: which block indices it covers and how many
+/// parity blocks it adds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stripe {
+    /// Index of this stripe within the file.
+    pub index: usize,
+    /// File-relative block indices covered (the final stripe may be short).
+    pub blocks: Vec<usize>,
+    /// Parity blocks generated for this stripe.
+    pub parity_count: usize,
+}
+
+/// The complete striping of a file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripePlan {
+    pub layout: StripeLayout,
+    pub stripes: Vec<Stripe>,
+    pub block_size: u64,
+}
+
+impl StripePlan {
+    /// Plan the striping of a file with `num_blocks` blocks.
+    ///
+    /// Short final stripes keep the full `m` parities (as HDFS-RAID
+    /// does), so small files pay proportionally more overhead — the
+    /// effect is visible in the Figure 5 tail and must not be hidden.
+    pub fn for_file(num_blocks: usize, block_size: u64, layout: StripeLayout) -> Self {
+        let mut stripes = Vec::with_capacity(num_blocks.div_ceil(layout.k));
+        let mut start = 0usize;
+        let mut index = 0usize;
+        while start < num_blocks {
+            let end = (start + layout.k).min(num_blocks);
+            stripes.push(Stripe {
+                index,
+                blocks: (start..end).collect(),
+                parity_count: layout.m,
+            });
+            start = end;
+            index += 1;
+        }
+        StripePlan {
+            layout,
+            stripes,
+            block_size,
+        }
+    }
+
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    pub fn total_parity_blocks(&self) -> usize {
+        self.stripes.iter().map(|s| s.parity_count).sum()
+    }
+
+    /// Bytes stored once the file is encoded: one replica per data block
+    /// plus all parity blocks.
+    pub fn encoded_bytes(&self, num_blocks: usize) -> u64 {
+        (num_blocks as u64 + self.total_parity_blocks() as u64) * self.block_size
+    }
+
+    /// Bytes stored under plain `r`-way replication.
+    pub fn replicated_bytes(&self, num_blocks: usize, r: usize) -> u64 {
+        num_blocks as u64 * r as u64 * self.block_size
+    }
+
+    /// Storage saved by encoding relative to `r`-way replication
+    /// (positive = encoding is smaller).
+    pub fn savings_vs_replication(&self, num_blocks: usize, r: usize) -> i64 {
+        self.replicated_bytes(num_blocks, r) as i64 - self.encoded_bytes(num_blocks) as i64
+    }
+
+    /// The stripe covering file-relative block index `b`, if any.
+    pub fn stripe_of_block(&self, b: usize) -> Option<&Stripe> {
+        let idx = b / self.layout.k;
+        self.stripes.get(idx).filter(|s| s.blocks.contains(&b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_multiple_of_k() {
+        let plan = StripePlan::for_file(20, 64, StripeLayout::new(10, 4));
+        assert_eq!(plan.num_stripes(), 2);
+        assert_eq!(plan.total_parity_blocks(), 8);
+        assert_eq!(plan.stripes[0].blocks, (0..10).collect::<Vec<_>>());
+        assert_eq!(plan.stripes[1].blocks, (10..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn short_final_stripe() {
+        let plan = StripePlan::for_file(13, 64, StripeLayout::new(10, 4));
+        assert_eq!(plan.num_stripes(), 2);
+        assert_eq!(plan.stripes[1].blocks.len(), 3);
+        assert_eq!(plan.stripes[1].parity_count, 4);
+    }
+
+    #[test]
+    fn empty_file_has_no_stripes() {
+        let plan = StripePlan::for_file(0, 64, StripeLayout::paper_default());
+        assert_eq!(plan.num_stripes(), 0);
+        assert_eq!(plan.encoded_bytes(0), 0);
+    }
+
+    #[test]
+    fn paper_layout_saves_storage_vs_triplication() {
+        let layout = StripeLayout::paper_default();
+        let plan = StripePlan::for_file(100, 64 << 20, layout);
+        let encoded = plan.encoded_bytes(100);
+        let replicated = plan.replicated_bytes(100, 3);
+        assert!(encoded < replicated);
+        // 100 blocks → 10 stripes → 40 parities → 140 blocks vs 300.
+        assert_eq!(encoded, 140 * (64 << 20));
+        assert_eq!(plan.savings_vs_replication(100, 3), (300 - 140) * (64 << 20));
+        assert!((layout.overhead_factor() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_files_pay_more_overhead() {
+        // one block → 1 stripe → 4 parities → 5x, worse than 3x; the
+        // model must expose this, ERMS policy decides per-file.
+        let plan = StripePlan::for_file(1, 64, StripeLayout::paper_default());
+        assert!(plan.encoded_bytes(1) > plan.replicated_bytes(1, 3));
+        assert!(plan.savings_vs_replication(1, 3) < 0);
+    }
+
+    #[test]
+    fn stripe_of_block_lookup() {
+        let plan = StripePlan::for_file(25, 64, StripeLayout::new(10, 4));
+        assert_eq!(plan.stripe_of_block(0).unwrap().index, 0);
+        assert_eq!(plan.stripe_of_block(9).unwrap().index, 0);
+        assert_eq!(plan.stripe_of_block(10).unwrap().index, 1);
+        assert_eq!(plan.stripe_of_block(24).unwrap().index, 2);
+        assert!(plan.stripe_of_block(25).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn every_block_in_exactly_one_stripe(
+            blocks in 1usize..500,
+            k in 1usize..20,
+            m in 1usize..6,
+        ) {
+            let plan = StripePlan::for_file(blocks, 64, StripeLayout::new(k, m));
+            let mut seen = vec![0u32; blocks];
+            for s in &plan.stripes {
+                prop_assert!(s.blocks.len() <= k);
+                for &b in &s.blocks {
+                    seen[b] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1));
+            // stripe count is ceil(blocks/k)
+            prop_assert_eq!(plan.num_stripes(), blocks.div_ceil(k));
+        }
+    }
+}

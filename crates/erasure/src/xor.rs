@@ -1,0 +1,229 @@
+//! XOR (RAID-5-style) single-parity coding and minimal-read recovery.
+//!
+//! DiskReduce (the paper's reference \[9\]) applied "RAID-class" redundancy
+//! to HDFS; the simplest instance is one XOR parity per stripe, tolerating
+//! a single erasure. ERMS uses Reed–Solomon in production, but the XOR
+//! code serves as (a) the ablation baseline for the storage/reliability
+//! trade-off and (b) the host for Khan-style recovery planning
+//! (reference \[10\]): for XOR-based codes the set of symbols read during
+//! recovery can be minimised; with a single parity the optimal plan is
+//! forced, but the planner interface mirrors the general algorithm —
+//! enumerate decoding equations, pick the one touching the fewest unread
+//! symbols.
+
+use crate::recovery::{DecodeError, ErasurePattern, RecoveryPlan};
+
+/// A `k + 1` single-parity XOR code.
+#[derive(Clone, Debug)]
+pub struct XorCode {
+    k: usize,
+}
+
+impl XorCode {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one data shard");
+        XorCode { k }
+    }
+
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+    pub fn total_shards(&self) -> usize {
+        self.k + 1
+    }
+    pub fn overhead_factor(&self) -> f64 {
+        (self.k + 1) as f64 / self.k as f64
+    }
+
+    /// Compute the parity shard.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<u8>, DecodeError> {
+        if data.len() != self.k {
+            return Err(DecodeError::WrongShardCount {
+                expected: self.k,
+                actual: data.len(),
+            });
+        }
+        let len = data[0].len();
+        if data.iter().any(|s| s.len() != len) {
+            return Err(DecodeError::ShardLengthMismatch);
+        }
+        let mut parity = vec![0u8; len];
+        for shard in data {
+            for (p, &b) in parity.iter_mut().zip(shard) {
+                *p ^= b;
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Rebuild the single missing shard (data or parity) in place.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), DecodeError> {
+        if shards.len() != self.total_shards() {
+            return Err(DecodeError::WrongShardCount {
+                expected: self.total_shards(),
+                actual: shards.len(),
+            });
+        }
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        match missing.len() {
+            0 => Ok(()),
+            1 => {
+                let target = missing[0];
+                let len = shards
+                    .iter()
+                    .flatten()
+                    .map(|s| s.len())
+                    .next()
+                    .expect("at least one survivor");
+                if shards.iter().flatten().any(|s| s.len() != len) {
+                    return Err(DecodeError::ShardLengthMismatch);
+                }
+                let mut out = vec![0u8; len];
+                for s in shards.iter().flatten() {
+                    for (o, &b) in out.iter_mut().zip(s) {
+                        *o ^= b;
+                    }
+                }
+                shards[target] = Some(out);
+                Ok(())
+            }
+            n => Err(DecodeError::TooFewShards {
+                needed: self.k,
+                available: self.total_shards() - n,
+            }),
+        }
+    }
+
+    /// Khan-style minimal-read recovery plan for one erased shard.
+    ///
+    /// Every decoding equation of a single-parity code is the full XOR of
+    /// the other `k` shards, so the minimum read set is exactly the
+    /// survivors — the planner's value is the shared shape with RS plans
+    /// plus the *degraded-read* optimisation below.
+    pub fn recovery_plan(
+        &self,
+        pattern: &ErasurePattern,
+        target: usize,
+    ) -> Option<RecoveryPlan> {
+        if pattern.total() != self.total_shards()
+            || !pattern.is_erased(target)
+            || pattern.erased_count() > 1
+        {
+            return None;
+        }
+        Some(RecoveryPlan {
+            target,
+            read_from: pattern.surviving_indices(),
+        })
+    }
+
+    /// Plan a *degraded read* of data shard `want`: if it survives, read
+    /// just it (1 shard of I/O); if erased, fall back to full recovery.
+    /// Returns the shard indices to read.
+    pub fn degraded_read_plan(
+        &self,
+        pattern: &ErasurePattern,
+        want: usize,
+    ) -> Option<Vec<usize>> {
+        assert!(want < self.k, "degraded reads target data shards");
+        if !pattern.is_erased(want) {
+            return Some(vec![want]);
+        }
+        self.recovery_plan(pattern, want).map(|p| p.read_from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 31 + j * 7) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parity_is_xor_of_data() {
+        let code = XorCode::new(3);
+        let d = data(3, 16);
+        let p = code.encode(&d).unwrap();
+        for j in 0..16 {
+            assert_eq!(p[j], d[0][j] ^ d[1][j] ^ d[2][j]);
+        }
+    }
+
+    #[test]
+    fn single_erasure_recovers_anywhere() {
+        let code = XorCode::new(4);
+        let d = data(4, 64);
+        let p = code.encode(&d).unwrap();
+        let mut full: Vec<Vec<u8>> = d.clone();
+        full.push(p);
+        for victim in 0..5 {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[victim] = None;
+            code.reconstruct(&mut shards).unwrap();
+            assert_eq!(shards[victim].as_ref().unwrap(), &full[victim]);
+        }
+    }
+
+    #[test]
+    fn double_erasure_fails() {
+        let code = XorCode::new(3);
+        let d = data(3, 8);
+        let p = code.encode(&d).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            d.into_iter().chain(std::iter::once(p)).map(Some).collect();
+        shards[0] = None;
+        shards[2] = None;
+        assert!(matches!(
+            code.reconstruct(&mut shards),
+            Err(DecodeError::TooFewShards { .. })
+        ));
+    }
+
+    #[test]
+    fn overhead_vs_replication() {
+        // RAID-5 over 8 shards costs 1.125x; triplication costs 3x.
+        assert!((XorCode::new(8).overhead_factor() - 1.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_plan_reads_all_survivors() {
+        let code = XorCode::new(4);
+        let p = ErasurePattern::from_indices(5, &[2]);
+        let plan = code.recovery_plan(&p, 2).unwrap();
+        assert_eq!(plan.read_from, vec![0, 1, 3, 4]);
+        assert!(code.recovery_plan(&p, 1).is_none());
+    }
+
+    #[test]
+    fn degraded_read_prefers_direct() {
+        let code = XorCode::new(4);
+        let healthy = ErasurePattern::none(5);
+        assert_eq!(code.degraded_read_plan(&healthy, 1), Some(vec![1]));
+        let degraded = ErasurePattern::from_indices(5, &[1]);
+        let reads = code.degraded_read_plan(&degraded, 1).unwrap();
+        assert_eq!(reads.len(), 4, "must touch every survivor");
+        let dead = ErasurePattern::from_indices(5, &[1, 3]);
+        assert_eq!(code.degraded_read_plan(&dead, 1), None);
+    }
+
+    proptest! {
+        #[test]
+        fn xor_round_trip(k in 1usize..8, len in 1usize..128, victim_seed: u64) {
+            let code = XorCode::new(k);
+            let d = data(k, len);
+            let p = code.encode(&d).unwrap();
+            let mut full = d;
+            full.push(p);
+            let victim = (victim_seed % (k as u64 + 1)) as usize;
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[victim] = None;
+            code.reconstruct(&mut shards).unwrap();
+            prop_assert_eq!(shards[victim].as_ref().unwrap(), &full[victim]);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! ERMS configuration.
+
+use crate::replication::IncreaseStrategy;
+use crate::thresholds::Thresholds;
+use erasure::StripeLayout;
+use hdfs_sim::NodeId;
+
+/// Everything the manager needs to know at construction.
+#[derive(Debug, Clone)]
+pub struct ErmsConfig {
+    pub thresholds: Thresholds,
+    /// Nodes designated standby (empty = all-active baseline model).
+    pub standby: Vec<NodeId>,
+    /// Erasure layout applied to cold files.
+    pub cold_stripe: StripeLayout,
+    /// Ceiling on any file's replication factor.
+    pub max_replication: usize,
+    /// How replica increases approach the optimum (Fig. 7; the paper
+    /// concludes Direct and ERMS uses it).
+    pub strategy: IncreaseStrategy,
+    /// Master switch for cold-data encoding.
+    pub enable_encode: bool,
+    /// Power drained standby nodes off for energy saving.
+    pub enable_standby_shutdown: bool,
+    /// Condor concurrency / retry knobs.
+    pub max_concurrent_tasks: usize,
+    pub max_task_attempts: u32,
+    /// Consecutive Cooled verdicts required before a boosted file is
+    /// demoted (hysteresis: prevents boost/shed thrash when a hot file's
+    /// demand briefly dips between job waves, which would re-copy every
+    /// extra replica).
+    pub cooled_patience: u32,
+    /// Experimental (paper future work): pre-warm files whose creation
+    /// is immediately followed by reads (the CEP `create → open`
+    /// correlation pattern) with one extra replica before Formula (1)
+    /// trips.
+    pub enable_freshness_boost: bool,
+}
+
+impl ErmsConfig {
+    /// The paper's deployment shape on an 18-node cluster: 10 active,
+    /// 8 standby, RS(10,4) cold code, τ_M = 8.
+    pub fn paper_default() -> Self {
+        ErmsConfig {
+            thresholds: Thresholds::default(),
+            standby: (10..18).map(NodeId).collect(),
+            cold_stripe: StripeLayout::paper_default(),
+            max_replication: 18,
+            strategy: IncreaseStrategy::Direct,
+            enable_encode: true,
+            enable_standby_shutdown: true,
+            max_concurrent_tasks: 8,
+            max_task_attempts: 10,
+            cooled_patience: 3,
+            enable_freshness_boost: false,
+        }
+    }
+
+    /// ERMS logic over an all-active cluster (ablation baseline).
+    pub fn all_active() -> Self {
+        ErmsConfig {
+            standby: Vec::new(),
+            ..Self::paper_default()
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        self.thresholds.validate()?;
+        if self.max_replication == 0 {
+            return Err("max_replication must be positive".into());
+        }
+        if self.max_concurrent_tasks == 0 || self.max_task_attempts == 0 {
+            return Err("condor knobs must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let c = ErmsConfig::paper_default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.standby.len(), 8);
+        assert_eq!(c.cold_stripe, StripeLayout::new(10, 4));
+        assert_eq!(c.strategy, IncreaseStrategy::Direct);
+    }
+
+    #[test]
+    fn all_active_has_no_standby() {
+        let c = ErmsConfig::all_active();
+        assert!(c.standby.is_empty());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zeroes() {
+        let mut c = ErmsConfig::paper_default();
+        c.max_replication = 0;
+        assert!(c.validate().is_err());
+        let mut c = ErmsConfig::paper_default();
+        c.max_concurrent_tasks = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! The HDFS balancer's cost model.
+//!
+//! ERMS's placement argument (Section III.B) is that parking extra
+//! replicas on standby nodes means removing them later "does not need to
+//! rebalance ... because the data statuses of running nodes are not
+//! changing. It is desirable to avoid rebalancing because it takes
+//! considerable time and bandwidth." This module implements the balancer
+//! the paper is avoiding: it measures utilisation imbalance and plans the
+//! block moves needed to bring every serving node within a threshold of
+//! the mean — the ablation bench uses it to price placement policies in
+//! rebalance bytes.
+
+use crate::block::BlockId;
+use crate::cluster::ClusterSim;
+use crate::topology::NodeId;
+use simcore::units::Bytes;
+
+/// A planned balancer move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Move {
+    pub block: BlockId,
+    pub from: NodeId,
+    pub to: NodeId,
+    pub bytes: Bytes,
+}
+
+/// Utilisation snapshot of the serving nodes.
+#[derive(Debug, Clone)]
+pub struct UtilizationReport {
+    /// (node, used bytes, utilisation fraction) for each serving node.
+    pub nodes: Vec<(NodeId, Bytes, f64)>,
+    pub mean_utilization: f64,
+    pub max_deviation: f64,
+}
+
+impl UtilizationReport {
+    /// Standard deviation of utilisation across serving nodes.
+    pub fn std_dev(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let var: f64 = self
+            .nodes
+            .iter()
+            .map(|&(_, _, u)| (u - self.mean_utilization).powi(2))
+            .sum::<f64>()
+            / self.nodes.len() as f64;
+        var.sqrt()
+    }
+
+    /// Whether every node sits within `threshold` of the mean.
+    pub fn is_balanced(&self, threshold: f64) -> bool {
+        self.max_deviation <= threshold
+    }
+}
+
+/// Measure utilisation across serving nodes.
+pub fn utilization(cluster: &ClusterSim) -> UtilizationReport {
+    let cap = cluster.config().disk_capacity.max(1);
+    let nodes: Vec<(NodeId, Bytes, f64)> = cluster
+        .topology()
+        .nodes()
+        .filter(|&n| {
+            matches!(
+                cluster.node_state(n),
+                crate::datanode::NodeState::Active
+            )
+        })
+        .map(|n| {
+            let used = cluster.node_used(n);
+            (n, used, used as f64 / cap as f64)
+        })
+        .collect();
+    let mean = if nodes.is_empty() {
+        0.0
+    } else {
+        nodes.iter().map(|&(_, _, u)| u).sum::<f64>() / nodes.len() as f64
+    };
+    let max_dev = nodes
+        .iter()
+        .map(|&(_, _, u)| (u - mean).abs())
+        .fold(0.0f64, f64::max);
+    UtilizationReport {
+        nodes,
+        mean_utilization: mean,
+        max_deviation: max_dev,
+    }
+}
+
+/// Plan the moves that bring every serving node within `threshold` of the
+/// mean utilisation (greedy: repeatedly move a block from the most-over
+/// node to the most-under node, like the real balancer's iterations).
+/// Returns the plan; nothing is executed.
+pub fn plan_moves(cluster: &ClusterSim, threshold: f64) -> Vec<Move> {
+    let cap = cluster.config().disk_capacity.max(1) as f64;
+    let report = utilization(cluster);
+    if report.nodes.len() < 2 {
+        return Vec::new();
+    }
+    let mean = report.mean_utilization;
+    // working copy of used-bytes per node
+    let mut used: std::collections::BTreeMap<NodeId, i64> = report
+        .nodes
+        .iter()
+        .map(|&(n, u, _)| (n, u as i64))
+        .collect();
+    // blocks currently on each node (only move blocks the target lacks)
+    let mut holdings: std::collections::BTreeMap<NodeId, Vec<BlockId>> = report
+        .nodes
+        .iter()
+        .map(|&(n, _, _)| {
+            let blocks: Vec<BlockId> = cluster
+                .blockmap_blocks_on(n)
+                .into_iter()
+                .collect();
+            (n, blocks)
+        })
+        .collect();
+
+    let mut moves = Vec::new();
+    // bounded iterations: each move shrinks the imbalance
+    for _ in 0..10_000 {
+        let (&over, _) = match used.iter().max_by_key(|(_, &u)| u) {
+            Some(x) => x,
+            None => break,
+        };
+        let (&under, _) = match used.iter().min_by_key(|(_, &u)| u) {
+            Some(x) => x,
+            None => break,
+        };
+        let over_dev = used[&over] as f64 / cap - mean;
+        let under_dev = mean - used[&under] as f64 / cap;
+        if over_dev <= threshold && under_dev <= threshold {
+            break;
+        }
+        // pick a block on `over` that `under` lacks
+        let candidates = holdings.get(&over).cloned().unwrap_or_default();
+        let pick = candidates.iter().copied().find(|&b| {
+            !cluster.blockmap().holds(b, under)
+                && !moves
+                    .iter()
+                    .any(|m: &Move| m.block == b)
+        });
+        let Some(block) = pick else {
+            break; // nothing movable
+        };
+        let bytes = cluster
+            .namespace()
+            .block(block)
+            .map(|i| i.len)
+            .unwrap_or(0);
+        if bytes == 0 {
+            break;
+        }
+        *used.get_mut(&over).expect("node present") -= bytes as i64;
+        *used.get_mut(&under).expect("node present") += bytes as i64;
+        holdings
+            .get_mut(&over)
+            .expect("node present")
+            .retain(|&b| b != block);
+        moves.push(Move {
+            block,
+            from: over,
+            to: under,
+            bytes,
+        });
+    }
+    moves
+}
+
+/// Total bytes a plan would move — the "considerable time and bandwidth"
+/// the paper's placement avoids.
+pub fn plan_bytes(moves: &[Move]) -> Bytes {
+    moves.iter().map(|m| m.bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::placement::DefaultRackAware;
+    use simcore::units::MB;
+
+    fn skewed_cluster() -> ClusterSim {
+        // place everything with replication 1 on a 4-node cluster, then
+        // manually concentrate replicas to create imbalance
+        let mut cfg = ClusterConfig::tiny();
+        cfg.datanodes = 4;
+        cfg.racks = 2;
+        let mut c = ClusterSim::new(cfg, Box::new(DefaultRackAware));
+        for i in 0..8 {
+            c.create_file(&format!("/f{i}"), 64 * MB, 1, Some(NodeId(0)))
+                .expect("fits");
+        }
+        c
+    }
+
+    #[test]
+    fn utilization_detects_skew() {
+        let c = skewed_cluster();
+        let r = utilization(&c);
+        assert_eq!(r.nodes.len(), 4);
+        assert!(r.max_deviation > 0.0, "writer-local placement skews node 0");
+        assert!(r.std_dev() > 0.0);
+        assert!(!r.is_balanced(1e-6));
+    }
+
+    #[test]
+    fn plan_reduces_imbalance() {
+        let c = skewed_cluster();
+        let before = utilization(&c);
+        let moves = plan_moves(&c, 0.001);
+        assert!(!moves.is_empty(), "skewed cluster needs moves");
+        // simulate the plan's accounting
+        let cap = c.config().disk_capacity as f64;
+        let mut used: std::collections::BTreeMap<NodeId, i64> = before
+            .nodes
+            .iter()
+            .map(|&(n, u, _)| (n, u as i64))
+            .collect();
+        for m in &moves {
+            *used.get_mut(&m.from).unwrap() -= m.bytes as i64;
+            *used.get_mut(&m.to).unwrap() += m.bytes as i64;
+        }
+        let mean = used.values().map(|&u| u as f64 / cap).sum::<f64>() / used.len() as f64;
+        let max_dev = used
+            .values()
+            .map(|&u| (u as f64 / cap - mean).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_dev < before.max_deviation,
+            "plan must shrink imbalance: {max_dev} vs {}",
+            before.max_deviation
+        );
+        assert!(plan_bytes(&moves) > 0);
+    }
+
+    #[test]
+    fn balanced_cluster_needs_no_moves() {
+        let mut cfg = ClusterConfig::tiny();
+        cfg.datanodes = 4;
+        cfg.racks = 2;
+        let mut c = ClusterSim::new(cfg, Box::new(DefaultRackAware));
+        // r=4 on 4 nodes: perfectly even
+        for i in 0..4 {
+            c.create_file(&format!("/f{i}"), 64 * MB, 4, None).expect("fits");
+        }
+        let r = utilization(&c);
+        assert!(r.is_balanced(0.01));
+        assert!(plan_moves(&c, 0.01).is_empty());
+    }
+
+    #[test]
+    fn moves_never_duplicate_replicas() {
+        let c = skewed_cluster();
+        let moves = plan_moves(&c, 0.001);
+        for m in &moves {
+            assert!(!c.blockmap().holds(m.block, m.to));
+            assert!(c.blockmap().holds(m.block, m.from));
+        }
+    }
+}

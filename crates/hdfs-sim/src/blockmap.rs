@@ -1,0 +1,187 @@
+//! The block → replica-locations map.
+//!
+//! The namenode side of replication: which datanodes hold each block,
+//! plus derived under-/over-replication queries that drive both HDFS's
+//! own re-replication after failures and ERMS's elastic actions.
+
+use crate::block::BlockId;
+use crate::topology::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Default)]
+pub struct BlockMap {
+    locations: BTreeMap<BlockId, BTreeSet<NodeId>>,
+}
+
+impl BlockMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a replica. Returns false if it was already recorded.
+    pub fn add(&mut self, block: BlockId, node: NodeId) -> bool {
+        self.locations.entry(block).or_default().insert(node)
+    }
+
+    /// Remove a replica record. Returns false if it was not present.
+    pub fn remove(&mut self, block: BlockId, node: NodeId) -> bool {
+        match self.locations.get_mut(&block) {
+            Some(set) => {
+                let removed = set.remove(&node);
+                if set.is_empty() {
+                    self.locations.remove(&block);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
+    /// Forget a block entirely (file deleted).
+    pub fn drop_block(&mut self, block: BlockId) {
+        self.locations.remove(&block);
+    }
+
+    /// Nodes currently holding `block`, in id order.
+    pub fn locations(&self, block: BlockId) -> Vec<NodeId> {
+        self.locations
+            .get(&block)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    pub fn replica_count(&self, block: BlockId) -> usize {
+        self.locations.get(&block).map_or(0, BTreeSet::len)
+    }
+
+    pub fn holds(&self, block: BlockId, node: NodeId) -> bool {
+        self.locations.get(&block).is_some_and(|s| s.contains(&node))
+    }
+
+    /// Every (block, deficit) with fewer than `want(block)` replicas.
+    pub fn under_replicated(
+        &self,
+        mut want: impl FnMut(BlockId) -> usize,
+    ) -> Vec<(BlockId, usize)> {
+        self.locations
+            .iter()
+            .filter_map(|(&b, locs)| {
+                let target = want(b);
+                (locs.len() < target).then(|| (b, target - locs.len()))
+            })
+            .collect()
+    }
+
+    /// Every (block, excess) with more than `want(block)` replicas.
+    pub fn over_replicated(
+        &self,
+        mut want: impl FnMut(BlockId) -> usize,
+    ) -> Vec<(BlockId, usize)> {
+        self.locations
+            .iter()
+            .filter_map(|(&b, locs)| {
+                let target = want(b);
+                (locs.len() > target).then(|| (b, locs.len() - target))
+            })
+            .collect()
+    }
+
+    /// Blocks that lost *all* replicas after removing `node` (data loss
+    /// unless parity can recover them).
+    pub fn remove_node(&mut self, node: NodeId) -> (Vec<BlockId>, Vec<BlockId>) {
+        let mut degraded = Vec::new();
+        let mut lost = Vec::new();
+        let affected: Vec<BlockId> = self
+            .locations
+            .iter()
+            .filter(|(_, locs)| locs.contains(&node))
+            .map(|(&b, _)| b)
+            .collect();
+        for b in affected {
+            self.remove(b, node);
+            if self.replica_count(b) == 0 {
+                lost.push(b);
+            } else {
+                degraded.push(b);
+            }
+        }
+        (degraded, lost)
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Total replica records (Σ per-block locations).
+    pub fn total_replicas(&self) -> usize {
+        self.locations.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_locations() {
+        let mut bm = BlockMap::new();
+        assert!(bm.add(BlockId(1), NodeId(0)));
+        assert!(!bm.add(BlockId(1), NodeId(0)), "duplicate");
+        bm.add(BlockId(1), NodeId(2));
+        assert_eq!(bm.locations(BlockId(1)), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(bm.replica_count(BlockId(1)), 2);
+        assert!(bm.holds(BlockId(1), NodeId(2)));
+        assert!(bm.remove(BlockId(1), NodeId(0)));
+        assert!(!bm.remove(BlockId(1), NodeId(0)));
+        assert_eq!(bm.replica_count(BlockId(1)), 1);
+    }
+
+    #[test]
+    fn under_and_over_replication() {
+        let mut bm = BlockMap::new();
+        for n in 0..2 {
+            bm.add(BlockId(1), NodeId(n));
+        }
+        for n in 0..5 {
+            bm.add(BlockId(2), NodeId(n));
+        }
+        let under = bm.under_replicated(|_| 3);
+        assert_eq!(under, vec![(BlockId(1), 1)]);
+        let over = bm.over_replicated(|_| 3);
+        assert_eq!(over, vec![(BlockId(2), 2)]);
+    }
+
+    #[test]
+    fn node_removal_classifies_loss() {
+        let mut bm = BlockMap::new();
+        bm.add(BlockId(1), NodeId(0));
+        bm.add(BlockId(1), NodeId(1));
+        bm.add(BlockId(2), NodeId(0)); // only replica
+        let (degraded, lost) = bm.remove_node(NodeId(0));
+        assert_eq!(degraded, vec![BlockId(1)]);
+        assert_eq!(lost, vec![BlockId(2)]);
+        assert_eq!(bm.replica_count(BlockId(1)), 1);
+        assert_eq!(bm.replica_count(BlockId(2)), 0);
+    }
+
+    #[test]
+    fn totals() {
+        let mut bm = BlockMap::new();
+        bm.add(BlockId(1), NodeId(0));
+        bm.add(BlockId(1), NodeId(1));
+        bm.add(BlockId(2), NodeId(0));
+        assert_eq!(bm.num_blocks(), 2);
+        assert_eq!(bm.total_replicas(), 3);
+        bm.drop_block(BlockId(1));
+        assert_eq!(bm.num_blocks(), 1);
+        assert_eq!(bm.total_replicas(), 1);
+    }
+
+    #[test]
+    fn empty_block_queries() {
+        let bm = BlockMap::new();
+        assert!(bm.locations(BlockId(9)).is_empty());
+        assert_eq!(bm.replica_count(BlockId(9)), 0);
+        assert!(!bm.holds(BlockId(9), NodeId(0)));
+    }
+}

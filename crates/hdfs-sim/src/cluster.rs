@@ -1,0 +1,1803 @@
+//! The cluster simulator facade.
+//!
+//! [`ClusterSim`] glues the pieces together into a driveable HDFS model:
+//! clients open files and read them block by block from the best replica
+//! (datanode sessions cap out and queue, flows share bandwidth
+//! max-min-fairly), replication changes move real simulated bytes, nodes
+//! boot, drain, and die. Every namespace operation and block transfer is
+//! written to the audit sink in HDFS's own log format — the feed ERMS's
+//! CEP pipeline consumes.
+//!
+//! The simulator is **driven**: callers submit work, then pump the event
+//! loop with [`ClusterSim::run_until`] / [`ClusterSim::run_until_quiescent`]
+//! and collect completions with [`ClusterSim::drain_completed_reads`].
+
+use crate::audit::AuditSink;
+use crate::block::{BlockId, FileId};
+use crate::blockmap::BlockMap;
+use crate::config::ClusterConfig;
+use crate::datanode::{DataNode, NodeState, SessionTicket};
+use crate::flow::{FlowId, FlowNet, ResourceId};
+use crate::namespace::{Namespace, StorageMode};
+use crate::placement::{NodeView, PlacementContext, PlacementPolicy};
+use crate::topology::{ClientId, Distance, Endpoint, NodeId, RackId, Topology};
+use simcore::units::{Bandwidth, Bytes};
+use simcore::{EventId, EventQueue, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Handle to an in-flight read request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReadId(pub u64);
+
+/// Handle to an in-flight replica copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CopyId(pub u64);
+
+/// Which replica distance served a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    NodeLocal,
+    RackLocal,
+    Remote,
+}
+
+/// Final accounting of one read request.
+#[derive(Debug, Clone)]
+pub struct ReadStats {
+    pub id: ReadId,
+    pub path: String,
+    pub reader: Endpoint,
+    pub bytes: Bytes,
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub node_local_blocks: u32,
+    pub rack_local_blocks: u32,
+    pub remote_blocks: u32,
+    pub failed: bool,
+}
+
+impl ReadStats {
+    pub fn duration(&self) -> f64 {
+        (self.finished - self.started).as_secs_f64()
+    }
+    /// Mean throughput in MB/s over the request's lifetime.
+    pub fn throughput_mb_s(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / (1 << 20) as f64 / d
+        }
+    }
+    pub fn total_blocks(&self) -> u32 {
+        self.node_local_blocks + self.rack_local_blocks + self.remote_blocks
+    }
+    /// Fraction of blocks served node-locally.
+    pub fn locality_fraction(&self) -> f64 {
+        let t = self.total_blocks();
+        if t == 0 {
+            0.0
+        } else {
+            self.node_local_blocks as f64 / t as f64
+        }
+    }
+}
+
+/// Final accounting of one replica copy.
+#[derive(Debug, Clone)]
+pub struct CopyStats {
+    pub id: CopyId,
+    pub block: BlockId,
+    pub source: NodeId,
+    pub target: NodeId,
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub succeeded: bool,
+}
+
+/// Handle to an in-flight pipelined write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteId(pub u64);
+
+/// Final accounting of one pipelined file write.
+#[derive(Debug, Clone)]
+pub struct WriteStats {
+    pub id: WriteId,
+    pub path: String,
+    pub bytes: Bytes,
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub failed: bool,
+}
+
+impl WriteStats {
+    pub fn duration(&self) -> f64 {
+        (self.finished - self.started).as_secs_f64()
+    }
+    pub fn throughput_mb_s(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / (1 << 20) as f64 / d
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    BeginRead(ReadId),
+    FlowDone(FlowId),
+    NodeBooted(NodeId),
+    /// A staged replica copy clears the replication-monitor delay.
+    StartCopy(CopyId),
+    /// Opaque caller timer (MapReduce compute phases, controller ticks).
+    Timer(u64),
+}
+
+#[derive(Debug)]
+struct ReadReq {
+    id: ReadId,
+    reader: Endpoint,
+    path: String,
+    pending_blocks: VecDeque<BlockId>,
+    bytes_done: Bytes,
+    started: SimTime,
+    node_local: u32,
+    rack_local: u32,
+    remote: u32,
+    failed: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Transfer {
+    ReadBlock {
+        read: ReadId,
+        block: BlockId,
+        node: NodeId,
+    },
+    WriteBlock {
+        write: WriteId,
+        block: BlockId,
+        targets: Vec<NodeId>,
+        len: Bytes,
+    },
+    Copy {
+        copy: CopyId,
+        block: BlockId,
+        source: NodeId,
+        target: NodeId,
+        len: Bytes,
+        started: SimTime,
+    },
+}
+
+/// A replica copy waiting out the replication-monitor scan delay or a
+/// free replication stream; the source is chosen at dispatch time so
+/// newly landed replicas can serve later copies.
+#[derive(Debug, Clone)]
+struct StagedCopy {
+    block: BlockId,
+    target: NodeId,
+    len: Bytes,
+    requested: SimTime,
+}
+
+#[derive(Debug)]
+struct WriteReq {
+    id: WriteId,
+    writer: Endpoint,
+    file: FileId,
+    path: String,
+    replication: usize,
+    pending_blocks: VecDeque<BlockId>,
+    bytes_done: Bytes,
+    started: SimTime,
+    failed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingSession {
+    read: ReadId,
+    block: BlockId,
+    node: NodeId,
+}
+
+/// The HDFS cluster simulator.
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    topology: Topology,
+    nodes: Vec<DataNode>,
+    namespace: Namespace,
+    blockmap: BlockMap,
+    net: FlowNet,
+    queue: EventQueue<Ev>,
+    audit: AuditSink,
+    policy: Box<dyn PlacementPolicy>,
+
+    node_disk: Vec<ResourceId>,
+    node_nic: Vec<ResourceId>,
+    rack_uplink: Vec<ResourceId>,
+    client_nic: BTreeMap<ClientId, ResourceId>,
+
+    reads: BTreeMap<ReadId, ReadReq>,
+    next_read: u64,
+    writes: BTreeMap<WriteId, WriteReq>,
+    next_write: u64,
+    completed_writes: Vec<WriteStats>,
+    transfers: BTreeMap<FlowId, Transfer>,
+    flow_events: BTreeMap<FlowId, EventId>,
+    tickets: BTreeMap<SessionTicket, PendingSession>,
+    next_ticket: u64,
+    next_copy: u64,
+
+    completed_reads: Vec<ReadStats>,
+    completed_copies: Vec<CopyStats>,
+    fired_timers: Vec<(SimTime, u64)>,
+    standby_pool: Vec<bool>,
+    /// In-flight replica-copy flows touching each node (sources and
+    /// targets), counted into placement/source load so parallel copies
+    /// spread across holders.
+    copy_load: Vec<u32>,
+    /// Copies waiting for the replication monitor.
+    staged_copies: BTreeMap<CopyId, StagedCopy>,
+    /// Copies past the monitor delay, waiting for a free stream.
+    ready_copies: VecDeque<(CopyId, StagedCopy)>,
+    /// Outbound replication streams per node (capped by config).
+    copy_streams: Vec<u32>,
+}
+
+impl ClusterSim {
+    /// Build a cluster with every node active and the given policy.
+    pub fn new(cfg: ClusterConfig, policy: Box<dyn PlacementPolicy>) -> Self {
+        cfg.validate().expect("invalid cluster config");
+        let topology = Topology::round_robin(cfg.datanodes, cfg.racks);
+        let mut net = FlowNet::new();
+        let mut nodes = Vec::with_capacity(cfg.datanodes as usize);
+        let mut node_disk = Vec::new();
+        let mut node_nic = Vec::new();
+        for i in 0..cfg.datanodes {
+            nodes.push(DataNode::new(
+                NodeId(i),
+                cfg.disk_capacity,
+                cfg.max_sessions_per_node,
+                NodeState::Active,
+            ));
+            node_disk.push(net.add_resource(cfg.disk_bandwidth));
+            node_nic.push(net.add_resource(cfg.nic_bandwidth));
+        }
+        let rack_uplink = (0..cfg.racks)
+            .map(|_| net.add_resource(cfg.rack_uplink))
+            .collect();
+        let datanodes = cfg.datanodes as usize;
+        let standby_pool = vec![false; datanodes];
+        let copy_load = vec![0; datanodes];
+        ClusterSim {
+            cfg,
+            topology,
+            nodes,
+            namespace: Namespace::new(),
+            blockmap: BlockMap::new(),
+            net,
+            queue: EventQueue::new(),
+            audit: AuditSink::new(),
+            policy,
+            node_disk,
+            node_nic,
+            rack_uplink,
+            client_nic: BTreeMap::new(),
+            reads: BTreeMap::new(),
+            next_read: 0,
+            writes: BTreeMap::new(),
+            next_write: 0,
+            completed_writes: Vec::new(),
+            transfers: BTreeMap::new(),
+            flow_events: BTreeMap::new(),
+            tickets: BTreeMap::new(),
+            next_ticket: 0,
+            next_copy: 0,
+            completed_reads: Vec::new(),
+            completed_copies: Vec::new(),
+            fired_timers: Vec::new(),
+            standby_pool,
+            copy_load,
+            staged_copies: BTreeMap::new(),
+            ready_copies: VecDeque::new(),
+            copy_streams: vec![0; datanodes],
+        }
+    }
+
+    /// Schedule an opaque timer; it surfaces in
+    /// [`ClusterSim::drain_fired_timers`] once the clock reaches `at`.
+    /// Lets callers (the MapReduce runner, the ERMS control loop) run
+    /// their own logic on the cluster clock.
+    pub fn schedule_timer(&mut self, at: SimTime, token: u64) {
+        let at = at.max(self.now());
+        self.queue.schedule(at, Ev::Timer(token));
+    }
+
+    /// Timers that fired since the last drain.
+    pub fn drain_fired_timers(&mut self) -> Vec<(SimTime, u64)> {
+        std::mem::take(&mut self.fired_timers)
+    }
+
+    // ------------------------------------------------------------------
+    // introspection
+
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+    pub fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+    pub fn blockmap(&self) -> &BlockMap {
+        &self.blockmap
+    }
+    pub fn audit_mut(&mut self) -> &mut AuditSink {
+        &mut self.audit
+    }
+    /// Take all audit-log lines emitted since the last drain.
+    pub fn drain_audit(&mut self) -> Vec<String> {
+        self.audit.drain()
+    }
+
+    pub fn node_state(&self, n: NodeId) -> NodeState {
+        self.nodes[n.0 as usize].state
+    }
+    pub fn node_load(&self, n: NodeId) -> usize {
+        self.nodes[n.0 as usize].load() + self.copy_load[n.0 as usize] as usize
+    }
+    pub fn node_used(&self, n: NodeId) -> Bytes {
+        self.nodes[n.0 as usize].used()
+    }
+    pub fn node_block_count(&self, n: NodeId) -> usize {
+        self.nodes[n.0 as usize].block_count()
+    }
+    pub fn node_holds(&self, n: NodeId, b: BlockId) -> bool {
+        self.nodes[n.0 as usize].holds(b)
+    }
+    /// Blocks stored on a node, in id order.
+    pub fn blockmap_blocks_on(&self, n: NodeId) -> Vec<BlockId> {
+        self.nodes[n.0 as usize].blocks().collect()
+    }
+    pub fn peak_sessions(&self, n: NodeId) -> usize {
+        self.nodes[n.0 as usize].peak_sessions
+    }
+
+    /// Total bytes stored across all datanodes.
+    pub fn storage_used(&self) -> Bytes {
+        self.nodes.iter().map(DataNode::used).sum()
+    }
+
+    /// Number of datanodes currently serving.
+    pub fn serving_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_serving()).count()
+    }
+
+    /// Sum of active+queued sessions across the cluster — the idleness
+    /// signal the Condor scheduler consults.
+    pub fn total_load(&self) -> usize {
+        self.nodes.iter().map(DataNode::load).sum()
+    }
+    pub fn is_idle(&self) -> bool {
+        self.transfers.is_empty()
+            && self.tickets.is_empty()
+            && self.staged_copies.is_empty()
+            && self.ready_copies.is_empty()
+    }
+
+    /// Placement snapshot for a block of `file`.
+    pub fn node_views(&self, block: Option<BlockId>, file: Option<FileId>) -> Vec<NodeView> {
+        let file_blocks: Vec<BlockId> = file
+            .and_then(|f| self.namespace.file(f))
+            .map(|m| {
+                let mut all = m.blocks.clone();
+                if let StorageMode::Encoded { parity_blocks } = &m.mode {
+                    all.extend_from_slice(parity_blocks);
+                }
+                all
+            })
+            .unwrap_or_default();
+        self.nodes
+            .iter()
+            .map(|n| NodeView {
+                id: n.id,
+                rack: self.topology.rack_of(n.id),
+                serving: n.is_serving(),
+                standby_pool: self.standby_pool[n.id.0 as usize],
+                free: n.free(),
+                load: n.load() + self.copy_load[n.id.0 as usize] as usize,
+                holds_block: block.is_some_and(|b| n.holds(b)),
+                file_block_count: file_blocks.iter().filter(|&&b| n.holds(b)).count(),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // namespace operations
+
+    /// Create a file and place its blocks instantly (bulk-load path used
+    /// by trace replay; timed data movement goes through the replication
+    /// APIs). Returns `None` if the path exists or placement failed.
+    pub fn create_file(
+        &mut self,
+        path: &str,
+        size: Bytes,
+        replication: usize,
+        writer: Option<NodeId>,
+    ) -> Option<FileId> {
+        let now = self.now();
+        let id = self
+            .namespace
+            .create_file(path, size, self.cfg.block_size, replication, now)?;
+        let blocks: Vec<BlockId> = self.namespace.file(id).expect("just created").blocks.clone();
+        for b in blocks {
+            let len = self.namespace.block(b).expect("block exists").len;
+            let views = self.node_views(Some(b), Some(id));
+            let ctx = PlacementContext {
+                views: &views,
+                replica_locations: &[],
+                replica_racks: &[],
+                default_replication: self.cfg.default_replication,
+                writer,
+                block_len: len,
+            };
+            let targets = self.policy.choose_targets(&ctx, replication);
+            for t in targets {
+                self.store_replica(b, t, len);
+            }
+        }
+        let ep = writer.map(Endpoint::Node).unwrap_or(Endpoint::Client(ClientId(0)));
+        self.audit.file_op(now, ep, "create", path);
+        Some(id)
+    }
+
+    /// Write a file through the simulated pipeline: blocks stream
+    /// sequentially through `replication` targets chosen per block by
+    /// the placement policy, moving real simulated bytes (unlike
+    /// [`ClusterSim::create_file`], which bulk-loads instantly).
+    /// Completion surfaces in [`ClusterSim::drain_completed_writes`].
+    pub fn write_file(
+        &mut self,
+        writer: Endpoint,
+        path: &str,
+        size: Bytes,
+        replication: usize,
+    ) -> Option<WriteId> {
+        let now = self.now();
+        let file = self
+            .namespace
+            .create_file(path, size, self.cfg.block_size, replication, now)?;
+        let blocks: Vec<BlockId> = self.namespace.file(file).expect("just created").blocks.clone();
+        let id = WriteId(self.next_write);
+        self.next_write += 1;
+        self.audit.file_op(now, writer, "create", path);
+        self.writes.insert(
+            id,
+            WriteReq {
+                id,
+                writer,
+                file,
+                path: path.to_string(),
+                replication,
+                pending_blocks: blocks.into_iter().collect(),
+                bytes_done: 0,
+                started: now,
+                failed: false,
+            },
+        );
+        self.advance_write(id);
+        Some(id)
+    }
+
+    fn advance_write(&mut self, id: WriteId) {
+        let Some(req) = self.writes.get(&id) else {
+            return;
+        };
+        let Some(&block) = req.pending_blocks.front() else {
+            self.finish_write(id, false);
+            return;
+        };
+        let writer = req.writer;
+        let file = req.file;
+        let replication = req.replication;
+        let len = self.block_len_or_zero(block);
+        // choose the pipeline targets for this block
+        let views = self.node_views(Some(block), Some(file));
+        let ctx = PlacementContext {
+            views: &views,
+            replica_locations: &[],
+            replica_racks: &[],
+            default_replication: self.cfg.default_replication,
+            writer: match writer {
+                Endpoint::Node(n) => Some(n),
+                Endpoint::Client(_) => None,
+            },
+            block_len: len,
+        };
+        let targets = self.policy.choose_targets(&ctx, replication);
+        if targets.is_empty() {
+            self.finish_write(id, true);
+            return;
+        }
+        // in-flight pipeline targets count as load so concurrent writes
+        // spread instead of stacking on the same empty nodes
+        for &t in &targets {
+            self.copy_load[t.0 as usize] += 1;
+        }
+        // the pipeline traverses the writer's NIC and every target's
+        // NIC + disk; cross-rack hops pay their uplinks
+        let mut resources = Vec::new();
+        let mut prev: Option<NodeId> = None;
+        match writer {
+            Endpoint::Node(n) => {
+                resources.push(self.node_nic[n.0 as usize]);
+                prev = Some(n);
+            }
+            Endpoint::Client(c) => {
+                let client_bw = self.cfg.client_bandwidth;
+                let nic = *self
+                    .client_nic
+                    .entry(c)
+                    .or_insert_with(|| self.net.add_resource(client_bw));
+                resources.push(nic);
+                if let Some(&first) = targets.first() {
+                    resources.push(self.rack_uplink[self.topology.rack_of(first).0 as usize]);
+                }
+            }
+        }
+        for &t in &targets {
+            resources.push(self.node_nic[t.0 as usize]);
+            resources.push(self.node_disk[t.0 as usize]);
+            if let Some(p) = prev {
+                if self.topology.crosses_racks(p, t) {
+                    resources.push(self.rack_uplink[self.topology.rack_of(p).0 as usize]);
+                    resources.push(self.rack_uplink[self.topology.rack_of(t).0 as usize]);
+                }
+            }
+            prev = Some(t);
+        }
+        resources.sort_unstable();
+        resources.dedup();
+        let now = self.now();
+        let flow = self.net.start(now, len, resources);
+        self.transfers.insert(
+            flow,
+            Transfer::WriteBlock {
+                write: id,
+                block,
+                targets,
+                len,
+            },
+        );
+        self.resync_flow_events();
+    }
+
+    fn finish_write(&mut self, id: WriteId, failed: bool) {
+        let Some(req) = self.writes.remove(&id) else {
+            return;
+        };
+        let now = self.now();
+        if failed {
+            // abandon the partial file like an expired lease would
+            let path = req.path.clone();
+            self.delete_file(&path);
+        }
+        self.completed_writes.push(WriteStats {
+            id: req.id,
+            path: req.path,
+            bytes: req.bytes_done,
+            started: req.started,
+            finished: now,
+            failed: failed || req.failed,
+        });
+    }
+
+    /// Delete a file, freeing every replica.
+    pub fn delete_file(&mut self, path: &str) -> bool {
+        let Some(id) = self.namespace.resolve(path) else {
+            return false;
+        };
+        let now = self.now();
+        // capture lengths before the namespace forgets the blocks
+        let meta = self.namespace.file(id).expect("resolved file");
+        let mut all_blocks: Vec<BlockId> = meta.blocks.clone();
+        if let StorageMode::Encoded { parity_blocks } = &meta.mode {
+            all_blocks.extend_from_slice(parity_blocks);
+        }
+        let lens: Vec<Bytes> = all_blocks.iter().map(|&b| self.block_len_or_zero(b)).collect();
+        self.namespace.delete_file(id).expect("resolved file");
+        for (&b, &len) in all_blocks.iter().zip(&lens) {
+            for n in self.blockmap.locations(b) {
+                self.nodes[n.0 as usize].remove_block(b, len);
+            }
+            self.blockmap.drop_block(b);
+        }
+        self.audit.file_op(now, Endpoint::Client(ClientId(0)), "delete", path);
+        true
+    }
+
+    fn block_len_or_zero(&self, b: BlockId) -> Bytes {
+        self.namespace.block(b).map(|i| i.len).unwrap_or(0)
+    }
+
+    fn store_replica(&mut self, block: BlockId, node: NodeId, len: Bytes) -> bool {
+        if self.nodes[node.0 as usize].add_block(block, len) {
+            self.blockmap.add(block, node);
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // reads
+
+    /// Open a file for reading. The request incurs the configured
+    /// overhead, then streams each block from the best available replica.
+    pub fn open_read(&mut self, reader: Endpoint, path: &str) -> Option<ReadId> {
+        let file = self.namespace.resolve(path)?;
+        let meta = self.namespace.file(file).expect("resolved file");
+        let id = ReadId(self.next_read);
+        self.next_read += 1;
+        let req = ReadReq {
+            id,
+            reader,
+            path: path.to_string(),
+            pending_blocks: meta.blocks.iter().copied().collect(),
+            bytes_done: 0,
+            started: self.now(),
+            node_local: 0,
+            rack_local: 0,
+            remote: 0,
+            failed: false,
+        };
+        let now = self.now();
+        self.audit.file_op(now, reader, "open", path);
+        self.namespace.touch(file, now);
+        self.reads.insert(id, req);
+        let begin = now + self.cfg.request_overhead;
+        self.queue.schedule(begin, Ev::BeginRead(id));
+        Some(id)
+    }
+
+    /// Open a read of a single block of `path` — the map-task pattern:
+    /// each mapper opens the file and reads exactly its input split.
+    pub fn open_block_read(
+        &mut self,
+        reader: Endpoint,
+        path: &str,
+        block: BlockId,
+    ) -> Option<ReadId> {
+        let file = self.namespace.resolve(path)?;
+        let meta = self.namespace.file(file)?;
+        if !meta.blocks.contains(&block) {
+            return None;
+        }
+        let id = ReadId(self.next_read);
+        self.next_read += 1;
+        let req = ReadReq {
+            id,
+            reader,
+            path: path.to_string(),
+            pending_blocks: std::iter::once(block).collect(),
+            bytes_done: 0,
+            started: self.now(),
+            node_local: 0,
+            rack_local: 0,
+            remote: 0,
+            failed: false,
+        };
+        let now = self.now();
+        self.audit.file_op(now, reader, "open", path);
+        self.namespace.touch(file, now);
+        self.reads.insert(id, req);
+        let begin = now + self.cfg.request_overhead;
+        self.queue.schedule(begin, Ev::BeginRead(id));
+        Some(id)
+    }
+
+    /// Collect finished reads.
+    pub fn drain_completed_reads(&mut self) -> Vec<ReadStats> {
+        std::mem::take(&mut self.completed_reads)
+    }
+    /// Collect finished replica copies.
+    pub fn drain_completed_copies(&mut self) -> Vec<CopyStats> {
+        std::mem::take(&mut self.completed_copies)
+    }
+    pub fn inflight_reads(&self) -> usize {
+        self.reads.len()
+    }
+    pub fn inflight_writes(&self) -> usize {
+        self.writes.len()
+    }
+    /// Collect finished pipelined writes.
+    pub fn drain_completed_writes(&mut self) -> Vec<WriteStats> {
+        std::mem::take(&mut self.completed_writes)
+    }
+
+    fn advance_read(&mut self, id: ReadId) {
+        let Some(req) = self.reads.get_mut(&id) else {
+            return;
+        };
+        let Some(&block) = req.pending_blocks.front() else {
+            self.finish_read(id, false);
+            return;
+        };
+        // candidate replicas: serving holders
+        let reader = req.reader;
+        let holders: Vec<NodeId> = self
+            .blockmap
+            .locations(block)
+            .into_iter()
+            .filter(|&n| self.nodes[n.0 as usize].is_serving())
+            .collect();
+        if holders.is_empty() {
+            self.finish_read(id, true);
+            return;
+        }
+        // rank: distance first, then instantaneous load, then id
+        let best = holders
+            .into_iter()
+            .min_by_key(|&n| {
+                let d = match self.topology.reader_distance(reader, n) {
+                    Distance::SameNode => 0u8,
+                    Distance::SameRack => 1,
+                    Distance::OffRack => 2,
+                };
+                (d, self.nodes[n.0 as usize].load(), n)
+            })
+            .expect("non-empty holders");
+        // locality accounting happens at replica choice
+        {
+            let req = self.reads.get_mut(&id).expect("read exists");
+            match self.topology.reader_distance(reader, best) {
+                Distance::SameNode => req.node_local += 1,
+                Distance::SameRack => req.rack_local += 1,
+                Distance::OffRack => req.remote += 1,
+            }
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        if self.nodes[best.0 as usize].admit_or_queue(ticket) {
+            self.start_block_flow(id, block, best);
+        } else {
+            self.tickets.insert(
+                ticket,
+                PendingSession {
+                    read: id,
+                    block,
+                    node: best,
+                },
+            );
+        }
+    }
+
+    fn read_path_resources(&mut self, reader: Endpoint, node: NodeId) -> Vec<ResourceId> {
+        let ni = node.0 as usize;
+        match reader {
+            Endpoint::Node(r) if r == node => vec![self.node_disk[ni]],
+            Endpoint::Node(r) => {
+                let mut res = vec![
+                    self.node_disk[ni],
+                    self.node_nic[ni],
+                    self.node_nic[r.0 as usize],
+                ];
+                if self.topology.crosses_racks(r, node) {
+                    res.push(self.rack_uplink[self.topology.rack_of(node).0 as usize]);
+                    res.push(self.rack_uplink[self.topology.rack_of(r).0 as usize]);
+                }
+                res
+            }
+            Endpoint::Client(c) => {
+                let client_bw = self.cfg.client_bandwidth;
+                let nic = *self
+                    .client_nic
+                    .entry(c)
+                    .or_insert_with(|| self.net.add_resource(client_bw));
+                vec![
+                    self.node_disk[ni],
+                    self.node_nic[ni],
+                    nic,
+                    self.rack_uplink[self.topology.rack_of(node).0 as usize],
+                ]
+            }
+        }
+    }
+
+    fn start_block_flow(&mut self, id: ReadId, block: BlockId, node: NodeId) {
+        let len = self.block_len_or_zero(block);
+        let reader = self.reads.get(&id).expect("read exists").reader;
+        let resources = self.read_path_resources(reader, node);
+        let now = self.now();
+        let flow = self.net.start(now, len, resources);
+        self.transfers.insert(
+            flow,
+            Transfer::ReadBlock {
+                read: id,
+                block,
+                node,
+            },
+        );
+        self.resync_flow_events();
+    }
+
+    fn finish_read(&mut self, id: ReadId, failed: bool) {
+        let Some(req) = self.reads.remove(&id) else {
+            return;
+        };
+        let now = self.now();
+        self.completed_reads.push(ReadStats {
+            id: req.id,
+            path: req.path,
+            reader: req.reader,
+            bytes: req.bytes_done,
+            started: req.started,
+            finished: now,
+            node_local_blocks: req.node_local,
+            rack_local_blocks: req.rack_local,
+            remote_blocks: req.remote,
+            failed: failed || req.failed,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // replication operations
+
+    /// Copy `block` to `target` from the least-loaded serving holder.
+    /// Bytes move through the simulated network; completion appears in
+    /// [`ClusterSim::drain_completed_copies`].
+    pub fn add_replica_to(&mut self, block: BlockId, target: NodeId) -> Option<CopyId> {
+        let len = self.namespace.block(block)?.len;
+        if self.nodes[target.0 as usize].holds(block)
+            || !self.nodes[target.0 as usize].is_serving()
+            || self.nodes[target.0 as usize].free() < len
+        {
+            return None;
+        }
+        // a serving source must exist now (it is re-picked at dispatch)
+        self.blockmap
+            .locations(block)
+            .into_iter()
+            .find(|&n| self.nodes[n.0 as usize].is_serving())?;
+        self.copy_load[target.0 as usize] += 1;
+        let id = CopyId(self.next_copy);
+        self.next_copy += 1;
+        let now = self.now();
+        self.staged_copies.insert(
+            id,
+            StagedCopy {
+                block,
+                target,
+                len,
+                requested: now,
+            },
+        );
+        self.queue
+            .schedule(now + self.cfg.replication_scan_delay, Ev::StartCopy(id));
+        Some(id)
+    }
+
+    /// The replication monitor picked up a staged copy: queue it for a
+    /// free replication stream and try to dispatch.
+    fn start_staged_copy(&mut self, id: CopyId) {
+        if let Some(staged) = self.staged_copies.remove(&id) {
+            self.ready_copies.push_back((id, staged));
+        }
+        self.dispatch_replications();
+    }
+
+    /// Start every ready copy that can get a source with a free stream.
+    /// Sources are picked at dispatch time, so replicas that just landed
+    /// immediately widen the fan-out (the waves real HDFS exhibits).
+    fn dispatch_replications(&mut self) {
+        let now = self.now();
+        let cap = self.cfg.max_replication_streams as u32;
+        let mut remaining: VecDeque<(CopyId, StagedCopy)> = VecDeque::new();
+        let mut started_any = false;
+        while let Some((id, staged)) = self.ready_copies.pop_front() {
+            let StagedCopy {
+                block,
+                target,
+                len,
+                requested,
+            } = staged.clone();
+            let ti = target.0 as usize;
+            let target_ok = self.nodes[ti].is_serving()
+                && !self.nodes[ti].holds(block)
+                && self.nodes[ti].free() >= len;
+            let holders: Vec<NodeId> = self
+                .blockmap
+                .locations(block)
+                .into_iter()
+                .filter(|&n| self.nodes[n.0 as usize].is_serving())
+                .collect();
+            if !target_ok || holders.is_empty() {
+                self.copy_load[ti] = self.copy_load[ti].saturating_sub(1);
+                self.completed_copies.push(CopyStats {
+                    id,
+                    block,
+                    source: holders.first().copied().unwrap_or(target),
+                    target,
+                    started: requested,
+                    finished: now,
+                    succeeded: false,
+                });
+                continue;
+            }
+            let source = holders
+                .into_iter()
+                .filter(|&n| self.copy_streams[n.0 as usize] < cap)
+                .min_by_key(|&n| (self.copy_streams[n.0 as usize], self.node_load(n), n));
+            let Some(source) = source else {
+                remaining.push_back((id, staged)); // wait for a stream
+                continue;
+            };
+            let si = source.0 as usize;
+            self.copy_streams[si] += 1;
+            self.copy_load[si] += 1;
+            let mut resources = vec![
+                self.node_disk[si],
+                self.node_nic[si],
+                self.node_nic[ti],
+                self.node_disk[ti],
+            ];
+            if self.topology.crosses_racks(source, target) {
+                resources.push(self.rack_uplink[self.topology.rack_of(source).0 as usize]);
+                resources.push(self.rack_uplink[self.topology.rack_of(target).0 as usize]);
+            }
+            let flow = self.net.start(now, len, resources);
+            self.transfers.insert(
+                flow,
+                Transfer::Copy {
+                    copy: id,
+                    block,
+                    source,
+                    target,
+                    len,
+                    started: requested,
+                },
+            );
+            started_any = true;
+        }
+        self.ready_copies = remaining;
+        if started_any {
+            self.resync_flow_events();
+        }
+    }
+
+    /// Raise `block`'s replica count by `extra`, letting the placement
+    /// policy choose targets. Returns the copy handles actually started.
+    pub fn add_replicas(&mut self, block: BlockId, extra: usize) -> Vec<CopyId> {
+        let Some(info) = self.namespace.block(block).copied() else {
+            return Vec::new();
+        };
+        let locs = self.blockmap.locations(block);
+        let racks: Vec<RackId> = locs.iter().map(|&n| self.topology.rack_of(n)).collect();
+        let views = self.node_views(Some(block), Some(info.file));
+        let ctx = PlacementContext {
+            views: &views,
+            replica_locations: &locs,
+            replica_racks: &racks,
+            default_replication: self.cfg.default_replication,
+            writer: None,
+            block_len: info.len,
+        };
+        let targets = self.policy.choose_targets(&ctx, extra);
+        targets
+            .into_iter()
+            .filter_map(|t| self.add_replica_to(block, t))
+            .collect()
+    }
+
+    /// Drop one replica of `block` from `node` (instant: deletes are
+    /// metadata operations).
+    pub fn remove_replica(&mut self, block: BlockId, node: NodeId) -> bool {
+        let len = self.block_len_or_zero(block);
+        if self.nodes[node.0 as usize].remove_block(block, len) {
+            self.blockmap.remove(block, node);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Lower `block`'s replica count by `count`, letting the policy pick
+    /// victims. Returns how many replicas were actually removed.
+    pub fn remove_replicas(&mut self, block: BlockId, count: usize) -> usize {
+        let Some(info) = self.namespace.block(block).copied() else {
+            return 0;
+        };
+        let locs = self.blockmap.locations(block);
+        let racks: Vec<RackId> = locs.iter().map(|&n| self.topology.rack_of(n)).collect();
+        let views = self.node_views(Some(block), Some(info.file));
+        let ctx = PlacementContext {
+            views: &views,
+            replica_locations: &locs,
+            replica_racks: &racks,
+            default_replication: self.cfg.default_replication,
+            writer: None,
+            block_len: info.len,
+        };
+        let victims = self.policy.choose_removals(&ctx, count);
+        victims
+            .into_iter()
+            .filter(|&v| self.remove_replica(block, v))
+            .count()
+    }
+
+    /// Set the target replication of a whole file: adds copies or removes
+    /// excess per block. Returns the started copy handles.
+    pub fn set_file_replication(&mut self, file: FileId, r: usize) -> Vec<CopyId> {
+        let Some(meta) = self.namespace.file_mut(file) else {
+            return Vec::new();
+        };
+        meta.mode = StorageMode::Replicated { replication: r };
+        let blocks = meta.blocks.clone();
+        let path = meta.path.clone();
+        let mut copies = Vec::new();
+        for b in blocks {
+            let have = self.blockmap.replica_count(b);
+            if have < r {
+                copies.extend(self.add_replicas(b, r - have));
+            } else if have > r {
+                self.remove_replicas(b, have - r);
+            }
+        }
+        let now = self.now();
+        self.audit
+            .file_op(now, Endpoint::Client(ClientId(0)), "setReplication", &path);
+        copies
+    }
+
+    /// Place a parity block for `file` via the policy and store it
+    /// instantly (the byte-level encode cost is the erasure crate's
+    /// domain; the storage and placement effects are modelled here).
+    pub fn place_parity_block(&mut self, file: FileId, index: u32, len: Bytes) -> Option<(BlockId, NodeId)> {
+        let block = self.namespace.allocate_parity_block(file, index, len);
+        let views = self.node_views(Some(block), Some(file));
+        let ctx = PlacementContext {
+            views: &views,
+            replica_locations: &[],
+            replica_racks: &[],
+            default_replication: self.cfg.default_replication,
+            writer: None,
+            block_len: len,
+        };
+        let target = self.policy.choose_parity_target(&ctx)?;
+        if self.store_replica(block, target, len) {
+            Some((block, target))
+        } else {
+            None
+        }
+    }
+
+    /// Mark a file encoded (replication 1 + parities). The caller (ERMS
+    /// manager) supplies the parity blocks it placed.
+    pub fn mark_encoded(&mut self, file: FileId, parity_blocks: Vec<BlockId>) {
+        if let Some(meta) = self.namespace.file_mut(file) {
+            meta.mode = StorageMode::Encoded { parity_blocks };
+        }
+    }
+
+    /// Undo encoding: drop the parity blocks and return the file to
+    /// `replication`-way storage (the caller then restores replicas with
+    /// [`ClusterSim::set_file_replication`], which moves real bytes).
+    pub fn mark_decoded(&mut self, file: FileId, replication: usize) {
+        let Some(meta) = self.namespace.file_mut(file) else {
+            return;
+        };
+        let parities = match std::mem::replace(
+            &mut meta.mode,
+            StorageMode::Replicated { replication },
+        ) {
+            StorageMode::Encoded { parity_blocks } => parity_blocks,
+            StorageMode::Replicated { .. } => Vec::new(),
+        };
+        for p in parities {
+            let len = self.block_len_or_zero(p);
+            for n in self.blockmap.locations(p) {
+                self.nodes[n.0 as usize].remove_block(p, len);
+            }
+            self.blockmap.drop_block(p);
+            self.namespace.forget_block(p);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // node lifecycle
+
+    /// Designate nodes as the standby pool and power them off. Their data
+    /// (if any) is dropped — ERMS only parks *extra* replicas there.
+    pub fn designate_standby(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            self.standby_pool[n.0 as usize] = true;
+            self.power_off(n);
+        }
+    }
+
+    /// Power a standby node off (drops its blocks from the block map).
+    pub fn power_off(&mut self, n: NodeId) {
+        let ni = n.0 as usize;
+        if self.nodes[ni].state == NodeState::Dead {
+            return;
+        }
+        self.fail_node_transfers(n, false);
+        for b in self.nodes[ni].clear() {
+            self.blockmap.remove(b, n);
+        }
+        self.nodes[ni].state = NodeState::Standby;
+        let now = self.now();
+        self.net.set_capacity(now, self.node_disk[ni], Bandwidth::ZERO);
+        self.net.set_capacity(now, self.node_nic[ni], Bandwidth::ZERO);
+        self.resync_flow_events();
+    }
+
+    /// Commission (boot) a standby node; it starts serving after the
+    /// configured boot time. Returns false if the node isn't standby.
+    pub fn commission(&mut self, n: NodeId) -> bool {
+        if self.nodes[n.0 as usize].state != NodeState::Standby {
+            return false;
+        }
+        let at = self.now() + self.cfg.standby_boot_time;
+        self.queue.schedule(at, Ev::NodeBooted(n));
+        true
+    }
+
+    /// Begin a graceful decommission of `n`: start one extra copy of
+    /// every block it holds (targets chosen by the placement policy,
+    /// which never reuses a holder). Once the returned copies complete,
+    /// the node can be powered off with no replication deficit — the
+    /// orderly path, versus [`ClusterSim::kill_node`]'s crash.
+    pub fn decommission(&mut self, n: NodeId) -> Vec<CopyId> {
+        let blocks: Vec<BlockId> = self.nodes[n.0 as usize].blocks().collect();
+        let mut copies = Vec::new();
+        for b in blocks {
+            copies.extend(self.add_replicas(b, 1));
+        }
+        copies
+    }
+
+    /// Kill a node: data lost, transfers failed, queued readers retried.
+    pub fn kill_node(&mut self, n: NodeId) {
+        let ni = n.0 as usize;
+        self.fail_node_transfers(n, true);
+        self.nodes[ni].clear();
+        self.nodes[ni].state = NodeState::Dead;
+        let (_degraded, _lost) = self.blockmap.remove_node(n);
+        let now = self.now();
+        self.net.set_capacity(now, self.node_disk[ni], Bandwidth::ZERO);
+        self.net.set_capacity(now, self.node_nic[ni], Bandwidth::ZERO);
+        self.resync_flow_events();
+    }
+
+    /// Start copies for every under-replicated block (HDFS's namenode
+    /// repair loop, invoked explicitly by the driver).
+    pub fn repair_under_replicated(&mut self) -> Vec<CopyId> {
+        let want: Vec<(BlockId, usize)> = {
+            let ns = &self.namespace;
+            self.blockmap.under_replicated(|b| {
+                ns.block(b)
+                    .and_then(|i| ns.file(i.file))
+                    .map(|f| if i_is_parity(ns, b) { 1 } else { f.replication() })
+                    .unwrap_or(0)
+            })
+        };
+        let mut out = Vec::new();
+        for (b, deficit) in want {
+            out.extend(self.add_replicas(b, deficit));
+        }
+        out
+    }
+
+    fn fail_node_transfers(&mut self, n: NodeId, retry_reads: bool) {
+        let now = self.now();
+        // cancel flows touching the node
+        let affected: Vec<(FlowId, Transfer)> = self
+            .transfers
+            .iter()
+            .filter(|(_, t)| match t {
+                Transfer::ReadBlock { node, .. } => *node == n,
+                Transfer::Copy { source, target, .. } => *source == n || *target == n,
+                Transfer::WriteBlock { targets, .. } => targets.contains(&n),
+            })
+            .map(|(&f, t)| (f, t.clone()))
+            .collect();
+        for (flow, t) in affected {
+            self.net.remove(now, flow);
+            if let Some(ev) = self.flow_events.remove(&flow) {
+                self.queue.cancel(ev);
+            }
+            self.transfers.remove(&flow);
+            match t {
+                Transfer::ReadBlock { read, .. } => {
+                    let _ = retry_reads;
+                    // re-resolve the block on another replica
+                    self.advance_read(read);
+                }
+                Transfer::WriteBlock { write, targets, .. } => {
+                    for t in targets {
+                        self.copy_load[t.0 as usize] =
+                            self.copy_load[t.0 as usize].saturating_sub(1);
+                    }
+                    // restart the block's pipeline with fresh targets
+                    self.advance_write(write);
+                }
+                Transfer::Copy {
+                    copy,
+                    block,
+                    source,
+                    target,
+                    started,
+                    ..
+                } => {
+                    self.copy_streams[source.0 as usize] =
+                        self.copy_streams[source.0 as usize].saturating_sub(1);
+                    self.copy_load[source.0 as usize] =
+                        self.copy_load[source.0 as usize].saturating_sub(1);
+                    self.copy_load[target.0 as usize] =
+                        self.copy_load[target.0 as usize].saturating_sub(1);
+                    self.completed_copies.push(CopyStats {
+                        id: copy,
+                        block,
+                        source,
+                        target,
+                        started,
+                        finished: now,
+                        succeeded: false,
+                    });
+                }
+            }
+        }
+        // retry queued sessions elsewhere
+        let stale = self.nodes[n.0 as usize].drain_queue();
+        for t in stale {
+            if let Some(ps) = self.tickets.remove(&t) {
+                self.advance_read(ps.read);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // event loop
+
+    /// Run until the event queue drains (all submitted work finished).
+    pub fn run_until_quiescent(&mut self) -> SimTime {
+        while self.step() {}
+        self.now()
+    }
+
+    /// Run events up to and including `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.queue.advance_to(deadline);
+        self.net.settle(deadline);
+        self.now()
+    }
+
+    /// Process one event. Returns false when nothing is pending.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        match ev {
+            Ev::BeginRead(id) => self.advance_read(id),
+            Ev::NodeBooted(n) => {
+                let ni = n.0 as usize;
+                if self.nodes[ni].state == NodeState::Standby {
+                    self.nodes[ni].state = NodeState::Active;
+                    self.net.set_capacity(t, self.node_disk[ni], self.cfg.disk_bandwidth);
+                    self.net.set_capacity(t, self.node_nic[ni], self.cfg.nic_bandwidth);
+                    self.resync_flow_events();
+                }
+            }
+            Ev::FlowDone(flow) => self.on_flow_done(t, flow),
+            Ev::StartCopy(id) => self.start_staged_copy(id),
+            Ev::Timer(token) => self.fired_timers.push((t, token)),
+        }
+        true
+    }
+
+    fn on_flow_done(&mut self, now: SimTime, flow: FlowId) {
+        self.flow_events.remove(&flow);
+        let Some(transfer) = self.transfers.remove(&flow) else {
+            return; // already cancelled
+        };
+        self.net.remove(now, flow);
+        match transfer {
+            Transfer::ReadBlock { read, block, node } => {
+                let len = self.block_len_or_zero(block);
+                let path = self
+                    .reads
+                    .get(&read)
+                    .map(|r| r.path.clone())
+                    .unwrap_or_default();
+                self.audit.block_read(now, block, node, &path, len);
+                // free the session; maybe admit a queued reader
+                self.admit_next(node);
+                if let Some(req) = self.reads.get_mut(&read) {
+                    req.bytes_done += len;
+                    req.pending_blocks.pop_front();
+                    if req.pending_blocks.is_empty() {
+                        self.finish_read(read, false);
+                    } else {
+                        self.advance_read(read);
+                    }
+                }
+            }
+            Transfer::WriteBlock {
+                write,
+                block,
+                targets,
+                len,
+            } => {
+                for &t in &targets {
+                    self.copy_load[t.0 as usize] =
+                        self.copy_load[t.0 as usize].saturating_sub(1);
+                }
+                for t in targets {
+                    if self.nodes[t.0 as usize].is_serving()
+                        && self.nodes[t.0 as usize].add_block(block, len)
+                    {
+                        self.blockmap.add(block, t);
+                    }
+                }
+                if let Some(req) = self.writes.get_mut(&write) {
+                    req.bytes_done += len;
+                    req.pending_blocks.pop_front();
+                    if req.pending_blocks.is_empty() {
+                        self.finish_write(write, false);
+                    } else {
+                        self.advance_write(write);
+                    }
+                }
+            }
+            Transfer::Copy {
+                copy,
+                block,
+                source,
+                target,
+                len,
+                started,
+            } => {
+                self.copy_streams[source.0 as usize] =
+                    self.copy_streams[source.0 as usize].saturating_sub(1);
+                self.copy_load[source.0 as usize] =
+                    self.copy_load[source.0 as usize].saturating_sub(1);
+                self.copy_load[target.0 as usize] =
+                    self.copy_load[target.0 as usize].saturating_sub(1);
+                let ok = self.nodes[target.0 as usize].is_serving()
+                    && self.nodes[target.0 as usize].add_block(block, len);
+                if ok {
+                    self.blockmap.add(block, target);
+                }
+                self.completed_copies.push(CopyStats {
+                    id: copy,
+                    block,
+                    source,
+                    target,
+                    started,
+                    finished: now,
+                    succeeded: ok,
+                });
+                // the new replica may unblock queued copies as a source
+                self.dispatch_replications();
+            }
+        }
+        self.resync_flow_events();
+    }
+
+    fn admit_next(&mut self, node: NodeId) {
+        loop {
+            match self.nodes[node.0 as usize].release_session() {
+                None => break,
+                Some(t) => {
+                    if let Some(ps) = self.tickets.remove(&t) {
+                        self.start_block_flow(ps.read, ps.block, ps.node);
+                        break;
+                    }
+                    // stale ticket consumed a slot; release again
+                }
+            }
+        }
+    }
+
+    /// Reschedule each active flow's completion event after rates change.
+    fn resync_flow_events(&mut self) {
+        let now = self.now();
+        let flows: Vec<FlowId> = self.transfers.keys().copied().collect();
+        for f in flows {
+            if let Some(eta) = self.net.eta(f) {
+                let at = eta.max(now);
+                if let Some(old) = self.flow_events.remove(&f) {
+                    self.queue.cancel(old);
+                }
+                let ev = self.queue.schedule(at, Ev::FlowDone(f));
+                self.flow_events.insert(f, ev);
+            }
+        }
+    }
+}
+
+fn i_is_parity(ns: &Namespace, b: BlockId) -> bool {
+    ns.block(b).map(|i| i.is_parity).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DefaultRackAware;
+    use simcore::units::MB;
+
+    fn sim() -> ClusterSim {
+        ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware))
+    }
+
+    #[test]
+    fn create_file_places_replicas() {
+        let mut c = sim();
+        let f = c.create_file("/data/a", 128 * MB, 3, Some(NodeId(0))).unwrap();
+        let meta = c.namespace().file(f).unwrap();
+        assert_eq!(meta.blocks.len(), 2);
+        for &b in &meta.blocks.clone() {
+            assert_eq!(c.blockmap().replica_count(b), 3);
+        }
+        assert_eq!(c.storage_used(), 3 * 128 * MB);
+        assert!(c.create_file("/data/a", MB, 3, None).is_none(), "dup path");
+    }
+
+    #[test]
+    fn single_read_completes_at_disk_rate() {
+        let mut c = sim();
+        c.create_file("/f", 64 * MB, 3, Some(NodeId(0))).unwrap();
+        let r = c.open_read(Endpoint::Client(ClientId(1)), "/f").unwrap();
+        c.run_until_quiescent();
+        let done = c.drain_completed_reads();
+        assert_eq!(done.len(), 1);
+        let s = &done[0];
+        assert_eq!(s.id, r);
+        assert!(!s.failed);
+        assert_eq!(s.bytes, 64 * MB);
+        // 64MB at 80MB/s disk ≈ 0.8s plus overhead
+        assert!(s.duration() > 0.7 && s.duration() < 1.1, "took {}", s.duration());
+        assert!(s.throughput_mb_s() > 55.0, "tput {}", s.throughput_mb_s());
+    }
+
+    #[test]
+    fn node_local_read_is_fast_and_local() {
+        let mut c = sim();
+        c.create_file("/f", 64 * MB, 3, Some(NodeId(2))).unwrap();
+        c.open_read(Endpoint::Node(NodeId(2)), "/f").unwrap();
+        c.run_until_quiescent();
+        let s = &c.drain_completed_reads()[0];
+        assert_eq!(s.node_local_blocks, 1);
+        assert_eq!(s.remote_blocks + s.rack_local_blocks, 0);
+        assert!((s.locality_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_degrades_throughput() {
+        let mut c = sim();
+        c.create_file("/hot", 64 * MB, 1, Some(NodeId(0))).unwrap();
+        for i in 0..4 {
+            c.open_read(Endpoint::Client(ClientId(i)), "/hot").unwrap();
+        }
+        c.run_until_quiescent();
+        let done = c.drain_completed_reads();
+        assert_eq!(done.len(), 4);
+        // 4 concurrent sessions share one 80MB/s disk → ≈ 20MB/s each
+        for s in &done {
+            assert!(
+                s.throughput_mb_s() < 30.0,
+                "expected contention, got {}",
+                s.throughput_mb_s()
+            );
+        }
+    }
+
+    #[test]
+    fn more_replicas_restore_throughput() {
+        let mut c = sim();
+        c.create_file("/hot", 64 * MB, 4, Some(NodeId(0))).unwrap();
+        for i in 0..4 {
+            c.open_read(Endpoint::Client(ClientId(i)), "/hot").unwrap();
+        }
+        c.run_until_quiescent();
+        let done = c.drain_completed_reads();
+        // readers spread across 4 replicas → near-full disk rate each
+        for s in &done {
+            assert!(
+                s.throughput_mb_s() > 50.0,
+                "expected spread, got {}",
+                s.throughput_mb_s()
+            );
+        }
+    }
+
+    #[test]
+    fn session_cap_queues_and_eventually_serves() {
+        let mut cfg = ClusterConfig::paper_testbed();
+        cfg.max_sessions_per_node = 2;
+        let mut c = ClusterSim::new(cfg, Box::new(DefaultRackAware));
+        c.create_file("/hot", 64 * MB, 1, Some(NodeId(0))).unwrap();
+        for i in 0..6 {
+            c.open_read(Endpoint::Client(ClientId(i)), "/hot").unwrap();
+        }
+        c.run_until_quiescent();
+        let done = c.drain_completed_reads();
+        assert_eq!(done.len(), 6, "queued readers are eventually served");
+        assert!(done.iter().all(|s| !s.failed));
+        assert_eq!(c.peak_sessions(NodeId(0)).max(2), 2, "cap respected");
+        // queued readers take much longer than the first two
+        let mut durs: Vec<f64> = done.iter().map(ReadStats::duration).collect();
+        durs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(durs[5] > durs[0] * 1.8, "{durs:?}");
+    }
+
+    #[test]
+    fn add_replica_moves_bytes() {
+        let mut c = sim();
+        let f = c.create_file("/f", 64 * MB, 1, Some(NodeId(0))).unwrap();
+        let b = c.namespace().file(f).unwrap().blocks[0];
+        assert_eq!(c.blockmap().replica_count(b), 1);
+        let copies = c.add_replicas(b, 2);
+        assert_eq!(copies.len(), 2);
+        c.run_until_quiescent();
+        let stats = c.drain_completed_copies();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.succeeded));
+        assert_eq!(c.blockmap().replica_count(b), 3);
+        assert!(c.now().as_secs_f64() > 0.5, "copies take simulated time");
+    }
+
+    #[test]
+    fn set_file_replication_up_and_down() {
+        let mut c = sim();
+        let f = c.create_file("/f", 128 * MB, 3, Some(NodeId(0))).unwrap();
+        let copies = c.set_file_replication(f, 5);
+        assert_eq!(copies.len(), 4, "2 blocks × 2 extra");
+        c.run_until_quiescent();
+        let blocks = c.namespace().file(f).unwrap().blocks.clone();
+        for &b in &blocks {
+            assert_eq!(c.blockmap().replica_count(b), 5);
+        }
+        c.set_file_replication(f, 2);
+        for &b in &blocks {
+            assert_eq!(c.blockmap().replica_count(b), 2, "removal is instant");
+        }
+        assert_eq!(c.storage_used(), 2 * 2 * 64 * MB);
+    }
+
+    #[test]
+    fn delete_file_frees_space() {
+        let mut c = sim();
+        c.create_file("/f", 64 * MB, 3, None).unwrap();
+        assert!(c.storage_used() > 0);
+        assert!(c.delete_file("/f"));
+        assert_eq!(c.storage_used(), 0);
+        assert!(!c.delete_file("/f"));
+        assert_eq!(c.blockmap().num_blocks(), 0);
+    }
+
+    #[test]
+    fn standby_nodes_do_not_take_reads_or_data() {
+        let mut c = sim();
+        let standby: Vec<NodeId> = (10..18).map(NodeId).collect();
+        c.designate_standby(&standby);
+        assert_eq!(c.serving_nodes(), 10);
+        let f = c.create_file("/f", 64 * MB, 3, None).unwrap();
+        let b = c.namespace().file(f).unwrap().blocks[0];
+        for n in &standby {
+            assert!(!c.node_holds(*n, b), "standby must not receive replicas");
+        }
+        // commission brings a standby node back after boot time
+        assert!(c.commission(NodeId(10)));
+        c.run_until_quiescent();
+        assert_eq!(c.node_state(NodeId(10)), NodeState::Active);
+        assert_eq!(c.serving_nodes(), 11);
+    }
+
+    #[test]
+    fn kill_node_loses_data_and_repair_restores() {
+        let mut c = sim();
+        let f = c.create_file("/f", 64 * MB, 3, Some(NodeId(0))).unwrap();
+        let b = c.namespace().file(f).unwrap().blocks[0];
+        let victim = c.blockmap().locations(b)[0];
+        c.kill_node(victim);
+        assert_eq!(c.blockmap().replica_count(b), 2);
+        let copies = c.repair_under_replicated();
+        assert_eq!(copies.len(), 1);
+        c.run_until_quiescent();
+        assert_eq!(c.blockmap().replica_count(b), 3);
+        assert!(!c.blockmap().holds(b, victim));
+    }
+
+    #[test]
+    fn reads_survive_replica_node_death() {
+        let mut c = sim();
+        c.create_file("/f", 256 * MB, 3, Some(NodeId(0))).unwrap();
+        let r = c.open_read(Endpoint::Client(ClientId(1)), "/f").unwrap();
+        // let the read get going, then kill the serving node
+        c.run_until(SimTime::from_millis(500));
+        let serving: Vec<NodeId> = c
+            .transfers
+            .values()
+            .filter_map(|t| match t {
+                Transfer::ReadBlock { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert!(!serving.is_empty(), "read should be in flight");
+        c.kill_node(serving[0]);
+        c.run_until_quiescent();
+        let done = c.drain_completed_reads();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, r);
+        assert!(!done[0].failed, "retried on surviving replicas");
+        assert_eq!(done[0].bytes, 256 * MB);
+    }
+
+    #[test]
+    fn read_of_lost_block_fails() {
+        let mut c = sim();
+        let f = c.create_file("/f", 64 * MB, 1, Some(NodeId(0))).unwrap();
+        let b = c.namespace().file(f).unwrap().blocks[0];
+        let holder = c.blockmap().locations(b)[0];
+        c.kill_node(holder);
+        c.open_read(Endpoint::Client(ClientId(1)), "/f").unwrap();
+        c.run_until_quiescent();
+        let done = c.drain_completed_reads();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].failed);
+    }
+
+    #[test]
+    fn audit_log_covers_reads() {
+        let mut c = sim();
+        c.create_file("/f", 128 * MB, 3, None).unwrap();
+        c.open_read(Endpoint::Client(ClientId(1)), "/f").unwrap();
+        c.run_until_quiescent();
+        let lines = c.drain_audit();
+        let text = lines.join("\n");
+        assert!(text.contains("cmd=create"));
+        assert!(text.contains("cmd=open"));
+        assert_eq!(
+            text.matches("cmd=read_block").count(),
+            2,
+            "one clienttrace line per block"
+        );
+        let (events, bad) = cep::audit::parse_log(&text);
+        assert_eq!(bad, 0);
+        assert_eq!(events.len(), lines.len());
+    }
+
+    #[test]
+    fn parity_placement_and_encoding_mode() {
+        let mut c = sim();
+        let f = c.create_file("/cold", 128 * MB, 3, None).unwrap();
+        let (pb, node) = c.place_parity_block(f, 0, 64 * MB).unwrap();
+        assert!(c.node_holds(node, pb));
+        assert_eq!(c.blockmap().replica_count(pb), 1);
+        c.mark_encoded(f, vec![pb]);
+        assert!(c.namespace().file(f).unwrap().is_encoded());
+        assert_eq!(c.namespace().file(f).unwrap().replication(), 1);
+        // deleting the file also frees the parity block
+        assert!(c.delete_file("/cold"));
+        assert_eq!(c.storage_used(), 0);
+    }
+
+    #[test]
+    fn pipelined_write_moves_real_bytes() {
+        let mut c = sim();
+        let w = c
+            .write_file(Endpoint::Client(ClientId(1)), "/w", 128 * MB, 3)
+            .unwrap();
+        assert_eq!(c.inflight_writes(), 1);
+        c.run_until_quiescent();
+        let done = c.drain_completed_writes();
+        assert_eq!(done.len(), 1);
+        let stats = &done[0];
+        assert_eq!(stats.id, w);
+        assert!(!stats.failed);
+        assert_eq!(stats.bytes, 128 * MB);
+        // 2 blocks × 64MB at ≤80MB/s pipeline: at least 1.6 s
+        assert!(stats.duration() > 1.5, "took {}", stats.duration());
+        // the file is fully replicated afterwards
+        let f = c.namespace().resolve("/w").unwrap();
+        for &b in &c.namespace().file(f).unwrap().blocks.clone() {
+            assert_eq!(c.blockmap().replica_count(b), 3);
+        }
+        assert_eq!(c.storage_used(), 3 * 128 * MB);
+    }
+
+    #[test]
+    fn duplicate_write_path_rejected() {
+        let mut c = sim();
+        c.create_file("/w", 64 * MB, 3, None).unwrap();
+        assert!(c
+            .write_file(Endpoint::Client(ClientId(1)), "/w", 64 * MB, 3)
+            .is_none());
+    }
+
+    #[test]
+    fn writes_contend_with_reads() {
+        let mut c = sim();
+        c.create_file("/data", 256 * MB, 3, None).unwrap();
+        // a solo read baseline
+        c.open_read(Endpoint::Client(ClientId(1)), "/data").unwrap();
+        c.run_until_quiescent();
+        let solo = c.drain_completed_reads()[0].duration();
+        // now a read racing enough pipelined writes that every node's
+        // disk serves write traffic
+        for i in 0..14 {
+            c.write_file(
+                Endpoint::Client(ClientId(100 + i)),
+                &format!("/w{i}"),
+                512 * MB,
+                3,
+            )
+            .unwrap();
+        }
+        c.open_read(Endpoint::Client(ClientId(2)), "/data").unwrap();
+        c.run_until_quiescent();
+        let busy = c
+            .drain_completed_reads()
+            .iter()
+            .find(|r| r.id.0 > 0)
+            .map(ReadStats::duration)
+            .unwrap();
+        assert!(
+            busy > solo,
+            "write pipelines must steal read bandwidth: {busy} vs {solo}"
+        );
+    }
+
+    #[test]
+    fn graceful_decommission_preserves_replication() {
+        let mut c = sim();
+        let f = c.create_file("/f", 128 * MB, 3, None).unwrap();
+        let blocks = c.namespace().file(f).unwrap().blocks.clone();
+        let victim = c.blockmap().locations(blocks[0])[0];
+        let held = c.node_block_count(victim);
+        assert!(held > 0);
+        let copies = c.decommission(victim);
+        assert_eq!(copies.len(), held);
+        c.run_until_quiescent();
+        assert!(c.drain_completed_copies().iter().all(|s| s.succeeded));
+        // now powering the node off leaves no block under-replicated
+        c.power_off(victim);
+        for &b in &blocks {
+            assert!(
+                c.blockmap().replica_count(b) >= 3,
+                "block {b} lost redundancy"
+            );
+        }
+        let under = c
+            .blockmap()
+            .under_replicated(|_| 3);
+        assert!(under.is_empty(), "{under:?}");
+    }
+
+    #[test]
+    fn is_idle_reflects_inflight_work() {
+        let mut c = sim();
+        c.create_file("/f", 64 * MB, 3, None).unwrap();
+        assert!(c.is_idle());
+        c.open_read(Endpoint::Client(ClientId(1)), "/f").unwrap();
+        c.run_until(SimTime::from_millis(100));
+        assert!(!c.is_idle());
+        c.run_until_quiescent();
+        assert!(c.is_idle());
+    }
+}

@@ -1,0 +1,152 @@
+//! Cluster configuration.
+//!
+//! Defaults mirror the paper's testbed: 18 datanodes in 3 racks behind
+//! Gigabit Ethernet, 64 MB blocks, default replication 3, and a
+//! per-datanode session cap calibrated so one replica sustains ≈8–10
+//! concurrent readers (the paper measures "the maximum concurrent access
+//! number of each replica could hold is 8-10, so the maximum of τ_M in
+//! our environment [is 8]").
+
+use serde::{Deserialize, Serialize};
+use simcore::units::{Bandwidth, Bytes, GB, MB};
+use simcore::SimDuration;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    pub datanodes: u32,
+    pub racks: u16,
+    /// HDFS block size.
+    pub block_size: Bytes,
+    /// Default replication factor (`r_D`).
+    pub default_replication: usize,
+    /// Disk capacity per datanode.
+    pub disk_capacity: Bytes,
+    /// Sequential disk bandwidth per datanode (shared by its sessions).
+    #[serde(skip, default = "default_disk_bw")]
+    pub disk_bandwidth: Bandwidth,
+    /// NIC bandwidth per datanode.
+    #[serde(skip, default = "default_nic_bw")]
+    pub nic_bandwidth: Bandwidth,
+    /// NIC bandwidth of an external client machine.
+    #[serde(skip, default = "default_nic_bw")]
+    pub client_bandwidth: Bandwidth,
+    /// Aggregate inter-rack uplink per rack (oversubscribed fabric).
+    #[serde(skip, default = "default_uplink_bw")]
+    pub rack_uplink: Bandwidth,
+    /// Concurrent sessions a datanode serves before new requests queue.
+    pub max_sessions_per_node: usize,
+    /// Fixed per-request overhead (connection setup, namenode RPC).
+    pub request_overhead: SimDuration,
+    /// Time to commission (boot) a standby node.
+    pub standby_boot_time: SimDuration,
+    /// Latency between a replication-factor change and the namenode's
+    /// replication monitor actually starting the copies (HDFS scans its
+    /// under-replication queues every few seconds).
+    pub replication_scan_delay: SimDuration,
+    /// Concurrent outbound replication streams per datanode
+    /// (`dfs.namenode.replication.max-streams`); further copies wait and
+    /// may pick newly landed replicas as sources when dispatched.
+    pub max_replication_streams: usize,
+}
+
+fn default_disk_bw() -> Bandwidth {
+    Bandwidth::from_mb_per_sec(80.0)
+}
+fn default_nic_bw() -> Bandwidth {
+    Bandwidth::from_gbit_per_sec(1.0)
+}
+fn default_uplink_bw() -> Bandwidth {
+    // 2 Gbit/s of uplink shared by each 6-node rack — a 3:1
+    // oversubscribed fabric ("network fabrics are frequently
+    // oversubscribed"), enough that cross-rack reads contend under load
+    // without strangling external clients
+    Bandwidth::from_gbit_per_sec(2.0)
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            datanodes: 18,
+            racks: 3,
+            block_size: 64 * MB,
+            default_replication: 3,
+            disk_capacity: 250 * GB,
+            disk_bandwidth: default_disk_bw(),
+            nic_bandwidth: default_nic_bw(),
+            client_bandwidth: default_nic_bw(),
+            rack_uplink: default_uplink_bw(),
+            max_sessions_per_node: 10,
+            request_overhead: SimDuration::from_millis(20),
+            standby_boot_time: SimDuration::from_secs(30),
+            replication_scan_delay: SimDuration::from_secs(3),
+            max_replication_streams: 2,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's testbed shape.
+    pub fn paper_testbed() -> Self {
+        Self::default()
+    }
+
+    /// A small cluster for fast unit tests.
+    pub fn tiny() -> Self {
+        ClusterConfig {
+            datanodes: 4,
+            racks: 2,
+            disk_capacity: 10 * GB,
+            ..Self::default()
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.datanodes == 0 {
+            return Err("need at least one datanode".into());
+        }
+        if self.racks == 0 || self.racks as u32 > self.datanodes {
+            return Err("rack count must be in 1..=datanodes".into());
+        }
+        if self.block_size == 0 {
+            return Err("block size must be positive".into());
+        }
+        if self.default_replication == 0 || self.default_replication > self.datanodes as usize {
+            return Err("default replication must be in 1..=datanodes".into());
+        }
+        if self.max_sessions_per_node == 0 {
+            return Err("session cap must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_shape() {
+        let c = ClusterConfig::paper_testbed();
+        assert_eq!(c.datanodes, 18);
+        assert_eq!(c.racks, 3);
+        assert_eq!(c.block_size, 64 * MB);
+        assert_eq!(c.default_replication, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = ClusterConfig::tiny();
+        c.datanodes = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::tiny();
+        c.racks = 10; // more racks than nodes
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::tiny();
+        c.default_replication = 99;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::tiny();
+        c.max_sessions_per_node = 0;
+        assert!(c.validate().is_err());
+    }
+}

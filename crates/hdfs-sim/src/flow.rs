@@ -1,0 +1,447 @@
+//! Fair-share flow-level network model.
+//!
+//! Every transfer (block read, replica copy) is a **flow** with a byte
+//! count and a set of capacity **resources** it traverses — the serving
+//! datanode's disk, its NIC, the reader's NIC, and the rack uplinks when
+//! the path crosses racks. Rates are assigned by **max-min fair
+//! progressive filling**: all flows fill equally until some resource
+//! saturates, flows through it freeze, and the rest keep filling. This
+//! is the standard fluid approximation of TCP sharing and reproduces the
+//! contention behaviour the paper measures (per-session throughput
+//! collapsing as sessions pile onto the nodes holding hot replicas).
+//!
+//! Rates are recomputed from scratch on every flow arrival/departure and
+//! on capacity changes (node death). Clusters here run at most a few
+//! hundred concurrent flows, so the O(flows × resources) recompute is
+//! nowhere near the profile.
+
+use simcore::units::Bandwidth;
+use simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// A capacity resource (a NIC, a disk, a rack uplink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub usize);
+
+/// A flow in progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+#[derive(Debug)]
+struct Flow {
+    resources: Vec<ResourceId>,
+    remaining: f64,
+    rate: f64,
+}
+
+/// The flow network.
+#[derive(Debug, Default)]
+pub struct FlowNet {
+    capacities: Vec<f64>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_flow: u64,
+    last_settle: SimTime,
+}
+
+impl FlowNet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a resource; capacity may later change (e.g. node death).
+    pub fn add_resource(&mut self, capacity: Bandwidth) -> ResourceId {
+        self.capacities.push(capacity.bytes_per_sec());
+        ResourceId(self.capacities.len() - 1)
+    }
+
+    pub fn set_capacity(&mut self, now: SimTime, r: ResourceId, capacity: Bandwidth) {
+        self.settle(now);
+        self.capacities[r.0] = capacity.bytes_per_sec();
+        self.recompute();
+    }
+
+    pub fn capacity(&self, r: ResourceId) -> Bandwidth {
+        Bandwidth(self.capacities[r.0])
+    }
+
+    /// Start a flow of `bytes` across `resources`.
+    pub fn start(&mut self, now: SimTime, bytes: u64, resources: Vec<ResourceId>) -> FlowId {
+        debug_assert!(resources.iter().all(|r| r.0 < self.capacities.len()));
+        self.settle(now);
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                resources,
+                remaining: bytes as f64,
+                rate: 0.0,
+            },
+        );
+        self.recompute();
+        id
+    }
+
+    /// Remove a flow (completion or cancellation). Returns the bytes it
+    /// still had left (0 ⇒ it was done).
+    pub fn remove(&mut self, now: SimTime, id: FlowId) -> Option<u64> {
+        self.settle(now);
+        let flow = self.flows.remove(&id)?;
+        self.recompute();
+        Some(flow.remaining.max(0.0).round() as u64)
+    }
+
+    pub fn contains(&self, id: FlowId) -> bool {
+        self.flows.contains_key(&id)
+    }
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Current rate of a flow in bytes/sec.
+    pub fn rate(&self, id: FlowId) -> Option<Bandwidth> {
+        self.flows.get(&id).map(|f| Bandwidth(f.rate))
+    }
+
+    /// Remaining bytes of a flow as of the last settle point.
+    pub fn remaining(&self, id: FlowId) -> Option<u64> {
+        self.flows.get(&id).map(|f| f.remaining.max(0.0).round() as u64)
+    }
+
+    /// Predicted completion time of a flow given current rates.
+    pub fn eta(&self, id: FlowId) -> Option<SimTime> {
+        let f = self.flows.get(&id)?;
+        Some(self.last_settle + Bandwidth(f.rate).transfer_time(f.remaining.max(0.0) as u64))
+    }
+
+    /// The earliest (time, flow) completion under current rates.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        self.flows
+            .iter()
+            .map(|(&id, f)| {
+                let d = if f.rate <= f64::EPSILON {
+                    SimDuration::from_hours(24 * 365)
+                } else {
+                    SimDuration::from_secs_f64((f.remaining.max(0.0)) / f.rate)
+                };
+                (self.last_settle + d, id)
+            })
+            .min_by_key(|&(t, id)| (t, id))
+    }
+
+    /// Advance internal progress accounting to `now`.
+    pub fn settle(&mut self, now: SimTime) {
+        if now <= self.last_settle {
+            return;
+        }
+        let dt = (now - self.last_settle).as_secs_f64();
+        for f in self.flows.values_mut() {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+        self.last_settle = now;
+    }
+
+    /// Max-min fair progressive filling.
+    fn recompute(&mut self) {
+        let n_res = self.capacities.len();
+        let mut residual = self.capacities.clone();
+        let mut frozen: BTreeMap<FlowId, f64> = BTreeMap::new();
+        let mut level = 0.0f64;
+        // flows not yet frozen
+        let mut live: Vec<FlowId> = self.flows.keys().copied().collect();
+
+        while !live.is_empty() {
+            // count live flows per resource
+            let mut counts = vec![0usize; n_res];
+            for id in &live {
+                for r in &self.flows[id].resources {
+                    counts[r.0] += 1;
+                }
+            }
+            // headroom per live flow on each loaded resource
+            let mut delta = f64::INFINITY;
+            for r in 0..n_res {
+                if counts[r] > 0 {
+                    delta = delta.min(residual[r].max(0.0) / counts[r] as f64);
+                }
+            }
+            if !delta.is_finite() {
+                // live flows traverse no resources: unconstrained — give
+                // them an effectively unlimited rate and stop.
+                for id in live.drain(..) {
+                    frozen.insert(id, f64::MAX / 4.0);
+                }
+                break;
+            }
+            level += delta;
+            for r in 0..n_res {
+                residual[r] -= delta * counts[r] as f64;
+            }
+            // freeze flows crossing any saturated resource
+            let eps = 1e-6;
+            let before = live.len();
+            live.retain(|id| {
+                let saturated = self.flows[id]
+                    .resources
+                    .iter()
+                    .any(|r| residual[r.0] <= eps);
+                if saturated {
+                    frozen.insert(*id, level);
+                }
+                !saturated
+            });
+            debug_assert!(
+                live.len() < before || live.is_empty(),
+                "progressive filling must make progress"
+            );
+            if live.len() == before {
+                // numerical corner: freeze everything at current level
+                for id in live.drain(..) {
+                    frozen.insert(id, level);
+                }
+            }
+        }
+
+        for (id, f) in self.flows.iter_mut() {
+            f.rate = frozen.get(id).copied().unwrap_or(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::MB;
+
+    fn bw(mb: f64) -> Bandwidth {
+        Bandwidth::from_mb_per_sec(mb)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_rate() {
+        let mut net = FlowNet::new();
+        let disk = net.add_resource(bw(80.0));
+        let nic = net.add_resource(bw(119.0));
+        let f = net.start(SimTime::ZERO, 80 * MB, vec![disk, nic]);
+        assert!((net.rate(f).unwrap().mb_per_sec() - 80.0).abs() < 1e-6);
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_resource_equally() {
+        let mut net = FlowNet::new();
+        let disk = net.add_resource(bw(80.0));
+        let f1 = net.start(SimTime::ZERO, 80 * MB, vec![disk]);
+        let f2 = net.start(SimTime::ZERO, 80 * MB, vec![disk]);
+        assert!((net.rate(f1).unwrap().mb_per_sec() - 40.0).abs() < 1e-6);
+        assert!((net.rate(f2).unwrap().mb_per_sec() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_unconstrained_flow() {
+        // Two flows share disk A (80); flow 2 also crosses a slow client
+        // NIC (10). True max-min: f2 = 10, f1 = 70. Plain equal split
+        // would wrongly give f1 = 40.
+        let mut net = FlowNet::new();
+        let disk = net.add_resource(bw(80.0));
+        let slow_nic = net.add_resource(bw(10.0));
+        let f1 = net.start(SimTime::ZERO, MB, vec![disk]);
+        let f2 = net.start(SimTime::ZERO, MB, vec![disk, slow_nic]);
+        assert!((net.rate(f2).unwrap().mb_per_sec() - 10.0).abs() < 1e-6);
+        assert!((net.rate(f1).unwrap().mb_per_sec() - 70.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn progress_settles_across_rate_changes() {
+        let mut net = FlowNet::new();
+        let disk = net.add_resource(bw(100.0));
+        let f1 = net.start(SimTime::ZERO, 200 * MB, vec![disk]);
+        // at t=1s, 100MB done; start a second flow → both at 50
+        let f2 = net.start(SimTime::from_secs(1), 100 * MB, vec![disk]);
+        assert_eq!(net.remaining(f1), Some(100 * MB));
+        assert!((net.rate(f1).unwrap().mb_per_sec() - 50.0).abs() < 1e-6);
+        // both need 2 more seconds
+        let (t, _) = net.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-6);
+        // completing f1 at t=3 restores f2 to full rate with 0 left
+        net.settle(SimTime::from_secs(3));
+        assert_eq!(net.remaining(f1), Some(0));
+        assert_eq!(net.remaining(f2), Some(0));
+        assert_eq!(net.remove(SimTime::from_secs(3), f1), Some(0));
+        assert_eq!(net.remove(SimTime::from_secs(3), f2), Some(0));
+        assert!(net.next_completion().is_none());
+    }
+
+    #[test]
+    fn capacity_change_rebalances() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(bw(100.0));
+        let f = net.start(SimTime::ZERO, 100 * MB, vec![nic]);
+        net.set_capacity(SimTime::from_millis(500), nic, bw(50.0));
+        assert!((net.rate(f).unwrap().mb_per_sec() - 50.0).abs() < 1e-6);
+        // 50MB left at 50MB/s → done at t=1.5
+        let (t, _) = net.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_capacity_stalls_but_does_not_hang() {
+        let mut net = FlowNet::new();
+        let dead = net.add_resource(bw(0.0));
+        let f = net.start(SimTime::ZERO, MB, vec![dead]);
+        assert_eq!(net.rate(f).unwrap().bytes_per_sec(), 0.0);
+        let (t, _) = net.next_completion().unwrap();
+        assert!(t.as_secs_f64() > 1e6, "stalled flow sorts far in the future");
+        // removing the stalled flow reports its bytes intact
+        assert_eq!(net.remove(SimTime::from_secs(10), f), Some(MB));
+    }
+
+    #[test]
+    fn removal_mid_flight_reports_leftover() {
+        let mut net = FlowNet::new();
+        let disk = net.add_resource(bw(100.0));
+        let f = net.start(SimTime::ZERO, 100 * MB, vec![disk]);
+        let left = net.remove(SimTime::from_millis(250), f).unwrap();
+        assert_eq!(left, 75 * MB);
+        assert!(net.remove(SimTime::from_secs(1), f).is_none(), "double remove");
+    }
+
+    #[test]
+    fn many_flows_conserve_capacity() {
+        let mut net = FlowNet::new();
+        let disk = net.add_resource(bw(80.0));
+        let flows: Vec<FlowId> = (0..16)
+            .map(|_| net.start(SimTime::ZERO, MB, vec![disk]))
+            .collect();
+        let total: f64 = flows
+            .iter()
+            .map(|&f| net.rate(f).unwrap().mb_per_sec())
+            .sum();
+        assert!((total - 80.0).abs() < 1e-3, "sum of rates = capacity, got {total}");
+        for &f in &flows {
+            assert!((net.rate(f).unwrap().mb_per_sec() - 5.0).abs() < 1e-6);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random topologies: flows over random subsets of resources.
+        fn arb_net() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+            (2usize..8, 1usize..14).prop_flat_map(|(n_res, n_flows)| {
+                let caps = prop::collection::vec(1.0f64..200.0, n_res);
+                let paths = prop::collection::vec(
+                    prop::collection::btree_set(0..n_res, 1..=n_res.min(4)),
+                    n_flows,
+                )
+                .prop_map(|v| v.into_iter().map(|s| s.into_iter().collect()).collect());
+                (caps, paths)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            #[test]
+            fn rates_are_max_min_fair((caps, paths) in arb_net()) {
+                let mut net = FlowNet::new();
+                let res: Vec<ResourceId> = caps
+                    .iter()
+                    .map(|&c| net.add_resource(Bandwidth(c)))
+                    .collect();
+                let flows: Vec<FlowId> = paths
+                    .iter()
+                    .map(|p| {
+                        let r: Vec<ResourceId> = p.iter().map(|&i| res[i]).collect();
+                        net.start(SimTime::ZERO, 1 << 30, r)
+                    })
+                    .collect();
+                let rates: Vec<f64> = flows
+                    .iter()
+                    .map(|&f| net.rate(f).unwrap().bytes_per_sec())
+                    .collect();
+
+                // feasibility: no resource is oversubscribed
+                let eps = 1e-6;
+                let mut load = vec![0.0f64; caps.len()];
+                for (path, &rate) in paths.iter().zip(&rates) {
+                    for &r in path {
+                        load[r] += rate;
+                    }
+                }
+                for (r, (&l, &c)) in load.iter().zip(&caps).enumerate() {
+                    prop_assert!(l <= c + eps * c.max(1.0), "resource {r}: {l} > {c}");
+                }
+
+                // max-min optimality: every flow is blocked by a resource
+                // that is saturated AND on which it has a maximal rate
+                // (no flow could grow without shrinking a smaller one)
+                for (i, path) in paths.iter().enumerate() {
+                    let blocked = path.iter().any(|&r| {
+                        let saturated = load[r] >= caps[r] - eps * caps[r].max(1.0);
+                        let maximal = paths
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, q)| q.contains(&r))
+                            .all(|(j, _)| rates[j] <= rates[i] + eps);
+                        saturated && maximal
+                    });
+                    prop_assert!(blocked, "flow {i} (rate {}) has headroom", rates[i]);
+                }
+            }
+
+            #[test]
+            fn settle_conserves_bytes(
+                (caps, paths) in arb_net(),
+                steps in prop::collection::vec(1u64..500, 1..6),
+            ) {
+                // Advancing in many small steps must account the same
+                // progress as advancing once (piecewise-constant rates:
+                // no flow completes mid-interval here because we never
+                // remove flows, so rates are constant throughout).
+                let total_ms: u64 = steps.iter().sum();
+                let build = |net: &mut FlowNet| -> Vec<FlowId> {
+                    let res: Vec<ResourceId> = caps
+                        .iter()
+                        .map(|&c| net.add_resource(Bandwidth(c)))
+                        .collect();
+                    paths
+                        .iter()
+                        .map(|p| {
+                            let r: Vec<ResourceId> = p.iter().map(|&i| res[i]).collect();
+                            net.start(SimTime::ZERO, 1 << 40, r)
+                        })
+                        .collect()
+                };
+                let mut stepped = FlowNet::new();
+                let fs = build(&mut stepped);
+                let mut t = 0u64;
+                for &ms in &steps {
+                    t += ms;
+                    stepped.settle(SimTime::from_millis(t));
+                }
+                let mut whole = FlowNet::new();
+                let fw = build(&mut whole);
+                whole.settle(SimTime::from_millis(total_ms));
+                for (&a, &b) in fs.iter().zip(&fw) {
+                    let ra = stepped.remaining(a).unwrap();
+                    let rb = whole.remaining(b).unwrap();
+                    let diff = ra.abs_diff(rb);
+                    prop_assert!(diff <= 8, "stepped {ra} vs whole {rb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_rack_path_bottlenecks_on_uplink() {
+        let mut net = FlowNet::new();
+        let src_nic = net.add_resource(bw(119.0));
+        let uplink = net.add_resource(bw(30.0));
+        let dst_nic = net.add_resource(bw(119.0));
+        let f = net.start(SimTime::ZERO, MB, vec![src_nic, uplink, dst_nic]);
+        assert!((net.rate(f).unwrap().mb_per_sec() - 30.0).abs() < 1e-6);
+    }
+}

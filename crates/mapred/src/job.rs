@@ -1,0 +1,123 @@
+//! Job and task model.
+
+use hdfs_sim::BlockId;
+use simcore::units::Bytes;
+use simcore::{SimDuration, SimTime};
+
+/// A MapReduce job as submitted: which file it scans and how much
+/// compute each mapper burns after reading its block.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub name: String,
+    /// Input file path in the simulated HDFS namespace.
+    pub input: String,
+    /// Submission time relative to the replay start.
+    pub submit_at: SimTime,
+    /// CPU time per map task after its block is read.
+    pub compute_per_block: SimDuration,
+    /// Shuffle+reduce time after the last mapper finishes.
+    pub reduce_duration: SimDuration,
+}
+
+/// Task lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    Pending,
+    Reading,
+    Computing,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct MapTask {
+    pub block: BlockId,
+    pub state: TaskState,
+    /// Whether the tracker it ran on held the block (node-local).
+    pub node_local: Option<bool>,
+}
+
+/// Job lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Not yet submitted (arrival timer pending).
+    Future,
+    /// Maps pending/running.
+    Mapping,
+    /// All maps done, reduce running.
+    Reducing,
+    Done,
+}
+
+/// Final per-job accounting.
+#[derive(Debug, Clone)]
+pub struct JobStats {
+    pub name: String,
+    pub input: String,
+    pub submitted: SimTime,
+    pub finished: SimTime,
+    pub map_tasks: u32,
+    pub node_local_tasks: u32,
+    pub bytes_read: Bytes,
+    /// Sum over map tasks of their block read durations.
+    pub total_read_secs: f64,
+}
+
+impl JobStats {
+    pub fn duration_secs(&self) -> f64 {
+        (self.finished - self.submitted).as_secs_f64()
+    }
+    /// Fraction of map tasks that ran on a node holding their block.
+    pub fn locality(&self) -> f64 {
+        if self.map_tasks == 0 {
+            0.0
+        } else {
+            self.node_local_tasks as f64 / self.map_tasks as f64
+        }
+    }
+    /// Mean per-task read throughput in MB/s.
+    pub fn read_throughput_mb_s(&self) -> f64 {
+        if self.total_read_secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes_read as f64 / (1 << 20) as f64 / self.total_read_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_derivations() {
+        let s = JobStats {
+            name: "j".into(),
+            input: "/f".into(),
+            submitted: SimTime::from_secs(10),
+            finished: SimTime::from_secs(70),
+            map_tasks: 8,
+            node_local_tasks: 6,
+            bytes_read: 512 << 20,
+            total_read_secs: 16.0,
+        };
+        assert_eq!(s.duration_secs(), 60.0);
+        assert!((s.locality() - 0.75).abs() < 1e-12);
+        assert!((s.read_throughput_mb_s() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_job_locality_is_zero() {
+        let s = JobStats {
+            name: "j".into(),
+            input: "/f".into(),
+            submitted: SimTime::ZERO,
+            finished: SimTime::ZERO,
+            map_tasks: 0,
+            node_local_tasks: 0,
+            bytes_read: 0,
+            total_read_secs: 0.0,
+        };
+        assert_eq!(s.locality(), 0.0);
+        assert_eq!(s.read_throughput_mb_s(), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! `mapred` — a MapReduce execution model over the HDFS simulator.
+//!
+//! Figure 3 of the paper replays a SWIM-synthesised Facebook trace under
+//! the FIFO and Fair schedulers and measures how ERMS's extra replicas
+//! change read throughput and **data locality**. That requires modelling
+//! the part of Hadoop that decides *where map tasks run*:
+//!
+//! * [`job`] — jobs, map tasks bound to input blocks, per-task compute
+//!   cost, job lifecycle stats;
+//! * [`scheduler`] — the [`scheduler::TaskScheduler`] trait with the two
+//!   policies the paper evaluates: strict-FIFO (locality-aware only
+//!   within the head job) and Fair with **delay scheduling** ("the Fair
+//!   scheduler is able to increase data locality at the cost of a small
+//!   delay for tasks");
+//! * [`runner`] — the tasktracker/slot model that drives a
+//!   [`hdfs_sim::ClusterSim`]: each assigned mapper opens its block on
+//!   the simulated cluster, computes for a configurable time and frees
+//!   its slot; the runner also hosts the periodic controller hook the
+//!   ERMS manager ticks from.
+
+pub mod job;
+pub mod runner;
+pub mod scheduler;
+
+pub use job::{JobSpec, JobStats};
+pub use runner::{ControllerHook, MapReduceRunner, RunnerConfig};
+pub use scheduler::{FairScheduler, FifoScheduler, PendingTask, TaskScheduler};

@@ -1,0 +1,243 @@
+//! Task schedulers: FIFO and Fair with delay scheduling.
+//!
+//! The scheduler answers one question: *a slot on node N is free — which
+//! pending map task should take it?* The two policies the paper
+//! evaluates differ in whose tasks get the slot and how hard they hold
+//! out for locality:
+//!
+//! * **FIFO** serves jobs strictly in arrival order, preferring a
+//!   node-local task *within the head job* (Hadoop's classic behaviour).
+//!   With three replicas and many concurrent jobs the head job rarely
+//!   has a local block on the offered node, so locality suffers — which
+//!   is exactly why ERMS's extra replicas help FIFO so much in Fig. 3.
+//! * **Fair** picks the job with the fewest running tasks (equal shares)
+//!   and applies **delay scheduling**: a job without a local task on the
+//!   offered node passes up to `max_delay_rounds` slot offers before it
+//!   accepts a remote one.
+
+use crate::job::JobSpec;
+use hdfs_sim::{BlockId, NodeId};
+
+/// One schedulable task, as shown to a scheduler.
+#[derive(Debug, Clone)]
+pub struct PendingTask {
+    /// Index of the owning job in the runner's job table.
+    pub job: usize,
+    /// Index of the task within the job.
+    pub task: usize,
+    pub block: BlockId,
+    /// Nodes currently holding a replica of `block`.
+    pub holders: Vec<NodeId>,
+}
+
+impl PendingTask {
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.holders.contains(&node)
+    }
+}
+
+/// Scheduler interface. `running_per_job[j]` counts running tasks of job
+/// `j`; jobs not yet submitted have no pending tasks.
+pub trait TaskScheduler {
+    /// Pick the index (into `pending`) of the task to run on `node`, or
+    /// `None` to leave the slot idle this round.
+    fn pick(
+        &mut self,
+        node: NodeId,
+        pending: &[PendingTask],
+        running_per_job: &[usize],
+    ) -> Option<usize>;
+
+    /// Called when a job is submitted (for per-job scheduler state).
+    fn on_job_submitted(&mut self, job: usize, spec: &JobSpec) {
+        let _ = (job, spec);
+    }
+
+    fn name(&self) -> &'static str;
+}
+
+/// Strict job-arrival-order scheduling.
+#[derive(Debug, Default)]
+pub struct FifoScheduler;
+
+impl TaskScheduler for FifoScheduler {
+    fn pick(
+        &mut self,
+        node: NodeId,
+        pending: &[PendingTask],
+        _running_per_job: &[usize],
+    ) -> Option<usize> {
+        // head job = smallest job index with a pending task
+        let head = pending.iter().map(|t| t.job).min()?;
+        // prefer a node-local task of the head job
+        if let Some(i) = pending
+            .iter()
+            .position(|t| t.job == head && t.is_local_to(node))
+        {
+            return Some(i);
+        }
+        pending.iter().position(|t| t.job == head)
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Fair sharing with delay scheduling.
+#[derive(Debug)]
+pub struct FairScheduler {
+    max_delay_rounds: u32,
+    /// Per-job count of consecutive slot offers declined for locality.
+    skips: Vec<u32>,
+}
+
+impl FairScheduler {
+    pub fn new(max_delay_rounds: u32) -> Self {
+        FairScheduler {
+            max_delay_rounds,
+            skips: Vec::new(),
+        }
+    }
+}
+
+impl Default for FairScheduler {
+    fn default() -> Self {
+        // a few rounds of patience, as in the delay-scheduling paper
+        FairScheduler::new(3)
+    }
+}
+
+impl TaskScheduler for FairScheduler {
+    fn pick(
+        &mut self,
+        node: NodeId,
+        pending: &[PendingTask],
+        running_per_job: &[usize],
+    ) -> Option<usize> {
+        if pending.is_empty() {
+            return None;
+        }
+        // jobs with pending work, most-starved (fewest running) first
+        let mut jobs: Vec<usize> = pending.iter().map(|t| t.job).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        jobs.sort_by_key(|&j| (running_per_job.get(j).copied().unwrap_or(0), j));
+
+        for &j in &jobs {
+            if self.skips.len() <= j {
+                self.skips.resize(j + 1, 0);
+            }
+            // local task for this job on the offered node?
+            if let Some(i) = pending
+                .iter()
+                .position(|t| t.job == j && t.is_local_to(node))
+            {
+                self.skips[j] = 0;
+                return Some(i);
+            }
+            if self.skips[j] < self.max_delay_rounds {
+                // hold out for locality; let a lower-share job try
+                self.skips[j] += 1;
+                continue;
+            }
+            // patience exhausted: take a remote task
+            let i = pending.iter().position(|t| t.job == j).expect("job has pending");
+            self.skips[j] = 0;
+            return Some(i);
+        }
+        // every job is waiting out its delay — leave the slot idle
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(job: usize, task_idx: usize, block: u64, holders: &[u32]) -> PendingTask {
+        PendingTask {
+            job,
+            task: task_idx,
+            block: BlockId(block),
+            holders: holders.iter().map(|&n| NodeId(n)).collect(),
+        }
+    }
+
+    #[test]
+    fn fifo_serves_head_job_first() {
+        let mut s = FifoScheduler;
+        let pending = vec![
+            task(1, 0, 10, &[5]),
+            task(0, 0, 20, &[7]),
+            task(0, 1, 21, &[3]),
+        ];
+        // node 3 holds job0/task1's block → local pick within head job
+        assert_eq!(s.pick(NodeId(3), &pending, &[0, 0]), Some(2));
+        // node 9 holds nothing → first task of head job
+        assert_eq!(s.pick(NodeId(9), &pending, &[0, 0]), Some(1));
+    }
+
+    #[test]
+    fn fifo_ignores_later_jobs_even_for_locality() {
+        let mut s = FifoScheduler;
+        let pending = vec![task(0, 0, 20, &[7]), task(1, 0, 10, &[5])];
+        // node 5 is local for job 1, but FIFO still picks job 0
+        assert_eq!(s.pick(NodeId(5), &pending, &[0, 0]), Some(0));
+    }
+
+    #[test]
+    fn fifo_empty_pending() {
+        let mut s = FifoScheduler;
+        assert_eq!(s.pick(NodeId(0), &[], &[]), None);
+    }
+
+    #[test]
+    fn fair_prefers_starved_job() {
+        let mut s = FairScheduler::new(0); // no delay: pure fair share
+        let pending = vec![task(0, 0, 1, &[9]), task(1, 0, 2, &[9])];
+        // job 0 has 5 running, job 1 has 1 → job 1 gets the slot
+        assert_eq!(s.pick(NodeId(9), &pending, &[5, 1]), Some(1));
+    }
+
+    #[test]
+    fn fair_delay_holds_out_for_locality() {
+        let mut s = FairScheduler::new(2);
+        let pending = vec![task(0, 0, 1, &[4])];
+        // offers on a non-local node: skipped twice, accepted the third time
+        assert_eq!(s.pick(NodeId(0), &pending, &[0]), None);
+        assert_eq!(s.pick(NodeId(0), &pending, &[0]), None);
+        assert_eq!(s.pick(NodeId(0), &pending, &[0]), Some(0));
+    }
+
+    #[test]
+    fn fair_local_offer_resets_patience() {
+        let mut s = FairScheduler::new(2);
+        let pending = vec![task(0, 0, 1, &[4]), task(0, 1, 2, &[4])];
+        assert_eq!(s.pick(NodeId(0), &pending, &[0]), None, "skip 1");
+        // a local offer arrives: accepted, patience reset
+        assert_eq!(s.pick(NodeId(4), &pending, &[0]), Some(0));
+        assert_eq!(s.pick(NodeId(0), &pending[1..], &[1]), None, "skip count restarted");
+    }
+
+    #[test]
+    fn fair_falls_through_to_next_job_while_delaying() {
+        let mut s = FairScheduler::new(5);
+        let pending = vec![
+            task(0, 0, 1, &[4]), // starved job, not local to node 7
+            task(1, 0, 2, &[7]), // less starved job, local to node 7
+        ];
+        // job 0 delays; job 1 has a local task → job 1 runs
+        assert_eq!(s.pick(NodeId(7), &pending, &[0, 0]), Some(1));
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(FifoScheduler.name(), "fifo");
+        assert_eq!(FairScheduler::default().name(), "fair");
+    }
+}

@@ -1,0 +1,175 @@
+//! Closure-based orchestration engine.
+//!
+//! Domain simulators (the HDFS cluster, the MapReduce runner) define their
+//! own typed event enums over [`crate::EventQueue`]; the [`Engine`] here
+//! serves the layer *above* them — experiment scripts that need to fire
+//! arbitrary actions ("submit job 17", "kill node 4", "run the ERMS epoch")
+//! at given instants without inventing an enum per experiment.
+//!
+//! An action receives the world `W` and the engine itself, so it can
+//! schedule follow-up actions (periodic controllers are a one-liner).
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A deferred action over world `W`.
+pub type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+/// A repeating action over world `W` (returns false to stop).
+pub type RepeatingAction<W> = Box<dyn FnMut(&mut W, &mut Engine<W>) -> bool>;
+
+/// A discrete-event executor for closure actions.
+pub struct Engine<W> {
+    queue: EventQueue<Action<W>>,
+}
+
+impl<W: 'static> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: 'static> Engine<W> {
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    pub fn at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.queue.schedule(at, Box::new(f))
+    }
+
+    /// Schedule `f` to run `d` after the current time.
+    pub fn after<F>(&mut self, d: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        let t = self.now() + d;
+        self.at(t, f)
+    }
+
+    /// Schedule `f` to run every `period`, starting at `start`, until it
+    /// returns `false`.
+    pub fn every<F>(&mut self, start: SimTime, period: SimDuration, f: F)
+    where
+        F: FnMut(&mut W, &mut Engine<W>) -> bool + 'static,
+    {
+        fn tick<W: 'static>(
+            mut f: RepeatingAction<W>,
+            period: SimDuration,
+            world: &mut W,
+            eng: &mut Engine<W>,
+        ) {
+            if f(world, eng) {
+                let next = eng.now() + period;
+                eng.at(next, move |w, e| tick(f, period, w, e));
+            }
+        }
+        let boxed: RepeatingAction<W> = Box::new(f);
+        self.at(start, move |w, e| tick(boxed, period, w, e));
+    }
+
+    pub fn cancel(&mut self, id: EventId) {
+        self.queue.cancel(id);
+    }
+
+    /// Run until the queue drains. Returns the final time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while let Some((_, action)) = self.queue.pop() {
+            action(world, self);
+        }
+        self.now()
+    }
+
+    /// Run until the queue drains or the clock passes `deadline`
+    /// (events strictly after `deadline` stay queued).
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline {
+                break;
+            }
+            let (_, action) = self.queue.pop().expect("peeked event vanished");
+            action(world, self);
+        }
+        self.queue.advance_to(deadline.min(self.now().max(deadline)));
+        self.now()
+    }
+
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_run_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut world = Vec::new();
+        eng.at(SimTime::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+        eng.at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        eng.at(SimTime::from_secs(3), |w: &mut Vec<u32>, _| w.push(3));
+        eng.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn actions_can_schedule_followups() {
+        let mut eng: Engine<Vec<f64>> = Engine::new();
+        let mut world = Vec::new();
+        eng.at(SimTime::from_secs(1), |w: &mut Vec<f64>, e: &mut Engine<Vec<f64>>| {
+            w.push(e.now().as_secs_f64());
+            e.after(SimDuration::from_secs(4), |w, e| {
+                w.push(e.now().as_secs_f64());
+            });
+        });
+        eng.run(&mut world);
+        assert_eq!(world, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn periodic_until_false() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut count = 0u32;
+        eng.every(SimTime::from_secs(1), SimDuration::from_secs(1), |w: &mut u32, _| {
+            *w += 1;
+            *w < 5
+        });
+        eng.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut world = Vec::new();
+        eng.at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        eng.at(SimTime::from_secs(10), |w: &mut Vec<u32>, _| w.push(10));
+        eng.run_until(&mut world, SimTime::from_secs(5));
+        assert_eq!(world, vec![1]);
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut world);
+        assert_eq!(world, vec![1, 10]);
+    }
+
+    #[test]
+    fn cancelled_action_never_runs() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut world = Vec::new();
+        let id = eng.at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        eng.cancel(id);
+        eng.run(&mut world);
+        assert!(world.is_empty());
+    }
+}

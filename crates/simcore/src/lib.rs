@@ -1,0 +1,42 @@
+//! `simcore` — foundation for the ERMS reproduction's discrete-event
+//! simulations.
+//!
+//! The crate deliberately contains no HDFS- or ERMS-specific logic; it
+//! provides the four things every substrate in the workspace needs:
+//!
+//! * [`time`] — a nanosecond-resolution simulated clock ([`SimTime`],
+//!   [`SimDuration`]) with total ordering and saturating arithmetic,
+//! * [`queue`] — a deterministic, cancellable event queue
+//!   ([`EventQueue`]) plus a closure-based orchestration engine
+//!   ([`engine::Engine`]),
+//! * [`rng`] — seeded, reproducible random sources and the heavy-tailed
+//!   distributions the workloads are built from,
+//! * [`stats`] — online statistics, histograms, CDF and time-series
+//!   recorders used by every experiment harness.
+//!
+//! Determinism is a design requirement: two runs with the same seed must
+//! produce byte-identical figure output, so the event queue breaks time
+//! ties by insertion sequence and all randomness flows through [`rng::DetRng`].
+//!
+//! ```
+//! use simcore::{EventQueue, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.schedule(SimTime::from_secs(2), "flow done");
+//! let boot = queue.schedule(SimTime::from_secs(1), "node booted");
+//! queue.cancel(boot); // lazy O(1) cancellation
+//! assert_eq!(queue.pop(), Some((SimTime::from_secs(2), "flow done")));
+//! assert_eq!(queue.now(), SimTime::from_secs(2));
+//! ```
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use engine::Engine;
+pub use queue::{EventId, EventQueue};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,423 @@
+//! Online statistics and experiment recorders.
+//!
+//! The figure harness reports means, percentiles, CDFs and time series;
+//! all of them are accumulated online so a month-long trace replay never
+//! buffers per-event data it does not need.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merge another accumulator into this one (parallel sweeps reduce
+    /// per-shard accumulators with this).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.mean = mean;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Clone, Debug, Serialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo && buckets > 0);
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate quantile from bucket midpoints, `q` in `[0,1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.lo + (i as f64 + 0.5) * w;
+            }
+        }
+        self.hi
+    }
+}
+
+/// Empirical CDF recorder. Buffers samples; call [`Cdf::curve`] to get
+/// `(value, fraction ≤ value)` points. Used for Figure 4.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Cdf {
+    samples: Vec<f64>,
+}
+
+impl Cdf {
+    pub fn new() -> Self {
+        Cdf { samples: Vec::new() }
+    }
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// CDF evaluated at `points` evenly spaced values across the sample
+    /// range (inclusive of the max).
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (sorted[0], *sorted.last().expect("non-empty"));
+        let n = sorted.len() as f64;
+        (0..points)
+            .map(|i| {
+                let x = if points == 1 {
+                    hi
+                } else {
+                    lo + (hi - lo) * i as f64 / (points - 1) as f64
+                };
+                let cnt = sorted.partition_point(|&s| s <= x);
+                (x, cnt as f64 / n)
+            })
+            .collect()
+    }
+
+    /// Exact fraction of samples ≤ `x`.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let cnt = self.samples.iter().filter(|&&s| s <= x).count();
+        cnt as f64 / self.samples.len() as f64
+    }
+}
+
+/// A `(time, value)` series recorder, e.g. storage utilisation over the
+/// course of a run (Figure 5).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        self.points.push((t.as_secs_f64(), v));
+    }
+
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Piecewise-constant (sample-and-hold) value at time `t_secs`.
+    pub fn value_at(&self, t_secs: f64) -> Option<f64> {
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t_secs);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.points[idx - 1].1)
+        }
+    }
+
+    /// Downsample onto `n` evenly spaced timestamps (sample-and-hold),
+    /// for compact figure output.
+    pub fn resample(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let lo = self.points[0].0;
+        let hi = self.points.last().expect("non-empty").0;
+        (0..n)
+            .map(|i| {
+                let t = if n == 1 {
+                    hi
+                } else {
+                    lo + (hi - lo) * i as f64 / (n - 1) as f64
+                };
+                (t, self.value_at(t).unwrap_or(self.points[0].1))
+            })
+            .collect()
+    }
+}
+
+/// A monotone named counter set, used for locality accounting and event
+/// tallies in the harness.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Counters {
+    entries: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn bump(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+    pub fn add(&mut self, key: &'static str, by: u64) {
+        *self.entries.entry(key).or_insert(0) += by;
+    }
+    pub fn get(&self, key: &str) -> u64 {
+        self.entries.get(key).copied().unwrap_or(0)
+    }
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantile() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 / 10.0);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 100);
+        let median = h.quantile(0.5);
+        assert!((median - 5.0).abs() <= 1.0, "median {median}");
+    }
+
+    #[test]
+    fn histogram_overflow_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-1.0);
+        h.push(2.0);
+        h.push(0.5);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 1);
+        assert_eq!(h.quantile(0.0), 0.0); // underflow pins to lo
+    }
+
+    #[test]
+    fn cdf_curve_monotone_and_complete() {
+        let mut c = Cdf::new();
+        for i in 0..1000 {
+            c.push((i % 97) as f64);
+        }
+        let curve = c.curve(50);
+        assert_eq!(curve.len(), 50);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+        assert!((curve.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+        assert!((c.fraction_leq(96.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeseries_sample_and_hold() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(0), 1.0);
+        ts.record(SimTime::from_secs(10), 5.0);
+        ts.record(SimTime::from_secs(20), 3.0);
+        assert_eq!(ts.value_at(-1.0), None);
+        assert_eq!(ts.value_at(5.0), Some(1.0));
+        assert_eq!(ts.value_at(10.0), Some(5.0));
+        assert_eq!(ts.value_at(100.0), Some(3.0));
+        assert_eq!(ts.max_value(), Some(5.0));
+        let rs = ts.resample(3);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].1, 1.0);
+        assert_eq!(rs[2].1, 3.0);
+    }
+
+    #[test]
+    fn counters() {
+        let mut c = Counters::new();
+        c.bump("local");
+        c.add("local", 2);
+        c.bump("remote");
+        assert_eq!(c.get("local"), 3);
+        assert_eq!(c.get("remote"), 1);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.iter().count(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Storage and bandwidth units.
+//!
+//! HDFS speaks in binary units (a "64 MB block" is 64 MiB); this module
+//! follows that convention. Bandwidth is kept as `f64` bytes/second
+//! because the flow-level network model divides node capacity among a
+//! varying number of sessions.
+
+use crate::time::SimDuration;
+use std::fmt;
+
+/// A byte count. Plain `u64` newtype-free alias: block and file sizes are
+/// manipulated arithmetically everywhere and a newtype buys little here.
+pub type Bytes = u64;
+
+pub const KB: Bytes = 1 << 10;
+pub const MB: Bytes = 1 << 20;
+pub const GB: Bytes = 1 << 30;
+pub const TB: Bytes = 1 << 40;
+
+/// Bandwidth in bytes per second.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Bandwidth(pub f64);
+
+impl Bandwidth {
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    pub fn from_mb_per_sec(mb: f64) -> Self {
+        Bandwidth(mb * MB as f64)
+    }
+    pub fn from_gbit_per_sec(gbit: f64) -> Self {
+        // network convention: 1 Gbit/s = 1e9 bits/s
+        Bandwidth(gbit * 1e9 / 8.0)
+    }
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+    pub fn mb_per_sec(self) -> f64 {
+        self.0 / MB as f64
+    }
+
+    /// Split this bandwidth evenly between `n` concurrent sessions
+    /// (processor-sharing service law).
+    pub fn share(self, n: usize) -> Bandwidth {
+        if n == 0 {
+            self
+        } else {
+            Bandwidth(self.0 / n as f64)
+        }
+    }
+
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Time needed to move `bytes` at this rate. Returns a very long but
+    /// finite duration when the rate is (effectively) zero so stalled
+    /// flows still sort after every live one instead of poisoning the
+    /// event queue with `MAX` timestamps.
+    pub fn transfer_time(self, bytes: Bytes) -> SimDuration {
+        if self.0 <= f64::EPSILON {
+            return SimDuration::from_hours(24 * 365);
+        }
+        SimDuration::from_secs_f64(bytes as f64 / self.0)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} MB/s", self.mb_per_sec())
+    }
+}
+
+/// Render a byte count with a binary-unit suffix (for harness output).
+pub fn fmt_bytes(b: Bytes) -> String {
+    if b >= TB {
+        format!("{:.2} TiB", b as f64 / TB as f64)
+    } else if b >= GB {
+        format!("{:.2} GiB", b as f64 / GB as f64)
+    } else if b >= MB {
+        format!("{:.2} MiB", b as f64 / MB as f64)
+    } else if b >= KB {
+        format!("{:.2} KiB", b as f64 / KB as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(KB, 1024);
+        assert_eq!(MB, 1024 * 1024);
+        assert_eq!(GB, 1024 * MB);
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        let bw = Bandwidth::from_mb_per_sec(100.0);
+        assert!((bw.mb_per_sec() - 100.0).abs() < 1e-9);
+        let g = Bandwidth::from_gbit_per_sec(1.0);
+        assert!((g.bytes_per_sec() - 125_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sharing_and_min() {
+        let bw = Bandwidth::from_mb_per_sec(100.0);
+        assert!((bw.share(4).mb_per_sec() - 25.0).abs() < 1e-9);
+        assert_eq!(bw.share(0), bw);
+        assert_eq!(bw.min(Bandwidth::from_mb_per_sec(10.0)).mb_per_sec(), 10.0);
+    }
+
+    #[test]
+    fn transfer_time() {
+        let bw = Bandwidth::from_mb_per_sec(64.0);
+        let t = bw.transfer_time(64 * MB);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+        // zero bandwidth yields a long-but-finite stall, not infinity
+        let stall = Bandwidth::ZERO.transfer_time(MB);
+        assert!(stall.as_secs_f64() > 1e6);
+    }
+
+    #[test]
+    fn human_format() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2 * KB), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 * GB), "3.00 GiB");
+    }
+}

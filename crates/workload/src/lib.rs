@@ -1,0 +1,40 @@
+//! `workload` — synthetic workloads standing in for the paper's traces.
+//!
+//! The paper replays "jobs synthesized from the Statistical Workload
+//! Injector for MapReduce (SWIM)", a one-month Facebook production trace,
+//! and separately drives TestDFSIO-style concurrent read benchmarks. No
+//! production trace ships with this reproduction, so this crate
+//! synthesises equivalents with the properties the evaluation actually
+//! depends on:
+//!
+//! * [`popularity`] — the hot → cooled → normal → cold lifecycle: file
+//!   access probability is Zipf across files *and* decays with file age,
+//!   making accesses front-loaded (paper Fig. 4's CDF) and heavy-tailed
+//!   ("data access patterns in HDFS clusters are heavy-tailed",
+//!   Section V);
+//! * [`swim`] — the SWIM-like trace generator: lognormal file sizes,
+//!   Poisson job arrivals, popularity-driven input selection; traces are
+//!   serde-serialisable so a figure run can be archived and re-replayed;
+//! * [`testdfsio`] — the TestDFSIO-shaped concurrent-reader benchmark
+//!   used by Figures 6, 8 and 9 ("we directly read data from HDFS
+//!   instead of by Map/Reduce framework").
+//!
+//! ```
+//! use workload::{Trace, TraceConfig};
+//!
+//! let trace = Trace::synthesize(&TraceConfig::default(), 42);
+//! assert_eq!(trace.files.len(), 60);
+//! // heavy-tailed: some file dominates the access counts
+//! let max = trace.access_counts().values().copied().max().unwrap();
+//! assert!(u64::from(max) as usize > trace.jobs.len() / 20);
+//! // and it is perfectly reproducible
+//! assert_eq!(trace, Trace::synthesize(&TraceConfig::default(), 42));
+//! ```
+
+pub mod popularity;
+pub mod swim;
+pub mod testdfsio;
+
+pub use popularity::PopularityModel;
+pub use swim::{Trace, TraceConfig, TraceFile, TraceJob};
+pub use testdfsio::{DfsIoReport, DfsIoSpec};

@@ -1,0 +1,286 @@
+//! SWIM-like trace synthesis.
+//!
+//! SWIM replays a scaled Facebook production trace; the statistical
+//! properties this reproduction needs from it are (a) heavy-tailed file
+//! popularity with freshness bias, (b) heavy-tailed (lognormal) input
+//! sizes, and (c) bursty-but-stationary Poisson job arrivals. The
+//! generator draws all three deterministically from a seed and emits a
+//! serialisable [`Trace`].
+
+use crate::popularity::PopularityModel;
+use serde::{Deserialize, Serialize};
+use simcore::units::{Bytes, MB};
+use simcore::{DetRng, SimDuration, SimTime};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    pub num_files: usize,
+    pub num_jobs: usize,
+    /// Files appear uniformly over this prefix of the trace.
+    pub creation_window_secs: f64,
+    /// Mean job inter-arrival time.
+    pub mean_interarrival_secs: f64,
+    /// Lognormal parameters of file sizes, in MB.
+    pub file_size_mu: f64,
+    pub file_size_sigma: f64,
+    pub min_file_mb: u64,
+    pub max_file_mb: u64,
+    /// Zipf exponent of file popularity.
+    pub zipf_exponent: f64,
+    /// Freshness decay constant of popularity.
+    pub popularity_tau_secs: f64,
+    /// Cold-tail weight floor (fraction of base popularity).
+    pub popularity_floor: f64,
+    /// Mapper compute per block.
+    pub compute_per_block_secs: f64,
+    /// Reduce-phase duration.
+    pub reduce_secs: f64,
+    /// Probability that an arrival is a flash crowd — a train of jobs
+    /// submitted together against the same input (the paper's "hot data
+    /// could be requested by many distributed clients concurrently").
+    pub burst_prob: f64,
+    /// Mean extra jobs in a flash crowd (geometric).
+    pub burst_mean: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            num_files: 60,
+            num_jobs: 200,
+            creation_window_secs: 3600.0,
+            mean_interarrival_secs: 30.0,
+            file_size_mu: 5.0, // e^5 ≈ 148 MB median
+            file_size_sigma: 1.0,
+            min_file_mb: 64,
+            max_file_mb: 4096,
+            zipf_exponent: 1.1,
+            popularity_tau_secs: 1800.0,
+            popularity_floor: 0.05,
+            compute_per_block_secs: 2.0,
+            reduce_secs: 5.0,
+            burst_prob: 0.15,
+            burst_mean: 8.0,
+        }
+    }
+}
+
+/// A file in the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceFile {
+    pub path: String,
+    pub size: Bytes,
+    pub created_at_secs: f64,
+}
+
+/// A job in the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceJob {
+    pub name: String,
+    pub input: String,
+    pub submit_at_secs: f64,
+    pub compute_per_block_secs: f64,
+    pub reduce_secs: f64,
+}
+
+/// A synthesised workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    pub config_seed: u64,
+    pub files: Vec<TraceFile>,
+    pub jobs: Vec<TraceJob>,
+}
+
+impl Trace {
+    /// Generate a trace from `cfg` and `seed`.
+    pub fn synthesize(cfg: &TraceConfig, seed: u64) -> Trace {
+        assert!(cfg.num_files > 0 && cfg.num_jobs > 0);
+        let mut rng = DetRng::new(seed);
+        let mut file_rng = rng.fork(1);
+        let mut job_rng = rng.fork(2);
+
+        // files: creation times uniform over the window, sorted so that
+        // file index correlates with creation order (fresh files are
+        // later indices, popularity rank is assigned by index below)
+        let mut created: Vec<f64> = (0..cfg.num_files)
+            .map(|_| file_rng.gen_f64() * cfg.creation_window_secs)
+            .collect();
+        created.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let files: Vec<TraceFile> = created
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let mb = file_rng
+                    .lognormal(cfg.file_size_mu, cfg.file_size_sigma)
+                    .clamp(cfg.min_file_mb as f64, cfg.max_file_mb as f64);
+                TraceFile {
+                    path: format!("/swim/file_{i:04}"),
+                    size: (mb.round() as u64) * MB,
+                    created_at_secs: t,
+                }
+            })
+            .collect();
+
+        // popularity model over those files
+        let model = PopularityModel::new(
+            files
+                .iter()
+                .map(|f| SimTime::from_secs_f64(f.created_at_secs))
+                .collect(),
+            cfg.zipf_exponent,
+            SimDuration::from_secs_f64(cfg.popularity_tau_secs),
+            cfg.popularity_floor,
+        );
+
+        // jobs: Poisson arrivals starting after the first file exists;
+        // some arrivals are flash crowds (job trains on one input)
+        let mut jobs = Vec::with_capacity(cfg.num_jobs);
+        let mut t = files.first().map(|f| f.created_at_secs).unwrap_or(0.0);
+        let mut j = 0usize;
+        while j < cfg.num_jobs {
+            t += job_rng.exp(cfg.mean_interarrival_secs);
+            let at = SimTime::from_secs_f64(t);
+            let Some(fi) = model.sample(at, &mut job_rng) else {
+                continue;
+            };
+            let train = if cfg.burst_prob > 0.0 && job_rng.chance(cfg.burst_prob) {
+                // geometric train length with the configured mean
+                let mut k = 1usize;
+                let stop = 1.0 / cfg.burst_mean.max(1.0);
+                while !job_rng.chance(stop) && k < 4 * cfg.burst_mean as usize {
+                    k += 1;
+                }
+                1 + k
+            } else {
+                1
+            };
+            for b in 0..train {
+                if j >= cfg.num_jobs {
+                    break;
+                }
+                // train members arrive within a couple of seconds
+                let jitter = if b == 0 { 0.0 } else { job_rng.gen_f64() * 2.0 };
+                jobs.push(TraceJob {
+                    name: format!("job_{j:05}"),
+                    input: files[fi].path.clone(),
+                    submit_at_secs: t + jitter,
+                    compute_per_block_secs: cfg.compute_per_block_secs,
+                    reduce_secs: cfg.reduce_secs,
+                });
+                j += 1;
+            }
+        }
+        jobs.sort_by(|a, b| a.submit_at_secs.partial_cmp(&b.submit_at_secs).unwrap());
+
+        Trace {
+            config_seed: seed,
+            files,
+            jobs,
+        }
+    }
+
+    /// Trace length: last job submission time.
+    pub fn span_secs(&self) -> f64 {
+        self.jobs.last().map(|j| j.submit_at_secs).unwrap_or(0.0)
+    }
+
+    /// Accesses per file path (static popularity histogram).
+    pub fn access_counts(&self) -> std::collections::BTreeMap<&str, u32> {
+        let mut m = std::collections::BTreeMap::new();
+        for j in &self.jobs {
+            *m.entry(j.input.as_str()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialises")
+    }
+    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TraceConfig {
+        TraceConfig {
+            num_files: 30,
+            num_jobs: 300,
+            ..TraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small();
+        let a = Trace::synthesize(&cfg, 9);
+        let b = Trace::synthesize(&cfg, 9);
+        assert_eq!(a, b);
+        let c = Trace::synthesize(&cfg, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn files_have_sane_sizes_and_ordered_creation() {
+        let t = Trace::synthesize(&small(), 1);
+        assert_eq!(t.files.len(), 30);
+        for w in t.files.windows(2) {
+            assert!(w[0].created_at_secs <= w[1].created_at_secs);
+        }
+        for f in &t.files {
+            assert!(f.size >= 64 * MB && f.size <= 4096 * MB);
+        }
+    }
+
+    #[test]
+    fn jobs_arrive_in_order_and_reference_real_files() {
+        let t = Trace::synthesize(&small(), 2);
+        assert!(!t.jobs.is_empty());
+        for w in t.jobs.windows(2) {
+            assert!(w[0].submit_at_secs <= w[1].submit_at_secs);
+        }
+        let paths: std::collections::BTreeSet<&str> =
+            t.files.iter().map(|f| f.path.as_str()).collect();
+        for j in &t.jobs {
+            assert!(paths.contains(j.input.as_str()));
+        }
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let t = Trace::synthesize(&small(), 3);
+        let counts = t.access_counts();
+        let mut values: Vec<u32> = counts.values().copied().collect();
+        values.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u32 = values.iter().sum();
+        let top5: u32 = values.iter().take(5).sum();
+        assert!(
+            top5 as f64 / total as f64 > 0.4,
+            "top-5 files should dominate: {top5}/{total}"
+        );
+        // and a long tail of rarely-read files exists
+        assert!(values.last().copied().unwrap_or(0) <= 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::synthesize(&small(), 4);
+        let s = t.to_json();
+        let back = Trace::from_json(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn span_covers_jobs() {
+        let t = Trace::synthesize(&small(), 5);
+        assert!(t.span_secs() >= t.jobs[0].submit_at_secs);
+        assert_eq!(
+            t.span_secs(),
+            t.jobs.last().unwrap().submit_at_secs
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! TestDFSIO-shaped concurrent read benchmark.
+//!
+//! The paper's Figures 6, 8 and 9 measure reading performance directly:
+//! "To eliminate these effects, we directly read data from HDFS instead
+//! of by Map/Reduce framework." This module drives a [`ClusterSim`] with
+//! `concurrent_readers` external clients all reading the benchmark files
+//! and reports the metrics those figures plot — average execution time,
+//! per-reader throughput, and sustained-session accounting.
+
+use hdfs_sim::topology::{ClientId, Endpoint};
+use hdfs_sim::{ClusterSim, ReadStats};
+use serde::{Deserialize, Serialize};
+use simcore::stats::OnlineStats;
+use simcore::units::Bytes;
+
+/// Benchmark shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DfsIoSpec {
+    /// Number of benchmark files (readers round-robin over them; 1 means
+    /// everyone hammers the same data, as in Fig. 6).
+    pub file_count: usize,
+    pub file_size: Bytes,
+    pub replication: usize,
+    pub concurrent_readers: usize,
+}
+
+/// Benchmark result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DfsIoReport {
+    pub spec: DfsIoSpec,
+    /// Mean / min / max execution time per reader, seconds.
+    pub exec_secs: OnlineStats,
+    /// Mean per-reader throughput, MB/s.
+    pub throughput_mb_s: OnlineStats,
+    /// Aggregate delivered bandwidth, MB/s (total bytes / makespan).
+    pub aggregate_mb_s: f64,
+    /// Highest concurrent session count observed on any datanode.
+    pub peak_node_sessions: usize,
+    pub failed_reads: usize,
+}
+
+impl DfsIoSpec {
+    /// Create the benchmark files (idempotent: skips existing paths).
+    pub fn prepare(&self, cluster: &mut ClusterSim) {
+        for i in 0..self.file_count {
+            let path = self.file_path(i);
+            if cluster.namespace().resolve(&path).is_none() {
+                cluster
+                    .create_file(&path, self.file_size, self.replication, None)
+                    .expect("benchmark file placement");
+            }
+        }
+    }
+
+    pub fn file_path(&self, i: usize) -> String {
+        format!("/benchmarks/TestDFSIO/io_data/test_io_{i}")
+    }
+
+    /// Run one read round: all readers start together, run to drain.
+    pub fn run_read_round(&self, cluster: &mut ClusterSim) -> DfsIoReport {
+        self.prepare(cluster);
+        let t0 = cluster.now();
+        for r in 0..self.concurrent_readers {
+            let path = self.file_path(r % self.file_count);
+            cluster
+                .open_read(Endpoint::Client(ClientId(r as u32 + 1)), &path)
+                .expect("benchmark file exists");
+        }
+        cluster.run_until_quiescent();
+        let makespan = (cluster.now() - t0).as_secs_f64();
+        let reads = cluster.drain_completed_reads();
+        self.report(cluster, reads, makespan)
+    }
+
+    fn report(
+        &self,
+        cluster: &ClusterSim,
+        reads: Vec<ReadStats>,
+        makespan: f64,
+    ) -> DfsIoReport {
+        let mut exec = OnlineStats::new();
+        let mut tput = OnlineStats::new();
+        let mut bytes: u64 = 0;
+        let mut failed = 0usize;
+        for r in &reads {
+            if r.failed {
+                failed += 1;
+                continue;
+            }
+            exec.push(r.duration());
+            tput.push(r.throughput_mb_s());
+            bytes += r.bytes;
+        }
+        let peak = cluster
+            .topology()
+            .nodes()
+            .map(|n| cluster.peak_sessions(n))
+            .max()
+            .unwrap_or(0);
+        DfsIoReport {
+            spec: self.clone(),
+            exec_secs: exec,
+            throughput_mb_s: tput,
+            aggregate_mb_s: if makespan > 0.0 {
+                bytes as f64 / (1 << 20) as f64 / makespan
+            } else {
+                0.0
+            },
+            peak_node_sessions: peak,
+            failed_reads: failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdfs_sim::{ClusterConfig, DefaultRackAware};
+    use simcore::units::MB;
+
+    fn cluster() -> ClusterSim {
+        ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware))
+    }
+
+    fn spec(readers: usize, replication: usize) -> DfsIoSpec {
+        DfsIoSpec {
+            file_count: 1,
+            file_size: 256 * MB,
+            replication,
+            concurrent_readers: readers,
+        }
+    }
+
+    #[test]
+    fn single_reader_baseline() {
+        let mut c = cluster();
+        let report = spec(1, 3).run_read_round(&mut c);
+        assert_eq!(report.exec_secs.count(), 1);
+        assert_eq!(report.failed_reads, 0);
+        assert!(report.throughput_mb_s.mean() > 50.0);
+    }
+
+    #[test]
+    fn execution_time_grows_with_concurrency() {
+        // Fig. 6's headline shape: same data, more threads ⇒ slower.
+        let mut c1 = cluster();
+        let lo = spec(4, 3).run_read_round(&mut c1);
+        let mut c2 = cluster();
+        let hi = spec(24, 3).run_read_round(&mut c2);
+        assert!(
+            hi.exec_secs.mean() > lo.exec_secs.mean() * 1.5,
+            "24 readers {} should be much slower than 4 readers {}",
+            hi.exec_secs.mean(),
+            lo.exec_secs.mean()
+        );
+    }
+
+    #[test]
+    fn replication_restores_performance() {
+        // Fig. 6's second shape: more replicas ⇒ faster at equal load.
+        let readers = 12;
+        let mut c1 = cluster();
+        let r1 = spec(readers, 1).run_read_round(&mut c1);
+        let mut c6 = cluster();
+        let r6 = spec(readers, 6).run_read_round(&mut c6);
+        assert!(
+            r6.exec_secs.mean() < r1.exec_secs.mean() * 0.5,
+            "r=6 {} should beat r=1 {}",
+            r6.exec_secs.mean(),
+            r1.exec_secs.mean()
+        );
+    }
+
+    #[test]
+    fn prepare_is_idempotent() {
+        let mut c = cluster();
+        let s = spec(2, 3);
+        s.prepare(&mut c);
+        let used = c.storage_used();
+        s.prepare(&mut c);
+        assert_eq!(c.storage_used(), used);
+    }
+
+    #[test]
+    fn peak_sessions_reflect_contention() {
+        let mut c = cluster();
+        let report = spec(20, 1).run_read_round(&mut c);
+        // single replica: sessions pile onto its holders up to the cap
+        assert!(report.peak_node_sessions >= 5, "{}", report.peak_node_sessions);
+        assert!(report.peak_node_sessions <= c.config().max_sessions_per_node);
+    }
+
+    #[test]
+    fn multiple_files_spread_load() {
+        let mut c = cluster();
+        let s = DfsIoSpec {
+            file_count: 4,
+            file_size: 128 * MB,
+            replication: 3,
+            concurrent_readers: 8,
+        };
+        let report = s.run_read_round(&mut c);
+        assert_eq!(report.exec_secs.count(), 8);
+        assert_eq!(report.failed_reads, 0);
+    }
+}

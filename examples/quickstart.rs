@@ -1,0 +1,97 @@
+//! Quickstart: stand up a simulated HDFS cluster, attach ERMS, make a
+//! file hot, and watch the replication factor follow demand.
+//!
+//! ```text
+//! cargo run -p erms --example quickstart
+//! ```
+
+use erms::{ErmsConfig, ErmsManager, ErmsPlacement, Thresholds};
+use hdfs_sim::topology::{ClientId, Endpoint};
+use hdfs_sim::{ClusterConfig, ClusterSim, NodeId};
+use simcore::units::MB;
+use simcore::SimDuration;
+
+fn main() {
+    // the paper's testbed shape: 18 datanodes, 3 racks, 64 MB blocks
+    let mut cluster = ClusterSim::new(
+        ClusterConfig::paper_testbed(),
+        Box::new(ErmsPlacement::new()), // Algorithm 1 placement
+    );
+
+    // ERMS with the paper's deployment: nodes 10..18 standby, τ_M = 8
+    let mut thresholds = Thresholds::calibrate(8.0);
+    thresholds.window = SimDuration::from_secs(120);
+    let cfg = ErmsConfig {
+        thresholds,
+        standby: (10..18).map(NodeId).collect(),
+        ..ErmsConfig::paper_default()
+    };
+    let mut erms = ErmsManager::new(cfg, &mut cluster);
+    println!(
+        "cluster up: {} serving nodes, {} standby (powered off)",
+        cluster.serving_nodes(),
+        erms.model().standby_nodes().count()
+    );
+
+    // a normal file: default triplication
+    let file = cluster
+        .create_file("/data/report.parquet", 64 * MB, 3, None)
+        .expect("fresh namespace");
+    let block = cluster.namespace().file(file).expect("created").blocks[0];
+    println!(
+        "created /data/report.parquet with {} replicas",
+        cluster.blockmap().replica_count(block)
+    );
+
+    // flash crowds keep hitting the file while the control loop runs:
+    // judge -> condor -> cluster, once per round
+    let mut peak = 3usize;
+    let mut peak_on_standby = 0usize;
+    for round in 0..6 {
+        for i in 0..30 {
+            cluster
+                .open_read(
+                    Endpoint::Client(ClientId(round * 100 + i)),
+                    "/data/report.parquet",
+                )
+                .expect("file exists");
+        }
+        cluster.run_until_quiescent();
+        let now = cluster.now();
+        let report = erms.tick(&mut cluster, now);
+        cluster.run_until(cluster.now() + SimDuration::from_secs(45));
+        cluster.run_until_quiescent();
+        let r = cluster.blockmap().replica_count(block);
+        if r > peak {
+            peak = r;
+            peak_on_standby = (10..18)
+                .map(NodeId)
+                .filter(|&n| cluster.node_holds(n, block))
+                .count();
+        }
+        println!(
+            "round {round}: hot={} tasks={} commissioned={:?} replicas={r}",
+            report.hot, report.tasks_submitted, report.commissioned
+        );
+    }
+    println!(
+        "peak under load: {peak} replicas ({peak_on_standby} parked on commissioned standby nodes)"
+    );
+
+    // traffic stops: the file cools, extras are shed when idle, drained
+    // standby nodes power back off
+    for _ in 0..10 {
+        let now = cluster.now();
+        erms.tick(&mut cluster, now);
+        cluster.run_until(cluster.now() + SimDuration::from_secs(60));
+        cluster.run_until_quiescent();
+    }
+    let settled = cluster.blockmap().replica_count(block);
+    println!(
+        "after cooling: {settled} replicas, {} serving nodes, journal has {} task events",
+        cluster.serving_nodes(),
+        erms.condor().journal().len()
+    );
+    assert!(peak > 3, "demo expects the file to be boosted under load");
+    assert_eq!(settled, 3, "extras are shed once the file cools");
+}

@@ -1,0 +1,135 @@
+//! Integration: trace replay with the MapReduce runner, ERMS in the
+//! controller seat — the Figure 3/5 pipeline end to end, at test scale.
+
+use erms::{ErmsConfig, ErmsManager, ErmsPlacement, Thresholds};
+use hdfs_sim::{ClusterConfig, ClusterSim, DefaultRackAware};
+use mapred::{FairScheduler, FifoScheduler, JobSpec, MapReduceRunner, RunnerConfig, TaskScheduler};
+use simcore::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use workload::{Trace, TraceConfig};
+
+fn trace() -> Trace {
+    Trace::synthesize(
+        &TraceConfig {
+            num_files: 10,
+            num_jobs: 80,
+            creation_window_secs: 400.0,
+            mean_interarrival_secs: 4.0,
+            compute_per_block_secs: 0.5,
+            max_file_mb: 512,
+            zipf_exponent: 1.3,
+            ..TraceConfig::default()
+        },
+        11,
+    )
+}
+
+fn replay(erms: bool, fair: bool) -> (Vec<mapred::JobStats>, ClusterSim, u64) {
+    let trace = trace();
+    let mut cluster = if erms {
+        ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(ErmsPlacement::new()))
+    } else {
+        ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware))
+    };
+    for f in &trace.files {
+        cluster.create_file(&f.path, f.size, 3, None).unwrap();
+    }
+    let manager = if erms {
+        let cfg = ErmsConfig {
+            thresholds: Thresholds::default().with_tau_hot(4.0),
+            standby: Vec::new(),
+            ..ErmsConfig::paper_default()
+        };
+        Some(Rc::new(RefCell::new(ErmsManager::new(cfg, &mut cluster))))
+    } else {
+        None
+    };
+    let sched: Box<dyn TaskScheduler> = if fair {
+        Box::new(FairScheduler::default())
+    } else {
+        Box::new(FifoScheduler)
+    };
+    let mut runner = MapReduceRunner::new(
+        cluster,
+        sched,
+        RunnerConfig {
+            controller_interval: SimDuration::from_secs(60),
+            ..RunnerConfig::default()
+        },
+    );
+    if let Some(m) = &manager {
+        let m = m.clone();
+        runner.set_controller(Box::new(move |c, t| {
+            m.borrow_mut().tick(c, t);
+        }));
+    }
+    for j in &trace.jobs {
+        runner.submit(JobSpec {
+            name: j.name.clone(),
+            input: j.input.clone(),
+            submit_at: SimTime::from_secs_f64(j.submit_at_secs),
+            compute_per_block: SimDuration::from_secs_f64(j.compute_per_block_secs),
+            reduce_duration: SimDuration::from_secs_f64(j.reduce_secs),
+        });
+    }
+    let (stats, cluster) = runner.run();
+    let actions = manager.map(|m| m.borrow().total_completed).unwrap_or(0);
+    (stats, cluster, actions)
+}
+
+fn locality(stats: &[mapred::JobStats]) -> f64 {
+    let local: u32 = stats.iter().map(|s| s.node_local_tasks).sum();
+    let total: u32 = stats.iter().map(|s| s.map_tasks).sum();
+    local as f64 / total.max(1) as f64
+}
+
+#[test]
+fn every_job_completes_under_all_variants() {
+    for erms in [false, true] {
+        for fair in [false, true] {
+            let (stats, cluster, _) = replay(erms, fair);
+            assert_eq!(stats.len(), 80, "erms={erms} fair={fair}");
+            assert!(stats.iter().all(|s| s.map_tasks > 0));
+            assert!(cluster.is_idle());
+        }
+    }
+}
+
+#[test]
+fn erms_acts_and_improves_fifo_locality() {
+    let (vanilla, _, a0) = replay(false, false);
+    let (managed, _, a1) = replay(true, false);
+    assert_eq!(a0, 0);
+    assert!(a1 > 0, "ERMS must complete replication tasks");
+    let (lv, le) = (locality(&vanilla), locality(&managed));
+    assert!(
+        le > lv,
+        "ERMS should raise FIFO locality: {le:.3} vs {lv:.3}"
+    );
+}
+
+#[test]
+fn fair_scheduler_beats_fifo_on_locality_without_erms() {
+    let (fifo, _, _) = replay(false, false);
+    let (fair, _, _) = replay(false, true);
+    assert!(
+        locality(&fair) > locality(&fifo),
+        "delay scheduling should raise locality: {:.3} vs {:.3}",
+        locality(&fair),
+        locality(&fifo)
+    );
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let (a, _, acts_a) = replay(true, true);
+    let (b, _, acts_b) = replay(true, true);
+    assert_eq!(acts_a, acts_b);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.finished, y.finished);
+        assert_eq!(x.node_local_tasks, y.node_local_tasks);
+    }
+}

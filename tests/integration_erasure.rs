@@ -1,0 +1,173 @@
+//! Integration: the simulator's cold-storage layout backed by real
+//! Reed–Solomon bytes — the placement decided by the cluster and the
+//! redundancy math of the `erasure` crate must agree about survivability.
+
+use erasure::{ErasurePattern, ReedSolomon, StripeLayout, StripePlan};
+use erms::{ErmsConfig, ErmsManager, ErmsPlacement, Thresholds};
+use hdfs_sim::{ClusterConfig, ClusterSim, NodeId};
+use simcore::units::MB;
+use simcore::SimDuration;
+
+fn encoded_cluster(blocks: u64) -> (ClusterSim, ErmsManager, hdfs_sim::FileId) {
+    let mut cluster = ClusterSim::new(
+        ClusterConfig::paper_testbed(),
+        Box::new(ErmsPlacement::new()),
+    );
+    let mut thresholds = Thresholds::calibrate(8.0);
+    thresholds.cold_age = SimDuration::from_secs(300);
+    let cfg = ErmsConfig {
+        thresholds,
+        standby: Vec::new(),
+        ..ErmsConfig::paper_default()
+    };
+    let mut manager = ErmsManager::new(cfg, &mut cluster);
+    let file = cluster
+        .create_file("/cold/archive", blocks * 64 * MB, 3, None)
+        .expect("fresh cluster");
+    cluster.run_until(cluster.now() + SimDuration::from_secs(600));
+    for _ in 0..3 {
+        let now = cluster.now();
+        manager.tick(&mut cluster, now);
+    }
+    assert!(cluster.namespace().file(file).expect("exists").is_encoded());
+    (cluster, manager, file)
+}
+
+#[test]
+fn encoded_layout_matches_stripe_plan() {
+    let (cluster, _m, file) = encoded_cluster(25);
+    let meta = cluster.namespace().file(file).unwrap();
+    let plan = StripePlan::for_file(25, 64 * MB, StripeLayout::paper_default());
+    // 25 blocks -> 3 stripes -> 12 parity blocks
+    let parities = match &meta.mode {
+        hdfs_sim::namespace::StorageMode::Encoded { parity_blocks } => parity_blocks.clone(),
+        other => panic!("expected encoded mode, got {other:?}"),
+    };
+    assert_eq!(parities.len(), plan.total_parity_blocks());
+    // data blocks are at replication 1; parity blocks stored once each
+    for &b in &meta.blocks {
+        assert_eq!(cluster.blockmap().replica_count(b), 1);
+    }
+    for &p in &parities {
+        assert_eq!(cluster.blockmap().replica_count(p), 1);
+        assert!(cluster.namespace().block(p).unwrap().is_parity);
+    }
+    // storage equals the plan's accounting
+    assert_eq!(cluster.storage_used(), plan.encoded_bytes(25));
+}
+
+#[test]
+fn single_node_loss_is_recoverable_per_stripe() {
+    let (mut cluster, _m, file) = encoded_cluster(10);
+    let meta = cluster.namespace().file(file).unwrap();
+    let data_blocks = meta.blocks.clone();
+    let parities = match &meta.mode {
+        hdfs_sim::namespace::StorageMode::Encoded { parity_blocks } => parity_blocks.clone(),
+        _ => unreachable!(),
+    };
+    // the stripe is 10 data + 4 parity = 14 shards; record each shard's node
+    let stripe: Vec<hdfs_sim::BlockId> = data_blocks.iter().chain(&parities).copied().collect();
+    assert_eq!(stripe.len(), 14);
+    let holders: Vec<NodeId> = stripe
+        .iter()
+        .map(|&b| cluster.blockmap().locations(b)[0])
+        .collect();
+
+    // kill the node holding the most shards of this stripe
+    let mut counts = std::collections::BTreeMap::new();
+    for &h in &holders {
+        *counts.entry(h).or_insert(0u32) += 1;
+    }
+    let (&victim, &lost_shards) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+    cluster.kill_node(victim);
+
+    // survivability per the erasure math: the stripe must still decode
+    let erased: Vec<usize> = holders
+        .iter()
+        .enumerate()
+        .filter(|(_, &h)| h == victim)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(erased.len() as u32, lost_shards);
+    let pattern = ErasurePattern::from_indices(14, &erased);
+    assert!(
+        pattern.recoverable_with(10),
+        "losing one node ({lost_shards} shards) must stay within RS(10,4) tolerance \
+         — Algorithm 1 spreads stripe shards across nodes"
+    );
+
+    // and prove it with bytes: build the stripe, erase, reconstruct
+    let rs = ReedSolomon::new(10, 4).unwrap();
+    let payloads: Vec<Vec<u8>> = (0..10)
+        .map(|i| (0..4096).map(|j| ((i * 37 + j) % 251) as u8).collect())
+        .collect();
+    let parity = rs.encode(&payloads).unwrap();
+    let mut shards: Vec<Option<Vec<u8>>> = payloads
+        .iter()
+        .cloned()
+        .chain(parity)
+        .map(Some)
+        .collect();
+    for &i in &erased {
+        shards[i] = None;
+    }
+    rs.reconstruct(&mut shards).expect("byte-level recovery");
+    for (i, original) in payloads.iter().enumerate() {
+        assert_eq!(shards[i].as_ref().unwrap(), original);
+    }
+}
+
+#[test]
+fn parity_placement_avoids_data_heavy_nodes() {
+    let (cluster, _m, file) = encoded_cluster(10);
+    let meta = cluster.namespace().file(file).unwrap();
+    let parities = match &meta.mode {
+        hdfs_sim::namespace::StorageMode::Encoded { parity_blocks } => parity_blocks.clone(),
+        _ => unreachable!(),
+    };
+    // Algorithm 1: parity goes to the node with the fewest blocks of the
+    // file. With 10 data blocks on ≤10 distinct nodes and 18 nodes total,
+    // no node should end up with a disproportionate share of the stripe.
+    let stripe: Vec<hdfs_sim::BlockId> = meta.blocks.iter().chain(&parities).copied().collect();
+    let mut per_node = std::collections::BTreeMap::new();
+    for &b in &stripe {
+        for n in cluster.blockmap().locations(b) {
+            *per_node.entry(n).or_insert(0u32) += 1;
+        }
+    }
+    let max_share = per_node.values().max().copied().unwrap_or(0);
+    assert!(
+        max_share <= 4,
+        "stripe shards must stay spread (max {max_share} on one node) so node loss is recoverable"
+    );
+}
+
+#[test]
+fn decode_restores_full_replication_and_frees_parity() {
+    let (mut cluster, mut manager, file) = encoded_cluster(10);
+    let before = cluster.storage_used();
+    // demand returns
+    for i in 0..40 {
+        cluster
+            .open_read(
+                hdfs_sim::topology::Endpoint::Client(hdfs_sim::topology::ClientId(i)),
+                "/cold/archive",
+            )
+            .unwrap();
+    }
+    cluster.run_until_quiescent();
+    for _ in 0..6 {
+        let now = cluster.now();
+        manager.tick(&mut cluster, now);
+        cluster.run_until(cluster.now() + SimDuration::from_secs(30));
+        cluster.run_until_quiescent();
+    }
+    let meta = cluster.namespace().file(file).unwrap();
+    assert!(!meta.is_encoded());
+    for &b in &meta.blocks {
+        assert!(cluster.blockmap().replica_count(b) >= 3);
+    }
+    // parity metadata gone from the namespace
+    assert_eq!(cluster.namespace().num_blocks(), meta.blocks.len());
+    assert!(cluster.storage_used() > before, "replicas rebuilt");
+}

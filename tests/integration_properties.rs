@@ -1,0 +1,159 @@
+//! Property-based integration: random operation sequences against the
+//! cluster simulator must preserve its global invariants, with ERMS
+//! placement plugged in.
+
+use erms::ErmsPlacement;
+use hdfs_sim::topology::{ClientId, Endpoint};
+use hdfs_sim::{ClusterConfig, ClusterSim, NodeId};
+use proptest::prelude::*;
+use simcore::units::MB;
+use simcore::SimDuration;
+
+/// The operations the fuzzer may perform.
+#[derive(Debug, Clone)]
+enum Op {
+    Create { size_mb: u64, replication: usize },
+    Delete { idx: usize },
+    Read { idx: usize, client: u32 },
+    SetReplication { idx: usize, r: usize },
+    KillNode { node: u32 },
+    Repair,
+    Advance { secs: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..400, 1usize..4).prop_map(|(size_mb, replication)| Op::Create {
+            size_mb,
+            replication
+        }),
+        (0usize..8).prop_map(|idx| Op::Delete { idx }),
+        (0usize..8, 0u32..50).prop_map(|(idx, client)| Op::Read { idx, client }),
+        (0usize..8, 1usize..7).prop_map(|(idx, r)| Op::SetReplication { idx, r }),
+        (0u32..18).prop_map(|node| Op::KillNode { node }),
+        Just(Op::Repair),
+        (1u64..120).prop_map(|secs| Op::Advance { secs }),
+    ]
+}
+
+/// Check every global invariant of the simulator.
+fn check_invariants(c: &ClusterSim) {
+    // 1. blockmap ↔ datanode agreement, and storage adds up
+    let mut expected_storage: u64 = 0;
+    let mut total_replicas = 0usize;
+    for n in c.topology().nodes() {
+        let _ = n;
+    }
+    for meta in c.namespace().files() {
+        let mut blocks = meta.blocks.clone();
+        if let hdfs_sim::namespace::StorageMode::Encoded { parity_blocks } = &meta.mode {
+            blocks.extend_from_slice(parity_blocks);
+        }
+        for b in blocks {
+            let info = c.namespace().block(b).expect("live file block has metadata");
+            let locs = c.blockmap().locations(b);
+            total_replicas += locs.len();
+            // no duplicate holders
+            let mut dedup = locs.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), locs.len(), "duplicate replica records");
+            for n in locs {
+                assert!(
+                    c.node_holds(n, b),
+                    "blockmap says {n} holds {b} but the node disagrees"
+                );
+                expected_storage += info.len;
+            }
+        }
+    }
+    assert_eq!(
+        c.storage_used(),
+        expected_storage,
+        "node byte accounting must equal Σ replica lengths"
+    );
+    assert_eq!(
+        c.blockmap().total_replicas(),
+        total_replicas,
+        "blockmap has no replicas for deleted files"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_operations_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut c = ClusterSim::new(
+            ClusterConfig::paper_testbed(),
+            Box::new(ErmsPlacement::new()),
+        );
+        let mut created = 0u64;
+        let mut paths: Vec<String> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Create { size_mb, replication } => {
+                    let path = format!("/fuzz/f{created}");
+                    created += 1;
+                    if c.create_file(&path, size_mb * MB, replication, None).is_some() {
+                        paths.push(path);
+                    }
+                }
+                Op::Delete { idx } => {
+                    if !paths.is_empty() {
+                        let path = paths.remove(idx % paths.len());
+                        c.delete_file(&path);
+                    }
+                }
+                Op::Read { idx, client } => {
+                    if !paths.is_empty() {
+                        let path = &paths[idx % paths.len()];
+                        let _ = c.open_read(Endpoint::Client(ClientId(client)), path);
+                    }
+                }
+                Op::SetReplication { idx, r } => {
+                    if !paths.is_empty() {
+                        let path = paths[idx % paths.len()].clone();
+                        if let Some(f) = c.namespace().resolve(&path) {
+                            c.set_file_replication(f, r);
+                        }
+                    }
+                }
+                Op::KillNode { node } => {
+                    // keep at least 12 nodes alive so placement can work
+                    let alive = c.serving_nodes();
+                    if alive > 12 {
+                        c.kill_node(NodeId(node));
+                    }
+                }
+                Op::Repair => {
+                    c.repair_under_replicated();
+                }
+                Op::Advance { secs } => {
+                    c.run_until(c.now() + SimDuration::from_secs(secs));
+                }
+            }
+        }
+        // drain all in-flight work, then check the world is consistent
+        c.run_until_quiescent();
+        check_invariants(&c);
+        // all reads eventually completed (successfully or failed), none lost
+        let reads = c.drain_completed_reads();
+        for r in &reads {
+            prop_assert!(r.finished >= r.started);
+        }
+        prop_assert_eq!(c.inflight_reads(), 0);
+    }
+}
+
+#[test]
+fn quiescent_cluster_stays_quiescent() {
+    let mut c = ClusterSim::new(
+        ClusterConfig::paper_testbed(),
+        Box::new(ErmsPlacement::new()),
+    );
+    c.create_file("/a", 100 * MB, 3, None).unwrap();
+    c.run_until_quiescent();
+    let t0 = c.now();
+    c.run_until(t0 + SimDuration::from_secs(3600));
+    assert!(c.is_idle());
+    check_invariants(&c);
+}

@@ -70,5 +70,11 @@ fn fig8_fig9_capacity(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(figures, fig3_replay, fig6_dfsio, fig7_increase, fig8_fig9_capacity);
+criterion_group!(
+    figures,
+    fig3_replay,
+    fig6_dfsio,
+    fig7_increase,
+    fig8_fig9_capacity
+);
 criterion_main!(figures);

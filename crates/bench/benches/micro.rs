@@ -42,8 +42,7 @@ fn bench_reed_solomon(c: &mut Criterion) {
     g.bench_function("reconstruct_4_erasures", |b| {
         b.iter_batched(
             || {
-                let mut shards: Vec<Option<Vec<u8>>> =
-                    full.iter().cloned().map(Some).collect();
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                 for i in [0usize, 3, 7, 11] {
                     shards[i] = None;
                 }

@@ -11,6 +11,7 @@
 use bench::capacity::{self, CapacityConfig};
 use bench::common::{write_json, Mode};
 use bench::dfsio::{self, DfsIoConfig};
+use bench::faults::{self, FaultsConfig};
 use bench::increase::{self, IncreaseConfig};
 use bench::replay::{self, ReplayConfig};
 use std::env;
@@ -21,9 +22,11 @@ fn main() {
     let small = args.iter().any(|a| a == "--small");
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|all]... [--small]\n\
+            "usage: figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|faults|all]... [--small]\n\
              Regenerates the paper's evaluation figures; tables go to stdout,\n\
-             JSON to results/. --small runs reduced-scale variants."
+             JSON to results/. --small runs reduced-scale variants.\n\
+             'faults' runs the seeded-churn durability comparison (not a\n\
+             paper figure; included in 'all')."
         );
         return;
     }
@@ -33,7 +36,9 @@ fn main() {
         .map(String::as_str)
         .collect();
     let which = if which.is_empty() || which.contains(&"all") {
-        vec!["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
+        vec![
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "faults",
+        ]
     } else {
         which
     };
@@ -56,7 +61,8 @@ fn main() {
             "fig7" => fig7(small),
             "fig8" => fig8(small),
             "fig9" => fig9(small),
-            other => eprintln!("unknown figure '{other}' (use fig3..fig9 or all)"),
+            "faults" => faults_figure(small),
+            other => eprintln!("unknown figure '{other}' (use fig3..fig9, faults, or all)"),
         }
     }
     eprintln!("\n[figures done in {:.1}s]", wall.elapsed().as_secs_f64());
@@ -89,7 +95,10 @@ fn run_replays(small: bool) -> Vec<replay::ReplayResult> {
 
 fn fig3(replays: &[replay::ReplayResult]) {
     println!("\n== Figure 3(a): average reading throughput (MB/s) ==");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "scheduler", "vanilla", "erms_tau8", "erms_tau6", "erms_tau4");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "scheduler", "vanilla", "erms_tau8", "erms_tau6", "erms_tau4"
+    );
     for sched in ["fifo", "fair"] {
         let row: Vec<f64> = ["vanilla", "erms_tau8", "erms_tau6", "erms_tau4"]
             .iter()
@@ -101,7 +110,10 @@ fn fig3(replays: &[replay::ReplayResult]) {
         );
     }
     println!("\n== Figure 3(b): data locality of jobs (fraction node-local) ==");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "scheduler", "vanilla", "erms_tau8", "erms_tau6", "erms_tau4");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "scheduler", "vanilla", "erms_tau8", "erms_tau6", "erms_tau4"
+    );
     for sched in ["fifo", "fair"] {
         let row: Vec<f64> = ["vanilla", "erms_tau8", "erms_tau6", "erms_tau4"]
             .iter()
@@ -115,7 +127,11 @@ fn fig3(replays: &[replay::ReplayResult]) {
     write_json("fig3", &replays);
 }
 
-fn cell<'a>(replays: &'a [replay::ReplayResult], sched: &str, mode: &str) -> &'a replay::ReplayResult {
+fn cell<'a>(
+    replays: &'a [replay::ReplayResult],
+    sched: &str,
+    mode: &str,
+) -> &'a replay::ReplayResult {
     replays
         .iter()
         .find(|r| r.scheduler == sched && r.mode == mode)
@@ -209,7 +225,10 @@ fn fig7(small: bool) {
     };
     eprintln!("[fig7] replica-increase strategies…");
     let cells = increase::run(&cfg);
-    println!("\n== Figure 7: time (s) to raise replication {} -> {} ==", cfg.from_replication, cfg.to_replication);
+    println!(
+        "\n== Figure 7: time (s) to raise replication {} -> {} ==",
+        cfg.from_replication, cfg.to_replication
+    );
     println!("{:>10} {:>10} {:>12}", "size (MB)", "whole", "one-by-one");
     for &size in &cfg.file_sizes {
         let mb = size / (1 << 20);
@@ -232,11 +251,21 @@ fn fig8(small: bool) {
     } else {
         CapacityConfig::default()
     };
-    let replications: Vec<usize> = if small { vec![1, 2, 4] } else { (1..=8).collect() };
+    let replications: Vec<usize> = if small {
+        vec![1, 2, 4]
+    } else {
+        (1..=8).collect()
+    };
     eprintln!("[fig8] max sustained concurrency…");
     let rows = capacity::run_fig8(&cfg, &replications);
-    println!("\n== Figure 8: max concurrent readers sustained (QoS >= {:.0} MB/s) ==", cfg.qos_mb_s);
-    println!("{:>10} {:>12} {:>16}", "replicas", "all_active", "active_standby");
+    println!(
+        "\n== Figure 8: max concurrent readers sustained (QoS >= {:.0} MB/s) ==",
+        cfg.qos_mb_s
+    );
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "replicas", "all_active", "active_standby"
+    );
     for &r in &replications {
         let aa = rows
             .iter()
@@ -246,15 +275,15 @@ fn fig8(small: bool) {
             .iter()
             .find(|c| c.replication == r && c.model == "active_standby")
             .expect("row");
-        println!("{:>10} {:>12} {:>16}", r, aa.max_concurrent, asb.max_concurrent);
+        println!(
+            "{:>10} {:>12} {:>16}",
+            r, aa.max_concurrent, asb.max_concurrent
+        );
     }
     // the τ_M calibration the paper derives from this figure: the
     // marginal sessions each extra replica adds on busy nodes (slope of
     // the all-active curve — the per-replica service capacity)
-    let aa: Vec<&capacity::Fig8Row> = rows
-        .iter()
-        .filter(|c| c.model == "all_active")
-        .collect();
+    let aa: Vec<&capacity::Fig8Row> = rows.iter().filter(|c| c.model == "all_active").collect();
     if aa.len() >= 2 {
         let first = aa.first().expect("non-empty");
         let last = aa.last().expect("non-empty");
@@ -276,7 +305,10 @@ fn fig9(small: bool) {
     eprintln!("[fig9] {readers} concurrent readers vs replicas…");
     let rows = capacity::run_fig9(&cfg, readers, &replications);
     println!("\n== Figure 9(a): read throughput (MB/s) at {readers} concurrent readers ==");
-    println!("{:>10} {:>12} {:>16}", "replicas", "all_active", "active_standby");
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "replicas", "all_active", "active_standby"
+    );
     for &r in &replications {
         let aa = row(&rows, r, "all_active");
         let asb = row(&rows, r, "active_standby");
@@ -286,13 +318,60 @@ fn fig9(small: bool) {
         );
     }
     println!("\n== Figure 9(b): avg execution time (s) at {readers} concurrent readers ==");
-    println!("{:>10} {:>12} {:>16}", "replicas", "all_active", "active_standby");
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "replicas", "all_active", "active_standby"
+    );
     for &r in &replications {
         let aa = row(&rows, r, "all_active");
         let asb = row(&rows, r, "active_standby");
-        println!("{:>10} {:>12.2} {:>16.2}", r, aa.mean_exec_secs, asb.mean_exec_secs);
+        println!(
+            "{:>10} {:>12.2} {:>16.2}",
+            r, aa.mean_exec_secs, asb.mean_exec_secs
+        );
     }
     write_json("fig9", &rows);
+}
+
+fn faults_figure(small: bool) {
+    let cfg = if small {
+        FaultsConfig::small()
+    } else {
+        FaultsConfig::default_scenario()
+    };
+    eprintln!(
+        "[faults] seeded churn, seed={} horizon={:.1}h…",
+        cfg.seed,
+        cfg.fault.horizon.as_secs_f64() / 3600.0
+    );
+    let result = faults::run(&cfg);
+    println!(
+        "\n== Faults: durability under identical churn (seed {}, {} files × {} MB, {:.1} h) ==",
+        result.seed, result.num_files, result.file_size_mb, result.horizon_hours
+    );
+    println!(
+        "{:<16} {:>7} {:>8} {:>10} {:>10} {:>9} {:>12} {:>12}",
+        "variant", "loss", "windows", "unavail_s", "mttr_s", "underrep", "repair_MB", "repairs"
+    );
+    for v in &result.variants {
+        println!(
+            "{:<16} {:>7} {:>8} {:>10.1} {:>10.1} {:>9} {:>12.1} {:>12}",
+            v.variant,
+            v.data_loss_events,
+            v.unavailability_windows,
+            v.total_unavailable_secs,
+            v.mttr_secs,
+            v.under_replicated_final,
+            v.repair_bytes as f64 / (1u64 << 20) as f64,
+            v.repairs_started,
+        );
+    }
+    let plan = &result.variants[0];
+    println!(
+        "fault plan: {} events ({} permanent kills), {} applied",
+        plan.planned_events, plan.planned_kills, plan.events_applied
+    );
+    write_json("faults", &result);
 }
 
 fn row<'a>(rows: &'a [capacity::Trial], r: usize, model: &str) -> &'a capacity::Trial {

@@ -193,7 +193,11 @@ pub fn trial(model: NodeModel, replication: usize, readers: usize, cfg: &Capacit
 
 /// Fig. 8: the largest reader count whose mean throughput stays at or
 /// above the QoS floor.
-pub fn max_sustained(model: NodeModel, replication: usize, cfg: &CapacityConfig) -> (usize, Vec<Trial>) {
+pub fn max_sustained(
+    model: NodeModel,
+    replication: usize,
+    cfg: &CapacityConfig,
+) -> (usize, Vec<Trial>) {
     let mut best = 0usize;
     let mut trials = Vec::new();
     let mut n = cfg.probe_step;

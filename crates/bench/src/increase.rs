@@ -56,7 +56,12 @@ pub struct IncreaseCell {
 }
 
 /// Time one increase of `size` bytes under `strategy`.
-pub fn time_increase(size: Bytes, from: usize, to: usize, strategy: IncreaseStrategy) -> IncreaseCell {
+pub fn time_increase(
+    size: Bytes,
+    from: usize,
+    to: usize,
+    strategy: IncreaseStrategy,
+) -> IncreaseCell {
     let mut cluster = ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware));
     let file = cluster
         .create_file("/fig7/data", size, from, None)
@@ -71,7 +76,13 @@ pub fn time_increase(size: Bytes, from: usize, to: usize, strategy: IncreaseStra
     }
     let seconds = (cluster.now() - t0).as_secs_f64();
     // verify the end state really reached the target
-    for &b in &cluster.namespace().file(file).expect("file exists").blocks.clone() {
+    for &b in &cluster
+        .namespace()
+        .file(file)
+        .expect("file exists")
+        .blocks
+        .clone()
+    {
         assert_eq!(cluster.blockmap().replica_count(b), to);
     }
     IncreaseCell {

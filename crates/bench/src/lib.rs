@@ -16,11 +16,13 @@
 //! | Fig. 7       | [`increase`] | direct vs one-by-one replica increase |
 //! | Fig. 8       | [`capacity`] | max sustainable concurrency vs replicas, all-active vs active/standby |
 //! | Fig. 9(a)(b) | [`capacity`] | throughput & exec time at 70 readers vs replicas |
+//! | (robustness) | [`faults`] | durability under seeded churn: self-healing ERMS vs vanilla |
 
 pub mod ablation;
 pub mod capacity;
 pub mod common;
 pub mod dfsio;
+pub mod faults;
 pub mod increase;
 pub mod replay;
 

@@ -121,8 +121,8 @@ pub fn run_with(
 ) -> ReplayResult {
     let trace = Trace::synthesize(&cfg.trace, cfg.seed);
     let mut cluster = build_cluster(mode);
-    let manager: Rc<RefCell<Option<ErmsManager>>> = Rc::new(RefCell::new(
-        match (erms_override, mode) {
+    let manager: Rc<RefCell<Option<ErmsManager>>> =
+        Rc::new(RefCell::new(match (erms_override, mode) {
             (Some(c), Mode::Erms { .. }) => Some(ErmsManager::new(c, &mut cluster)),
             (Some(_), Mode::Vanilla) => None,
             (None, _) => build_manager(
@@ -132,8 +132,7 @@ pub fn run_with(
                 cfg.cold_age,
                 cfg.use_standby_pool,
             ),
-        },
-    ));
+        }));
     let storage: Rc<RefCell<TimeSeries>> = Rc::new(RefCell::new(TimeSeries::new()));
 
     // load the trace's files at r = 3 before the replay starts

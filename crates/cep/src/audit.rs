@@ -54,7 +54,9 @@ pub fn parse_line(line: &str) -> Result<Event, LineError> {
     if line.is_empty() {
         return Err(LineError::Empty);
     }
-    let (ts_str, rest) = line.split_once(char::is_whitespace).ok_or(LineError::Empty)?;
+    let (ts_str, rest) = line
+        .split_once(char::is_whitespace)
+        .ok_or(LineError::Empty)?;
     let secs: f64 = ts_str
         .parse()
         .map_err(|_| LineError::BadTimestamp(ts_str.to_string()))?;
@@ -269,8 +271,9 @@ mod tests {
         let (events, bad) = parse_log(&log);
         assert_eq!(bad, 0);
         let mut eng = CepEngine::new();
-        let q = eng
-            .register(epl::parse("select count(*) from audit(cmd='open').win:time(60) group by src").unwrap());
+        let q = eng.register(
+            epl::parse("select count(*) from audit(cmd='open').win:time(60) group by src").unwrap(),
+        );
         for e in &events {
             eng.push(e);
         }

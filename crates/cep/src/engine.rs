@@ -83,7 +83,10 @@ impl CepEngine {
     where
         F: FnMut(&Row) + 'static,
     {
-        self.subscriptions.entry(id).or_default().push(Box::new(callback));
+        self.subscriptions
+            .entry(id)
+            .or_default()
+            .push(Box::new(callback));
     }
 
     /// Push one event through every registered query and pattern.

@@ -29,7 +29,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "EPL parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "EPL parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 impl std::error::Error for ParseError {}
@@ -577,10 +581,9 @@ mod tests {
 
     #[test]
     fn multiple_predicates() {
-        let q = parse(
-            "select count(*) from audit(cmd = 'open', size > 100, ok = true).win:time(9)",
-        )
-        .unwrap();
+        let q =
+            parse("select count(*) from audit(cmd = 'open', size > 100, ok = true).win:time(9)")
+                .unwrap();
         assert_eq!(q.predicates.len(), 3);
         assert!(matches!(&q.predicates[1], Predicate::Gt(f, b) if f == "size" && *b == 100.0));
         assert!(matches!(&q.predicates[2], Predicate::Eq(f, Value::Bool(true)) if f == "ok"));
@@ -620,10 +623,8 @@ mod tests {
         use crate::engine::CepEngine;
         use crate::event::Event;
         use simcore::SimTime;
-        let spec = parse(
-            "select count(*) from audit(cmd='open').win:time(30) group by src",
-        )
-        .unwrap();
+        let spec =
+            parse("select count(*) from audit(cmd='open').win:time(30) group by src").unwrap();
         let mut eng = CepEngine::new();
         let q = eng.register(spec);
         for i in 0..4u64 {
@@ -639,15 +640,11 @@ mod tests {
     #[test]
     fn pattern_syntax_parses() {
         use crate::pattern::EventFilter;
-        let p = parse_pattern(
-            "audit(cmd='create') -> audit(cmd='open') within 60 on src",
-        )
-        .unwrap();
+        let p = parse_pattern("audit(cmd='create') -> audit(cmd='open') within 60 on src").unwrap();
         assert_eq!(p.within, SimDuration::from_secs(60));
         assert_eq!(p.key_field.as_deref(), Some("src"));
         let expect_leg = |cmd: &str| {
-            EventFilter::of_type("audit")
-                .with(Predicate::Eq("cmd".into(), Value::str(cmd)))
+            EventFilter::of_type("audit").with(Predicate::Eq("cmd".into(), Value::str(cmd)))
         };
         assert_eq!(p.first, expect_leg("create"));
         assert_eq!(p.second, expect_leg("open"));
@@ -671,8 +668,7 @@ mod tests {
         use simcore::SimTime;
         let mut eng = CepEngine::new();
         let pat = eng.register_pattern(
-            parse_pattern("audit(cmd='create') -> audit(cmd='open') within 60 on src")
-                .unwrap(),
+            parse_pattern("audit(cmd='create') -> audit(cmd='open') within 60 on src").unwrap(),
         );
         let mk = |t: u64, cmd: &str| {
             Event::new(SimTime::from_secs(t), "audit")
@@ -722,12 +718,9 @@ mod tests {
 
         fn pred() -> impl Strategy<Value = Predicate> {
             prop_oneof![
-                (ident(), "[a-z0-9/_]{1,10}")
-                    .prop_map(|(f, v)| Predicate::Eq(f, Value::str(v))),
-                (ident(), -1000i64..1000)
-                    .prop_map(|(f, v)| Predicate::Eq(f, Value::Int(v))),
-                (ident(), "[a-z]{1,6}")
-                    .prop_map(|(f, v)| Predicate::Ne(f, Value::str(v))),
+                (ident(), "[a-z0-9/_]{1,10}").prop_map(|(f, v)| Predicate::Eq(f, Value::str(v))),
+                (ident(), -1000i64..1000).prop_map(|(f, v)| Predicate::Eq(f, Value::Int(v))),
+                (ident(), "[a-z]{1,6}").prop_map(|(f, v)| Predicate::Ne(f, Value::str(v))),
                 (ident(), 0.0f64..1e6).prop_map(|(f, b)| Predicate::Gt(f, b)),
                 (ident(), 0.0f64..1e6).prop_map(|(f, b)| Predicate::Lt(f, b)),
             ]

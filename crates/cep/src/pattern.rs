@@ -132,11 +132,7 @@ impl PatternState {
         // complete itself (strictly-later semantics would drop same-time
         // matches; we allow same-time-or-later pairs from *earlier* As)
         if self.spec.second.matches(event) {
-            if let Some(pos) = self
-                .pending
-                .iter()
-                .position(|a| self.keys_equal(a, event))
-            {
+            if let Some(pos) = self.pending.iter().position(|a| self.keys_equal(a, event)) {
                 let first = self.pending.remove(pos).expect("position valid");
                 self.matches_emitted += 1;
                 out.push(PatternMatch {
@@ -264,7 +260,9 @@ mod tests {
             within: SimDuration::from_secs(100),
             key_field: None,
         });
-        assert!(p.offer(&Event::new(SimTime::from_secs(0), "tick")).is_empty());
+        assert!(p
+            .offer(&Event::new(SimTime::from_secs(0), "tick"))
+            .is_empty());
         // the second tick pairs with the first
         let m = p.offer(&Event::new(SimTime::from_secs(1), "tick"));
         assert_eq!(m.len(), 1);

@@ -310,7 +310,8 @@ mod tests {
     #[test]
     fn type_and_predicate_filter_on_offer() {
         let mut spec = QuerySpec::count_per_group("audit", "src", SimDuration::from_secs(100));
-        spec.predicates.push(Predicate::Eq("cmd".into(), Value::str("open")));
+        spec.predicates
+            .push(Predicate::Eq("cmd".into(), Value::str("open")));
         let mut q = QueryState::new(spec);
         assert!(q.offer(&access(0, "/a")));
         let wrong_type = Event::new(SimTime::ZERO, "block_read").with("src", "/a");

@@ -14,9 +14,15 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub enum Window {
     /// Keep events newer than `now - span`.
-    Time { span: SimDuration, buf: VecDeque<Event> },
+    Time {
+        span: SimDuration,
+        buf: VecDeque<Event>,
+    },
     /// Keep the most recent `capacity` events.
-    Length { capacity: usize, buf: VecDeque<Event> },
+    Length {
+        capacity: usize,
+        buf: VecDeque<Event>,
+    },
 }
 
 impl Window {
@@ -43,7 +49,7 @@ impl Window {
                 let now = event.time;
                 buf.push_back(event);
                 let cutoff = now.since(SimTime::ZERO); // now as duration from 0
-                // evict strictly-older-than (now - span); keep boundary events
+                                                       // evict strictly-older-than (now - span); keep boundary events
                 while let Some(front) = buf.front() {
                     if front.time.since(SimTime::ZERO) + *span < cutoff {
                         buf.pop_front();
@@ -110,7 +116,10 @@ mod tests {
             w.push(ev(t));
         }
         // now = 15; keep events with time + 10 >= 15, i.e. t >= 5
-        let times: Vec<i64> = w.iter().map(|e| e.get("t").unwrap().as_i64().unwrap()).collect();
+        let times: Vec<i64> = w
+            .iter()
+            .map(|e| e.get("t").unwrap().as_i64().unwrap())
+            .collect();
         assert_eq!(times, vec![6, 9, 12, 15]);
     }
 
@@ -139,7 +148,10 @@ mod tests {
         for t in 0..10u64 {
             w.push(ev(t));
         }
-        let times: Vec<i64> = w.iter().map(|e| e.get("t").unwrap().as_i64().unwrap()).collect();
+        let times: Vec<i64> = w
+            .iter()
+            .map(|e| e.get("t").unwrap().as_i64().unwrap())
+            .collect();
         assert_eq!(times, vec![7, 8, 9]);
         assert_eq!(w.len(), 3);
     }

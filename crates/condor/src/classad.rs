@@ -154,14 +154,12 @@ impl Expr {
                 let lv = l.eval(my, target);
                 // short-circuit boolean ops
                 match op {
-                    BinOp::And
-                        if lv.as_bool() == Some(false) => {
-                            return CVal::Bool(false);
-                        }
-                    BinOp::Or
-                        if lv.as_bool() == Some(true) => {
-                            return CVal::Bool(true);
-                        }
+                    BinOp::And if lv.as_bool() == Some(false) => {
+                        return CVal::Bool(false);
+                    }
+                    BinOp::Or if lv.as_bool() == Some(true) => {
+                        return CVal::Bool(true);
+                    }
                     _ => {}
                 }
                 let rv = r.eval(my, target);
@@ -349,7 +347,11 @@ mod tests {
         let e = Expr::bin(BinOp::Eq, Expr::my("Rack"), Expr::lit("rack1"));
         assert_eq!(ad.eval(&e, None), CVal::Bool(true));
         let e = Expr::bin(BinOp::Lt, Expr::my("Rack"), Expr::lit("rack2"));
-        assert_eq!(ad.eval(&e, None), CVal::Bool(true), "strings order lexically");
+        assert_eq!(
+            ad.eval(&e, None),
+            CVal::Bool(true),
+            "strings order lexically"
+        );
         // comparing across kinds is Undefined, not an error or false
         let e = Expr::bin(BinOp::Eq, Expr::my("Rack"), Expr::lit(1i64));
         assert_eq!(ad.eval(&e, None), CVal::Undefined);
@@ -361,13 +363,31 @@ mod tests {
         let t = Expr::lit(true);
         let f = Expr::lit(false);
         let u = Expr::my("Missing");
-        assert_eq!(ad.eval(&Expr::bin(BinOp::And, t.clone(), f.clone()), None), CVal::Bool(false));
-        assert_eq!(ad.eval(&Expr::bin(BinOp::Or, f.clone(), t.clone()), None), CVal::Bool(true));
-        assert_eq!(ad.eval(&Expr::Not(Box::new(t.clone())), None), CVal::Bool(false));
+        assert_eq!(
+            ad.eval(&Expr::bin(BinOp::And, t.clone(), f.clone()), None),
+            CVal::Bool(false)
+        );
+        assert_eq!(
+            ad.eval(&Expr::bin(BinOp::Or, f.clone(), t.clone()), None),
+            CVal::Bool(true)
+        );
+        assert_eq!(
+            ad.eval(&Expr::Not(Box::new(t.clone())), None),
+            CVal::Bool(false)
+        );
         // undefined && true → undefined; but false && undefined short-circuits
-        assert_eq!(ad.eval(&Expr::bin(BinOp::And, u.clone(), t.clone()), None), CVal::Undefined);
-        assert_eq!(ad.eval(&Expr::bin(BinOp::And, f, u.clone()), None), CVal::Bool(false));
-        assert_eq!(ad.eval(&Expr::bin(BinOp::Or, t, u.clone()), None), CVal::Bool(true));
+        assert_eq!(
+            ad.eval(&Expr::bin(BinOp::And, u.clone(), t.clone()), None),
+            CVal::Undefined
+        );
+        assert_eq!(
+            ad.eval(&Expr::bin(BinOp::And, f, u.clone()), None),
+            CVal::Bool(false)
+        );
+        assert_eq!(
+            ad.eval(&Expr::bin(BinOp::Or, t, u.clone()), None),
+            CVal::Bool(true)
+        );
         assert_eq!(ad.eval(&Expr::Not(Box::new(u)), None), CVal::Undefined);
     }
 

@@ -23,10 +23,18 @@ impl fmt::Display for JobId {
 /// One journal record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JournalEvent<P> {
-    Submitted { payload: P, priority: crate::scheduler::Priority },
-    Started { attempt: u32 },
+    Submitted {
+        payload: P,
+        priority: crate::scheduler::Priority,
+    },
+    Started {
+        attempt: u32,
+    },
     Completed,
-    Failed { reason: String, attempt: u32 },
+    Failed {
+        reason: String,
+        attempt: u32,
+    },
     /// Permanent failure: the job's effects must be undone.
     RollbackRequested,
     RolledBack,
@@ -58,7 +66,9 @@ pub struct Journal<P> {
 
 impl<P: Clone> Journal<P> {
     pub fn new() -> Self {
-        Journal { entries: Vec::new() }
+        Journal {
+            entries: Vec::new(),
+        }
     }
 
     pub fn record(&mut self, time: SimTime, job: JobId, event: JournalEvent<P>) {
@@ -140,8 +150,22 @@ mod tests {
         let mut j: Journal<&str> = Journal::new();
         let a = JobId(1);
         let b = JobId(2);
-        j.record(t(0), a, JournalEvent::Submitted { payload: "inc", priority: Priority::Immediate });
-        j.record(t(0), b, JournalEvent::Submitted { payload: "enc", priority: Priority::WhenIdle });
+        j.record(
+            t(0),
+            a,
+            JournalEvent::Submitted {
+                payload: "inc",
+                priority: Priority::Immediate,
+            },
+        );
+        j.record(
+            t(0),
+            b,
+            JournalEvent::Submitted {
+                payload: "enc",
+                priority: Priority::WhenIdle,
+            },
+        );
         j.record(t(1), a, JournalEvent::Started { attempt: 1 });
         j.record(t(2), a, JournalEvent::Completed);
         j.record(t(3), b, JournalEvent::Started { attempt: 1 });
@@ -154,12 +178,33 @@ mod tests {
     fn failure_then_retry_then_rollback() {
         let mut j: Journal<&str> = Journal::new();
         let a = JobId(7);
-        j.record(t(0), a, JournalEvent::Submitted { payload: "inc", priority: Priority::Immediate });
+        j.record(
+            t(0),
+            a,
+            JournalEvent::Submitted {
+                payload: "inc",
+                priority: Priority::Immediate,
+            },
+        );
         j.record(t(1), a, JournalEvent::Started { attempt: 1 });
-        j.record(t(2), a, JournalEvent::Failed { reason: "dn died".into(), attempt: 1 });
+        j.record(
+            t(2),
+            a,
+            JournalEvent::Failed {
+                reason: "dn died".into(),
+                attempt: 1,
+            },
+        );
         assert_eq!(j.replay()[&a], ReplayState::Queued, "failure requeues");
         j.record(t(3), a, JournalEvent::Started { attempt: 2 });
-        j.record(t(4), a, JournalEvent::Failed { reason: "dn died".into(), attempt: 2 });
+        j.record(
+            t(4),
+            a,
+            JournalEvent::Failed {
+                reason: "dn died".into(),
+                attempt: 2,
+            },
+        );
         j.record(t(4), a, JournalEvent::RollbackRequested);
         assert_eq!(j.replay()[&a], ReplayState::FailedAwaitingRollback);
         assert_eq!(j.pending_rollbacks(), vec![(a, "inc")]);
@@ -171,8 +216,22 @@ mod tests {
     #[test]
     fn for_job_and_payload() {
         let mut j: Journal<u32> = Journal::new();
-        j.record(t(0), JobId(1), JournalEvent::Submitted { payload: 10, priority: Priority::Immediate });
-        j.record(t(0), JobId(2), JournalEvent::Submitted { payload: 20, priority: Priority::Immediate });
+        j.record(
+            t(0),
+            JobId(1),
+            JournalEvent::Submitted {
+                payload: 10,
+                priority: Priority::Immediate,
+            },
+        );
+        j.record(
+            t(0),
+            JobId(2),
+            JournalEvent::Submitted {
+                payload: 20,
+                priority: Priority::Immediate,
+            },
+        );
         j.record(t(1), JobId(1), JournalEvent::Completed);
         assert_eq!(j.for_job(JobId(1)).len(), 2);
         assert_eq!(j.payload_of(JobId(2)), Some(20));

@@ -91,7 +91,11 @@ impl Matchmaker {
             out.push((name.as_str(), r));
         }
         // higher rank first; name ascending as deterministic tiebreak
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
+        });
         out
     }
 
@@ -102,7 +106,9 @@ impl Matchmaker {
         requirements: &Expr,
         rank: Option<&Expr>,
     ) -> Option<&str> {
-        self.matches(request, requirements, rank).first().map(|&(n, _)| n)
+        self.matches(request, requirements, rank)
+            .first()
+            .map(|&(n, _)| n)
     }
 }
 
@@ -133,7 +139,11 @@ mod tests {
         let m = mm();
         let req = parse_expr("target.Standby == true && target.FreeDisk >= 50").unwrap();
         let request = ClassAd::new();
-        let names: Vec<&str> = m.matches(&request, &req, None).iter().map(|&(n, _)| n).collect();
+        let names: Vec<&str> = m
+            .matches(&request, &req, None)
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["dn3"]);
     }
 
@@ -155,7 +165,11 @@ mod tests {
         m.advertise("a", node("r1", 50, false, 0), None);
         let req = parse_expr("true").unwrap();
         let rank = parse_expr("target.FreeDisk").unwrap();
-        let names: Vec<&str> = m.matches(&ClassAd::new(), &req, Some(&rank)).iter().map(|&(n, _)| n).collect();
+        let names: Vec<&str> = m
+            .matches(&ClassAd::new(), &req, Some(&rank))
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 
@@ -165,7 +179,11 @@ mod tests {
         // ask for a node in the same rack as the request
         let req = parse_expr("target.Rack == my.Rack").unwrap();
         let request = ClassAd::new().with("Rack", "r2");
-        let names: Vec<&str> = m.matches(&request, &req, None).iter().map(|&(n, _)| n).collect();
+        let names: Vec<&str> = m
+            .matches(&request, &req, None)
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["dn3", "dn4"]);
     }
 
@@ -191,7 +209,11 @@ mod tests {
         assert!(!m.withdraw("dn2"), "second withdraw is a no-op");
         assert_eq!(m.len(), 3);
         let req = parse_expr("target.Standby == true").unwrap();
-        let names: Vec<&str> = m.matches(&ClassAd::new(), &req, None).iter().map(|&(n, _)| n).collect();
+        let names: Vec<&str> = m
+            .matches(&ClassAd::new(), &req, None)
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["dn3"]);
     }
 

@@ -27,7 +27,11 @@ pub struct ExprParseError {
 
 impl fmt::Display for ExprParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "classad parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "classad parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 impl std::error::Error for ExprParseError {}
@@ -126,7 +130,9 @@ impl<'a> P<'a> {
             if self.eat("+") {
                 let rhs = self.mul()?;
                 lhs = Expr::bin(BinOp::Add, lhs, rhs);
-            } else if self.peek() == Some(b'-') && !self.text[self.pos + 1..].starts_with(|c: char| c.is_ascii_digit()) {
+            } else if self.peek() == Some(b'-')
+                && !self.text[self.pos + 1..].starts_with(|c: char| c.is_ascii_digit())
+            {
                 self.pos += 1;
                 let rhs = self.mul()?;
                 lhs = Expr::bin(BinOp::Sub, lhs, rhs);
@@ -210,7 +216,9 @@ impl<'a> P<'a> {
                 }
             }
             Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
-                let name = self.ident().ok_or_else(|| self.err("expected identifier"))?;
+                let name = self
+                    .ident()
+                    .ok_or_else(|| self.err("expected identifier"))?;
                 match name.as_str() {
                     "true" => return Ok(Expr::Lit(CVal::Bool(true))),
                     "false" => return Ok(Expr::Lit(CVal::Bool(false))),
@@ -290,9 +298,13 @@ mod tests {
             .with("Rack", "r1")
             .with("FreeDisk", 120i64)
             .with("Standby", true);
-        let req = "target.Standby == true && target.FreeDisk > my.Need * 10 && target.Rack == my.Rack";
+        let req =
+            "target.Standby == true && target.FreeDisk > my.Need * 10 && target.Rack == my.Rack";
         assert_eq!(eval(req, &my, Some(&target)), CVal::Bool(true));
-        let other = ClassAd::new().with("Rack", "r2").with("FreeDisk", 120i64).with("Standby", true);
+        let other = ClassAd::new()
+            .with("Rack", "r2")
+            .with("FreeDisk", 120i64)
+            .with("Standby", true);
         assert_eq!(eval(req, &my, Some(&other)), CVal::Bool(false));
     }
 

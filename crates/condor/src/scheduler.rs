@@ -16,10 +16,65 @@
 //! surfaced via [`Scheduler::take_rollbacks`].
 
 use crate::journal::{Journal, JournalEvent};
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 pub use crate::journal::JobId;
+
+/// Exponential retry backoff with deterministic, seeded jitter.
+///
+/// After attempt *k* fails (1-based), the job may not be re-dispatched
+/// before `now + min(cap, base·2^(k-1)) · jitter`, where `jitter` is a
+/// per-(job, attempt) multiplier drawn uniformly from
+/// `[1 − jitter_frac, 1 + jitter_frac]` by hashing `(seed, job, attempt)`
+/// — fully reproducible, no shared RNG state. [`Scheduler::new`] keeps
+/// the historical zero-delay behaviour; opt in with
+/// [`Scheduler::with_retry_policy`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Delay after the first failure.
+    pub base: SimDuration,
+    /// Upper bound on the (pre-jitter) delay.
+    pub cap: SimDuration,
+    /// Jitter half-width as a fraction of the delay, in `[0, 1]`.
+    pub jitter_frac: f64,
+    /// Seed for the per-(job, attempt) jitter hash.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    pub fn new(base: SimDuration, cap: SimDuration, jitter_frac: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&jitter_frac),
+            "jitter_frac {jitter_frac} outside [0, 1]"
+        );
+        assert!(cap >= base, "cap below base delay");
+        RetryPolicy {
+            base,
+            cap,
+            jitter_frac,
+            seed,
+        }
+    }
+
+    /// The delay imposed after `attempt` (1-based) of `job` failed.
+    pub fn delay_after(&self, job: JobId, attempt: u32) -> SimDuration {
+        let doublings = attempt.saturating_sub(1).min(62);
+        let raw = self.base.as_secs_f64() * (1u64 << doublings) as f64;
+        let capped = raw.min(self.cap.as_secs_f64());
+        // splitmix64 over (seed, job, attempt) → uniform in [0, 1)
+        let mut z = self
+            .seed
+            .wrapping_add(job.0.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let mult = 1.0 + self.jitter_frac * (2.0 * unit - 1.0);
+        SimDuration::from_secs_f64(capped * mult)
+    }
+}
 
 /// Scheduling class of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +121,9 @@ pub struct Scheduler<P> {
     next_id: u64,
     max_concurrent: usize,
     max_attempts: u32,
+    retry_policy: Option<RetryPolicy>,
+    /// Earliest re-dispatch time for jobs in backoff.
+    not_before: BTreeMap<JobId, SimTime>,
 }
 
 impl<P: Clone> Scheduler<P> {
@@ -81,7 +139,21 @@ impl<P: Clone> Scheduler<P> {
             next_id: 0,
             max_concurrent,
             max_attempts,
+            retry_policy: None,
+            not_before: BTreeMap::new(),
         }
+    }
+
+    /// A scheduler whose retries back off per `policy` instead of
+    /// requeueing instantly.
+    pub fn with_retry_policy(
+        max_concurrent: usize,
+        max_attempts: u32,
+        policy: RetryPolicy,
+    ) -> Self {
+        let mut s = Self::new(max_concurrent, max_attempts);
+        s.retry_policy = Some(policy);
+        s
     }
 
     /// Enqueue a job.
@@ -112,25 +184,47 @@ impl<P: Clone> Scheduler<P> {
         id
     }
 
+    /// Pop the first queued job whose backoff (if any) has elapsed,
+    /// preserving FIFO order among the ready.
+    fn pop_ready(
+        queue: &mut VecDeque<JobId>,
+        not_before: &BTreeMap<JobId, SimTime>,
+        now: SimTime,
+    ) -> Option<JobId> {
+        let idx = queue
+            .iter()
+            .position(|id| not_before.get(id).is_none_or(|&at| at <= now))?;
+        queue.remove(idx)
+    }
+
     /// Hand out runnable jobs: immediate jobs always, idle-class jobs
-    /// only when `cluster_idle`. Respects the concurrency cap.
+    /// only when `cluster_idle`. Respects the concurrency cap; jobs
+    /// still in retry backoff are passed over until their time comes.
     pub fn dispatch(&mut self, now: SimTime, cluster_idle: bool) -> Vec<(JobId, P)> {
         let mut out = Vec::new();
         while self.running.len() < self.max_concurrent {
-            let id = match self.immediate.pop_front() {
+            let id = match Self::pop_ready(&mut self.immediate, &self.not_before, now) {
                 Some(id) => id,
-                None if cluster_idle => match self.idle.pop_front() {
-                    Some(id) => id,
-                    None => break,
-                },
+                None if cluster_idle => {
+                    match Self::pop_ready(&mut self.idle, &self.not_before, now) {
+                        Some(id) => id,
+                        None => break,
+                    }
+                }
                 None => break,
             };
+            self.not_before.remove(&id);
             let job = self.jobs.get_mut(&id).expect("queued job exists");
             debug_assert_eq!(job.state, JobState::Queued);
             job.state = JobState::Running;
             job.attempts += 1;
-            self.journal
-                .record(now, id, JournalEvent::Started { attempt: job.attempts });
+            self.journal.record(
+                now,
+                id,
+                JournalEvent::Started {
+                    attempt: job.attempts,
+                },
+            );
             self.running.insert(id);
             out.push((id, job.payload.clone()));
         }
@@ -161,13 +255,18 @@ impl<P: Clone> Scheduler<P> {
                 );
                 if job.attempts < self.max_attempts {
                     job.state = JobState::Queued;
+                    if let Some(policy) = &self.retry_policy {
+                        self.not_before
+                            .insert(id, now + policy.delay_after(id, job.attempts));
+                    }
                     match job.priority {
                         Priority::Immediate => self.immediate.push_back(id),
                         Priority::WhenIdle => self.idle.push_back(id),
                     }
                 } else {
                     job.state = JobState::Failed;
-                    self.journal.record(now, id, JournalEvent::RollbackRequested);
+                    self.journal
+                        .record(now, id, JournalEvent::RollbackRequested);
                     self.rollbacks.push((id, job.payload.clone()));
                 }
             }
@@ -186,6 +285,11 @@ impl<P: Clone> Scheduler<P> {
 
     pub fn state(&self, id: JobId) -> Option<JobState> {
         self.jobs.get(&id).map(|j| j.state)
+    }
+
+    /// When `id` becomes dispatchable again, if it is in retry backoff.
+    pub fn next_retry_at(&self, id: JobId) -> Option<SimTime> {
+        self.not_before.get(&id).copied()
     }
 
     pub fn journal(&self) -> &Journal<P> {
@@ -300,7 +404,11 @@ mod tests {
         let mut s: Scheduler<u32> = Scheduler::new(3, 2);
         let mut ids = Vec::new();
         for i in 0..6 {
-            let pri = if i % 2 == 0 { Priority::Immediate } else { Priority::WhenIdle };
+            let pri = if i % 2 == 0 {
+                Priority::Immediate
+            } else {
+                Priority::WhenIdle
+            };
             ids.push(s.submit(t(0), i, pri));
         }
         let d = s.dispatch(t(1), true);
@@ -418,6 +526,111 @@ mod tests {
                 prop_assert!(qi + ql + run <= s.journal().replay().len());
             }
         }
+    }
+
+    fn backoff_policy() -> RetryPolicy {
+        RetryPolicy::new(
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(60),
+            0.2,
+            99,
+        )
+    }
+
+    #[test]
+    fn backoff_delays_retry_until_due() {
+        let mut s: Scheduler<&str> = Scheduler::with_retry_policy(1, 5, backoff_policy());
+        let id = s.submit(t(0), "flaky", Priority::Immediate);
+        let d = s.dispatch(t(0), false);
+        s.report(t(1), d[0].0, Outcome::Failure("net".into()));
+        let due = s.next_retry_at(id).expect("in backoff");
+        // base 10s ± 20 % jitter, measured from the failure report
+        assert!(due >= t(1) + SimDuration::from_secs(8));
+        assert!(due <= t(1) + SimDuration::from_secs(13));
+        assert!(s.dispatch(t(2), false).is_empty(), "still backing off");
+        let d = s.dispatch(due, false);
+        assert_eq!(d.len(), 1, "due at {due}");
+        assert!(s.next_retry_at(id).is_none(), "cleared on dispatch");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = backoff_policy();
+        let id = JobId(3);
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..=3 {
+            let d = p.delay_after(id, attempt);
+            assert!(d > prev, "attempt {attempt} should back off further");
+            prev = d;
+        }
+        // attempt 10 would be 10·2⁹ = 5120 s raw; the cap (60 s ± 20 %)
+        // bounds it
+        let capped = p.delay_after(id, 10);
+        assert!(capped <= SimDuration::from_secs(72), "{capped} exceeds cap");
+        assert!(capped >= SimDuration::from_secs(48));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed() {
+        let a = backoff_policy();
+        let b = backoff_policy();
+        let mut c = backoff_policy();
+        c.seed = 100;
+        let mut saw_difference = false;
+        for attempt in 1..=4 {
+            for job in 0..8 {
+                let id = JobId(job);
+                assert_eq!(a.delay_after(id, attempt), b.delay_after(id, attempt));
+                if a.delay_after(id, attempt) != c.delay_after(id, attempt) {
+                    saw_difference = true;
+                }
+            }
+        }
+        assert!(saw_difference, "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn backoff_does_not_block_other_ready_jobs() {
+        let mut s: Scheduler<&str> = Scheduler::with_retry_policy(1, 5, backoff_policy());
+        s.submit(t(0), "flaky", Priority::Immediate);
+        let d = s.dispatch(t(0), false);
+        s.report(t(1), d[0].0, Outcome::Failure("net".into()));
+        // a fresh job behind the backing-off head of the queue still runs
+        s.submit(t(1), "fresh", Priority::Immediate);
+        let d = s.dispatch(t(2), false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1, "fresh", "ready job overtakes one in backoff");
+    }
+
+    #[test]
+    fn backoff_exhausts_into_rollback() {
+        let mut s: Scheduler<&str> = Scheduler::with_retry_policy(1, 2, backoff_policy());
+        let id = s.submit(t(0), "doomed", Priority::Immediate);
+        let d = s.dispatch(t(0), false);
+        s.report(t(1), d[0].0, Outcome::Failure("x".into()));
+        let due = s.next_retry_at(id).unwrap();
+        let d = s.dispatch(due, false);
+        s.report(
+            due + SimDuration::from_secs(1),
+            d[0].0,
+            Outcome::Failure("x".into()),
+        );
+        // max_attempts reached: permanent failure, no further backoff
+        assert_eq!(s.state(id), Some(JobState::Failed));
+        assert!(s.next_retry_at(id).is_none());
+        let rb = s.take_rollbacks(due + SimDuration::from_secs(2));
+        assert_eq!(rb, vec![(id, "doomed")]);
+        assert_eq!(s.journal().replay()[&id], ReplayState::RolledBack);
+    }
+
+    #[test]
+    fn default_scheduler_keeps_zero_delay_retries() {
+        let mut s: Scheduler<&str> = Scheduler::new(1, 3);
+        let id = s.submit(t(0), "flaky", Priority::Immediate);
+        let d = s.dispatch(t(0), false);
+        s.report(t(1), d[0].0, Outcome::Failure("net".into()));
+        assert!(s.next_retry_at(id).is_none());
+        assert_eq!(s.dispatch(t(1), false).len(), 1, "instant requeue");
     }
 
     #[test]

@@ -168,16 +168,10 @@ fn two_rows(m: &mut Matrix, target: usize, source: usize) -> (&mut [u8], &[u8]) 
     let cols = m.cols;
     if target < source {
         let (head, tail) = m.data.split_at_mut(source * cols);
-        (
-            &mut head[target * cols..(target + 1) * cols],
-            &tail[..cols],
-        )
+        (&mut head[target * cols..(target + 1) * cols], &tail[..cols])
     } else {
         let (head, tail) = m.data.split_at_mut(target * cols);
-        (
-            &mut tail[..cols],
-            &head[source * cols..(source + 1) * cols],
-        )
+        (&mut tail[..cols], &head[source * cols..(source + 1) * cols])
     }
 }
 
@@ -219,7 +213,11 @@ mod tests {
 
     #[test]
     fn inverse_round_trip() {
-        let m = Matrix::from_rows(vec![vec![56, 23, 98], vec![3, 100, 200], vec![45, 201, 123]]);
+        let m = Matrix::from_rows(vec![
+            vec![56, 23, 98],
+            vec![3, 100, 200],
+            vec![45, 201, 123],
+        ]);
         let inv = m.inverse().expect("invertible");
         assert_eq!(m.mul(&inv), Matrix::identity(3));
         assert_eq!(inv.mul(&m), Matrix::identity(3));

@@ -32,7 +32,10 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::ShardLengthMismatch => write!(f, "shard lengths differ"),
             DecodeError::TooFewShards { needed, available } => {
-                write!(f, "need {needed} shards to decode, only {available} survive")
+                write!(
+                    f,
+                    "need {needed} shards to decode, only {available} survive"
+                )
             }
             DecodeError::SingularDecodeMatrix => write!(f, "decode matrix is singular"),
         }

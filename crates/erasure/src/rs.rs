@@ -17,11 +17,6 @@
 use crate::gf256;
 use crate::matrix::Matrix;
 use crate::recovery::DecodeError;
-use rayon::prelude::*;
-
-/// Shards below this size are encoded serially; Rayon's fork/join
-/// overhead dominates under it.
-const PARALLEL_THRESHOLD: usize = 64 * 1024;
 
 /// Errors constructing a code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,11 +112,7 @@ impl ReedSolomon {
             }
             parity
         };
-        let parities = if len >= PARALLEL_THRESHOLD && self.m > 1 {
-            rows.par_iter().map(encode_row).collect()
-        } else {
-            rows.iter().map(encode_row).collect()
-        };
+        let parities = rows.iter().map(encode_row).collect();
         Ok(parities)
     }
 
@@ -134,10 +125,7 @@ impl ReedSolomon {
             });
         }
         let expected = self.encode(&shards[..self.k])?;
-        Ok(expected
-            .iter()
-            .zip(&shards[self.k..])
-            .all(|(e, s)| e == s))
+        Ok(expected.iter().zip(&shards[self.k..]).all(|(e, s)| e == s))
     }
 
     /// Reconstruct every missing shard in place. `shards` has `k+m`
@@ -161,10 +149,7 @@ impl ReedSolomon {
         if missing.is_empty() {
             return Ok(());
         }
-        let len = shards[present[0]]
-            .as_ref()
-            .expect("present shard")
-            .len();
+        let len = shards[present[0]].as_ref().expect("present shard").len();
         for &i in &present {
             let l = shards[i].as_ref().expect("present shard").len();
             if l != len {
@@ -310,7 +295,10 @@ mod tests {
     #[test]
     fn construction_validates_params() {
         assert_eq!(ReedSolomon::new(0, 4).unwrap_err(), CodeError::NoDataShards);
-        assert_eq!(ReedSolomon::new(4, 0).unwrap_err(), CodeError::NoParityShards);
+        assert_eq!(
+            ReedSolomon::new(4, 0).unwrap_err(),
+            CodeError::NoParityShards
+        );
         assert!(matches!(
             ReedSolomon::new(200, 100),
             Err(CodeError::TooManyShards { total: 300 })

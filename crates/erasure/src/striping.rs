@@ -158,7 +158,10 @@ mod tests {
         assert!(encoded < replicated);
         // 100 blocks → 10 stripes → 40 parities → 140 blocks vs 300.
         assert_eq!(encoded, 140 * (64 << 20));
-        assert_eq!(plan.savings_vs_replication(100, 3), (300 - 140) * (64 << 20));
+        assert_eq!(
+            plan.savings_vs_replication(100, 3),
+            (300 - 140) * (64 << 20)
+        );
         assert!((layout.overhead_factor() - 1.4).abs() < 1e-12);
     }
 

@@ -100,11 +100,7 @@ impl XorCode {
     /// the other `k` shards, so the minimum read set is exactly the
     /// survivors — the planner's value is the shared shape with RS plans
     /// plus the *degraded-read* optimisation below.
-    pub fn recovery_plan(
-        &self,
-        pattern: &ErasurePattern,
-        target: usize,
-    ) -> Option<RecoveryPlan> {
+    pub fn recovery_plan(&self, pattern: &ErasurePattern, target: usize) -> Option<RecoveryPlan> {
         if pattern.total() != self.total_shards()
             || !pattern.is_erased(target)
             || pattern.erased_count() > 1
@@ -120,11 +116,7 @@ impl XorCode {
     /// Plan a *degraded read* of data shard `want`: if it survives, read
     /// just it (1 shard of I/O); if erased, fall back to full recovery.
     /// Returns the shard indices to read.
-    pub fn degraded_read_plan(
-        &self,
-        pattern: &ErasurePattern,
-        want: usize,
-    ) -> Option<Vec<usize>> {
+    pub fn degraded_read_plan(&self, pattern: &ErasurePattern, want: usize) -> Option<Vec<usize>> {
         assert!(want < self.k, "degraded reads target data shards");
         if !pattern.is_erased(want) {
             return Some(vec![want]);

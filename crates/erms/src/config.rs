@@ -4,6 +4,7 @@ use crate::replication::IncreaseStrategy;
 use crate::thresholds::Thresholds;
 use erasure::StripeLayout;
 use hdfs_sim::NodeId;
+use simcore::SimDuration;
 
 /// Everything the manager needs to know at construction.
 #[derive(Debug, Clone)]
@@ -35,6 +36,17 @@ pub struct ErmsConfig {
     /// correlation pattern) with one extra replica before Formula (1)
     /// trips.
     pub enable_freshness_boost: bool,
+    /// Self-healing: repair under-replication, reconstruct dark encoded
+    /// shards, evict crashed standby nodes and time out stuck tasks on
+    /// every tick. Off by default — the figure harness flips it to show
+    /// the durability delta under identical churn.
+    pub enable_self_healing: bool,
+    /// Run the repair scan every this many ticks (≥ 1).
+    pub repair_scan_ticks: u32,
+    /// Fail an ERMS task whose replica copies have been in flight
+    /// longer than this (stalled behind a dead endpoint or a downed
+    /// rack uplink); Condor's retry/backoff then takes over.
+    pub task_timeout: SimDuration,
 }
 
 impl ErmsConfig {
@@ -53,6 +65,9 @@ impl ErmsConfig {
             max_task_attempts: 10,
             cooled_patience: 3,
             enable_freshness_boost: false,
+            enable_self_healing: false,
+            repair_scan_ticks: 1,
+            task_timeout: SimDuration::from_mins(30),
         }
     }
 
@@ -71,6 +86,12 @@ impl ErmsConfig {
         }
         if self.max_concurrent_tasks == 0 || self.max_task_attempts == 0 {
             return Err("condor knobs must be positive".into());
+        }
+        if self.repair_scan_ticks == 0 {
+            return Err("repair_scan_ticks must be positive".into());
+        }
+        if self.enable_self_healing && self.task_timeout.is_zero() {
+            return Err("task_timeout must be positive when self-healing".into());
         }
         Ok(())
     }

@@ -213,10 +213,7 @@ impl DataJudge {
             return judgment(file, DataClass::Cooled, n_d, 5);
         }
         // Formula (6): quiet and old → cold
-        if !file.encoded
-            && n_d / r < tau_cold
-            && now.since(file.last_access) > cold_age
-        {
+        if !file.encoded && n_d / r < tau_cold && now.since(file.last_access) > cold_age {
             return judgment(file, DataClass::Cold, n_d, 6);
         }
         judgment(file, DataClass::Normal, n_d, 0)
@@ -287,14 +284,7 @@ mod tests {
     }
 
     fn open_line(t: u64, path: &str) -> String {
-        format_audit_line(
-            SimTime::from_secs(t),
-            "u",
-            "/10.0.0.1",
-            "open",
-            path,
-            None,
-        )
+        format_audit_line(SimTime::from_secs(t), "u", "/10.0.0.1", "open", path, None)
     }
 
     fn block_line(t: u64, blk: u64, dn: u32, path: &str) -> String {
@@ -363,7 +353,11 @@ mod tests {
         let mut file = snapshot("/f", 6, &[1]);
         file.boosted = true;
         // 2 accesses / r=6 = 0.33 < τ_d=2 → cooled
-        j.observe_lines([open_line(1, "/f"), open_line(2, "/f")].iter().map(String::as_str));
+        j.observe_lines(
+            [open_line(1, "/f"), open_line(2, "/f")]
+                .iter()
+                .map(String::as_str),
+        );
         let v = j.classify(SimTime::from_secs(10), &file);
         assert_eq!(v.class, DataClass::Cooled);
         assert_eq!(v.rule, 5);
@@ -399,7 +393,10 @@ mod tests {
         let file = snapshot("/f", 1, &[1]);
         let lines: Vec<String> = (0..10).map(|i| open_line(i, "/f")).collect();
         j.observe_lines(lines.iter().map(String::as_str));
-        assert_eq!(j.classify(SimTime::from_secs(10), &file).class, DataClass::Hot);
+        assert_eq!(
+            j.classify(SimTime::from_secs(10), &file).class,
+            DataClass::Hot
+        );
         // 300s window: by t=400 the burst has expired (file still young
         // enough not to be cold)
         let v = j.classify(SimTime::from_secs(400), &file);
@@ -441,7 +438,7 @@ mod tests {
             "/fresh",
             None,
         );
-        let lines = vec![create, open_line(5, "/fresh"), open_line(6, "/other")];
+        let lines = [create, open_line(5, "/fresh"), open_line(6, "/other")];
         j.observe_lines(lines.iter().map(String::as_str));
         assert_eq!(j.freshly_popular(), vec!["/fresh".to_string()]);
         assert!(j.freshly_popular().is_empty(), "matches drain once");

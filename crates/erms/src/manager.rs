@@ -94,6 +94,16 @@ pub struct TickReport {
     pub tasks_failed: usize,
     pub commissioned: Vec<NodeId>,
     pub shut_down: Vec<NodeId>,
+    /// Self-healing: repair copies started this tick.
+    pub repairs_started: usize,
+    /// Self-healing: excess replicas trimmed this tick.
+    pub replicas_trimmed: usize,
+    /// Self-healing: dark encoded shards whose reconstruction started.
+    pub reconstructions: usize,
+    /// Self-healing: tasks failed by the timeout watchdog.
+    pub tasks_timed_out: usize,
+    /// Self-healing: commissioned standby nodes found dead and evicted.
+    pub standby_evicted: Vec<NodeId>,
 }
 
 /// The elastic replication manager.
@@ -115,6 +125,14 @@ pub struct ErmsManager {
     pending_copies: BTreeMap<CopyId, JobId>,
     job_wait: BTreeMap<JobId, usize>,
     job_failed_copy: BTreeSet<JobId>,
+    /// When each copy-awaiting job started (timeout watchdog).
+    job_started: BTreeMap<JobId, SimTime>,
+    /// In-flight shard reconstructions (self-healing), by copy.
+    reconstruct_copies: BTreeMap<CopyId, hdfs_sim::BlockId>,
+    /// Blocks with a reconstruction already in flight.
+    reconstructing: BTreeSet<hdfs_sim::BlockId>,
+    /// Ticks elapsed, for the repair-scan cadence.
+    tick_count: u64,
     /// Total tasks finished, for harness accounting.
     pub total_completed: u64,
     pub total_failed: u64,
@@ -138,15 +156,30 @@ impl ErmsManager {
         } else {
             ActiveStandbyModel::new(active, standby)
         };
+        // Under self-healing, failed tasks (dead endpoints, downed racks)
+        // retry with exponential backoff instead of hammering the same
+        // broken placement every tick.
+        let condor = if cfg.enable_self_healing {
+            Scheduler::with_retry_policy(
+                cfg.max_concurrent_tasks,
+                cfg.max_task_attempts,
+                condor::scheduler::RetryPolicy::new(
+                    simcore::SimDuration::from_secs(60),
+                    simcore::SimDuration::from_mins(15),
+                    0.2,
+                    7,
+                ),
+            )
+        } else {
+            Scheduler::new(cfg.max_concurrent_tasks, cfg.max_task_attempts)
+        };
         ErmsManager {
             judge: DataJudge::new(cfg.thresholds.clone()),
-            condor: Scheduler::new(cfg.max_concurrent_tasks, cfg.max_task_attempts),
+            condor,
             model,
             matchmaker: Matchmaker::new(),
-            commission_req: parse_expr(
-                "target.Standby == true && target.PoweredOn == false",
-            )
-            .expect("static expression parses"),
+            commission_req: parse_expr("target.Standby == true && target.PoweredOn == false")
+                .expect("static expression parses"),
             commission_rank: parse_expr("target.FreeDisk").expect("static expression parses"),
             boosted: BTreeSet::new(),
             cooled_streak: BTreeMap::new(),
@@ -154,6 +187,10 @@ impl ErmsManager {
             pending_copies: BTreeMap::new(),
             job_wait: BTreeMap::new(),
             job_failed_copy: BTreeSet::new(),
+            job_started: BTreeMap::new(),
+            reconstruct_copies: BTreeMap::new(),
+            reconstructing: BTreeSet::new(),
+            tick_count: 0,
             total_completed: 0,
             total_failed: 0,
             cfg,
@@ -176,11 +213,11 @@ impl ErmsManager {
     /// One control-loop pass at `now`.
     pub fn tick(&mut self, cluster: &mut ClusterSim, now: SimTime) -> TickReport {
         let mut report = TickReport::default();
+        self.tick_count += 1;
 
         // 1. audit logs → CEP
         let lines = cluster.drain_audit();
-        self.judge
-            .observe_lines(lines.iter().map(String::as_str));
+        self.judge.observe_lines(lines.iter().map(String::as_str));
 
         // 2. refresh ClassAds (node state detection)
         self.advertise_nodes(cluster);
@@ -188,6 +225,12 @@ impl ErmsManager {
 
         // 3. settle async copy completions from previous ticks
         self.settle_copies(cluster, now, &mut report);
+
+        // 3b. self-healing: watchdog, standby eviction, repair scan and
+        // dark-shard reconstruction
+        if self.cfg.enable_self_healing {
+            self.heal(cluster, now, &mut report);
+        }
 
         // 4. classify every file and derive tasks
         let default_r = cluster.config().default_replication;
@@ -284,9 +327,7 @@ impl ErmsManager {
                     }
                 }
                 DataClass::Normal => {
-                    if fresh.contains(&snap.path)
-                        && !snap.encoded
-                        && snap.replication == default_r
+                    if fresh.contains(&snap.path) && !snap.encoded && snap.replication == default_r
                     {
                         self.submit(
                             now,
@@ -364,10 +405,7 @@ impl ErmsManager {
 
     fn absorb_boot_completions(&mut self, cluster: &ClusterSim) {
         for n in self.model.powered_on() {
-            if matches!(
-                cluster.node_state(n),
-                hdfs_sim::datanode::NodeState::Active
-            ) {
+            if matches!(cluster.node_state(n), hdfs_sim::datanode::NodeState::Active) {
                 self.model.mark_booted(n);
             }
         }
@@ -403,7 +441,7 @@ impl ErmsManager {
             }
             ErmsTask::Decrease { path, target } => self.exec_decrease(cluster, path, *target),
             ErmsTask::Encode { path } => self.exec_encode(cluster, path),
-            ErmsTask::Decode { path, target } => self.exec_decode(cluster, job, path, *target),
+            ErmsTask::Decode { path, target } => self.exec_decode(cluster, now, job, path, *target),
         };
         match outcome {
             PendingOrDone::Done(outcome) => {
@@ -425,11 +463,11 @@ impl ErmsManager {
         report: &mut TickReport,
     ) {
         let ok = outcome == Outcome::Success;
+        self.job_started.remove(&job);
         self.condor.report(now, job, outcome);
         // drop the dedup key only when the job is no longer queued/running
         if self.condor.state(job) != Some(condor::scheduler::JobState::Queued) {
-            self.inflight
-                .retain(|_, &mut j| j != job);
+            self.inflight.retain(|_, &mut j| j != job);
         }
         if ok {
             report.tasks_completed += 1;
@@ -481,11 +519,16 @@ impl ErmsManager {
             // nothing could start (no space anywhere)
             return PendingOrDone::Done(Outcome::Failure("no placement targets".into()));
         }
-        self.track_copies(job, copies);
+        self.track_copies(now, job, copies);
         PendingOrDone::AwaitingCopies
     }
 
-    fn exec_decrease(&mut self, cluster: &mut ClusterSim, path: &str, target: usize) -> PendingOrDone {
+    fn exec_decrease(
+        &mut self,
+        cluster: &mut ClusterSim,
+        path: &str,
+        target: usize,
+    ) -> PendingOrDone {
         let Some(file) = cluster.namespace().resolve(path) else {
             return PendingOrDone::Done(Outcome::Failure("file deleted".into()));
         };
@@ -531,6 +574,7 @@ impl ErmsManager {
     fn exec_decode(
         &mut self,
         cluster: &mut ClusterSim,
+        now: SimTime,
         job: JobId,
         path: &str,
         target: usize,
@@ -543,27 +587,29 @@ impl ErmsManager {
         if copies.is_empty() {
             return PendingOrDone::Done(Outcome::Success);
         }
-        self.track_copies(job, copies);
+        self.track_copies(now, job, copies);
         PendingOrDone::AwaitingCopies
     }
 
-    fn track_copies(&mut self, job: JobId, copies: Vec<CopyId>) {
+    fn track_copies(&mut self, now: SimTime, job: JobId, copies: Vec<CopyId>) {
         self.job_wait.insert(job, copies.len());
+        self.job_started.insert(job, now);
         for c in copies {
             self.pending_copies.insert(c, job);
         }
     }
 
-    fn settle_copies(
-        &mut self,
-        cluster: &mut ClusterSim,
-        now: SimTime,
-        report: &mut TickReport,
-    ) {
+    fn settle_copies(&mut self, cluster: &mut ClusterSim, now: SimTime, report: &mut TickReport) {
         let mut finished: Vec<(JobId, bool)> = Vec::new();
         for stat in cluster.drain_completed_copies() {
             let Some(job) = self.pending_copies.remove(&stat.id) else {
-                continue; // repair traffic, not ours
+                // not a task copy: maybe one of our shard reconstructions
+                if let Some(block) = self.reconstruct_copies.remove(&stat.id) {
+                    // success or failure, the block is fair game for the
+                    // next heal pass to re-examine
+                    self.reconstructing.remove(&block);
+                }
+                continue; // otherwise repair traffic, not ours
             };
             if !stat.succeeded {
                 self.job_failed_copy.insert(job);
@@ -607,12 +653,7 @@ impl ErmsManager {
         let serving_standby = self
             .model
             .standby_nodes()
-            .filter(|&n| {
-                matches!(
-                    cluster.node_state(n),
-                    hdfs_sim::datanode::NodeState::Active
-                )
-            })
+            .filter(|&n| matches!(cluster.node_state(n), hdfs_sim::datanode::NodeState::Active))
             .count();
         if serving_standby >= extra {
             return true;
@@ -645,8 +686,151 @@ impl ErmsManager {
                 break;
             }
         }
-        // if the pool is exhausted entirely, let placement fall back
-        self.model.powered_off().is_empty() && report.commissioned.is_empty()
+        // if no commissionable node remains (pool exhausted, or only
+        // crashed nodes left — those can never boot), let placement fall
+        // back to the active set instead of waiting forever
+        let commissionable = self.model.powered_off().into_iter().any(|n| {
+            matches!(
+                cluster.node_state(n),
+                hdfs_sim::datanode::NodeState::Standby
+            )
+        });
+        !commissionable && report.commissioned.is_empty()
+    }
+
+    /// The self-healing pass: (1) time out tasks stuck behind dead
+    /// endpoints or downed uplinks, (2) evict crashed standby nodes from
+    /// the model so commissioning re-selects, (3) run the namenode
+    /// repair scan (under-replication re-copies honour the replication
+    /// monitor's staging and `max_replication_streams` pacing inside the
+    /// cluster; block-reported excess gets trimmed), (4) reconstruct
+    /// dark shards of encoded files from their surviving stripe mates.
+    fn heal(&mut self, cluster: &mut ClusterSim, now: SimTime, report: &mut TickReport) {
+        // (1) task-timeout watchdog
+        let stuck: Vec<JobId> = self
+            .job_started
+            .iter()
+            .filter(|&(_, &started)| now.since(started) > self.cfg.task_timeout)
+            .map(|(&job, _)| job)
+            .collect();
+        for job in stuck {
+            self.pending_copies.retain(|_, &mut j| j != job);
+            self.job_wait.remove(&job);
+            self.job_failed_copy.remove(&job);
+            let Some(task) = self.condor.journal().payload_of(job) else {
+                continue;
+            };
+            report.tasks_timed_out += 1;
+            self.finish(
+                cluster,
+                now,
+                job,
+                &task,
+                Outcome::Failure("task timeout".into()),
+                report,
+            );
+        }
+
+        // (2) crashed commissioned standby nodes: bank their energy,
+        // return them to Off, and let the next capacity request pick a
+        // healthy replacement (their ad was withdrawn in advertise_nodes)
+        for n in self.model.powered_on() {
+            if matches!(cluster.node_state(n), hdfs_sim::datanode::NodeState::Dead)
+                && self.model.mark_failed(n, now)
+            {
+                report.standby_evicted.push(n);
+            }
+        }
+
+        // (3) periodic namenode repair scan
+        if self
+            .tick_count
+            .is_multiple_of(u64::from(self.cfg.repair_scan_ticks))
+        {
+            report.repairs_started += cluster.repair_under_replicated().len();
+            report.replicas_trimmed += cluster.trim_over_replicated();
+        }
+
+        // (4) reconstruct dark shards of encoded files (immediate
+        // priority: a dark block is the namenode's most urgent queue, so
+        // this bypasses Condor's idle gating entirely)
+        self.reconstruct_dark_shards(cluster, report);
+    }
+
+    /// Scan encoded files for data blocks with zero live replicas and
+    /// start an RS reconstruction for each recoverable one. Dark blocks
+    /// vanish from the blockmap, so this walks the namespace.
+    fn reconstruct_dark_shards(&mut self, cluster: &mut ClusterSim, report: &mut TickReport) {
+        use erasure::recovery::{rs_recovery_plan, ErasurePattern};
+        use erasure::StripePlan;
+
+        struct DarkShard {
+            block: hdfs_sim::BlockId,
+            sources: Vec<NodeId>,
+        }
+        let mut work: Vec<DarkShard> = Vec::new();
+        let block_size = cluster.config().block_size;
+        for meta in cluster.namespace().files() {
+            let hdfs_sim::namespace::StorageMode::Encoded { parity_blocks } = &meta.mode else {
+                continue;
+            };
+            let plan = StripePlan::for_file(meta.blocks.len(), block_size, self.cfg.cold_stripe);
+            for stripe in &plan.stripes {
+                // shard order: the stripe's data blocks, then its parities
+                let m = stripe.parity_count;
+                let parities = &parity_blocks[stripe.index * m..(stripe.index + 1) * m];
+                let shards: Vec<hdfs_sim::BlockId> = stripe
+                    .blocks
+                    .iter()
+                    .map(|&i| meta.blocks[i])
+                    .chain(parities.iter().copied())
+                    .collect();
+                let erased: Vec<usize> = (0..shards.len())
+                    .filter(|&i| cluster.blockmap().replica_count(shards[i]) == 0)
+                    .collect();
+                if erased.is_empty() {
+                    continue;
+                }
+                let k = stripe.blocks.len();
+                let pattern = ErasurePattern::from_indices(shards.len(), &erased);
+                for &e in &erased {
+                    let block = shards[e];
+                    // only data shards carry client-visible bytes; dark
+                    // parities are rebuilt too (they restore tolerance)
+                    if self.reconstructing.contains(&block) {
+                        continue;
+                    }
+                    let Some(recovery) = rs_recovery_plan(&pattern, k, e) else {
+                        continue; // stripe unrecoverable: true data loss
+                    };
+                    let sources: Vec<NodeId> = recovery
+                        .read_from
+                        .iter()
+                        .filter_map(|&s| cluster.blockmap().locations(shards[s]).first().copied())
+                        .collect();
+                    if sources.len() < recovery.read_from.len() {
+                        continue; // a survivor went dark mid-scan
+                    }
+                    work.push(DarkShard { block, sources });
+                }
+            }
+        }
+        for shard in work {
+            // target: the serving node with the most free disk that is
+            // not a source (ties break toward the lower id)
+            let target = cluster
+                .node_views(Some(shard.block), None)
+                .into_iter()
+                .filter(|v| v.serving && !v.holds_block && !shard.sources.contains(&v.id))
+                .max_by_key(|v| (v.free, std::cmp::Reverse(v.id.0)))
+                .map(|v| v.id);
+            let Some(target) = target else { continue };
+            if let Some(copy) = cluster.reconstruct_block(shard.block, &shard.sources, target) {
+                self.reconstruct_copies.insert(copy, shard.block);
+                self.reconstructing.insert(shard.block);
+                report.reconstructions += 1;
+            }
+        }
     }
 
     fn shutdown_drained_standby(
@@ -659,12 +843,12 @@ impl ErmsManager {
             return; // replica traffic may still target standby nodes
         }
         for n in self.model.powered_on() {
-            let serving = matches!(
-                cluster.node_state(n),
-                hdfs_sim::datanode::NodeState::Active
-            );
-            if serving && cluster.node_block_count(n) == 0 && cluster.node_load(n) == 0 {
-                cluster.power_off(n);
+            let serving = matches!(cluster.node_state(n), hdfs_sim::datanode::NodeState::Active);
+            if serving
+                && cluster.node_block_count(n) == 0
+                && cluster.node_load(n) == 0
+                && cluster.power_off(n).is_ok()
+            {
                 self.model.shut_down(n, now);
                 report.shut_down.push(n);
             }
@@ -768,10 +952,7 @@ mod tests {
         assert!(r > 3, "replication should rise above default, got {r}");
         assert!(m.is_boosted("/hot"));
         // extras landed on standby-pool nodes
-        let on_standby = (10..18)
-            .map(NodeId)
-            .filter(|&n| c.node_holds(n, b))
-            .count();
+        let on_standby = (10..18).map(NodeId).filter(|&n| c.node_holds(n, b)).count();
         assert!(on_standby > 0, "extras parked on standby nodes");
     }
 
@@ -808,9 +989,7 @@ mod tests {
         // drained standby nodes were shut down again
         let serving_standby = (10..18)
             .map(NodeId)
-            .filter(|&n| {
-                matches!(c.node_state(n), hdfs_sim::datanode::NodeState::Active)
-            })
+            .filter(|&n| matches!(c.node_state(n), hdfs_sim::datanode::NodeState::Active))
             .count();
         assert_eq!(serving_standby, 0, "standby pool powered back off");
     }
@@ -908,6 +1087,188 @@ mod tests {
             4,
             "create→open pattern should pre-warm by one replica"
         );
+    }
+
+    fn healing_manager(cluster: &mut ClusterSim, standby: Vec<NodeId>) -> ErmsManager {
+        let cfg = ErmsConfig {
+            thresholds: fast_thresholds(),
+            standby,
+            enable_encode: false,
+            enable_self_healing: true,
+            task_timeout: SimDuration::from_secs(60),
+            ..ErmsConfig::paper_default()
+        };
+        ErmsManager::new(cfg, cluster)
+    }
+
+    #[test]
+    fn self_healing_restores_replication_after_a_kill() {
+        let mut c = cluster();
+        let mut m = healing_manager(&mut c, Vec::new());
+        let f = c.create_file("/data", 512 * MB, 3, None).unwrap();
+        c.run_until_quiescent();
+
+        let victim = c
+            .blockmap()
+            .locations(c.namespace().file(f).unwrap().blocks[0])[0];
+        let (degraded, lost) = c.kill_node(victim);
+        assert!(!degraded.is_empty());
+        assert!(lost.is_empty(), "3-way replication survives one kill");
+
+        let now = c.now();
+        let r = m.tick(&mut c, now);
+        assert!(r.repairs_started > 0, "repair scan kicked in");
+        for _ in 0..6 {
+            c.run_until_quiescent();
+            let now = c.now();
+            m.tick(&mut c, now);
+        }
+        for b in &c.namespace().file(f).unwrap().blocks {
+            assert_eq!(c.blockmap().replica_count(*b), 3, "{b:?} back to target");
+        }
+        assert!(c.durability().loss_events().is_empty());
+    }
+
+    #[test]
+    fn without_self_healing_the_deficit_persists() {
+        let mut c = cluster();
+        let mut m = manager(&mut c, Vec::new()); // healing off
+        let f = c.create_file("/data", 512 * MB, 3, None).unwrap();
+        c.run_until_quiescent();
+        let victim = c
+            .blockmap()
+            .locations(c.namespace().file(f).unwrap().blocks[0])[0];
+        c.kill_node(victim);
+        for _ in 0..4 {
+            let now = c.now();
+            let r = m.tick(&mut c, now);
+            assert_eq!(r.repairs_started, 0);
+            c.run_until_quiescent();
+        }
+        let deficit = c
+            .namespace()
+            .file(f)
+            .unwrap()
+            .blocks
+            .iter()
+            .filter(|&&b| c.blockmap().replica_count(b) < 3)
+            .count();
+        assert!(deficit > 0, "nobody repaired the killed replicas");
+    }
+
+    #[test]
+    fn self_healing_reconstructs_dark_encoded_shards() {
+        let mut c = cluster();
+        // encode via the normal cold path, then enable healing semantics
+        // by building a healing manager over the same cluster state
+        let cfg = ErmsConfig {
+            thresholds: fast_thresholds(),
+            standby: Vec::new(),
+            enable_self_healing: true,
+            task_timeout: SimDuration::from_secs(60),
+            ..ErmsConfig::paper_default()
+        };
+        let mut m = ErmsManager::new(cfg, &mut c);
+        let f = c.create_file("/cold", 1280 * MB, 3, None).unwrap();
+        c.run_until(c.now() + SimDuration::from_secs(4000));
+        let now = c.now();
+        m.tick(&mut c, now);
+        let now = c.now();
+        m.tick(&mut c, now);
+        assert!(c.namespace().file(f).unwrap().is_encoded());
+
+        // kill the single holder of the first data block
+        let b0 = c.namespace().file(f).unwrap().blocks[0];
+        let victim = c.blockmap().locations(b0)[0];
+        let (_, lost) = c.kill_node(victim);
+        assert!(lost.contains(&b0), "encoded data block went dark");
+        assert!(
+            c.durability().open_windows() > 0,
+            "dark encoded shard opens an unavailability window"
+        );
+
+        let now = c.now();
+        let r = m.tick(&mut c, now);
+        assert!(r.reconstructions > 0, "reconstruction scheduled");
+        for _ in 0..6 {
+            c.run_until_quiescent();
+            let now = c.now();
+            m.tick(&mut c, now);
+        }
+        for b in &c.namespace().file(f).unwrap().blocks {
+            assert!(
+                c.blockmap().replica_count(*b) >= 1,
+                "{b:?} rebuilt from stripe mates"
+            );
+        }
+        assert_eq!(c.durability().open_windows(), 0, "windows closed");
+        assert!(c.durability().loss_events().is_empty(), "no data lost");
+    }
+
+    #[test]
+    fn watchdog_times_out_stuck_tasks() {
+        let mut c = cluster();
+        let mut m = healing_manager(&mut c, Vec::new());
+        c.create_file("/hot", 256 * MB, 3, None).unwrap();
+        hammer(&mut c, "/hot", 40);
+        // cripple every node so the boost copies crawl (80 MB/s → 0.8)
+        for n in c.topology().nodes().collect::<Vec<_>>() {
+            c.set_node_slowdown(n, 0.01);
+        }
+        let now = c.now();
+        let r = m.tick(&mut c, now);
+        assert!(r.tasks_submitted >= 1, "boost submitted");
+        // past the 60 s timeout, but well short of copy completion
+        c.run_until(c.now() + SimDuration::from_secs(70));
+        let now = c.now();
+        let r = m.tick(&mut c, now);
+        assert!(r.tasks_timed_out >= 1, "watchdog fired: {r:?}");
+    }
+
+    #[test]
+    fn crashed_standby_is_evicted_and_replaced() {
+        let mut c = cluster();
+        let standby: Vec<NodeId> = (10..18).map(NodeId).collect();
+        let mut m = healing_manager(&mut c, standby.clone());
+        c.create_file("/hot", 64 * MB, 3, None).unwrap();
+        // 15 direct reads: hot (15/3 > 4) with a modest optimum, so
+        // exactly one standby node gets commissioned
+        hammer(&mut c, "/hot", 15);
+        let now = c.now();
+        let r = m.tick(&mut c, now);
+        let commissioned = r
+            .commissioned
+            .first()
+            .copied()
+            .expect("standby commissioned");
+        c.run_until(c.now() + SimDuration::from_secs(60)); // let it boot
+
+        assert!(c.crash_node(commissioned));
+        let now = c.now();
+        let r = m.tick(&mut c, now);
+        assert!(
+            r.standby_evicted.contains(&commissioned),
+            "dead standby evicted: {r:?}"
+        );
+        assert_eq!(
+            m.model().state_of(commissioned),
+            Some(crate::model::StandbyState::Off),
+            "model returns the node to the commission pool"
+        );
+        // new demand needing standby capacity re-selects a healthy node
+        c.create_file("/hot2", 64 * MB, 3, None).unwrap();
+        hammer(&mut c, "/hot2", 15);
+        let mut replacement = None;
+        for _ in 0..6 {
+            let now = c.now();
+            let r = m.tick(&mut c, now);
+            if let Some(&n) = r.commissioned.iter().find(|&&n| n != commissioned) {
+                replacement = Some(n);
+                break;
+            }
+            c.run_until(c.now() + SimDuration::from_secs(70));
+        }
+        assert!(replacement.is_some(), "a healthy standby was re-selected");
     }
 
     #[test]

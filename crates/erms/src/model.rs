@@ -37,7 +37,10 @@ impl ActiveStandbyModel {
     /// ones (initially off).
     pub fn new(active: Vec<NodeId>, standby: Vec<NodeId>) -> Self {
         assert!(!active.is_empty(), "need at least one active node");
-        let standby = standby.into_iter().map(|n| (n, StandbyState::Off)).collect();
+        let standby = standby
+            .into_iter()
+            .map(|n| (n, StandbyState::Off))
+            .collect();
         ActiveStandbyModel {
             active,
             standby,
@@ -116,6 +119,14 @@ impl ActiveStandbyModel {
             }
             _ => false,
         }
+    }
+
+    /// A commissioned standby node crashed: bank its energy and return
+    /// it to `Off` so the next commission request selects a healthy
+    /// replacement. Returns false if the node was not powered (or not a
+    /// standby node at all).
+    pub fn mark_failed(&mut self, n: NodeId, now: SimTime) -> bool {
+        self.shut_down(n, now)
     }
 
     /// Total standby-pool energy consumed by `now`, in node-seconds

@@ -168,7 +168,10 @@ mod tests {
             .iter()
             .map(|t| views.iter().find(|v| v.id == *t).unwrap().rack.0)
             .collect();
-        assert!(racks.len() >= 2, "initial placement spans racks: {targets:?}");
+        assert!(
+            racks.len() >= 2,
+            "initial placement spans racks: {targets:?}"
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ mod tests {
         assert_eq!(optimal_replication(24.0, 8.0, 3, 18), 3);
         assert_eq!(optimal_replication(25.0, 8.0, 3, 18), 4);
         assert_eq!(optimal_replication(80.0, 8.0, 3, 18), 10);
-        assert_eq!(optimal_replication(1000.0, 8.0, 3, 18), 18, "ceiling at cluster");
+        assert_eq!(
+            optimal_replication(1000.0, 8.0, 3, 18),
+            18,
+            "ceiling at cluster"
+        );
     }
 
     #[test]

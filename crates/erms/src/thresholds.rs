@@ -78,7 +78,9 @@ impl Thresholds {
 
     /// Enforce `0 < τ_m < τ_d < τ_M` and sane auxiliary bounds.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.tau_cold > 0.0 && self.tau_cold < self.tau_cooled && self.tau_cooled < self.tau_hot)
+        if !(self.tau_cold > 0.0
+            && self.tau_cold < self.tau_cooled
+            && self.tau_cooled < self.tau_hot)
         {
             return Err(format!(
                 "need 0 < τ_m({}) < τ_d({}) < τ_M({})",

@@ -60,12 +60,7 @@ pub fn utilization(cluster: &ClusterSim) -> UtilizationReport {
     let nodes: Vec<(NodeId, Bytes, f64)> = cluster
         .topology()
         .nodes()
-        .filter(|&n| {
-            matches!(
-                cluster.node_state(n),
-                crate::datanode::NodeState::Active
-            )
-        })
+        .filter(|&n| matches!(cluster.node_state(n), crate::datanode::NodeState::Active))
         .map(|n| {
             let used = cluster.node_used(n);
             (n, used, used as f64 / cap as f64)
@@ -109,10 +104,7 @@ pub fn plan_moves(cluster: &ClusterSim, threshold: f64) -> Vec<Move> {
         .nodes
         .iter()
         .map(|&(n, _, _)| {
-            let blocks: Vec<BlockId> = cluster
-                .blockmap_blocks_on(n)
-                .into_iter()
-                .collect();
+            let blocks: Vec<BlockId> = cluster.blockmap_blocks_on(n).into_iter().collect();
             (n, blocks)
         })
         .collect();
@@ -136,19 +128,12 @@ pub fn plan_moves(cluster: &ClusterSim, threshold: f64) -> Vec<Move> {
         // pick a block on `over` that `under` lacks
         let candidates = holdings.get(&over).cloned().unwrap_or_default();
         let pick = candidates.iter().copied().find(|&b| {
-            !cluster.blockmap().holds(b, under)
-                && !moves
-                    .iter()
-                    .any(|m: &Move| m.block == b)
+            !cluster.blockmap().holds(b, under) && !moves.iter().any(|m: &Move| m.block == b)
         });
         let Some(block) = pick else {
             break; // nothing movable
         };
-        let bytes = cluster
-            .namespace()
-            .block(block)
-            .map(|i| i.len)
-            .unwrap_or(0);
+        let bytes = cluster.namespace().block(block).map(|i| i.len).unwrap_or(0);
         if bytes == 0 {
             break;
         }
@@ -243,7 +228,8 @@ mod tests {
         let mut c = ClusterSim::new(cfg, Box::new(DefaultRackAware));
         // r=4 on 4 nodes: perfectly even
         for i in 0..4 {
-            c.create_file(&format!("/f{i}"), 64 * MB, 4, None).expect("fits");
+            c.create_file(&format!("/f{i}"), 64 * MB, 4, None)
+                .expect("fits");
         }
         let r = utilization(&c);
         assert!(r.is_balanced(0.01));

@@ -54,8 +54,17 @@ impl BlockMap {
         self.locations.get(&block).map_or(0, BTreeSet::len)
     }
 
+    /// Iterate every (block, replica locations) pair in id order. Blocks
+    /// with zero live replicas have no entry — finding those requires
+    /// the namespace.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BTreeSet<NodeId>)> + '_ {
+        self.locations.iter().map(|(&b, locs)| (b, locs))
+    }
+
     pub fn holds(&self, block: BlockId, node: NodeId) -> bool {
-        self.locations.get(&block).is_some_and(|s| s.contains(&node))
+        self.locations
+            .get(&block)
+            .is_some_and(|s| s.contains(&node))
     }
 
     /// Every (block, deficit) with fewer than `want(block)` replicas.
@@ -73,10 +82,7 @@ impl BlockMap {
     }
 
     /// Every (block, excess) with more than `want(block)` replicas.
-    pub fn over_replicated(
-        &self,
-        mut want: impl FnMut(BlockId) -> usize,
-    ) -> Vec<(BlockId, usize)> {
+    pub fn over_replicated(&self, mut want: impl FnMut(BlockId) -> usize) -> Vec<(BlockId, usize)> {
         self.locations
             .iter()
             .filter_map(|(&b, locs)| {

@@ -1,0 +1,438 @@
+//! Seeded fault injection: MTBF/MTTR churn schedules for the cluster.
+//!
+//! A [`FaultPlan`] is generated *up front* from a seed and a
+//! [`FaultConfig`], so a whole churn experiment is a pure function of
+//! its command line: the same seed yields byte-identical schedules (and,
+//! downstream, byte-identical figure output). Three fault families are
+//! modelled, mirroring what an HDFS operator actually sees:
+//!
+//! * **node churn** — each node crashes after an exponential
+//!   mean-time-between-failures draw and restarts after an exponential
+//!   mean-time-to-repair downtime; with a small probability a crash is a
+//!   *permanent* kill (disk destroyed, node never returns);
+//! * **rack uplink outages** — a whole rack's oversubscribed uplink
+//!   drops (switch reboot), stalling every cross-rack flow through it;
+//! * **stragglers** — a node's disk/NIC degrade to a fraction of their
+//!   rated speed for a while (failing disk, noisy neighbour).
+//!
+//! The [`FaultInjector`] replays the plan against a
+//! [`ClusterSim`](crate::cluster::ClusterSim) as simulated time
+//! advances; the driver interleaves `injector.apply_due(&mut sim, now)`
+//! with its own control-loop ticks.
+
+use crate::cluster::ClusterSim;
+use crate::topology::{NodeId, RackId};
+use simcore::rng::DetRng;
+use simcore::time::{SimDuration, SimTime};
+
+/// Parameters of the churn generator. All mean durations feed
+/// exponential draws; a `*_mtbf` of zero disables that fault family.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Mean time between crashes, per node.
+    pub node_mtbf: SimDuration,
+    /// Mean downtime before a crashed node restarts.
+    pub node_mttr: SimDuration,
+    /// Probability that a crash is permanent (disk destroyed; the node
+    /// never restarts and its fault stream ends).
+    pub kill_probability: f64,
+    /// Mean time between uplink outages, per rack (zero disables).
+    pub rack_mtbf: SimDuration,
+    /// Mean duration of a rack uplink outage.
+    pub rack_mttr: SimDuration,
+    /// Mean time between straggler episodes, per node (zero disables).
+    pub straggler_mtbf: SimDuration,
+    /// Mean duration of a straggler episode.
+    pub straggler_duration: SimDuration,
+    /// Service factor during an episode (e.g. 0.1 = 10 % speed).
+    pub straggler_slowdown: f64,
+    /// Generate events in `[0, horizon)`.
+    pub horizon: SimDuration,
+}
+
+impl FaultConfig {
+    /// Moderate churn for the `figures faults` scenario: enough
+    /// overlapping failures that an unmanaged cluster measurably
+    /// degrades over an 8-hour window, while a repairing one keeps up.
+    pub fn paper_default() -> Self {
+        FaultConfig {
+            node_mtbf: SimDuration::from_hours(2),
+            node_mttr: SimDuration::from_secs(20 * 60),
+            kill_probability: 0.1,
+            rack_mtbf: SimDuration::from_hours(6),
+            rack_mttr: SimDuration::from_secs(120),
+            straggler_mtbf: SimDuration::from_hours(4),
+            straggler_duration: SimDuration::from_secs(10 * 60),
+            straggler_slowdown: 0.1,
+            horizon: SimDuration::from_hours(8),
+        }
+    }
+
+    /// Node churn only (no rack outages or stragglers) — the setting the
+    /// property tests and the durability acceptance check use.
+    pub fn churn_only(mtbf: SimDuration, mttr: SimDuration, horizon: SimDuration) -> Self {
+        FaultConfig {
+            node_mtbf: mtbf,
+            node_mttr: mttr,
+            kill_probability: 0.0,
+            rack_mtbf: SimDuration::from_secs(0),
+            rack_mttr: SimDuration::from_secs(0),
+            straggler_mtbf: SimDuration::from_secs(0),
+            straggler_duration: SimDuration::from_secs(0),
+            straggler_slowdown: 1.0,
+            horizon,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.kill_probability) {
+            return Err(format!(
+                "kill_probability {} outside [0, 1]",
+                self.kill_probability
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.straggler_slowdown) {
+            return Err(format!(
+                "straggler_slowdown {} outside [0, 1]",
+                self.straggler_slowdown
+            ));
+        }
+        if self.horizon.as_secs_f64() <= 0.0 {
+            return Err("horizon must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// One fault the injector applies to the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Transient crash: disk contents survive for the paired `Restart`.
+    Crash(NodeId),
+    /// The paired restart of an earlier `Crash`.
+    Restart(NodeId),
+    /// Permanent failure: disk destroyed, node never returns.
+    Kill(NodeId),
+    RackOutage(RackId),
+    RackRestore(RackId),
+    StragglerStart(NodeId),
+    StragglerEnd(NodeId),
+}
+
+/// A fault pinned to its simulated firing time.
+#[derive(Debug, Clone)]
+pub struct TimedFault {
+    pub at: SimTime,
+    pub event: FaultEvent,
+}
+
+/// A deterministic, pre-generated fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Events sorted by time (ties broken deterministically).
+    pub events: Vec<TimedFault>,
+}
+
+impl FaultPlan {
+    /// Generate the schedule for `nodes` datanodes in `racks` racks.
+    /// Each node/rack gets an independent child RNG stream, so the plan
+    /// is invariant to generation order and stable across runs.
+    pub fn generate(cfg: &FaultConfig, nodes: usize, racks: usize, seed: u64) -> FaultPlan {
+        cfg.validate().expect("invalid fault config");
+        let mut root = DetRng::new(seed);
+        let horizon = cfg.horizon.as_secs_f64();
+        let mut events: Vec<TimedFault> = Vec::new();
+
+        // node crash/restart renewal processes
+        if cfg.node_mtbf.as_secs_f64() > 0.0 {
+            for n in 0..nodes {
+                let mut rng = root.fork(0x1000 + n as u64);
+                let mut t = rng.exp(cfg.node_mtbf.as_secs_f64());
+                while t < horizon {
+                    let node = NodeId(n as u32);
+                    if rng.chance(cfg.kill_probability) {
+                        events.push(TimedFault {
+                            at: SimTime::from_secs_f64(t),
+                            event: FaultEvent::Kill(node),
+                        });
+                        break; // permanent: this node's stream ends
+                    }
+                    events.push(TimedFault {
+                        at: SimTime::from_secs_f64(t),
+                        event: FaultEvent::Crash(node),
+                    });
+                    let down = rng.exp(cfg.node_mttr.as_secs_f64().max(1.0));
+                    let up = t + down;
+                    events.push(TimedFault {
+                        at: SimTime::from_secs_f64(up),
+                        event: FaultEvent::Restart(node),
+                    });
+                    t = up + rng.exp(cfg.node_mtbf.as_secs_f64());
+                }
+            }
+        }
+
+        // rack uplink outage episodes
+        if cfg.rack_mtbf.as_secs_f64() > 0.0 {
+            for r in 0..racks {
+                let mut rng = root.fork(0x2000 + r as u64);
+                let mut t = rng.exp(cfg.rack_mtbf.as_secs_f64());
+                while t < horizon {
+                    let rack = RackId(r as u16);
+                    events.push(TimedFault {
+                        at: SimTime::from_secs_f64(t),
+                        event: FaultEvent::RackOutage(rack),
+                    });
+                    let up = t + rng.exp(cfg.rack_mttr.as_secs_f64().max(1.0));
+                    events.push(TimedFault {
+                        at: SimTime::from_secs_f64(up),
+                        event: FaultEvent::RackRestore(rack),
+                    });
+                    t = up + rng.exp(cfg.rack_mtbf.as_secs_f64());
+                }
+            }
+        }
+
+        // straggler episodes
+        if cfg.straggler_mtbf.as_secs_f64() > 0.0 {
+            for n in 0..nodes {
+                let mut rng = root.fork(0x3000 + n as u64);
+                let mut t = rng.exp(cfg.straggler_mtbf.as_secs_f64());
+                while t < horizon {
+                    let node = NodeId(n as u32);
+                    events.push(TimedFault {
+                        at: SimTime::from_secs_f64(t),
+                        event: FaultEvent::StragglerStart(node),
+                    });
+                    let up = t + rng.exp(cfg.straggler_duration.as_secs_f64().max(1.0));
+                    events.push(TimedFault {
+                        at: SimTime::from_secs_f64(up),
+                        event: FaultEvent::StragglerEnd(node),
+                    });
+                    t = up + rng.exp(cfg.straggler_mtbf.as_secs_f64());
+                }
+            }
+        }
+
+        // deterministic global order: time, then a stable event rank
+        events.sort_by(|a, b| {
+            a.at.cmp(&b.at)
+                .then_with(|| event_rank(&a.event).cmp(&event_rank(&b.event)))
+        });
+        FaultPlan { events }
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+    /// Count of permanent kills in the plan.
+    pub fn kills(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, FaultEvent::Kill(_)))
+            .count()
+    }
+}
+
+/// Stable tie-break rank: restores before outages at the same instant so
+/// a same-tick restore/outage pair nets to the outage.
+fn event_rank(e: &FaultEvent) -> (u8, u32) {
+    match e {
+        FaultEvent::Restart(n) => (0, n.0),
+        FaultEvent::RackRestore(r) => (1, u32::from(r.0)),
+        FaultEvent::StragglerEnd(n) => (2, n.0),
+        FaultEvent::Crash(n) => (3, n.0),
+        FaultEvent::Kill(n) => (4, n.0),
+        FaultEvent::RackOutage(r) => (5, u32::from(r.0)),
+        FaultEvent::StragglerStart(n) => (6, n.0),
+    }
+}
+
+/// Cursor that replays a [`FaultPlan`] against a cluster.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    next: usize,
+    slowdown: f64,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan, straggler_slowdown: f64) -> Self {
+        FaultInjector {
+            plan,
+            next: 0,
+            slowdown: straggler_slowdown.clamp(0.01, 1.0),
+        }
+    }
+
+    /// Build plan + injector in one step.
+    pub fn from_config(cfg: &FaultConfig, nodes: usize, racks: usize, seed: u64) -> Self {
+        let plan = FaultPlan::generate(cfg, nodes, racks, seed);
+        FaultInjector::new(plan, cfg.straggler_slowdown)
+    }
+
+    /// Apply every not-yet-applied fault with `at <= now`. Returns how
+    /// many fired. Events targeting nodes in an incompatible state
+    /// (e.g. a restart for a node that was separately killed) are
+    /// skipped harmlessly — the cluster entry points are state-checked.
+    pub fn apply_due(&mut self, c: &mut ClusterSim, now: SimTime) -> usize {
+        let mut fired = 0;
+        while self.next < self.plan.events.len() && self.plan.events[self.next].at <= now {
+            let ev = self.plan.events[self.next].event.clone();
+            self.next += 1;
+            fired += 1;
+            match ev {
+                FaultEvent::Crash(n) => {
+                    c.crash_node(n);
+                }
+                FaultEvent::Restart(n) => {
+                    c.restart_node(n);
+                }
+                FaultEvent::Kill(n) => {
+                    c.kill_node(n);
+                }
+                FaultEvent::RackOutage(r) => {
+                    c.fail_rack_uplink(r);
+                }
+                FaultEvent::RackRestore(r) => {
+                    c.restore_rack_uplink(r);
+                }
+                FaultEvent::StragglerStart(n) => c.set_node_slowdown(n, self.slowdown),
+                FaultEvent::StragglerEnd(n) => c.clear_node_slowdown(n),
+            }
+        }
+        fired
+    }
+
+    /// Time of the next pending fault, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.plan.events.get(self.next).map(|e| e.at)
+    }
+    /// Whether the whole plan has been applied.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.plan.events.len()
+    }
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSim;
+    use crate::config::ClusterConfig;
+    use crate::placement::DefaultRackAware;
+    use simcore::units::MB;
+
+    fn cfg() -> FaultConfig {
+        FaultConfig {
+            node_mtbf: SimDuration::from_secs(600),
+            node_mttr: SimDuration::from_secs(120),
+            kill_probability: 0.1,
+            rack_mtbf: SimDuration::from_secs(1800),
+            rack_mttr: SimDuration::from_secs(60),
+            straggler_mtbf: SimDuration::from_secs(1200),
+            straggler_duration: SimDuration::from_secs(300),
+            straggler_slowdown: 0.2,
+            horizon: SimDuration::from_hours(2),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(&cfg(), 18, 3, 42);
+        let b = FaultPlan::generate(&cfg(), 18, 3, 42);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.event, y.event);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(&cfg(), 18, 3, 1);
+        let b = FaultPlan::generate(&cfg(), 18, 3, 2);
+        let same = a
+            .events
+            .iter()
+            .zip(&b.events)
+            .filter(|(x, y)| x.at == y.at)
+            .count();
+        assert!(same < a.len().min(b.len()) / 2);
+    }
+
+    #[test]
+    fn plan_is_sorted_and_crashes_pair_with_restarts() {
+        let p = FaultPlan::generate(&cfg(), 18, 3, 7);
+        for w in p.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for n in 0..18u32 {
+            let crashes = p
+                .events
+                .iter()
+                .filter(|e| e.event == FaultEvent::Crash(NodeId(n)))
+                .count();
+            let restarts = p
+                .events
+                .iter()
+                .filter(|e| e.event == FaultEvent::Restart(NodeId(n)))
+                .count();
+            assert_eq!(crashes, restarts, "node {n}: every crash restarts");
+            let kills = p
+                .events
+                .iter()
+                .filter(|e| e.event == FaultEvent::Kill(NodeId(n)))
+                .count();
+            assert!(kills <= 1, "a node dies at most once");
+        }
+    }
+
+    #[test]
+    fn zero_rates_disable_families() {
+        let c = FaultConfig::churn_only(
+            SimDuration::from_secs(600),
+            SimDuration::from_secs(60),
+            SimDuration::from_hours(1),
+        );
+        let p = FaultPlan::generate(&c, 10, 2, 3);
+        assert!(p
+            .events
+            .iter()
+            .all(|e| matches!(e.event, FaultEvent::Crash(_) | FaultEvent::Restart(_))));
+        assert_eq!(p.kills(), 0);
+    }
+
+    #[test]
+    fn injector_drives_cluster_through_churn() {
+        let mut c = ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware));
+        c.create_file("/f", 256 * MB, 3, None).unwrap();
+        let used = c.storage_used();
+        let fc = FaultConfig::churn_only(
+            SimDuration::from_secs(900),
+            SimDuration::from_secs(60),
+            SimDuration::from_hours(1),
+        );
+        let mut inj = FaultInjector::from_config(&fc, 18, 3, 11);
+        assert!(!inj.exhausted());
+        let mut t = SimTime::from_secs(0);
+        let end = SimTime::from_secs(3700);
+        while t < end {
+            t += SimDuration::from_secs(10);
+            inj.apply_due(&mut c, t);
+            c.run_until(t);
+        }
+        assert!(inj.exhausted());
+        // churn only (no kills): every node is back and every retained
+        // replica was block-reported, so nothing was lost
+        assert_eq!(c.serving_nodes(), 18);
+        assert_eq!(c.storage_used(), used);
+        assert!(c.durability().loss_events().is_empty());
+    }
+}

@@ -105,7 +105,9 @@ impl FlowNet {
 
     /// Remaining bytes of a flow as of the last settle point.
     pub fn remaining(&self, id: FlowId) -> Option<u64> {
-        self.flows.get(&id).map(|f| f.remaining.max(0.0).round() as u64)
+        self.flows
+            .get(&id)
+            .map(|f| f.remaining.max(0.0).round() as u64)
     }
 
     /// Predicted completion time of a flow given current rates.
@@ -293,7 +295,10 @@ mod tests {
         let f = net.start(SimTime::ZERO, MB, vec![dead]);
         assert_eq!(net.rate(f).unwrap().bytes_per_sec(), 0.0);
         let (t, _) = net.next_completion().unwrap();
-        assert!(t.as_secs_f64() > 1e6, "stalled flow sorts far in the future");
+        assert!(
+            t.as_secs_f64() > 1e6,
+            "stalled flow sorts far in the future"
+        );
         // removing the stalled flow reports its bytes intact
         assert_eq!(net.remove(SimTime::from_secs(10), f), Some(MB));
     }
@@ -305,7 +310,10 @@ mod tests {
         let f = net.start(SimTime::ZERO, 100 * MB, vec![disk]);
         let left = net.remove(SimTime::from_millis(250), f).unwrap();
         assert_eq!(left, 75 * MB);
-        assert!(net.remove(SimTime::from_secs(1), f).is_none(), "double remove");
+        assert!(
+            net.remove(SimTime::from_secs(1), f).is_none(),
+            "double remove"
+        );
     }
 
     #[test]
@@ -319,7 +327,10 @@ mod tests {
             .iter()
             .map(|&f| net.rate(f).unwrap().mb_per_sec())
             .sum();
-        assert!((total - 80.0).abs() < 1e-3, "sum of rates = capacity, got {total}");
+        assert!(
+            (total - 80.0).abs() < 1e-3,
+            "sum of rates = capacity, got {total}"
+        );
         for &f in &flows {
             assert!((net.rate(f).unwrap().mb_per_sec() - 5.0).abs() < 1e-6);
         }

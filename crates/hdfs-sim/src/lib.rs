@@ -52,13 +52,15 @@ pub mod blockmap;
 pub mod cluster;
 pub mod config;
 pub mod datanode;
+pub mod faults;
 pub mod flow;
 pub mod namespace;
 pub mod placement;
 pub mod topology;
 
 pub use block::{BlockId, FileId};
-pub use cluster::{ClusterSim, ReadStats, Locality};
+pub use cluster::{ClusterSim, Locality, ReadStats};
 pub use config::ClusterConfig;
+pub use faults::{FaultConfig, FaultEvent, FaultInjector, FaultPlan, TimedFault};
 pub use placement::{DefaultRackAware, PlacementContext, PlacementPolicy};
 pub use topology::{ClientId, NodeId, RackId, Topology};

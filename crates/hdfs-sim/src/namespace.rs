@@ -188,7 +188,9 @@ mod tests {
     #[test]
     fn create_and_resolve() {
         let mut ns = Namespace::new();
-        let id = ns.create_file("/data/a", 100 * MB, 64 * MB, 3, t(0)).unwrap();
+        let id = ns
+            .create_file("/data/a", 100 * MB, 64 * MB, 3, t(0))
+            .unwrap();
         assert_eq!(ns.resolve("/data/a"), Some(id));
         let meta = ns.file(id).unwrap();
         assert_eq!(meta.blocks.len(), 2);

@@ -127,8 +127,7 @@ impl PlacementPolicy for DefaultRackAware {
                     // remote rack relative to the first replica
                     let first_rack = racks_used.first().copied();
                     Self::pick_least_loaded(
-                        ctx.eligible()
-                            .filter(|v| Some(v.rack) != first_rack),
+                        ctx.eligible().filter(|v| Some(v.rack) != first_rack),
                         &chosen,
                     )
                     .or_else(|| Self::pick_least_loaded(ctx.eligible(), &chosen))
@@ -142,9 +141,8 @@ impl PlacementPolicy for DefaultRackAware {
                         .copied()
                         .or_else(|| chosen.get(1).copied());
                     Self::pick_least_loaded(
-                        ctx.eligible().filter(|v| {
-                            Some(v.rack) == second_rack && Some(v.id) != second_node
-                        }),
+                        ctx.eligible()
+                            .filter(|v| Some(v.rack) == second_rack && Some(v.id) != second_node),
                         &chosen,
                     )
                     .or_else(|| Self::pick_least_loaded(ctx.eligible(), &chosen))
@@ -153,9 +151,7 @@ impl PlacementPolicy for DefaultRackAware {
             };
             match pick {
                 Some(id) => {
-                    racks_used.push(
-                        ctx.view(id).map(|v| v.rack).unwrap_or(RackId(0)),
-                    );
+                    racks_used.push(ctx.view(id).map(|v| v.rack).unwrap_or(RackId(0)));
                     chosen.push(id);
                     ordinal += 1;
                 }

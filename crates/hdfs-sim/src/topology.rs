@@ -63,7 +63,9 @@ impl Topology {
     pub fn round_robin(nodes: u32, racks: u16) -> Self {
         assert!(nodes > 0 && racks > 0);
         Topology {
-            node_rack: (0..nodes).map(|i| RackId((i % racks as u32) as u16)).collect(),
+            node_rack: (0..nodes)
+                .map(|i| RackId((i % racks as u32) as u16))
+                .collect(),
             racks,
         }
     }

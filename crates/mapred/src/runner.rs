@@ -434,7 +434,11 @@ mod tests {
         // 18 nodes, r=3, one 6-block file: some tasks should land local
         // (with 2 slots/node there is plenty of slot diversity)
         let c = cluster_with_files(&[("/in", 384 * MB)]);
-        let mut r = MapReduceRunner::new(c, Box::new(FairScheduler::default()), RunnerConfig::default());
+        let mut r = MapReduceRunner::new(
+            c,
+            Box::new(FairScheduler::default()),
+            RunnerConfig::default(),
+        );
         r.submit(job("j0", "/in", 0));
         let (stats, _) = r.run();
         let s = &stats[0];
@@ -452,8 +456,7 @@ mod tests {
         // Many single-block jobs over distinct files: FIFO grabs any slot
         // for the head job; Fair waits for local ones.
         let mk = || {
-            let mut c =
-                ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware));
+            let mut c = ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware));
             for i in 0..12 {
                 c.create_file(&format!("/f{i}"), 64 * MB, 3, None).unwrap();
             }
@@ -501,6 +504,10 @@ mod tests {
         r.submit(job("j0", "/in", 0));
         let (stats, _) = r.run();
         assert_eq!(stats.len(), 1);
-        assert!(ticks.get() >= 2, "controller should tick repeatedly, got {}", ticks.get());
+        assert!(
+            ticks.get() >= 2,
+            "controller should tick repeatedly, got {}",
+            ticks.get()
+        );
     }
 }

@@ -142,7 +142,10 @@ impl TaskScheduler for FairScheduler {
                 continue;
             }
             // patience exhausted: take a remote task
-            let i = pending.iter().position(|t| t.job == j).expect("job has pending");
+            let i = pending
+                .iter()
+                .position(|t| t.job == j)
+                .expect("job has pending");
             self.skips[j] = 0;
             return Some(i);
         }
@@ -221,7 +224,11 @@ mod tests {
         assert_eq!(s.pick(NodeId(0), &pending, &[0]), None, "skip 1");
         // a local offer arrives: accepted, patience reset
         assert_eq!(s.pick(NodeId(4), &pending, &[0]), Some(0));
-        assert_eq!(s.pick(NodeId(0), &pending[1..], &[1]), None, "skip count restarted");
+        assert_eq!(
+            s.pick(NodeId(0), &pending[1..], &[1]),
+            None,
+            "skip count restarted"
+        );
     }
 
     #[test]

@@ -99,7 +99,8 @@ impl<W: 'static> Engine<W> {
             let (_, action) = self.queue.pop().expect("peeked event vanished");
             action(world, self);
         }
-        self.queue.advance_to(deadline.min(self.now().max(deadline)));
+        self.queue
+            .advance_to(deadline.min(self.now().max(deadline)));
         self.now()
     }
 
@@ -127,12 +128,15 @@ mod tests {
     fn actions_can_schedule_followups() {
         let mut eng: Engine<Vec<f64>> = Engine::new();
         let mut world = Vec::new();
-        eng.at(SimTime::from_secs(1), |w: &mut Vec<f64>, e: &mut Engine<Vec<f64>>| {
-            w.push(e.now().as_secs_f64());
-            e.after(SimDuration::from_secs(4), |w, e| {
+        eng.at(
+            SimTime::from_secs(1),
+            |w: &mut Vec<f64>, e: &mut Engine<Vec<f64>>| {
                 w.push(e.now().as_secs_f64());
-            });
-        });
+                e.after(SimDuration::from_secs(4), |w, e| {
+                    w.push(e.now().as_secs_f64());
+                });
+            },
+        );
         eng.run(&mut world);
         assert_eq!(world, vec![1.0, 5.0]);
     }
@@ -141,10 +145,14 @@ mod tests {
     fn periodic_until_false() {
         let mut eng: Engine<u32> = Engine::new();
         let mut count = 0u32;
-        eng.every(SimTime::from_secs(1), SimDuration::from_secs(1), |w: &mut u32, _| {
-            *w += 1;
-            *w < 5
-        });
+        eng.every(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            |w: &mut u32, _| {
+                *w += 1;
+                *w < 5
+            },
+        );
         eng.run(&mut count);
         assert_eq!(count, 5);
         assert_eq!(eng.now(), SimTime::from_secs(5));

@@ -83,7 +83,11 @@ impl<E> EventQueue<E> {
     /// indicates a model bug (an event handler computed a completion
     /// time before "now").
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let id = EventId(self.next_seq);
         self.heap.push(Entry {
             at,
@@ -139,7 +143,7 @@ impl<E> EventQueue<E> {
     /// activity between events). Never moves the clock backwards.
     pub fn advance_to(&mut self, t: SimTime) {
         if t > self.now {
-            debug_assert!(self.peek_time().is_none_or(|n| n >= t) || t <= self.now, );
+            debug_assert!(self.peek_time().is_none_or(|n| n >= t) || t <= self.now,);
             self.now = t;
         }
     }

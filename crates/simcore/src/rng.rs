@@ -2,50 +2,69 @@
 //!
 //! Every stochastic component takes a [`DetRng`] (or a seed) explicitly;
 //! nothing in the workspace touches thread-local or OS entropy, so a
-//! figure run is reproducible from its command line alone.
+//! figure run is reproducible from its command line alone. The generator
+//! is self-contained (xoshiro256++ seeded via SplitMix64) — no external
+//! crates — which also pins the exact stream across toolchains.
 //!
 //! The SWIM-like trace synthesiser needs three distribution families:
 //! Zipf (file popularity — HDFS access patterns are heavy-tailed, paper
 //! Section V), lognormal (file sizes), and exponential (job inter-arrival
 //! times).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Exp, LogNormal, Zipf};
-
-/// A seeded small-state RNG. `SmallRng` (xoshiro) is not cryptographic but
-/// is fast and has more than enough quality for simulation.
+/// A seeded small-state RNG (xoshiro256++). Not cryptographic, but fast
+/// and with more than enough quality for simulation.
 pub struct DetRng {
-    inner: SmallRng,
+    s: [u64; 4],
+    /// Spare normal sample from the last Box–Muller draw.
+    cached_normal: Option<f64>,
 }
 
 impl DetRng {
     pub fn new(seed: u64) -> Self {
+        // Expand the seed with SplitMix64, as the xoshiro authors advise.
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(x);
+        }
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s,
+            cached_normal: None,
         }
     }
 
     /// Derive an independent child stream. Mixing with SplitMix64 keeps
     /// children decorrelated even for adjacent labels.
     pub fn fork(&mut self, label: u64) -> DetRng {
-        let base: u64 = self.inner.gen();
+        let base = self.gen_u64();
         DetRng::new(splitmix64(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
     }
 
     pub fn gen_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Uniform in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen()
+        (self.gen_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = (hi - lo) as u64;
+        lo + (self.gen_u64() % span) as usize
     }
 
     /// Bernoulli trial.
@@ -54,23 +73,50 @@ impl DetRng {
     }
 
     /// Zipf-distributed rank in `[0, n)`: rank 0 is the most popular item.
+    ///
+    /// Rejection-inversion sampling (Hörmann & Derflinger 1996), O(1) per
+    /// draw for any exponent > 0, including s = 1.
     pub fn zipf(&mut self, n: usize, exponent: f64) -> usize {
         debug_assert!(n > 0);
-        let z = Zipf::new(n as u64, exponent).expect("valid zipf params");
-        (z.sample(&mut self.inner) as usize).saturating_sub(1).min(n - 1)
+        debug_assert!(exponent > 0.0);
+        let s = exponent;
+        let n_f = n as f64;
+        let hx1 = h_integral(1.5, s) - 1.0;
+        let hxn = h_integral(n_f + 0.5, s);
+        loop {
+            let u = hxn + self.gen_f64() * (hx1 - hxn);
+            let x = h_integral_inv(u, s);
+            let k = x.round().clamp(1.0, n_f);
+            if u >= h_integral(k + 0.5, s) - h(k, s) {
+                return k as usize - 1;
+            }
+        }
     }
 
-    /// Exponential inter-arrival sample with the given mean.
+    /// Exponential inter-arrival sample with the given mean (inverse CDF).
     pub fn exp(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
-        Exp::new(1.0 / mean).expect("valid rate").sample(&mut self.inner)
+        let u = 1.0 - self.gen_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal sample (Box–Muller, caching the spare draw).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.cached_normal.take() {
+            return z;
+        }
+        let u1 = (1.0 - self.gen_f64()).max(f64::MIN_POSITIVE); // (0, 1]
+        let u2 = self.gen_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached_normal = Some(r * theta.sin());
+        r * theta.cos()
     }
 
     /// Lognormal sample with the given parameters of the underlying normal.
     pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
-        LogNormal::new(mu, sigma)
-            .expect("valid lognormal params")
-            .sample(&mut self.inner)
+        debug_assert!(sigma >= 0.0);
+        (mu + sigma * self.normal()).exp()
     }
 
     /// Fisher–Yates shuffle.
@@ -88,6 +134,29 @@ impl DetRng {
         } else {
             Some(&items[self.gen_range(0, items.len())])
         }
+    }
+}
+
+/// `H(x) = ∫₁ˣ t^(-s) dt`, the Zipf sampler's continuous envelope.
+fn h_integral(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        x.ln()
+    } else {
+        ((1.0 - s) * x.ln()).exp_m1() / (1.0 - s)
+    }
+}
+
+/// The density `h(x) = x^(-s)`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`] in `x`.
+fn h_integral_inv(u: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        u.exp()
+    } else {
+        (1.0 + u * (1.0 - s)).powf(1.0 / (1.0 - s))
     }
 }
 
@@ -146,6 +215,15 @@ mod tests {
     }
 
     #[test]
+    fn zipf_near_one_exponent_is_stable() {
+        let mut rng = DetRng::new(10);
+        for _ in 0..5_000 {
+            let r = rng.zipf(100, 1.0);
+            assert!(r < 100);
+        }
+    }
+
+    #[test]
     fn exp_mean_is_close() {
         let mut rng = DetRng::new(11);
         let mean = 5.0;
@@ -164,6 +242,17 @@ mod tests {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];
         assert!(mean > median, "lognormal mean should exceed median");
+    }
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut rng = DetRng::new(15);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
 
     #[test]

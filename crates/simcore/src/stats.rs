@@ -170,7 +170,9 @@ pub struct Cdf {
 
 impl Cdf {
     pub fn new() -> Self {
-        Cdf { samples: Vec::new() }
+        Cdf {
+            samples: Vec::new(),
+        }
     }
     pub fn push(&mut self, x: f64) {
         self.samples.push(x);
@@ -307,6 +309,174 @@ impl Counters {
     }
 }
 
+/// One closed unavailability window of a tracked object.
+#[derive(Clone, Debug, Serialize)]
+pub struct UnavailabilityWindow {
+    pub key: u64,
+    pub start_secs: f64,
+    pub end_secs: f64,
+    /// The window was still open when the run finalised (the object never
+    /// came back); `end_secs` is the finalisation time.
+    pub unresolved: bool,
+}
+
+impl UnavailabilityWindow {
+    pub fn duration_secs(&self) -> f64 {
+        self.end_secs - self.start_secs
+    }
+}
+
+/// A permanent data-loss event: every replica of the object is gone and
+/// no crashed disk retains a copy.
+#[derive(Clone, Debug, Serialize)]
+pub struct DataLossEvent {
+    pub key: u64,
+    pub at_secs: f64,
+}
+
+/// Machine-readable durability totals for the fault experiments.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct DurabilitySummary {
+    pub unavailability_windows: usize,
+    pub unresolved_windows: usize,
+    pub total_unavailable_secs: f64,
+    /// Mean repair time over *resolved* windows (0 when none closed).
+    pub mttr_secs: f64,
+    pub max_window_secs: f64,
+    pub data_loss_events: usize,
+    pub repair_bytes: u64,
+}
+
+/// Durability ledger for fault-injection runs: per-object (block)
+/// unavailability windows, permanent-loss events, and repair traffic.
+///
+/// An object becomes *unavailable* when its last live replica disappears
+/// but a copy may still return (a crashed-but-restartable disk holds
+/// it); it becomes *lost* when no copy can ever return. Windows close
+/// when a replica reappears (node restart, re-replication, or erasure
+/// reconstruction).
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityLog {
+    open: std::collections::BTreeMap<u64, f64>,
+    windows: Vec<UnavailabilityWindow>,
+    lost: Vec<DataLossEvent>,
+    lost_keys: std::collections::BTreeSet<u64>,
+    repair_bytes: u64,
+}
+
+impl DurabilityLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The object's last live replica vanished but may still come back.
+    pub fn mark_unavailable(&mut self, key: u64, t: SimTime) {
+        if self.lost_keys.contains(&key) {
+            return;
+        }
+        self.open.entry(key).or_insert_with(|| t.as_secs_f64());
+    }
+
+    /// A replica of the object is live again; closes the open window.
+    pub fn mark_available(&mut self, key: u64, t: SimTime) {
+        if let Some(start) = self.open.remove(&key) {
+            self.windows.push(UnavailabilityWindow {
+                key,
+                start_secs: start,
+                end_secs: t.as_secs_f64(),
+                unresolved: false,
+            });
+        }
+    }
+
+    /// The object is permanently gone. Any open window is closed as
+    /// unresolved and further events for the key are ignored.
+    pub fn mark_lost(&mut self, key: u64, t: SimTime) {
+        if !self.lost_keys.insert(key) {
+            return;
+        }
+        let at = t.as_secs_f64();
+        if let Some(start) = self.open.remove(&key) {
+            self.windows.push(UnavailabilityWindow {
+                key,
+                start_secs: start,
+                end_secs: at,
+                unresolved: true,
+            });
+        }
+        self.lost.push(DataLossEvent { key, at_secs: at });
+    }
+
+    /// The object was deleted on purpose; drop its open window (an
+    /// intentional delete is not an outage).
+    pub fn forget(&mut self, key: u64) {
+        self.open.remove(&key);
+    }
+
+    /// Account bytes moved by repair work (re-replication after loss,
+    /// erasure reconstruction) — not by regular client traffic.
+    pub fn add_repair_bytes(&mut self, bytes: u64) {
+        self.repair_bytes += bytes;
+    }
+
+    /// Close every still-open window at `t` (end of run).
+    pub fn finalize(&mut self, t: SimTime) {
+        let keys: Vec<u64> = self.open.keys().copied().collect();
+        for key in keys {
+            let start = self.open.remove(&key).expect("open window");
+            self.windows.push(UnavailabilityWindow {
+                key,
+                start_secs: start,
+                end_secs: t.as_secs_f64(),
+                unresolved: true,
+            });
+        }
+    }
+
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+    pub fn windows(&self) -> &[UnavailabilityWindow] {
+        &self.windows
+    }
+    pub fn loss_events(&self) -> &[DataLossEvent] {
+        &self.lost
+    }
+    pub fn repair_bytes(&self) -> u64 {
+        self.repair_bytes
+    }
+
+    pub fn summary(&self) -> DurabilitySummary {
+        let resolved: Vec<&UnavailabilityWindow> =
+            self.windows.iter().filter(|w| !w.unresolved).collect();
+        let mttr = if resolved.is_empty() {
+            0.0
+        } else {
+            resolved.iter().map(|w| w.duration_secs()).sum::<f64>() / resolved.len() as f64
+        };
+        DurabilitySummary {
+            unavailability_windows: self.windows.len(),
+            unresolved_windows: self.windows.iter().filter(|w| w.unresolved).count()
+                + self.open.len(),
+            // fold from +0.0: an empty `Iterator::sum` yields -0.0,
+            // which leaks into reports and JSON
+            total_unavailable_secs: self
+                .windows
+                .iter()
+                .map(UnavailabilityWindow::duration_secs)
+                .fold(0.0, |a, b| a + b),
+            mttr_secs: mttr,
+            max_window_secs: self
+                .windows
+                .iter()
+                .map(UnavailabilityWindow::duration_secs)
+                .fold(0.0, f64::max),
+            data_loss_events: self.lost.len(),
+            repair_bytes: self.repair_bytes,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,5 +589,72 @@ mod tests {
         assert_eq!(c.get("remote"), 1);
         assert_eq!(c.get("missing"), 0);
         assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn durability_window_lifecycle() {
+        let mut d = DurabilityLog::new();
+        d.mark_unavailable(7, SimTime::from_secs(10));
+        // double-mark keeps the original start
+        d.mark_unavailable(7, SimTime::from_secs(12));
+        assert_eq!(d.open_windows(), 1);
+        d.mark_available(7, SimTime::from_secs(25));
+        assert_eq!(d.open_windows(), 0);
+        assert_eq!(d.windows().len(), 1);
+        let w = &d.windows()[0];
+        assert_eq!(w.key, 7);
+        assert!((w.duration_secs() - 15.0).abs() < 1e-9);
+        assert!(!w.unresolved);
+        // available without an open window is a no-op
+        d.mark_available(7, SimTime::from_secs(30));
+        assert_eq!(d.windows().len(), 1);
+        let s = d.summary();
+        assert_eq!(s.unavailability_windows, 1);
+        assert!((s.mttr_secs - 15.0).abs() < 1e-9);
+        assert_eq!(s.data_loss_events, 0);
+    }
+
+    #[test]
+    fn durability_loss_is_terminal() {
+        let mut d = DurabilityLog::new();
+        d.mark_unavailable(1, SimTime::from_secs(5));
+        d.mark_lost(1, SimTime::from_secs(9));
+        assert_eq!(d.loss_events().len(), 1);
+        assert_eq!(d.windows().len(), 1);
+        assert!(d.windows()[0].unresolved);
+        // once lost, further transitions are ignored
+        d.mark_unavailable(1, SimTime::from_secs(20));
+        d.mark_lost(1, SimTime::from_secs(21));
+        assert_eq!(d.open_windows(), 0);
+        assert_eq!(d.loss_events().len(), 1);
+        // direct loss without a prior window also records
+        d.mark_lost(2, SimTime::from_secs(30));
+        assert_eq!(d.loss_events().len(), 2);
+        assert_eq!(d.summary().data_loss_events, 2);
+    }
+
+    #[test]
+    fn durability_forget_and_finalize() {
+        let mut d = DurabilityLog::new();
+        d.mark_unavailable(1, SimTime::from_secs(1));
+        d.mark_unavailable(2, SimTime::from_secs(2));
+        d.forget(1); // intentional delete: no window
+        d.finalize(SimTime::from_secs(10));
+        assert_eq!(d.windows().len(), 1);
+        assert!(d.windows()[0].unresolved);
+        assert_eq!(d.windows()[0].key, 2);
+        let s = d.summary();
+        assert_eq!(s.unresolved_windows, 1);
+        assert!((s.total_unavailable_secs - 8.0).abs() < 1e-9);
+        assert_eq!(s.mttr_secs, 0.0, "no resolved windows");
+    }
+
+    #[test]
+    fn durability_repair_bytes_accumulate() {
+        let mut d = DurabilityLog::new();
+        d.add_repair_bytes(100);
+        d.add_repair_bytes(50);
+        assert_eq!(d.repair_bytes(), 150);
+        assert_eq!(d.summary().repair_bytes, 150);
     }
 }

@@ -194,7 +194,10 @@ mod tests {
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimTime::from_secs(12), SimDuration::from_secs(3));
         // saturating semantics when subtracting a later time
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(2), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(2),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

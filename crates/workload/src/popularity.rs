@@ -29,12 +29,7 @@ pub struct PopularityModel {
 
 impl PopularityModel {
     /// `exponent` is the Zipf skew (≈1.1 for HDFS-like workloads).
-    pub fn new(
-        created: Vec<SimTime>,
-        exponent: f64,
-        tau: SimDuration,
-        floor: f64,
-    ) -> Self {
+    pub fn new(created: Vec<SimTime>, exponent: f64, tau: SimDuration, floor: f64) -> Self {
         assert!(!created.is_empty());
         assert!((0.0..=1.0).contains(&floor));
         let n = created.len();
@@ -138,7 +133,11 @@ mod tests {
         for _ in 0..10_000 {
             counts[m.sample(t, &mut rng).unwrap()] += 1;
         }
-        assert_eq!(counts[3..].iter().sum::<u32>(), 0, "unborn files never drawn");
+        assert_eq!(
+            counts[3..].iter().sum::<u32>(),
+            0,
+            "unborn files never drawn"
+        );
         assert!(counts[0] > 0 && counts[1] > 0 && counts[2] > 0);
         // file 0 has the biggest zipf weight and only mild decay at t=200
         assert!(counts[0] > counts[1]);

@@ -278,9 +278,6 @@ mod tests {
     fn span_covers_jobs() {
         let t = Trace::synthesize(&small(), 5);
         assert!(t.span_secs() >= t.jobs[0].submit_at_secs);
-        assert_eq!(
-            t.span_secs(),
-            t.jobs.last().unwrap().submit_at_secs
-        );
+        assert_eq!(t.span_secs(), t.jobs.last().unwrap().submit_at_secs);
     }
 }

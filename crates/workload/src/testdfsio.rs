@@ -72,12 +72,7 @@ impl DfsIoSpec {
         self.report(cluster, reads, makespan)
     }
 
-    fn report(
-        &self,
-        cluster: &ClusterSim,
-        reads: Vec<ReadStats>,
-        makespan: f64,
-    ) -> DfsIoReport {
+    fn report(&self, cluster: &ClusterSim, reads: Vec<ReadStats>, makespan: f64) -> DfsIoReport {
         let mut exec = OnlineStats::new();
         let mut tput = OnlineStats::new();
         let mut bytes: u64 = 0;
@@ -186,7 +181,11 @@ mod tests {
         let mut c = cluster();
         let report = spec(20, 1).run_read_round(&mut c);
         // single replica: sessions pile onto its holders up to the cap
-        assert!(report.peak_node_sessions >= 5, "{}", report.peak_node_sessions);
+        assert!(
+            report.peak_node_sessions >= 5,
+            "{}",
+            report.peak_node_sessions
+        );
         assert!(report.peak_node_sessions <= c.config().max_sessions_per_node);
     }
 

@@ -70,8 +70,12 @@ fn main() {
     );
 
     // lose any 4 shards — the tolerance ERMS's cold tier promises
-    let mut shards: Vec<Option<Vec<u8>>> =
-        data.iter().cloned().chain(parity.iter().cloned()).map(Some).collect();
+    let mut shards: Vec<Option<Vec<u8>>> = data
+        .iter()
+        .cloned()
+        .chain(parity.iter().cloned())
+        .map(Some)
+        .collect();
     for victim in [0usize, 3, 9, 12] {
         shards[victim] = None;
     }

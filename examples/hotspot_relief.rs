@@ -37,16 +37,16 @@ fn crowd_round(cluster: &mut ClusterSim, offset: u32) -> OnlineStats {
 
 fn main() {
     // --- vanilla: fixed triplication -------------------------------
-    let mut vanilla = ClusterSim::new(
-        ClusterConfig::paper_testbed(),
-        Box::new(DefaultRackAware),
-    );
+    let mut vanilla = ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware));
     vanilla.create_file(FILE, 128 * MB, 3, None).expect("fresh");
     let v1 = crowd_round(&mut vanilla, 0);
     let v2 = crowd_round(&mut vanilla, 1000);
     println!("vanilla triplication:");
     println!("  crowd 1: mean {:6.2} MB/s per reader", v1.mean());
-    println!("  crowd 2: mean {:6.2} MB/s per reader (nothing changed)", v2.mean());
+    println!(
+        "  crowd 2: mean {:6.2} MB/s per reader (nothing changed)",
+        v2.mean()
+    );
 
     // --- ERMS: elastic replication ---------------------------------
     let mut cluster = ClusterSim::new(
@@ -80,8 +80,14 @@ fn main() {
         .map(|m| m.replication())
         .unwrap_or(0);
     println!("ERMS elastic replication:");
-    println!("  crowd 1: mean {:6.2} MB/s per reader (still 3 replicas)", e1.mean());
-    println!("  crowd 2: mean {:6.2} MB/s per reader (boosted to r={r})", e2.mean());
+    println!(
+        "  crowd 1: mean {:6.2} MB/s per reader (still 3 replicas)",
+        e1.mean()
+    );
+    println!(
+        "  crowd 2: mean {:6.2} MB/s per reader (boosted to r={r})",
+        e2.mean()
+    );
     println!(
         "  relief: {:.1}x the per-reader throughput of the first crowd",
         e2.mean() / e1.mean().max(1e-9)

@@ -103,10 +103,22 @@ fn main() {
     let erms = erms.borrow();
     println!("---");
     println!("jobs completed:        {}", stats.len());
-    println!("avg read throughput:   {:.1} MB/s", tput / counted.max(1) as f64);
-    println!("node-local map tasks:  {local}/{tasks} ({:.0}%)", 100.0 * local as f64 / tasks.max(1) as f64);
+    println!(
+        "avg read throughput:   {:.1} MB/s",
+        tput / counted.max(1) as f64
+    );
+    println!(
+        "node-local map tasks:  {local}/{tasks} ({:.0}%)",
+        100.0 * local as f64 / tasks.max(1) as f64
+    );
     println!("ERMS tasks completed:  {}", erms.total_completed);
-    println!("storage in use:        {:.2} GB", cluster.storage_used() as f64 / GB as f64);
+    println!(
+        "storage in use:        {:.2} GB",
+        cluster.storage_used() as f64 / GB as f64
+    );
     assert_eq!(stats.len(), trace.jobs.len());
-    assert!(erms.total_completed > 0, "ERMS should have acted on this trace");
+    assert!(
+        erms.total_completed > 0,
+        "ERMS should have acted on this trace"
+    );
 }

@@ -28,7 +28,10 @@ fn trace() -> Trace {
 fn replay(erms: bool, fair: bool) -> (Vec<mapred::JobStats>, ClusterSim, u64) {
     let trace = trace();
     let mut cluster = if erms {
-        ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(ErmsPlacement::new()))
+        ClusterSim::new(
+            ClusterConfig::paper_testbed(),
+            Box::new(ErmsPlacement::new()),
+        )
     } else {
         ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware))
     };

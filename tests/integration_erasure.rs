@@ -102,12 +102,8 @@ fn single_node_loss_is_recoverable_per_stripe() {
         .map(|i| (0..4096).map(|j| ((i * 37 + j) % 251) as u8).collect())
         .collect();
     let parity = rs.encode(&payloads).unwrap();
-    let mut shards: Vec<Option<Vec<u8>>> = payloads
-        .iter()
-        .cloned()
-        .chain(parity)
-        .map(Some)
-        .collect();
+    let mut shards: Vec<Option<Vec<u8>>> =
+        payloads.iter().cloned().chain(parity).map(Some).collect();
     for &i in &erased {
         shards[i] = None;
     }

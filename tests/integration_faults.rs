@@ -1,0 +1,225 @@
+//! Fault-interleaving properties: arbitrary crash/restart/kill/repair/
+//! boost sequences, with the self-healing manager in the loop, must
+//! preserve three guarantees however they interleave:
+//!
+//! 1. no block that kept at least one live replica throughout is ever
+//!    unreadable — a block can only end up dark if the durability log
+//!    recorded the moment it lost its last replica;
+//! 2. the blockmap, per-node byte accounting and crash-retained stashes
+//!    stay mutually consistent (and no dead node serves replicas);
+//! 3. the Condor journal replayed mid-failure agrees with the
+//!    scheduler's live job states — the recovery story the paper's user
+//!    log promises.
+
+use condor::journal::ReplayState;
+use condor::JobState;
+use erms::{ErmsConfig, ErmsManager, ErmsPlacement, Thresholds};
+use hdfs_sim::datanode::NodeState;
+use hdfs_sim::topology::{ClientId, Endpoint};
+use hdfs_sim::{ClusterConfig, ClusterSim, NodeId};
+use proptest::prelude::*;
+use simcore::units::MB;
+use simcore::SimDuration;
+
+/// The fault and workload moves the fuzzer may interleave.
+#[derive(Debug, Clone)]
+enum Op {
+    Crash { node: u32 },
+    Restart { idx: usize },
+    Kill { node: u32 },
+    RackOut { rack: u16 },
+    RackBack { rack: u16 },
+    Repair,
+    Boost { idx: usize, readers: u32 },
+    Tick,
+    Advance { secs: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..18).prop_map(|node| Op::Crash { node }),
+        (0usize..8).prop_map(|idx| Op::Restart { idx }),
+        (0u32..18).prop_map(|node| Op::Kill { node }),
+        (0u16..3).prop_map(|rack| Op::RackOut { rack }),
+        (0u16..3).prop_map(|rack| Op::RackBack { rack }),
+        Just(Op::Repair),
+        (0usize..5, 5u32..20).prop_map(|(idx, readers)| Op::Boost { idx, readers }),
+        Just(Op::Tick),
+        (5u64..300).prop_map(|secs| Op::Advance { secs }),
+    ]
+}
+
+fn healing_manager(cluster: &mut ClusterSim) -> ErmsManager {
+    let mut thresholds = Thresholds::calibrate(4.0);
+    thresholds.window = SimDuration::from_secs(600);
+    thresholds.cold_age = SimDuration::from_secs(300);
+    let cfg = ErmsConfig {
+        thresholds,
+        standby: Vec::new(),
+        enable_encode: false,
+        enable_self_healing: true,
+        task_timeout: SimDuration::from_secs(120),
+        ..ErmsConfig::paper_default()
+    };
+    ErmsManager::new(cfg, cluster)
+}
+
+/// Blockmap ↔ datanode ↔ storage accounting consistency, plus: a dead
+/// node never appears as a replica location (its disk contents live in
+/// the crash stash, not the map).
+fn check_accounting(c: &ClusterSim) {
+    let mut expected_storage: u64 = 0;
+    let mut total_replicas = 0usize;
+    for meta in c.namespace().files() {
+        for &b in &meta.blocks {
+            let info = c.namespace().block(b).expect("live block has metadata");
+            let locs = c.blockmap().locations(b);
+            total_replicas += locs.len();
+            let mut dedup = locs.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), locs.len(), "duplicate replica records");
+            for n in locs {
+                assert_ne!(
+                    c.node_state(n),
+                    NodeState::Dead,
+                    "blockmap lists dead node {n} as holding {b}"
+                );
+                assert!(
+                    c.node_holds(n, b),
+                    "blockmap says {n} holds {b} but the node disagrees"
+                );
+                expected_storage += info.len;
+            }
+        }
+    }
+    assert_eq!(
+        c.storage_used(),
+        expected_storage,
+        "crashed disks leave storage accounting (stash is off-book)"
+    );
+    assert_eq!(c.blockmap().total_replicas(), total_replicas);
+}
+
+/// The journal folded from the start must land on each job's live state.
+fn check_journal_replay(m: &ErmsManager) {
+    let replayed = m.condor().journal().replay();
+    for (job, rep) in &replayed {
+        let live = m
+            .condor()
+            .state(condor::JobId(job.0))
+            .expect("journalled job is known to the scheduler");
+        let ok = match live {
+            JobState::Queued => *rep == ReplayState::Queued,
+            JobState::Running => *rep == ReplayState::Running,
+            JobState::Completed => *rep == ReplayState::Completed,
+            // live state collapses rollback-pending and rolled-back
+            JobState::Failed => matches!(
+                rep,
+                ReplayState::FailedAwaitingRollback | ReplayState::RolledBack
+            ),
+        };
+        assert!(
+            ok,
+            "job {job}: journal replays {rep:?} but live state is {live:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn fault_interleavings_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..50)) {
+        let mut c = ClusterSim::new(
+            ClusterConfig::paper_testbed(),
+            Box::new(ErmsPlacement::new()),
+        );
+        let mut m = healing_manager(&mut c);
+        let paths: Vec<String> = (0..5).map(|i| format!("/fuzz/f{i}")).collect();
+        for (i, p) in paths.iter().enumerate() {
+            // mixed replication, including an r=1 file that any single
+            // failure may legitimately lose (the log must say so)
+            let r = [3, 2, 3, 1, 2][i];
+            c.create_file(p, 200 * MB, r, None).unwrap();
+        }
+        c.run_until_quiescent();
+
+        let mut crashed: Vec<NodeId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Crash { node } => {
+                    // keep a quorum of serving nodes so placement works
+                    if c.serving_nodes() > 12 && c.crash_node(NodeId(node)) {
+                        crashed.push(NodeId(node));
+                    }
+                }
+                Op::Restart { idx } => {
+                    if !crashed.is_empty() {
+                        let n = crashed.remove(idx % crashed.len());
+                        c.restart_node(n);
+                    }
+                }
+                Op::Kill { node } => {
+                    if c.serving_nodes() > 12 {
+                        crashed.retain(|&n| n != NodeId(node));
+                        c.kill_node(NodeId(node));
+                    }
+                }
+                Op::RackOut { rack } => {
+                    c.fail_rack_uplink(hdfs_sim::RackId(rack));
+                }
+                Op::RackBack { rack } => {
+                    c.restore_rack_uplink(hdfs_sim::RackId(rack));
+                }
+                Op::Repair => {
+                    c.repair_under_replicated();
+                }
+                Op::Boost { idx, readers } => {
+                    let path = &paths[idx % paths.len()];
+                    for r in 0..readers {
+                        let _ = c.open_read(Endpoint::Client(ClientId(100 + r)), path);
+                    }
+                }
+                Op::Tick => {
+                    let now = c.now();
+                    m.tick(&mut c, now);
+                    // guarantee 3 holds in the thick of the failures, not
+                    // just after the dust settles
+                    check_journal_replay(&m);
+                }
+                Op::Advance { secs } => {
+                    c.run_until(c.now() + SimDuration::from_secs(secs));
+                }
+            }
+        }
+
+        // drain in-flight work and give the healer a few rounds
+        c.run_until_quiescent();
+        for _ in 0..6 {
+            let now = c.now();
+            m.tick(&mut c, now);
+            c.run_until_quiescent();
+        }
+        check_accounting(&c);
+        check_journal_replay(&m);
+
+        // guarantee 1: a block may only be dark if the durability log
+        // recorded it going dark — nothing becomes unreadable silently
+        let now = c.now();
+        c.durability_mut().finalize(now);
+        let mut recorded: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        recorded.extend(c.durability().windows().iter().map(|w| w.key));
+        recorded.extend(c.durability().loss_events().iter().map(|l| l.key));
+        for meta in c.namespace().files() {
+            for &b in &meta.blocks {
+                if c.blockmap().replica_count(b) == 0 {
+                    prop_assert!(
+                        recorded.contains(&b.0),
+                        "{b} of {} is unreadable but the log never saw it lose \
+                         its last replica",
+                        meta.path
+                    );
+                }
+            }
+        }
+    }
+}

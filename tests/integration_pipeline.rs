@@ -152,7 +152,10 @@ fn whole_lifecycle_ends_where_it_began() {
     // phase 3: long silence → cold → encoded
     cluster.run_until(cluster.now() + SimDuration::from_secs(700));
     settle(&mut cluster, &mut manager, 3);
-    assert!(cluster.namespace().file(file).unwrap().is_encoded(), "encoded");
+    assert!(
+        cluster.namespace().file(file).unwrap().is_encoded(),
+        "encoded"
+    );
     assert_eq!(cluster.blockmap().replica_count(block), 1);
 
     // phase 4: demand returns → decoded and re-replicated

@@ -50,7 +50,10 @@ fn check_invariants(c: &ClusterSim) {
             blocks.extend_from_slice(parity_blocks);
         }
         for b in blocks {
-            let info = c.namespace().block(b).expect("live file block has metadata");
+            let info = c
+                .namespace()
+                .block(b)
+                .expect("live file block has metadata");
             let locs = c.blockmap().locations(b);
             total_replicas += locs.len();
             // no duplicate holders

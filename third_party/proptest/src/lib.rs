@@ -1,0 +1,751 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators, collection/option/string
+//! strategies, and the `proptest!`/`prop_oneof!`/`prop_assert*!` macros
+//! this workspace uses. Test cases are generated from a deterministic
+//! per-test seed (derived from the test's module path and name), so runs
+//! are reproducible; there is no shrinking — a failing case panics with
+//! the generated inputs' debug representation left to the assertion
+//! message.
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+        fn generate(&self, rng: &mut TestRng) -> O::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}` rejected 1000 candidates", self.reason)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// A strategy backed by a plain function (used by `any`).
+    pub struct Fun<T> {
+        f: fn(&mut TestRng) -> T,
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T> Fun<T> {
+        pub fn new(f: fn(&mut TestRng) -> T) -> Self {
+            Fun {
+                f,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> Strategy for Fun<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below_wide(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + rng.below_wide(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    macro_rules! impl_tuples {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuples! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// String-literal strategies interpret a small regex subset:
+    /// literal characters, `[a-z0-9_/]` classes with ranges, and the
+    /// quantifiers `{n}`, `{m,n}`, `?`, `+`, `*`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (chars, lo, hi) in &atoms {
+                let n = if lo == hi {
+                    *lo
+                } else {
+                    *lo + rng.below((hi - lo + 1) as u64) as usize
+                };
+                for _ in 0..n {
+                    let i = rng.below(chars.len() as u64) as usize;
+                    out.push(chars[i]);
+                }
+            }
+            out
+        }
+    }
+
+    type Atom = (Vec<char>, usize, usize);
+
+    fn parse_pattern(pat: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms: Vec<Atom> = Vec::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (a, b) = (chars[i], chars[i + 2]);
+                            assert!(a <= b, "bad class range in pattern {pat:?}");
+                            for c in a..=b {
+                                set.push(c);
+                            }
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in pattern {pat:?}");
+                    i += 1; // ']'
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars.get(i).copied().expect("dangling escape");
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional quantifier.
+            let (lo, hi) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .expect("unterminated quantifier");
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("quantifier lower bound"),
+                            b.trim().parse().expect("quantifier upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(!set.is_empty() && lo <= hi, "bad pattern {pat:?}");
+            atoms.push((set, lo, hi));
+        }
+        atoms
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{Fun, Strategy};
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = Fun<$t>;
+                fn arbitrary() -> Fun<$t> {
+                    Fun::new(|rng: &mut TestRng| rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = Fun<bool>;
+        fn arbitrary() -> Fun<bool> {
+            Fun::new(|rng: &mut TestRng| rng.next_u64() & 1 == 1)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        type Strategy = Fun<f64>;
+        fn arbitrary() -> Fun<f64> {
+            // Finite, sign-symmetric, spanning several magnitudes.
+            Fun::new(|rng: &mut TestRng| {
+                let mag = (rng.unit_f64() * 2.0 - 1.0) * 1e9;
+                mag * rng.unit_f64()
+            })
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Duplicate draws shrink the set; retry within a generous
+            // budget, accepting an undersized set only for tiny domains.
+            for _ in 0..(20 * (n + 1)) {
+                if set.len() >= n {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Bias toward Some, as upstream proptest does.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty list");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test deterministic RNG (SplitMix64 stream).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`. `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, n)` for spans wider than `u64`.
+        pub fn below_wide(&mut self, n: u128) -> u128 {
+            debug_assert!(n > 0);
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` upstream).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drive `body` once per case with a case-specific deterministic RNG.
+    pub fn run_cases(cfg: &ProptestConfig, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        for case in 0..cfg.cases {
+            let mut rng =
+                TestRng::new(seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            body(&mut rng);
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access to the non-prelude modules, as upstream's
+    /// prelude provides.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            $crate::__proptest_body! { (__cfg, __name, $body) [] $($params)* }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Munch the parameter list, normalising both `pat in strategy` and
+/// `name: Type` (→ `any::<Type>()`) forms into `[pat, strategy]` pairs,
+/// then emit the runner loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    // Terminal: all parameters normalised.
+    (($cfg:ident, $name:ident, $body:tt) [$([$p:pat_param, $s:expr],)*]) => {
+        $crate::test_runner::run_cases(&$cfg, $name, |__rng| {
+            $(let $p = $crate::strategy::Strategy::generate(&($s), __rng);)*
+            $body
+        });
+    };
+    (($($fix:tt)*) [$($acc:tt)*] $p:pat_param in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_body! { ($($fix)*) [$($acc)* [$p, $s],] $($rest)* }
+    };
+    (($($fix:tt)*) [$($acc:tt)*] $p:pat_param in $s:expr) => {
+        $crate::__proptest_body! { ($($fix)*) [$($acc)* [$p, $s],] }
+    };
+    (($($fix:tt)*) [$($acc:tt)*] $p:ident: $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($($fix)*) [$($acc)* [$p, $crate::arbitrary::any::<$t>()],] $($rest)*
+        }
+    };
+    (($($fix:tt)*) [$($acc:tt)*] $p:ident: $t:ty) => {
+        $crate::__proptest_body! {
+            ($($fix)*) [$($acc)* [$p, $crate::arbitrary::any::<$t>()],]
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+            let x = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::test_runner::TestRng::new(2);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = crate::test_runner::TestRng::new(3);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u8..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = crate::collection::btree_set(0usize..100, 1..=4).generate(&mut rng);
+            assert!((1..=4).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_forms_interoperate(
+            (a, b) in (0u32..10, 0u32..10),
+            v in prop::collection::vec(0i32..5, 0..4),
+            raw: u16,
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.len() < 4);
+            let _ = raw;
+        }
+
+        #[test]
+        fn oneof_and_flat_map_compose(x in prop_oneof![Just(1u8), 2u8..5]) {
+            prop_assert!(x == 1 || (2..5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Hand-rolled `Serialize`/`Deserialize` derives for the offline serde
+//! stand-in. No `syn`/`quote` — the container's registry is empty — so
+//! the macro walks the raw token stream itself. It supports exactly the
+//! shapes this workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(skip, default = "path")]`),
+//! * tuple structs (newtypes serialise transparently, wider ones as a seq),
+//! * enums whose variants are all unit-like (serialised as their name).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: Option<String>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive on generic type `{name}` is not supported"));
+    }
+
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => return Err(format!("expected type body, found {other:?}")),
+    };
+
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())?),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(body.stream())?),
+        _ => return Err(format!("unsupported shape for `{name}`")),
+    };
+    Ok(Input { name, shape })
+}
+
+/// Parse `#[serde(...)]` arguments already known to be the inner group.
+fn parse_serde_args(args: TokenStream, field: &mut Field) -> Result<(), String> {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                field.skip = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                i += 1;
+                match (toks.get(i), toks.get(i + 1)) {
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit)))
+                        if p.as_char() == '=' =>
+                    {
+                        let s = lit.to_string();
+                        field.default = Some(s.trim_matches('"').to_string());
+                        i += 2;
+                    }
+                    _ => field.default = Some(String::new()),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => return Err(format!("unsupported serde attribute: {other}")),
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let mut field = Field {
+            name: String::new(),
+            skip: false,
+            default: None,
+        };
+        // Field attributes (doc comments and #[serde(...)]).
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 1;
+            let group = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => return Err(format!("malformed attribute: {other:?}")),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if id.to_string() == "serde" {
+                    parse_serde_args(args.stream(), &mut field)?;
+                }
+            }
+            i += 1;
+        }
+        // Visibility.
+        if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                toks.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        field.name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:`, found {other:?}")),
+        }
+        // Consume the type: scan to the next comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in body {
+        any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        match toks.get(i) {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => return Err(format!("expected variant, found {other:?}")),
+        }
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{}` carries data; only unit enums are supported",
+                    variants.last().expect("just pushed")
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "m.push((String::from({n:?}), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Map(m)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(vec![{items}])")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(String::from({v:?})),"))
+                .collect::<String>();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        match f.default.as_deref() {
+                            Some(path) if !path.is_empty() => {
+                                format!("{n}: {path}(),", n = f.name)
+                            }
+                            _ => format!("{n}: ::std::default::Default::default(),", n = f.name),
+                        }
+                    } else {
+                        format!("{n}: ::serde::field(v, {n:?})?,", n = f.name)
+                    }
+                })
+                .collect::<String>();
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let fields = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected sequence\"))?;\n\
+                 if s.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity\")); }}\n\
+                 Ok({name}({fields}))"
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => Ok({name}::{v}),"))
+                .collect::<String>();
+            format!(
+                "match v.as_str() {{ {arms} other => Err(::serde::Error::custom(\
+                 format!(\"unknown variant {{other:?}} for {name}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n{body}\n}}\n}}"
+    )
+}

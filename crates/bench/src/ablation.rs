@@ -162,12 +162,12 @@ pub fn hysteresis(cfg: &ReplayConfig) -> HysteresisAblation {
         let mut thresholds = Thresholds::default().with_tau_hot(4.0);
         thresholds.window = cfg.window;
         thresholds.cold_age = cfg.cold_age;
-        ErmsConfig {
-            thresholds,
-            standby: Vec::new(),
-            cooled_patience: patience,
-            ..ErmsConfig::paper_default()
-        }
+        ErmsConfig::builder()
+            .thresholds(thresholds)
+            .standby([])
+            .cooled_patience(patience)
+            .build()
+            .expect("valid ablation config")
     };
     let mode = Mode::Erms { tau_hot: 4.0 };
     let patient = replay::run_with(mode, "fair", cfg, Some(make(3)));

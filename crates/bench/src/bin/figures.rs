@@ -15,6 +15,7 @@ use bench::faults::{self, FaultsConfig};
 use bench::increase::{self, IncreaseConfig};
 use bench::replay::{self, ReplayConfig};
 use std::env;
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
@@ -23,16 +24,33 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|faults|all]... [--small]\n\
+             \x20             [--trace <path>] [--metrics <path>]\n\
              Regenerates the paper's evaluation figures; tables go to stdout,\n\
              JSON to results/. --small runs reduced-scale variants.\n\
              'faults' runs the seeded-churn durability comparison (not a\n\
-             paper figure; included in 'all')."
+             paper figure; included in 'all'). --trace writes that run's\n\
+             structured JSONL event trace (erms_healing variant), --metrics\n\
+             its per-tick metric snapshots; both are byte-identical across\n\
+             same-seed runs."
         );
         return;
     }
+    let trace_path = flag_value(&args, "--trace");
+    let metrics_path = flag_value(&args, "--metrics");
+    let mut skip_next = false;
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--trace" || *a == "--metrics" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .collect();
     let which = if which.is_empty() || which.contains(&"all") {
@@ -61,11 +79,19 @@ fn main() {
             "fig7" => fig7(small),
             "fig8" => fig8(small),
             "fig9" => fig9(small),
-            "faults" => faults_figure(small),
+            "faults" => faults_figure(small, trace_path.as_deref(), metrics_path.as_deref()),
             other => eprintln!("unknown figure '{other}' (use fig3..fig9, faults, or all)"),
         }
     }
     eprintln!("\n[figures done in {:.1}s]", wall.elapsed().as_secs_f64());
+}
+
+/// The value following a `--flag` argument, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
 }
 
 fn replay_cfg(small: bool) -> ReplayConfig {
@@ -333,7 +359,7 @@ fn fig9(small: bool) {
     write_json("fig9", &rows);
 }
 
-fn faults_figure(small: bool) {
+fn faults_figure(small: bool, trace: Option<&std::path::Path>, metrics: Option<&std::path::Path>) {
     let cfg = if small {
         FaultsConfig::small()
     } else {
@@ -344,7 +370,28 @@ fn faults_figure(small: bool) {
         cfg.seed,
         cfg.fault.horizon.as_secs_f64() / 3600.0
     );
-    let result = faults::run(&cfg);
+    let capture = trace.is_some() || metrics.is_some();
+    let (result, telemetry) = faults::run_captured(&cfg, capture);
+    if let Some(path) = trace {
+        match std::fs::write(path, &telemetry.trace_jsonl) {
+            Ok(()) => eprintln!(
+                "[faults] trace: {} events -> {}",
+                telemetry.trace_jsonl.lines().count(),
+                path.display()
+            ),
+            Err(e) => eprintln!("[faults] cannot write trace {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = metrics {
+        match std::fs::write(path, telemetry.metrics_json()) {
+            Ok(()) => eprintln!(
+                "[faults] metrics: {} tick snapshots -> {}",
+                telemetry.metric_snapshots.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("[faults] cannot write metrics {}: {e}", path.display()),
+        }
+    }
     println!(
         "\n== Faults: durability under identical churn (seed {}, {} files × {} MB, {:.1} h) ==",
         result.seed, result.num_files, result.file_size_mb, result.horizon_hours

@@ -58,16 +58,16 @@ pub fn build_manager(
     let mut thresholds = Thresholds::default().with_tau_hot(tau_hot);
     thresholds.window = window;
     thresholds.cold_age = cold_age;
-    let cfg = ErmsConfig {
-        thresholds,
-        standby: if use_standby_pool {
+    let cfg = ErmsConfig::builder()
+        .thresholds(thresholds)
+        .standby(if use_standby_pool {
             paper_standby_pool()
         } else {
             Vec::new()
-        },
-        ..ErmsConfig::paper_default()
-    };
-    Some(ErmsManager::new(cfg, cluster))
+        })
+        .build()
+        .expect("valid bench config");
+    Some(ErmsManager::new(cfg, cluster).expect("valid bench manager"))
 }
 
 /// Where figure JSON lands (`<workspace>/results`).

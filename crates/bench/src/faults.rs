@@ -20,6 +20,7 @@ use erms::{ErmsConfig, ErmsManager};
 use hdfs_sim::faults::{FaultConfig, FaultInjector, FaultPlan};
 use hdfs_sim::{ClusterConfig, ClusterSim, DefaultRackAware};
 use serde::Serialize;
+use simcore::telemetry::TelemetrySink;
 use simcore::units::{Bytes, MB};
 use simcore::{SimDuration, SimTime};
 
@@ -113,32 +114,81 @@ impl Variant {
     }
 }
 
+/// Telemetry captured from the `erms_healing` variant when tracing is
+/// requested (`figures faults --trace/--metrics`).
+#[derive(Debug, Clone, Default)]
+pub struct CapturedTelemetry {
+    /// The full structured event trace, one JSON object per line.
+    /// A pure function of the seed: byte-identical across runs.
+    pub trace_jsonl: String,
+    /// One metrics-registry snapshot (JSON object) per control tick.
+    pub metric_snapshots: Vec<String>,
+}
+
+impl CapturedTelemetry {
+    /// The per-tick snapshots as one JSON array document.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, snap) in self.metric_snapshots.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(snap);
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
 /// Run all three variants under the same seed.
 pub fn run(cfg: &FaultsConfig) -> FaultsResult {
+    run_captured(cfg, false).0
+}
+
+/// Like [`run`], optionally recording the `erms_healing` variant's
+/// structured trace and per-tick metric snapshots.
+pub fn run_captured(cfg: &FaultsConfig, capture: bool) -> (FaultsResult, CapturedTelemetry) {
+    let mut telemetry = CapturedTelemetry::default();
     let variants = [
         Variant::Vanilla,
         Variant::ErmsNoHealing,
         Variant::ErmsHealing,
     ]
     .into_iter()
-    .map(|v| run_variant(cfg, v))
+    .map(|v| {
+        let cap = (capture && v == Variant::ErmsHealing).then_some(&mut telemetry);
+        run_variant(cfg, v, cap)
+    })
     .collect();
-    FaultsResult {
+    let result = FaultsResult {
         seed: cfg.seed,
         horizon_hours: cfg.fault.horizon.as_secs_f64() / 3600.0,
         num_files: cfg.num_files,
         file_size_mb: cfg.file_size / (1 << 20),
         variants,
-    }
+    };
+    (result, telemetry)
 }
 
-fn run_variant(cfg: &FaultsConfig, variant: Variant) -> FaultVariant {
+fn run_variant(
+    cfg: &FaultsConfig,
+    variant: Variant,
+    mut capture: Option<&mut CapturedTelemetry>,
+) -> FaultVariant {
     // identical placement for every variant: the comparison isolates the
     // control loop, not the placement policy
     let ccfg = ClusterConfig::paper_testbed();
     let nodes = ccfg.datanodes as usize;
     let racks = ccfg.racks as usize;
     let mut c = ClusterSim::new(ccfg, Box::new(DefaultRackAware));
+    // a recording sink only where capture was requested — every other
+    // variant keeps the disabled (zero-cost) sink
+    let sink = if capture.is_some() {
+        TelemetrySink::recording()
+    } else {
+        TelemetrySink::disabled()
+    };
+    c.set_telemetry(sink.clone());
     for i in 0..cfg.num_files {
         c.create_file(&format!("/churn/f{i}"), cfg.file_size, 3, None)
             .expect("base data fits");
@@ -148,13 +198,15 @@ fn run_variant(cfg: &FaultsConfig, variant: Variant) -> FaultVariant {
     let mut manager = match variant {
         Variant::Vanilla => None,
         Variant::ErmsNoHealing | Variant::ErmsHealing => {
-            let ecfg = ErmsConfig {
-                standby: Vec::new(), // all-active: same serving set as vanilla
-                enable_encode: false,
-                enable_self_healing: variant == Variant::ErmsHealing,
-                ..ErmsConfig::paper_default()
-            };
-            Some(ErmsManager::new(ecfg, &mut c))
+            let ecfg = ErmsConfig::builder()
+                .standby([]) // all-active: same serving set as vanilla
+                .encode(false)
+                .self_healing(variant == Variant::ErmsHealing)
+                .build()
+                .expect("valid faults config");
+            let mut m = ErmsManager::new(ecfg, &mut c).expect("valid faults manager");
+            m.set_telemetry(sink.clone());
+            Some(m)
         }
     };
 
@@ -188,9 +240,17 @@ fn run_variant(cfg: &FaultsConfig, variant: Variant) -> FaultVariant {
             standby_evicted += r.standby_evicted.len();
         }
         c.run_until(deadline);
+        if let Some(cap) = capture.as_deref_mut() {
+            if let Some(snap) = sink.snapshot_json(c.now()) {
+                cap.metric_snapshots.push(snap);
+            }
+        }
     }
     let end = c.now();
     c.durability_mut().finalize(end);
+    if let Some(cap) = capture {
+        cap.trace_jsonl = sink.drain_jsonl();
+    }
 
     let under_replicated_final = count_under_replicated(&c);
     let s = c.durability().summary();
@@ -279,5 +339,28 @@ mod tests {
         );
         assert!(healing.repairs_started > 0);
         assert!(healing.repair_bytes > 0);
+    }
+
+    #[test]
+    fn same_seed_trace_is_byte_identical() {
+        let cfg = quick_cfg();
+        let (_, t1) = run_captured(&cfg, true);
+        let (_, t2) = run_captured(&cfg, true);
+        assert!(!t1.trace_jsonl.is_empty(), "healing variant traced events");
+        assert_eq!(t1.trace_jsonl, t2.trace_jsonl, "trace bytes must match");
+        assert_eq!(t1.metric_snapshots, t2.metric_snapshots);
+        // every line is a JSON object with the stable envelope keys
+        for line in t1.trace_jsonl.lines().take(50) {
+            assert!(line.starts_with("{\"t_ns\":"), "envelope: {line}");
+            assert!(line.contains("\"ev\":"), "event tag: {line}");
+        }
+    }
+
+    #[test]
+    fn capture_off_records_nothing() {
+        let cfg = quick_cfg();
+        let (_, t) = run_captured(&cfg, false);
+        assert!(t.trace_jsonl.is_empty());
+        assert!(t.metric_snapshots.is_empty());
     }
 }

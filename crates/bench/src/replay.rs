@@ -123,7 +123,9 @@ pub fn run_with(
     let mut cluster = build_cluster(mode);
     let manager: Rc<RefCell<Option<ErmsManager>>> =
         Rc::new(RefCell::new(match (erms_override, mode) {
-            (Some(c), Mode::Erms { .. }) => Some(ErmsManager::new(c, &mut cluster)),
+            (Some(c), Mode::Erms { .. }) => {
+                Some(ErmsManager::new(c, &mut cluster).expect("valid replay manager"))
+            }
             (Some(_), Mode::Vanilla) => None,
             (None, _) => build_manager(
                 mode,

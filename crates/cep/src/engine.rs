@@ -8,7 +8,8 @@
 use crate::event::Event;
 use crate::pattern::{FollowedBy, PatternMatch, PatternState};
 use crate::query::{GroupRow, QuerySpec, QueryState};
-use simcore::SimTime;
+use simcore::telemetry::{Event as TelemetryEvent, TelemetrySink};
+use simcore::{trace, SimTime};
 use std::collections::BTreeMap;
 
 /// Handle to a registered query.
@@ -38,11 +39,18 @@ pub struct CepEngine {
     patterns: BTreeMap<PatternId, (PatternState, Vec<PatternMatch>)>,
     next_id: u64,
     events_seen: u64,
+    telemetry: TelemetrySink,
 }
 
 impl CepEngine {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install a telemetry sink; every subscription row the engine fires
+    /// is then traced as a `window_emit` event.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Register a query; returns its handle.
@@ -122,6 +130,25 @@ impl CepEngine {
                 });
             }
         }
+        if !fired.is_empty() {
+            for row in &fired {
+                trace!(
+                    self.telemetry,
+                    row.time,
+                    TelemetryEvent::WindowEmit {
+                        query: self
+                            .queries
+                            .get(&row.query)
+                            .and_then(|s| s.spec.from.clone())
+                            .unwrap_or_default(),
+                        group: row.group.clone(),
+                        value: row.value,
+                    }
+                );
+            }
+            self.telemetry
+                .counter_add("cep.windows_emitted", fired.len() as u64);
+        }
         for row in &fired {
             if let Some(callbacks) = self.subscriptions.get_mut(&row.query) {
                 for cb in callbacks.iter_mut() {
@@ -139,12 +166,24 @@ impl CepEngine {
             .unwrap_or_default()
     }
 
-    /// Current aggregate for one group of a query.
+    /// Current aggregate for one group of a query. Polled reads are the
+    /// other half of window delivery (subscriptions being the first), so
+    /// each one is traced as a [`TelemetryEvent::WindowEmit`].
     pub fn value_for(&mut self, id: QueryId, now: SimTime, key: &str) -> f64 {
-        self.queries
-            .get_mut(&id)
-            .map(|q| q.value_for(now, key))
-            .unwrap_or(0.0)
+        let Some(q) = self.queries.get_mut(&id) else {
+            return 0.0;
+        };
+        let value = q.value_for(now, key);
+        trace!(
+            self.telemetry,
+            now,
+            TelemetryEvent::WindowEmit {
+                query: q.spec.from.clone().unwrap_or_default(),
+                group: key.to_string(),
+                value,
+            }
+        );
+        value
     }
 
     pub fn events_seen(&self) -> u64 {

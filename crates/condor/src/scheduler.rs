@@ -16,7 +16,8 @@
 //! surfaced via [`Scheduler::take_rollbacks`].
 
 use crate::journal::{Journal, JournalEvent};
-use simcore::{SimDuration, SimTime};
+use simcore::telemetry::{Event as TelemetryEvent, TelemetrySink};
+use simcore::{trace, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 pub use crate::journal::JobId;
@@ -124,6 +125,7 @@ pub struct Scheduler<P> {
     retry_policy: Option<RetryPolicy>,
     /// Earliest re-dispatch time for jobs in backoff.
     not_before: BTreeMap<JobId, SimTime>,
+    telemetry: TelemetrySink,
 }
 
 impl<P: Clone> Scheduler<P> {
@@ -141,7 +143,14 @@ impl<P: Clone> Scheduler<P> {
             max_attempts,
             retry_policy: None,
             not_before: BTreeMap::new(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Install a telemetry sink; queue/dispatch/retry/outcome events are
+    /// then traced alongside queue-depth metrics.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// A scheduler whose retries back off per `policy` instead of
@@ -181,6 +190,18 @@ impl<P: Clone> Scheduler<P> {
             Priority::Immediate => self.immediate.push_back(id),
             Priority::WhenIdle => self.idle.push_back(id),
         }
+        trace!(
+            self.telemetry,
+            now,
+            TelemetryEvent::TaskQueued {
+                job: id.0,
+                priority: match priority {
+                    Priority::Immediate => "immediate".to_string(),
+                    Priority::WhenIdle => "when_idle".to_string(),
+                },
+            }
+        );
+        self.telemetry.counter_add("condor.submitted", 1);
         id
     }
 
@@ -226,7 +247,21 @@ impl<P: Clone> Scheduler<P> {
                 },
             );
             self.running.insert(id);
+            trace!(
+                self.telemetry,
+                now,
+                TelemetryEvent::TaskDispatched {
+                    job: id.0,
+                    attempt: job.attempts,
+                }
+            );
             out.push((id, job.payload.clone()));
+        }
+        if !out.is_empty() {
+            self.telemetry
+                .counter_add("condor.dispatched", out.len() as u64);
+            self.telemetry
+                .gauge_set("condor.running", self.running.len() as f64);
         }
         out
     }
@@ -243,6 +278,15 @@ impl<P: Clone> Scheduler<P> {
             Outcome::Success => {
                 job.state = JobState::Completed;
                 self.journal.record(now, id, JournalEvent::Completed);
+                trace!(
+                    self.telemetry,
+                    now,
+                    TelemetryEvent::TaskFinished {
+                        job: id.0,
+                        ok: true
+                    }
+                );
+                self.telemetry.counter_add("condor.completed", 1);
             }
             Outcome::Failure(reason) => {
                 self.journal.record(
@@ -255,19 +299,39 @@ impl<P: Clone> Scheduler<P> {
                 );
                 if job.attempts < self.max_attempts {
                     job.state = JobState::Queued;
+                    let mut delay = SimDuration::ZERO;
                     if let Some(policy) = &self.retry_policy {
-                        self.not_before
-                            .insert(id, now + policy.delay_after(id, job.attempts));
+                        delay = policy.delay_after(id, job.attempts);
+                        self.not_before.insert(id, now + delay);
                     }
                     match job.priority {
                         Priority::Immediate => self.immediate.push_back(id),
                         Priority::WhenIdle => self.idle.push_back(id),
                     }
+                    trace!(
+                        self.telemetry,
+                        now,
+                        TelemetryEvent::TaskRetry {
+                            job: id.0,
+                            attempt: job.attempts,
+                            delay_ns: delay.as_nanos(),
+                        }
+                    );
+                    self.telemetry.counter_add("condor.retries", 1);
                 } else {
                     job.state = JobState::Failed;
                     self.journal
                         .record(now, id, JournalEvent::RollbackRequested);
                     self.rollbacks.push((id, job.payload.clone()));
+                    trace!(
+                        self.telemetry,
+                        now,
+                        TelemetryEvent::TaskFinished {
+                            job: id.0,
+                            ok: false,
+                        }
+                    );
+                    self.telemetry.counter_add("condor.failed", 1);
                 }
             }
         }

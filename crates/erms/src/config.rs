@@ -5,6 +5,81 @@ use crate::thresholds::Thresholds;
 use erasure::StripeLayout;
 use hdfs_sim::NodeId;
 use simcore::SimDuration;
+use std::fmt;
+
+/// Why an [`ErmsConfig`] (or its [`Thresholds`]) was rejected.
+///
+/// Marked `#[non_exhaustive]`: later validation rules (the standby
+/// checks arrived after the threshold ones) add variants without a
+/// breaking release, so downstream matches need a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The ordering `0 < τ_m < τ_d < τ_M` does not hold.
+    ThresholdOrdering {
+        tau_cold: f64,
+        tau_cooled: f64,
+        tau_hot: f64,
+    },
+    /// ε must lie strictly inside `(0, 1)`.
+    EpsilonOutOfRange(f64),
+    /// The soft per-block bound `M_m` must be below the burst bound `M_M`.
+    BlockBoundsInverted { warm: f64, burst: f64 },
+    /// The CEP window `t_w` must be positive.
+    ZeroWindow,
+    /// The replication ceiling must be positive.
+    ZeroMaxReplication,
+    /// A Condor concurrency/retry knob must be positive.
+    ZeroCondorKnob(&'static str),
+    /// The repair-scan cadence must be at least one tick.
+    ZeroRepairScanTicks,
+    /// Self-healing needs a positive task timeout.
+    ZeroTaskTimeout,
+    /// A configured standby node id does not exist in the cluster.
+    UnknownStandbyNode { node: u32, datanodes: u32 },
+    /// A configured standby node already holds block replicas, so
+    /// designating it would silently mis-park data on a node about to
+    /// power off.
+    StandbyHoldsReplicas { node: u32, blocks: usize },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ThresholdOrdering {
+                tau_cold,
+                tau_cooled,
+                tau_hot,
+            } => write!(
+                f,
+                "need 0 < τ_m({tau_cold}) < τ_d({tau_cooled}) < τ_M({tau_hot})"
+            ),
+            ConfigError::EpsilonOutOfRange(e) => write!(f, "ε {e} outside (0, 1)"),
+            ConfigError::BlockBoundsInverted { warm, burst } => {
+                write!(f, "M_m {warm} must be below M_M {burst}")
+            }
+            ConfigError::ZeroWindow => write!(f, "CEP window must be positive"),
+            ConfigError::ZeroMaxReplication => write!(f, "max_replication must be positive"),
+            ConfigError::ZeroCondorKnob(knob) => write!(f, "{knob} must be positive"),
+            ConfigError::ZeroRepairScanTicks => write!(f, "repair_scan_ticks must be positive"),
+            ConfigError::ZeroTaskTimeout => {
+                write!(f, "task_timeout must be positive when self-healing")
+            }
+            ConfigError::UnknownStandbyNode { node, datanodes } => {
+                write!(
+                    f,
+                    "standby node dn{node} outside cluster of {datanodes} datanodes"
+                )
+            }
+            ConfigError::StandbyHoldsReplicas { node, blocks } => write!(
+                f,
+                "standby node dn{node} already holds {blocks} block replica(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Everything the manager needs to know at construction.
 #[derive(Debug, Clone)]
@@ -79,21 +154,146 @@ impl ErmsConfig {
         }
     }
 
-    pub fn validate(&self) -> Result<(), String> {
+    /// Start a fluent [`ErmsConfigBuilder`] seeded from
+    /// [`paper_default`](Self::paper_default).
+    pub fn builder() -> ErmsConfigBuilder {
+        ErmsConfigBuilder::paper_default()
+    }
+
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.thresholds.validate()?;
         if self.max_replication == 0 {
-            return Err("max_replication must be positive".into());
+            return Err(ConfigError::ZeroMaxReplication);
         }
-        if self.max_concurrent_tasks == 0 || self.max_task_attempts == 0 {
-            return Err("condor knobs must be positive".into());
+        if self.max_concurrent_tasks == 0 {
+            return Err(ConfigError::ZeroCondorKnob("max_concurrent_tasks"));
+        }
+        if self.max_task_attempts == 0 {
+            return Err(ConfigError::ZeroCondorKnob("max_task_attempts"));
         }
         if self.repair_scan_ticks == 0 {
-            return Err("repair_scan_ticks must be positive".into());
+            return Err(ConfigError::ZeroRepairScanTicks);
         }
         if self.enable_self_healing && self.task_timeout.is_zero() {
-            return Err("task_timeout must be positive when self-healing".into());
+            return Err(ConfigError::ZeroTaskTimeout);
         }
         Ok(())
+    }
+}
+
+/// Fluent builder for [`ErmsConfig`].
+///
+/// Starts from a preset ([`paper_default`](Self::paper_default) or
+/// [`all_active`](Self::all_active)), lets callers override individual
+/// knobs, and validates the result once in [`build`](Self::build) —
+/// call sites no longer spell out every field with a struct literal and
+/// cannot skip validation.
+///
+/// ```
+/// use erms::{ErmsConfig, Thresholds};
+///
+/// let cfg = ErmsConfig::builder()
+///     .thresholds(Thresholds::default().with_tau_hot(12.0))
+///     .max_replication(12)
+///     .self_healing(true)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.max_replication, 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErmsConfigBuilder {
+    cfg: ErmsConfig,
+}
+
+impl ErmsConfigBuilder {
+    /// Builder seeded with the paper's 18-node deployment shape.
+    pub fn paper_default() -> Self {
+        ErmsConfigBuilder {
+            cfg: ErmsConfig::paper_default(),
+        }
+    }
+
+    /// Builder seeded with the all-active ablation baseline.
+    pub fn all_active() -> Self {
+        ErmsConfigBuilder {
+            cfg: ErmsConfig::all_active(),
+        }
+    }
+
+    pub fn thresholds(mut self, t: Thresholds) -> Self {
+        self.cfg.thresholds = t;
+        self
+    }
+
+    pub fn standby<I: IntoIterator<Item = NodeId>>(mut self, nodes: I) -> Self {
+        self.cfg.standby = nodes.into_iter().collect();
+        self
+    }
+
+    pub fn cold_stripe(mut self, layout: StripeLayout) -> Self {
+        self.cfg.cold_stripe = layout;
+        self
+    }
+
+    pub fn max_replication(mut self, r: usize) -> Self {
+        self.cfg.max_replication = r;
+        self
+    }
+
+    pub fn strategy(mut self, s: IncreaseStrategy) -> Self {
+        self.cfg.strategy = s;
+        self
+    }
+
+    pub fn encode(mut self, on: bool) -> Self {
+        self.cfg.enable_encode = on;
+        self
+    }
+
+    pub fn standby_shutdown(mut self, on: bool) -> Self {
+        self.cfg.enable_standby_shutdown = on;
+        self
+    }
+
+    pub fn max_concurrent_tasks(mut self, n: usize) -> Self {
+        self.cfg.max_concurrent_tasks = n;
+        self
+    }
+
+    pub fn max_task_attempts(mut self, n: u32) -> Self {
+        self.cfg.max_task_attempts = n;
+        self
+    }
+
+    pub fn cooled_patience(mut self, ticks: u32) -> Self {
+        self.cfg.cooled_patience = ticks;
+        self
+    }
+
+    pub fn freshness_boost(mut self, on: bool) -> Self {
+        self.cfg.enable_freshness_boost = on;
+        self
+    }
+
+    pub fn self_healing(mut self, on: bool) -> Self {
+        self.cfg.enable_self_healing = on;
+        self
+    }
+
+    pub fn repair_scan_ticks(mut self, ticks: u32) -> Self {
+        self.cfg.repair_scan_ticks = ticks;
+        self
+    }
+
+    pub fn task_timeout(mut self, d: SimDuration) -> Self {
+        self.cfg.task_timeout = d;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ErmsConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -121,9 +321,52 @@ mod tests {
     fn validation_rejects_zeroes() {
         let mut c = ErmsConfig::paper_default();
         c.max_replication = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxReplication));
         let mut c = ErmsConfig::paper_default();
         c.max_concurrent_tasks = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroCondorKnob("max_concurrent_tasks"))
+        );
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let cfg = ErmsConfig::builder()
+            .max_replication(12)
+            .standby([NodeId(8), NodeId(9)])
+            .self_healing(true)
+            .repair_scan_ticks(5)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.max_replication, 12);
+        assert_eq!(cfg.standby, vec![NodeId(8), NodeId(9)]);
+        assert!(cfg.enable_self_healing);
+        assert_eq!(cfg.repair_scan_ticks, 5);
+
+        let err = ErmsConfig::builder()
+            .repair_scan_ticks(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroRepairScanTicks);
+    }
+
+    #[test]
+    fn builder_presets_match_constructors() {
+        let built = ErmsConfigBuilder::all_active().build().unwrap();
+        assert!(built.standby.is_empty());
+        let paper = ErmsConfig::builder().build().unwrap();
+        assert_eq!(paper.standby.len(), 8);
+    }
+
+    #[test]
+    fn config_error_displays_and_is_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(ConfigError::UnknownStandbyNode {
+            node: 30,
+            datanodes: 18,
+        });
+        let msg = err.to_string();
+        assert!(msg.contains("dn30"), "{msg}");
+        assert!(msg.contains("18"), "{msg}");
     }
 }

@@ -19,6 +19,7 @@ use cep::audit::{AUDIT_EVENT, BLOCK_EVENT};
 use cep::pattern::{EventFilter, FollowedBy};
 use cep::query::Predicate;
 use cep::{CepEngine, QuerySpec, Value};
+use simcore::telemetry::TelemetrySink;
 use simcore::{SimDuration, SimTime};
 
 /// The four data classes of the paper.
@@ -52,6 +53,9 @@ pub struct Judgment {
     pub class: DataClass,
     /// Windowed access count `N_d`.
     pub n_d: f64,
+    /// Largest windowed per-block count `N_b` seen while classifying
+    /// (0 when Formula (1) short-circuited before the block scan).
+    pub n_b_max: f64,
     /// Which formula fired (1, 2, 3 for hot; 5 cooled; 6 cold; 0 normal;
     /// 4 when promoted via datanode overload).
     pub rule: u8,
@@ -102,6 +106,12 @@ impl DataJudge {
             thresholds,
             parse_errors: 0,
         }
+    }
+
+    /// Install a telemetry sink on the underlying CEP engine so every
+    /// fired window row is traced.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.engine.set_telemetry(sink);
     }
 
     pub fn thresholds(&self) -> &Thresholds {
@@ -189,34 +199,36 @@ impl DataJudge {
 
         // Formula (1): per-replica file pressure
         if n_d / r > tau_hot {
-            return judgment(file, DataClass::Hot, n_d, 1);
+            return judgment(file, DataClass::Hot, n_d, 0.0, 1);
         }
         // Formulas (2) and (3): per-block pressure
         let n_blocks = file.blocks.len();
+        let mut n_b_max = 0.0f64;
         if n_blocks > 0 {
             let mut warm_blocks = 0usize;
             for b in &file.blocks.clone() {
                 let n_b = self.block_accesses(now, b);
+                n_b_max = n_b_max.max(n_b);
                 if n_b / r > block_burst {
-                    return judgment(file, DataClass::Hot, n_d, 2);
+                    return judgment(file, DataClass::Hot, n_d, n_b_max, 2);
                 }
                 if n_b / r > block_warm {
                     warm_blocks += 1;
                 }
             }
             if warm_blocks as f64 / n_blocks as f64 > epsilon {
-                return judgment(file, DataClass::Hot, n_d, 3);
+                return judgment(file, DataClass::Hot, n_d, n_b_max, 3);
             }
         }
         // Formula (5): boosted file whose demand fell away
         if file.boosted && n_d / r < tau_cooled {
-            return judgment(file, DataClass::Cooled, n_d, 5);
+            return judgment(file, DataClass::Cooled, n_d, n_b_max, 5);
         }
         // Formula (6): quiet and old → cold
         if !file.encoded && n_d / r < tau_cold && now.since(file.last_access) > cold_age {
-            return judgment(file, DataClass::Cold, n_d, 6);
+            return judgment(file, DataClass::Cold, n_d, n_b_max, 6);
         }
-        judgment(file, DataClass::Normal, n_d, 0)
+        judgment(file, DataClass::Normal, n_d, n_b_max, 0)
     }
 
     /// Formula (4): datanodes whose windowed session count exceeds τ_DN,
@@ -257,11 +269,12 @@ fn count_query(event_type: &str, field: &str, window: SimDuration) -> QuerySpec 
     QuerySpec::count_per_group(event_type, field, window)
 }
 
-fn judgment(file: &FileSnapshot, class: DataClass, n_d: f64, rule: u8) -> Judgment {
+fn judgment(file: &FileSnapshot, class: DataClass, n_d: f64, n_b_max: f64, rule: u8) -> Judgment {
     Judgment {
         path: file.path.clone(),
         class,
         n_d,
+        n_b_max,
         rule,
     }
 }

@@ -16,15 +16,15 @@
 //!   rollback and replay.
 //!
 //! ```
-//! use erms::{ErmsConfig, ErmsManager, ErmsPlacement};
+//! use erms::prelude::*;
 //! use hdfs_sim::topology::{ClientId, Endpoint};
-//! use hdfs_sim::{ClusterConfig, ClusterSim};
 //!
 //! let mut cluster = ClusterSim::new(
 //!     ClusterConfig::paper_testbed(),
 //!     Box::new(ErmsPlacement::new()), // Algorithm 1
 //! );
-//! let mut erms = ErmsManager::new(ErmsConfig::all_active(), &mut cluster);
+//! let cfg = ErmsConfigBuilder::all_active().build().unwrap();
+//! let mut erms = ErmsManager::new(cfg, &mut cluster).unwrap();
 //!
 //! cluster.create_file("/hot", 64 << 20, 3, None).unwrap();
 //! for i in 0..40 {
@@ -57,10 +57,28 @@ pub mod replication;
 pub mod thresholds;
 
 pub use calibrate::{probe, ProbeConfig, ProbeResult};
-pub use config::ErmsConfig;
+pub use config::{ConfigError, ErmsConfig, ErmsConfigBuilder};
 pub use judge::{DataClass, DataJudge, FileSnapshot, Judgment};
 pub use manager::{ErmsManager, ErmsTask, TickReport};
 pub use model::ActiveStandbyModel;
 pub use placement::ErmsPlacement;
 pub use replication::{optimal_replication, IncreaseStrategy};
 pub use thresholds::Thresholds;
+
+/// One-stop imports for driving an ERMS simulation: the manager and its
+/// config/builder/error types, the cluster it manages, the simulation
+/// clock, and the telemetry sinks — everything a harness or example
+/// needs without spelling out five crate paths.
+pub mod prelude {
+    pub use crate::config::{ConfigError, ErmsConfig, ErmsConfigBuilder};
+    pub use crate::judge::DataClass;
+    pub use crate::manager::{ErmsManager, ErmsTask, TickReport};
+    pub use crate::placement::ErmsPlacement;
+    pub use crate::replication::IncreaseStrategy;
+    pub use crate::thresholds::Thresholds;
+    pub use hdfs_sim::{ClusterConfig, ClusterSim, NodeId};
+    pub use simcore::telemetry::{
+        Event as TelemetryEvent, MetricsRegistry, TelemetrySink, TracedEvent,
+    };
+    pub use simcore::{SimDuration, SimTime};
+}

@@ -18,7 +18,7 @@
 //! ads are refreshed in the ClassAds matchmaker every tick, which is
 //! also how commissioning picks its standby node.
 
-use crate::config::ErmsConfig;
+use crate::config::{ConfigError, ErmsConfig};
 use crate::judge::{DataClass, DataJudge, FileSnapshot};
 use crate::model::ActiveStandbyModel;
 use crate::replication::optimal_replication;
@@ -28,7 +28,8 @@ use condor::scheduler::{JobId, Outcome, Priority, Scheduler};
 use condor::{ClassAd, Expr};
 use hdfs_sim::cluster::CopyId;
 use hdfs_sim::{ClusterSim, NodeId};
-use simcore::SimTime;
+use simcore::telemetry::{Event as Tel, TelemetrySink};
+use simcore::{trace, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A replication-management task, as journalled by Condor.
@@ -133,6 +134,7 @@ pub struct ErmsManager {
     reconstructing: BTreeSet<hdfs_sim::BlockId>,
     /// Ticks elapsed, for the repair-scan cadence.
     tick_count: u64,
+    telemetry: TelemetrySink,
     /// Total tasks finished, for harness accounting.
     pub total_completed: u64,
     pub total_failed: u64,
@@ -141,8 +143,26 @@ pub struct ErmsManager {
 impl ErmsManager {
     /// Build the manager and configure `cluster` for the active/standby
     /// model (designating and powering off the standby pool).
-    pub fn new(cfg: ErmsConfig, cluster: &mut ClusterSim) -> Self {
-        cfg.validate().expect("valid ERMS config");
+    ///
+    /// Beyond the config's own invariants, this validates the standby
+    /// pool against the actual cluster: every designated node must exist
+    /// and must not already hold block replicas (powering such a node
+    /// off would take live data with it).
+    pub fn new(cfg: ErmsConfig, cluster: &mut ClusterSim) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let datanodes = cluster.config().datanodes;
+        for &n in &cfg.standby {
+            if n.0 >= datanodes {
+                return Err(ConfigError::UnknownStandbyNode {
+                    node: n.0,
+                    datanodes,
+                });
+            }
+            let blocks = cluster.node_block_count(n);
+            if blocks > 0 {
+                return Err(ConfigError::StandbyHoldsReplicas { node: n.0, blocks });
+            }
+        }
         let all: Vec<NodeId> = cluster.topology().nodes().collect();
         let standby: Vec<NodeId> = cfg.standby.clone();
         let active: Vec<NodeId> = all
@@ -173,7 +193,7 @@ impl ErmsManager {
         } else {
             Scheduler::new(cfg.max_concurrent_tasks, cfg.max_task_attempts)
         };
-        ErmsManager {
+        Ok(ErmsManager {
             judge: DataJudge::new(cfg.thresholds.clone()),
             condor,
             model,
@@ -191,10 +211,20 @@ impl ErmsManager {
             reconstruct_copies: BTreeMap::new(),
             reconstructing: BTreeSet::new(),
             tick_count: 0,
+            telemetry: TelemetrySink::disabled(),
             total_completed: 0,
             total_failed: 0,
             cfg,
-        }
+        })
+    }
+
+    /// Install a telemetry sink, fanning it out to the CEP engine and
+    /// the Condor scheduler so one recording handle captures the whole
+    /// control loop.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.judge.set_telemetry(sink.clone());
+        self.condor.set_telemetry(sink.clone());
+        self.telemetry = sink;
     }
 
     pub fn judge(&mut self) -> &mut DataJudge {
@@ -257,6 +287,17 @@ impl ErmsManager {
             } else {
                 verdict.class
             };
+            trace!(
+                self.telemetry,
+                now,
+                Tel::Verdict {
+                    path: snap.path.clone(),
+                    verdict: class_name(class).into(),
+                    file_sessions: verdict.n_d,
+                    max_block_sessions: verdict.n_b_max,
+                    replicas: snap.replication as u32,
+                }
+            );
             if class != DataClass::Cooled {
                 self.cooled_streak.remove(&snap.path);
             }
@@ -275,7 +316,7 @@ impl ErmsManager {
                         0
                     });
                     if snap.encoded {
-                        self.submit(
+                        if self.submit(
                             now,
                             ErmsTask::Decode {
                                 path: snap.path.clone(),
@@ -283,9 +324,17 @@ impl ErmsManager {
                             },
                             Priority::Immediate,
                             &mut report,
-                        );
-                    } else if target > snap.replication {
-                        self.submit(
+                        ) {
+                            trace!(
+                                self.telemetry,
+                                now,
+                                Tel::DecodeCold {
+                                    path: snap.path.clone(),
+                                }
+                            );
+                        }
+                    } else if target > snap.replication
+                        && self.submit(
                             now,
                             ErmsTask::Increase {
                                 path: snap.path.clone(),
@@ -293,6 +342,17 @@ impl ErmsManager {
                             },
                             Priority::Immediate,
                             &mut report,
+                        )
+                    {
+                        trace!(
+                            self.telemetry,
+                            now,
+                            Tel::ReplicationBoost {
+                                path: snap.path.clone(),
+                                from: snap.replication as u32,
+                                to: target as u32,
+                                sessions: verdict.n_d,
+                            }
                         );
                     }
                 }
@@ -301,8 +361,9 @@ impl ErmsManager {
                     let streak = self.cooled_streak.entry(snap.path.clone()).or_insert(0);
                     *streak += 1;
                     let patient = *streak >= self.cfg.cooled_patience;
-                    if patient && snap.replication > default_r {
-                        self.submit(
+                    if patient
+                        && snap.replication > default_r
+                        && self.submit(
                             now,
                             ErmsTask::Decrease {
                                 path: snap.path.clone(),
@@ -310,26 +371,46 @@ impl ErmsManager {
                             },
                             Priority::WhenIdle,
                             &mut report,
+                        )
+                    {
+                        trace!(
+                            self.telemetry,
+                            now,
+                            Tel::ReplicationShed {
+                                path: snap.path.clone(),
+                                from: snap.replication as u32,
+                                to: default_r as u32,
+                            }
                         );
                     }
                 }
                 DataClass::Cold => {
                     report.cold += 1;
-                    if self.cfg.enable_encode && !snap.encoded {
-                        self.submit(
+                    if self.cfg.enable_encode
+                        && !snap.encoded
+                        && self.submit(
                             now,
                             ErmsTask::Encode {
                                 path: snap.path.clone(),
                             },
                             Priority::WhenIdle,
                             &mut report,
+                        )
+                    {
+                        trace!(
+                            self.telemetry,
+                            now,
+                            Tel::EncodeCold {
+                                path: snap.path.clone(),
+                            }
                         );
                     }
                 }
                 DataClass::Normal => {
-                    if fresh.contains(&snap.path) && !snap.encoded && snap.replication == default_r
-                    {
-                        self.submit(
+                    if fresh.contains(&snap.path)
+                        && !snap.encoded
+                        && snap.replication == default_r
+                        && self.submit(
                             now,
                             ErmsTask::Increase {
                                 path: snap.path.clone(),
@@ -337,6 +418,17 @@ impl ErmsManager {
                             },
                             Priority::Immediate,
                             &mut report,
+                        )
+                    {
+                        trace!(
+                            self.telemetry,
+                            now,
+                            Tel::ReplicationBoost {
+                                path: snap.path.clone(),
+                                from: snap.replication as u32,
+                                to: (default_r + 1) as u32,
+                                sessions: verdict.n_d,
+                            }
                         );
                     }
                 }
@@ -359,6 +451,19 @@ impl ErmsManager {
         // 7. shut drained standby nodes down
         if self.cfg.enable_standby_shutdown {
             self.shutdown_drained_standby(cluster, now, &mut report);
+        }
+
+        if self.telemetry.enabled() {
+            self.telemetry
+                .counter_add("erms.hot_verdicts", report.hot as u64);
+            self.telemetry
+                .counter_add("erms.cooled_verdicts", report.cooled as u64);
+            self.telemetry
+                .counter_add("erms.cold_verdicts", report.cold as u64);
+            self.telemetry
+                .gauge_set("erms.boosted_files", self.boosted.len() as f64);
+            self.telemetry
+                .gauge_set("erms.tasks_pending", self.condor.pending() as f64);
         }
 
         report
@@ -411,20 +516,23 @@ impl ErmsManager {
         }
     }
 
+    /// Returns whether the task was actually enqueued (false when an
+    /// identical task is already in flight).
     fn submit(
         &mut self,
         now: SimTime,
         task: ErmsTask,
         priority: Priority,
         report: &mut TickReport,
-    ) {
+    ) -> bool {
         let key = (task.path().to_string(), task.kind());
         if self.inflight.contains_key(&key) {
-            return; // identical task already queued/running
+            return false; // identical task already queued/running
         }
         let job = self.condor.submit(now, task, priority);
         self.inflight.insert(key, job);
         report.tasks_submitted += 1;
+        true
     }
 
     fn execute(
@@ -721,6 +829,14 @@ impl ErmsManager {
                 continue;
             };
             report.tasks_timed_out += 1;
+            trace!(
+                self.telemetry,
+                now,
+                Tel::SelfHeal {
+                    action: "task_timeout".into(),
+                    detail: task.path().to_string(),
+                }
+            );
             self.finish(
                 cluster,
                 now,
@@ -739,28 +855,57 @@ impl ErmsManager {
                 && self.model.mark_failed(n, now)
             {
                 report.standby_evicted.push(n);
+                trace!(
+                    self.telemetry,
+                    now,
+                    Tel::SelfHeal {
+                        action: "standby_evict".into(),
+                        detail: n.to_string(),
+                    }
+                );
             }
         }
 
         // (3) periodic namenode repair scan
-        if self
+        let scan_due = self
             .tick_count
-            .is_multiple_of(u64::from(self.cfg.repair_scan_ticks))
-        {
-            report.repairs_started += cluster.repair_under_replicated().len();
-            report.replicas_trimmed += cluster.trim_over_replicated();
+            .is_multiple_of(u64::from(self.cfg.repair_scan_ticks));
+        let mut under = 0usize;
+        let mut over = 0usize;
+        if scan_due {
+            under = cluster.repair_under_replicated().len();
+            over = cluster.trim_over_replicated();
+            report.repairs_started += under;
+            report.replicas_trimmed += over;
         }
 
         // (4) reconstruct dark shards of encoded files (immediate
         // priority: a dark block is the namenode's most urgent queue, so
         // this bypasses Condor's idle gating entirely)
-        self.reconstruct_dark_shards(cluster, report);
+        let recon_before = report.reconstructions;
+        self.reconstruct_dark_shards(cluster, now, report);
+        if scan_due {
+            trace!(
+                self.telemetry,
+                now,
+                Tel::RepairScan {
+                    under_replicated: under as u64,
+                    over_replicated: over as u64,
+                    dark_shards: (report.reconstructions - recon_before) as u64,
+                }
+            );
+        }
     }
 
     /// Scan encoded files for data blocks with zero live replicas and
     /// start an RS reconstruction for each recoverable one. Dark blocks
     /// vanish from the blockmap, so this walks the namespace.
-    fn reconstruct_dark_shards(&mut self, cluster: &mut ClusterSim, report: &mut TickReport) {
+    fn reconstruct_dark_shards(
+        &mut self,
+        cluster: &mut ClusterSim,
+        now: SimTime,
+        report: &mut TickReport,
+    ) {
         use erasure::recovery::{rs_recovery_plan, ErasurePattern};
         use erasure::StripePlan;
 
@@ -829,6 +974,14 @@ impl ErmsManager {
                 self.reconstruct_copies.insert(copy, shard.block);
                 self.reconstructing.insert(shard.block);
                 report.reconstructions += 1;
+                trace!(
+                    self.telemetry,
+                    now,
+                    Tel::SelfHeal {
+                        action: "reconstruct_shard".into(),
+                        detail: shard.block.to_string(),
+                    }
+                );
             }
         }
     }
@@ -859,6 +1012,15 @@ impl ErmsManager {
 enum PendingOrDone {
     Done(Outcome),
     AwaitingCopies,
+}
+
+fn class_name(class: DataClass) -> &'static str {
+    match class {
+        DataClass::Hot => "hot",
+        DataClass::Cooled => "cooled",
+        DataClass::Normal => "normal",
+        DataClass::Cold => "cold",
+    }
 }
 
 /// Apply a compensation action directly (outside Condor: the journal has
@@ -907,12 +1069,12 @@ mod tests {
     }
 
     fn manager(cluster: &mut ClusterSim, standby: Vec<NodeId>) -> ErmsManager {
-        let cfg = ErmsConfig {
-            thresholds: fast_thresholds(),
-            standby,
-            ..ErmsConfig::paper_default()
-        };
-        ErmsManager::new(cfg, cluster)
+        let cfg = ErmsConfig::builder()
+            .thresholds(fast_thresholds())
+            .standby(standby)
+            .build()
+            .unwrap();
+        ErmsManager::new(cfg, cluster).unwrap()
     }
 
     fn hammer(cluster: &mut ClusterSim, path: &str, readers: usize) {
@@ -959,13 +1121,13 @@ mod tests {
     #[test]
     fn cooled_file_sheds_extras_and_standby_powers_off() {
         let mut c = cluster();
-        let cfg = ErmsConfig {
-            thresholds: fast_thresholds(),
-            standby: (10..18).map(NodeId).collect(),
-            enable_encode: false, // keep the cooled file from going cold→encoded
-            ..ErmsConfig::paper_default()
-        };
-        let mut m = ErmsManager::new(cfg, &mut c);
+        let cfg = ErmsConfig::builder()
+            .thresholds(fast_thresholds())
+            .standby((10..18).map(NodeId))
+            .encode(false) // keep the cooled file from going cold→encoded
+            .build()
+            .unwrap();
+        let mut m = ErmsManager::new(cfg, &mut c).unwrap();
         let f = c.create_file("/fading", 64 * MB, 3, None).unwrap();
         hammer(&mut c, "/fading", 40);
         // boost it
@@ -1066,13 +1228,13 @@ mod tests {
     #[test]
     fn freshness_boost_prewarms_new_files() {
         let mut c = cluster();
-        let cfg = ErmsConfig {
-            thresholds: fast_thresholds(),
-            standby: Vec::new(),
-            enable_freshness_boost: true,
-            ..ErmsConfig::paper_default()
-        };
-        let mut m = ErmsManager::new(cfg, &mut c);
+        let cfg = ErmsConfig::builder()
+            .thresholds(fast_thresholds())
+            .standby([])
+            .freshness_boost(true)
+            .build()
+            .unwrap();
+        let mut m = ErmsManager::new(cfg, &mut c).unwrap();
         let f = c.create_file("/new", 64 * MB, 3, None).unwrap();
         // a couple of reads — far below the hot threshold
         hammer(&mut c, "/new", 3);
@@ -1090,15 +1252,15 @@ mod tests {
     }
 
     fn healing_manager(cluster: &mut ClusterSim, standby: Vec<NodeId>) -> ErmsManager {
-        let cfg = ErmsConfig {
-            thresholds: fast_thresholds(),
-            standby,
-            enable_encode: false,
-            enable_self_healing: true,
-            task_timeout: SimDuration::from_secs(60),
-            ..ErmsConfig::paper_default()
-        };
-        ErmsManager::new(cfg, cluster)
+        let cfg = ErmsConfig::builder()
+            .thresholds(fast_thresholds())
+            .standby(standby)
+            .encode(false)
+            .self_healing(true)
+            .task_timeout(SimDuration::from_secs(60))
+            .build()
+            .unwrap();
+        ErmsManager::new(cfg, cluster).unwrap()
     }
 
     #[test]
@@ -1161,14 +1323,14 @@ mod tests {
         let mut c = cluster();
         // encode via the normal cold path, then enable healing semantics
         // by building a healing manager over the same cluster state
-        let cfg = ErmsConfig {
-            thresholds: fast_thresholds(),
-            standby: Vec::new(),
-            enable_self_healing: true,
-            task_timeout: SimDuration::from_secs(60),
-            ..ErmsConfig::paper_default()
-        };
-        let mut m = ErmsManager::new(cfg, &mut c);
+        let cfg = ErmsConfig::builder()
+            .thresholds(fast_thresholds())
+            .standby([])
+            .self_healing(true)
+            .task_timeout(SimDuration::from_secs(60))
+            .build()
+            .unwrap();
+        let mut m = ErmsManager::new(cfg, &mut c).unwrap();
         let f = c.create_file("/cold", 1280 * MB, 3, None).unwrap();
         c.run_until(c.now() + SimDuration::from_secs(4000));
         let now = c.now();
@@ -1269,6 +1431,69 @@ mod tests {
             c.run_until(c.now() + SimDuration::from_secs(70));
         }
         assert!(replacement.is_some(), "a healthy standby was re-selected");
+    }
+
+    #[test]
+    fn new_rejects_unknown_or_occupied_standby_nodes() {
+        use crate::config::ConfigError;
+
+        // paper_testbed has 18 datanodes: dn99 does not exist
+        let mut c = cluster();
+        let cfg = ErmsConfig::builder().standby([NodeId(99)]).build().unwrap();
+        assert_eq!(
+            ErmsManager::new(cfg, &mut c).err(),
+            Some(ConfigError::UnknownStandbyNode {
+                node: 99,
+                datanodes: 18
+            })
+        );
+
+        // a node already holding replicas cannot join the standby pool
+        let mut c = cluster();
+        c.create_file("/data", 512 * MB, 3, None).unwrap();
+        c.run_until_quiescent();
+        let occupied = (0..18)
+            .map(NodeId)
+            .find(|&n| c.node_block_count(n) > 0)
+            .expect("some node holds a replica");
+        let cfg = ErmsConfig::builder().standby([occupied]).build().unwrap();
+        match ErmsManager::new(cfg, &mut c).err() {
+            Some(ConfigError::StandbyHoldsReplicas { node, blocks }) => {
+                assert_eq!(node, occupied.0);
+                assert!(blocks > 0);
+            }
+            other => panic!("expected StandbyHoldsReplicas, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_traces_the_boost_decision() {
+        let mut c = cluster();
+        let mut m = manager(&mut c, Vec::new());
+        let sink = simcore::telemetry::TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        m.set_telemetry(sink.clone());
+        c.create_file("/hot", 64 * MB, 3, None).unwrap();
+        hammer(&mut c, "/hot", 40);
+        for _ in 0..5 {
+            let now = c.now();
+            m.tick(&mut c, now);
+            c.run_until_quiescent();
+        }
+        let events = sink.drain_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains(&"verdict"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"replication_boost"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"task_dispatched"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"copy_completed"), "kinds: {kinds:?}");
+        // the boost event carries the formula inputs
+        let boost = events
+            .iter()
+            .find(|e| e.event.kind() == "replication_boost")
+            .unwrap();
+        let line = boost.to_json_line();
+        assert!(line.contains("\"path\":\"/hot\""), "{line}");
+        assert!(line.contains("\"sessions\":"), "{line}");
     }
 
     #[test]

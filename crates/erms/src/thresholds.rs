@@ -14,6 +14,7 @@
 //! measured per-replica session capacity (the Fig. 8 experiment, which
 //! found 8–10 sessions per replica on the paper's testbed ⇒ τ_M = 8).
 
+use crate::config::ConfigError;
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
@@ -77,24 +78,28 @@ impl Thresholds {
     }
 
     /// Enforce `0 < τ_m < τ_d < τ_M` and sane auxiliary bounds.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(self.tau_cold > 0.0
             && self.tau_cold < self.tau_cooled
             && self.tau_cooled < self.tau_hot)
         {
-            return Err(format!(
-                "need 0 < τ_m({}) < τ_d({}) < τ_M({})",
-                self.tau_cold, self.tau_cooled, self.tau_hot
-            ));
+            return Err(ConfigError::ThresholdOrdering {
+                tau_cold: self.tau_cold,
+                tau_cooled: self.tau_cooled,
+                tau_hot: self.tau_hot,
+            });
         }
         if !(0.0 < self.epsilon && self.epsilon < 1.0) {
-            return Err("ε must be in (0,1)".into());
+            return Err(ConfigError::EpsilonOutOfRange(self.epsilon));
         }
         if self.block_warm >= self.block_burst {
-            return Err("M_m must be below M_M".into());
+            return Err(ConfigError::BlockBoundsInverted {
+                warm: self.block_warm,
+                burst: self.block_burst,
+            });
         }
         if self.window.is_zero() {
-            return Err("window must be positive".into());
+            return Err(ConfigError::ZeroWindow);
         }
         Ok(())
     }
@@ -142,16 +147,19 @@ mod tests {
             epsilon: 1.5,
             ..base.clone()
         };
-        assert!(t.validate().is_err());
+        assert_eq!(t.validate(), Err(ConfigError::EpsilonOutOfRange(1.5)));
         let t = Thresholds {
             block_warm: base.block_burst + 1.0,
             ..base.clone()
         };
-        assert!(t.validate().is_err());
+        assert!(matches!(
+            t.validate(),
+            Err(ConfigError::BlockBoundsInverted { .. })
+        ));
         let t = Thresholds {
             window: SimDuration::ZERO,
             ..base
         };
-        assert!(t.validate().is_err());
+        assert_eq!(t.validate(), Err(ConfigError::ZeroWindow));
     }
 }

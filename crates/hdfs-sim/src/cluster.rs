@@ -22,8 +22,9 @@ use crate::namespace::{Namespace, StorageMode};
 use crate::placement::{NodeView, PlacementContext, PlacementPolicy};
 use crate::topology::{ClientId, Distance, Endpoint, NodeId, RackId, Topology};
 use simcore::stats::DurabilityLog;
+use simcore::telemetry::{Event as Tel, TelemetrySink};
 use simcore::units::{Bandwidth, Bytes};
-use simcore::{EventId, EventQueue, SimTime};
+use simcore::{trace, EventId, EventQueue, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Handle to an in-flight read request.
@@ -271,6 +272,8 @@ pub struct ClusterSim {
     repair_copies: BTreeSet<CopyId>,
     /// Unavailability windows, loss events and repair bytes.
     durability: DurabilityLog,
+    /// Structured event/metric sink; disabled (free) by default.
+    telemetry: TelemetrySink,
 }
 
 impl ClusterSim {
@@ -336,7 +339,21 @@ impl ClusterSim {
             rack_down: vec![false; cfg_racks],
             repair_copies: BTreeSet::new(),
             durability: DurabilityLog::new(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Install a telemetry sink; pass a clone of the harness-wide sink
+    /// so cluster events interleave with manager/scheduler events in
+    /// one trace. [`TelemetrySink::disabled`] (the default) is free.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+
+    /// The installed telemetry sink (disabled unless a harness swapped
+    /// one in). The fault injector emits through this.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// Schedule an opaque timer; it surfaces in
@@ -544,6 +561,15 @@ impl ClusterSim {
         let id = WriteId(self.next_write);
         self.next_write += 1;
         self.audit.file_op(now, writer, "create", path);
+        trace!(
+            self.telemetry,
+            now,
+            Tel::WriteStarted {
+                path: path.to_string(),
+                replication: replication as u32,
+            }
+        );
+        self.telemetry.counter_add("hdfs.writes_started", 1);
         self.writes.insert(
             id,
             WriteReq {
@@ -655,6 +681,18 @@ impl ClusterSim {
             let path = req.path.clone();
             self.delete_file(&path);
         }
+        trace!(
+            self.telemetry,
+            now,
+            Tel::WriteFinished {
+                path: req.path.clone(),
+                bytes: req.bytes_done,
+                failed: failed || req.failed,
+            }
+        );
+        self.telemetry.counter_add("hdfs.writes_finished", 1);
+        self.telemetry
+            .counter_add("hdfs.bytes_written", req.bytes_done);
         self.completed_writes.push(WriteStats {
             id: req.id,
             path: req.path,
@@ -736,6 +774,14 @@ impl ClusterSim {
         };
         let now = self.now();
         self.audit.file_op(now, reader, "open", path);
+        trace!(
+            self.telemetry,
+            now,
+            Tel::ReadStarted {
+                path: path.to_string(),
+            }
+        );
+        self.telemetry.counter_add("hdfs.reads_started", 1);
         self.namespace.touch(file, now);
         self.reads.insert(id, req);
         let begin = now + self.cfg.request_overhead;
@@ -772,6 +818,14 @@ impl ClusterSim {
         };
         let now = self.now();
         self.audit.file_op(now, reader, "open", path);
+        trace!(
+            self.telemetry,
+            now,
+            Tel::ReadStarted {
+                path: path.to_string(),
+            }
+        );
+        self.telemetry.counter_add("hdfs.reads_started", 1);
         self.namespace.touch(file, now);
         self.reads.insert(id, req);
         let begin = now + self.cfg.request_overhead;
@@ -909,6 +963,21 @@ impl ClusterSim {
             return;
         };
         let now = self.now();
+        trace!(
+            self.telemetry,
+            now,
+            Tel::ReadFinished {
+                path: req.path.clone(),
+                bytes: req.bytes_done,
+                failed: failed || req.failed,
+            }
+        );
+        self.telemetry.counter_add("hdfs.reads_finished", 1);
+        self.telemetry
+            .counter_add("hdfs.bytes_read", req.bytes_done);
+        if failed || req.failed {
+            self.telemetry.counter_add("hdfs.reads_failed", 1);
+        }
         self.completed_reads.push(ReadStats {
             id: req.id,
             path: req.path,
@@ -1030,6 +1099,16 @@ impl ClusterSim {
                 resources.push(self.rack_uplink[self.topology.rack_of(target).0 as usize]);
             }
             let flow = self.net.start(now, len, resources);
+            trace!(
+                self.telemetry,
+                now,
+                Tel::CopyDispatched {
+                    block: block.0,
+                    source: source.0,
+                    target: target.0,
+                }
+            );
+            self.telemetry.counter_add("hdfs.copies_dispatched", 1);
             self.transfers.insert(
                 flow,
                 Transfer::Copy {
@@ -1239,6 +1318,15 @@ impl ClusterSim {
         self.apply_node_capacity(n);
         self.fail_node_transfers(n, false);
         self.resync_flow_events();
+        let now = self.now();
+        trace!(
+            self.telemetry,
+            now,
+            Tel::StandbyPower {
+                node: n.0,
+                on: false,
+            }
+        );
         Ok(())
     }
 
@@ -1479,6 +1567,8 @@ impl ClusterSim {
             out.extend(self.add_replicas(b, deficit));
         }
         self.repair_copies.extend(out.iter().copied());
+        self.telemetry
+            .counter_add("hdfs.repair_copies_started", out.len() as u64);
         out
     }
 
@@ -1506,6 +1596,8 @@ impl ClusterSim {
         for (b, extra) in excess {
             trimmed += self.remove_replicas(b, extra);
         }
+        self.telemetry
+            .counter_add("hdfs.replicas_trimmed", trimmed as u64);
         trimmed
     }
 
@@ -1698,6 +1790,14 @@ impl ClusterSim {
                     self.nodes[ni].state = NodeState::Active;
                     self.apply_node_capacity(n);
                     self.resync_flow_events();
+                    trace!(
+                        self.telemetry,
+                        t,
+                        Tel::StandbyPower {
+                            node: n.0,
+                            on: true
+                        }
+                    );
                 }
             }
             Ev::FlowDone(flow) => self.on_flow_done(t, flow),
@@ -1782,6 +1882,18 @@ impl ClusterSim {
                 if self.repair_copies.remove(&copy) && ok {
                     self.durability.add_repair_bytes(len);
                 }
+                if ok {
+                    trace!(
+                        self.telemetry,
+                        now,
+                        Tel::CopyCompleted {
+                            block: block.0,
+                            target: target.0,
+                        }
+                    );
+                    self.telemetry.counter_add("hdfs.copies_completed", 1);
+                    self.telemetry.counter_add("hdfs.bytes_replicated", len);
+                }
                 self.completed_copies.push(CopyStats {
                     id: copy,
                     block,
@@ -1817,6 +1929,16 @@ impl ClusterSim {
                     if was_dark {
                         self.note_replica_restored(block);
                     }
+                    trace!(
+                        self.telemetry,
+                        now,
+                        Tel::CopyCompleted {
+                            block: block.0,
+                            target: target.0,
+                        }
+                    );
+                    self.telemetry
+                        .counter_add("hdfs.reconstructions_completed", 1);
                 }
                 self.completed_copies.push(CopyStats {
                     id: copy,

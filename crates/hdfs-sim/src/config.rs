@@ -10,6 +10,57 @@
 use serde::{Deserialize, Serialize};
 use simcore::units::{Bandwidth, Bytes, GB, MB};
 use simcore::SimDuration;
+use std::fmt;
+
+/// Why a [`ClusterConfig`] or [`crate::FaultConfig`] was rejected.
+///
+/// Marked `#[non_exhaustive]`: future validation rules may add
+/// variants without a breaking release, so downstream matches need a
+/// wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The cluster needs at least one datanode.
+    NoDatanodes,
+    /// Rack count must lie in `1..=datanodes`.
+    RackCountOutOfRange { racks: u16, datanodes: u32 },
+    /// Block size must be positive.
+    ZeroBlockSize,
+    /// Default replication must lie in `1..=datanodes`.
+    ReplicationOutOfRange { replication: usize, datanodes: u32 },
+    /// Per-node concurrent session cap must be positive.
+    ZeroSessionCap,
+    /// A probability-like fault knob fell outside `[0, 1]`.
+    ProbabilityOutOfRange { field: &'static str, value: f64 },
+    /// The fault plan horizon must be positive.
+    ZeroFaultHorizon,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoDatanodes => write!(f, "need at least one datanode"),
+            ConfigError::RackCountOutOfRange { racks, datanodes } => {
+                write!(f, "rack count {racks} outside 1..={datanodes} (datanodes)")
+            }
+            ConfigError::ZeroBlockSize => write!(f, "block size must be positive"),
+            ConfigError::ReplicationOutOfRange {
+                replication,
+                datanodes,
+            } => write!(
+                f,
+                "default replication {replication} outside 1..={datanodes} (datanodes)"
+            ),
+            ConfigError::ZeroSessionCap => write!(f, "session cap must be positive"),
+            ConfigError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} {value} outside [0, 1]")
+            }
+            ConfigError::ZeroFaultHorizon => write!(f, "fault horizon must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -100,21 +151,27 @@ impl ClusterConfig {
         }
     }
 
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.datanodes == 0 {
-            return Err("need at least one datanode".into());
+            return Err(ConfigError::NoDatanodes);
         }
         if self.racks == 0 || self.racks as u32 > self.datanodes {
-            return Err("rack count must be in 1..=datanodes".into());
+            return Err(ConfigError::RackCountOutOfRange {
+                racks: self.racks,
+                datanodes: self.datanodes,
+            });
         }
         if self.block_size == 0 {
-            return Err("block size must be positive".into());
+            return Err(ConfigError::ZeroBlockSize);
         }
         if self.default_replication == 0 || self.default_replication > self.datanodes as usize {
-            return Err("default replication must be in 1..=datanodes".into());
+            return Err(ConfigError::ReplicationOutOfRange {
+                replication: self.default_replication,
+                datanodes: self.datanodes,
+            });
         }
         if self.max_sessions_per_node == 0 {
-            return Err("session cap must be positive".into());
+            return Err(ConfigError::ZeroSessionCap);
         }
         Ok(())
     }
@@ -138,15 +195,36 @@ mod tests {
     fn validation_catches_bad_configs() {
         let mut c = ClusterConfig::tiny();
         c.datanodes = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NoDatanodes));
         let mut c = ClusterConfig::tiny();
         c.racks = 10; // more racks than nodes
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::RackCountOutOfRange {
+                racks: 10,
+                datanodes: 4
+            })
+        );
         let mut c = ClusterConfig::tiny();
         c.default_replication = 99;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ReplicationOutOfRange {
+                replication: 99,
+                datanodes: 4
+            })
+        );
         let mut c = ClusterConfig::tiny();
         c.max_sessions_per_node = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSessionCap));
+    }
+
+    #[test]
+    fn config_error_displays_and_is_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(ConfigError::ProbabilityOutOfRange {
+            field: "kill_probability",
+            value: 1.5,
+        });
+        assert_eq!(err.to_string(), "kill_probability 1.5 outside [0, 1]");
     }
 }

@@ -16,11 +16,12 @@
 //!   rated speed for a while (failing disk, noisy neighbour).
 //!
 //! The [`FaultInjector`] replays the plan against a
-//! [`ClusterSim`](crate::cluster::ClusterSim) as simulated time
+//! [`ClusterSim`] as simulated time
 //! advances; the driver interleaves `injector.apply_due(&mut sim, now)`
 //! with its own control-loop ticks.
 
 use crate::cluster::ClusterSim;
+use crate::config::ConfigError;
 use crate::topology::{NodeId, RackId};
 use simcore::rng::DetRng;
 use simcore::time::{SimDuration, SimTime};
@@ -84,21 +85,21 @@ impl FaultConfig {
         }
     }
 
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..=1.0).contains(&self.kill_probability) {
-            return Err(format!(
-                "kill_probability {} outside [0, 1]",
-                self.kill_probability
-            ));
+            return Err(ConfigError::ProbabilityOutOfRange {
+                field: "kill_probability",
+                value: self.kill_probability,
+            });
         }
         if !(0.0..=1.0).contains(&self.straggler_slowdown) {
-            return Err(format!(
-                "straggler_slowdown {} outside [0, 1]",
-                self.straggler_slowdown
-            ));
+            return Err(ConfigError::ProbabilityOutOfRange {
+                field: "straggler_slowdown",
+                value: self.straggler_slowdown,
+            });
         }
         if self.horizon.as_secs_f64() <= 0.0 {
-            return Err("horizon must be positive".into());
+            return Err(ConfigError::ZeroFaultHorizon);
         }
         Ok(())
     }
@@ -280,10 +281,28 @@ impl FaultInjector {
     /// skipped harmlessly — the cluster entry points are state-checked.
     pub fn apply_due(&mut self, c: &mut ClusterSim, now: SimTime) -> usize {
         let mut fired = 0;
+        let telemetry = c.telemetry().clone();
         while self.next < self.plan.events.len() && self.plan.events[self.next].at <= now {
             let ev = self.plan.events[self.next].event.clone();
             self.next += 1;
             fired += 1;
+            simcore::trace!(telemetry, now, {
+                let (kind, node, rack) = match &ev {
+                    FaultEvent::Crash(n) => ("crash", Some(n.0), None),
+                    FaultEvent::Restart(n) => ("restart", Some(n.0), None),
+                    FaultEvent::Kill(n) => ("kill", Some(n.0), None),
+                    FaultEvent::RackOutage(r) => ("rack_outage", None, Some(u32::from(r.0))),
+                    FaultEvent::RackRestore(r) => ("rack_restore", None, Some(u32::from(r.0))),
+                    FaultEvent::StragglerStart(n) => ("straggler_start", Some(n.0), None),
+                    FaultEvent::StragglerEnd(n) => ("straggler_end", Some(n.0), None),
+                };
+                simcore::telemetry::Event::FaultApplied {
+                    kind: kind.to_string(),
+                    node,
+                    rack,
+                }
+            });
+            telemetry.counter_add("faults.applied", 1);
             match ev {
                 FaultEvent::Crash(n) => {
                     c.crash_node(n);

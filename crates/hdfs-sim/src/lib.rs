@@ -60,7 +60,7 @@ pub mod topology;
 
 pub use block::{BlockId, FileId};
 pub use cluster::{ClusterSim, Locality, ReadStats};
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, ConfigError};
 pub use faults::{FaultConfig, FaultEvent, FaultInjector, FaultPlan, TimedFault};
 pub use placement::{DefaultRackAware, PlacementContext, PlacementPolicy};
 pub use topology::{ClientId, NodeId, RackId, Topology};

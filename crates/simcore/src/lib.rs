@@ -1,8 +1,8 @@
 //! `simcore` — foundation for the ERMS reproduction's discrete-event
 //! simulations.
 //!
-//! The crate deliberately contains no HDFS- or ERMS-specific logic; it
-//! provides the four things every substrate in the workspace needs:
+//! The crate contains no HDFS- or ERMS-specific *logic*; it provides
+//! the things every substrate in the workspace needs:
 //!
 //! * [`time`] — a nanosecond-resolution simulated clock ([`SimTime`],
 //!   [`SimDuration`]) with total ordering and saturating arithmetic,
@@ -12,7 +12,12 @@
 //! * [`rng`] — seeded, reproducible random sources and the heavy-tailed
 //!   distributions the workloads are built from,
 //! * [`stats`] — online statistics, histograms, CDF and time-series
-//!   recorders used by every experiment harness.
+//!   recorders used by every experiment harness,
+//! * [`telemetry`] — a zero-cost-when-disabled structured event tracer
+//!   ([`telemetry::TelemetrySink`], the [`trace!`] macro) plus a
+//!   metrics registry with deterministic snapshot order. The event
+//!   vocabulary is domain-shaped but carries only primitive fields, so
+//!   `simcore` stays dependency-free at the bottom of the DAG.
 //!
 //! Determinism is a design requirement: two runs with the same seed must
 //! produce byte-identical figure output, so the event queue breaks time
@@ -33,10 +38,12 @@ pub mod engine;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod units;
 
 pub use engine::Engine;
 pub use queue::{EventId, EventQueue};
 pub use rng::DetRng;
+pub use telemetry::{Event as TelemetryEvent, MetricsRegistry, TelemetrySink, TracedEvent};
 pub use time::{SimDuration, SimTime};

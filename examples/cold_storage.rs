@@ -10,10 +10,8 @@
 //! ```
 
 use erasure::{ReedSolomon, StripeLayout};
-use erms::{ErmsConfig, ErmsManager, ErmsPlacement, Thresholds};
-use hdfs_sim::{ClusterConfig, ClusterSim};
+use erms::prelude::*;
 use simcore::units::{fmt_bytes, MB};
-use simcore::SimDuration;
 
 fn main() {
     let mut cluster = ClusterSim::new(
@@ -22,12 +20,12 @@ fn main() {
     );
     let mut thresholds = Thresholds::calibrate(8.0);
     thresholds.cold_age = SimDuration::from_secs(600);
-    let cfg = ErmsConfig {
-        thresholds,
-        standby: Vec::new(),
-        ..ErmsConfig::paper_default()
-    };
-    let mut erms = ErmsManager::new(cfg, &mut cluster);
+    let cfg = ErmsConfig::builder()
+        .thresholds(thresholds)
+        .standby([])
+        .build()
+        .expect("valid config");
+    let mut erms = ErmsManager::new(cfg, &mut cluster).expect("valid manager");
 
     // a 20-block archive nobody reads any more
     let file = cluster

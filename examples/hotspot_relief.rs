@@ -9,12 +9,11 @@
 //! cargo run -p erms --example hotspot_relief --release
 //! ```
 
-use erms::{ErmsConfig, ErmsManager, ErmsPlacement, Thresholds};
+use erms::prelude::*;
 use hdfs_sim::topology::{ClientId, Endpoint};
-use hdfs_sim::{ClusterConfig, ClusterSim, DefaultRackAware};
+use hdfs_sim::DefaultRackAware;
 use simcore::stats::OnlineStats;
 use simcore::units::MB;
-use simcore::SimDuration;
 
 const CROWD: usize = 60;
 const FILE: &str = "/datasets/dictionary.bin";
@@ -55,12 +54,12 @@ fn main() {
     );
     let mut thresholds = Thresholds::calibrate(8.0);
     thresholds.window = SimDuration::from_secs(300);
-    let cfg = ErmsConfig {
-        thresholds,
-        standby: (10..18).map(hdfs_sim::NodeId).collect(),
-        ..ErmsConfig::paper_default()
-    };
-    let mut erms = ErmsManager::new(cfg, &mut cluster);
+    let cfg = ErmsConfig::builder()
+        .thresholds(thresholds)
+        .standby((10..18).map(NodeId))
+        .build()
+        .expect("valid config");
+    let mut erms = ErmsManager::new(cfg, &mut cluster).expect("valid manager");
     cluster.create_file(FILE, 128 * MB, 3, None).expect("fresh");
 
     let e1 = crowd_round(&mut cluster, 0);

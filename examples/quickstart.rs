@@ -5,11 +5,9 @@
 //! cargo run -p erms --example quickstart
 //! ```
 
-use erms::{ErmsConfig, ErmsManager, ErmsPlacement, Thresholds};
+use erms::prelude::*;
 use hdfs_sim::topology::{ClientId, Endpoint};
-use hdfs_sim::{ClusterConfig, ClusterSim, NodeId};
 use simcore::units::MB;
-use simcore::SimDuration;
 
 fn main() {
     // the paper's testbed shape: 18 datanodes, 3 racks, 64 MB blocks
@@ -21,12 +19,12 @@ fn main() {
     // ERMS with the paper's deployment: nodes 10..18 standby, τ_M = 8
     let mut thresholds = Thresholds::calibrate(8.0);
     thresholds.window = SimDuration::from_secs(120);
-    let cfg = ErmsConfig {
-        thresholds,
-        standby: (10..18).map(NodeId).collect(),
-        ..ErmsConfig::paper_default()
-    };
-    let mut erms = ErmsManager::new(cfg, &mut cluster);
+    let cfg = ErmsConfig::builder()
+        .thresholds(thresholds)
+        .standby((10..18).map(NodeId))
+        .build()
+        .expect("valid config");
+    let mut erms = ErmsManager::new(cfg, &mut cluster).expect("valid manager");
     println!(
         "cluster up: {} serving nodes, {} standby (powered off)",
         cluster.serving_nodes(),

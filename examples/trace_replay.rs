@@ -8,11 +8,9 @@
 //! cargo run -p erms --example trace_replay --release
 //! ```
 
-use erms::{ErmsConfig, ErmsManager, ErmsPlacement, Thresholds};
-use hdfs_sim::{ClusterConfig, ClusterSim};
+use erms::prelude::*;
 use mapred::{FairScheduler, JobSpec, MapReduceRunner, RunnerConfig};
 use simcore::units::GB;
-use simcore::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 use workload::{Trace, TraceConfig};
@@ -47,12 +45,14 @@ fn main() {
             .create_file(&f.path, f.size, 3, None)
             .expect("unique trace paths");
     }
-    let cfg = ErmsConfig {
-        thresholds: Thresholds::default().with_tau_hot(4.0),
-        standby: Vec::new(),
-        ..ErmsConfig::paper_default()
-    };
-    let erms = Rc::new(RefCell::new(ErmsManager::new(cfg, &mut cluster)));
+    let cfg = ErmsConfig::builder()
+        .thresholds(Thresholds::default().with_tau_hot(4.0))
+        .standby([])
+        .build()
+        .expect("valid config");
+    let erms = Rc::new(RefCell::new(
+        ErmsManager::new(cfg, &mut cluster).expect("valid manager"),
+    ));
 
     // MapReduce runner with the ERMS control loop as its controller
     let mut runner = MapReduceRunner::new(

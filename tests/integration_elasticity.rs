@@ -39,12 +39,14 @@ fn replay(erms: bool, fair: bool) -> (Vec<mapred::JobStats>, ClusterSim, u64) {
         cluster.create_file(&f.path, f.size, 3, None).unwrap();
     }
     let manager = if erms {
-        let cfg = ErmsConfig {
-            thresholds: Thresholds::default().with_tau_hot(4.0),
-            standby: Vec::new(),
-            ..ErmsConfig::paper_default()
-        };
-        Some(Rc::new(RefCell::new(ErmsManager::new(cfg, &mut cluster))))
+        let cfg = ErmsConfig::builder()
+            .thresholds(Thresholds::default().with_tau_hot(4.0))
+            .standby([])
+            .build()
+            .expect("valid config");
+        Some(Rc::new(RefCell::new(
+            ErmsManager::new(cfg, &mut cluster).expect("valid manager"),
+        )))
     } else {
         None
     };

@@ -15,12 +15,12 @@ fn encoded_cluster(blocks: u64) -> (ClusterSim, ErmsManager, hdfs_sim::FileId) {
     );
     let mut thresholds = Thresholds::calibrate(8.0);
     thresholds.cold_age = SimDuration::from_secs(300);
-    let cfg = ErmsConfig {
-        thresholds,
-        standby: Vec::new(),
-        ..ErmsConfig::paper_default()
-    };
-    let mut manager = ErmsManager::new(cfg, &mut cluster);
+    let cfg = ErmsConfig::builder()
+        .thresholds(thresholds)
+        .standby([])
+        .build()
+        .expect("valid config");
+    let mut manager = ErmsManager::new(cfg, &mut cluster).expect("valid manager");
     let file = cluster
         .create_file("/cold/archive", blocks * 64 * MB, 3, None)
         .expect("fresh cluster");

@@ -53,15 +53,15 @@ fn healing_manager(cluster: &mut ClusterSim) -> ErmsManager {
     let mut thresholds = Thresholds::calibrate(4.0);
     thresholds.window = SimDuration::from_secs(600);
     thresholds.cold_age = SimDuration::from_secs(300);
-    let cfg = ErmsConfig {
-        thresholds,
-        standby: Vec::new(),
-        enable_encode: false,
-        enable_self_healing: true,
-        task_timeout: SimDuration::from_secs(120),
-        ..ErmsConfig::paper_default()
-    };
-    ErmsManager::new(cfg, cluster)
+    let cfg = ErmsConfig::builder()
+        .thresholds(thresholds)
+        .standby([])
+        .encode(false)
+        .self_healing(true)
+        .task_timeout(SimDuration::from_secs(120))
+        .build()
+        .expect("valid config");
+    ErmsManager::new(cfg, cluster).expect("valid manager")
 }
 
 /// Blockmap ↔ datanode ↔ storage accounting consistency, plus: a dead

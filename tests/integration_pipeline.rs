@@ -19,12 +19,12 @@ fn erms_cluster(standby: Vec<NodeId>) -> (ClusterSim, ErmsManager) {
         ClusterConfig::paper_testbed(),
         Box::new(ErmsPlacement::new()),
     );
-    let cfg = ErmsConfig {
-        thresholds: fast_thresholds(),
-        standby,
-        ..ErmsConfig::paper_default()
-    };
-    let manager = ErmsManager::new(cfg, &mut cluster);
+    let cfg = ErmsConfig::builder()
+        .thresholds(fast_thresholds())
+        .standby(standby)
+        .build()
+        .expect("valid config");
+    let manager = ErmsManager::new(cfg, &mut cluster).expect("valid manager");
     (cluster, manager)
 }
 

@@ -18,6 +18,7 @@
 
 use erms::{ErmsConfig, ErmsManager};
 use hdfs_sim::faults::{FaultConfig, FaultInjector, FaultPlan};
+use hdfs_sim::topology::{ClientId, Endpoint};
 use hdfs_sim::{ClusterConfig, ClusterSim, DefaultRackAware};
 use serde::Serialize;
 use simcore::telemetry::TelemetrySink;
@@ -36,6 +37,13 @@ pub struct FaultsConfig {
     pub tick: SimDuration,
     /// Extra quiet ticks after the horizon for repairs to drain.
     pub settle_ticks: usize,
+    /// On each of the first `warmup_read_ticks` control ticks, open
+    /// `reads_per_tick` client read sessions against `/churn/f0`. The
+    /// flash crowd gives the managed variants a hot file to boost — and,
+    /// once it leaves, to shed — so a captured trace carries read, task
+    /// and elastic-episode spans alongside the repair copies.
+    pub warmup_read_ticks: usize,
+    pub reads_per_tick: u32,
 }
 
 impl FaultsConfig {
@@ -47,6 +55,8 @@ impl FaultsConfig {
             file_size: 256 * MB,
             tick: SimDuration::from_secs(30),
             settle_ticks: 40,
+            warmup_read_ticks: 10,
+            reads_per_tick: 8,
         }
     }
 
@@ -225,8 +235,23 @@ fn run_variant(
     let total_ticks = (cfg.fault.horizon.as_secs_f64() / cfg.tick.as_secs_f64()).ceil() as usize
         + cfg.settle_ticks;
     let mut deadline = SimTime::ZERO;
-    for _ in 0..total_ticks {
+    for tick_idx in 0..total_ticks {
         deadline += cfg.tick;
+        // drain the previous tick's dispatched work first, so the clock
+        // sits at the deadline when faults land and the loop ticks — the
+        // trace then carries monotone timestamps (the spans oracle checks
+        // this) instead of faults stamped ahead of the events around them
+        c.run_until(deadline);
+        if tick_idx < cfg.warmup_read_ticks {
+            for r in 0..cfg.reads_per_tick {
+                // churn can leave the file briefly unreadable; the crowd
+                // just comes back next tick
+                let _ = c.open_read(
+                    Endpoint::Client(ClientId(tick_idx as u32 * cfg.reads_per_tick + r)),
+                    "/churn/f0",
+                );
+            }
+        }
         // trailing restarts may land past the horizon; let them apply so
         // only permanent kills persist into the settle window
         applied += injector.apply_due(&mut c, deadline);
@@ -239,13 +264,14 @@ fn run_variant(
             tasks_timed_out += r.tasks_timed_out;
             standby_evicted += r.standby_evicted.len();
         }
-        c.run_until(deadline);
         if let Some(cap) = capture.as_deref_mut() {
             if let Some(snap) = sink.snapshot_json(c.now()) {
                 cap.metric_snapshots.push(snap);
             }
         }
     }
+    // the last tick's repairs are still in flight — drain them
+    c.run_until_quiescent();
     let end = c.now();
     c.durability_mut().finalize(end);
     if let Some(cap) = capture {

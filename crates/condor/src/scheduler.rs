@@ -109,6 +109,9 @@ struct Job<P> {
     priority: Priority,
     state: JobState,
     attempts: u32,
+    /// Submission instant, kept so the terminal report can observe the
+    /// queue-to-outcome latency across every retry.
+    submitted: SimTime,
 }
 
 /// The Condor-like scheduler.
@@ -184,6 +187,7 @@ impl<P: Clone> Scheduler<P> {
                 priority,
                 state: JobState::Queued,
                 attempts: 0,
+                submitted: now,
             },
         );
         match priority {
@@ -278,6 +282,8 @@ impl<P: Clone> Scheduler<P> {
             Outcome::Success => {
                 job.state = JobState::Completed;
                 self.journal.record(now, id, JournalEvent::Completed);
+                self.telemetry
+                    .observe("condor.task_secs", now.since(job.submitted).as_secs_f64());
                 trace!(
                     self.telemetry,
                     now,
@@ -323,6 +329,8 @@ impl<P: Clone> Scheduler<P> {
                     self.journal
                         .record(now, id, JournalEvent::RollbackRequested);
                     self.rollbacks.push((id, job.payload.clone()));
+                    self.telemetry
+                        .observe("condor.task_secs", now.since(job.submitted).as_secs_f64());
                     trace!(
                         self.telemetry,
                         now,

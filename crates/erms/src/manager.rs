@@ -316,7 +316,9 @@ impl ErmsManager {
                         0
                     });
                     if snap.encoded {
-                        if self.submit(
+                        // `DecodeCold` is traced when the rewrite lands
+                        // in `exec_decode`, not at submission.
+                        self.submit(
                             now,
                             ErmsTask::Decode {
                                 path: snap.path.clone(),
@@ -324,15 +326,7 @@ impl ErmsManager {
                             },
                             Priority::Immediate,
                             &mut report,
-                        ) {
-                            trace!(
-                                self.telemetry,
-                                now,
-                                Tel::DecodeCold {
-                                    path: snap.path.clone(),
-                                }
-                            );
-                        }
+                        );
                     } else if target > snap.replication
                         && self.submit(
                             now,
@@ -386,23 +380,16 @@ impl ErmsManager {
                 }
                 DataClass::Cold => {
                     report.cold += 1;
-                    if self.cfg.enable_encode
-                        && !snap.encoded
-                        && self.submit(
+                    if self.cfg.enable_encode && !snap.encoded {
+                        // `EncodeCold` is traced when the stripes land
+                        // in `exec_encode`, not at submission.
+                        self.submit(
                             now,
                             ErmsTask::Encode {
                                 path: snap.path.clone(),
                             },
                             Priority::WhenIdle,
                             &mut report,
-                        )
-                    {
-                        trace!(
-                            self.telemetry,
-                            now,
-                            Tel::EncodeCold {
-                                path: snap.path.clone(),
-                            }
                         );
                     }
                 }
@@ -675,7 +662,17 @@ impl ErmsManager {
                 index += 1;
             }
         }
+        let parity_count = parities.len() as u32;
         cluster.mark_encoded(file, parities);
+        trace!(
+            self.telemetry,
+            cluster.now(),
+            Tel::EncodeCold {
+                path: path.to_string(),
+                stripes: plan.stripes.len() as u32,
+                parities: parity_count,
+            }
+        );
         PendingOrDone::Done(Outcome::Success)
     }
 
@@ -691,6 +688,13 @@ impl ErmsManager {
             return PendingOrDone::Done(Outcome::Failure("file deleted".into()));
         };
         cluster.mark_decoded(file, target);
+        trace!(
+            self.telemetry,
+            now,
+            Tel::DecodeCold {
+                path: path.to_string(),
+            }
+        );
         let copies = cluster.set_file_replication(file, target);
         if copies.is_empty() {
             return PendingOrDone::Done(Outcome::Success);

@@ -565,6 +565,7 @@ impl ClusterSim {
             self.telemetry,
             now,
             Tel::WriteStarted {
+                write: id.0,
                 path: path.to_string(),
                 replication: replication as u32,
             }
@@ -685,11 +686,14 @@ impl ClusterSim {
             self.telemetry,
             now,
             Tel::WriteFinished {
+                write: id.0,
                 path: req.path.clone(),
                 bytes: req.bytes_done,
                 failed: failed || req.failed,
             }
         );
+        self.telemetry
+            .observe("hdfs.write_secs", now.since(req.started).as_secs_f64());
         self.telemetry.counter_add("hdfs.writes_finished", 1);
         self.telemetry
             .counter_add("hdfs.bytes_written", req.bytes_done);
@@ -778,6 +782,7 @@ impl ClusterSim {
             self.telemetry,
             now,
             Tel::ReadStarted {
+                read: id.0,
                 path: path.to_string(),
             }
         );
@@ -822,6 +827,7 @@ impl ClusterSim {
             self.telemetry,
             now,
             Tel::ReadStarted {
+                read: id.0,
                 path: path.to_string(),
             }
         );
@@ -967,11 +973,14 @@ impl ClusterSim {
             self.telemetry,
             now,
             Tel::ReadFinished {
+                read: id.0,
                 path: req.path.clone(),
                 bytes: req.bytes_done,
                 failed: failed || req.failed,
             }
         );
+        self.telemetry
+            .observe("hdfs.read_secs", now.since(req.started).as_secs_f64());
         self.telemetry.counter_add("hdfs.reads_finished", 1);
         self.telemetry
             .counter_add("hdfs.bytes_read", req.bytes_done);
@@ -1103,6 +1112,7 @@ impl ClusterSim {
                 self.telemetry,
                 now,
                 Tel::CopyDispatched {
+                    copy: id.0,
                     block: block.0,
                     source: source.0,
                     target: target.0,
@@ -1887,10 +1897,13 @@ impl ClusterSim {
                         self.telemetry,
                         now,
                         Tel::CopyCompleted {
+                            copy: copy.0,
                             block: block.0,
                             target: target.0,
                         }
                     );
+                    self.telemetry
+                        .observe("hdfs.copy_secs", now.since(started).as_secs_f64());
                     self.telemetry.counter_add("hdfs.copies_completed", 1);
                     self.telemetry.counter_add("hdfs.bytes_replicated", len);
                 }
@@ -1933,10 +1946,13 @@ impl ClusterSim {
                         self.telemetry,
                         now,
                         Tel::CopyCompleted {
+                            copy: copy.0,
                             block: block.0,
                             target: target.0,
                         }
                     );
+                    self.telemetry
+                        .observe("hdfs.reconstruct_secs", now.since(started).as_secs_f64());
                     self.telemetry
                         .counter_add("hdfs.reconstructions_completed", 1);
                 }

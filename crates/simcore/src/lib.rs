@@ -17,7 +17,12 @@
 //!   ([`telemetry::TelemetrySink`], the [`trace!`] macro) plus a
 //!   metrics registry with deterministic snapshot order. The event
 //!   vocabulary is domain-shaped but carries only primitive fields, so
-//!   `simcore` stays dependency-free at the bottom of the DAG.
+//!   `simcore` stays dependency-free at the bottom of the DAG,
+//! * [`spans`] — the read side of the trace: a JSONL decoder, a
+//!   [`spans::SpanCollector`] that pairs events into causal spans by
+//!   correlation id, and an online invariant oracle
+//!   ([`spans::oracle::TraceOracle`]) that checks a trace against the
+//!   system's own rules event by event.
 //!
 //! Determinism is a design requirement: two runs with the same seed must
 //! produce byte-identical figure output, so the event queue breaks time
@@ -37,6 +42,7 @@
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod spans;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -45,5 +51,6 @@ pub mod units;
 pub use engine::Engine;
 pub use queue::{EventId, EventQueue};
 pub use rng::DetRng;
+pub use spans::{SpanCollector, SpanKind, SpanReport};
 pub use telemetry::{Event as TelemetryEvent, MetricsRegistry, TelemetrySink, TracedEvent};
 pub use time::{SimDuration, SimTime};

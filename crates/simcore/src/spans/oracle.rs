@@ -1,0 +1,838 @@
+//! An online trace-invariant oracle.
+//!
+//! [`TraceOracle`] consumes a telemetry stream event-by-event and checks
+//! it against the rules the system claims to uphold — the ERMS paper's
+//! classification/action causality (Section III.C), replication bounds,
+//! the 1-data-replica + per-stripe-parity cold encoding (Section IV),
+//! and the simulator's own liveness and bookkeeping guarantees. Every
+//! breach is recorded as a [`Violation`] with the offending event's
+//! `seq`, so a failing trace pinpoints the exact line.
+//!
+//! The oracle is intentionally *sound but not clairvoyant*: it only
+//! flags what the event stream itself proves wrong, so it can run
+//! attached to a live sink, inside a proptest, or over a JSONL file via
+//! the `trace-tools check` CLI — same verdicts everywhere.
+//!
+//! Invariants checked (by name, as reported in [`Violation::invariant`]):
+//!
+//! | name | rule |
+//! |------|------|
+//! | `seq_monotone` | `seq` strictly increases over the trace |
+//! | `time_monotone` | event time never goes backwards |
+//! | `session_unique` | read/write ids open once, finish only if open |
+//! | `copy_unique` | copy ids dispatch once, complete only if dispatched |
+//! | `copy_live_node` | no copy dispatches from/to — or completes on — a node the trace has declared dead or powered down |
+//! | `action_needs_verdict` | every boost follows a hot/normal verdict for the path; every shed follows a cooled verdict |
+//! | `replication_bounds` | boosts raise within `(from, max_replication]`; sheds lower to `[default_replication, from)`; verdict replica counts stay in `[1, max_replication]` |
+//! | `encoded_layout` | an encode reports `stripes ≥ 1` and exactly `stripes × parities_per_stripe` parities |
+//! | `encoded_replicas` | while a file is encoded, every verdict for it sees exactly 1 data replica; encode/decode alternate |
+//! | `task_lifecycle` | queued → dispatched(attempt k+1) → retry/finished, never out of order, nothing after a terminal state |
+
+use crate::telemetry::{Event, TracedEvent};
+use crate::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Deployment constants the oracle checks bounds against.
+///
+/// Defaults mirror `ErmsConfig::default()`: HDFS default replication 3,
+/// elastic ceiling 18, and the paper's RS(10, 4) cold stripe (4 parity
+/// shards per stripe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleConfig {
+    pub default_replication: u32,
+    pub max_replication: u32,
+    pub parities_per_stripe: u32,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            default_replication: 3,
+            max_replication: 18,
+            parities_per_stripe: 4,
+        }
+    }
+}
+
+/// One invariant breach, anchored to the offending event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    pub seq: u64,
+    pub time: SimTime,
+    /// Stable invariant name (see the module table).
+    pub invariant: &'static str,
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[seq {} @ {}] {}: {}",
+            self.seq, self.time, self.invariant, self.detail
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskPhase {
+    Queued,
+    Running,
+    Done,
+}
+
+/// Streaming invariant checker over a telemetry trace.
+///
+/// Feed every event through [`TraceOracle::observe`] (order matters) and
+/// read the verdict from [`TraceOracle::violations`]. One-shot checking
+/// of a complete trace goes through [`TraceOracle::check`].
+#[derive(Debug, Default)]
+pub struct TraceOracle {
+    cfg: OracleConfig,
+    last_seq: Option<u64>,
+    last_time: SimTime,
+    /// Nodes the trace has declared non-serving (crash/kill, or standby
+    /// power-down) and not yet revived.
+    down: BTreeSet<u32>,
+    open_reads: BTreeSet<u64>,
+    open_writes: BTreeSet<u64>,
+    open_copies: BTreeMap<u64, u32>, // copy id → target node
+    /// Last verdict class seen per path.
+    last_verdict: BTreeMap<String, String>,
+    encoded: BTreeSet<String>,
+    tasks: BTreeMap<u64, (TaskPhase, u32)>, // job → (phase, attempts)
+    violations: Vec<Violation>,
+}
+
+impl TraceOracle {
+    pub fn new(cfg: OracleConfig) -> Self {
+        TraceOracle {
+            cfg,
+            ..TraceOracle::default()
+        }
+    }
+
+    /// Run a complete trace through a fresh oracle and return every
+    /// violation found.
+    pub fn check<'a>(
+        events: impl IntoIterator<Item = &'a TracedEvent>,
+        cfg: OracleConfig,
+    ) -> Vec<Violation> {
+        let mut oracle = TraceOracle::new(cfg);
+        for ev in events {
+            oracle.observe(ev);
+        }
+        oracle.into_violations()
+    }
+
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn flag(&mut self, ev: &TracedEvent, invariant: &'static str, detail: String) {
+        self.violations.push(Violation {
+            seq: ev.seq,
+            time: ev.time,
+            invariant,
+            detail,
+        });
+    }
+
+    pub fn observe(&mut self, ev: &TracedEvent) {
+        // ordering invariants first: they anchor everything else
+        if let Some(prev) = self.last_seq {
+            if ev.seq <= prev {
+                self.flag(
+                    ev,
+                    "seq_monotone",
+                    format!("seq {} after {} — not strictly increasing", ev.seq, prev),
+                );
+            }
+        }
+        self.last_seq = Some(ev.seq);
+        if ev.time < self.last_time {
+            self.flag(
+                ev,
+                "time_monotone",
+                format!(
+                    "time {} after {} — clock went backwards",
+                    ev.time, self.last_time
+                ),
+            );
+        }
+        self.last_time = self.last_time.max(ev.time);
+
+        match &ev.event {
+            Event::ReadStarted { read, path } => {
+                let fresh = self.open_reads.insert(*read);
+                if !fresh {
+                    self.flag(
+                        ev,
+                        "session_unique",
+                        format!("read {read} ({path}) opened twice"),
+                    );
+                }
+            }
+            Event::ReadFinished { read, path, .. } => {
+                let was_open = self.open_reads.remove(read);
+                if !was_open {
+                    self.flag(
+                        ev,
+                        "session_unique",
+                        format!("read {read} ({path}) finished without start"),
+                    );
+                }
+            }
+            Event::WriteStarted { write, path, .. } => {
+                let fresh = self.open_writes.insert(*write);
+                if !fresh {
+                    self.flag(
+                        ev,
+                        "session_unique",
+                        format!("write {write} ({path}) opened twice"),
+                    );
+                }
+            }
+            Event::WriteFinished { write, path, .. } => {
+                let was_open = self.open_writes.remove(write);
+                if !was_open {
+                    self.flag(
+                        ev,
+                        "session_unique",
+                        format!("write {write} ({path}) finished without start"),
+                    );
+                }
+            }
+            Event::CopyDispatched {
+                copy,
+                block,
+                source,
+                target,
+            } => {
+                if self.open_copies.insert(*copy, *target).is_some() {
+                    self.flag(ev, "copy_unique", format!("copy {copy} dispatched twice"));
+                }
+                for (role, node) in [("source", source), ("target", target)] {
+                    if self.down.contains(node) {
+                        self.flag(
+                            ev,
+                            "copy_live_node",
+                            format!(
+                                "copy {copy} (block {block}) dispatched with dead {role} node {node}"
+                            ),
+                        );
+                    }
+                }
+            }
+            Event::CopyCompleted {
+                copy,
+                block,
+                target,
+            } => {
+                if self.open_copies.remove(copy).is_none() {
+                    self.flag(
+                        ev,
+                        "copy_unique",
+                        format!("copy {copy} (block {block}) completed without dispatch"),
+                    );
+                }
+                if self.down.contains(target) {
+                    self.flag(
+                        ev,
+                        "copy_live_node",
+                        format!("copy {copy} (block {block}) completed on dead node {target}"),
+                    );
+                }
+            }
+            Event::FaultApplied {
+                kind,
+                node: Some(n),
+                ..
+            } => match kind.as_str() {
+                "crash" | "kill" => {
+                    self.down.insert(*n);
+                }
+                "restart" => {
+                    self.down.remove(n);
+                }
+                // rack outages stall uplinks but keep nodes serving;
+                // stragglers only slow them down
+                _ => {}
+            },
+            Event::StandbyPower { node, on } => {
+                if *on {
+                    self.down.remove(node);
+                } else {
+                    self.down.insert(*node);
+                }
+            }
+            Event::Verdict {
+                path,
+                verdict,
+                replicas,
+                ..
+            } => {
+                if *replicas < 1 || *replicas > self.cfg.max_replication {
+                    self.flag(
+                        ev,
+                        "replication_bounds",
+                        format!(
+                            "{path}: verdict sees {replicas} replicas, outside [1, {}]",
+                            self.cfg.max_replication
+                        ),
+                    );
+                }
+                if self.encoded.contains(path) && *replicas != 1 {
+                    self.flag(
+                        ev,
+                        "encoded_replicas",
+                        format!("{path} is RS-encoded but verdict sees {replicas} data replicas"),
+                    );
+                }
+                self.last_verdict.insert(path.clone(), verdict.clone());
+            }
+            Event::ReplicationBoost { path, from, to, .. } => {
+                match self.last_verdict.get(path).map(String::as_str) {
+                    Some("hot") | Some("normal") => {}
+                    other => self.flag(
+                        ev,
+                        "action_needs_verdict",
+                        format!(
+                            "boost of {path} not preceded by a hot/normal verdict (last: {})",
+                            other.unwrap_or("none")
+                        ),
+                    ),
+                }
+                if to <= from || *to > self.cfg.max_replication {
+                    self.flag(
+                        ev,
+                        "replication_bounds",
+                        format!(
+                            "boost of {path} {from}→{to} outside ({from}, {}]",
+                            self.cfg.max_replication
+                        ),
+                    );
+                }
+            }
+            Event::ReplicationShed { path, from, to } => {
+                match self.last_verdict.get(path).map(String::as_str) {
+                    Some("cooled") => {}
+                    other => self.flag(
+                        ev,
+                        "action_needs_verdict",
+                        format!(
+                            "shed of {path} not preceded by a cooled verdict (last: {})",
+                            other.unwrap_or("none")
+                        ),
+                    ),
+                }
+                if to >= from || *to < self.cfg.default_replication {
+                    self.flag(
+                        ev,
+                        "replication_bounds",
+                        format!(
+                            "shed of {path} {from}→{to} outside [{}, {from})",
+                            self.cfg.default_replication
+                        ),
+                    );
+                }
+            }
+            Event::EncodeCold {
+                path,
+                stripes,
+                parities,
+            } => {
+                if !self.encoded.insert(path.clone()) {
+                    self.flag(
+                        ev,
+                        "encoded_replicas",
+                        format!("{path} encoded while already encoded"),
+                    );
+                }
+                let expected = stripes * self.cfg.parities_per_stripe;
+                if *stripes < 1 || *parities != expected {
+                    self.flag(
+                        ev,
+                        "encoded_layout",
+                        format!(
+                            "{path}: {stripes} stripes with {parities} parities, expected {} ({} per stripe)",
+                            expected, self.cfg.parities_per_stripe
+                        ),
+                    );
+                }
+            }
+            Event::DecodeCold { path } => {
+                let was_encoded = self.encoded.remove(path);
+                if !was_encoded {
+                    self.flag(
+                        ev,
+                        "encoded_replicas",
+                        format!("{path} decoded but was not encoded"),
+                    );
+                }
+            }
+            Event::TaskQueued { job, .. } => {
+                if self.tasks.contains_key(job) {
+                    self.flag(ev, "task_lifecycle", format!("job {job} queued twice"));
+                }
+                self.tasks.insert(*job, (TaskPhase::Queued, 0));
+            }
+            Event::TaskDispatched { job, attempt } => match self.tasks.get(job).copied() {
+                Some((TaskPhase::Queued, attempts)) => {
+                    if *attempt != attempts + 1 {
+                        self.flag(
+                            ev,
+                            "task_lifecycle",
+                            format!(
+                                "job {job} dispatched as attempt {attempt}, expected {}",
+                                attempts + 1
+                            ),
+                        );
+                    }
+                    self.tasks.insert(*job, (TaskPhase::Running, *attempt));
+                }
+                Some((state, _)) => {
+                    self.flag(
+                        ev,
+                        "task_lifecycle",
+                        format!("job {job} dispatched while {state:?}"),
+                    );
+                }
+                None => self.flag(
+                    ev,
+                    "task_lifecycle",
+                    format!("job {job} dispatched but never queued"),
+                ),
+            },
+            Event::TaskRetry { job, attempt, .. } => match self.tasks.get(job).copied() {
+                Some((TaskPhase::Running, attempts)) => {
+                    if *attempt != attempts {
+                        self.flag(
+                            ev,
+                            "task_lifecycle",
+                            format!(
+                                "job {job} retried after attempt {attempt}, but {attempts} dispatched"
+                            ),
+                        );
+                    }
+                    self.tasks.insert(*job, (TaskPhase::Queued, attempts));
+                }
+                other => {
+                    let state = other.map(|(p, _)| p);
+                    self.flag(
+                        ev,
+                        "task_lifecycle",
+                        format!("job {job} retried while {state:?}"),
+                    );
+                }
+            },
+            Event::TaskFinished { job, .. } => match self.tasks.get(job).copied() {
+                Some((TaskPhase::Running, attempts)) => {
+                    self.tasks.insert(*job, (TaskPhase::Done, attempts));
+                }
+                other => {
+                    let state = other.map(|(p, _)| p);
+                    self.flag(
+                        ev,
+                        "task_lifecycle",
+                        format!("job {job} finished while {state:?}"),
+                    );
+                }
+            },
+            // informational events carry no checkable state (yet)
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    struct Trace {
+        events: Vec<TracedEvent>,
+    }
+
+    impl Trace {
+        fn new() -> Self {
+            Trace { events: Vec::new() }
+        }
+        fn push(&mut self, secs: u64, event: Event) -> &mut Self {
+            self.events.push(TracedEvent {
+                time: t(secs),
+                seq: self.events.len() as u64,
+                event,
+            });
+            self
+        }
+        fn check(&self) -> Vec<Violation> {
+            TraceOracle::check(&self.events, OracleConfig::default())
+        }
+    }
+
+    fn verdict(path: &str, class: &str, replicas: u32) -> Event {
+        Event::Verdict {
+            path: path.into(),
+            verdict: class.into(),
+            file_sessions: 0.0,
+            max_block_sessions: 0.0,
+            replicas,
+        }
+    }
+
+    #[test]
+    fn clean_causal_chain_passes() {
+        let mut tr = Trace::new();
+        tr.push(0, verdict("/f", "hot", 3))
+            .push(
+                0,
+                Event::ReplicationBoost {
+                    path: "/f".into(),
+                    from: 3,
+                    to: 6,
+                    sessions: 9.0,
+                },
+            )
+            .push(
+                0,
+                Event::TaskQueued {
+                    job: 0,
+                    priority: "immediate".into(),
+                },
+            )
+            .push(1, Event::TaskDispatched { job: 0, attempt: 1 })
+            .push(
+                1,
+                Event::CopyDispatched {
+                    copy: 0,
+                    block: 7,
+                    source: 1,
+                    target: 2,
+                },
+            )
+            .push(
+                9,
+                Event::CopyCompleted {
+                    copy: 0,
+                    block: 7,
+                    target: 2,
+                },
+            )
+            .push(9, Event::TaskFinished { job: 0, ok: true })
+            .push(60, verdict("/f", "cooled", 6))
+            .push(
+                60,
+                Event::ReplicationShed {
+                    path: "/f".into(),
+                    from: 6,
+                    to: 3,
+                },
+            )
+            .push(90, verdict("/c", "cold", 3))
+            .push(
+                95,
+                Event::EncodeCold {
+                    path: "/c".into(),
+                    stripes: 2,
+                    parities: 8,
+                },
+            )
+            .push(120, verdict("/c", "normal", 1));
+        assert_eq!(tr.check(), vec![]);
+    }
+
+    #[test]
+    fn copy_touching_dead_node_is_flagged() {
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::CopyDispatched {
+                copy: 0,
+                block: 1,
+                source: 1,
+                target: 2,
+            },
+        )
+        .push(
+            1,
+            Event::FaultApplied {
+                kind: "kill".into(),
+                node: Some(2),
+                rack: None,
+            },
+        )
+        .push(
+            2,
+            Event::CopyCompleted {
+                copy: 0,
+                block: 1,
+                target: 2,
+            },
+        )
+        .push(
+            3,
+            Event::CopyDispatched {
+                copy: 1,
+                block: 1,
+                source: 2,
+                target: 3,
+            },
+        );
+        let v = tr.check();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].invariant, "copy_live_node");
+        assert!(v[0].detail.contains("completed on dead node 2"));
+        assert!(v[1].detail.contains("dead source node 2"));
+
+        // a restart revives the node — same trace plus recovery is clean
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::FaultApplied {
+                kind: "crash".into(),
+                node: Some(2),
+                rack: None,
+            },
+        )
+        .push(
+            5,
+            Event::FaultApplied {
+                kind: "restart".into(),
+                node: Some(2),
+                rack: None,
+            },
+        )
+        .push(
+            6,
+            Event::CopyDispatched {
+                copy: 0,
+                block: 1,
+                source: 1,
+                target: 2,
+            },
+        )
+        .push(
+            7,
+            Event::CopyCompleted {
+                copy: 0,
+                block: 1,
+                target: 2,
+            },
+        );
+        assert_eq!(tr.check(), vec![]);
+    }
+
+    #[test]
+    fn rack_outage_does_not_kill_nodes() {
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::FaultApplied {
+                kind: "rack_outage".into(),
+                node: None,
+                rack: Some(0),
+            },
+        )
+        .push(
+            1,
+            Event::CopyDispatched {
+                copy: 0,
+                block: 1,
+                source: 0,
+                target: 1,
+            },
+        )
+        .push(
+            9,
+            Event::CopyCompleted {
+                copy: 0,
+                block: 1,
+                target: 1,
+            },
+        );
+        assert_eq!(tr.check(), vec![], "uplink stall is not node death");
+    }
+
+    #[test]
+    fn powered_down_standby_cannot_receive_copies() {
+        let mut tr = Trace::new();
+        tr.push(0, Event::StandbyPower { node: 9, on: false }).push(
+            1,
+            Event::CopyDispatched {
+                copy: 0,
+                block: 1,
+                source: 1,
+                target: 9,
+            },
+        );
+        let v = tr.check();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "copy_live_node");
+    }
+
+    #[test]
+    fn seq_and_time_must_not_regress() {
+        let events = vec![
+            TracedEvent {
+                time: t(5),
+                seq: 3,
+                event: verdict("/f", "normal", 3),
+            },
+            TracedEvent {
+                time: t(4),
+                seq: 3,
+                event: verdict("/f", "normal", 3),
+            },
+        ];
+        let v = TraceOracle::check(&events, OracleConfig::default());
+        let names: Vec<&str> = v.iter().map(|v| v.invariant).collect();
+        assert_eq!(names, ["seq_monotone", "time_monotone"]);
+    }
+
+    #[test]
+    fn boost_requires_matching_verdict_and_bounds() {
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::ReplicationBoost {
+                path: "/f".into(),
+                from: 3,
+                to: 6,
+                sessions: 1.0,
+            },
+        );
+        let v = tr.check();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "action_needs_verdict");
+
+        let mut tr = Trace::new();
+        tr.push(0, verdict("/f", "hot", 3)).push(
+            0,
+            Event::ReplicationBoost {
+                path: "/f".into(),
+                from: 3,
+                to: 99,
+                sessions: 1.0,
+            },
+        );
+        let v = tr.check();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "replication_bounds");
+
+        // shed below the default floor
+        let mut tr = Trace::new();
+        tr.push(0, verdict("/f", "cooled", 6)).push(
+            0,
+            Event::ReplicationShed {
+                path: "/f".into(),
+                from: 6,
+                to: 1,
+            },
+        );
+        let v = tr.check();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "replication_bounds");
+    }
+
+    #[test]
+    fn encoded_files_hold_one_replica_and_full_parity() {
+        // wrong parity count for the stripe count
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::EncodeCold {
+                path: "/c".into(),
+                stripes: 2,
+                parities: 4,
+            },
+        );
+        let v = tr.check();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "encoded_layout");
+
+        // replicas must read 1 until decode
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::EncodeCold {
+                path: "/c".into(),
+                stripes: 1,
+                parities: 4,
+            },
+        )
+        .push(30, verdict("/c", "cold", 3))
+        .push(60, Event::DecodeCold { path: "/c".into() })
+        .push(90, verdict("/c", "cold", 3))
+        .push(95, Event::DecodeCold { path: "/c".into() });
+        let v = tr.check();
+        let names: Vec<&str> = v.iter().map(|v| v.invariant).collect();
+        assert_eq!(names, ["encoded_replicas", "encoded_replicas"]);
+        assert!(v[0].detail.contains("3 data replicas"));
+        assert!(v[1].detail.contains("was not encoded"));
+    }
+
+    #[test]
+    fn task_lifecycle_is_ordered() {
+        let mut tr = Trace::new();
+        tr.push(0, Event::TaskDispatched { job: 1, attempt: 1 }) // never queued
+            .push(
+                1,
+                Event::TaskQueued {
+                    job: 2,
+                    priority: "immediate".into(),
+                },
+            )
+            .push(2, Event::TaskFinished { job: 2, ok: true }) // skipped dispatch
+            .push(
+                3,
+                Event::TaskQueued {
+                    job: 3,
+                    priority: "immediate".into(),
+                },
+            )
+            .push(4, Event::TaskDispatched { job: 3, attempt: 2 }); // wrong attempt
+        let v = tr.check();
+        let names: Vec<&str> = v.iter().map(|v| v.invariant).collect();
+        assert_eq!(
+            names,
+            ["task_lifecycle", "task_lifecycle", "task_lifecycle"]
+        );
+    }
+
+    #[test]
+    fn retried_task_round_trips_cleanly() {
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::TaskQueued {
+                job: 5,
+                priority: "immediate".into(),
+            },
+        )
+        .push(1, Event::TaskDispatched { job: 5, attempt: 1 })
+        .push(
+            2,
+            Event::TaskRetry {
+                job: 5,
+                attempt: 1,
+                delay_ns: 10,
+            },
+        )
+        .push(3, Event::TaskDispatched { job: 5, attempt: 2 })
+        .push(4, Event::TaskFinished { job: 5, ok: false });
+        assert_eq!(tr.check(), vec![]);
+    }
+}

@@ -24,6 +24,7 @@
 //!
 //! let sink = TelemetrySink::recording();
 //! trace!(sink, SimTime::from_secs(1), Event::ReadStarted {
+//!     read: 1,
 //!     path: "/hot/a".into(),
 //! });
 //! sink.counter_add("hdfs.reads_started", 1);
@@ -47,29 +48,44 @@ use std::rc::Rc;
 pub enum Event {
     // --- HDFS substrate ---
     /// A client session opened a file (or single block) for reading.
-    ReadStarted { path: String },
+    ///
+    /// `read` is the session's correlation id: the
+    /// matching [`Event::ReadFinished`] carries the same value, so spans
+    /// pair unambiguously even when several sessions stream one path.
+    ReadStarted { read: u64, path: String },
     /// A read session completed (all blocks streamed, or gave up).
     ReadFinished {
+        read: u64,
         path: String,
         bytes: u64,
         failed: bool,
     },
     /// A write pipeline started for a new file.
-    WriteStarted { path: String, replication: u32 },
+    WriteStarted {
+        write: u64,
+        path: String,
+        replication: u32,
+    },
     /// The write pipeline finished (committed or abandoned).
     WriteFinished {
+        write: u64,
         path: String,
         bytes: u64,
         failed: bool,
     },
     /// A replication stream was dispatched (source chosen at dispatch).
+    ///
+    /// `copy` is monotone per cluster: a retried repair of the same
+    /// `(block, target)` pair gets a fresh id, so dispatch/completion
+    /// never collide across retries.
     CopyDispatched {
+        copy: u64,
         block: u64,
         source: u32,
         target: u32,
     },
     /// A replication / reconstruction stream delivered its replica.
-    CopyCompleted { block: u64, target: u32 },
+    CopyCompleted { copy: u64, block: u64, target: u32 },
     /// An injected fault (or recovery) took effect.
     FaultApplied {
         kind: String,
@@ -109,8 +125,14 @@ pub enum Event {
     },
     /// Replica shed decision after the cooled-patience hysteresis.
     ReplicationShed { path: String, from: u32, to: u32 },
-    /// Cold file handed to the erasure coder.
-    EncodeCold { path: String },
+    /// Cold file encoded to RS stripes (emitted when the rewrite lands,
+    /// not when the decision is queued). `parities` counts the parity
+    /// shards placed — always `stripes × m` for the configured layout.
+    EncodeCold {
+        path: String,
+        stripes: u32,
+        parities: u32,
+    },
     /// Encoded file decoded back to replication.
     DecodeCold { path: String },
     /// A self-healing action taken by the tick loop.
@@ -162,37 +184,58 @@ impl Event {
 
     fn write_fields(&self, out: &mut String) {
         match self {
-            Event::ReadStarted { path } => {
+            Event::ReadStarted { read, path } => {
+                json_u64(out, "read", *read);
                 json_str(out, "path", path);
             }
             Event::ReadFinished {
-                path,
-                bytes,
-                failed,
-            }
-            | Event::WriteFinished {
+                read,
                 path,
                 bytes,
                 failed,
             } => {
+                json_u64(out, "read", *read);
                 json_str(out, "path", path);
                 json_u64(out, "bytes", *bytes);
                 json_bool(out, "failed", *failed);
             }
-            Event::WriteStarted { path, replication } => {
+            Event::WriteFinished {
+                write,
+                path,
+                bytes,
+                failed,
+            } => {
+                json_u64(out, "write", *write);
+                json_str(out, "path", path);
+                json_u64(out, "bytes", *bytes);
+                json_bool(out, "failed", *failed);
+            }
+            Event::WriteStarted {
+                write,
+                path,
+                replication,
+            } => {
+                json_u64(out, "write", *write);
                 json_str(out, "path", path);
                 json_u64(out, "replication", u64::from(*replication));
             }
             Event::CopyDispatched {
+                copy,
                 block,
                 source,
                 target,
             } => {
+                json_u64(out, "copy", *copy);
                 json_u64(out, "block", *block);
                 json_u64(out, "source", u64::from(*source));
                 json_u64(out, "target", u64::from(*target));
             }
-            Event::CopyCompleted { block, target } => {
+            Event::CopyCompleted {
+                copy,
+                block,
+                target,
+            } => {
+                json_u64(out, "copy", *copy);
                 json_u64(out, "block", *block);
                 json_u64(out, "target", u64::from(*target));
             }
@@ -252,7 +295,16 @@ impl Event {
                 json_u64(out, "from", u64::from(*from));
                 json_u64(out, "to", u64::from(*to));
             }
-            Event::EncodeCold { path } | Event::DecodeCold { path } => {
+            Event::EncodeCold {
+                path,
+                stripes,
+                parities,
+            } => {
+                json_str(out, "path", path);
+                json_u64(out, "stripes", u64::from(*stripes));
+                json_u64(out, "parities", u64::from(*parities));
+            }
+            Event::DecodeCold { path } => {
                 json_str(out, "path", path);
             }
             Event::SelfHeal { action, detail } => {
@@ -364,12 +416,38 @@ impl MetricHistogram {
         &self.buckets
     }
 
+    /// Estimated value at quantile `q` in `[0, 1]`.
+    ///
+    /// Walks the cumulative bucket counts and reports the upper bound of
+    /// the bucket holding the `ceil(q · count)`-th observation, clamped
+    /// to the observed `[min, max]`. Coarse (buckets are powers of two)
+    /// but deterministic: a pure function of the bucket counts, so two
+    /// same-seed runs always report identical percentiles.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil().max(1.0)) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let upper = if i == 0 { 1.0 } else { (1u64 << i) as f64 };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     fn write_json(&self, out: &mut String) {
         out.push('{');
         json_u64(out, "count", self.count);
         json_f64(out, "sum", self.sum);
         json_f64(out, "min", self.min);
         json_f64(out, "max", self.max);
+        json_f64(out, "p50", self.percentile(0.50));
+        json_f64(out, "p95", self.percentile(0.95));
+        json_f64(out, "p99", self.percentile(0.99));
         comma(out);
         out.push_str("\"buckets\":[");
         for (i, b) in self.buckets.iter().enumerate() {
@@ -579,8 +657,8 @@ impl TelemetrySink {
 /// use simcore::{trace, SimTime};
 ///
 /// let sink = TelemetrySink::disabled();
-/// // `Event::EncodeCold { .. }` below is never constructed:
-/// trace!(sink, SimTime::ZERO, Event::EncodeCold { path: "/x".into() });
+/// // `Event::DecodeCold { .. }` below is never constructed:
+/// trace!(sink, SimTime::ZERO, Event::DecodeCold { path: "/x".into() });
 /// assert_eq!(sink.event_count(), 0);
 /// ```
 #[macro_export]
@@ -660,6 +738,7 @@ mod tests {
         let mut build = || {
             evaluated = true;
             Event::ReadStarted {
+                read: 0,
                 path: "/never".into(),
             }
         };
@@ -713,13 +792,14 @@ mod tests {
         sink.emit(
             SimTime::from_millis(1500),
             Event::ReadStarted {
+                read: 41,
                 path: "/a \"b\"\n".into(),
             },
         );
         let line = sink.drain_jsonl();
         assert_eq!(
             line,
-            "{\"t_ns\":1500000000,\"seq\":0,\"ev\":\"read_started\",\"path\":\"/a \\\"b\\\"\\n\"}\n"
+            "{\"t_ns\":1500000000,\"seq\":0,\"ev\":\"read_started\",\"read\":41,\"path\":\"/a \\\"b\\\"\\n\"}\n"
         );
     }
 
@@ -738,6 +818,10 @@ mod tests {
         assert!(snap.starts_with("{\"t_ns\":10000000000,"));
         assert!(snap.contains("\"m.middle\":1.5"));
         assert!(snap.contains("\"h.lat\":{\"count\":2,\"sum\":12,"));
+        assert!(
+            snap.contains("\"p50\":4,\"p95\":9,\"p99\":9,"),
+            "histogram snapshots carry percentile estimates: {snap}"
+        );
     }
 
     #[test]
@@ -756,6 +840,24 @@ mod tests {
         assert_eq!(h.min, 0.5);
         assert_eq!(h.max, 1024.0);
         assert!((h.mean() - 206.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_buckets_deterministically() {
+        let mut h = MetricHistogram::default();
+        assert_eq!(h.percentile(0.5), 0.0, "empty histogram reports 0");
+        for _ in 0..90 {
+            h.observe(0.5); // bucket 0
+        }
+        for _ in 0..9 {
+            h.observe(3.0); // bucket 2, upper bound 4
+        }
+        h.observe(100.0); // bucket 7, upper bound 128 → clamped to max
+        assert_eq!(h.percentile(0.50), 1.0);
+        assert_eq!(h.percentile(0.95), 4.0);
+        assert_eq!(h.percentile(1.0), 100.0, "clamped to observed max");
+        // p99 lands on the 99th observation, still in the 3.0 bucket.
+        assert_eq!(h.percentile(0.99), 4.0);
     }
 
     #[test]

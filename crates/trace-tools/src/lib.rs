@@ -1,0 +1,348 @@
+//! Offline analysis of telemetry traces: `summary`, `check`, `diff`.
+//!
+//! The heavy lifting (JSONL decoding, span reconstruction, the
+//! invariant oracle) lives in [`simcore::spans`]; this crate renders
+//! those structures as deterministic, human-readable reports and wraps
+//! them in the `trace-tools` CLI. Every report is a pure function of
+//! the input trace bytes — two same-seed runs render byte-identical
+//! text, so reports diff cleanly across commits.
+//!
+//! * [`summarize`] — per-event-kind counts, span counts with
+//!   p50/p95/p99 latencies, and an ASCII timeline of data-class
+//!   transitions for the hottest files.
+//! * [`check`] — run the [`TraceOracle`] over the trace; violations are
+//!   listed with their `seq` anchors.
+//! * [`diff`] — compare two traces structurally (event counts and span
+//!   latency summaries), e.g. two different-seed runs of one scenario.
+
+use std::fmt::Write as _;
+
+pub use simcore::spans::oracle::{OracleConfig, TraceOracle, Violation};
+pub use simcore::spans::{parse_jsonl, ParseError, SpanCollector, SpanKind, SpanReport};
+
+/// Render the summary report for one JSONL trace.
+pub fn summarize(trace: &str) -> Result<String, ParseError> {
+    let events = parse_jsonl(trace)?;
+    let report = SpanCollector::collect(&events);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} events over {:.3} s (t = {:.3} s .. {:.3} s)",
+        report.events,
+        report.last.since(report.first).as_secs_f64(),
+        report.first.as_secs_f64(),
+        report.last.as_secs_f64(),
+    );
+
+    let _ = writeln!(out, "\nevents by kind");
+    if report.event_counts.is_empty() {
+        let _ = writeln!(out, "  (none)");
+    }
+    for (kind, count) in &report.event_counts {
+        let _ = writeln!(out, "  {kind:<24} {count:>8}");
+    }
+
+    let _ = writeln!(
+        out,
+        "\nspans (completed; seconds, nearest-rank percentiles)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "kind", "count", "failed", "open", "p50", "p95", "p99", "max"
+    );
+    for kind in SpanKind::ALL {
+        let lat = report.latency(kind);
+        let open = report.open.iter().filter(|s| s.kind == kind).count();
+        let cell = |v: f64| -> String {
+            if lat.count == 0 {
+                "-".into()
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            kind.label(),
+            lat.count,
+            lat.failed,
+            open,
+            cell(lat.p50),
+            cell(lat.p95),
+            cell(lat.p99),
+            cell(lat.max),
+        );
+    }
+
+    let hottest = report.hottest_files(5);
+    let _ = writeln!(
+        out,
+        "\ndata-class timeline (top {} files by transitions)",
+        hottest.len()
+    );
+    if hottest.is_empty() {
+        let _ = writeln!(out, "  (no verdicts in trace)");
+    }
+    for (path, timeline) in hottest {
+        let line = timeline
+            .iter()
+            .map(|(at, class)| format!("{class}@{:.0}s", at.as_secs_f64()))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let _ = writeln!(out, "  {path:<24} {line}");
+    }
+    Ok(out)
+}
+
+/// Run the invariant oracle over a trace. Returns the rendered report
+/// plus the violations themselves (empty means the trace is clean).
+pub fn check(trace: &str, cfg: OracleConfig) -> Result<(String, Vec<Violation>), ParseError> {
+    let events = parse_jsonl(trace)?;
+    let violations = TraceOracle::check(&events, cfg);
+    let mut out = String::new();
+    if violations.is_empty() {
+        let _ = writeln!(out, "checked {} events: OK (0 violations)", events.len());
+    } else {
+        let _ = writeln!(
+            out,
+            "checked {} events: {} violation{}",
+            events.len(),
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" }
+        );
+        for v in &violations {
+            let _ = writeln!(out, "  {v}");
+        }
+    }
+    Ok((out, violations))
+}
+
+/// Structurally compare two traces. Returns the rendered report and
+/// whether they differ (event-kind counts or span latency summaries).
+pub fn diff(a: &str, b: &str) -> Result<(String, bool), ParseError> {
+    let ra = SpanCollector::collect(&parse_jsonl(a)?);
+    let rb = SpanCollector::collect(&parse_jsonl(b)?);
+    let mut out = String::new();
+    let mut differs = false;
+
+    let _ = writeln!(out, "events: A={} B={}", ra.events, rb.events);
+    let kinds: std::collections::BTreeSet<&str> = ra
+        .event_counts
+        .keys()
+        .chain(rb.event_counts.keys())
+        .copied()
+        .collect();
+    let mut changed = 0usize;
+    for kind in kinds {
+        let ca = ra.event_counts.get(kind).copied().unwrap_or(0);
+        let cb = rb.event_counts.get(kind).copied().unwrap_or(0);
+        if ca != cb {
+            changed += 1;
+            differs = true;
+            let _ = writeln!(
+                out,
+                "  {kind:<24} A={ca:<8} B={cb:<8} ({:+})",
+                cb as i64 - ca as i64
+            );
+        }
+    }
+    if changed == 0 {
+        let _ = writeln!(out, "  event counts identical across every kind");
+    }
+
+    let _ = writeln!(out, "span latency (count, p50/p95/p99 s)");
+    for kind in SpanKind::ALL {
+        let la = ra.latency(kind);
+        let lb = rb.latency(kind);
+        if la != lb {
+            differs = true;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<8} A: {:>5} {:.3}/{:.3}/{:.3}   B: {:>5} {:.3}/{:.3}/{:.3}{}",
+            kind.label(),
+            la.count,
+            la.p50,
+            la.p95,
+            la.p99,
+            lb.count,
+            lb.p50,
+            lb.p95,
+            lb.p99,
+            if la == lb { "" } else { "   <- differs" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "verdict: traces are {}",
+        if differs {
+            "DIFFERENT"
+        } else {
+            "structurally identical"
+        }
+    );
+    Ok((out, differs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::telemetry::{Event, TelemetrySink};
+    use simcore::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// A small clean causal chain: verdict → boost → task → copy.
+    fn clean_trace() -> String {
+        let sink = TelemetrySink::recording();
+        sink.emit(
+            t(0),
+            Event::Verdict {
+                path: "/hot".into(),
+                verdict: "hot".into(),
+                file_sessions: 12.0,
+                max_block_sessions: 4.0,
+                replicas: 3,
+            },
+        );
+        sink.emit(
+            t(0),
+            Event::ReplicationBoost {
+                path: "/hot".into(),
+                from: 3,
+                to: 6,
+                sessions: 12.0,
+            },
+        );
+        sink.emit(
+            t(0),
+            Event::TaskQueued {
+                job: 0,
+                priority: "immediate".into(),
+            },
+        );
+        sink.emit(t(1), Event::TaskDispatched { job: 0, attempt: 1 });
+        sink.emit(
+            t(1),
+            Event::CopyDispatched {
+                copy: 0,
+                block: 9,
+                source: 1,
+                target: 2,
+            },
+        );
+        sink.emit(
+            t(5),
+            Event::CopyCompleted {
+                copy: 0,
+                block: 9,
+                target: 2,
+            },
+        );
+        sink.emit(t(5), Event::TaskFinished { job: 0, ok: true });
+        sink.emit(
+            t(60),
+            Event::Verdict {
+                path: "/hot".into(),
+                verdict: "cooled".into(),
+                file_sessions: 0.5,
+                max_block_sessions: 0.2,
+                replicas: 6,
+            },
+        );
+        sink.emit(
+            t(60),
+            Event::ReplicationShed {
+                path: "/hot".into(),
+                from: 6,
+                to: 3,
+            },
+        );
+        sink.drain_jsonl()
+    }
+
+    #[test]
+    fn summary_reports_counts_and_percentiles() {
+        let text = summarize(&clean_trace()).unwrap();
+        assert!(text.contains("trace: 9 events"), "{text}");
+        assert!(text.contains("copy_completed"), "{text}");
+        assert!(text.contains("verdict"), "{text}");
+        // the copy span ran 4 s, the task span 5 s
+        let row = |kind: &str| {
+            text.lines()
+                .find(|l| l.split_whitespace().next() == Some(kind))
+                .unwrap_or_else(|| panic!("no {kind} row in {text}"))
+                .to_string()
+        };
+        assert!(row("copy").contains("4.000"), "{text}");
+        assert!(row("task").contains("5.000"), "{text}");
+        assert!(row("episode").contains("60.000"), "{text}");
+        assert!(text.contains("hot@0s -> cooled@60s"), "{text}");
+        // deterministic: rendering twice is byte-identical
+        assert_eq!(text, summarize(&clean_trace()).unwrap());
+    }
+
+    #[test]
+    fn check_passes_clean_and_flags_dirty() {
+        let (text, violations) = check(&clean_trace(), OracleConfig::default()).unwrap();
+        assert!(violations.is_empty(), "{text}");
+        assert!(text.contains("OK (0 violations)"));
+
+        // corrupt the trace: complete a copy on a node the trace killed
+        let sink = TelemetrySink::recording();
+        sink.emit(
+            t(0),
+            Event::CopyDispatched {
+                copy: 0,
+                block: 1,
+                source: 0,
+                target: 3,
+            },
+        );
+        sink.emit(
+            t(1),
+            Event::FaultApplied {
+                kind: "kill".into(),
+                node: Some(3),
+                rack: None,
+            },
+        );
+        sink.emit(
+            t(2),
+            Event::CopyCompleted {
+                copy: 0,
+                block: 1,
+                target: 3,
+            },
+        );
+        let (text, violations) = check(&sink.drain_jsonl(), OracleConfig::default()).unwrap();
+        assert_eq!(violations.len(), 1, "{text}");
+        assert_eq!(violations[0].invariant, "copy_live_node");
+        assert!(text.contains("copy_live_node"), "{text}");
+    }
+
+    #[test]
+    fn diff_is_quiet_on_identical_and_loud_on_different() {
+        let a = clean_trace();
+        let (text, differs) = diff(&a, &a).unwrap();
+        assert!(!differs, "{text}");
+        assert!(text.contains("structurally identical"));
+
+        let mut b = clean_trace();
+        b.push_str("{\"t_ns\":90000000000,\"seq\":9,\"ev\":\"decode_cold\",\"path\":\"/c\"}\n");
+        let (text, differs) = diff(&a, &b).unwrap();
+        assert!(differs, "{text}");
+        assert!(text.contains("decode_cold"), "{text}");
+        assert!(text.contains("DIFFERENT"), "{text}");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(summarize("garbage\n").is_err());
+        assert!(check("garbage\n", OracleConfig::default()).is_err());
+        assert!(diff("garbage\n", "").is_err());
+    }
+}

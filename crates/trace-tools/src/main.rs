@@ -1,0 +1,117 @@
+//! `trace-tools` — analyze telemetry traces from the ERMS simulator.
+//!
+//! ```text
+//! trace-tools summary <trace.jsonl>
+//! trace-tools check   <trace.jsonl> [--default-replication N]
+//!                                   [--max-replication N]
+//!                                   [--parities-per-stripe N]
+//! trace-tools diff    <a.jsonl> <b.jsonl>
+//! ```
+//!
+//! Exit codes: `0` clean / identical, `1` invariant violations found or
+//! traces differ, `2` usage, I/O or parse error — so CI can gate a
+//! build on `trace-tools check`.
+
+use std::process::ExitCode;
+use trace_tools::{check, diff, summarize, OracleConfig};
+
+const USAGE: &str = "usage:
+  trace-tools summary <trace.jsonl>
+  trace-tools check   <trace.jsonl> [--default-replication N] [--max-replication N] [--parities-per-stripe N]
+  trace-tools diff    <a.jsonl> <b.jsonl>";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace-tools: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<u32>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let raw = args.remove(pos + 1);
+    args.remove(pos);
+    raw.parse::<u32>()
+        .map(Some)
+        .map_err(|_| format!("{flag} value '{raw}' is not a u32"))
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first().cloned() else {
+        return fail("missing mode");
+    };
+    args.remove(0);
+    match mode.as_str() {
+        "summary" => {
+            let [path] = args.as_slice() else {
+                return fail("summary takes exactly one trace file");
+            };
+            match read(path).and_then(|t| summarize(&t).map_err(|e| e.to_string())) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "check" => {
+            let mut cfg = OracleConfig::default();
+            let parsed = (|| -> Result<(), String> {
+                if let Some(v) = flag_value(&mut args, "--default-replication")? {
+                    cfg.default_replication = v;
+                }
+                if let Some(v) = flag_value(&mut args, "--max-replication")? {
+                    cfg.max_replication = v;
+                }
+                if let Some(v) = flag_value(&mut args, "--parities-per-stripe")? {
+                    cfg.parities_per_stripe = v;
+                }
+                Ok(())
+            })();
+            if let Err(e) = parsed {
+                return fail(&e);
+            }
+            let [path] = args.as_slice() else {
+                return fail("check takes exactly one trace file");
+            };
+            match read(path).and_then(|t| check(&t, cfg).map_err(|e| e.to_string())) {
+                Ok((text, violations)) => {
+                    print!("{text}");
+                    if violations.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "diff" => {
+            let [a, b] = args.as_slice() else {
+                return fail("diff takes exactly two trace files");
+            };
+            let loaded = read(a).and_then(|ta| read(b).map(|tb| (ta, tb)));
+            match loaded.and_then(|(ta, tb)| diff(&ta, &tb).map_err(|e| e.to_string())) {
+                Ok((text, differs)) => {
+                    print!("{text}");
+                    if differs {
+                        ExitCode::from(1)
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        other => fail(&format!("unknown mode '{other}'")),
+    }
+}

@@ -108,12 +108,12 @@ pub fn judge_rules() -> JudgeRulesAblation {
 
     // a 20-block file where ONE block takes a burst of direct reads
     // (an index header everyone probes): file-level N_d stays low.
-    let blocks: Vec<String> = (0..20).map(|b| hdfs_sim::BlockId(b).to_string()).collect();
+    let blocks: Vec<hdfs_sim::BlockId> = (0..20).map(hdfs_sim::BlockId).collect();
     let mut lines = Vec::new();
     for i in 0..30u64 {
         lines.push(format_block_line(
             SimTime::from_secs(1 + i),
-            &blocks[0],
+            &blocks[0].to_string(),
             "dn3",
             "/skewed",
             64 << 20,

@@ -1,0 +1,141 @@
+//! Control-loop scaling benchmark → `BENCH_scale.json`.
+//!
+//! ```text
+//! scale [small|medium|large|all] [--ceiling-ms N]
+//! ```
+//!
+//! Runs the requested sizes through [`bench::scale`], sampling a
+//! counting global allocator around each mode run as the allocations
+//! proxy, prints a comparison table, and archives the results to
+//! `results/BENCH_scale.json` plus a copy at the workspace root (the
+//! checked-in baseline later PRs diff against). With `--ceiling-ms` the
+//! process exits nonzero if any incremental tick exceeded the ceiling —
+//! a smoke-level regression gate for CI, generous enough not to flake.
+
+use bench::common::{results_dir, write_json};
+use bench::scale::{self, AllocStats, ScaleConfig, ScaleResult};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting every allocation call.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+fn run_size(cfg: &ScaleConfig) -> ScaleResult {
+    let a0 = allocs();
+    let incremental = scale::run_mode(cfg, false);
+    let a1 = allocs();
+    let full = scale::run_mode(cfg, true);
+    let a2 = allocs();
+    let cep = scale::cep_push_rate(50_000, cfg.files);
+    let mut r = scale::assemble(cfg, incremental, full, cep);
+    r.allocations = Some(AllocStats {
+        incremental_allocs: a1 - a0,
+        full_allocs: a2 - a1,
+    });
+    r
+}
+
+fn main() -> ExitCode {
+    let mut sizes: Vec<ScaleConfig> = Vec::new();
+    let mut ceiling_ms: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "all" => {
+                sizes = vec![
+                    ScaleConfig::small(),
+                    ScaleConfig::medium(),
+                    ScaleConfig::large(),
+                ];
+            }
+            "--ceiling-ms" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--ceiling-ms needs a number");
+                    return ExitCode::FAILURE;
+                };
+                ceiling_ms = Some(v);
+            }
+            name => match ScaleConfig::named(name) {
+                Some(cfg) => sizes.push(cfg),
+                None => {
+                    eprintln!("unknown size {name:?} (small|medium|large|all)");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    if sizes.is_empty() {
+        sizes = vec![
+            ScaleConfig::small(),
+            ScaleConfig::medium(),
+            ScaleConfig::large(),
+        ];
+    }
+
+    println!(
+        "{:<8} {:>6} {:>6} {:>12} {:>12} {:>9} {:>9} {:>12}",
+        "size", "files", "nodes", "inc ms/tick", "full ms/tick", "speedup", "judged", "CEP ev/s"
+    );
+    let mut results: Vec<ScaleResult> = Vec::new();
+    for cfg in &sizes {
+        let r = run_size(cfg);
+        println!(
+            "{:<8} {:>6} {:>6} {:>12.3} {:>12.3} {:>8.1}x {:>8.0}% {:>12.0}",
+            r.size,
+            r.files,
+            r.nodes,
+            r.incremental.mean_tick_ms,
+            r.full.mean_tick_ms,
+            r.tick_speedup,
+            r.judged_ratio * 100.0,
+            r.cep.events_per_sec
+        );
+        results.push(r);
+    }
+
+    write_json("BENCH_scale", &results);
+    let archived = results_dir().join("BENCH_scale.json");
+    if let Some(root) = results_dir().parent() {
+        let _ = std::fs::copy(&archived, root.join("BENCH_scale.json"));
+    }
+    println!("archived {}", archived.display());
+
+    if let Some(ceiling) = ceiling_ms {
+        let worst = results
+            .iter()
+            .map(|r| r.incremental.max_tick_ms)
+            .fold(0.0f64, f64::max);
+        if worst > ceiling {
+            eprintln!("FAIL: worst incremental tick {worst:.1} ms exceeds ceiling {ceiling} ms");
+            return ExitCode::FAILURE;
+        }
+        println!("ceiling ok: worst incremental tick {worst:.3} ms <= {ceiling} ms");
+    }
+    ExitCode::SUCCESS
+}

@@ -25,5 +25,6 @@ pub mod dfsio;
 pub mod faults;
 pub mod increase;
 pub mod replay;
+pub mod scale;
 
 pub use common::Mode;

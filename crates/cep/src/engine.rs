@@ -282,6 +282,45 @@ mod tests {
     }
 
     #[test]
+    fn ungrouped_subscription_fires_under_empty_key() {
+        // An ungrouped query has exactly one row, keyed "". The
+        // subscription path (push → value_for(.., "")) and the polling
+        // path (rows / value_for) must agree on that key: "" reads the
+        // whole-window aggregate, any other key reads 0.0.
+        let mut eng = CepEngine::new();
+        let spec = QuerySpec {
+            from: Some("audit".into()),
+            predicates: vec![],
+            window: crate::query::WindowSpec::Time(SimDuration::from_secs(60)),
+            group_by: None,
+            aggregate: crate::query::AggFn::Count,
+            having: Some(Comparison::Ge(2.0)),
+        };
+        let q = eng.register(spec);
+        let fired: Rc<RefCell<Vec<Row>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = fired.clone();
+        eng.subscribe(q, move |row| sink.borrow_mut().push(row.clone()));
+
+        eng.push(&access(0, "/a"));
+        eng.push(&access(1, "/b"));
+        eng.push(&access(2, "/c"));
+
+        let fired = fired.borrow();
+        assert_eq!(fired.len(), 2, "fires on the 2nd and 3rd event");
+        assert!(fired.iter().all(|r| r.group.is_empty()));
+        assert_eq!(fired[1].value, 3.0);
+
+        let now = SimTime::from_secs(2);
+        let rows = eng.rows(q, now);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key.as_ref(), "");
+        assert_eq!(rows[0].value, 3.0);
+        assert_eq!(eng.value_for(q, now, ""), 3.0);
+        // Keys naming no row must not alias the global aggregate.
+        assert_eq!(eng.value_for(q, now, "/a"), 0.0);
+    }
+
+    #[test]
     fn window_decay_drops_counts() {
         let mut eng = CepEngine::new();
         let q = eng.register(QuerySpec::count_per_group(

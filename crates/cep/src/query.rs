@@ -66,6 +66,27 @@ pub enum AggFn {
 }
 
 impl AggFn {
+    /// Whether [`QueryState`] can maintain this aggregate as running
+    /// per-group counters under window push/evict. `Max`/`Min`/
+    /// `CountDistinct` are not invertible under eviction (removing the
+    /// current max tells you nothing about the runner-up) and fall back
+    /// to a window rescan on read.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self, AggFn::Count | AggFn::Sum(_) | AggFn::Avg(_))
+    }
+
+    /// The event field the aggregate reads, if any.
+    fn field(&self) -> Option<&str> {
+        match self {
+            AggFn::Count => None,
+            AggFn::Sum(f)
+            | AggFn::Avg(f)
+            | AggFn::Max(f)
+            | AggFn::Min(f)
+            | AggFn::CountDistinct(f) => Some(f),
+        }
+    }
+
     pub fn apply<'a>(&self, events: impl Iterator<Item = &'a Event>) -> f64 {
         match self {
             AggFn::Count => events.count() as f64,
@@ -166,17 +187,95 @@ pub struct GroupRow {
     pub value: f64,
 }
 
+/// Running per-group counters, maintained on window push *and* evict.
+///
+/// `Count` reads `events` (integer-exact under increment/decrement);
+/// `Sum`/`Avg` read `sum`/`numeric`. Incremental float sums can drift
+/// from a rescan by rounding after many evictions, but a group whose
+/// last event leaves the window is dropped from the map entirely, so
+/// decayed groups read exactly `0.0` and never leak memory.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupAgg {
+    /// Events of this group currently in the window.
+    events: u64,
+    /// Events whose aggregate field parsed as a number.
+    numeric: u64,
+    /// Running sum of the aggregate field.
+    sum: f64,
+}
+
+impl GroupAgg {
+    fn add(&mut self, event: &Event, agg_field: Option<&str>) {
+        self.events += 1;
+        if let Some(x) = agg_field.and_then(|f| event.get(f).and_then(Value::as_f64)) {
+            self.numeric += 1;
+            self.sum += x;
+        }
+    }
+
+    fn remove(&mut self, event: &Event, agg_field: Option<&str>) {
+        self.events = self.events.saturating_sub(1);
+        if let Some(x) = agg_field.and_then(|f| event.get(f).and_then(Value::as_f64)) {
+            self.numeric = self.numeric.saturating_sub(1);
+            self.sum -= x;
+        }
+    }
+
+    fn value(&self, agg: &AggFn) -> f64 {
+        match agg {
+            AggFn::Count => self.events as f64,
+            AggFn::Sum(_) => self.sum,
+            AggFn::Avg(_) => {
+                if self.numeric == 0 {
+                    0.0
+                } else {
+                    self.sum / self.numeric as f64
+                }
+            }
+            // Non-incremental aggregates never read GroupAgg.
+            _ => unreachable!("GroupAgg::value on non-incremental aggregate"),
+        }
+    }
+}
+
+/// Intern a group-key [`Value`] as an `Arc<str>`. String values share
+/// the event's existing allocation (a refcount bump); other value kinds
+/// pay one small formatting allocation on entry/exit of the window
+/// instead of one per event per lookup as the old rescan path did.
+fn intern_key(v: &Value) -> Arc<str> {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => Arc::from(other.to_string().as_str()),
+    }
+}
+
 /// Incremental runtime of one query.
+///
+/// For `Count`/`Sum`/`Avg` the state keeps per-group running aggregates
+/// (updated as events enter and leave the window), so [`rows`]
+/// (Self::rows) is O(live groups) and [`value_for`](Self::value_for) is
+/// O(log groups) — not O(window) with a `to_string` per event. The
+/// non-invertible aggregates (`Max`/`Min`/`CountDistinct`) keep the
+/// rescan-on-read path.
 #[derive(Debug)]
 pub struct QueryState {
     pub spec: QuerySpec,
     window: Window,
+    /// Per-group running aggregates, keyed by interned group key.
+    groups: BTreeMap<Arc<str>, GroupAgg>,
+    /// Whole-window aggregate (serves ungrouped queries).
+    total: GroupAgg,
 }
 
 impl QueryState {
     pub fn new(spec: QuerySpec) -> Self {
         let window = spec.window.instantiate();
-        QueryState { spec, window }
+        QueryState {
+            spec,
+            window,
+            groups: BTreeMap::new(),
+            total: GroupAgg::default(),
+        }
     }
 
     /// Offer an event; returns true if it entered the window.
@@ -184,23 +283,83 @@ impl QueryState {
         if !self.spec.accepts(event) {
             return false;
         }
-        self.window.push(event.clone());
+        let agg_field = self.spec.aggregate.field();
+        self.total.add(event, agg_field);
+        if let Some(field) = &self.spec.group_by {
+            if let Some(v) = event.get(field) {
+                self.groups
+                    .entry(intern_key(v))
+                    .or_default()
+                    .add(event, agg_field);
+            }
+        }
+        let (groups, spec, total) = (&mut self.groups, &self.spec, &mut self.total);
+        self.window.push_with(event.clone(), |evicted| {
+            Self::on_evict(groups, total, spec, &evicted);
+        });
         true
+    }
+
+    /// Decrement the running aggregates for an event leaving the window.
+    fn on_evict(
+        groups: &mut BTreeMap<Arc<str>, GroupAgg>,
+        total: &mut GroupAgg,
+        spec: &QuerySpec,
+        evicted: &Event,
+    ) {
+        let agg_field = spec.aggregate.field();
+        total.remove(evicted, agg_field);
+        if let Some(field) = &spec.group_by {
+            if let Some(v) = evicted.get(field) {
+                let key = intern_key(v);
+                if let Some(g) = groups.get_mut(key.as_ref()) {
+                    g.remove(evicted, agg_field);
+                    if g.events == 0 {
+                        groups.remove(key.as_ref());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Expire stale events at `now`, keeping the running aggregates in
+    /// step with the window.
+    fn decay(&mut self, now: SimTime) {
+        let (groups, spec, total) = (&mut self.groups, &self.spec, &mut self.total);
+        self.window.expire_with(now, |evicted| {
+            Self::on_evict(groups, total, spec, &evicted);
+        });
     }
 
     /// Evaluate grouped aggregates at `now`, applying HAVING.
     /// Rows come out sorted by group key for determinism.
     pub fn rows(&mut self, now: SimTime) -> Vec<GroupRow> {
-        self.window.expire(now);
+        self.decay(now);
         let mut rows = Vec::new();
+        let incremental = self.spec.aggregate.is_incremental();
         match &self.spec.group_by {
             None => {
-                let v = self.spec.aggregate.apply(self.window.iter());
+                let v = if incremental {
+                    self.total.value(&self.spec.aggregate)
+                } else {
+                    self.spec.aggregate.apply(self.window.iter())
+                };
                 if self.spec.having.is_none_or(|h| h.test(v)) {
                     rows.push(GroupRow {
                         key: Arc::from(""),
                         value: v,
                     });
+                }
+            }
+            Some(_) if incremental => {
+                for (key, agg) in &self.groups {
+                    let v = agg.value(&self.spec.aggregate);
+                    if self.spec.having.is_none_or(|h| h.test(v)) {
+                        rows.push(GroupRow {
+                            key: key.clone(),
+                            value: v,
+                        });
+                    }
                 }
             }
             Some(field) => {
@@ -225,12 +384,33 @@ impl QueryState {
     }
 
     /// Aggregate value for one specific group key at `now` (no HAVING).
+    ///
+    /// For an ungrouped query the single row lives under the empty key
+    /// (matching [`rows`](Self::rows)): `value_for(now, "")` returns the
+    /// whole-window aggregate and any other key reads `0.0`, exactly as
+    /// if the row did not exist.
     pub fn value_for(&mut self, now: SimTime, key: &str) -> f64 {
-        self.window.expire(now);
+        self.decay(now);
         let field = match &self.spec.group_by {
             Some(f) => f,
-            None => return self.spec.aggregate.apply(self.window.iter()),
+            None => {
+                if !key.is_empty() {
+                    return 0.0;
+                }
+                return if self.spec.aggregate.is_incremental() {
+                    self.total.value(&self.spec.aggregate)
+                } else {
+                    self.spec.aggregate.apply(self.window.iter())
+                };
+            }
         };
+        if self.spec.aggregate.is_incremental() {
+            return self
+                .groups
+                .get(key)
+                .map(|g| g.value(&self.spec.aggregate))
+                .unwrap_or(0.0);
+        }
         let events = self
             .window
             .iter()
@@ -240,6 +420,11 @@ impl QueryState {
 
     pub fn window_len(&self) -> usize {
         self.window.len()
+    }
+
+    /// Live groups currently tracked by the running aggregates.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
     }
 }
 
@@ -368,6 +553,155 @@ mod tests {
         let rows = q.rows(SimTime::from_secs(4));
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].value, 2.0, "length window caps at 2");
+    }
+
+    #[test]
+    fn ungrouped_value_for_matches_rows_key() {
+        // The ungrouped row lives under "" — value_for must agree with
+        // rows() on both the empty key and every other key.
+        let spec = QuerySpec {
+            from: Some("audit".into()),
+            predicates: vec![],
+            window: WindowSpec::Time(SimDuration::from_secs(100)),
+            group_by: None,
+            aggregate: AggFn::Count,
+            having: None,
+        };
+        let mut q = QueryState::new(spec);
+        for t in 0..4 {
+            q.offer(&access(t, "/a"));
+        }
+        let now = SimTime::from_secs(4);
+        let rows = q.rows(now);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key.as_ref(), "");
+        assert_eq!(q.value_for(now, ""), rows[0].value);
+        // A key that names no row reads 0.0, not the global aggregate.
+        assert_eq!(q.value_for(now, "/a"), 0.0);
+        assert_eq!(q.value_for(now, "/missing"), 0.0);
+    }
+
+    #[test]
+    fn incremental_counts_track_eviction_churn() {
+        // Drive a time window through pushes and silent decay; the
+        // running aggregates must match a brute-force recount at every
+        // step.
+        let span = SimDuration::from_secs(10);
+        let spec = QuerySpec::count_per_group("audit", "src", span);
+        let mut q = QueryState::new(spec);
+        let mut log: Vec<(u64, &str)> = Vec::new();
+        let schedule: &[(u64, &str)] = &[
+            (0, "/a"),
+            (1, "/b"),
+            (2, "/a"),
+            (8, "/c"),
+            (11, "/a"),
+            (13, "/b"),
+            (25, "/c"),
+            (26, "/c"),
+        ];
+        for &(t, p) in schedule {
+            q.offer(&access(t, p));
+            log.push((t, p));
+            let now = SimTime::from_secs(t);
+            for key in ["/a", "/b", "/c", "/d"] {
+                let expect = log
+                    .iter()
+                    .filter(|&&(et, ep)| ep == key && et + 10 >= t)
+                    .count() as f64;
+                assert_eq!(q.value_for(now, key), expect, "key {key} at t={t}");
+            }
+            let live: std::collections::BTreeSet<&str> = log
+                .iter()
+                .filter(|&&(et, _)| et + 10 >= t)
+                .map(|&(_, p)| p)
+                .collect();
+            assert_eq!(q.group_count(), live.len(), "live groups at t={t}");
+            let rows = q.rows(now);
+            assert_eq!(rows.len(), live.len());
+        }
+        // Decay everything without pushing: groups drain to zero.
+        assert_eq!(q.value_for(SimTime::from_secs(1000), "/c"), 0.0);
+        assert_eq!(q.group_count(), 0);
+        assert!(q.rows(SimTime::from_secs(1000)).is_empty());
+    }
+
+    #[test]
+    fn incremental_sum_and_avg_survive_eviction() {
+        let mk = |t: u64, key: &str, v: f64| {
+            Event::new(SimTime::from_secs(t), "m")
+                .with("k", key)
+                .with("v", v)
+        };
+        for agg in [AggFn::Sum("v".into()), AggFn::Avg("v".into())] {
+            let spec = QuerySpec {
+                from: Some("m".into()),
+                predicates: vec![],
+                window: WindowSpec::Time(SimDuration::from_secs(10)),
+                group_by: Some("k".into()),
+                aggregate: agg.clone(),
+                having: None,
+            };
+            let mut q = QueryState::new(spec);
+            q.offer(&mk(0, "/a", 4.0));
+            q.offer(&mk(1, "/a", 2.0));
+            q.offer(&mk(2, "/b", 7.0));
+            let now = SimTime::from_secs(2);
+            let (a, b) = match agg {
+                AggFn::Sum(_) => (6.0, 7.0),
+                _ => (3.0, 7.0),
+            };
+            assert_eq!(q.value_for(now, "/a"), a);
+            assert_eq!(q.value_for(now, "/b"), b);
+            // t=12 evicts t=0 and t=1 (strictly older than now - span).
+            let later = SimTime::from_secs(12);
+            assert_eq!(q.value_for(later, "/a"), 0.0);
+            assert_eq!(q.value_for(later, "/b"), 7.0);
+        }
+    }
+
+    #[test]
+    fn non_incremental_aggregates_rescan_after_eviction() {
+        // Max is not invertible under eviction; the fallback rescan must
+        // recover the runner-up once the max leaves the window.
+        let mk = |t: u64, v: f64| {
+            Event::new(SimTime::from_secs(t), "m")
+                .with("k", "/a")
+                .with("v", v)
+        };
+        let spec = QuerySpec {
+            from: Some("m".into()),
+            predicates: vec![],
+            window: WindowSpec::Time(SimDuration::from_secs(10)),
+            group_by: Some("k".into()),
+            aggregate: AggFn::Max("v".into()),
+            having: None,
+        };
+        let mut q = QueryState::new(spec);
+        q.offer(&mk(0, 9.0));
+        q.offer(&mk(5, 3.0));
+        assert_eq!(q.value_for(SimTime::from_secs(5), "/a"), 9.0);
+        assert_eq!(q.value_for(SimTime::from_secs(11), "/a"), 3.0);
+    }
+
+    #[test]
+    fn length_window_eviction_updates_groups() {
+        let spec = QuerySpec {
+            from: Some("audit".into()),
+            predicates: vec![],
+            window: WindowSpec::Length(2),
+            group_by: Some("src".into()),
+            aggregate: AggFn::Count,
+            having: None,
+        };
+        let mut q = QueryState::new(spec);
+        q.offer(&access(0, "/a"));
+        q.offer(&access(1, "/a"));
+        q.offer(&access(2, "/b")); // evicts the t=0 "/a"
+        let now = SimTime::from_secs(2);
+        assert_eq!(q.value_for(now, "/a"), 1.0);
+        assert_eq!(q.value_for(now, "/b"), 1.0);
+        assert_eq!(q.group_count(), 2);
     }
 
     #[test]

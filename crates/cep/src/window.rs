@@ -44,6 +44,13 @@ impl Window {
     /// Insert an event (assumed to arrive in non-decreasing time order)
     /// and evict everything that falls out of the window.
     pub fn push(&mut self, event: Event) {
+        self.push_with(event, |_| {});
+    }
+
+    /// [`push`](Self::push), handing every evicted event to `on_evict`
+    /// so callers that maintain running aggregates can decrement them
+    /// instead of rescanning the window.
+    pub fn push_with(&mut self, event: Event, mut on_evict: impl FnMut(Event)) {
         match self {
             Window::Time { span, buf } => {
                 let now = event.time;
@@ -52,7 +59,7 @@ impl Window {
                                                        // evict strictly-older-than (now - span); keep boundary events
                 while let Some(front) = buf.front() {
                     if front.time.since(SimTime::ZERO) + *span < cutoff {
-                        buf.pop_front();
+                        on_evict(buf.pop_front().expect("front exists"));
                     } else {
                         break;
                     }
@@ -60,7 +67,7 @@ impl Window {
             }
             Window::Length { capacity, buf } => {
                 if buf.len() == *capacity {
-                    buf.pop_front();
+                    on_evict(buf.pop_front().expect("front exists"));
                 }
                 buf.push_back(event);
             }
@@ -71,11 +78,17 @@ impl Window {
     /// engine calls this before reading a time window so counts decay
     /// even when a stream goes quiet).
     pub fn expire(&mut self, now: SimTime) {
+        self.expire_with(now, |_| {});
+    }
+
+    /// [`expire`](Self::expire) with an eviction callback, mirroring
+    /// [`push_with`](Self::push_with).
+    pub fn expire_with(&mut self, now: SimTime, mut on_evict: impl FnMut(Event)) {
         if let Window::Time { span, buf } = self {
             let cutoff = now.since(SimTime::ZERO);
             while let Some(front) = buf.front() {
                 if front.time.since(SimTime::ZERO) + *span < cutoff {
-                    buf.pop_front();
+                    on_evict(buf.pop_front().expect("front exists"));
                 } else {
                     break;
                 }
@@ -168,5 +181,44 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         Window::length(0);
+    }
+
+    #[test]
+    fn push_with_reports_time_evictions() {
+        let mut w = Window::time(SimDuration::from_secs(10));
+        let mut evicted = Vec::new();
+        for t in [0u64, 3, 6, 15] {
+            w.push_with(ev(t), |e| {
+                evicted.push(e.get("t").unwrap().as_i64().unwrap());
+            });
+        }
+        // now = 15 evicts t=0 and t=3 (t + 10 < 15); t=6 stays (boundary-inclusive)
+        assert_eq!(evicted, vec![0, 3]);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn push_with_reports_length_evictions() {
+        let mut w = Window::length(2);
+        let mut evicted = Vec::new();
+        for t in 0..4u64 {
+            w.push_with(ev(t), |e| {
+                evicted.push(e.get("t").unwrap().as_i64().unwrap());
+            });
+        }
+        assert_eq!(evicted, vec![0, 1]);
+    }
+
+    #[test]
+    fn expire_with_reports_evictions() {
+        let mut w = Window::time(SimDuration::from_secs(5));
+        w.push(ev(0));
+        w.push(ev(2));
+        let mut evicted = Vec::new();
+        w.expire_with(SimTime::from_secs(100), |e| {
+            evicted.push(e.get("t").unwrap().as_i64().unwrap());
+        });
+        assert_eq!(evicted, vec![0, 2]);
+        assert!(w.is_empty());
     }
 }

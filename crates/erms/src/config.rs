@@ -122,6 +122,13 @@ pub struct ErmsConfig {
     /// longer than this (stalled behind a dead endpoint or a downed
     /// rack uplink); Condor's retry/backoff then takes over.
     pub task_timeout: SimDuration,
+    /// Classify every namespace file on every tick instead of only the
+    /// dirty/active subset. The incremental visit set is semantically
+    /// equivalent (skipped files are exactly those a full scan would
+    /// judge Normal with zero windowed demand and no pending task), so
+    /// this knob exists for A/B verification and benchmarking, not
+    /// correctness.
+    pub full_rescan: bool,
 }
 
 impl ErmsConfig {
@@ -143,6 +150,7 @@ impl ErmsConfig {
             enable_self_healing: false,
             repair_scan_ticks: 1,
             task_timeout: SimDuration::from_mins(30),
+            full_rescan: false,
         }
     }
 
@@ -287,6 +295,11 @@ impl ErmsConfigBuilder {
 
     pub fn task_timeout(mut self, d: SimDuration) -> Self {
         self.cfg.task_timeout = d;
+        self
+    }
+
+    pub fn full_rescan(mut self, on: bool) -> Self {
+        self.cfg.full_rescan = on;
         self
     }
 

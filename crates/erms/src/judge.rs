@@ -37,8 +37,9 @@ pub struct FileSnapshot {
     pub path: String,
     /// Current replication factor `r` of the file's data blocks.
     pub replication: usize,
-    /// Block names as they appear in client-trace logs (`blk_N`).
-    pub blocks: Vec<String>,
+    /// Data block ids; rendered to their client-trace names (`blk_N`)
+    /// only at query time, so snapshotting a file allocates no strings.
+    pub blocks: Vec<hdfs_sim::BlockId>,
     pub last_access: SimTime,
     /// Whether ERMS has boosted this file above the default factor.
     pub boosted: bool,
@@ -205,9 +206,13 @@ impl DataJudge {
         let n_blocks = file.blocks.len();
         let mut n_b_max = 0.0f64;
         if n_blocks > 0 {
+            use std::fmt::Write as _;
+            let mut key = String::new();
             let mut warm_blocks = 0usize;
-            for b in &file.blocks.clone() {
-                let n_b = self.block_accesses(now, b);
+            for &b in &file.blocks {
+                key.clear();
+                write!(key, "{b}").expect("writing to a String cannot fail");
+                let n_b = self.block_accesses(now, &key);
                 n_b_max = n_b_max.max(n_b);
                 if n_b / r > block_burst {
                     return judgment(file, DataClass::Hot, n_d, n_b_max, 2);
@@ -289,7 +294,7 @@ mod tests {
         FileSnapshot {
             path: path.into(),
             replication: r,
-            blocks: blocks.iter().map(|&b| BlockId(b).to_string()).collect(),
+            blocks: blocks.iter().map(|&b| BlockId(b)).collect(),
             last_access: SimTime::ZERO,
             boosted: false,
             encoded: false,

@@ -19,7 +19,7 @@
 //! also how commissioning picks its standby node.
 
 use crate::config::{ConfigError, ErmsConfig};
-use crate::judge::{DataClass, DataJudge, FileSnapshot};
+use crate::judge::{DataClass, DataJudge, FileSnapshot, Judgment};
 use crate::model::ActiveStandbyModel;
 use crate::replication::optimal_replication;
 use condor::matchmaker::Matchmaker;
@@ -27,7 +27,7 @@ use condor::parser::parse_expr;
 use condor::scheduler::{JobId, Outcome, Priority, Scheduler};
 use condor::{ClassAd, Expr};
 use hdfs_sim::cluster::CopyId;
-use hdfs_sim::{ClusterSim, NodeId};
+use hdfs_sim::{ClusterSim, FileId, NodeId};
 use simcore::telemetry::{Event as Tel, TelemetrySink};
 use simcore::{trace, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
@@ -132,6 +132,20 @@ pub struct ErmsManager {
     reconstruct_copies: BTreeMap<CopyId, hdfs_sim::BlockId>,
     /// Blocks with a reconstruction already in flight.
     reconstructing: BTreeSet<hdfs_sim::BlockId>,
+    /// Files that must be re-judged every tick: anything whose last
+    /// verdict was not "Normal with zero windowed demand and no task in
+    /// flight". Stable files leave this set and are revisited only when
+    /// the cluster marks them dirty (see [`ClusterSim::drain_dirty_files`])
+    /// or their cold-age deadline in `cold_due` arrives.
+    active: BTreeSet<String>,
+    /// Stable unencoded files, by the `last_access` recorded when they
+    /// went stable: once `now - last_access` exceeds the judge's
+    /// `cold_age` they must be revisited so Formula (6) can fire.
+    cold_due: BTreeMap<String, SimTime>,
+    /// Whether the first full classification pass has happened. The
+    /// manager may be built over a cluster that already has files, so
+    /// tick 1 always rescans everything.
+    primed: bool,
     /// Ticks elapsed, for the repair-scan cadence.
     tick_count: u64,
     telemetry: TelemetrySink,
@@ -210,6 +224,9 @@ impl ErmsManager {
             job_started: BTreeMap::new(),
             reconstruct_copies: BTreeMap::new(),
             reconstructing: BTreeSet::new(),
+            active: BTreeSet::new(),
+            cold_due: BTreeMap::new(),
+            primed: false,
             tick_count: 0,
             telemetry: TelemetrySink::disabled(),
             total_completed: 0,
@@ -249,6 +266,13 @@ impl ErmsManager {
         let lines = cluster.drain_audit();
         self.judge.observe_lines(lines.iter().map(String::as_str));
 
+        // 1b. deleted files: drop every piece of per-path bookkeeping so
+        // the manager never leaks state for (or acts on a streak/boost
+        // belonging to) a path that no longer exists.
+        for path in cluster.drain_deleted_paths() {
+            self.forget_path(&path);
+        }
+
         // 2. refresh ClassAds (node state detection)
         self.advertise_nodes(cluster);
         self.absorb_boot_completions(cluster);
@@ -262,10 +286,17 @@ impl ErmsManager {
             self.heal(cluster, now, &mut report);
         }
 
-        // 4. classify every file and derive tasks
+        // 4. classify files and derive tasks. The default visit set is
+        // incremental: files touched by audit/replica traffic since the
+        // last tick (the cluster's dirty set), files still under
+        // management (`active`), Formula (4) promotions, freshness-
+        // pattern hits, and files whose cold-age deadline has arrived.
+        // Files skipped are exactly those a full rescan would judge
+        // Normal with zero windowed demand and no task in flight, which
+        // produce no verdict counts and no tasks — so the two modes
+        // yield identical actions (see DESIGN.md, "Scaling the control
+        // loop"; `full_rescan` forces the old exhaustive behaviour).
         let default_r = cluster.config().default_replication;
-        let snapshots = self.snapshot_files(cluster);
-        report.files_judged = snapshots.len();
         // Formula (4): overloaded datanodes promote their top file
         let promoted: BTreeSet<String> = self
             .judge
@@ -280,6 +311,38 @@ impl ErmsManager {
             self.judge.freshly_popular();
             BTreeSet::new()
         };
+        let dirty = cluster.drain_dirty_files();
+        let full = self.cfg.full_rescan || !self.primed;
+        self.primed = true;
+        let snapshots = if full {
+            self.snapshot_files(cluster)
+        } else {
+            let ns = cluster.namespace();
+            let mut visit: BTreeSet<FileId> = dirty
+                .into_iter()
+                .filter(|&f| ns.file(f).is_some())
+                .collect();
+            for path in self.active.iter().chain(&promoted).chain(&fresh) {
+                if let Some(f) = ns.resolve(path) {
+                    visit.insert(f);
+                }
+            }
+            let cold_age = self.judge.thresholds().cold_age;
+            let due: Vec<String> = self
+                .cold_due
+                .iter()
+                .filter(|&(_, &last)| now.since(last) > cold_age)
+                .map(|(p, _)| p.clone())
+                .collect();
+            for path in due {
+                self.cold_due.remove(&path);
+                if let Some(f) = ns.resolve(&path) {
+                    visit.insert(f);
+                }
+            }
+            self.snapshot_subset(cluster, &visit)
+        };
+        report.files_judged = snapshots.len();
         for snap in &snapshots {
             let verdict = self.judge.classify(now, snap);
             let class = if verdict.class == DataClass::Normal && promoted.contains(&snap.path) {
@@ -304,6 +367,8 @@ impl ErmsManager {
             match class {
                 DataClass::Hot => {
                     report.hot += 1;
+                    // the pre-boost bump for predicted files must not
+                    // escape the cap Formula (1)'s target respects
                     let target = optimal_replication(
                         verdict.n_d,
                         self.cfg.thresholds.tau_hot,
@@ -314,7 +379,8 @@ impl ErmsManager {
                         snap.replication + 1
                     } else {
                         0
-                    });
+                    })
+                    .min(self.cfg.max_replication.max(default_r));
                     if snap.encoded {
                         // `DecodeCold` is traced when the rewrite lands
                         // in `exec_decode`, not at submission.
@@ -420,6 +486,7 @@ impl ErmsManager {
                     }
                 }
             }
+            self.note_visit(snap, class, &verdict);
         }
 
         // 5. dispatch + execute Condor tasks
@@ -458,19 +525,77 @@ impl ErmsManager {
 
     // ------------------------------------------------------------------
 
+    fn snapshot_of(&self, meta: &hdfs_sim::namespace::FileMeta) -> FileSnapshot {
+        FileSnapshot {
+            path: meta.path.clone(),
+            replication: meta.replication(),
+            blocks: meta.blocks.clone(),
+            last_access: meta.last_access,
+            boosted: self.boosted.contains(&meta.path),
+            encoded: meta.is_encoded(),
+        }
+    }
+
     fn snapshot_files(&self, cluster: &ClusterSim) -> Vec<FileSnapshot> {
         cluster
             .namespace()
             .files()
-            .map(|meta| FileSnapshot {
-                path: meta.path.clone(),
-                replication: meta.replication(),
-                blocks: meta.blocks.iter().map(|b| b.to_string()).collect(),
-                last_access: meta.last_access,
-                boosted: self.boosted.contains(&meta.path),
-                encoded: meta.is_encoded(),
-            })
+            .map(|meta| self.snapshot_of(meta))
             .collect()
+    }
+
+    /// Snapshot only `ids`, in id order — the same relative order a full
+    /// namespace walk would visit them, so task submission (and thus
+    /// Condor `JobId` assignment) is identical in both modes.
+    fn snapshot_subset(&self, cluster: &ClusterSim, ids: &BTreeSet<FileId>) -> Vec<FileSnapshot> {
+        let ns = cluster.namespace();
+        ids.iter()
+            .filter_map(|&id| ns.file(id))
+            .map(|meta| self.snapshot_of(meta))
+            .collect()
+    }
+
+    /// Drop all per-path bookkeeping for a deleted file. A task already
+    /// queued for the path is left to fail at dispatch ("file deleted");
+    /// its dedup entry goes now so a later file reusing the path starts
+    /// with a clean slate.
+    fn forget_path(&mut self, path: &str) {
+        self.boosted.remove(path);
+        self.cooled_streak.remove(path);
+        self.active.remove(path);
+        self.cold_due.remove(path);
+        self.inflight.retain(|(p, _), _| p != path);
+    }
+
+    /// Maintain the incremental visit sets after judging one file.
+    ///
+    /// A file is *stable* when it was judged Normal with zero windowed
+    /// demand while unboosted and with no task in flight. Nothing about
+    /// such a file can change except through events that mark it dirty
+    /// in the cluster — or the silent passage of time carrying it past
+    /// Formula (6)'s cold age, which `cold_due` schedules explicitly.
+    fn note_visit(&mut self, snap: &FileSnapshot, class: DataClass, verdict: &Judgment) {
+        let has_inflight = self.inflight.keys().any(|(p, _)| p == &snap.path);
+        let stable = class == DataClass::Normal
+            && !snap.boosted
+            && !has_inflight
+            && verdict.n_d == 0.0
+            && verdict.n_b_max == 0.0;
+        if !stable {
+            self.cold_due.remove(&snap.path);
+            self.active.insert(snap.path.clone());
+            return;
+        }
+        self.active.remove(&snap.path);
+        if snap.encoded {
+            // encoded files never re-enter Cold; only traffic (which
+            // dirties them) can change their class
+            self.cold_due.remove(&snap.path);
+        } else {
+            // τ_m > 0 (validated), so zero demand always satisfies
+            // Formula (6)'s rate clause once the file is old enough
+            self.cold_due.insert(snap.path.clone(), snap.last_access);
+        }
     }
 
     fn advertise_nodes(&mut self, cluster: &ClusterSim) {
@@ -484,9 +609,13 @@ impl ErmsManager {
                 self.matchmaker.withdraw(&name);
                 continue;
             }
+            // FreeDisk is advertised in bytes: truncating to whole MiB
+            // made a node with any sub-MiB remainder (or less than 1 MiB
+            // total) advertise 0 and lose every rank tie despite having
+            // genuinely more room.
             let ad = ClassAd::new()
                 .with("Rack", i64::from(view.rack.0))
-                .with("FreeDisk", (view.free / (1 << 20)) as i64)
+                .with("FreeDisk", view.free as i64)
                 .with("Standby", view.standby_pool)
                 .with("PoweredOn", view.serving)
                 .with("Load", view.load as i64)
@@ -901,9 +1030,12 @@ impl ErmsManager {
         }
     }
 
-    /// Scan encoded files for data blocks with zero live replicas and
-    /// start an RS reconstruction for each recoverable one. Dark blocks
-    /// vanish from the blockmap, so this walks the namespace.
+    /// Start an RS reconstruction for each recoverable shard with zero
+    /// live replicas. Candidate files come from the blockmap's dark-block
+    /// index (blocks with a registered target and no replicas), so a
+    /// healthy cluster pays nothing here regardless of namespace size;
+    /// per-file stripe analysis then proceeds exactly as a namespace walk
+    /// would, in file-id order.
     fn reconstruct_dark_shards(
         &mut self,
         cluster: &mut ClusterSim,
@@ -919,7 +1051,15 @@ impl ErmsManager {
         }
         let mut work: Vec<DarkShard> = Vec::new();
         let block_size = cluster.config().block_size;
-        for meta in cluster.namespace().files() {
+        let candidates: BTreeSet<FileId> = cluster
+            .blockmap()
+            .dark_blocks()
+            .filter_map(|b| cluster.namespace().block(b).map(|info| info.file))
+            .collect();
+        for meta in candidates
+            .iter()
+            .filter_map(|&id| cluster.namespace().file(id))
+        {
             let hdfs_sim::namespace::StorageMode::Encoded { parity_blocks } = &meta.mode else {
                 continue;
             };
@@ -1498,6 +1638,113 @@ mod tests {
         let line = boost.to_json_line();
         assert!(line.contains("\"path\":\"/hot\""), "{line}");
         assert!(line.contains("\"sessions\":"), "{line}");
+    }
+
+    #[test]
+    fn stable_files_leave_the_visit_set() {
+        let mut c = cluster();
+        let mut t = crate::Thresholds::calibrate(4.0);
+        t.window = SimDuration::from_secs(600);
+        t.cold_age = SimDuration::from_secs(7200);
+        let cfg = ErmsConfig::builder()
+            .thresholds(t)
+            .standby([])
+            .build()
+            .unwrap();
+        let mut m = ErmsManager::new(cfg, &mut c).unwrap();
+        c.create_file("/idle", 64 * MB, 3, None).unwrap();
+        c.run_until_quiescent();
+        let now = c.now();
+        let r1 = m.tick(&mut c, now);
+        assert_eq!(r1.files_judged, 1, "first tick is a full scan");
+        // past the CEP window (creation line expired), well short of cold
+        c.run_until(c.now() + SimDuration::from_secs(700));
+        let now = c.now();
+        let r2 = m.tick(&mut c, now);
+        assert_eq!(r2.files_judged, 1, "active until observed stable");
+        let now = c.now();
+        let r3 = m.tick(&mut c, now);
+        assert_eq!(r3.files_judged, 0, "stable file skipped");
+        // touching it puts it back under observation
+        c.open_read(Endpoint::Client(ClientId(7)), "/idle").unwrap();
+        c.run_until_quiescent();
+        let now = c.now();
+        let r4 = m.tick(&mut c, now);
+        assert_eq!(r4.files_judged, 1, "dirty file revisited");
+    }
+
+    #[test]
+    fn deleting_a_file_prunes_manager_bookkeeping() {
+        let mut c = cluster();
+        let cfg = ErmsConfig::builder()
+            .thresholds(fast_thresholds())
+            .standby([])
+            .encode(false)
+            .build()
+            .unwrap();
+        let mut m = ErmsManager::new(cfg, &mut c).unwrap();
+        c.create_file("/doomed", 64 * MB, 3, None).unwrap();
+        hammer(&mut c, "/doomed", 40);
+        for _ in 0..5 {
+            let now = c.now();
+            m.tick(&mut c, now);
+            c.run_until_quiescent();
+        }
+        assert!(m.is_boosted("/doomed"), "precondition: file got boosted");
+        // silence starts a cooled streak (patience 3, so no demote yet)
+        c.run_until(c.now() + SimDuration::from_secs(1200));
+        let now = c.now();
+        m.tick(&mut c, now);
+        assert!(
+            m.cooled_streak.contains_key("/doomed"),
+            "precondition: streak accruing"
+        );
+        assert!(m.active.contains("/doomed"));
+
+        assert!(c.delete_file("/doomed"));
+        let now = c.now();
+        m.tick(&mut c, now);
+        assert!(!m.boosted.contains("/doomed"), "boost pruned");
+        assert!(!m.cooled_streak.contains_key("/doomed"), "streak pruned");
+        assert!(!m.active.contains("/doomed"), "visit set pruned");
+        assert!(!m.cold_due.contains_key("/doomed"), "cold schedule pruned");
+        assert!(
+            m.inflight.keys().all(|(p, _)| p != "/doomed"),
+            "task dedup keys pruned"
+        );
+    }
+
+    #[test]
+    fn advertised_free_disk_is_bytes_not_truncated_mib() {
+        use hdfs_sim::ClusterConfig;
+
+        // 4-node cluster where every node ends up with 512 bytes free:
+        // whole-MiB truncation would advertise FreeDisk = 0 for all of
+        // them and starve rank-by-free-disk matchmaking of any signal.
+        let cfg = ClusterConfig {
+            disk_capacity: 64 * MB + 512,
+            ..ClusterConfig::tiny()
+        };
+        let mut c = ClusterSim::new(cfg, Box::new(crate::placement::ErmsPlacement::new()));
+        let mut m = manager(&mut c, Vec::new());
+        c.create_file("/fill", 64 * MB, 4, None).unwrap();
+        c.run_until_quiescent();
+        let now = c.now();
+        m.tick(&mut c, now);
+        for view in c.node_views(None, None) {
+            let ad = m.matchmaker.get(&view.id.to_string()).expect("node ad");
+            let advertised = ad.get("FreeDisk").unwrap().as_f64().unwrap();
+            assert_eq!(advertised, view.free as f64, "FreeDisk is in bytes");
+            if view.free > 0 && view.free < 1 << 20 {
+                assert!(advertised > 0.0, "sub-MiB free must not advertise 0");
+            }
+        }
+        let holders = c
+            .node_views(None, None)
+            .into_iter()
+            .filter(|v| v.free == 512)
+            .count();
+        assert!(holders > 0, "at least one node is down to 512 free bytes");
     }
 
     #[test]

@@ -3,6 +3,18 @@
 //! The namenode side of replication: which datanodes hold each block,
 //! plus derived under-/over-replication queries that drive both HDFS's
 //! own re-replication after failures and ERMS's elastic actions.
+//!
+//! Alongside the raw locations the map keeps a **deficit index**: each
+//! block's replication *target* (registered by the cluster as files are
+//! created, re-replicated, encoded and decoded) plus three derived sets
+//! — under-replicated, over-replicated and dark (zero live replicas) —
+//! maintained incrementally in [`add`](BlockMap::add),
+//! [`remove`](BlockMap::remove) and [`remove_node`](BlockMap::remove_node).
+//! The repair scan then visits only deficient blocks instead of walking
+//! the whole map; the closure-driven [`under_replicated`]
+//! (BlockMap::under_replicated) / [`over_replicated`]
+//! (BlockMap::over_replicated) scans remain as the brute-force reference
+//! the property tests compare the index against.
 
 use crate::block::BlockId;
 use crate::topology::NodeId;
@@ -11,6 +23,17 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Debug, Default)]
 pub struct BlockMap {
     locations: BTreeMap<BlockId, BTreeSet<NodeId>>,
+    /// Desired replica count per block (absent = untracked: the block
+    /// never appears in the derived sets, matching the closure scans'
+    /// `unknown → skip` conventions).
+    targets: BTreeMap<BlockId, usize>,
+    /// Tracked blocks with `0 < replicas < target`.
+    under: BTreeSet<BlockId>,
+    /// Tracked blocks with `replicas > target`.
+    over: BTreeSet<BlockId>,
+    /// Tracked blocks with zero live replicas (lost unless parity or a
+    /// retained crashed disk can bring them back).
+    dark: BTreeSet<BlockId>,
 }
 
 impl BlockMap {
@@ -20,12 +43,16 @@ impl BlockMap {
 
     /// Record a replica. Returns false if it was already recorded.
     pub fn add(&mut self, block: BlockId, node: NodeId) -> bool {
-        self.locations.entry(block).or_default().insert(node)
+        let added = self.locations.entry(block).or_default().insert(node);
+        if added {
+            self.reindex(block);
+        }
+        added
     }
 
     /// Remove a replica record. Returns false if it was not present.
     pub fn remove(&mut self, block: BlockId, node: NodeId) -> bool {
-        match self.locations.get_mut(&block) {
+        let removed = match self.locations.get_mut(&block) {
             Some(set) => {
                 let removed = set.remove(&node);
                 if set.is_empty() {
@@ -34,12 +61,49 @@ impl BlockMap {
                 removed
             }
             None => false,
+        };
+        if removed {
+            self.reindex(block);
         }
+        removed
+    }
+
+    /// Register the desired replica count for a block, entering it into
+    /// the deficit index. The cluster calls this wherever a block's
+    /// target changes: file create, `setReplication`, parity placement,
+    /// encode (data targets drop to 1) and decode.
+    pub fn set_target(&mut self, block: BlockId, target: usize) {
+        self.targets.insert(block, target);
+        self.reindex(block);
+    }
+
+    /// The registered replication target for a block, if any.
+    pub fn target(&self, block: BlockId) -> Option<usize> {
+        self.targets.get(&block).copied()
     }
 
     /// Forget a block entirely (file deleted).
     pub fn drop_block(&mut self, block: BlockId) {
         self.locations.remove(&block);
+        self.targets.remove(&block);
+        self.under.remove(&block);
+        self.over.remove(&block);
+        self.dark.remove(&block);
+    }
+
+    /// Recompute one block's membership in the derived sets after its
+    /// replica count or target changed. O(log n).
+    fn reindex(&mut self, block: BlockId) {
+        let Some(&target) = self.targets.get(&block) else {
+            self.under.remove(&block);
+            self.over.remove(&block);
+            self.dark.remove(&block);
+            return;
+        };
+        let count = self.locations.get(&block).map_or(0, BTreeSet::len);
+        set_membership(&mut self.dark, block, count == 0);
+        set_membership(&mut self.under, block, count > 0 && count < target);
+        set_membership(&mut self.over, block, count > target);
     }
 
     /// Nodes currently holding `block`, in id order.
@@ -68,6 +132,11 @@ impl BlockMap {
     }
 
     /// Every (block, deficit) with fewer than `want(block)` replicas.
+    ///
+    /// Brute-force scan of every live block; the deficit index
+    /// ([`under_replicated_indexed`](Self::under_replicated_indexed))
+    /// answers the same question in O(deficient) and the property tests
+    /// pin the two against each other.
     pub fn under_replicated(
         &self,
         mut want: impl FnMut(BlockId) -> usize,
@@ -82,6 +151,8 @@ impl BlockMap {
     }
 
     /// Every (block, excess) with more than `want(block)` replicas.
+    /// Brute-force counterpart of
+    /// [`over_replicated_indexed`](Self::over_replicated_indexed).
     pub fn over_replicated(&self, mut want: impl FnMut(BlockId) -> usize) -> Vec<(BlockId, usize)> {
         self.locations
             .iter()
@@ -90,6 +161,37 @@ impl BlockMap {
                 (locs.len() > target).then(|| (b, locs.len() - target))
             })
             .collect()
+    }
+
+    /// Every (block, deficit) from the index: tracked blocks with at
+    /// least one live replica but fewer than their registered target.
+    /// O(deficient), id order — identical order and contents to the
+    /// brute-force scan driven by the registered targets.
+    pub fn under_replicated_indexed(&self) -> Vec<(BlockId, usize)> {
+        self.under
+            .iter()
+            .map(|&b| {
+                let count = self.locations.get(&b).map_or(0, BTreeSet::len);
+                (b, self.targets[&b] - count)
+            })
+            .collect()
+    }
+
+    /// Every (block, excess) from the index. O(excess), id order.
+    pub fn over_replicated_indexed(&self) -> Vec<(BlockId, usize)> {
+        self.over
+            .iter()
+            .map(|&b| {
+                let count = self.locations.get(&b).map_or(0, BTreeSet::len);
+                (b, count - self.targets[&b])
+            })
+            .collect()
+    }
+
+    /// Tracked blocks with zero live replicas, in id order. Fuels dark
+    /// RS-shard reconstruction without a namespace walk.
+    pub fn dark_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.dark.iter().copied()
     }
 
     /// Blocks that lost *all* replicas after removing `node` (data loss
@@ -121,6 +223,15 @@ impl BlockMap {
     /// Total replica records (Σ per-block locations).
     pub fn total_replicas(&self) -> usize {
         self.locations.values().map(BTreeSet::len).sum()
+    }
+}
+
+/// Insert or remove `block` from `set` so membership equals `wanted`.
+fn set_membership(set: &mut BTreeSet<BlockId>, block: BlockId, wanted: bool) {
+    if wanted {
+        set.insert(block);
+    } else {
+        set.remove(&block);
     }
 }
 
@@ -189,5 +300,139 @@ mod tests {
         assert!(bm.locations(BlockId(9)).is_empty());
         assert_eq!(bm.replica_count(BlockId(9)), 0);
         assert!(!bm.holds(BlockId(9), NodeId(0)));
+    }
+
+    #[test]
+    fn index_tracks_add_remove_and_target_changes() {
+        let mut bm = BlockMap::new();
+        bm.set_target(BlockId(1), 3);
+        // No replicas yet: dark, not under.
+        assert_eq!(bm.dark_blocks().collect::<Vec<_>>(), vec![BlockId(1)]);
+        assert!(bm.under_replicated_indexed().is_empty());
+
+        bm.add(BlockId(1), NodeId(0));
+        assert_eq!(bm.under_replicated_indexed(), vec![(BlockId(1), 2)]);
+        assert_eq!(bm.dark_blocks().count(), 0);
+
+        bm.add(BlockId(1), NodeId(1));
+        bm.add(BlockId(1), NodeId(2));
+        assert!(bm.under_replicated_indexed().is_empty());
+        assert!(bm.over_replicated_indexed().is_empty());
+
+        bm.add(BlockId(1), NodeId(3));
+        assert_eq!(bm.over_replicated_indexed(), vec![(BlockId(1), 1)]);
+
+        // Target raised: over turns into under.
+        bm.set_target(BlockId(1), 6);
+        assert_eq!(bm.under_replicated_indexed(), vec![(BlockId(1), 2)]);
+        assert!(bm.over_replicated_indexed().is_empty());
+
+        // Lose everything: dark again.
+        for n in 0..4 {
+            bm.remove(BlockId(1), NodeId(n));
+        }
+        assert_eq!(bm.dark_blocks().collect::<Vec<_>>(), vec![BlockId(1)]);
+        assert!(bm.under_replicated_indexed().is_empty());
+
+        bm.drop_block(BlockId(1));
+        assert_eq!(bm.dark_blocks().count(), 0);
+        assert_eq!(bm.target(BlockId(1)), None);
+    }
+
+    #[test]
+    fn untracked_blocks_stay_out_of_the_index() {
+        let mut bm = BlockMap::new();
+        bm.add(BlockId(7), NodeId(0));
+        assert!(bm.under_replicated_indexed().is_empty());
+        assert!(bm.over_replicated_indexed().is_empty());
+        assert_eq!(bm.dark_blocks().count(), 0);
+        // The brute-force scan still sees it through its closure.
+        assert_eq!(bm.under_replicated(|_| 2), vec![(BlockId(7), 1)]);
+    }
+
+    #[test]
+    fn remove_node_updates_index() {
+        let mut bm = BlockMap::new();
+        for b in [1u64, 2] {
+            bm.set_target(BlockId(b), 2);
+        }
+        bm.add(BlockId(1), NodeId(0));
+        bm.add(BlockId(1), NodeId(1));
+        bm.add(BlockId(2), NodeId(0));
+        let (degraded, lost) = bm.remove_node(NodeId(0));
+        assert_eq!(degraded, vec![BlockId(1)]);
+        assert_eq!(lost, vec![BlockId(2)]);
+        assert_eq!(bm.under_replicated_indexed(), vec![(BlockId(1), 1)]);
+        assert_eq!(bm.dark_blocks().collect::<Vec<_>>(), vec![BlockId(2)]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One mutation against the map: (kind, block, node, target).
+        fn arb_ops() -> impl Strategy<Value = Vec<(u8, u64, u32, usize)>> {
+            prop::collection::vec((0u8..5, 0u64..10, 0u32..6, 0usize..5), 1..80)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The deficit index agrees with a brute-force scan after any
+            /// sequence of add / remove / set_target / remove_node /
+            /// drop_block operations.
+            #[test]
+            fn index_matches_brute_force_scan(ops in arb_ops()) {
+                let mut bm = BlockMap::new();
+                for (kind, b, n, t) in ops {
+                    match kind {
+                        0 => {
+                            bm.add(BlockId(b), NodeId(n));
+                        }
+                        1 => {
+                            bm.remove(BlockId(b), NodeId(n));
+                        }
+                        2 => bm.set_target(BlockId(b), t),
+                        3 => {
+                            bm.remove_node(NodeId(n));
+                        }
+                        _ => bm.drop_block(BlockId(b)),
+                    }
+
+                    // untracked blocks are outside the index by design:
+                    // the reference scan treats them as "never deficient"
+                    let under_ref = bm.under_replicated(|b| bm.target(b).unwrap_or(0));
+                    let over_ref = bm.over_replicated(|b| bm.target(b).unwrap_or(usize::MAX));
+                    prop_assert_eq!(bm.under_replicated_indexed(), under_ref);
+                    prop_assert_eq!(bm.over_replicated_indexed(), over_ref);
+
+                    let dark_ref: Vec<BlockId> = (0..10)
+                        .map(BlockId)
+                        .filter(|&b| bm.target(b).is_some() && bm.replica_count(b) == 0)
+                        .collect();
+                    prop_assert_eq!(bm.dark_blocks().collect::<Vec<_>>(), dark_ref);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_matches_brute_force_against_targets() {
+        let mut bm = BlockMap::new();
+        for b in 0..10u64 {
+            bm.set_target(BlockId(b), (b % 4) as usize + 1);
+            for n in 0..(b % 5) as u32 {
+                bm.add(BlockId(b), NodeId(n));
+            }
+        }
+        let want = |bm: &BlockMap, b: BlockId| bm.target(b).unwrap_or(0);
+        assert_eq!(
+            bm.under_replicated_indexed(),
+            bm.under_replicated(|b| want(&bm, b))
+        );
+        assert_eq!(
+            bm.over_replicated_indexed(),
+            bm.over_replicated(|b| want(&bm, b))
+        );
     }
 }

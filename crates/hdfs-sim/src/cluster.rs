@@ -272,6 +272,17 @@ pub struct ClusterSim {
     repair_copies: BTreeSet<CopyId>,
     /// Unavailability windows, loss events and repair bytes.
     durability: DurabilityLog,
+    /// Files touched since the last [`ClusterSim::drain_dirty_files`]:
+    /// creates, reads (including per-block read completions), writes,
+    /// replication changes, landed copies, encode/decode flips and
+    /// fault-affected replicas all mark the owning file. A control loop
+    /// can re-examine only these instead of walking the namespace.
+    dirty_files: BTreeSet<FileId>,
+    /// Paths removed by [`ClusterSim::delete_file`] since the last
+    /// [`ClusterSim::drain_deleted_paths`], so per-path bookkeeping
+    /// outside the cluster (ERMS streaks, boost flags, in-flight dedup)
+    /// can be pruned instead of leaking.
+    deleted_paths: Vec<String>,
     /// Structured event/metric sink; disabled (free) by default.
     telemetry: TelemetrySink,
 }
@@ -339,6 +350,8 @@ impl ClusterSim {
             rack_down: vec![false; cfg_racks],
             repair_copies: BTreeSet::new(),
             durability: DurabilityLog::new(),
+            dirty_files: BTreeSet::new(),
+            deleted_paths: Vec::new(),
             telemetry: TelemetrySink::disabled(),
         }
     }
@@ -394,6 +407,29 @@ impl ClusterSim {
     /// Take all audit-log lines emitted since the last drain.
     pub fn drain_audit(&mut self) -> Vec<String> {
         self.audit.drain()
+    }
+
+    /// Take the set of files touched since the last drain, in id order.
+    /// See the `dirty_files` field for what counts as a touch.
+    pub fn drain_dirty_files(&mut self) -> Vec<FileId> {
+        let set = std::mem::take(&mut self.dirty_files);
+        set.into_iter().collect()
+    }
+
+    /// Take the paths deleted since the last drain, in deletion order.
+    pub fn drain_deleted_paths(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.deleted_paths)
+    }
+
+    fn mark_dirty(&mut self, file: FileId) {
+        self.dirty_files.insert(file);
+    }
+
+    /// Mark the file owning `block` dirty (no-op for forgotten blocks).
+    fn mark_block_dirty(&mut self, block: BlockId) {
+        if let Some(f) = self.namespace.block(block).map(|i| i.file) {
+            self.dirty_files.insert(f);
+        }
     }
 
     pub fn node_state(&self, n: NodeId) -> NodeState {
@@ -513,7 +549,9 @@ impl ClusterSim {
             .expect("just created")
             .blocks
             .clone();
+        self.mark_dirty(id);
         for b in blocks {
+            self.blockmap.set_target(b, replication);
             let len = self.namespace.block(b).expect("block exists").len;
             let views = self.node_views(Some(b), Some(id));
             let ctx = PlacementContext {
@@ -558,6 +596,10 @@ impl ClusterSim {
             .expect("just created")
             .blocks
             .clone();
+        self.mark_dirty(file);
+        for &b in &blocks {
+            self.blockmap.set_target(b, replication);
+        }
         let id = WriteId(self.next_write);
         self.next_write += 1;
         self.audit.file_op(now, writer, "create", path);
@@ -738,6 +780,8 @@ impl ClusterSim {
         }
         self.audit
             .file_op(now, Endpoint::Client(ClientId(0)), "delete", path);
+        self.dirty_files.remove(&id);
+        self.deleted_paths.push(path.to_string());
         true
     }
 
@@ -788,6 +832,7 @@ impl ClusterSim {
         );
         self.telemetry.counter_add("hdfs.reads_started", 1);
         self.namespace.touch(file, now);
+        self.mark_dirty(file);
         self.reads.insert(id, req);
         let begin = now + self.cfg.request_overhead;
         self.queue.schedule(begin, Ev::BeginRead(id));
@@ -833,6 +878,7 @@ impl ClusterSim {
         );
         self.telemetry.counter_add("hdfs.reads_started", 1);
         self.namespace.touch(file, now);
+        self.mark_dirty(file);
         self.reads.insert(id, req);
         let begin = now + self.cfg.request_overhead;
         self.queue.schedule(begin, Ev::BeginRead(id));
@@ -1168,6 +1214,7 @@ impl ClusterSim {
         let len = self.block_len_or_zero(block);
         if self.nodes[node.0 as usize].remove_block(block, len) {
             self.blockmap.remove(block, node);
+            self.mark_block_dirty(block);
             if self.blockmap.replica_count(block) == 0 {
                 self.note_zero_replicas(block);
             }
@@ -1210,8 +1257,10 @@ impl ClusterSim {
         meta.mode = StorageMode::Replicated { replication: r };
         let blocks = meta.blocks.clone();
         let path = meta.path.clone();
+        self.mark_dirty(file);
         let mut copies = Vec::new();
         for b in blocks {
+            self.blockmap.set_target(b, r);
             let have = self.blockmap.replica_count(b);
             if have < r {
                 copies.extend(self.add_replicas(b, r - have));
@@ -1235,6 +1284,8 @@ impl ClusterSim {
         len: Bytes,
     ) -> Option<(BlockId, NodeId)> {
         let block = self.namespace.allocate_parity_block(file, index, len);
+        self.blockmap.set_target(block, 1);
+        self.mark_dirty(file);
         let views = self.node_views(Some(block), Some(file));
         let ctx = PlacementContext {
             views: &views,
@@ -1257,6 +1308,12 @@ impl ClusterSim {
     pub fn mark_encoded(&mut self, file: FileId, parity_blocks: Vec<BlockId>) {
         if let Some(meta) = self.namespace.file_mut(file) {
             meta.mode = StorageMode::Encoded { parity_blocks };
+            let data_blocks = meta.blocks.clone();
+            // encoded files keep exactly one replica per data block
+            for b in data_blocks {
+                self.blockmap.set_target(b, 1);
+            }
+            self.mark_dirty(file);
         }
     }
 
@@ -1272,6 +1329,11 @@ impl ClusterSim {
                 StorageMode::Encoded { parity_blocks } => parity_blocks,
                 StorageMode::Replicated { .. } => Vec::new(),
             };
+        let data_blocks = meta.blocks.clone();
+        for b in data_blocks {
+            self.blockmap.set_target(b, replication);
+        }
+        self.mark_dirty(file);
         for p in parities {
             let len = self.block_len_or_zero(p);
             for n in self.blockmap.locations(p) {
@@ -1323,6 +1385,7 @@ impl ClusterSim {
         // leave service *before* failing transfers (see kill_node)
         for b in self.nodes[ni].clear() {
             self.blockmap.remove(b, n);
+            self.mark_block_dirty(b);
         }
         self.nodes[ni].state = NodeState::Standby;
         self.apply_node_capacity(n);
@@ -1389,6 +1452,9 @@ impl ClusterSim {
                 self.note_zero_replicas(b);
             }
         }
+        for &b in degraded.iter().chain(lost.iter()) {
+            self.mark_block_dirty(b);
+        }
         (degraded, lost)
     }
 
@@ -1413,12 +1479,15 @@ impl ClusterSim {
         if !stash.is_empty() {
             self.retained.insert(n, stash);
         }
-        let (_degraded, lost) = self.blockmap.remove_node(n);
+        let (degraded, lost) = self.blockmap.remove_node(n);
         self.apply_node_capacity(n);
         self.fail_node_transfers(n, true);
         self.resync_flow_events();
-        for b in lost {
+        for &b in &lost {
             self.note_zero_replicas(b);
+        }
+        for &b in degraded.iter().chain(lost.iter()) {
+            self.mark_block_dirty(b);
         }
         true
     }
@@ -1446,6 +1515,7 @@ impl ClusterSim {
             let was_dark = self.blockmap.replica_count(b) == 0;
             if self.nodes[ni].add_block(b, len) {
                 self.blockmap.add(b, n);
+                self.mark_block_dirty(b);
                 readmitted += 1;
                 if was_dark {
                     self.note_replica_restored(b);
@@ -1556,22 +1626,14 @@ impl ClusterSim {
     /// Start copies for every under-replicated block (HDFS's namenode
     /// repair loop, invoked explicitly by the driver or the ERMS
     /// self-healing tick). The copies count as repair traffic.
+    ///
+    /// Reads the block map's deficit index — O(deficient blocks), not a
+    /// scan of every live block. Debug builds cross-check the index
+    /// against the brute-force namespace-driven scan on every call.
     pub fn repair_under_replicated(&mut self) -> Vec<CopyId> {
-        let want: Vec<(BlockId, usize)> = {
-            let ns = &self.namespace;
-            self.blockmap.under_replicated(|b| {
-                ns.block(b)
-                    .and_then(|i| ns.file(i.file))
-                    .map(|f| {
-                        if i_is_parity(ns, b) {
-                            1
-                        } else {
-                            f.replication()
-                        }
-                    })
-                    .unwrap_or(0)
-            })
-        };
+        let want = self.blockmap.under_replicated_indexed();
+        #[cfg(debug_assertions)]
+        self.assert_deficit_index_consistent();
         let mut out = Vec::new();
         for (b, deficit) in want {
             out.extend(self.add_replicas(b, deficit));
@@ -1585,23 +1647,10 @@ impl ClusterSim {
     /// Remove excess replicas of every over-replicated block (the
     /// namenode's excess-replica chooser) — restarted nodes block-report
     /// replicas the repair loop may have replaced in the meantime.
-    /// Returns how many replicas were trimmed.
+    /// Returns how many replicas were trimmed. Reads the deficit index,
+    /// like [`ClusterSim::repair_under_replicated`].
     pub fn trim_over_replicated(&mut self) -> usize {
-        let excess: Vec<(BlockId, usize)> = {
-            let ns = &self.namespace;
-            self.blockmap.over_replicated(|b| {
-                ns.block(b)
-                    .and_then(|i| ns.file(i.file))
-                    .map(|f| {
-                        if i_is_parity(ns, b) {
-                            1
-                        } else {
-                            f.replication()
-                        }
-                    })
-                    .unwrap_or(usize::MAX)
-            })
-        };
+        let excess = self.blockmap.over_replicated_indexed();
         let mut trimmed = 0;
         for (b, extra) in excess {
             trimmed += self.remove_replicas(b, extra);
@@ -1609,6 +1658,48 @@ impl ClusterSim {
         self.telemetry
             .counter_add("hdfs.replicas_trimmed", trimmed as u64);
         trimmed
+    }
+
+    /// Debug-build invariant: the incrementally maintained deficit index
+    /// answers exactly what the brute-force scan (with targets derived
+    /// from the namespace, as the scans historically did) answers.
+    #[cfg(debug_assertions)]
+    fn assert_deficit_index_consistent(&self) {
+        let ns = &self.namespace;
+        let under = self.blockmap.under_replicated(|b| {
+            ns.block(b)
+                .and_then(|i| ns.file(i.file))
+                .map(|f| {
+                    if i_is_parity(ns, b) {
+                        1
+                    } else {
+                        f.replication()
+                    }
+                })
+                .unwrap_or(0)
+        });
+        debug_assert_eq!(
+            self.blockmap.under_replicated_indexed(),
+            under,
+            "deficit index diverged from namespace-driven scan"
+        );
+        let over = self.blockmap.over_replicated(|b| {
+            ns.block(b)
+                .and_then(|i| ns.file(i.file))
+                .map(|f| {
+                    if i_is_parity(ns, b) {
+                        1
+                    } else {
+                        f.replication()
+                    }
+                })
+                .unwrap_or(usize::MAX)
+        });
+        debug_assert_eq!(
+            self.blockmap.over_replicated_indexed(),
+            over,
+            "excess index diverged from namespace-driven scan"
+        );
     }
 
     /// Rebuild `block` onto `target` by streaming one surviving shard
@@ -1832,6 +1923,9 @@ impl ClusterSim {
                     .map(|r| r.path.clone())
                     .unwrap_or_default();
                 self.audit.block_read(now, block, node, &path, len);
+                // the block-read line shifts the owning file's per-block
+                // demand statistics: re-examine it
+                self.mark_block_dirty(block);
                 // free the session; maybe admit a queued reader
                 self.admit_next(node);
                 if let Some(req) = self.reads.get_mut(&read) {
@@ -1860,6 +1954,7 @@ impl ClusterSim {
                         self.blockmap.add(block, t);
                     }
                 }
+                self.mark_block_dirty(block);
                 if let Some(req) = self.writes.get_mut(&write) {
                     req.bytes_done += len;
                     req.pending_blocks.pop_front();
@@ -1888,6 +1983,7 @@ impl ClusterSim {
                     && self.nodes[target.0 as usize].add_block(block, len);
                 if ok {
                     self.blockmap.add(block, target);
+                    self.mark_block_dirty(block);
                 }
                 if self.repair_copies.remove(&copy) && ok {
                     self.durability.add_repair_bytes(len);
@@ -1937,6 +2033,7 @@ impl ClusterSim {
                     && self.nodes[target.0 as usize].add_block(block, len);
                 if ok {
                     self.blockmap.add(block, target);
+                    self.mark_block_dirty(block);
                     self.durability
                         .add_repair_bytes(len * sources.len() as Bytes);
                     if was_dark {
@@ -2003,6 +2100,7 @@ impl ClusterSim {
     }
 }
 
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
 fn i_is_parity(ns: &Namespace, b: BlockId) -> bool {
     ns.block(b).map(|i| i.is_parity).unwrap_or(false)
 }

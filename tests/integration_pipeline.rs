@@ -70,7 +70,7 @@ fn audit_text_is_the_only_channel_between_cluster_and_judge() {
     let snap = erms::FileSnapshot {
         path: "/hot".into(),
         replication: 3,
-        blocks: vec![hdfs_sim::BlockId(0).to_string()],
+        blocks: vec![hdfs_sim::BlockId(0)],
         last_access: now,
         boosted: false,
         encoded: false,

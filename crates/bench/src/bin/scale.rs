@@ -1,16 +1,19 @@
 //! Control-loop scaling benchmark → `BENCH_scale.json`.
 //!
 //! ```text
-//! scale [small|medium|large|all] [--ceiling-ms N]
+//! scale [small|medium|large|all] [--ceiling-ms N] [--checkpoint-every N]
 //! ```
 //!
 //! Runs the requested sizes through [`bench::scale`], sampling a
 //! counting global allocator around each mode run as the allocations
 //! proxy, prints a comparison table, and archives the results to
-//! `results/BENCH_scale.json` plus a copy at the workspace root (the
-//! checked-in baseline later PRs diff against). With `--ceiling-ms` the
-//! process exits nonzero if any incremental tick exceeded the ceiling —
-//! a smoke-level regression gate for CI, generous enough not to flake.
+//! `results/BENCH_scale.json` (the checked-in baseline later PRs diff
+//! against). With `--ceiling-ms` the process exits nonzero if any
+//! incremental tick exceeded the ceiling — a smoke-level regression
+//! gate for CI, generous enough not to flake. With `--checkpoint-every
+//! N` the incremental run is snapshotted every N ticks and the process
+//! exits nonzero unless every snapshot re-hydrates and re-saves to
+//! byte-identical JSON.
 
 use bench::common::{results_dir, write_json};
 use bench::scale::{self, AllocStats, ScaleConfig, ScaleResult};
@@ -46,9 +49,9 @@ fn allocs() -> u64 {
     ALLOC_CALLS.load(Ordering::Relaxed)
 }
 
-fn run_size(cfg: &ScaleConfig) -> ScaleResult {
+fn run_size(cfg: &ScaleConfig, checkpoint_every: Option<usize>) -> ScaleResult {
     let a0 = allocs();
-    let incremental = scale::run_mode(cfg, false);
+    let (incremental, checkpoints) = scale::run_mode_checkpointed(cfg, false, checkpoint_every);
     let a1 = allocs();
     let full = scale::run_mode(cfg, true);
     let a2 = allocs();
@@ -58,12 +61,14 @@ fn run_size(cfg: &ScaleConfig) -> ScaleResult {
         incremental_allocs: a1 - a0,
         full_allocs: a2 - a1,
     });
+    r.checkpoints = checkpoints;
     r
 }
 
 fn main() -> ExitCode {
     let mut sizes: Vec<ScaleConfig> = Vec::new();
     let mut ceiling_ms: Option<f64> = None;
+    let mut checkpoint_every: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,6 +85,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 ceiling_ms = Some(v);
+            }
+            "--checkpoint-every" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
+                    eprintln!("--checkpoint-every needs a positive tick count");
+                    return ExitCode::FAILURE;
+                };
+                checkpoint_every = Some(v);
             }
             name => match ScaleConfig::named(name) {
                 Some(cfg) => sizes.push(cfg),
@@ -104,7 +116,7 @@ fn main() -> ExitCode {
     );
     let mut results: Vec<ScaleResult> = Vec::new();
     for cfg in &sizes {
-        let r = run_size(cfg);
+        let r = run_size(cfg, checkpoint_every);
         println!(
             "{:<8} {:>6} {:>6} {:>12.3} {:>12.3} {:>8.1}x {:>8.0}% {:>12.0}",
             r.size,
@@ -116,14 +128,29 @@ fn main() -> ExitCode {
             r.judged_ratio * 100.0,
             r.cep.events_per_sec
         );
+        if let Some(ck) = &r.checkpoints {
+            println!(
+                "  checkpoints: {} snapshot(s) every {} tick(s), {:.1} KiB total, {:.2} ms/save, verified={}",
+                ck.snapshots,
+                ck.every,
+                ck.total_bytes as f64 / 1024.0,
+                ck.mean_save_ms,
+                ck.verified
+            );
+        }
         results.push(r);
+    }
+    if results
+        .iter()
+        .filter_map(|r| r.checkpoints.as_ref())
+        .any(|ck| !ck.verified)
+    {
+        eprintln!("FAIL: a mid-run snapshot did not re-save to identical bytes");
+        return ExitCode::FAILURE;
     }
 
     write_json("BENCH_scale", &results);
     let archived = results_dir().join("BENCH_scale.json");
-    if let Some(root) = results_dir().parent() {
-        let _ = std::fs::copy(&archived, root.join("BENCH_scale.json"));
-    }
     println!("archived {}", archived.display());
 
     if let Some(ceiling) = ceiling_ms {

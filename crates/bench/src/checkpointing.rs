@@ -1,0 +1,379 @@
+//! Resumable scenario runner — the checkpoint subsystem's main consumer.
+//!
+//! A [`ResumableRun`] drives the faults-under-churn scenario one control
+//! tick at a time and can [`save`](ResumableRun::save) its *entire*
+//! deterministic state into a [`checkpoint::Snapshot`] at any tick
+//! boundary: cluster (namespace, blockmap, flows, durability), ERMS
+//! manager (CEP windows, journal, bookkeeping sets, standby model),
+//! fault-plan cursor, telemetry sequence number and the runner's own
+//! loop state. [`resume`](ResumableRun::resume) rebuilds a run from a
+//! snapshot via rebuild-then-hydrate: construct everything from the
+//! named scenario's config (config is *not* serialized), then overwrite
+//! the dynamic state.
+//!
+//! The contract the integration suite enforces: a run checkpointed at
+//! tick T and resumed is byte-identical to the straight-through run —
+//! the telemetry JSONL prefix (drained before the snapshot) plus the
+//! resumed suffix concatenate into the exact straight-through trace,
+//! and the final snapshots compare equal field for field.
+
+use checkpoint::codec as c;
+use checkpoint::{CheckpointError, Checkpointable, Snapshot, SnapshotMeta};
+use erms::{ErmsConfig, ErmsManager, ErmsPlacement, Thresholds};
+use hdfs_sim::faults::{FaultConfig, FaultInjector};
+use hdfs_sim::topology::{ClientId, Endpoint};
+use hdfs_sim::{ClusterConfig, ClusterSim, NodeId};
+use simcore::telemetry::TelemetrySink;
+use simcore::units::{Bytes, MB};
+use simcore::{SimDuration, SimTime};
+
+/// A named, code-defined scenario shape. Snapshots store only the name
+/// (plus seed), so resuming looks the config up here — the snapshot
+/// never has to serialize topology or thresholds, and a snapshot taken
+/// against one binary cannot silently run under a different config.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub name: &'static str,
+    pub fault: FaultConfig,
+    pub num_files: usize,
+    pub file_size: Bytes,
+    /// Control-loop / fault-injection cadence.
+    pub tick: SimDuration,
+    /// Horizon ticks plus the settle tail, i.e. when [`ResumableRun::done`]
+    /// flips.
+    pub total_ticks: u64,
+    /// Flash-crowd shape (same as the faults bench): the first
+    /// `warmup_read_ticks` ticks each open `reads_per_tick` reads on
+    /// `/churn/f0`, giving the manager something to boost and shed.
+    pub warmup_read_ticks: u64,
+    pub reads_per_tick: u32,
+    /// Node ids handed to ERMS as the elastic standby pool.
+    pub standby: std::ops::Range<u32>,
+    /// Judge mode: forced full rescan instead of the incremental visit set.
+    pub full_rescan: bool,
+}
+
+impl Scenario {
+    /// 1h of churn + settle tail on the 18-node paper testbed,
+    /// incremental judging. The workhorse for tests and CI.
+    pub fn churn_small() -> Self {
+        let mut fault = FaultConfig::paper_default();
+        fault.horizon = SimDuration::from_hours(1);
+        fault.node_mtbf = SimDuration::from_mins(25);
+        Scenario {
+            name: "churn-small",
+            fault,
+            num_files: 8,
+            file_size: 64 * MB,
+            tick: SimDuration::from_secs(30),
+            total_ticks: 120 + 16,
+            warmup_read_ticks: 8,
+            reads_per_tick: 8,
+            standby: 15..18,
+            full_rescan: false,
+        }
+    }
+
+    /// [`churn_small`](Self::churn_small) with the judge forced into
+    /// full-rescan mode — the equivalence guard runs both.
+    pub fn churn_small_full() -> Self {
+        Scenario {
+            name: "churn-small-full",
+            full_rescan: true,
+            ..Self::churn_small()
+        }
+    }
+
+    /// Half-hour micro variant for property tests.
+    pub fn churn_tiny() -> Self {
+        let mut s = Self::churn_small();
+        s.name = "churn-tiny";
+        s.fault.horizon = SimDuration::from_mins(30);
+        s.fault.node_mtbf = SimDuration::from_mins(12);
+        s.num_files = 6;
+        s.total_ticks = 60 + 10;
+        s
+    }
+
+    /// Look a scenario up by the name a snapshot recorded.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "churn-small" => Some(Self::churn_small()),
+            "churn-small-full" => Some(Self::churn_small_full()),
+            "churn-tiny" => Some(Self::churn_tiny()),
+            _ => None,
+        }
+    }
+
+    pub fn names() -> &'static [&'static str] {
+        &["churn-small", "churn-small-full", "churn-tiny"]
+    }
+
+    fn erms_config(&self) -> ErmsConfig {
+        let mut thresholds = Thresholds::calibrate(4.0);
+        thresholds.window = SimDuration::from_secs(600);
+        thresholds.cold_age = SimDuration::from_secs(1800);
+        ErmsConfig::builder()
+            .thresholds(thresholds)
+            .standby(self.standby.clone().map(NodeId))
+            .self_healing(true)
+            .encode(false)
+            .full_rescan(self.full_rescan)
+            .build()
+            .expect("scenario config is valid")
+    }
+}
+
+/// A scenario run that can be snapshotted at any tick boundary.
+pub struct ResumableRun {
+    scenario: Scenario,
+    seed: u64,
+    cluster: ClusterSim,
+    manager: ErmsManager,
+    injector: FaultInjector,
+    sink: TelemetrySink,
+    tick_idx: u64,
+    deadline: SimTime,
+    finished: bool,
+}
+
+impl ResumableRun {
+    /// Start a fresh run: paper testbed, base files created and settled,
+    /// fault plan generated from the seed, recording telemetry attached
+    /// from the first event.
+    pub fn new(scenario: Scenario, seed: u64) -> Self {
+        let ccfg = ClusterConfig::paper_testbed();
+        let nodes = ccfg.datanodes as usize;
+        let racks = ccfg.racks as usize;
+        let mut cluster = ClusterSim::new(ccfg, Box::new(ErmsPlacement::new()));
+        let sink = TelemetrySink::recording();
+        cluster.set_telemetry(sink.clone());
+        let mut manager =
+            ErmsManager::new(scenario.erms_config(), &mut cluster).expect("scenario manager");
+        manager.set_telemetry(sink.clone());
+        for i in 0..scenario.num_files {
+            cluster
+                .create_file(&format!("/churn/f{i}"), scenario.file_size, 3, None)
+                .expect("base data fits");
+        }
+        cluster.run_until_quiescent();
+        let injector = FaultInjector::from_config(&scenario.fault, nodes, racks, seed);
+        ResumableRun {
+            scenario,
+            seed,
+            cluster,
+            manager,
+            injector,
+            sink,
+            tick_idx: 0,
+            deadline: SimTime::ZERO,
+            finished: false,
+        }
+    }
+
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+    pub fn tick_idx(&self) -> u64 {
+        self.tick_idx
+    }
+    pub fn done(&self) -> bool {
+        self.tick_idx >= self.scenario.total_ticks
+    }
+    pub fn cluster(&self) -> &ClusterSim {
+        &self.cluster
+    }
+    pub fn manager(&self) -> &ErmsManager {
+        &self.manager
+    }
+
+    /// One control tick, same shape as the faults bench: drain to the
+    /// deadline, stoke the flash crowd, land due faults, tick ERMS.
+    pub fn step(&mut self) {
+        debug_assert!(!self.done(), "stepping past the horizon");
+        self.deadline += self.scenario.tick;
+        self.cluster.run_until(self.deadline);
+        if self.tick_idx < self.scenario.warmup_read_ticks {
+            for r in 0..self.scenario.reads_per_tick {
+                // churn can leave the file briefly unreadable; the crowd
+                // just comes back next tick
+                let _ = self.cluster.open_read(
+                    Endpoint::Client(ClientId(
+                        self.tick_idx as u32 * self.scenario.reads_per_tick + r,
+                    )),
+                    "/churn/f0",
+                );
+            }
+        }
+        self.injector.apply_due(&mut self.cluster, self.deadline);
+        let now = self.cluster.now();
+        self.manager.tick(&mut self.cluster, now);
+        self.tick_idx += 1;
+    }
+
+    /// Step until tick `t` (or the horizon, whichever is first).
+    pub fn run_to_tick(&mut self, t: u64) {
+        while self.tick_idx < t && !self.done() {
+            self.step();
+        }
+    }
+
+    /// Step to the horizon, drain in-flight work and close the
+    /// durability ledger. Idempotent.
+    pub fn finish(&mut self) {
+        while !self.done() {
+            self.step();
+        }
+        if !self.finished {
+            self.cluster.run_until_quiescent();
+            let end = self.cluster.now();
+            self.cluster.durability_mut().finalize(end);
+            self.finished = true;
+        }
+    }
+
+    /// Drain the telemetry recorded since the last drain. Draining does
+    /// not disturb the sequence numbering, so a prefix drained before
+    /// [`save`](Self::save) and the suffix from the resumed run
+    /// concatenate into the straight-through trace.
+    pub fn drain_trace(&mut self) -> String {
+        self.sink.drain_jsonl()
+    }
+
+    /// Snapshot the complete deterministic state at the current tick
+    /// boundary. Telemetry *events* are not serialized — only the
+    /// sequence counter, so the resumed sink continues the numbering.
+    pub fn save(&self) -> Snapshot {
+        let mut snap = Snapshot::new(SnapshotMeta {
+            scenario: self.scenario.name.to_string(),
+            seed: self.seed,
+            tick: self.tick_idx,
+        });
+        snap.insert_section("cluster", self.cluster.save_state());
+        snap.insert_section("manager", self.manager.save_state());
+        snap.insert_section(
+            "runner",
+            c::MapBuilder::new()
+                .u64("tick_idx", self.tick_idx)
+                .time("deadline", self.deadline)
+                .u64("fault_cursor", self.injector.cursor() as u64)
+                .u64("telemetry_seq", self.sink.seq())
+                .bool("finished", self.finished)
+                .build(),
+        );
+        snap
+    }
+
+    /// Rebuild a run from a snapshot. The scenario named in the meta is
+    /// looked up in the registry and everything is constructed fresh
+    /// (with the telemetry sink still disabled, so construction noise
+    /// never reaches the trace), then hydrated from the sections; the
+    /// fault plan is regenerated from the seed and fast-forwarded to
+    /// the saved cursor.
+    pub fn resume(snap: &Snapshot) -> Result<Self, CheckpointError> {
+        let scenario = Scenario::by_name(&snap.meta.scenario).ok_or_else(|| {
+            CheckpointError::Corrupt(format!(
+                "snapshot names unknown scenario {:?}",
+                snap.meta.scenario
+            ))
+        })?;
+        let seed = snap.meta.seed;
+        let ccfg = ClusterConfig::paper_testbed();
+        let nodes = ccfg.datanodes as usize;
+        let racks = ccfg.racks as usize;
+        let mut cluster = ClusterSim::new(ccfg, Box::new(ErmsPlacement::new()));
+        let mut manager = ErmsManager::new(scenario.erms_config(), &mut cluster)
+            .map_err(|e| CheckpointError::Corrupt(format!("scenario config rejected: {e}")))?;
+        cluster.load_state(snap.section("cluster")?)?;
+        manager.load_state(snap.section("manager")?)?;
+
+        let runner = snap.section("runner")?;
+        let tick_idx = c::get_u64(runner, "tick_idx")?;
+        let deadline = c::get_time(runner, "deadline")?;
+        let finished = c::get_bool(runner, "finished")?;
+        let mut injector = FaultInjector::from_config(&scenario.fault, nodes, racks, seed);
+        injector.set_cursor(c::get_usize(runner, "fault_cursor")?);
+
+        let sink = TelemetrySink::recording();
+        sink.set_seq(c::get_u64(runner, "telemetry_seq")?);
+        cluster.set_telemetry(sink.clone());
+        manager.set_telemetry(sink.clone());
+
+        Ok(ResumableRun {
+            scenario,
+            seed,
+            cluster,
+            manager,
+            injector,
+            sink,
+            tick_idx,
+            deadline,
+            finished,
+        })
+    }
+
+    /// Resume as after a manager *crash*: the snapshot stands in for the
+    /// journal a restarted manager replays, so instead of continuing
+    /// exactly, every task the journal shows in flight is failed and its
+    /// rollback compensation applied ([`ErmsManager::restore`]). Returns
+    /// the run plus how many in-flight tasks were recovered.
+    pub fn crash_restart(snap: &Snapshot) -> Result<(Self, usize), CheckpointError> {
+        let mut run = Self::resume(snap)?;
+        let now = run.cluster.now();
+        let recovered = run.manager.restore(&mut run.cluster, now);
+        Ok((run, recovered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_resolve_by_name() {
+        for name in Scenario::names() {
+            let s = Scenario::by_name(name).unwrap();
+            assert_eq!(&s.name, name);
+            assert!(s.total_ticks > 0);
+        }
+        assert!(Scenario::by_name("churn-galactic").is_none());
+    }
+
+    #[test]
+    fn scenarios_actually_schedule_churn() {
+        use hdfs_sim::faults::FaultPlan;
+        for name in Scenario::names() {
+            let s = Scenario::by_name(name).unwrap();
+            let plan = FaultPlan::generate(&s.fault, 18, 3, 42);
+            assert!(!plan.is_empty(), "{name} plans no faults");
+            let span = SimDuration::from_secs_f64(s.tick.as_secs_f64() * s.total_ticks as f64);
+            assert!(
+                span > s.fault.horizon,
+                "{name} ends before its fault horizon"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_carries_the_three_sections() {
+        let mut run = ResumableRun::new(Scenario::churn_tiny(), 7);
+        run.run_to_tick(3);
+        let snap = run.save();
+        assert_eq!(snap.meta.tick, 3);
+        assert_eq!(snap.meta.scenario, "churn-tiny");
+        let names: Vec<&str> = snap.section_names().collect();
+        assert_eq!(names, ["cluster", "manager", "runner"]);
+    }
+
+    #[test]
+    fn resume_rejects_unknown_scenario() {
+        let mut run = ResumableRun::new(Scenario::churn_tiny(), 7);
+        run.run_to_tick(2);
+        let mut snap = run.save();
+        snap.meta.scenario = "churn-galactic".into();
+        assert!(matches!(
+            ResumableRun::resume(&snap),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+}

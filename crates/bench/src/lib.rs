@@ -20,6 +20,7 @@
 
 pub mod ablation;
 pub mod capacity;
+pub mod checkpointing;
 pub mod common;
 pub mod dfsio;
 pub mod faults;

@@ -109,31 +109,75 @@ pub struct ModeStats {
     pub idle_mean_tick_ms: f64,
 }
 
-/// Drive one mode through the scenario, timing only the tick calls.
-pub fn run_mode(cfg: &ScaleConfig, full_rescan: bool) -> ModeStats {
+/// Mid-run snapshot accounting when `scale --checkpoint-every N` is on.
+///
+/// Every Nth tick the cluster + manager are snapshotted into the
+/// checkpoint wire format (outside the timed tick region, so
+/// [`ModeStats`] stay comparable), re-hydrated into a freshly built
+/// cluster/manager pair and re-saved; `verified` stays true only if
+/// every re-save produced byte-identical JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckpointStats {
+    pub every: usize,
+    pub snapshots: usize,
+    pub total_bytes: usize,
+    pub mean_save_ms: f64,
+    pub verified: bool,
+}
+
+fn scale_cluster(cfg: &ScaleConfig) -> ClusterSim {
     let cluster_cfg = ClusterConfig {
         datanodes: cfg.nodes,
         racks: cfg.racks,
         ..ClusterConfig::default()
     };
-    let mut c = ClusterSim::new(cluster_cfg, Box::new(ErmsPlacement::new()));
+    ClusterSim::new(cluster_cfg, Box::new(ErmsPlacement::new()))
+}
+
+fn scale_erms_config(cfg: &ScaleConfig, full_rescan: bool) -> ErmsConfig {
     let mut thresholds = Thresholds::calibrate(4.0);
     thresholds.window = cfg.window;
     thresholds.cold_age = SimDuration::from_hours(4);
-    let erms_cfg = ErmsConfig::builder()
+    ErmsConfig::builder()
         .thresholds(thresholds)
         .standby([])
         .self_healing(true)
         .full_rescan(full_rescan)
         .build()
-        .expect("valid scale config");
-    let mut m = ErmsManager::new(erms_cfg, &mut c).expect("valid scale manager");
+        .expect("valid scale config")
+}
+
+/// Drive one mode through the scenario, timing only the tick calls.
+pub fn run_mode(cfg: &ScaleConfig, full_rescan: bool) -> ModeStats {
+    run_mode_checkpointed(cfg, full_rescan, None).0
+}
+
+/// [`run_mode`], optionally snapshotting every `checkpoint_every` ticks.
+pub fn run_mode_checkpointed(
+    cfg: &ScaleConfig,
+    full_rescan: bool,
+    checkpoint_every: Option<usize>,
+) -> (ModeStats, Option<CheckpointStats>) {
+    use checkpoint::{Checkpointable, Snapshot, SnapshotMeta};
+
+    let mut c = scale_cluster(cfg);
+    let mut m =
+        ErmsManager::new(scale_erms_config(cfg, full_rescan), &mut c).expect("valid scale manager");
 
     for i in 0..cfg.files {
         c.create_file(&format!("/scale/f{i}"), 64 * MB, 3, None)
             .expect("cluster sized to hold the namespace");
     }
     c.run_until_quiescent();
+
+    let mut ck = checkpoint_every.map(|every| CheckpointStats {
+        every: every.max(1),
+        snapshots: 0,
+        total_bytes: 0,
+        mean_save_ms: 0.0,
+        verified: true,
+    });
+    let mut save_ms_total = 0.0f64;
 
     let mut total = 0.0f64;
     let mut max = 0.0f64;
@@ -159,11 +203,50 @@ pub fn run_mode(cfg: &ScaleConfig, full_rescan: bool) -> ModeStats {
             idle_total += ms;
         }
         judged += report.files_judged;
+
+        if let Some(stats) = ck.as_mut() {
+            if (tick + 1) % stats.every == 0 {
+                let start = Instant::now();
+                let mut snap = Snapshot::new(SnapshotMeta {
+                    scenario: format!("scale-{}", cfg.label),
+                    seed: 0,
+                    tick: tick as u64 + 1,
+                });
+                snap.insert_section("cluster", c.save_state());
+                snap.insert_section("manager", m.save_state());
+                let wire = snap.to_json();
+                save_ms_total += start.elapsed().as_secs_f64() * 1e3;
+                stats.snapshots += 1;
+                stats.total_bytes += wire.len();
+
+                // hydrate a fresh pair from the wire bytes and re-save:
+                // the round trip must reproduce the snapshot exactly
+                let back = Snapshot::from_json(&wire).expect("own snapshot parses");
+                let mut c2 = scale_cluster(cfg);
+                let mut m2 = ErmsManager::new(scale_erms_config(cfg, full_rescan), &mut c2)
+                    .expect("valid scale manager");
+                let hydrated = c2
+                    .load_state(back.section("cluster").expect("cluster section"))
+                    .and_then(|()| {
+                        m2.load_state(back.section("manager").expect("manager section"))
+                    });
+                let mut resnap = Snapshot::new(back.meta.clone());
+                resnap.insert_section("cluster", c2.save_state());
+                resnap.insert_section("manager", m2.save_state());
+                stats.verified &= hydrated.is_ok() && resnap.to_json() == wire;
+            }
+        }
+
         c.run_until(c.now() + cfg.tick_step);
         c.run_until_quiescent();
     }
+    if let Some(stats) = ck.as_mut() {
+        if stats.snapshots > 0 {
+            stats.mean_save_ms = save_ms_total / stats.snapshots as f64;
+        }
+    }
 
-    ModeStats {
+    let mode = ModeStats {
         full_rescan,
         ticks: cfg.ticks(),
         files_judged: judged,
@@ -175,7 +258,8 @@ pub fn run_mode(cfg: &ScaleConfig, full_rescan: bool) -> ModeStats {
         } else {
             0.0
         },
-    }
+    };
+    (mode, ck)
 }
 
 /// Throughput of the audit-line → CEP window path.
@@ -243,6 +327,9 @@ pub struct ScaleResult {
     pub cep: CepPushStats,
     /// `None` (→ `null`) when run without the counting allocator.
     pub allocations: Option<AllocStats>,
+    /// `None` (→ `null`) unless run with `--checkpoint-every N`; taken
+    /// from the incremental-mode run.
+    pub checkpoints: Option<CheckpointStats>,
 }
 
 /// Combine the two mode runs and the CEP measurement for one size.
@@ -273,6 +360,7 @@ pub fn assemble(
         judged_ratio,
         cep,
         allocations: None,
+        checkpoints: None,
     }
 }
 
@@ -332,6 +420,22 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"size\":\"mini\""));
         assert!(json.contains("\"allocations\":null"));
+    }
+
+    #[test]
+    fn checkpoint_every_snapshots_and_verifies() {
+        let cfg = mini();
+        let (mode, ck) = run_mode_checkpointed(&cfg, false, Some(4));
+        let ck = ck.expect("stats requested");
+        assert_eq!(mode.ticks, cfg.ticks());
+        assert_eq!(ck.snapshots, cfg.ticks() / 4);
+        assert!(ck.total_bytes > 0);
+        assert!(
+            ck.verified,
+            "every mid-run snapshot must re-save to identical bytes"
+        );
+        let json = serde_json::to_string(&ck).unwrap();
+        assert!(json.contains("\"verified\":true"));
     }
 
     #[test]

@@ -194,6 +194,113 @@ impl CepEngine {
     }
 }
 
+impl checkpoint::Checkpointable for CepEngine {
+    // Rebuild-then-hydrate: ids are assigned sequentially at registration,
+    // so a restored engine must re-register the same queries and patterns
+    // in the same order before loading. Subscriptions (closures) and the
+    // telemetry sink are re-attached by the caller, never serialized.
+    fn save_state(&self) -> checkpoint::Value {
+        use checkpoint::codec::MapBuilder;
+        use checkpoint::Value;
+        MapBuilder::new()
+            .u64("next_id", self.next_id)
+            .u64("events_seen", self.events_seen)
+            .seq(
+                "queries",
+                self.queries
+                    .iter()
+                    .map(|(id, q)| Value::Seq(vec![Value::U64(id.0), q.save_state()]))
+                    .collect(),
+            )
+            .seq(
+                "patterns",
+                self.patterns
+                    .iter()
+                    .map(|(id, (p, buf))| {
+                        Value::Seq(vec![
+                            Value::U64(id.0),
+                            p.save_state(),
+                            Value::Seq(
+                                buf.iter()
+                                    .map(|m| {
+                                        Value::Seq(vec![
+                                            crate::event::ck::event(&m.first),
+                                            crate::event::ck::event(&m.second),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            )
+            .build()
+    }
+
+    fn load_state(&mut self, state: &checkpoint::Value) -> Result<(), checkpoint::CheckpointError> {
+        use checkpoint::codec as c;
+        use checkpoint::CheckpointError;
+        let queries = c::get_seq(state, "queries")?;
+        if queries.len() != self.queries.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot has {} queries, engine has {} registered",
+                queries.len(),
+                self.queries.len()
+            )));
+        }
+        for entry in queries {
+            let pair = c::as_seq(entry, "queries[]")?;
+            if pair.len() != 2 {
+                return Err(CheckpointError::Corrupt(
+                    "query entry is not [id, state]".into(),
+                ));
+            }
+            let id = QueryId(c::as_u64(&pair[0], "query id")?);
+            let q = self.queries.get_mut(&id).ok_or_else(|| {
+                CheckpointError::Corrupt(format!("snapshot query {} is not registered", id.0))
+            })?;
+            q.load_state(&pair[1])?;
+        }
+        let patterns = c::get_seq(state, "patterns")?;
+        if patterns.len() != self.patterns.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot has {} patterns, engine has {} registered",
+                patterns.len(),
+                self.patterns.len()
+            )));
+        }
+        for entry in patterns {
+            let parts = c::as_seq(entry, "patterns[]")?;
+            if parts.len() != 3 {
+                return Err(CheckpointError::Corrupt(
+                    "pattern entry is not [id, state, matches]".into(),
+                ));
+            }
+            let id = PatternId(c::as_u64(&parts[0], "pattern id")?);
+            let (p, buf) = self.patterns.get_mut(&id).ok_or_else(|| {
+                CheckpointError::Corrupt(format!("snapshot pattern {} is not registered", id.0))
+            })?;
+            p.load_state(&parts[1])?;
+            buf.clear();
+            for m in c::as_seq(&parts[2], "pattern matches")? {
+                let pair = c::as_seq(m, "match")?;
+                if pair.len() != 2 {
+                    return Err(CheckpointError::Corrupt(
+                        "pattern match is not [first, second]".into(),
+                    ));
+                }
+                buf.push(PatternMatch {
+                    first: crate::event::ck::event_back(&pair[0])?,
+                    second: crate::event::ck::event_back(&pair[1])?,
+                });
+            }
+        }
+        self.next_id = c::get_u64(state, "next_id")?;
+        self.events_seen = c::get_u64(state, "events_seen")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +425,84 @@ mod tests {
         assert_eq!(eng.value_for(q, now, ""), 3.0);
         // Keys naming no row must not alias the global aggregate.
         assert_eq!(eng.value_for(q, now, "/a"), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_identically() {
+        use crate::pattern::{EventFilter, FollowedBy};
+        use crate::query::Predicate;
+        use checkpoint::Checkpointable;
+
+        // Same registration sequence both times (rebuild-then-hydrate).
+        let build = || {
+            let mut eng = CepEngine::new();
+            let mut hot = QuerySpec::count_per_group("audit", "src", SimDuration::from_secs(60));
+            hot.having = Some(Comparison::Ge(2.0));
+            let q_hot = eng.register(hot);
+            let q_blk = eng.register(QuerySpec::count_per_group(
+                "block_read",
+                "blk",
+                SimDuration::from_secs(30),
+            ));
+            let pat = eng.register_pattern(FollowedBy {
+                first: EventFilter::of_type("audit").with(Predicate::Eq(
+                    "cmd".into(),
+                    crate::event::Value::str("open"),
+                )),
+                second: EventFilter::of_type("block_read"),
+                within: SimDuration::from_secs(120),
+                key_field: Some("src".into()),
+            });
+            (eng, q_hot, q_blk, pat)
+        };
+        let feed = |eng: &mut CepEngine, range: std::ops::Range<u64>| {
+            for t in range {
+                eng.push(&access(t, if t % 3 == 0 { "/a" } else { "/b" }));
+                eng.push(
+                    &Event::new(SimTime::from_secs(t), "block_read")
+                        .with("blk", format!("blk_{}", t % 4))
+                        .with("src", "/a"),
+                );
+            }
+        };
+
+        let (mut live, q_hot, q_blk, pat) = build();
+        feed(&mut live, 0..40);
+
+        let json = serde_json::to_string(&live.save_state()).unwrap();
+        let (mut restored, ..) = build();
+        restored
+            .load_state(&serde_json::parse_value(&json).unwrap())
+            .unwrap();
+
+        // Continue both engines over identical input and compare outputs.
+        feed(&mut live, 40..80);
+        feed(&mut restored, 40..80);
+        let now = SimTime::from_secs(80);
+        for q in [q_hot, q_blk] {
+            assert_eq!(live.rows(q, now), restored.rows(q, now));
+        }
+        assert_eq!(
+            live.value_for(q_hot, now, "/a"),
+            restored.value_for(q_hot, now, "/a")
+        );
+        assert_eq!(live.events_seen(), restored.events_seen());
+        assert_eq!(live.drain_matches(pat), restored.drain_matches(pat));
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_registration() {
+        use checkpoint::Checkpointable;
+        let mut eng = CepEngine::new();
+        eng.register(QuerySpec::count_per_group(
+            "audit",
+            "src",
+            SimDuration::from_secs(60),
+        ));
+        let saved = eng.save_state();
+        let mut empty = CepEngine::new();
+        let err = empty.load_state(&saved).unwrap_err();
+        assert!(matches!(err, checkpoint::CheckpointError::Corrupt(_)));
     }
 
     #[test]

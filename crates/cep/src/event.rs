@@ -145,6 +145,92 @@ impl Event {
     }
 }
 
+/// Checkpoint codec for events. Fields are private to this module, so
+/// the window/pattern/engine snapshot code funnels through here.
+pub(crate) mod ck {
+    use super::{Event, Value};
+    use checkpoint::codec as c;
+    use checkpoint::{CheckpointError, Value as Ck};
+
+    /// Encode one field value as a `[tag, payload]` pair. Floats go
+    /// through raw bits so round trips are bit-exact.
+    fn field_value(v: &Value) -> Ck {
+        match v {
+            Value::Int(i) => Ck::Seq(vec![Ck::Str("i".into()), Ck::I64(*i)]),
+            Value::Float(f) => Ck::Seq(vec![Ck::Str("f".into()), Ck::U64(f.to_bits())]),
+            Value::Str(s) => Ck::Seq(vec![Ck::Str("s".into()), Ck::Str(s.to_string())]),
+            Value::Bool(b) => Ck::Seq(vec![Ck::Str("b".into()), Ck::Bool(*b)]),
+        }
+    }
+
+    /// JSON keeps no signedness: a non-negative `I64` parses back as
+    /// `U64`, so the decoder accepts both.
+    fn as_i64(v: &Ck, field: &str) -> Result<i64, CheckpointError> {
+        match v {
+            Ck::I64(n) => Ok(*n),
+            Ck::U64(n) => i64::try_from(*n).map_err(|_| CheckpointError::TypeMismatch {
+                field: field.to_string(),
+                expected: "i64",
+            }),
+            _ => Err(CheckpointError::TypeMismatch {
+                field: field.to_string(),
+                expected: "i64",
+            }),
+        }
+    }
+
+    fn field_value_back(v: &Ck) -> Result<Value, CheckpointError> {
+        let pair = c::as_seq(v, "field value")?;
+        if pair.len() != 2 {
+            return Err(CheckpointError::Corrupt(
+                "event field value is not a [tag, payload] pair".into(),
+            ));
+        }
+        Ok(match c::as_str(&pair[0], "field tag")? {
+            "i" => Value::Int(as_i64(&pair[1], "int field")?),
+            "f" => Value::Float(f64::from_bits(c::as_u64(&pair[1], "float field")?)),
+            "s" => Value::str(c::as_str(&pair[1], "str field")?),
+            "b" => Value::Bool(c::as_bool(&pair[1], "bool field")?),
+            other => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "unknown event field tag `{other}`"
+                )))
+            }
+        })
+    }
+
+    pub(crate) fn event(e: &Event) -> Ck {
+        c::MapBuilder::new()
+            .time("time", e.time)
+            .str("type", &e.event_type)
+            .seq(
+                "fields",
+                e.fields
+                    .iter()
+                    .map(|(k, v)| Ck::Seq(vec![Ck::Str(k.to_string()), field_value(v)]))
+                    .collect(),
+            )
+            .build()
+    }
+
+    pub(crate) fn event_back(v: &Ck) -> Result<Event, CheckpointError> {
+        let mut e = Event::new(c::get_time(v, "time")?, c::get_str(v, "type")?);
+        for fv in c::get_seq(v, "fields")? {
+            let pair = c::as_seq(fv, "fields[]")?;
+            if pair.len() != 2 {
+                return Err(CheckpointError::Corrupt(
+                    "event field is not a [key, value] pair".into(),
+                ));
+            }
+            e.set(
+                c::as_str(&pair[0], "field key")?,
+                field_value_back(&pair[1])?,
+            );
+        }
+        Ok(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +288,21 @@ mod tests {
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::str("p").to_string(), "p");
         assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips_all_value_kinds() {
+        let e = Event::new(SimTime::from_secs(7), "audit")
+            .with("b", true)
+            .with("f", -0.1f64)
+            .with("i", -3i64)
+            .with("s", "/data/a");
+        let json = serde_json::to_string(&ck::event(&e)).unwrap();
+        let back = ck::event_back(&serde_json::parse_value(&json).unwrap()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(
+            back.get("f").unwrap().as_f64().unwrap().to_bits(),
+            (-0.1f64).to_bits()
+        );
     }
 }

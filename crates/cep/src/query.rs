@@ -428,6 +428,74 @@ impl QueryState {
     }
 }
 
+impl checkpoint::Checkpointable for QueryState {
+    // The spec is NOT serialized: restore rebuilds the engine through the
+    // same registration calls and only hydrates runtime state. The
+    // running aggregates ARE serialized (not recomputed from the window)
+    // because incremental float sums can drift from a rescan — a restored
+    // run must continue from the drifted values the live run holds.
+    fn save_state(&self) -> checkpoint::Value {
+        use checkpoint::codec::MapBuilder;
+        use checkpoint::Value;
+        let agg = |g: &GroupAgg| {
+            vec![
+                Value::U64(g.events),
+                Value::U64(g.numeric),
+                Value::U64(g.sum.to_bits()),
+            ]
+        };
+        MapBuilder::new()
+            .put("window", self.window.save_state())
+            .seq(
+                "groups",
+                self.groups
+                    .iter()
+                    .map(|(k, g)| {
+                        let mut row = vec![Value::Str(k.to_string())];
+                        row.extend(agg(g));
+                        Value::Seq(row)
+                    })
+                    .collect(),
+            )
+            .seq("total", agg(&self.total))
+            .build()
+    }
+
+    fn load_state(&mut self, state: &checkpoint::Value) -> Result<(), checkpoint::CheckpointError> {
+        use checkpoint::codec as c;
+        fn agg_back(
+            parts: &[serde::Value],
+            at: usize,
+        ) -> Result<GroupAgg, checkpoint::CheckpointError> {
+            Ok(GroupAgg {
+                events: c::as_u64(&parts[at], "agg events")?,
+                numeric: c::as_u64(&parts[at + 1], "agg numeric")?,
+                sum: f64::from_bits(c::as_u64(&parts[at + 2], "agg sum")?),
+            })
+        }
+        self.window.load_state(c::get(state, "window")?)?;
+        self.groups.clear();
+        for row in c::get_seq(state, "groups")? {
+            let parts = c::as_seq(row, "groups[]")?;
+            if parts.len() != 4 {
+                return Err(checkpoint::CheckpointError::Corrupt(
+                    "group row is not [key, events, numeric, sum]".into(),
+                ));
+            }
+            let key: Arc<str> = Arc::from(c::as_str(&parts[0], "group key")?);
+            self.groups.insert(key, agg_back(parts, 1)?);
+        }
+        let total = c::get_seq(state, "total")?;
+        if total.len() != 3 {
+            return Err(checkpoint::CheckpointError::Corrupt(
+                "total is not [events, numeric, sum]".into(),
+            ));
+        }
+        self.total = agg_back(total, 0)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,228 @@
+//! Hand-codec helpers over the serde stand-in's [`Value`] tree.
+//!
+//! The vendored derive handles only simple named-field structs, so every
+//! [`Checkpointable`](crate::Checkpointable) impl writes its codec by
+//! hand. These helpers keep that code short and give every failure a
+//! typed [`CheckpointError`] that names the offending field.
+//!
+//! Floats are **never** stored as JSON numbers: [`f64_bits`] encodes the
+//! raw IEEE-754 bits as a `u64` so round trips are bit-exact. Times go
+//! through nanoseconds.
+
+use crate::error::CheckpointError;
+use serde::Value;
+use simcore::{SimDuration, SimTime};
+
+// ------------------------------------------------------------- building
+
+/// Fluent builder for a `Value::Map` section.
+#[derive(Default)]
+pub struct MapBuilder {
+    entries: Vec<(String, Value)>,
+}
+
+impl MapBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put(mut self, key: &str, v: Value) -> Self {
+        self.entries.push((key.to_string(), v));
+        self
+    }
+
+    pub fn u64(self, key: &str, x: u64) -> Self {
+        self.put(key, Value::U64(x))
+    }
+
+    pub fn bool(self, key: &str, x: bool) -> Self {
+        self.put(key, Value::Bool(x))
+    }
+
+    pub fn str(self, key: &str, s: &str) -> Self {
+        self.put(key, Value::Str(s.to_string()))
+    }
+
+    /// Store an `f64` as its raw bits.
+    pub fn f64b(self, key: &str, x: f64) -> Self {
+        self.put(key, f64_bits(x))
+    }
+
+    pub fn time(self, key: &str, t: SimTime) -> Self {
+        self.u64(key, t.as_nanos())
+    }
+
+    pub fn seq(self, key: &str, items: Vec<Value>) -> Self {
+        self.put(key, Value::Seq(items))
+    }
+
+    pub fn build(self) -> Value {
+        Value::Map(self.entries)
+    }
+}
+
+/// Bit-exact `f64` encoding.
+pub fn f64_bits(x: f64) -> Value {
+    Value::U64(x.to_bits())
+}
+
+/// Encode any iterator of items through a per-item encoder.
+pub fn seq_of<T>(items: impl IntoIterator<Item = T>, f: impl Fn(T) -> Value) -> Value {
+    Value::Seq(items.into_iter().map(f).collect())
+}
+
+// -------------------------------------------------------------- reading
+
+/// Fetch a map entry, failing with the field's name.
+pub fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, CheckpointError> {
+    v.get(key)
+        .ok_or_else(|| CheckpointError::MissingField(key.to_string()))
+}
+
+pub fn as_u64(v: &Value, field: &str) -> Result<u64, CheckpointError> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        _ => Err(mismatch(field, "u64")),
+    }
+}
+
+pub fn as_bool(v: &Value, field: &str) -> Result<bool, CheckpointError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(mismatch(field, "bool")),
+    }
+}
+
+pub fn as_str<'a>(v: &'a Value, field: &str) -> Result<&'a str, CheckpointError> {
+    v.as_str().ok_or_else(|| mismatch(field, "string"))
+}
+
+pub fn as_seq<'a>(v: &'a Value, field: &str) -> Result<&'a [Value], CheckpointError> {
+    v.as_seq().ok_or_else(|| mismatch(field, "sequence"))
+}
+
+pub fn as_map<'a>(v: &'a Value, field: &str) -> Result<&'a [(String, Value)], CheckpointError> {
+    v.as_map().ok_or_else(|| mismatch(field, "map"))
+}
+
+/// Decode an `f64` stored as raw bits.
+pub fn as_f64_bits(v: &Value, field: &str) -> Result<f64, CheckpointError> {
+    as_u64(v, field).map(f64::from_bits)
+}
+
+// Keyed convenience forms: `get_*` = `get` + `as_*`.
+
+pub fn get_u64(v: &Value, key: &str) -> Result<u64, CheckpointError> {
+    as_u64(get(v, key)?, key)
+}
+
+pub fn get_u32(v: &Value, key: &str) -> Result<u32, CheckpointError> {
+    narrow(get_u64(v, key)?, key, "u32")
+}
+
+pub fn get_u16(v: &Value, key: &str) -> Result<u16, CheckpointError> {
+    narrow(get_u64(v, key)?, key, "u16")
+}
+
+pub fn get_u8(v: &Value, key: &str) -> Result<u8, CheckpointError> {
+    narrow(get_u64(v, key)?, key, "u8")
+}
+
+pub fn get_usize(v: &Value, key: &str) -> Result<usize, CheckpointError> {
+    narrow(get_u64(v, key)?, key, "usize")
+}
+
+pub fn get_bool(v: &Value, key: &str) -> Result<bool, CheckpointError> {
+    as_bool(get(v, key)?, key)
+}
+
+pub fn get_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, CheckpointError> {
+    as_str(get(v, key)?, key)
+}
+
+pub fn get_seq<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], CheckpointError> {
+    as_seq(get(v, key)?, key)
+}
+
+pub fn get_f64b(v: &Value, key: &str) -> Result<f64, CheckpointError> {
+    as_f64_bits(get(v, key)?, key)
+}
+
+pub fn get_time(v: &Value, key: &str) -> Result<SimTime, CheckpointError> {
+    get_u64(v, key).map(SimTime::from_nanos)
+}
+
+pub fn get_duration(v: &Value, key: &str) -> Result<SimDuration, CheckpointError> {
+    get_u64(v, key).map(SimDuration::from_nanos)
+}
+
+fn narrow<T: TryFrom<u64>>(
+    n: u64,
+    field: &str,
+    expected: &'static str,
+) -> Result<T, CheckpointError> {
+    T::try_from(n).map_err(|_| mismatch(field, expected))
+}
+
+fn mismatch(field: &str, expected: &'static str) -> CheckpointError {
+    CheckpointError::TypeMismatch {
+        field: field.to_string(),
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_builder_round_trips_through_getters() {
+        let v = MapBuilder::new()
+            .u64("n", 7)
+            .bool("flag", true)
+            .str("name", "x")
+            .f64b("rate", -0.125)
+            .time("at", SimTime::from_secs(3))
+            .seq("items", vec![Value::U64(1), Value::U64(2)])
+            .build();
+        assert_eq!(get_u64(&v, "n").unwrap(), 7);
+        assert!(get_bool(&v, "flag").unwrap());
+        assert_eq!(get_str(&v, "name").unwrap(), "x");
+        assert_eq!(
+            get_f64b(&v, "rate").unwrap().to_bits(),
+            (-0.125f64).to_bits()
+        );
+        assert_eq!(get_time(&v, "at").unwrap(), SimTime::from_secs(3));
+        assert_eq!(get_seq(&v, "items").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_name_the_field() {
+        let v = MapBuilder::new().u64("n", 1).build();
+        assert_eq!(
+            get_u64(&v, "missing"),
+            Err(CheckpointError::MissingField("missing".into()))
+        );
+        assert_eq!(
+            get_bool(&v, "n"),
+            Err(CheckpointError::TypeMismatch {
+                field: "n".into(),
+                expected: "bool"
+            })
+        );
+        assert!(get_u8(&v, "n").is_ok());
+        let big = MapBuilder::new().u64("n", 300).build();
+        assert!(get_u8(&big, "n").is_err());
+    }
+
+    #[test]
+    fn f64_bits_survive_json_even_for_nan_and_negatives() {
+        for x in [0.0, -0.0, 1.5, -1234.75, f64::NAN, f64::INFINITY] {
+            let v = MapBuilder::new().f64b("x", x).build();
+            let json = serde_json::to_string(&v).unwrap();
+            let back = serde_json::parse_value(&json).unwrap();
+            assert_eq!(get_f64b(&back, "x").unwrap().to_bits(), x.to_bits());
+        }
+    }
+}

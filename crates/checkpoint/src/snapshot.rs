@@ -1,0 +1,224 @@
+//! The versioned snapshot envelope.
+//!
+//! A snapshot is one JSON document:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "meta": { "scenario": "faults-small", "seed": 42, "tick": 10 },
+//!   "sections": { "cluster": { ... }, "manager": { ... }, ... }
+//! }
+//! ```
+//!
+//! `version` is checked *first* on load: a snapshot written by a newer
+//! format fails with [`CheckpointError::UnknownVersion`] before anything
+//! else is touched — never a panic. `meta` names the scenario and seed
+//! the snapshot belongs to; the runner rebuilds the static configuration
+//! from that identity (configs are code, not snapshot payload).
+//! `sections` maps component names to the opaque [`Value`] each
+//! [`Checkpointable`](crate::Checkpointable) impl produced.
+
+use crate::codec;
+use crate::error::CheckpointError;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The snapshot format this build writes and the newest it reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Identity of the run a snapshot belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Scenario name; the resume path rebuilds configuration from it.
+    pub scenario: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Control-loop tick at which the snapshot was taken.
+    pub tick: u64,
+}
+
+/// A complete, versioned snapshot of a run.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub version: u32,
+    pub meta: SnapshotMeta,
+    sections: BTreeMap<String, Value>,
+}
+
+impl Snapshot {
+    /// An empty snapshot at the current [`FORMAT_VERSION`].
+    pub fn new(meta: SnapshotMeta) -> Self {
+        Snapshot {
+            version: FORMAT_VERSION,
+            meta,
+            sections: BTreeMap::new(),
+        }
+    }
+
+    /// Add (or replace) a named component section.
+    pub fn insert_section(&mut self, name: &str, state: Value) {
+        self.sections.insert(name.to_string(), state);
+    }
+
+    /// Fetch a required section.
+    pub fn section(&self, name: &str) -> Result<&Value, CheckpointError> {
+        self.sections
+            .get(name)
+            .ok_or_else(|| CheckpointError::MissingSection(name.to_string()))
+    }
+
+    /// Names of the sections present, sorted.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.keys().map(String::as_str)
+    }
+
+    /// Serialise to the JSON envelope (compact, deterministic: sections
+    /// are sorted by name, floats inside are bit-encoded).
+    pub fn to_json(&self) -> String {
+        let meta = Value::Map(vec![
+            ("scenario".into(), Value::Str(self.meta.scenario.clone())),
+            ("seed".into(), Value::U64(self.meta.seed)),
+            ("tick".into(), Value::U64(self.meta.tick)),
+        ]);
+        let sections = Value::Map(
+            self.sections
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let doc = Value::Map(vec![
+            ("version".into(), Value::U64(u64::from(self.version))),
+            ("meta".into(), meta),
+            ("sections".into(), sections),
+        ]);
+        serde_json::to_string(&doc).expect("value tree always prints")
+    }
+
+    /// Parse a snapshot, checking the format version before anything
+    /// else.
+    pub fn from_json(s: &str) -> Result<Self, CheckpointError> {
+        let doc = serde_json::parse_value(s).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        let version = codec::get_u32(&doc, "version")?;
+        if version > FORMAT_VERSION || version == 0 {
+            return Err(CheckpointError::UnknownVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let meta_v = codec::get(&doc, "meta")?;
+        let meta = SnapshotMeta {
+            scenario: codec::get_str(meta_v, "scenario")?.to_string(),
+            seed: codec::get_u64(meta_v, "seed")?,
+            tick: codec::get_u64(meta_v, "tick")?,
+        };
+        let sections_v = codec::get(&doc, "sections")?;
+        let sections = codec::as_map(sections_v, "sections")?
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Ok(Snapshot {
+            version,
+            meta,
+            sections,
+        })
+    }
+
+    /// Write the snapshot to a file.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json())
+            .map_err(|e| CheckpointError::Io(format!("write {}: {e}", path.display())))
+    }
+
+    /// Read a snapshot back from a file.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::MapBuilder;
+
+    fn meta() -> SnapshotMeta {
+        SnapshotMeta {
+            scenario: "unit".into(),
+            seed: 7,
+            tick: 3,
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let mut s = Snapshot::new(meta());
+        s.insert_section("a", MapBuilder::new().u64("x", 1).build());
+        s.insert_section("b", MapBuilder::new().f64b("y", -2.5).build());
+        let json = s.to_json();
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(back.version, FORMAT_VERSION);
+        assert_eq!(back.meta, meta());
+        assert_eq!(back.section_names().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(codec::get_u64(back.section("a").unwrap(), "x").unwrap(), 1);
+        assert_eq!(
+            codec::get_f64b(back.section("b").unwrap(), "y").unwrap(),
+            -2.5
+        );
+        assert!(matches!(
+            back.section("missing"),
+            Err(CheckpointError::MissingSection(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_version_is_a_typed_error_not_a_panic() {
+        let mut s = Snapshot::new(meta());
+        s.insert_section("a", MapBuilder::new().build());
+        let json = s.to_json().replace("\"version\":1", "\"version\":99");
+        match Snapshot::from_json(&json) {
+            Err(CheckpointError::UnknownVersion { found, supported }) => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnknownVersion, got {other:?}"),
+        }
+        // version 0 is reserved / invalid
+        let json0 = s.to_json().replace("\"version\":1", "\"version\":0");
+        assert!(matches!(
+            Snapshot::from_json(&json0),
+            Err(CheckpointError::UnknownVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        assert!(matches!(
+            Snapshot::from_json("not json"),
+            Err(CheckpointError::Parse(_))
+        ));
+        assert!(matches!(
+            Snapshot::from_json("{\"no\":\"version\"}"),
+            Err(CheckpointError::MissingField(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let dir = std::env::temp_dir().join("checkpoint-crate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let mut s = Snapshot::new(meta());
+        s.insert_section("a", MapBuilder::new().u64("x", 9).build());
+        s.write_file(&path).unwrap();
+        let back = Snapshot::read_file(&path).unwrap();
+        assert_eq!(codec::get_u64(back.section("a").unwrap(), "x").unwrap(), 9);
+        assert!(matches!(
+            Snapshot::read_file(dir.join("absent.json")),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+}

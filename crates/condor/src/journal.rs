@@ -134,6 +134,111 @@ impl<P: Clone> Journal<P> {
             None
         })
     }
+
+    /// Compensating actions for jobs the log shows as *Running* — tasks
+    /// that were in flight when the journal was captured and died with
+    /// the crashed manager. A restarting manager cannot wait for their
+    /// reports (no executor holds them any more), so each payload must be
+    /// either undone or re-driven to a safe state. Jobs that permanently
+    /// failed before the crash are covered by [`pending_rollbacks`]
+    /// (Self::pending_rollbacks), not repeated here.
+    pub fn rollback_plan(&self) -> Vec<(JobId, P)> {
+        self.replay()
+            .into_iter()
+            .filter(|(_, state)| *state == ReplayState::Running)
+            .filter_map(|(job, _)| self.payload_of(job).map(|p| (job, p)))
+            .collect()
+    }
+
+    /// Snapshot the log, encoding payloads through `enc`. The journal is
+    /// generic over its payload, so (de)serialization is parameterised
+    /// rather than bound to a trait the payload may not implement.
+    pub fn save_state_with(&self, enc: impl Fn(&P) -> checkpoint::Value) -> checkpoint::Value {
+        use checkpoint::codec::MapBuilder;
+        use checkpoint::Value;
+        Value::Seq(
+            self.entries
+                .iter()
+                .map(|e| {
+                    let b = MapBuilder::new()
+                        .u64("t", e.time.as_nanos())
+                        .u64("job", e.job.0);
+                    match &e.event {
+                        JournalEvent::Submitted { payload, priority } => {
+                            b.str("ev", "submitted").put("payload", enc(payload)).str(
+                                "priority",
+                                match priority {
+                                    crate::scheduler::Priority::Immediate => "immediate",
+                                    crate::scheduler::Priority::WhenIdle => "when_idle",
+                                },
+                            )
+                        }
+                        JournalEvent::Started { attempt } => {
+                            b.str("ev", "started").u64("attempt", u64::from(*attempt))
+                        }
+                        JournalEvent::Completed => b.str("ev", "completed"),
+                        JournalEvent::Failed { reason, attempt } => b
+                            .str("ev", "failed")
+                            .str("reason", reason)
+                            .u64("attempt", u64::from(*attempt)),
+                        JournalEvent::RollbackRequested => b.str("ev", "rollback_requested"),
+                        JournalEvent::RolledBack => b.str("ev", "rolled_back"),
+                    }
+                    .build()
+                })
+                .collect(),
+        )
+    }
+
+    /// Replace the log with a snapshot taken by [`save_state_with`]
+    /// (Self::save_state_with), decoding payloads through `dec`.
+    pub fn load_state_with(
+        &mut self,
+        state: &checkpoint::Value,
+        dec: impl Fn(&checkpoint::Value) -> Result<P, checkpoint::CheckpointError>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        use checkpoint::codec as c;
+        let entries = c::as_seq(state, "journal")?;
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            let event = match c::get_str(e, "ev")? {
+                "submitted" => JournalEvent::Submitted {
+                    payload: dec(c::get(e, "payload")?)?,
+                    priority: match c::get_str(e, "priority")? {
+                        "immediate" => crate::scheduler::Priority::Immediate,
+                        "when_idle" => crate::scheduler::Priority::WhenIdle,
+                        other => {
+                            return Err(checkpoint::CheckpointError::Corrupt(format!(
+                                "unknown priority `{other}`"
+                            )))
+                        }
+                    },
+                },
+                "started" => JournalEvent::Started {
+                    attempt: c::get_u32(e, "attempt")?,
+                },
+                "completed" => JournalEvent::Completed,
+                "failed" => JournalEvent::Failed {
+                    reason: c::get_str(e, "reason")?.to_string(),
+                    attempt: c::get_u32(e, "attempt")?,
+                },
+                "rollback_requested" => JournalEvent::RollbackRequested,
+                "rolled_back" => JournalEvent::RolledBack,
+                other => {
+                    return Err(checkpoint::CheckpointError::Corrupt(format!(
+                        "unknown journal event `{other}`"
+                    )))
+                }
+            };
+            out.push(JournalEntry {
+                time: SimTime::from_nanos(c::get_u64(e, "t")?),
+                job: JobId(c::get_u64(e, "job")?),
+                event,
+            });
+        }
+        self.entries = out;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +316,64 @@ mod tests {
         j.record(t(5), a, JournalEvent::RolledBack);
         assert_eq!(j.replay()[&a], ReplayState::RolledBack);
         assert!(j.pending_rollbacks().is_empty());
+    }
+
+    #[test]
+    fn rollback_plan_names_only_inflight_jobs() {
+        let mut j: Journal<&str> = Journal::new();
+        let done = JobId(1);
+        let inflight = JobId(2);
+        let queued = JobId(3);
+        for (id, p) in [(done, "a"), (inflight, "b"), (queued, "c")] {
+            j.record(
+                t(0),
+                id,
+                JournalEvent::Submitted {
+                    payload: p,
+                    priority: Priority::Immediate,
+                },
+            );
+        }
+        j.record(t(1), done, JournalEvent::Started { attempt: 1 });
+        j.record(t(2), done, JournalEvent::Completed);
+        j.record(t(3), inflight, JournalEvent::Started { attempt: 1 });
+        assert_eq!(j.rollback_plan(), vec![(inflight, "b")]);
+    }
+
+    #[test]
+    fn save_load_round_trips_every_event_kind() {
+        let mut j: Journal<String> = Journal::new();
+        let a = JobId(4);
+        j.record(
+            t(0),
+            a,
+            JournalEvent::Submitted {
+                payload: "p".to_string(),
+                priority: Priority::WhenIdle,
+            },
+        );
+        j.record(t(1), a, JournalEvent::Started { attempt: 1 });
+        j.record(
+            t(2),
+            a,
+            JournalEvent::Failed {
+                reason: "dn died".into(),
+                attempt: 1,
+            },
+        );
+        j.record(t(3), a, JournalEvent::Started { attempt: 2 });
+        j.record(t(4), a, JournalEvent::Completed);
+        j.record(t(5), a, JournalEvent::RollbackRequested);
+        j.record(t(6), a, JournalEvent::RolledBack);
+
+        let saved = j.save_state_with(|p| checkpoint::Value::Str(p.clone()));
+        let json = serde_json::to_string(&saved).unwrap();
+        let mut back: Journal<String> = Journal::new();
+        back.load_state_with(&serde_json::parse_value(&json).unwrap(), |v| {
+            checkpoint::codec::as_str(v, "payload").map(str::to_string)
+        })
+        .unwrap();
+        assert_eq!(back.entries(), j.entries());
     }
 
     #[test]

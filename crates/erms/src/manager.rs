@@ -1167,9 +1167,289 @@ fn class_name(class: DataClass) -> &'static str {
     }
 }
 
+/// Checkpoint codec for [`ErmsTask`] — the payload handed to Condor's
+/// generic `save_state_with`/`load_state_with`.
+mod ck {
+    use super::ErmsTask;
+    use checkpoint::codec as c;
+    use checkpoint::{CheckpointError, Value};
+
+    pub(super) fn task(t: &ErmsTask) -> Value {
+        let (kind, path, target) = match t {
+            ErmsTask::Increase { path, target } => ("increase", path, Some(*target)),
+            ErmsTask::Decrease { path, target } => ("decrease", path, Some(*target)),
+            ErmsTask::Encode { path } => ("encode", path, None),
+            ErmsTask::Decode { path, target } => ("decode", path, Some(*target)),
+        };
+        let mut b = c::MapBuilder::new().str("kind", kind).str("path", path);
+        if let Some(t) = target {
+            b = b.u64("target", t as u64);
+        }
+        b.build()
+    }
+
+    pub(super) fn task_back(v: &Value) -> Result<ErmsTask, CheckpointError> {
+        let path = c::get_str(v, "path")?.to_string();
+        Ok(match c::get_str(v, "kind")? {
+            "increase" => ErmsTask::Increase {
+                path,
+                target: c::get_usize(v, "target")?,
+            },
+            "decrease" => ErmsTask::Decrease {
+                path,
+                target: c::get_usize(v, "target")?,
+            },
+            "encode" => ErmsTask::Encode { path },
+            "decode" => ErmsTask::Decode {
+                path,
+                target: c::get_usize(v, "target")?,
+            },
+            other => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "unknown task kind {other:?}"
+                )))
+            }
+        })
+    }
+}
+
+impl checkpoint::Checkpointable for ErmsManager {
+    // Rebuild-then-hydrate: a restored manager is built by
+    // `ErmsManager::new` with the same config first, then hydrated. The
+    // config, the static commissioning expressions, the telemetry sink
+    // and the matchmaker (whose ads are re-advertised wholesale from
+    // cluster state at the top of every tick) are construction/derived
+    // state; everything the control loop itself mutates is captured.
+    fn save_state(&self) -> checkpoint::Value {
+        use checkpoint::codec::{seq_of, MapBuilder};
+        use checkpoint::Value;
+        MapBuilder::new()
+            .put("judge", self.judge.save_state())
+            .put("condor", self.condor.save_state_with(ck::task))
+            .put("model", self.model.save_state())
+            .put("boosted", seq_of(&self.boosted, |p| Value::Str(p.clone())))
+            .put(
+                "cooled_streak",
+                seq_of(&self.cooled_streak, |(p, &n)| {
+                    Value::Seq(vec![Value::Str(p.clone()), Value::U64(n.into())])
+                }),
+            )
+            .put(
+                "inflight",
+                seq_of(&self.inflight, |(key, j)| {
+                    Value::Seq(vec![
+                        Value::Str(key.0.clone()),
+                        Value::U64(key.1.into()),
+                        Value::U64(j.0),
+                    ])
+                }),
+            )
+            .put(
+                "pending_copies",
+                seq_of(&self.pending_copies, |(cp, j)| {
+                    Value::Seq(vec![Value::U64(cp.0), Value::U64(j.0)])
+                }),
+            )
+            .put(
+                "job_wait",
+                seq_of(&self.job_wait, |(j, &n)| {
+                    Value::Seq(vec![Value::U64(j.0), Value::U64(n as u64)])
+                }),
+            )
+            .put(
+                "job_failed_copy",
+                seq_of(&self.job_failed_copy, |j| Value::U64(j.0)),
+            )
+            .put(
+                "job_started",
+                seq_of(&self.job_started, |(j, t)| {
+                    Value::Seq(vec![Value::U64(j.0), Value::U64(t.as_nanos())])
+                }),
+            )
+            .put(
+                "reconstruct_copies",
+                seq_of(&self.reconstruct_copies, |(cp, b)| {
+                    Value::Seq(vec![Value::U64(cp.0), Value::U64(b.0)])
+                }),
+            )
+            .put(
+                "reconstructing",
+                seq_of(&self.reconstructing, |b| Value::U64(b.0)),
+            )
+            .put("active", seq_of(&self.active, |p| Value::Str(p.clone())))
+            .put(
+                "cold_due",
+                seq_of(&self.cold_due, |(p, t)| {
+                    Value::Seq(vec![Value::Str(p.clone()), Value::U64(t.as_nanos())])
+                }),
+            )
+            .bool("primed", self.primed)
+            .u64("tick_count", self.tick_count)
+            .u64("total_completed", self.total_completed)
+            .u64("total_failed", self.total_failed)
+            .build()
+    }
+
+    fn load_state(&mut self, state: &checkpoint::Value) -> Result<(), checkpoint::CheckpointError> {
+        use checkpoint::codec as c;
+        use checkpoint::{CheckpointError, Value};
+        fn parts<'a>(v: &'a Value, n: usize, what: &str) -> Result<&'a [Value], CheckpointError> {
+            let p = c::as_seq(v, what)?;
+            if p.len() != n {
+                return Err(CheckpointError::Corrupt(format!("{what} arity")));
+            }
+            Ok(p)
+        }
+        fn string(v: &Value, what: &str) -> Result<String, CheckpointError> {
+            Ok(c::as_str(v, what)?.to_string())
+        }
+        self.judge.load_state(c::get(state, "judge")?)?;
+        self.condor
+            .load_state_with(c::get(state, "condor")?, ck::task_back)?;
+        self.model.load_state(c::get(state, "model")?)?;
+        self.boosted = c::get_seq(state, "boosted")?
+            .iter()
+            .map(|v| string(v, "boosted path"))
+            .collect::<Result<_, _>>()?;
+        self.cooled_streak = c::get_seq(state, "cooled_streak")?
+            .iter()
+            .map(|v| {
+                let p = parts(v, 2, "cooled_streak entry")?;
+                let n = u32::try_from(c::as_u64(&p[1], "streak")?)
+                    .map_err(|_| CheckpointError::Corrupt("streak exceeds u32".into()))?;
+                Ok((string(&p[0], "path")?, n))
+            })
+            .collect::<Result<_, CheckpointError>>()?;
+        self.inflight = c::get_seq(state, "inflight")?
+            .iter()
+            .map(|v| {
+                let p = parts(v, 3, "inflight entry")?;
+                let kind = u8::try_from(c::as_u64(&p[1], "task kind")?)
+                    .map_err(|_| CheckpointError::Corrupt("task kind exceeds u8".into()))?;
+                Ok((
+                    (string(&p[0], "path")?, kind),
+                    JobId(c::as_u64(&p[2], "job id")?),
+                ))
+            })
+            .collect::<Result<_, CheckpointError>>()?;
+        self.pending_copies = c::get_seq(state, "pending_copies")?
+            .iter()
+            .map(|v| {
+                let p = parts(v, 2, "pending_copies entry")?;
+                Ok((
+                    CopyId(c::as_u64(&p[0], "copy id")?),
+                    JobId(c::as_u64(&p[1], "job id")?),
+                ))
+            })
+            .collect::<Result<_, CheckpointError>>()?;
+        self.job_wait = c::get_seq(state, "job_wait")?
+            .iter()
+            .map(|v| {
+                let p = parts(v, 2, "job_wait entry")?;
+                Ok((
+                    JobId(c::as_u64(&p[0], "job id")?),
+                    c::as_u64(&p[1], "copies waited on")? as usize,
+                ))
+            })
+            .collect::<Result<_, CheckpointError>>()?;
+        self.job_failed_copy = c::get_seq(state, "job_failed_copy")?
+            .iter()
+            .map(|v| Ok(JobId(c::as_u64(v, "job id")?)))
+            .collect::<Result<_, CheckpointError>>()?;
+        self.job_started = c::get_seq(state, "job_started")?
+            .iter()
+            .map(|v| {
+                let p = parts(v, 2, "job_started entry")?;
+                Ok((
+                    JobId(c::as_u64(&p[0], "job id")?),
+                    SimTime::from_nanos(c::as_u64(&p[1], "started at")?),
+                ))
+            })
+            .collect::<Result<_, CheckpointError>>()?;
+        self.reconstruct_copies = c::get_seq(state, "reconstruct_copies")?
+            .iter()
+            .map(|v| {
+                let p = parts(v, 2, "reconstruct_copies entry")?;
+                Ok((
+                    CopyId(c::as_u64(&p[0], "copy id")?),
+                    hdfs_sim::BlockId(c::as_u64(&p[1], "block id")?),
+                ))
+            })
+            .collect::<Result<_, CheckpointError>>()?;
+        self.reconstructing = c::get_seq(state, "reconstructing")?
+            .iter()
+            .map(|v| Ok(hdfs_sim::BlockId(c::as_u64(v, "block id")?)))
+            .collect::<Result<_, CheckpointError>>()?;
+        self.active = c::get_seq(state, "active")?
+            .iter()
+            .map(|v| string(v, "active path"))
+            .collect::<Result<_, _>>()?;
+        self.cold_due = c::get_seq(state, "cold_due")?
+            .iter()
+            .map(|v| {
+                let p = parts(v, 2, "cold_due entry")?;
+                Ok((
+                    string(&p[0], "path")?,
+                    SimTime::from_nanos(c::as_u64(&p[1], "cold due at")?),
+                ))
+            })
+            .collect::<Result<_, CheckpointError>>()?;
+        self.primed = c::get_bool(state, "primed")?;
+        self.tick_count = c::get_u64(state, "tick_count")?;
+        self.total_completed = c::get_u64(state, "total_completed")?;
+        self.total_failed = c::get_u64(state, "total_failed")?;
+        Ok(())
+    }
+}
+
 /// Apply a compensation action directly (outside Condor: the journal has
 /// already recorded the rollback).
 impl ErmsManager {
+    /// Crash-restart recovery. An exact resume (cluster and manager both
+    /// hydrated from the same snapshot) needs nothing more than
+    /// `load_state`; a *restart* — a fresh manager process attaching to a
+    /// cluster that outlived the old one — must deal with the tasks the
+    /// journal shows as in flight at capture time, because their
+    /// executors died with the old process. Each job named by
+    /// [`condor::journal::Journal::rollback_plan`] is failed (Condor's
+    /// retry or rollback machinery then takes over) and any resulting
+    /// rollbacks are compensated immediately, so the cluster converges
+    /// back to an oracle-clean state under normal ticking. Returns the
+    /// number of in-flight tasks recovered.
+    pub fn restore(&mut self, cluster: &mut ClusterSim, now: SimTime) -> usize {
+        let plan = self.condor.journal().rollback_plan();
+        let recovered = plan.len();
+        let mut report = TickReport::default();
+        for (job, task) in plan {
+            // volatile copy tracking died with the old executor
+            self.pending_copies.retain(|_, &mut j| j != job);
+            self.job_wait.remove(&job);
+            self.job_failed_copy.remove(&job);
+            trace!(
+                self.telemetry,
+                now,
+                Tel::SelfHeal {
+                    action: "crash_restart".into(),
+                    detail: task.path().to_string(),
+                }
+            );
+            self.finish(
+                cluster,
+                now,
+                job,
+                &task,
+                Outcome::Failure("manager crash-restart".into()),
+                &mut report,
+            );
+        }
+        let default_r = cluster.config().default_replication;
+        for (_job, task) in self.condor.take_rollbacks(now) {
+            let inv = task.inverse(default_r);
+            self.apply_compensation(cluster, inv);
+        }
+        recovered
+    }
+
     fn apply_compensation(&mut self, cluster: &mut ClusterSim, task: ErmsTask) {
         match task {
             ErmsTask::Decrease { path, target } | ErmsTask::Increase { path, target } => {
@@ -1757,5 +2037,131 @@ mod tests {
         assert_eq!(r.hot + r.cooled + r.cold, 0);
         assert_eq!(r.tasks_submitted, 0);
         assert!(r.commissioned.is_empty());
+    }
+
+    /// Drive a manager into a rich state (boosted file, commissioned
+    /// standby, copies in flight), checkpoint it through a real JSON
+    /// cycle, and hydrate a freshly-constructed manager: every piece of
+    /// control-loop bookkeeping must survive.
+    #[test]
+    fn checkpoint_round_trip_restores_every_bookkeeping_set() {
+        use checkpoint::Checkpointable;
+        let standby: Vec<NodeId> = (10..18).map(NodeId).collect();
+        let mut c = cluster();
+        let mut m = manager(&mut c, standby.clone());
+        c.create_file("/hot", 64 * MB, 3, None).unwrap();
+        c.create_file("/quiet", 64 * MB, 3, None).unwrap();
+        hammer(&mut c, "/hot", 40);
+        for _ in 0..6 {
+            let now = c.now();
+            m.tick(&mut c, now);
+            c.run_until(c.now() + SimDuration::from_secs(30));
+        }
+
+        let json = serde_json::to_string(&m.save_state()).unwrap();
+        let back = serde_json::parse_value(&json).unwrap();
+        let mut scratch = cluster();
+        let mut fresh = manager(&mut scratch, standby);
+        fresh.load_state(&back).unwrap();
+
+        assert_eq!(fresh.boosted, m.boosted);
+        assert_eq!(fresh.cooled_streak, m.cooled_streak);
+        assert_eq!(fresh.inflight, m.inflight);
+        assert_eq!(fresh.pending_copies, m.pending_copies);
+        assert_eq!(fresh.job_wait, m.job_wait);
+        assert_eq!(fresh.job_failed_copy, m.job_failed_copy);
+        assert_eq!(fresh.job_started, m.job_started);
+        assert_eq!(fresh.reconstruct_copies, m.reconstruct_copies);
+        assert_eq!(fresh.reconstructing, m.reconstructing);
+        assert_eq!(fresh.active, m.active);
+        assert_eq!(fresh.cold_due, m.cold_due);
+        assert_eq!(fresh.primed, m.primed);
+        assert_eq!(fresh.tick_count, m.tick_count);
+        assert_eq!(fresh.total_completed, m.total_completed);
+        assert_eq!(fresh.total_failed, m.total_failed);
+        assert_eq!(fresh.judge.events_seen(), m.judge.events_seen());
+        assert_eq!(fresh.model.powered_on(), m.model.powered_on());
+        assert_eq!(fresh.condor.pending(), m.condor.pending());
+        assert_eq!(
+            fresh.condor.journal().rollback_plan(),
+            m.condor.journal().rollback_plan()
+        );
+    }
+
+    /// A fresh manager process attaches to a cluster that outlived the
+    /// old one: `restore` fails every journal-in-flight task, then
+    /// normal ticking retries it and the boost still lands.
+    #[test]
+    fn crash_restart_recovers_inflight_tasks_via_rollback_plan() {
+        use checkpoint::Checkpointable;
+        let standby: Vec<NodeId> = (10..18).map(NodeId).collect();
+        let mut c = cluster();
+        let mut m = manager(&mut c, standby.clone());
+        c.create_file("/hot", 64 * MB, 3, None).unwrap();
+        hammer(&mut c, "/hot", 40);
+        // drive until an Increase is actually awaiting copies, then
+        // capture the manager mid-flight
+        let mut saved = None;
+        for _ in 0..12 {
+            let now = c.now();
+            m.tick(&mut c, now);
+            if !m.job_wait.is_empty() {
+                saved = Some(m.save_state());
+                break;
+            }
+            c.run_until(c.now() + SimDuration::from_secs(30));
+        }
+        let saved = saved.expect("an increase task went in flight");
+        drop(m); // the old manager process dies here
+
+        let json = serde_json::to_string(&saved).unwrap();
+        let back = serde_json::parse_value(&json).unwrap();
+        // construction happens against a scratch cluster so it cannot
+        // disturb the live one (new() powers standby nodes off)
+        let mut scratch = cluster();
+        let mut m2 = manager(&mut scratch, standby);
+        m2.load_state(&back).unwrap();
+        assert!(
+            !m2.condor.journal().rollback_plan().is_empty(),
+            "precondition: the journal names the dead in-flight task"
+        );
+
+        let now = c.now();
+        let recovered = m2.restore(&mut c, now);
+        assert!(recovered >= 1, "at least the increase was recovered");
+        assert!(m2.condor.journal().rollback_plan().is_empty());
+        assert!(m2.pending_copies.is_empty() && m2.job_wait.is_empty());
+
+        // the restarted manager converges: the failed task retries (or
+        // the old copies land on their own) and the boost materialises.
+        // Quiescent draining (not wall-clock advances) keeps the demand
+        // inside the CEP window so the file does not legitimately cool.
+        for _ in 0..10 {
+            let now = c.now();
+            m2.tick(&mut c, now);
+            c.run_until_quiescent();
+        }
+        let now = c.now();
+        m2.tick(&mut c, now); // settle the last copy completions
+        let f = c.namespace().resolve("/hot").unwrap();
+        let b = c.namespace().file(f).unwrap().blocks[0];
+        assert!(
+            c.blockmap().replica_count(b) > 3,
+            "boost landed after restart, got {}",
+            c.blockmap().replica_count(b)
+        );
+    }
+
+    #[test]
+    fn task_codec_rejects_unknown_kind() {
+        use checkpoint::codec::MapBuilder;
+        let bad = MapBuilder::new()
+            .str("kind", "compress")
+            .str("path", "/f")
+            .build();
+        assert!(matches!(
+            super::ck::task_back(&bad),
+            Err(checkpoint::CheckpointError::Corrupt(_))
+        ));
     }
 }

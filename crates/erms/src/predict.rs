@@ -71,6 +71,32 @@ impl DemandPredictor {
     }
 }
 
+impl checkpoint::Checkpointable for DemandPredictor {
+    // α/β are constructor parameters; only the smoothed level, trend and
+    // observation count are runtime state.
+    fn save_state(&self) -> checkpoint::Value {
+        use checkpoint::codec::{f64_bits, MapBuilder};
+        use checkpoint::Value;
+        MapBuilder::new()
+            .put("level", self.level.map_or(Value::Null, f64_bits))
+            .f64b("trend", self.trend)
+            .u64("observations", self.observations)
+            .build()
+    }
+
+    fn load_state(&mut self, state: &checkpoint::Value) -> Result<(), checkpoint::CheckpointError> {
+        use checkpoint::codec as c;
+        use checkpoint::Value;
+        self.level = match c::get(state, "level")? {
+            Value::Null => None,
+            v => Some(c::as_f64_bits(v, "level")?),
+        };
+        self.trend = c::get_f64b(state, "trend")?;
+        self.observations = c::get_u64(state, "observations")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +152,26 @@ mod tests {
     #[should_panic]
     fn rejects_bad_params() {
         DemandPredictor::new(1.5, 0.5);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_forecasts_identically() {
+        use checkpoint::Checkpointable;
+        let mut p = DemandPredictor::default_params();
+        for i in 1..=5 {
+            p.observe(2.0 * i as f64);
+        }
+        let json = serde_json::to_string(&p.save_state()).unwrap();
+        let back = serde_json::parse_value(&json).unwrap();
+        let mut fresh = DemandPredictor::default_params();
+        fresh.load_state(&back).unwrap();
+        assert_eq!(fresh.observations(), p.observations());
+        assert_eq!(fresh.forecast(4).to_bits(), p.forecast(4).to_bits());
+        // an empty predictor's None level survives too
+        let empty = DemandPredictor::default_params();
+        let mut fresh = DemandPredictor::default_params();
+        fresh.load_state(&empty.save_state()).unwrap();
+        assert_eq!(fresh.forecast(1), 0.0);
+        assert_eq!(fresh.observations(), 0);
     }
 }

@@ -245,4 +245,70 @@ mod tests {
             assert!(c.blockmap().holds(m.block, m.from));
         }
     }
+
+    /// A six-node skewed cluster with extra empty nodes — the natural
+    /// balancer *targets*, which the tests below then take away.
+    fn skewed_six() -> ClusterSim {
+        let mut cfg = ClusterConfig::tiny();
+        cfg.datanodes = 6;
+        cfg.racks = 2;
+        let mut c = ClusterSim::new(cfg, Box::new(DefaultRackAware));
+        for i in 0..8 {
+            c.create_file(&format!("/f{i}"), 64 * MB, 1, Some(NodeId(0)))
+                .expect("fits");
+        }
+        c
+    }
+
+    #[test]
+    fn moves_never_target_a_crashed_node() {
+        let mut c = skewed_six();
+        // crash the emptiest nodes — exactly the ones the balancer would
+        // otherwise pick as destinations
+        assert!(c.crash_node(NodeId(4)));
+        assert!(c.crash_node(NodeId(5)));
+        let r = utilization(&c);
+        assert_eq!(r.nodes.len(), 4, "dead nodes drop out of the report");
+        let moves = plan_moves(&c, 0.001);
+        assert!(!moves.is_empty(), "survivors are still skewed");
+        for m in &moves {
+            assert_ne!(m.to, NodeId(4), "never move onto a crashed node");
+            assert_ne!(m.to, NodeId(5), "never move onto a crashed node");
+            assert_ne!(m.from, NodeId(4), "never move off a crashed node");
+            assert_ne!(m.from, NodeId(5), "never move off a crashed node");
+        }
+    }
+
+    #[test]
+    fn moves_never_target_a_powered_down_node() {
+        let mut c = skewed_six();
+        // empty standby-style nodes power down cleanly (no data to strand)
+        c.power_off(NodeId(4)).expect("empty node powers off");
+        c.power_off(NodeId(5)).expect("empty node powers off");
+        assert_eq!(c.node_state(NodeId(4)), crate::datanode::NodeState::Standby);
+        let moves = plan_moves(&c, 0.001);
+        assert!(!moves.is_empty(), "serving nodes are still skewed");
+        for m in &moves {
+            assert!(
+                matches!(c.node_state(m.to), crate::datanode::NodeState::Active),
+                "move targets a non-serving node: {m:?}"
+            );
+            assert!(
+                matches!(c.node_state(m.from), crate::datanode::NodeState::Active),
+                "move sources a non-serving node: {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_dead_cluster_plans_nothing() {
+        let mut c = skewed_cluster();
+        // kill everything but the overloaded node: one survivor left,
+        // so there is nowhere to move anything
+        for n in 1..4 {
+            c.crash_node(NodeId(n));
+        }
+        assert!(plan_moves(&c, 0.001).is_empty());
+        assert_eq!(utilization(&c).nodes.len(), 1);
+    }
 }

@@ -226,6 +226,72 @@ impl BlockMap {
     }
 }
 
+impl checkpoint::Checkpointable for BlockMap {
+    fn save_state(&self) -> checkpoint::Value {
+        use checkpoint::codec::{seq_of, MapBuilder};
+        use checkpoint::Value;
+        // Only the raw facts are stored; the under/over/dark derived
+        // sets are recomputed on load via the same `reindex` path the
+        // live mutations use.
+        MapBuilder::new()
+            .put(
+                "locations",
+                seq_of(self.locations.iter(), |(b, locs)| {
+                    Value::Seq(vec![
+                        Value::U64(b.0),
+                        Value::Seq(locs.iter().map(|n| Value::U64(u64::from(n.0))).collect()),
+                    ])
+                }),
+            )
+            .put(
+                "targets",
+                seq_of(self.targets.iter(), |(b, t)| {
+                    Value::Seq(vec![Value::U64(b.0), Value::U64(*t as u64)])
+                }),
+            )
+            .build()
+    }
+
+    fn load_state(&mut self, state: &checkpoint::Value) -> Result<(), checkpoint::CheckpointError> {
+        use checkpoint::codec as c;
+        self.locations.clear();
+        self.targets.clear();
+        self.under.clear();
+        self.over.clear();
+        self.dark.clear();
+        for pair in c::get_seq(state, "locations")? {
+            let items = c::as_seq(pair, "locations[]")?;
+            if items.len() != 2 {
+                return Err(checkpoint::CheckpointError::Corrupt(
+                    "locations entry is not a (block, nodes) pair".into(),
+                ));
+            }
+            let b = BlockId(c::as_u64(&items[0], "locations[].block")?);
+            let nodes = c::as_seq(&items[1], "locations[].nodes")?
+                .iter()
+                .map(|v| c::as_u64(v, "locations[].nodes[]").map(|n| NodeId(n as u32)))
+                .collect::<Result<BTreeSet<_>, _>>()?;
+            self.locations.insert(b, nodes);
+        }
+        for pair in c::get_seq(state, "targets")? {
+            let items = c::as_seq(pair, "targets[]")?;
+            if items.len() != 2 {
+                return Err(checkpoint::CheckpointError::Corrupt(
+                    "targets entry is not a (block, target) pair".into(),
+                ));
+            }
+            let b = BlockId(c::as_u64(&items[0], "targets[].block")?);
+            let t = c::as_u64(&items[1], "targets[].target")? as usize;
+            self.targets.insert(b, t);
+        }
+        let tracked: Vec<BlockId> = self.targets.keys().copied().collect();
+        for b in tracked {
+            self.reindex(b);
+        }
+        Ok(())
+    }
+}
+
 /// Insert or remove `block` from `set` so membership equals `wanted`.
 fn set_membership(set: &mut BTreeSet<BlockId>, block: BlockId, wanted: bool) {
     if wanted {

@@ -126,7 +126,7 @@ impl WriteStats {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ev {
     BeginRead(ReadId),
     FlowDone(FlowId),
@@ -2105,6 +2105,768 @@ fn i_is_parity(ns: &Namespace, b: BlockId) -> bool {
     ns.block(b).map(|i| i.is_parity).unwrap_or(false)
 }
 
+// ----------------------------------------------------------------------
+// checkpoint/restore
+//
+// The cluster's dynamic state — everything above — round-trips through
+// the `checkpoint` crate's Value tree. Static wiring (config, topology,
+// placement policy, telemetry sink, the constructor-ordered disk/NIC/
+// uplink resource ids) is NOT captured: restore hydrates a freshly
+// constructed `ClusterSim` built from the same config, then overwrites
+// the dynamic fields. Crucially the event queue is restored verbatim
+// (ids, seq counter and all) and `resync_flow_events` is NOT run — it
+// would cancel and reschedule flow completions under fresh event ids,
+// breaking bit-identical resume.
+
+mod ck {
+    //! Value codecs for the cluster's private types.
+    use super::*;
+    use checkpoint::codec::{self as c, MapBuilder};
+    use checkpoint::{CheckpointError, Value};
+
+    pub(super) fn endpoint(e: Endpoint) -> Value {
+        match e {
+            Endpoint::Node(n) => MapBuilder::new()
+                .str("k", "node")
+                .u64("id", u64::from(n.0))
+                .build(),
+            Endpoint::Client(cl) => MapBuilder::new()
+                .str("k", "client")
+                .u64("id", u64::from(cl.0))
+                .build(),
+        }
+    }
+
+    pub(super) fn endpoint_back(v: &Value) -> Result<Endpoint, CheckpointError> {
+        match c::get_str(v, "k")? {
+            "node" => Ok(Endpoint::Node(NodeId(c::get_u32(v, "id")?))),
+            "client" => Ok(Endpoint::Client(ClientId(c::get_u32(v, "id")?))),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown endpoint kind `{other}`"
+            ))),
+        }
+    }
+
+    pub(super) fn ev(e: &Ev) -> Value {
+        let (k, id) = match e {
+            Ev::BeginRead(r) => ("read", r.0),
+            Ev::FlowDone(f) => ("flow", f.0),
+            Ev::NodeBooted(n) => ("boot", u64::from(n.0)),
+            Ev::StartCopy(cp) => ("copy", cp.0),
+            Ev::Timer(t) => ("timer", *t),
+        };
+        MapBuilder::new().str("k", k).u64("id", id).build()
+    }
+
+    pub(super) fn ev_back(v: &Value) -> Result<Ev, CheckpointError> {
+        let id = c::get_u64(v, "id")?;
+        match c::get_str(v, "k")? {
+            "read" => Ok(Ev::BeginRead(ReadId(id))),
+            "flow" => Ok(Ev::FlowDone(FlowId(id))),
+            "boot" => Ok(Ev::NodeBooted(NodeId(c::get_u32(v, "id")?))),
+            "copy" => Ok(Ev::StartCopy(CopyId(id))),
+            "timer" => Ok(Ev::Timer(id)),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown event kind `{other}`"
+            ))),
+        }
+    }
+
+    pub(super) fn nodes(ns: &[NodeId]) -> Value {
+        Value::Seq(ns.iter().map(|n| Value::U64(u64::from(n.0))).collect())
+    }
+
+    pub(super) fn nodes_back(v: &Value, field: &str) -> Result<Vec<NodeId>, CheckpointError> {
+        c::as_seq(v, field)?
+            .iter()
+            .map(|x| c::as_u64(x, field).map(|n| NodeId(n as u32)))
+            .collect()
+    }
+
+    pub(super) fn transfer(t: &Transfer) -> Value {
+        match t {
+            Transfer::ReadBlock { read, block, node } => MapBuilder::new()
+                .str("k", "read")
+                .u64("read", read.0)
+                .u64("block", block.0)
+                .u64("node", u64::from(node.0))
+                .build(),
+            Transfer::WriteBlock {
+                write,
+                block,
+                targets,
+                len,
+            } => MapBuilder::new()
+                .str("k", "write")
+                .u64("write", write.0)
+                .u64("block", block.0)
+                .put("targets", nodes(targets))
+                .u64("len", *len)
+                .build(),
+            Transfer::Copy {
+                copy,
+                block,
+                source,
+                target,
+                len,
+                started,
+            } => MapBuilder::new()
+                .str("k", "copy")
+                .u64("copy", copy.0)
+                .u64("block", block.0)
+                .u64("source", u64::from(source.0))
+                .u64("target", u64::from(target.0))
+                .u64("len", *len)
+                .time("started", *started)
+                .build(),
+            Transfer::Reconstruct {
+                copy,
+                block,
+                sources,
+                target,
+                len,
+                started,
+            } => MapBuilder::new()
+                .str("k", "reconstruct")
+                .u64("copy", copy.0)
+                .u64("block", block.0)
+                .put("sources", nodes(sources))
+                .u64("target", u64::from(target.0))
+                .u64("len", *len)
+                .time("started", *started)
+                .build(),
+        }
+    }
+
+    pub(super) fn transfer_back(v: &Value) -> Result<Transfer, CheckpointError> {
+        match c::get_str(v, "k")? {
+            "read" => Ok(Transfer::ReadBlock {
+                read: ReadId(c::get_u64(v, "read")?),
+                block: BlockId(c::get_u64(v, "block")?),
+                node: NodeId(c::get_u32(v, "node")?),
+            }),
+            "write" => Ok(Transfer::WriteBlock {
+                write: WriteId(c::get_u64(v, "write")?),
+                block: BlockId(c::get_u64(v, "block")?),
+                targets: nodes_back(c::get(v, "targets")?, "targets")?,
+                len: c::get_u64(v, "len")?,
+            }),
+            "copy" => Ok(Transfer::Copy {
+                copy: CopyId(c::get_u64(v, "copy")?),
+                block: BlockId(c::get_u64(v, "block")?),
+                source: NodeId(c::get_u32(v, "source")?),
+                target: NodeId(c::get_u32(v, "target")?),
+                len: c::get_u64(v, "len")?,
+                started: c::get_time(v, "started")?,
+            }),
+            "reconstruct" => Ok(Transfer::Reconstruct {
+                copy: CopyId(c::get_u64(v, "copy")?),
+                block: BlockId(c::get_u64(v, "block")?),
+                sources: nodes_back(c::get(v, "sources")?, "sources")?,
+                target: NodeId(c::get_u32(v, "target")?),
+                len: c::get_u64(v, "len")?,
+                started: c::get_time(v, "started")?,
+            }),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown transfer kind `{other}`"
+            ))),
+        }
+    }
+
+    pub(super) fn read_req(r: &ReadReq) -> Value {
+        MapBuilder::new()
+            .u64("id", r.id.0)
+            .put("reader", endpoint(r.reader))
+            .str("path", &r.path)
+            .put(
+                "pending_blocks",
+                Value::Seq(r.pending_blocks.iter().map(|b| Value::U64(b.0)).collect()),
+            )
+            .u64("bytes_done", r.bytes_done)
+            .time("started", r.started)
+            .u64("node_local", u64::from(r.node_local))
+            .u64("rack_local", u64::from(r.rack_local))
+            .u64("remote", u64::from(r.remote))
+            .bool("failed", r.failed)
+            .build()
+    }
+
+    pub(super) fn read_req_back(v: &Value) -> Result<ReadReq, CheckpointError> {
+        Ok(ReadReq {
+            id: ReadId(c::get_u64(v, "id")?),
+            reader: endpoint_back(c::get(v, "reader")?)?,
+            path: c::get_str(v, "path")?.to_string(),
+            pending_blocks: c::get_seq(v, "pending_blocks")?
+                .iter()
+                .map(|x| c::as_u64(x, "pending_blocks[]").map(BlockId))
+                .collect::<Result<_, _>>()?,
+            bytes_done: c::get_u64(v, "bytes_done")?,
+            started: c::get_time(v, "started")?,
+            node_local: c::get_u32(v, "node_local")?,
+            rack_local: c::get_u32(v, "rack_local")?,
+            remote: c::get_u32(v, "remote")?,
+            failed: c::get_bool(v, "failed")?,
+        })
+    }
+
+    pub(super) fn write_req(w: &WriteReq) -> Value {
+        MapBuilder::new()
+            .u64("id", w.id.0)
+            .put("writer", endpoint(w.writer))
+            .u64("file", w.file.0)
+            .str("path", &w.path)
+            .u64("replication", w.replication as u64)
+            .put(
+                "pending_blocks",
+                Value::Seq(w.pending_blocks.iter().map(|b| Value::U64(b.0)).collect()),
+            )
+            .u64("bytes_done", w.bytes_done)
+            .time("started", w.started)
+            .bool("failed", w.failed)
+            .build()
+    }
+
+    pub(super) fn write_req_back(v: &Value) -> Result<WriteReq, CheckpointError> {
+        Ok(WriteReq {
+            id: WriteId(c::get_u64(v, "id")?),
+            writer: endpoint_back(c::get(v, "writer")?)?,
+            file: FileId(c::get_u64(v, "file")?),
+            path: c::get_str(v, "path")?.to_string(),
+            replication: c::get_usize(v, "replication")?,
+            pending_blocks: c::get_seq(v, "pending_blocks")?
+                .iter()
+                .map(|x| c::as_u64(x, "pending_blocks[]").map(BlockId))
+                .collect::<Result<_, _>>()?,
+            bytes_done: c::get_u64(v, "bytes_done")?,
+            started: c::get_time(v, "started")?,
+            failed: c::get_bool(v, "failed")?,
+        })
+    }
+
+    pub(super) fn staged(s: &StagedCopy) -> Value {
+        MapBuilder::new()
+            .u64("block", s.block.0)
+            .u64("target", u64::from(s.target.0))
+            .u64("len", s.len)
+            .time("requested", s.requested)
+            .build()
+    }
+
+    pub(super) fn staged_back(v: &Value) -> Result<StagedCopy, CheckpointError> {
+        Ok(StagedCopy {
+            block: BlockId(c::get_u64(v, "block")?),
+            target: NodeId(c::get_u32(v, "target")?),
+            len: c::get_u64(v, "len")?,
+            requested: c::get_time(v, "requested")?,
+        })
+    }
+
+    pub(super) fn read_stats(s: &ReadStats) -> Value {
+        MapBuilder::new()
+            .u64("id", s.id.0)
+            .str("path", &s.path)
+            .put("reader", endpoint(s.reader))
+            .u64("bytes", s.bytes)
+            .time("started", s.started)
+            .time("finished", s.finished)
+            .u64("node_local", u64::from(s.node_local_blocks))
+            .u64("rack_local", u64::from(s.rack_local_blocks))
+            .u64("remote", u64::from(s.remote_blocks))
+            .bool("failed", s.failed)
+            .build()
+    }
+
+    pub(super) fn read_stats_back(v: &Value) -> Result<ReadStats, CheckpointError> {
+        Ok(ReadStats {
+            id: ReadId(c::get_u64(v, "id")?),
+            path: c::get_str(v, "path")?.to_string(),
+            reader: endpoint_back(c::get(v, "reader")?)?,
+            bytes: c::get_u64(v, "bytes")?,
+            started: c::get_time(v, "started")?,
+            finished: c::get_time(v, "finished")?,
+            node_local_blocks: c::get_u32(v, "node_local")?,
+            rack_local_blocks: c::get_u32(v, "rack_local")?,
+            remote_blocks: c::get_u32(v, "remote")?,
+            failed: c::get_bool(v, "failed")?,
+        })
+    }
+
+    pub(super) fn write_stats(s: &WriteStats) -> Value {
+        MapBuilder::new()
+            .u64("id", s.id.0)
+            .str("path", &s.path)
+            .u64("bytes", s.bytes)
+            .time("started", s.started)
+            .time("finished", s.finished)
+            .bool("failed", s.failed)
+            .build()
+    }
+
+    pub(super) fn write_stats_back(v: &Value) -> Result<WriteStats, CheckpointError> {
+        Ok(WriteStats {
+            id: WriteId(c::get_u64(v, "id")?),
+            path: c::get_str(v, "path")?.to_string(),
+            bytes: c::get_u64(v, "bytes")?,
+            started: c::get_time(v, "started")?,
+            finished: c::get_time(v, "finished")?,
+            failed: c::get_bool(v, "failed")?,
+        })
+    }
+
+    pub(super) fn copy_stats(s: &CopyStats) -> Value {
+        MapBuilder::new()
+            .u64("id", s.id.0)
+            .u64("block", s.block.0)
+            .u64("source", u64::from(s.source.0))
+            .u64("target", u64::from(s.target.0))
+            .time("started", s.started)
+            .time("finished", s.finished)
+            .bool("succeeded", s.succeeded)
+            .build()
+    }
+
+    pub(super) fn copy_stats_back(v: &Value) -> Result<CopyStats, CheckpointError> {
+        Ok(CopyStats {
+            id: CopyId(c::get_u64(v, "id")?),
+            block: BlockId(c::get_u64(v, "block")?),
+            source: NodeId(c::get_u32(v, "source")?),
+            target: NodeId(c::get_u32(v, "target")?),
+            started: c::get_time(v, "started")?,
+            finished: c::get_time(v, "finished")?,
+            succeeded: c::get_bool(v, "succeeded")?,
+        })
+    }
+
+    pub(super) fn durability(d: &simcore::stats::DurabilityState) -> Value {
+        MapBuilder::new()
+            .put(
+                "open",
+                Value::Seq(
+                    d.open
+                        .iter()
+                        .map(|&(k, s)| Value::Seq(vec![Value::U64(k), Value::U64(s)]))
+                        .collect(),
+                ),
+            )
+            .put(
+                "windows",
+                Value::Seq(
+                    d.windows
+                        .iter()
+                        .map(|&(k, s, e, u)| {
+                            Value::Seq(vec![
+                                Value::U64(k),
+                                Value::U64(s),
+                                Value::U64(e),
+                                Value::Bool(u),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .put(
+                "lost",
+                Value::Seq(
+                    d.lost
+                        .iter()
+                        .map(|&(k, a)| Value::Seq(vec![Value::U64(k), Value::U64(a)]))
+                        .collect(),
+                ),
+            )
+            .u64("repair_bytes", d.repair_bytes)
+            .build()
+    }
+
+    pub(super) fn durability_back(
+        v: &Value,
+    ) -> Result<simcore::stats::DurabilityState, CheckpointError> {
+        let tuple = |x: &Value, want: usize, field: &str| -> Result<Vec<u64>, CheckpointError> {
+            let s = c::as_seq(x, field)?;
+            if s.len() != want {
+                return Err(CheckpointError::Corrupt(format!(
+                    "`{field}` entry has {} elements, expected {want}",
+                    s.len()
+                )));
+            }
+            s.iter()
+                .map(|e| match e {
+                    Value::Bool(b) => Ok(u64::from(*b)),
+                    other => c::as_u64(other, field),
+                })
+                .collect()
+        };
+        Ok(simcore::stats::DurabilityState {
+            open: c::get_seq(v, "open")?
+                .iter()
+                .map(|x| tuple(x, 2, "open").map(|t| (t[0], t[1])))
+                .collect::<Result<_, _>>()?,
+            windows: c::get_seq(v, "windows")?
+                .iter()
+                .map(|x| tuple(x, 4, "windows").map(|t| (t[0], t[1], t[2], t[3] != 0)))
+                .collect::<Result<_, _>>()?,
+            lost: c::get_seq(v, "lost")?
+                .iter()
+                .map(|x| tuple(x, 2, "lost").map(|t| (t[0], t[1])))
+                .collect::<Result<_, _>>()?,
+            repair_bytes: c::get_u64(v, "repair_bytes")?,
+        })
+    }
+}
+
+impl checkpoint::Checkpointable for ClusterSim {
+    fn save_state(&self) -> checkpoint::Value {
+        use checkpoint::codec::{f64_bits, seq_of, MapBuilder};
+        use checkpoint::Value;
+        let qs = self.queue.snapshot();
+        MapBuilder::new()
+            .put("namespace", self.namespace.save_state())
+            .put("blockmap", self.blockmap.save_state())
+            .put("net", self.net.save_state())
+            .put("audit", self.audit.save_state())
+            .put("nodes", seq_of(self.nodes.iter(), |n| n.save_state()))
+            .put(
+                "queue",
+                MapBuilder::new()
+                    .time("now", qs.now)
+                    .u64("next_seq", qs.next_seq)
+                    .put(
+                        "entries",
+                        seq_of(qs.entries.iter(), |(at, seq, ev)| {
+                            Value::Seq(vec![
+                                Value::U64(at.as_nanos()),
+                                Value::U64(*seq),
+                                ck::ev(ev),
+                            ])
+                        }),
+                    )
+                    .build(),
+            )
+            .put(
+                "client_nic",
+                seq_of(self.client_nic.iter(), |(cl, r)| {
+                    Value::Seq(vec![Value::U64(u64::from(cl.0)), Value::U64(r.0 as u64)])
+                }),
+            )
+            .put("reads", seq_of(self.reads.values(), ck::read_req))
+            .u64("next_read", self.next_read)
+            .put("writes", seq_of(self.writes.values(), ck::write_req))
+            .u64("next_write", self.next_write)
+            .put(
+                "completed_writes",
+                seq_of(self.completed_writes.iter(), ck::write_stats),
+            )
+            .put(
+                "transfers",
+                seq_of(self.transfers.iter(), |(f, t)| {
+                    Value::Seq(vec![Value::U64(f.0), ck::transfer(t)])
+                }),
+            )
+            .put(
+                "flow_events",
+                seq_of(self.flow_events.iter(), |(f, ev)| {
+                    Value::Seq(vec![Value::U64(f.0), Value::U64(ev.raw())])
+                }),
+            )
+            .put(
+                "tickets",
+                seq_of(self.tickets.iter(), |(t, ps)| {
+                    Value::Seq(vec![
+                        Value::U64(*t),
+                        Value::U64(ps.read.0),
+                        Value::U64(ps.block.0),
+                        Value::U64(u64::from(ps.node.0)),
+                    ])
+                }),
+            )
+            .u64("next_ticket", self.next_ticket)
+            .u64("next_copy", self.next_copy)
+            .put(
+                "completed_reads",
+                seq_of(self.completed_reads.iter(), ck::read_stats),
+            )
+            .put(
+                "completed_copies",
+                seq_of(self.completed_copies.iter(), ck::copy_stats),
+            )
+            .put(
+                "fired_timers",
+                seq_of(self.fired_timers.iter(), |(at, tok)| {
+                    Value::Seq(vec![Value::U64(at.as_nanos()), Value::U64(*tok)])
+                }),
+            )
+            .put(
+                "standby_pool",
+                Value::Seq(self.standby_pool.iter().map(|&b| Value::Bool(b)).collect()),
+            )
+            .put(
+                "copy_load",
+                Value::Seq(
+                    self.copy_load
+                        .iter()
+                        .map(|&x| Value::U64(u64::from(x)))
+                        .collect(),
+                ),
+            )
+            .put(
+                "staged_copies",
+                seq_of(self.staged_copies.iter(), |(id, s)| {
+                    Value::Seq(vec![Value::U64(id.0), ck::staged(s)])
+                }),
+            )
+            .put(
+                "ready_copies",
+                seq_of(self.ready_copies.iter(), |(id, s)| {
+                    Value::Seq(vec![Value::U64(id.0), ck::staged(s)])
+                }),
+            )
+            .put(
+                "copy_streams",
+                Value::Seq(
+                    self.copy_streams
+                        .iter()
+                        .map(|&x| Value::U64(u64::from(x)))
+                        .collect(),
+                ),
+            )
+            .put(
+                "retained",
+                seq_of(self.retained.iter(), |(n, stash)| {
+                    Value::Seq(vec![
+                        Value::U64(u64::from(n.0)),
+                        Value::Seq(
+                            stash
+                                .iter()
+                                .map(|&(b, len)| Value::Seq(vec![Value::U64(b.0), Value::U64(len)]))
+                                .collect(),
+                        ),
+                    ])
+                }),
+            )
+            .put("slowdown", seq_of(self.slowdown.iter().copied(), f64_bits))
+            .put(
+                "rack_down",
+                Value::Seq(self.rack_down.iter().map(|&b| Value::Bool(b)).collect()),
+            )
+            .put(
+                "repair_copies",
+                Value::Seq(self.repair_copies.iter().map(|c| Value::U64(c.0)).collect()),
+            )
+            .put("durability", ck::durability(&self.durability.state()))
+            .put(
+                "dirty_files",
+                Value::Seq(self.dirty_files.iter().map(|f| Value::U64(f.0)).collect()),
+            )
+            .put(
+                "deleted_paths",
+                Value::Seq(
+                    self.deleted_paths
+                        .iter()
+                        .map(|p| Value::Str(p.clone()))
+                        .collect(),
+                ),
+            )
+            .build()
+    }
+
+    fn load_state(&mut self, state: &checkpoint::Value) -> Result<(), checkpoint::CheckpointError> {
+        use checkpoint::codec as c;
+        use checkpoint::CheckpointError;
+        self.namespace.load_state(c::get(state, "namespace")?)?;
+        self.blockmap.load_state(c::get(state, "blockmap")?)?;
+        self.net.load_state(c::get(state, "net")?)?;
+        self.audit.load_state(c::get(state, "audit")?)?;
+        let node_states = c::get_seq(state, "nodes")?;
+        if node_states.len() != self.nodes.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot has {} nodes, cluster has {} — wrong scenario config?",
+                node_states.len(),
+                self.nodes.len()
+            )));
+        }
+        for (node, nv) in self.nodes.iter_mut().zip(node_states) {
+            node.load_state(nv)?;
+        }
+        // The event queue is restored verbatim: same entries, same seqs,
+        // same id counter — deliberately NOT re-derived from the flow
+        // table, so resumed runs replay the identical schedule.
+        let qv = c::get(state, "queue")?;
+        let entries = c::get_seq(qv, "entries")?
+            .iter()
+            .map(|e| {
+                let t = c::as_seq(e, "queue.entries[]")?;
+                if t.len() != 3 {
+                    return Err(CheckpointError::Corrupt(
+                        "queue entry is not (at, seq, ev)".into(),
+                    ));
+                }
+                Ok((
+                    SimTime::from_nanos(c::as_u64(&t[0], "queue.entries[].at")?),
+                    c::as_u64(&t[1], "queue.entries[].seq")?,
+                    ck::ev_back(&t[2])?,
+                ))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.queue = EventQueue::restore(simcore::queue::QueueSnapshot {
+            now: c::get_time(qv, "now")?,
+            next_seq: c::get_u64(qv, "next_seq")?,
+            entries,
+        });
+        let pair_u64 =
+            |x: &checkpoint::Value, field: &str| -> Result<(u64, u64), CheckpointError> {
+                let s = c::as_seq(x, field)?;
+                if s.len() != 2 {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "`{field}` entry is not a pair"
+                    )));
+                }
+                Ok((c::as_u64(&s[0], field)?, c::as_u64(&s[1], field)?))
+            };
+        self.client_nic = c::get_seq(state, "client_nic")?
+            .iter()
+            .map(|x| {
+                pair_u64(x, "client_nic")
+                    .map(|(cl, r)| (ClientId(cl as u32), ResourceId(r as usize)))
+            })
+            .collect::<Result<_, _>>()?;
+        self.reads = c::get_seq(state, "reads")?
+            .iter()
+            .map(|v| ck::read_req_back(v).map(|r| (r.id, r)))
+            .collect::<Result<_, _>>()?;
+        self.next_read = c::get_u64(state, "next_read")?;
+        self.writes = c::get_seq(state, "writes")?
+            .iter()
+            .map(|v| ck::write_req_back(v).map(|w| (w.id, w)))
+            .collect::<Result<_, _>>()?;
+        self.next_write = c::get_u64(state, "next_write")?;
+        self.completed_writes = c::get_seq(state, "completed_writes")?
+            .iter()
+            .map(ck::write_stats_back)
+            .collect::<Result<_, _>>()?;
+        self.transfers = c::get_seq(state, "transfers")?
+            .iter()
+            .map(|x| {
+                let s = c::as_seq(x, "transfers[]")?;
+                if s.len() != 2 {
+                    return Err(CheckpointError::Corrupt(
+                        "transfers entry is not (flow, transfer)".into(),
+                    ));
+                }
+                Ok((
+                    FlowId(c::as_u64(&s[0], "transfers[].flow")?),
+                    ck::transfer_back(&s[1])?,
+                ))
+            })
+            .collect::<Result<_, _>>()?;
+        self.flow_events = c::get_seq(state, "flow_events")?
+            .iter()
+            .map(|x| pair_u64(x, "flow_events").map(|(f, ev)| (FlowId(f), EventId::from_raw(ev))))
+            .collect::<Result<_, _>>()?;
+        self.tickets = c::get_seq(state, "tickets")?
+            .iter()
+            .map(|x| {
+                let s = c::as_seq(x, "tickets[]")?;
+                if s.len() != 4 {
+                    return Err(CheckpointError::Corrupt(
+                        "tickets entry is not (ticket, read, block, node)".into(),
+                    ));
+                }
+                Ok((
+                    c::as_u64(&s[0], "tickets[].ticket")?,
+                    PendingSession {
+                        read: ReadId(c::as_u64(&s[1], "tickets[].read")?),
+                        block: BlockId(c::as_u64(&s[2], "tickets[].block")?),
+                        node: NodeId(c::as_u64(&s[3], "tickets[].node")? as u32),
+                    },
+                ))
+            })
+            .collect::<Result<_, _>>()?;
+        self.next_ticket = c::get_u64(state, "next_ticket")?;
+        self.next_copy = c::get_u64(state, "next_copy")?;
+        self.completed_reads = c::get_seq(state, "completed_reads")?
+            .iter()
+            .map(ck::read_stats_back)
+            .collect::<Result<_, _>>()?;
+        self.completed_copies = c::get_seq(state, "completed_copies")?
+            .iter()
+            .map(ck::copy_stats_back)
+            .collect::<Result<_, _>>()?;
+        self.fired_timers = c::get_seq(state, "fired_timers")?
+            .iter()
+            .map(|x| pair_u64(x, "fired_timers").map(|(at, tok)| (SimTime::from_nanos(at), tok)))
+            .collect::<Result<_, _>>()?;
+        self.standby_pool = c::get_seq(state, "standby_pool")?
+            .iter()
+            .map(|v| c::as_bool(v, "standby_pool[]"))
+            .collect::<Result<_, _>>()?;
+        self.copy_load = c::get_seq(state, "copy_load")?
+            .iter()
+            .map(|v| c::as_u64(v, "copy_load[]").map(|x| x as u32))
+            .collect::<Result<_, _>>()?;
+        let staged_pairs = |field: &'static str,
+                            state: &checkpoint::Value|
+         -> Result<Vec<(CopyId, StagedCopy)>, CheckpointError> {
+            c::get_seq(state, field)?
+                .iter()
+                .map(|x| {
+                    let s = c::as_seq(x, field)?;
+                    if s.len() != 2 {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "`{field}` entry is not (copy, staged)"
+                        )));
+                    }
+                    Ok((CopyId(c::as_u64(&s[0], field)?), ck::staged_back(&s[1])?))
+                })
+                .collect()
+        };
+        self.staged_copies = staged_pairs("staged_copies", state)?.into_iter().collect();
+        self.ready_copies = staged_pairs("ready_copies", state)?.into_iter().collect();
+        self.copy_streams = c::get_seq(state, "copy_streams")?
+            .iter()
+            .map(|v| c::as_u64(v, "copy_streams[]").map(|x| x as u32))
+            .collect::<Result<_, _>>()?;
+        self.retained = c::get_seq(state, "retained")?
+            .iter()
+            .map(|x| {
+                let s = c::as_seq(x, "retained[]")?;
+                if s.len() != 2 {
+                    return Err(CheckpointError::Corrupt(
+                        "retained entry is not (node, stash)".into(),
+                    ));
+                }
+                let n = NodeId(c::as_u64(&s[0], "retained[].node")? as u32);
+                let stash = c::as_seq(&s[1], "retained[].stash")?
+                    .iter()
+                    .map(|y| pair_u64(y, "retained[].stash[]").map(|(b, len)| (BlockId(b), len)))
+                    .collect::<Result<_, _>>()?;
+                Ok((n, stash))
+            })
+            .collect::<Result<_, _>>()?;
+        self.slowdown = c::get_seq(state, "slowdown")?
+            .iter()
+            .map(|v| c::as_f64_bits(v, "slowdown[]"))
+            .collect::<Result<_, _>>()?;
+        self.rack_down = c::get_seq(state, "rack_down")?
+            .iter()
+            .map(|v| c::as_bool(v, "rack_down[]"))
+            .collect::<Result<_, _>>()?;
+        self.repair_copies = c::get_seq(state, "repair_copies")?
+            .iter()
+            .map(|v| c::as_u64(v, "repair_copies[]").map(CopyId))
+            .collect::<Result<_, _>>()?;
+        self.durability
+            .set_state(ck::durability_back(c::get(state, "durability")?)?);
+        self.dirty_files = c::get_seq(state, "dirty_files")?
+            .iter()
+            .map(|v| c::as_u64(v, "dirty_files[]").map(FileId))
+            .collect::<Result<_, _>>()?;
+        self.deleted_paths = c::get_seq(state, "deleted_paths")?
+            .iter()
+            .map(|v| c::as_str(v, "deleted_paths[]").map(str::to_string))
+            .collect::<Result<_, _>>()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2113,6 +2875,83 @@ mod tests {
 
     fn sim() -> ClusterSim {
         ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware))
+    }
+
+    #[test]
+    fn checkpoint_mid_flight_resumes_identically() {
+        use checkpoint::Checkpointable;
+        // Drive two runs from the same script; checkpoint one mid-read
+        // (in-flight flows, queued copies, a killed node) and hydrate a
+        // fresh cluster from the JSON round trip of its state.
+        let script = |c: &mut ClusterSim| {
+            c.create_file("/a", 256 * MB, 3, Some(NodeId(0))).unwrap();
+            c.create_file("/b", 64 * MB, 2, Some(NodeId(3))).unwrap();
+            for i in 0..5 {
+                c.open_read(Endpoint::Client(ClientId(i)), "/a").unwrap();
+            }
+            c.open_read(Endpoint::Client(ClientId(9)), "/b").unwrap();
+            c.run_until(SimTime::from_millis(700));
+            c.kill_node(NodeId(1));
+            c.repair_under_replicated();
+            c.run_until(SimTime::from_millis(900));
+        };
+        let mut straight = sim();
+        script(&mut straight);
+
+        let mut saved = sim();
+        script(&mut saved);
+        let json = serde_json::to_string(&saved.save_state()).unwrap();
+        let back = serde_json::parse_value(&json).unwrap();
+        let mut resumed = sim();
+        resumed.load_state(&back).unwrap();
+        assert_eq!(resumed.now(), saved.now());
+        assert_eq!(resumed.storage_used(), saved.storage_used());
+
+        // Both continue to quiescence and must agree exactly.
+        straight.run_until_quiescent();
+        resumed.run_until_quiescent();
+        assert_eq!(resumed.now(), straight.now());
+        assert_eq!(resumed.storage_used(), straight.storage_used());
+        let a: Vec<_> = straight
+            .drain_completed_reads()
+            .iter()
+            .map(|r| (r.id, r.bytes, r.finished, r.failed))
+            .collect();
+        let b: Vec<_> = resumed
+            .drain_completed_reads()
+            .iter()
+            .map(|r| (r.id, r.bytes, r.finished, r.failed))
+            .collect();
+        assert_eq!(a, b, "read completions must match after resume");
+        let ca: Vec<_> = straight
+            .drain_completed_copies()
+            .iter()
+            .map(|s| (s.id, s.block, s.target, s.finished, s.succeeded))
+            .collect();
+        let cb: Vec<_> = resumed
+            .drain_completed_copies()
+            .iter()
+            .map(|s| (s.id, s.block, s.target, s.finished, s.succeeded))
+            .collect();
+        assert_eq!(ca, cb, "copy completions must match after resume");
+        assert_eq!(straight.drain_audit(), resumed.drain_audit());
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_cluster_shape() {
+        use checkpoint::Checkpointable;
+        let mut big = sim();
+        big.create_file("/f", 64 * MB, 3, None).unwrap();
+        let state = big.save_state();
+        let mut cfg = ClusterConfig::paper_testbed();
+        cfg.datanodes = 4;
+        let mut small = ClusterSim::new(cfg, Box::new(DefaultRackAware));
+        match small.load_state(&state) {
+            Err(checkpoint::CheckpointError::Corrupt(msg)) => {
+                assert!(msg.contains("nodes"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -275,6 +275,20 @@ impl FaultInjector {
         FaultInjector::new(plan, cfg.straggler_slowdown)
     }
 
+    /// How many planned faults have already been applied. The plan
+    /// itself is a pure function of (config, cluster shape, seed), so a
+    /// checkpoint stores only this cursor and regenerates the plan on
+    /// restore.
+    pub fn cursor(&self) -> usize {
+        self.next
+    }
+
+    /// Reposition the applied-fault cursor (checkpoint restore). Clamped
+    /// to the plan length.
+    pub fn set_cursor(&mut self, cursor: usize) {
+        self.next = cursor.min(self.plan.events.len());
+    }
+
     /// Apply every not-yet-applied fault with `at <= now`. Returns how
     /// many fired. Events targeting nodes in an incompatible state
     /// (e.g. a restart for a node that was separately killed) are

@@ -210,6 +210,66 @@ impl FlowNet {
     }
 }
 
+impl checkpoint::Checkpointable for FlowNet {
+    fn save_state(&self) -> checkpoint::Value {
+        use checkpoint::codec::{f64_bits, seq_of, MapBuilder};
+        use checkpoint::Value;
+        MapBuilder::new()
+            .put(
+                "capacities",
+                seq_of(self.capacities.iter().copied(), f64_bits),
+            )
+            .put(
+                "flows",
+                seq_of(self.flows.iter(), |(id, f)| {
+                    MapBuilder::new()
+                        .u64("id", id.0)
+                        .put(
+                            "resources",
+                            Value::Seq(
+                                f.resources.iter().map(|r| Value::U64(r.0 as u64)).collect(),
+                            ),
+                        )
+                        .f64b("remaining", f.remaining)
+                        .f64b("rate", f.rate)
+                        .build()
+                }),
+            )
+            .u64("next_flow", self.next_flow)
+            .time("last_settle", self.last_settle)
+            .build()
+    }
+
+    fn load_state(&mut self, state: &checkpoint::Value) -> Result<(), checkpoint::CheckpointError> {
+        use checkpoint::codec as c;
+        // Capacities are replaced wholesale: the saved run may have
+        // lazily registered more resources (client NICs) than a freshly
+        // built instance has.
+        self.capacities = c::get_seq(state, "capacities")?
+            .iter()
+            .map(|v| c::as_f64_bits(v, "capacities[]"))
+            .collect::<Result<_, _>>()?;
+        self.flows.clear();
+        for fv in c::get_seq(state, "flows")? {
+            let resources = c::get_seq(fv, "resources")?
+                .iter()
+                .map(|v| c::as_u64(v, "resources[]").map(|n| ResourceId(n as usize)))
+                .collect::<Result<_, _>>()?;
+            self.flows.insert(
+                FlowId(c::get_u64(fv, "id")?),
+                Flow {
+                    resources,
+                    remaining: c::get_f64b(fv, "remaining")?,
+                    rate: c::get_f64b(fv, "rate")?,
+                },
+            );
+        }
+        self.next_flow = c::get_u64(state, "next_flow")?;
+        self.last_settle = c::get_time(state, "last_settle")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

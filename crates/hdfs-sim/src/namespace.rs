@@ -176,6 +176,109 @@ impl Namespace {
     }
 }
 
+impl checkpoint::Checkpointable for Namespace {
+    fn save_state(&self) -> checkpoint::Value {
+        use checkpoint::codec::{seq_of, MapBuilder};
+        use checkpoint::Value;
+        MapBuilder::new()
+            .put(
+                "files",
+                seq_of(self.files.values(), |f| {
+                    let mut b = MapBuilder::new()
+                        .u64("id", f.id.0)
+                        .str("path", &f.path)
+                        .u64("size", f.size)
+                        .put(
+                            "blocks",
+                            Value::Seq(f.blocks.iter().map(|b| Value::U64(b.0)).collect()),
+                        )
+                        .time("created_at", f.created_at)
+                        .time("last_access", f.last_access);
+                    b = match &f.mode {
+                        StorageMode::Replicated { replication } => {
+                            b.u64("replication", *replication as u64)
+                        }
+                        StorageMode::Encoded { parity_blocks } => b.put(
+                            "parity_blocks",
+                            Value::Seq(parity_blocks.iter().map(|p| Value::U64(p.0)).collect()),
+                        ),
+                    };
+                    b.build()
+                }),
+            )
+            .put(
+                "blocks",
+                seq_of(self.blocks.values(), |i| {
+                    MapBuilder::new()
+                        .u64("id", i.id.0)
+                        .u64("file", i.file.0)
+                        .u64("index", u64::from(i.index))
+                        .u64("len", i.len)
+                        .bool("is_parity", i.is_parity)
+                        .build()
+                }),
+            )
+            .u64("next_file", self.next_file)
+            .u64("next_block", self.next_block)
+            .build()
+    }
+
+    fn load_state(&mut self, state: &checkpoint::Value) -> Result<(), checkpoint::CheckpointError> {
+        use checkpoint::codec as c;
+        self.files.clear();
+        self.by_path.clear();
+        self.blocks.clear();
+        for fv in c::get_seq(state, "files")? {
+            let id = FileId(c::get_u64(fv, "id")?);
+            let path = c::get_str(fv, "path")?.to_string();
+            let blocks = c::get_seq(fv, "blocks")?
+                .iter()
+                .map(|v| c::as_u64(v, "blocks[]").map(BlockId))
+                .collect::<Result<_, _>>()?;
+            let mode = match fv.get("replication") {
+                Some(r) => StorageMode::Replicated {
+                    replication: c::as_u64(r, "replication")? as usize,
+                },
+                None => StorageMode::Encoded {
+                    parity_blocks: c::get_seq(fv, "parity_blocks")?
+                        .iter()
+                        .map(|v| c::as_u64(v, "parity_blocks[]").map(BlockId))
+                        .collect::<Result<_, _>>()?,
+                },
+            };
+            self.by_path.insert(path.clone(), id);
+            self.files.insert(
+                id,
+                FileMeta {
+                    id,
+                    path,
+                    size: c::get_u64(fv, "size")?,
+                    blocks,
+                    mode,
+                    created_at: c::get_time(fv, "created_at")?,
+                    last_access: c::get_time(fv, "last_access")?,
+                },
+            );
+        }
+        for bv in c::get_seq(state, "blocks")? {
+            let id = BlockId(c::get_u64(bv, "id")?);
+            self.blocks.insert(
+                id,
+                BlockInfo {
+                    id,
+                    file: FileId(c::get_u64(bv, "file")?),
+                    index: c::get_u32(bv, "index")?,
+                    len: c::get_u64(bv, "len")?,
+                    is_parity: c::get_bool(bv, "is_parity")?,
+                },
+            );
+        }
+        self.next_file = c::get_u64(state, "next_file")?;
+        self.next_block = c::get_u64(state, "next_block")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

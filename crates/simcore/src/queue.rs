@@ -18,6 +18,22 @@ use std::collections::{BinaryHeap, HashSet};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// The raw sequence number behind the handle. Only meaningful for
+    /// snapshotting: an id round-trips through
+    /// [`from_raw`](Self::from_raw) against the same queue generation.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`raw`](Self::raw). The caller is
+    /// responsible for pairing it with the queue state it was captured
+    /// from — a stale id silently refers to a different event.
+    pub fn from_raw(raw: u64) -> Self {
+        EventId(raw)
+    }
+}
+
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -147,6 +163,58 @@ impl<E> EventQueue<E> {
             self.now = t;
         }
     }
+
+    /// Capture the queue's complete state for a checkpoint: every live
+    /// (non-cancelled) entry as `(at, seq, payload)` in deterministic
+    /// pop order, plus the clock and the sequence counter. Cancelled
+    /// tombstones are compacted away — they are unobservable.
+    pub fn snapshot(&self) -> QueueSnapshot<E>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.id))
+            .map(|e| (e.at, e.seq, e.payload.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        QueueSnapshot {
+            now: self.now,
+            next_seq: self.next_seq,
+            entries,
+        }
+    }
+
+    /// Rebuild a queue from a [`snapshot`](Self::snapshot). Event ids
+    /// equal their sequence numbers, so handles captured alongside the
+    /// snapshot (via [`EventId::raw`]) stay valid against the restored
+    /// queue.
+    pub fn restore(snapshot: QueueSnapshot<E>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(snapshot.entries.len());
+        for (at, seq, payload) in snapshot.entries {
+            heap.push(Entry {
+                at,
+                seq,
+                id: EventId(seq),
+                payload,
+            });
+        }
+        EventQueue {
+            heap,
+            cancelled: HashSet::new(),
+            next_seq: snapshot.next_seq,
+            now: snapshot.now,
+        }
+    }
+}
+
+/// Everything an [`EventQueue`] needs to be rebuilt exactly.
+pub struct QueueSnapshot<E> {
+    pub now: SimTime,
+    pub next_seq: u64,
+    /// Live entries as `(at, seq, payload)`, sorted in pop order.
+    pub entries: Vec<(SimTime, u64, E)>,
 }
 
 #[cfg(test)]
@@ -215,5 +283,31 @@ mod tests {
         q.advance_to(SimTime::from_secs(10));
         q.advance_to(SimTime::from_secs(5));
         assert_eq!(q.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_order_ids_and_counter() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        let b = q.schedule(SimTime::from_secs(1), "b");
+        let dead = q.schedule(SimTime::from_secs(2), "dead");
+        q.cancel(dead);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+
+        let snap = q.snapshot();
+        assert_eq!(snap.entries.len(), 2, "cancelled entry compacted");
+        let mut r = EventQueue::restore(snap);
+        assert_eq!(r.now(), q.now());
+        assert_eq!(r.len(), 2);
+        // a captured-alongside id still cancels the same event
+        assert_eq!(EventId::from_raw(b.raw()), b);
+        r.cancel(b);
+        assert_eq!(r.pop().map(|(_, e)| e), Some("c"));
+        assert!(r.pop().is_none());
+        // new ids continue past the old counter, never colliding
+        let next = r.schedule(SimTime::from_secs(9), "d");
+        assert_eq!(next.raw(), 4);
+        let _ = a;
     }
 }

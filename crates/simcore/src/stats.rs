@@ -446,6 +446,62 @@ impl DurabilityLog {
         self.repair_bytes
     }
 
+    /// The ledger's complete state, f64 seconds bit-encoded, for
+    /// checkpointing. Restores through
+    /// [`set_state`](Self::set_state) bit-exactly.
+    pub fn state(&self) -> DurabilityState {
+        DurabilityState {
+            open: self.open.iter().map(|(&k, &v)| (k, v.to_bits())).collect(),
+            windows: self
+                .windows
+                .iter()
+                .map(|w| {
+                    (
+                        w.key,
+                        w.start_secs.to_bits(),
+                        w.end_secs.to_bits(),
+                        w.unresolved,
+                    )
+                })
+                .collect(),
+            lost: self
+                .lost
+                .iter()
+                .map(|l| (l.key, l.at_secs.to_bits()))
+                .collect(),
+            repair_bytes: self.repair_bytes,
+        }
+    }
+
+    /// Overwrite the ledger with a captured [`state`](Self::state).
+    pub fn set_state(&mut self, state: DurabilityState) {
+        self.open = state
+            .open
+            .into_iter()
+            .map(|(k, v)| (k, f64::from_bits(v)))
+            .collect();
+        self.windows = state
+            .windows
+            .into_iter()
+            .map(|(key, start, end, unresolved)| UnavailabilityWindow {
+                key,
+                start_secs: f64::from_bits(start),
+                end_secs: f64::from_bits(end),
+                unresolved,
+            })
+            .collect();
+        self.lost_keys = state.lost.iter().map(|&(k, _)| k).collect();
+        self.lost = state
+            .lost
+            .into_iter()
+            .map(|(key, at)| DataLossEvent {
+                key,
+                at_secs: f64::from_bits(at),
+            })
+            .collect();
+        self.repair_bytes = state.repair_bytes;
+    }
+
     pub fn summary(&self) -> DurabilitySummary {
         let resolved: Vec<&UnavailabilityWindow> =
             self.windows.iter().filter(|w| !w.unresolved).collect();
@@ -475,6 +531,18 @@ impl DurabilityLog {
             repair_bytes: self.repair_bytes,
         }
     }
+}
+
+/// A [`DurabilityLog`]'s complete state with every `f64` as raw IEEE-754
+/// bits, so checkpoint round trips are bit-exact.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityState {
+    pub open: Vec<(u64, u64)>,
+    /// `(key, start_bits, end_bits, unresolved)` per closed window.
+    pub windows: Vec<(u64, u64, u64, bool)>,
+    /// `(key, at_bits)` per loss event, in recording order.
+    pub lost: Vec<(u64, u64)>,
+    pub repair_bytes: u64,
 }
 
 #[cfg(test)]
@@ -656,5 +724,29 @@ mod tests {
         d.add_repair_bytes(50);
         assert_eq!(d.repair_bytes(), 150);
         assert_eq!(d.summary().repair_bytes, 150);
+    }
+
+    #[test]
+    fn durability_state_round_trips() {
+        let mut d = DurabilityLog::new();
+        d.mark_unavailable(1, SimTime::from_secs(5));
+        d.mark_available(1, SimTime::from_secs(9));
+        d.mark_unavailable(2, SimTime::from_secs(6));
+        d.mark_lost(3, SimTime::from_secs(7));
+        d.add_repair_bytes(64);
+
+        let mut r = DurabilityLog::new();
+        r.set_state(d.state());
+        assert_eq!(r.open_windows(), 1);
+        assert_eq!(r.windows().len(), d.windows().len());
+        assert_eq!(r.loss_events().len(), 1);
+        assert_eq!(r.repair_bytes(), 64);
+        // lost keys restored: further events on key 3 stay ignored
+        r.mark_unavailable(3, SimTime::from_secs(20));
+        assert_eq!(r.open_windows(), 1);
+        // open window restored with its original start
+        r.mark_available(2, SimTime::from_secs(10));
+        let w = r.windows().last().unwrap();
+        assert!((w.duration_secs() - 4.0).abs() < 1e-12);
     }
 }

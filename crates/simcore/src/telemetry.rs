@@ -638,6 +638,22 @@ impl TelemetrySink {
         out
     }
 
+    /// The next sequence number this sink will assign (`0` if disabled).
+    ///
+    /// Checkpoints record it so a resumed run's trace continues the
+    /// straight-through numbering: prefix (drained before the snapshot)
+    /// plus resumed suffix concatenate into a byte-identical JSONL.
+    pub fn seq(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.borrow().seq)
+    }
+
+    /// Overwrite the next sequence number (no-op on a disabled sink).
+    pub fn set_seq(&self, seq: u64) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().seq = seq;
+        }
+    }
+
     /// Read access to the metrics under this sink (`None` if disabled).
     pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
         self.0.as_ref().map(|i| f(&i.borrow().metrics))

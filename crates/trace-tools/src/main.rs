@@ -6,19 +6,35 @@
 //!                                   [--max-replication N]
 //!                                   [--parities-per-stripe N]
 //! trace-tools diff    <a.jsonl> <b.jsonl>
+//! trace-tools checkpoint save   --scenario <name> --seed <n> --at-tick <t>
+//!                               --out <snap.json> [--trace <prefix.jsonl>]
+//! trace-tools checkpoint resume --snapshot <snap.json>
+//!                               [--trace <suffix.jsonl>] [--restart]
+//! trace-tools checkpoint info   --snapshot <snap.json>
 //! ```
 //!
-//! Exit codes: `0` clean / identical, `1` invariant violations found or
-//! traces differ, `2` usage, I/O or parse error — so CI can gate a
-//! build on `trace-tools check`.
+//! Exit codes: `0` clean / identical / success, `1` invariant violations
+//! found or traces differ, `2` usage, I/O or parse error (including a
+//! snapshot whose format version this build does not speak) — so CI can
+//! gate a build on `trace-tools check`.
 
+use bench::checkpointing::{ResumableRun, Scenario};
+use checkpoint::Snapshot;
 use std::process::ExitCode;
 use trace_tools::{check, diff, summarize, OracleConfig};
 
 const USAGE: &str = "usage:
   trace-tools summary <trace.jsonl>
   trace-tools check   <trace.jsonl> [--default-replication N] [--max-replication N] [--parities-per-stripe N]
-  trace-tools diff    <a.jsonl> <b.jsonl>";
+  trace-tools diff    <a.jsonl> <b.jsonl>
+  trace-tools checkpoint save   --scenario <name> --seed <n> --at-tick <t> --out <snap.json> [--trace <prefix.jsonl>]
+  trace-tools checkpoint resume --snapshot <snap.json> [--trace <suffix.jsonl>] [--restart]
+  trace-tools checkpoint info   --snapshot <snap.json>
+
+exit codes:
+  0  clean / identical / success
+  1  invariant violations found, or traces differ
+  2  usage, I/O or parse error (incl. unsupported snapshot version)";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("trace-tools: {msg}");
@@ -44,6 +60,155 @@ fn flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<u32>, String>
         .map_err(|_| format!("{flag} value '{raw}' is not a u32"))
 }
 
+fn str_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let v = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(v))
+}
+
+fn u64_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    match str_flag(args, flag)? {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("{flag} value '{raw}' is not a u64")),
+    }
+}
+
+fn bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn write_out(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn checkpoint_save(mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<_, String> {
+        let scenario = str_flag(&mut args, "--scenario")?.ok_or("save needs --scenario")?;
+        let seed = u64_flag(&mut args, "--seed")?.unwrap_or(42);
+        let at_tick = u64_flag(&mut args, "--at-tick")?.ok_or("save needs --at-tick")?;
+        let out = str_flag(&mut args, "--out")?.ok_or("save needs --out")?;
+        let trace = str_flag(&mut args, "--trace")?;
+        if !args.is_empty() {
+            return Err(format!("unexpected arguments {args:?}"));
+        }
+        Ok((scenario, seed, at_tick, out, trace))
+    })();
+    let (scenario, seed, at_tick, out, trace) = match parsed {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let Some(scenario) = Scenario::by_name(&scenario) else {
+        return fail(&format!(
+            "unknown scenario {scenario:?} (one of: {})",
+            Scenario::names().join(", ")
+        ));
+    };
+    let mut run = ResumableRun::new(scenario, seed);
+    run.run_to_tick(at_tick);
+    let prefix = run.drain_trace();
+    let snap = run.save();
+    if let Err(e) = snap.write_file(&out) {
+        return fail(&format!("cannot write {out}: {e}"));
+    }
+    if let Some(path) = trace {
+        if let Err(e) = write_out(&path, &prefix) {
+            return fail(&e);
+        }
+    }
+    println!(
+        "saved {out}: scenario={} seed={seed} tick={}",
+        snap.meta.scenario, snap.meta.tick
+    );
+    ExitCode::SUCCESS
+}
+
+fn checkpoint_resume(mut args: Vec<String>) -> ExitCode {
+    let restart = bool_flag(&mut args, "--restart");
+    let parsed = (|| -> Result<_, String> {
+        let snapshot = str_flag(&mut args, "--snapshot")?.ok_or("resume needs --snapshot")?;
+        let trace = str_flag(&mut args, "--trace")?;
+        if !args.is_empty() {
+            return Err(format!("unexpected arguments {args:?}"));
+        }
+        Ok((snapshot, trace))
+    })();
+    let (snapshot, trace) = match parsed {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let snap = match Snapshot::read_file(&snapshot) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot load {snapshot}: {e}")),
+    };
+    let resumed = if restart {
+        ResumableRun::crash_restart(&snap).map(|(run, recovered)| {
+            println!("crash-restart recovered {recovered} in-flight task(s)");
+            run
+        })
+    } else {
+        ResumableRun::resume(&snap)
+    };
+    let mut run = match resumed {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("cannot resume {snapshot}: {e}")),
+    };
+    run.finish();
+    let suffix = run.drain_trace();
+    if let Some(path) = trace {
+        if let Err(e) = write_out(&path, &suffix) {
+            return fail(&e);
+        }
+    }
+    println!(
+        "resumed {snapshot} at tick {} and ran to tick {} ({} trace lines)",
+        snap.meta.tick,
+        run.tick_idx(),
+        suffix.lines().count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn checkpoint_info(mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<_, String> {
+        let snapshot = str_flag(&mut args, "--snapshot")?.ok_or("info needs --snapshot")?;
+        if !args.is_empty() {
+            return Err(format!("unexpected arguments {args:?}"));
+        }
+        Ok(snapshot)
+    })();
+    let snapshot = match parsed {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let snap = match Snapshot::read_file(&snapshot) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot load {snapshot}: {e}")),
+    };
+    let sections: Vec<&str> = snap.section_names().collect();
+    println!(
+        "snapshot v{}: scenario={} seed={} tick={}",
+        snap.version, snap.meta.scenario, snap.meta.seed, snap.meta.tick
+    );
+    println!("sections: {}", sections.join(", "));
+    println!("bytes: {}", snap.to_json().len());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let Some(mode) = args.first().cloned() else {
@@ -51,6 +216,10 @@ fn main() -> ExitCode {
     };
     args.remove(0);
     match mode.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
         "summary" => {
             let [path] = args.as_slice() else {
                 return fail("summary takes exactly one trace file");
@@ -110,6 +279,18 @@ fn main() -> ExitCode {
                     }
                 }
                 Err(e) => fail(&e),
+            }
+        }
+        "checkpoint" => {
+            if args.is_empty() {
+                return fail("checkpoint needs a subcommand (save|resume|info)");
+            }
+            let sub = args.remove(0);
+            match sub.as_str() {
+                "save" => checkpoint_save(args),
+                "resume" => checkpoint_resume(args),
+                "info" => checkpoint_info(args),
+                other => fail(&format!("unknown checkpoint subcommand '{other}'")),
             }
         }
         other => fail(&format!("unknown mode '{other}'")),

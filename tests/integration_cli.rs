@@ -1,0 +1,170 @@
+//! The `trace-tools` binary's exit-code contract.
+//!
+//! CI gates builds on these codes, so they are part of the public
+//! interface: `0` clean / identical / success, `1` invariant violations
+//! or differing traces, `2` usage, I/O or parse errors — including a
+//! snapshot whose format version this build does not speak, which must
+//! surface as a typed error, never a panic.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace-tools"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no signal death")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("trace-tools-cli-{}-{name}", std::process::id()))
+}
+
+struct Cleanup(Vec<PathBuf>);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+#[test]
+fn help_documents_the_exit_codes_and_exits_zero() {
+    let out = run(&["--help"]);
+    assert_eq!(code(&out), 0);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("exit codes:"),
+        "help lists exit codes: {text}"
+    );
+    for line in ["0  clean", "1  invariant violations", "2  usage"] {
+        assert!(text.contains(line), "help documents {line:?}: {text}");
+    }
+    for mode in [
+        "summary",
+        "check",
+        "diff",
+        "checkpoint save",
+        "checkpoint resume",
+    ] {
+        assert!(text.contains(mode), "help documents {mode:?}: {text}");
+    }
+    // `help` and `-h` spellings behave the same
+    assert_eq!(code(&run(&["help"])), 0);
+    assert_eq!(code(&run(&["-h"])), 0);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(code(&run(&[])), 2, "no mode");
+    assert_eq!(code(&run(&["transmogrify"])), 2, "unknown mode");
+    assert_eq!(
+        code(&run(&["diff", "only-one.jsonl"])),
+        2,
+        "missing operand"
+    );
+    assert_eq!(code(&run(&["checkpoint"])), 2, "missing subcommand");
+    assert_eq!(code(&run(&["checkpoint", "save"])), 2, "missing flags");
+    assert_eq!(
+        code(&run(&[
+            "summary",
+            tmp("nonexistent.jsonl").to_str().unwrap()
+        ])),
+        2,
+        "unreadable file"
+    );
+}
+
+#[test]
+fn clean_trace_exits_zero_and_tampered_diff_exits_one() {
+    let snap = tmp("snap.json");
+    let trace = tmp("trace.jsonl");
+    let tampered = tmp("tampered.jsonl");
+    let _cleanup = Cleanup(vec![snap.clone(), trace.clone(), tampered.clone()]);
+
+    // produce a real trace the cheap way: checkpoint an early tick
+    let out = run(&[
+        "checkpoint",
+        "save",
+        "--scenario",
+        "churn-tiny",
+        "--seed",
+        "3",
+        "--at-tick",
+        "2",
+        "--out",
+        snap.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "save succeeds");
+
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    assert!(!jsonl.is_empty(), "prefix trace recorded events");
+    assert_eq!(code(&run(&["check", trace.to_str().unwrap()])), 0);
+    assert_eq!(
+        code(&run(&[
+            "diff",
+            trace.to_str().unwrap(),
+            trace.to_str().unwrap()
+        ])),
+        0,
+        "a trace is identical to itself"
+    );
+
+    let shorter: String = jsonl
+        .lines()
+        .take(jsonl.lines().count() - 1)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&tampered, shorter).unwrap();
+    assert_eq!(
+        code(&run(&[
+            "diff",
+            trace.to_str().unwrap(),
+            tampered.to_str().unwrap()
+        ])),
+        1,
+        "differing traces exit 1"
+    );
+}
+
+#[test]
+fn unsupported_snapshot_version_is_a_typed_error_not_a_panic() {
+    let snap = tmp("future.json");
+    let _cleanup = Cleanup(vec![snap.clone()]);
+    std::fs::write(
+        &snap,
+        r#"{"version":99,"meta":{"scenario":"churn-tiny","seed":1,"tick":0},"sections":{}}"#,
+    )
+    .unwrap();
+    for sub in ["info", "resume"] {
+        let out = run(&["checkpoint", sub, "--snapshot", snap.to_str().unwrap()]);
+        assert_eq!(code(&out), 2, "{sub} rejects the future version");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("version"), "{sub} names the problem: {err}");
+    }
+}
+
+#[test]
+fn checkpoint_rejects_unknown_scenario_listing_the_known_ones() {
+    let out = run(&[
+        "checkpoint",
+        "save",
+        "--scenario",
+        "churn-galactic",
+        "--at-tick",
+        "1",
+        "--out",
+        tmp("never.json").to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2);
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("churn-small"), "lists known scenarios: {err}");
+}

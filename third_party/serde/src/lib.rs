@@ -281,6 +281,20 @@ impl_tuple! {
     (0 A, 1 B, 2 C, 3 D)
 }
 
+// A `Value` is already the data model: identity codec, so callers that
+// assemble trees by hand (the checkpoint codecs) can print and parse
+// them through `serde_json` like any other type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Map keys must render as strings in the data model.
 fn key_string(v: &Value) -> String {
     match v {

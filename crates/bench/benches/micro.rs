@@ -39,6 +39,9 @@ fn bench_reed_solomon(c: &mut Criterion) {
     });
     let parity = rs.encode(&data).expect("encode");
     let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+    g.bench_function("verify_rs_10_4_2.5MB", |b| {
+        b.iter(|| rs.verify(black_box(&full)).expect("verify"));
+    });
     g.bench_function("reconstruct_4_erasures", |b| {
         b.iter_batched(
             || {

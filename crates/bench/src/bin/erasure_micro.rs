@@ -1,0 +1,108 @@
+//! Erasure micro-benchmark: encode / verify / reconstruct throughput
+//! for the repair pipeline's code shapes, archived to
+//! `results/erasure_micro.json`.
+//!
+//! Unlike the criterion suite in `benches/micro.rs` (statistical,
+//! interactive), this is the one-shot scorecard ROADMAP item 2 asks
+//! for: one row per code, data throughput in MB/s for the three
+//! operations the scrubber exercises — `encode` when cooling data,
+//! `verify` on every scrub touch of an encoded stripe, `reconstruct`
+//! when a corrupt shard is quarantined.
+
+use bench::common::write_json;
+use erasure::ReedSolomon;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct CodeRow {
+    code: String,
+    k: usize,
+    m: usize,
+    shard_kib: usize,
+    stripe_mib: f64,
+    encode_mb_s: f64,
+    verify_mb_s: f64,
+    reconstruct_mb_s: f64,
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let shard = if small { 64 * 1024 } else { 256 * 1024 };
+    let iters = if small { 8 } else { 32 };
+    // the paper's cold code plus the two alternates the redundancy
+    // policy weighs (ROADMAP item 2)
+    let codes = [(10usize, 4usize), (4, 2), (8, 3)];
+    let mut rows = Vec::new();
+    for (k, m) in codes {
+        rows.push(bench_code(k, m, shard, iters));
+    }
+    println!(
+        "{:<10} {:>9} {:>11} {:>11} {:>15}",
+        "code", "shard_KiB", "encode_MB/s", "verify_MB/s", "reconstruct_MB/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>9} {:>11.1} {:>11.1} {:>15.1}",
+            r.code, r.shard_kib, r.encode_mb_s, r.verify_mb_s, r.reconstruct_mb_s
+        );
+    }
+    write_json("erasure_micro", &rows);
+}
+
+fn bench_code(k: usize, m: usize, shard: usize, iters: u32) -> CodeRow {
+    let rs = ReedSolomon::new(k, m).expect("valid code");
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..shard).map(|j| ((i * 31 + j * 7) % 251) as u8).collect())
+        .collect();
+    let data_bytes = (k * shard) as f64;
+
+    let t = Instant::now();
+    let mut parity = Vec::new();
+    for _ in 0..iters {
+        parity = rs.encode(black_box(&data)).expect("encode");
+    }
+    let encode_mb_s = throughput(data_bytes, iters, t.elapsed().as_secs_f64());
+
+    let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+    let t = Instant::now();
+    for _ in 0..iters {
+        assert!(rs.verify(black_box(&full)).expect("verify"));
+    }
+    let verify_mb_s = throughput(data_bytes, iters, t.elapsed().as_secs_f64());
+
+    // worst case: all m shards lost, erased round-robin across the stripe
+    let mut elapsed = 0.0;
+    for _ in 0..iters {
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        for i in 0..m {
+            shards[(i * (k + m)) / m] = None;
+        }
+        let t = Instant::now();
+        rs.reconstruct(black_box(&mut shards)).expect("reconstruct");
+        elapsed += t.elapsed().as_secs_f64();
+        for (a, b) in shards.iter().zip(&full) {
+            assert_eq!(a.as_deref().expect("filled"), &b[..]);
+        }
+    }
+    let reconstruct_mb_s = throughput(data_bytes, iters, elapsed);
+
+    CodeRow {
+        code: format!("rs_{k}_{m}"),
+        k,
+        m,
+        shard_kib: shard / 1024,
+        stripe_mib: ((k + m) * shard) as f64 / (1 << 20) as f64,
+        encode_mb_s,
+        verify_mb_s,
+        reconstruct_mb_s,
+    }
+}
+
+fn throughput(bytes_per_iter: f64, iters: u32, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    bytes_per_iter * iters as f64 / (1 << 20) as f64 / secs
+}

@@ -10,6 +10,7 @@
 
 use bench::capacity::{self, CapacityConfig};
 use bench::common::{write_json, Mode};
+use bench::corruption::{self, CorruptionConfig};
 use bench::dfsio::{self, DfsIoConfig};
 use bench::faults::{self, FaultsConfig};
 use bench::increase::{self, IncreaseConfig};
@@ -23,14 +24,16 @@ fn main() {
     let small = args.iter().any(|a| a == "--small");
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|faults|all]... [--small]\n\
-             \x20             [--trace <path>] [--metrics <path>]\n\
+            "usage: figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|faults|corruption|all]...\n\
+             \x20             [--small] [--trace <path>] [--metrics <path>]\n\
              Regenerates the paper's evaluation figures; tables go to stdout,\n\
              JSON to results/. --small runs reduced-scale variants.\n\
-             'faults' runs the seeded-churn durability comparison (not a\n\
-             paper figure; included in 'all'). --trace writes that run's\n\
-             structured JSONL event trace (erms_healing variant), --metrics\n\
-             its per-tick metric snapshots; both are byte-identical across\n\
+             'faults' runs the seeded-churn durability comparison and\n\
+             'corruption' the silent-corruption storm with and without the\n\
+             background scrubber (neither is a paper figure; both are in\n\
+             'all'). --trace writes that run's structured JSONL event trace\n\
+             (erms_healing / scrubber variant), --metrics its per-tick\n\
+             metric snapshots (faults only); all byte-identical across\n\
              same-seed runs."
         );
         return;
@@ -55,7 +58,15 @@ fn main() {
         .collect();
     let which = if which.is_empty() || which.contains(&"all") {
         vec![
-            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "faults",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "faults",
+            "corruption",
         ]
     } else {
         which
@@ -80,7 +91,10 @@ fn main() {
             "fig8" => fig8(small),
             "fig9" => fig9(small),
             "faults" => faults_figure(small, trace_path.as_deref(), metrics_path.as_deref()),
-            other => eprintln!("unknown figure '{other}' (use fig3..fig9, faults, or all)"),
+            "corruption" => corruption_figure(small, trace_path.as_deref()),
+            other => {
+                eprintln!("unknown figure '{other}' (use fig3..fig9, faults, corruption, or all)")
+            }
         }
     }
     eprintln!("\n[figures done in {:.1}s]", wall.elapsed().as_secs_f64());
@@ -419,6 +433,65 @@ fn faults_figure(small: bool, trace: Option<&std::path::Path>, metrics: Option<&
         plan.planned_events, plan.planned_kills, plan.events_applied
     );
     write_json("faults", &result);
+}
+
+fn corruption_figure(small: bool, trace: Option<&std::path::Path>) {
+    let cfg = if small {
+        CorruptionConfig::small()
+    } else {
+        CorruptionConfig::default_scenario()
+    };
+    eprintln!(
+        "[corruption] silent-corruption storm, seed={} horizon={:.1}h…",
+        cfg.seed,
+        cfg.fault.horizon.as_secs_f64() / 3600.0
+    );
+    let (result, jsonl) = corruption::run_captured(&cfg, trace.is_some());
+    if let Some(path) = trace {
+        match std::fs::write(path, &jsonl) {
+            Ok(()) => eprintln!(
+                "[corruption] trace: {} events -> {}",
+                jsonl.lines().count(),
+                path.display()
+            ),
+            Err(e) => eprintln!("[corruption] cannot write trace {}: {e}", path.display()),
+        }
+    }
+    println!(
+        "\n== Corruption: scrub scorecard under identical rot (seed {}, {} files × {} MB, {:.1} h, budget {} blk/tick) ==",
+        result.seed,
+        result.num_files,
+        result.file_size_mb,
+        result.horizon_hours,
+        result.scrub_blocks_per_tick
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>13} {:>9} {:>8} {:>8} {:>6}",
+        "variant",
+        "injected",
+        "detected",
+        "repaired",
+        "detect_s(avg)",
+        "scanned",
+        "latent",
+        "pending",
+        "loss"
+    );
+    for v in &result.variants {
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>13.1} {:>9} {:>8} {:>8} {:>6}",
+            v.variant,
+            v.corruptions_injected,
+            v.corruptions_detected,
+            v.corruptions_repaired,
+            v.mean_detect_secs,
+            v.scrub_blocks_scanned,
+            v.latent_remaining,
+            v.pending_repair_final,
+            v.data_loss_events,
+        );
+    }
+    write_json("corruption", &result);
 }
 
 fn row<'a>(rows: &'a [capacity::Trial], r: usize, model: &str) -> &'a capacity::Trial {

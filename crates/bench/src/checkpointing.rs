@@ -51,6 +51,8 @@ pub struct Scenario {
     pub standby: std::ops::Range<u32>,
     /// Judge mode: forced full rescan instead of the incremental visit set.
     pub full_rescan: bool,
+    /// Background scrubber on (with the default per-tick budget).
+    pub scrubber: bool,
 }
 
 impl Scenario {
@@ -71,6 +73,7 @@ impl Scenario {
             reads_per_tick: 8,
             standby: 15..18,
             full_rescan: false,
+            scrubber: false,
         }
     }
 
@@ -95,18 +98,36 @@ impl Scenario {
         s
     }
 
+    /// [`churn_tiny`](Self::churn_tiny) with silent corruption and torn
+    /// writes in the fault mix and the background scrubber switched on —
+    /// exercises checksum-validity maps and the scrub cursor through the
+    /// resume-equivalence guard.
+    pub fn churn_corrupt() -> Self {
+        let mut s = Self::churn_tiny();
+        s.name = "churn-corrupt";
+        s.fault = s.fault.with_corruption(SimDuration::from_mins(8), 0.0, 0.5);
+        s.scrubber = true;
+        s
+    }
+
     /// Look a scenario up by the name a snapshot recorded.
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "churn-small" => Some(Self::churn_small()),
             "churn-small-full" => Some(Self::churn_small_full()),
             "churn-tiny" => Some(Self::churn_tiny()),
+            "churn-corrupt" => Some(Self::churn_corrupt()),
             _ => None,
         }
     }
 
     pub fn names() -> &'static [&'static str] {
-        &["churn-small", "churn-small-full", "churn-tiny"]
+        &[
+            "churn-small",
+            "churn-small-full",
+            "churn-tiny",
+            "churn-corrupt",
+        ]
     }
 
     fn erms_config(&self) -> ErmsConfig {
@@ -118,6 +139,7 @@ impl Scenario {
             .standby(self.standby.clone().map(NodeId))
             .self_healing(true)
             .encode(false)
+            .scrubber(self.scrubber)
             .full_rescan(self.full_rescan)
             .build()
             .expect("scenario config is valid")

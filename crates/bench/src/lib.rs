@@ -22,6 +22,7 @@ pub mod ablation;
 pub mod capacity;
 pub mod checkpointing;
 pub mod common;
+pub mod corruption;
 pub mod dfsio;
 pub mod faults;
 pub mod increase;

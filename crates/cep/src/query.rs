@@ -252,8 +252,9 @@ fn intern_key(v: &Value) -> Arc<str> {
 /// Incremental runtime of one query.
 ///
 /// For `Count`/`Sum`/`Avg` the state keeps per-group running aggregates
-/// (updated as events enter and leave the window), so [`rows`]
-/// (Self::rows) is O(live groups) and [`value_for`](Self::value_for) is
+/// (updated as events enter and leave the window), so
+/// [`rows`](Self::rows) is O(live groups) and
+/// [`value_for`](Self::value_for) is
 /// O(log groups) — not O(window) with a `to_string` per event. The
 /// non-invertible aggregates (`Max`/`Min`/`CountDistinct`) keep the
 /// rescan-on-read path.

@@ -140,8 +140,8 @@ impl<P: Clone> Journal<P> {
     /// the crashed manager. A restarting manager cannot wait for their
     /// reports (no executor holds them any more), so each payload must be
     /// either undone or re-driven to a safe state. Jobs that permanently
-    /// failed before the crash are covered by [`pending_rollbacks`]
-    /// (Self::pending_rollbacks), not repeated here.
+    /// failed before the crash are covered by
+    /// [`Self::pending_rollbacks`], not repeated here.
     pub fn rollback_plan(&self) -> Vec<(JobId, P)> {
         self.replay()
             .into_iter()
@@ -190,8 +190,8 @@ impl<P: Clone> Journal<P> {
         )
     }
 
-    /// Replace the log with a snapshot taken by [`save_state_with`]
-    /// (Self::save_state_with), decoding payloads through `dec`.
+    /// Replace the log with a snapshot taken by
+    /// [`Self::save_state_with`], decoding payloads through `dec`.
     pub fn load_state_with(
         &mut self,
         state: &checkpoint::Value,

@@ -449,8 +449,8 @@ impl<P: Clone> Scheduler<P> {
             .build()
     }
 
-    /// Restore dynamic state from [`save_state_with`]
-    /// (Self::save_state_with), decoding payloads through `dec`.
+    /// Restore dynamic state from
+    /// [`Self::save_state_with`], decoding payloads through `dec`.
     pub fn load_state_with(
         &mut self,
         state: &checkpoint::Value,
@@ -846,6 +846,52 @@ mod tests {
         let rb = s.take_rollbacks(due + SimDuration::from_secs(2));
         assert_eq!(rb, vec![(id, "doomed")]);
         assert_eq!(s.journal().replay()[&id], ReplayState::RolledBack);
+    }
+
+    #[test]
+    fn backoff_jitter_always_stays_inside_the_window() {
+        // exhaustive sweep: for every (job, attempt) pair the jittered
+        // delay must land in [(1−f)·d, (1+f)·d] where d = min(cap, base·2^k)
+        let p = backoff_policy();
+        let base = 10.0;
+        let cap = 60.0;
+        for job in 0..256u64 {
+            for attempt in 1..=16u32 {
+                let doublings = attempt.saturating_sub(1).min(62);
+                let pre = (base * (1u64 << doublings) as f64).min(cap);
+                let d = p.delay_after(JobId(job), attempt).as_secs_f64();
+                assert!(
+                    d >= pre * 0.8 - 1e-9 && d <= pre * 1.2 + 1e-9,
+                    "job {job} attempt {attempt}: {d} outside [{}, {}]",
+                    pre * 0.8,
+                    pre * 1.2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retries_are_capped_at_max_attempts_dispatches() {
+        // a permanently failing job is dispatched exactly max_attempts
+        // times, never more, no matter how long we keep asking
+        let max_attempts = 4;
+        let mut s: Scheduler<&str> =
+            Scheduler::with_retry_policy(1, max_attempts, backoff_policy());
+        let id = s.submit(t(0), "doomed", Priority::Immediate);
+        let mut dispatches = 0u32;
+        let mut now = t(0);
+        for _ in 0..max_attempts * 8 {
+            for (job, _) in s.dispatch(now, false) {
+                dispatches += 1;
+                now += SimDuration::from_secs(1);
+                s.report(now, job, Outcome::Failure("x".into()));
+            }
+            now = s
+                .next_retry_at(id)
+                .unwrap_or(now + SimDuration::from_secs(1));
+        }
+        assert_eq!(dispatches, max_attempts, "attempt cap honoured");
+        assert_eq!(s.state(id), Some(JobState::Failed));
     }
 
     #[test]

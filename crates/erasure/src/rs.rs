@@ -515,5 +515,49 @@ mod tests {
                 prop_assert_eq!(sh.as_ref().unwrap(), &full[i]);
             }
         }
+
+        #[test]
+        fn corrupt_shards_are_detected_then_verified_repair_round_trips(
+            seed in 0u64..1_000_000,
+            k in 1usize..8,
+            m in 1usize..5,
+            len in 1usize..300,
+            corruptions in 1usize..5,
+        ) {
+            // the silent-corruption pipeline in miniature: up to m shards
+            // rot in place, verify() catches the stripe, and dropping the
+            // rotten shards reconstructs the original bytes exactly
+            let rs = ReedSolomon::new(k, m).unwrap();
+            let data = sample_data(k, len, seed);
+            let parity = rs.encode(&data).unwrap();
+            let mut full = data.clone();
+            full.extend(parity);
+
+            let mut idx: Vec<usize> = (0..k + m).collect();
+            let mut s = seed ^ 0x9e3779b97f4a7c15;
+            for i in (1..idx.len()).rev() {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let j = (s >> 33) as usize % (i + 1);
+                idx.swap(i, j);
+            }
+            let rot: Vec<usize> = idx.iter().copied().take(corruptions.min(m)).collect();
+            let mut stored = full.clone();
+            for &victim in &rot {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let byte = (s >> 33) as usize % len;
+                stored[victim][byte] ^= 0xA5; // silent bit rot
+            }
+
+            prop_assert!(!rs.verify(&stored).unwrap(), "corruption must be detected");
+
+            let mut shards: Vec<Option<Vec<u8>>> = stored.into_iter().map(Some).collect();
+            for &victim in &rot {
+                shards[victim] = None; // quarantine what the scrub flagged
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            let repaired: Vec<Vec<u8>> = shards.into_iter().map(Option::unwrap).collect();
+            prop_assert_eq!(&repaired, &full, "repair must be byte-identical");
+            prop_assert!(rs.verify(&repaired).unwrap(), "repaired stripe re-verifies");
+        }
     }
 }

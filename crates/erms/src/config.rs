@@ -35,6 +35,9 @@ pub enum ConfigError {
     ZeroRepairScanTicks,
     /// Self-healing needs a positive task timeout.
     ZeroTaskTimeout,
+    /// The scrubber is enabled with a zero per-tick block budget, so it
+    /// would never scan anything.
+    ZeroScrubBudget,
     /// A configured standby node id does not exist in the cluster.
     UnknownStandbyNode { node: u32, datanodes: u32 },
     /// A configured standby node already holds block replicas, so
@@ -64,6 +67,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroRepairScanTicks => write!(f, "repair_scan_ticks must be positive"),
             ConfigError::ZeroTaskTimeout => {
                 write!(f, "task_timeout must be positive when self-healing")
+            }
+            ConfigError::ZeroScrubBudget => {
+                write!(f, "scrub_blocks_per_tick must be positive when scrubbing")
             }
             ConfigError::UnknownStandbyNode { node, datanodes } => {
                 write!(
@@ -122,6 +128,16 @@ pub struct ErmsConfig {
     /// longer than this (stalled behind a dead endpoint or a downed
     /// rack uplink); Condor's retry/backoff then takes over.
     pub task_timeout: SimDuration,
+    /// Background scrubber: checksum-verify a budgeted slice of the
+    /// namespace on every tick, quarantine corrupt copies and schedule
+    /// verified repair through Condor. Off by default — corruption-free
+    /// runs stay byte-identical.
+    pub enable_scrubber: bool,
+    /// Scrub budget: blocks checksummed per tick (≥ 1 when scrubbing).
+    /// The budget is shed — halved, then dropped to zero — while the
+    /// scheduler is saturated, so a corruption storm can never stall
+    /// the control loop behind an unbounded repair backlog.
+    pub scrub_blocks_per_tick: u32,
     /// Classify every namespace file on every tick instead of only the
     /// dirty/active subset. The incremental visit set is semantically
     /// equivalent (skipped files are exactly those a full scan would
@@ -150,6 +166,8 @@ impl ErmsConfig {
             enable_self_healing: false,
             repair_scan_ticks: 1,
             task_timeout: SimDuration::from_mins(30),
+            enable_scrubber: false,
+            scrub_blocks_per_tick: 16,
             full_rescan: false,
         }
     }
@@ -182,8 +200,11 @@ impl ErmsConfig {
         if self.repair_scan_ticks == 0 {
             return Err(ConfigError::ZeroRepairScanTicks);
         }
-        if self.enable_self_healing && self.task_timeout.is_zero() {
+        if (self.enable_self_healing || self.enable_scrubber) && self.task_timeout.is_zero() {
             return Err(ConfigError::ZeroTaskTimeout);
+        }
+        if self.enable_scrubber && self.scrub_blocks_per_tick == 0 {
+            return Err(ConfigError::ZeroScrubBudget);
         }
         Ok(())
     }
@@ -303,6 +324,16 @@ impl ErmsConfigBuilder {
         self
     }
 
+    pub fn scrubber(mut self, on: bool) -> Self {
+        self.cfg.enable_scrubber = on;
+        self
+    }
+
+    pub fn scrub_blocks_per_tick(mut self, blocks: u32) -> Self {
+        self.cfg.scrub_blocks_per_tick = blocks;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ErmsConfig, ConfigError> {
         self.cfg.validate()?;
@@ -362,6 +393,30 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, ConfigError::ZeroRepairScanTicks);
+    }
+
+    #[test]
+    fn scrubber_needs_a_positive_budget() {
+        let cfg = ErmsConfig::builder()
+            .scrubber(true)
+            .scrub_blocks_per_tick(8)
+            .build()
+            .expect("valid");
+        assert!(cfg.enable_scrubber);
+        assert_eq!(cfg.scrub_blocks_per_tick, 8);
+
+        let err = ErmsConfig::builder()
+            .scrubber(true)
+            .scrub_blocks_per_tick(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroScrubBudget);
+
+        // budget only matters when the scrubber is on
+        assert!(ErmsConfig::builder()
+            .scrub_blocks_per_tick(0)
+            .build()
+            .is_ok());
     }
 
     #[test]

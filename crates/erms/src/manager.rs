@@ -43,6 +43,11 @@ pub enum ErmsTask {
     Encode { path: String },
     /// Undo encoding and restore `target` replicas.
     Decode { path: String, target: usize },
+    /// Verified repair of a file with quarantined-corrupt copies:
+    /// re-copy every under-replicated block from a clean source (the
+    /// scrubber's repair route for replicated files; dark encoded
+    /// shards go through RS reconstruction instead).
+    Repair { path: String },
 }
 
 impl ErmsTask {
@@ -52,6 +57,7 @@ impl ErmsTask {
             ErmsTask::Decrease { .. } => 1,
             ErmsTask::Encode { .. } => 2,
             ErmsTask::Decode { .. } => 3,
+            ErmsTask::Repair { .. } => 4,
         }
     }
     fn path(&self) -> &str {
@@ -59,7 +65,8 @@ impl ErmsTask {
             ErmsTask::Increase { path, .. }
             | ErmsTask::Decrease { path, .. }
             | ErmsTask::Encode { path }
-            | ErmsTask::Decode { path, .. } => path,
+            | ErmsTask::Decode { path, .. }
+            | ErmsTask::Repair { path } => path,
         }
     }
 
@@ -79,6 +86,9 @@ impl ErmsTask {
                 target: default_r,
             },
             ErmsTask::Decode { path, .. } => ErmsTask::Encode { path: path.clone() },
+            // repair is idempotent convergence toward the replica
+            // target; the only sane compensation is another attempt
+            ErmsTask::Repair { path } => ErmsTask::Repair { path: path.clone() },
         }
     }
 }
@@ -105,6 +115,10 @@ pub struct TickReport {
     pub tasks_timed_out: usize,
     /// Self-healing: commissioned standby nodes found dead and evicted.
     pub standby_evicted: Vec<NodeId>,
+    /// Scrubber: blocks checksum-verified this tick.
+    pub scrub_scanned: usize,
+    /// Scrubber: corrupt copies detected (and quarantined) this tick.
+    pub corruptions_found: usize,
 }
 
 /// The elastic replication manager.
@@ -190,10 +204,11 @@ impl ErmsManager {
         } else {
             ActiveStandbyModel::new(active, standby)
         };
-        // Under self-healing, failed tasks (dead endpoints, downed racks)
-        // retry with exponential backoff instead of hammering the same
-        // broken placement every tick.
-        let condor = if cfg.enable_self_healing {
+        // Under self-healing (and for the scrubber's repair tasks),
+        // failed tasks (dead endpoints, downed racks) retry with
+        // exponential backoff instead of hammering the same broken
+        // placement every tick.
+        let condor = if cfg.enable_self_healing || cfg.enable_scrubber {
             Scheduler::with_retry_policy(
                 cfg.max_concurrent_tasks,
                 cfg.max_task_attempts,
@@ -284,6 +299,16 @@ impl ErmsManager {
         // dark-shard reconstruction
         if self.cfg.enable_self_healing {
             self.heal(cluster, now, &mut report);
+        } else if self.cfg.enable_scrubber {
+            // the scrubber's repair tasks get the timeout watchdog even
+            // without the full self-healing pass
+            self.watchdog_stuck_tasks(cluster, now, &mut report);
+        }
+
+        // 3c. background scrubber: budgeted checksum sweep, then
+        // verified repair scheduling for quarantined blocks
+        if self.cfg.enable_scrubber {
+            self.scrub_pass(cluster, now, &mut report);
         }
 
         // 4. classify files and derive tasks. The default visit set is
@@ -666,6 +691,7 @@ impl ErmsManager {
             ErmsTask::Decrease { path, target } => self.exec_decrease(cluster, path, *target),
             ErmsTask::Encode { path } => self.exec_encode(cluster, path),
             ErmsTask::Decode { path, target } => self.exec_decode(cluster, now, job, path, *target),
+            ErmsTask::Repair { path } => self.exec_repair(cluster, now, job, path),
         };
         match outcome {
             PendingOrDone::Done(outcome) => {
@@ -706,6 +732,7 @@ impl ErmsManager {
                 ErmsTask::Encode { path } => {
                     self.boosted.remove(path);
                 }
+                ErmsTask::Repair { .. } => {} // no replication-state change
             }
         } else {
             report.tasks_failed += 1;
@@ -832,6 +859,55 @@ impl ErmsManager {
         PendingOrDone::AwaitingCopies
     }
 
+    /// Verified repair of a quarantined file: re-copy every block that
+    /// sits below its target replica count from a surviving clean source
+    /// (the cluster's copy completion re-verifies the source, so a
+    /// corrupt replica can never propagate). Blocks with zero live
+    /// replicas are left for the dark-shard reconstruction pass; the task
+    /// fails and retries with backoff until reconstruction lands.
+    fn exec_repair(
+        &mut self,
+        cluster: &mut ClusterSim,
+        now: SimTime,
+        job: JobId,
+        path: &str,
+    ) -> PendingOrDone {
+        let Some(file) = cluster.namespace().resolve(path) else {
+            return PendingOrDone::Done(Outcome::Failure("file deleted".into()));
+        };
+        let blocks: Vec<hdfs_sim::BlockId> = match cluster.namespace().file(file) {
+            Some(meta) => {
+                let mut all = meta.blocks.clone();
+                if let hdfs_sim::namespace::StorageMode::Encoded { parity_blocks } = &meta.mode {
+                    all.extend_from_slice(parity_blocks);
+                }
+                all
+            }
+            None => return PendingOrDone::Done(Outcome::Failure("file vanished".into())),
+        };
+        let mut copies = Vec::new();
+        let mut dark = 0usize;
+        for b in blocks {
+            let have = cluster.blockmap().replica_count(b);
+            let want = cluster.block_target(b).max(1);
+            if have == 0 {
+                dark += 1;
+                continue;
+            }
+            if have < want {
+                copies.extend(cluster.add_replicas(b, want - have));
+            }
+        }
+        if !copies.is_empty() {
+            self.track_copies(now, job, copies);
+            return PendingOrDone::AwaitingCopies;
+        }
+        if dark > 0 {
+            return PendingOrDone::Done(Outcome::Failure("awaiting reconstruction".into()));
+        }
+        PendingOrDone::Done(Outcome::Success)
+    }
+
     fn track_copies(&mut self, now: SimTime, job: JobId, copies: Vec<CopyId>) {
         self.job_wait.insert(job, copies.len());
         self.job_started.insert(job, now);
@@ -948,37 +1024,7 @@ impl ErmsManager {
     /// dark shards of encoded files from their surviving stripe mates.
     fn heal(&mut self, cluster: &mut ClusterSim, now: SimTime, report: &mut TickReport) {
         // (1) task-timeout watchdog
-        let stuck: Vec<JobId> = self
-            .job_started
-            .iter()
-            .filter(|&(_, &started)| now.since(started) > self.cfg.task_timeout)
-            .map(|(&job, _)| job)
-            .collect();
-        for job in stuck {
-            self.pending_copies.retain(|_, &mut j| j != job);
-            self.job_wait.remove(&job);
-            self.job_failed_copy.remove(&job);
-            let Some(task) = self.condor.journal().payload_of(job) else {
-                continue;
-            };
-            report.tasks_timed_out += 1;
-            trace!(
-                self.telemetry,
-                now,
-                Tel::SelfHeal {
-                    action: "task_timeout".into(),
-                    detail: task.path().to_string(),
-                }
-            );
-            self.finish(
-                cluster,
-                now,
-                job,
-                &task,
-                Outcome::Failure("task timeout".into()),
-                report,
-            );
-        }
+        self.watchdog_stuck_tasks(cluster, now, report);
 
         // (2) crashed commissioned standby nodes: bank their energy,
         // return them to Off, and let the next capacity request pick a
@@ -1027,6 +1073,100 @@ impl ErmsManager {
                     dark_shards: (report.reconstructions - recon_before) as u64,
                 }
             );
+        }
+    }
+
+    /// Time out tasks stuck behind dead endpoints or downed uplinks so
+    /// Condor can retry them with backoff elsewhere. Shared between the
+    /// self-healing pass and the scrubber (which needs the watchdog for
+    /// its repair tasks even when full self-healing is off).
+    fn watchdog_stuck_tasks(
+        &mut self,
+        cluster: &mut ClusterSim,
+        now: SimTime,
+        report: &mut TickReport,
+    ) {
+        let stuck: Vec<JobId> = self
+            .job_started
+            .iter()
+            .filter(|&(_, &started)| now.since(started) > self.cfg.task_timeout)
+            .map(|(&job, _)| job)
+            .collect();
+        for job in stuck {
+            self.pending_copies.retain(|_, &mut j| j != job);
+            self.job_wait.remove(&job);
+            self.job_failed_copy.remove(&job);
+            let Some(task) = self.condor.journal().payload_of(job) else {
+                continue;
+            };
+            report.tasks_timed_out += 1;
+            trace!(
+                self.telemetry,
+                now,
+                Tel::SelfHeal {
+                    action: "task_timeout".into(),
+                    detail: task.path().to_string(),
+                }
+            );
+            self.finish(
+                cluster,
+                now,
+                job,
+                &task,
+                Outcome::Failure("task timeout".into()),
+                report,
+            );
+        }
+    }
+
+    /// The budgeted background scrub pass: walk a slice of the block
+    /// space verifying stored checksums (hot, boosted files first), then
+    /// schedule a verified repair task for every block left quarantined.
+    /// The scan budget sheds under queue pressure — half budget once the
+    /// Condor queue exceeds the concurrency cap, zero at twice the cap —
+    /// so scrubbing degrades before it can stall the control loop.
+    fn scrub_pass(&mut self, cluster: &mut ClusterSim, now: SimTime, report: &mut TickReport) {
+        let full = self.cfg.scrub_blocks_per_tick as usize;
+        let queued = self.condor.pending();
+        let cap = self.cfg.max_concurrent_tasks;
+        let budget = if queued >= cap * 2 {
+            0
+        } else if queued > cap {
+            full / 2
+        } else {
+            full
+        };
+
+        // hot data first: blocks of currently boosted files
+        let mut hot: Vec<hdfs_sim::BlockId> = Vec::new();
+        for path in &self.boosted {
+            let Some(file) = cluster.namespace().resolve(path) else {
+                continue;
+            };
+            if let Some(meta) = cluster.namespace().file(file) {
+                hot.extend(meta.blocks.iter().copied());
+                if let hdfs_sim::namespace::StorageMode::Encoded { parity_blocks } = &meta.mode {
+                    hot.extend(parity_blocks.iter().copied());
+                }
+            }
+        }
+        let (scanned, found) = cluster.scrub(budget, &hot);
+        report.scrub_scanned += scanned;
+        report.corruptions_found += found;
+
+        // verified repair for everything quarantined (by this pass, the
+        // read path, or a failed copy) — dedup through `inflight`
+        let mut paths: BTreeSet<String> = BTreeSet::new();
+        for block in cluster.corrupt_blocks_pending_repair() {
+            let Some(info) = cluster.namespace().block(block) else {
+                continue; // file deleted since quarantine
+            };
+            if let Some(meta) = cluster.namespace().file(info.file) {
+                paths.insert(meta.path.clone());
+            }
+        }
+        for path in paths {
+            self.submit(now, ErmsTask::Repair { path }, Priority::Immediate, report);
         }
     }
 
@@ -1180,6 +1320,7 @@ mod ck {
             ErmsTask::Decrease { path, target } => ("decrease", path, Some(*target)),
             ErmsTask::Encode { path } => ("encode", path, None),
             ErmsTask::Decode { path, target } => ("decode", path, Some(*target)),
+            ErmsTask::Repair { path } => ("repair", path, None),
         };
         let mut b = c::MapBuilder::new().str("kind", kind).str("path", path);
         if let Some(t) = target {
@@ -1200,6 +1341,7 @@ mod ck {
                 target: c::get_usize(v, "target")?,
             },
             "encode" => ErmsTask::Encode { path },
+            "repair" => ErmsTask::Repair { path },
             "decode" => ErmsTask::Decode {
                 path,
                 target: c::get_usize(v, "target")?,
@@ -1465,6 +1607,10 @@ impl ErmsManager {
             }
             ErmsTask::Encode { .. } => {
                 // failed decode leaves the file encoded; nothing to undo
+            }
+            ErmsTask::Repair { .. } => {
+                // repair is idempotent convergence toward the target
+                // replica count; an interrupted repair has nothing to undo
             }
         }
     }
@@ -2150,6 +2296,167 @@ mod tests {
             "boost landed after restart, got {}",
             c.blockmap().replica_count(b)
         );
+    }
+
+    #[test]
+    fn scrubber_detects_quarantines_and_repairs_corruption() {
+        let mut c = cluster();
+        let cfg = ErmsConfig::builder()
+            .thresholds(fast_thresholds())
+            .scrubber(true)
+            .scrub_blocks_per_tick(64)
+            .build()
+            .unwrap();
+        let mut m = ErmsManager::new(cfg, &mut c).unwrap();
+        let f = c.create_file("/data", 64 * MB, 3, None).unwrap();
+        c.run_until_quiescent();
+        let b = c.namespace().file(f).unwrap().blocks[0];
+        let victim = c.blockmap().locations(b)[0];
+        assert!(c.corrupt_replica(victim, 0, false));
+        assert_eq!(c.latent_corrupt_count(), 1);
+
+        // tick 1: the scrub sweep finds the corrupt replica, quarantines
+        // it (dropping it from the blockmap) and submits a Repair task
+        let now = c.now();
+        let r1 = m.tick(&mut c, now);
+        assert!(r1.scrub_scanned > 0, "scrubber scanned blocks");
+        assert_eq!(r1.corruptions_found, 1);
+        assert_eq!(c.latent_corrupt_count(), 0, "corruption detected");
+        assert!(!c.blockmap().holds(b, victim), "quarantined replica gone");
+        assert_eq!(c.blockmap().replica_count(b), 2);
+
+        // subsequent ticks: the Repair task re-copies from a clean source
+        for _ in 0..6 {
+            let now = c.now();
+            m.tick(&mut c, now);
+            c.run_until_quiescent();
+        }
+        let now = c.now();
+        m.tick(&mut c, now); // settle copy completions
+        assert_eq!(c.blockmap().replica_count(b), 3, "replica re-copied");
+        assert!(
+            c.corrupt_blocks_pending_repair().is_empty(),
+            "quarantine cleared after verified repair"
+        );
+    }
+
+    fn scrub_manager(c: &mut ClusterSim) -> ErmsManager {
+        let cfg = ErmsConfig::builder()
+            .thresholds(fast_thresholds())
+            .scrubber(true)
+            .scrub_blocks_per_tick(64)
+            .task_timeout(SimDuration::from_secs(60))
+            .build()
+            .unwrap();
+        ErmsManager::new(cfg, c).unwrap()
+    }
+
+    #[test]
+    fn repair_watchdog_fires_without_self_healing() {
+        let mut c = cluster();
+        let mut m = scrub_manager(&mut c);
+        let f = c.create_file("/data", 64 * MB, 3, None).unwrap();
+        c.run_until_quiescent();
+        let b = c.namespace().file(f).unwrap().blocks[0];
+        let victim = c.blockmap().locations(b)[0];
+        assert!(c.corrupt_replica(victim, 0, false));
+        // cripple the cluster so the repair copy crawls
+        for n in c.topology().nodes().collect::<Vec<_>>() {
+            c.set_node_slowdown(n, 0.01);
+        }
+        let now = c.now();
+        let r = m.tick(&mut c, now); // scrub detects + submits repair
+        assert_eq!(r.corruptions_found, 1);
+        let now = c.now();
+        m.tick(&mut c, now); // repair executes, copy goes in flight
+                             // past the 60 s timeout, far short of copy completion
+        c.run_until(c.now() + SimDuration::from_secs(70));
+        let now = c.now();
+        let r = m.tick(&mut c, now);
+        assert!(
+            r.tasks_timed_out >= 1,
+            "scrubber-only watchdog fired: {r:?}"
+        );
+    }
+
+    #[test]
+    fn repair_retries_after_target_dies_mid_copy() {
+        let mut c = cluster();
+        let mut m = scrub_manager(&mut c);
+        let f = c.create_file("/data", 64 * MB, 3, None).unwrap();
+        c.run_until_quiescent();
+        let b = c.namespace().file(f).unwrap().blocks[0];
+        let victim = c.blockmap().locations(b)[0];
+        assert!(c.corrupt_replica(victim, 0, false));
+        let now = c.now();
+        let r = m.tick(&mut c, now); // detect + quarantine + submit
+        assert_eq!(r.corruptions_found, 1);
+        let now = c.now();
+        m.tick(&mut c, now); // repair executes, copy staged
+                             // into the transfer window, then kill the copy's landing node:
+                             // torn-crash non-holders until the in-flight copy registers
+        c.run_until(c.now() + SimDuration::from_millis(3050));
+        let holders = c.blockmap().locations(b);
+        let latent_before = c.latent_corrupt_count();
+        let mut died = None;
+        for i in 0..c.config().datanodes {
+            let n = NodeId(i);
+            if holders.contains(&n) {
+                continue;
+            }
+            assert!(c.crash_node_torn(n));
+            if c.latent_corrupt_count() > latent_before {
+                died = Some(n);
+                break;
+            }
+        }
+        assert!(died.is_some(), "the repair copy's target was mid-copy");
+        // the failed copy fails the task; backoff retries it onto a
+        // healthy node and the quarantine eventually clears
+        let mut failed_seen = 0usize;
+        for _ in 0..12 {
+            c.run_until(c.now() + SimDuration::from_secs(30));
+            let now = c.now();
+            let r = m.tick(&mut c, now);
+            failed_seen += r.tasks_failed + r.tasks_timed_out;
+            if c.corrupt_blocks_pending_repair().is_empty() && c.blockmap().replica_count(b) >= 3 {
+                break;
+            }
+        }
+        assert!(failed_seen >= 1, "first repair attempt failed");
+        assert_eq!(c.blockmap().replica_count(b), 3, "repair landed on retry");
+        assert!(c.corrupt_blocks_pending_repair().is_empty());
+    }
+
+    #[test]
+    fn scrub_budget_sheds_under_queue_pressure() {
+        let mut c = cluster();
+        let cfg = ErmsConfig::builder()
+            .thresholds(fast_thresholds())
+            .scrubber(true)
+            .scrub_blocks_per_tick(8)
+            .build()
+            .unwrap();
+        let mut m = ErmsManager::new(cfg, &mut c).unwrap();
+        c.create_file("/data", 640 * MB, 3, None).unwrap();
+        c.run_until_quiescent();
+        // saturate the Condor queue far beyond twice the concurrency cap
+        let now = c.now();
+        for i in 0..(m.cfg.max_concurrent_tasks * 2 + 4) {
+            m.condor.submit(
+                now,
+                ErmsTask::Increase {
+                    path: format!("/ghost{i}"),
+                    target: 4,
+                },
+                Priority::WhenIdle,
+            );
+        }
+        let queued = m.condor.pending();
+        assert!(queued >= m.cfg.max_concurrent_tasks * 2);
+        let mut report = TickReport::default();
+        m.scrub_pass(&mut c, now, &mut report);
+        assert_eq!(report.scrub_scanned, 0, "budget fully shed under pressure");
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! maintained incrementally in [`add`](BlockMap::add),
 //! [`remove`](BlockMap::remove) and [`remove_node`](BlockMap::remove_node).
 //! The repair scan then visits only deficient blocks instead of walking
-//! the whole map; the closure-driven [`under_replicated`]
-//! (BlockMap::under_replicated) / [`over_replicated`]
-//! (BlockMap::over_replicated) scans remain as the brute-force reference
+//! the whole map; the closure-driven
+//! [`under_replicated`](BlockMap::under_replicated) /
+//! [`over_replicated`](BlockMap::over_replicated) scans remain as the
+//! brute-force reference
 //! the property tests compare the index against.
 
 use crate::block::BlockId;

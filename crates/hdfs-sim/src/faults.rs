@@ -47,6 +47,20 @@ pub struct FaultConfig {
     pub straggler_duration: SimDuration,
     /// Service factor during an episode (e.g. 0.1 = 10 % speed).
     pub straggler_slowdown: f64,
+    /// Mean time between silent-corruption events, per node (zero
+    /// disables the family; bit-rot strikes replicas in place without
+    /// any node-state change, so nothing notices until a checksum is
+    /// actually verified).
+    pub corrupt_mtbf: SimDuration,
+    /// Probability a corruption event targets a parity shard (forcing
+    /// the RS `verify`/`reconstruct` repair route) rather than a data
+    /// replica (repaired by re-copy).
+    pub corrupt_shard_fraction: f64,
+    /// Probability that a crash is a *torn write*: every transfer that
+    /// was landing on the crashing disk survives in the crash stash but
+    /// latently corrupt, so the block report after restart re-announces
+    /// bad data.
+    pub torn_write_probability: f64,
     /// Generate events in `[0, horizon)`.
     pub horizon: SimDuration,
 }
@@ -65,8 +79,25 @@ impl FaultConfig {
             straggler_mtbf: SimDuration::from_hours(4),
             straggler_duration: SimDuration::from_secs(10 * 60),
             straggler_slowdown: 0.1,
+            corrupt_mtbf: SimDuration::from_secs(0),
+            corrupt_shard_fraction: 0.0,
+            torn_write_probability: 0.0,
             horizon: SimDuration::from_hours(8),
         }
+    }
+
+    /// Layer silent corruption (and torn writes on crash) onto a churn
+    /// config — the corruption-storm scenario's knob.
+    pub fn with_corruption(
+        mut self,
+        mtbf: SimDuration,
+        shard_fraction: f64,
+        torn_write_probability: f64,
+    ) -> Self {
+        self.corrupt_mtbf = mtbf;
+        self.corrupt_shard_fraction = shard_fraction;
+        self.torn_write_probability = torn_write_probability;
+        self
     }
 
     /// Node churn only (no rack outages or stragglers) — the setting the
@@ -81,6 +112,9 @@ impl FaultConfig {
             straggler_mtbf: SimDuration::from_secs(0),
             straggler_duration: SimDuration::from_secs(0),
             straggler_slowdown: 1.0,
+            corrupt_mtbf: SimDuration::from_secs(0),
+            corrupt_shard_fraction: 0.0,
+            torn_write_probability: 0.0,
             horizon,
         }
     }
@@ -96,6 +130,18 @@ impl FaultConfig {
             return Err(ConfigError::ProbabilityOutOfRange {
                 field: "straggler_slowdown",
                 value: self.straggler_slowdown,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.corrupt_shard_fraction) {
+            return Err(ConfigError::ProbabilityOutOfRange {
+                field: "corrupt_shard_fraction",
+                value: self.corrupt_shard_fraction,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.torn_write_probability) {
+            return Err(ConfigError::ProbabilityOutOfRange {
+                field: "torn_write_probability",
+                value: self.torn_write_probability,
             });
         }
         if self.horizon.as_secs_f64() <= 0.0 {
@@ -118,6 +164,23 @@ pub enum FaultEvent {
     RackRestore(RackId),
     StragglerStart(NodeId),
     StragglerEnd(NodeId),
+    /// A crash caught mid-write: like `Crash`, but every transfer that
+    /// was landing on this disk is retained *latently corrupt* — the
+    /// restart block-reports it back as bad data nobody knows about yet.
+    TornCrash(NodeId),
+    /// Silent bit-rot of one data replica on the node. `pick` selects
+    /// the victim deterministically among the blocks actually held at
+    /// apply time (the plan cannot know future placement).
+    CorruptReplica {
+        node: NodeId,
+        pick: u64,
+    },
+    /// Silent bit-rot of one parity shard on the node (falls back to a
+    /// data replica when the node holds no parity).
+    CorruptShard {
+        node: NodeId,
+        pick: u64,
+    },
 }
 
 /// A fault pinned to its simulated firing time.
@@ -215,6 +278,48 @@ impl FaultPlan {
             }
         }
 
+        // silent-corruption arrivals: an independent renewal process per
+        // node. Forked *after* the three original families so plans from
+        // corruption-free configs stay byte-identical (fork consumes a
+        // draw from the root stream, so fork order is part of the plan).
+        if cfg.corrupt_mtbf.as_secs_f64() > 0.0 {
+            for n in 0..nodes {
+                let mut rng = root.fork(0x4000 + n as u64);
+                let mut t = rng.exp(cfg.corrupt_mtbf.as_secs_f64());
+                while t < horizon {
+                    let node = NodeId(n as u32);
+                    let pick = rng.gen_u64();
+                    let event = if rng.chance(cfg.corrupt_shard_fraction) {
+                        FaultEvent::CorruptShard { node, pick }
+                    } else {
+                        FaultEvent::CorruptReplica { node, pick }
+                    };
+                    events.push(TimedFault {
+                        at: SimTime::from_secs_f64(t),
+                        event,
+                    });
+                    t += rng.exp(cfg.corrupt_mtbf.as_secs_f64());
+                }
+            }
+        }
+
+        // torn-write pass: re-tag some crashes as torn. A separate fork
+        // per node keeps the churn stream's draws untouched, so enabling
+        // torn writes changes *which* crashes are torn but never when
+        // crashes happen.
+        if cfg.torn_write_probability > 0.0 && cfg.node_mtbf.as_secs_f64() > 0.0 {
+            for n in 0..nodes {
+                let mut rng = root.fork(0x5000 + n as u64);
+                let node = NodeId(n as u32);
+                for tf in events.iter_mut() {
+                    if tf.event == FaultEvent::Crash(node) && rng.chance(cfg.torn_write_probability)
+                    {
+                        tf.event = FaultEvent::TornCrash(node);
+                    }
+                }
+            }
+        }
+
         // deterministic global order: time, then a stable event rank
         events.sort_by(|a, b| {
             a.at.cmp(&b.at)
@@ -249,6 +354,9 @@ fn event_rank(e: &FaultEvent) -> (u8, u32) {
         FaultEvent::Kill(n) => (4, n.0),
         FaultEvent::RackOutage(r) => (5, u32::from(r.0)),
         FaultEvent::StragglerStart(n) => (6, n.0),
+        FaultEvent::TornCrash(n) => (7, n.0),
+        FaultEvent::CorruptReplica { node, .. } => (8, node.0),
+        FaultEvent::CorruptShard { node, .. } => (9, node.0),
     }
 }
 
@@ -309,6 +417,11 @@ impl FaultInjector {
                     FaultEvent::RackRestore(r) => ("rack_restore", None, Some(u32::from(r.0))),
                     FaultEvent::StragglerStart(n) => ("straggler_start", Some(n.0), None),
                     FaultEvent::StragglerEnd(n) => ("straggler_end", Some(n.0), None),
+                    FaultEvent::TornCrash(n) => ("torn_crash", Some(n.0), None),
+                    FaultEvent::CorruptReplica { node, .. } => {
+                        ("corrupt_replica", Some(node.0), None)
+                    }
+                    FaultEvent::CorruptShard { node, .. } => ("corrupt_shard", Some(node.0), None),
                 };
                 simcore::telemetry::Event::FaultApplied {
                     kind: kind.to_string(),
@@ -335,6 +448,15 @@ impl FaultInjector {
                 }
                 FaultEvent::StragglerStart(n) => c.set_node_slowdown(n, self.slowdown),
                 FaultEvent::StragglerEnd(n) => c.clear_node_slowdown(n),
+                FaultEvent::TornCrash(n) => {
+                    c.crash_node_torn(n);
+                }
+                FaultEvent::CorruptReplica { node, pick } => {
+                    c.corrupt_replica(node, pick, false);
+                }
+                FaultEvent::CorruptShard { node, pick } => {
+                    c.corrupt_replica(node, pick, true);
+                }
             }
         }
         fired
@@ -371,6 +493,9 @@ mod tests {
             straggler_mtbf: SimDuration::from_secs(1200),
             straggler_duration: SimDuration::from_secs(300),
             straggler_slowdown: 0.2,
+            corrupt_mtbf: SimDuration::ZERO,
+            corrupt_shard_fraction: 0.0,
+            torn_write_probability: 0.0,
             horizon: SimDuration::from_hours(2),
         }
     }
@@ -440,6 +565,78 @@ mod tests {
             .iter()
             .all(|e| matches!(e.event, FaultEvent::Crash(_) | FaultEvent::Restart(_))));
         assert_eq!(p.kills(), 0);
+    }
+
+    #[test]
+    fn corruption_family_is_additive_and_deterministic() {
+        // enabling corruption must not move any of the original events:
+        // the new streams fork after the old ones, so the old plan is a
+        // sub-sequence of the new one
+        let base = FaultPlan::generate(&cfg(), 18, 3, 42);
+        let storm_cfg = cfg().with_corruption(SimDuration::from_secs(1200), 0.3, 0.0);
+        let storm = FaultPlan::generate(&storm_cfg, 18, 3, 42);
+        assert!(storm.len() > base.len(), "corruption adds events");
+        let originals: Vec<&TimedFault> = storm
+            .events
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.event,
+                    FaultEvent::CorruptReplica { .. } | FaultEvent::CorruptShard { .. }
+                )
+            })
+            .collect();
+        assert_eq!(originals.len(), base.len());
+        for (o, b) in originals.iter().zip(&base.events) {
+            assert_eq!(o.at, b.at);
+            assert_eq!(o.event, b.event);
+        }
+        // and both shapes appear with a 0.3 shard fraction
+        assert!(storm
+            .events
+            .iter()
+            .any(|e| matches!(e.event, FaultEvent::CorruptReplica { .. })));
+        assert!(storm
+            .events
+            .iter()
+            .any(|e| matches!(e.event, FaultEvent::CorruptShard { .. })));
+    }
+
+    #[test]
+    fn torn_writes_retag_crashes_without_moving_them() {
+        let base = FaultPlan::generate(&cfg(), 18, 3, 42);
+        let torn_cfg = cfg().with_corruption(SimDuration::from_secs(0), 0.0, 0.5);
+        let torn = FaultPlan::generate(&torn_cfg, 18, 3, 42);
+        assert_eq!(torn.len(), base.len(), "torn pass only retags");
+        let mut retagged = 0;
+        for (t, b) in torn.events.iter().zip(&base.events) {
+            assert_eq!(t.at, b.at, "timing is untouched");
+            match (&t.event, &b.event) {
+                (FaultEvent::TornCrash(a), FaultEvent::Crash(b)) => {
+                    assert_eq!(a, b);
+                    retagged += 1;
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        assert!(retagged > 0, "p=0.5 must tear some crashes");
+        // every torn crash still pairs with a restart
+        for n in 0..18u32 {
+            let crashes = torn
+                .events
+                .iter()
+                .filter(|e| {
+                    e.event == FaultEvent::Crash(NodeId(n))
+                        || e.event == FaultEvent::TornCrash(NodeId(n))
+                })
+                .count();
+            let restarts = torn
+                .events
+                .iter()
+                .filter(|e| e.event == FaultEvent::Restart(NodeId(n)))
+                .count();
+            assert_eq!(crashes, restarts, "node {n}");
+        }
     }
 
     #[test]

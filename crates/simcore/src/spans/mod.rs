@@ -67,19 +67,47 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// A well-formed trace line whose event kind this build does not know —
+/// skipped by the lenient parser so older tools survive newer traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedLine {
+    /// 1-based line number within the input.
+    pub line: usize,
+    /// The unrecognized `"ev"` tag.
+    pub kind: String,
+}
+
 /// Decode a JSONL trace (as produced by
 /// [`TelemetrySink::drain_jsonl`](crate::telemetry::TelemetrySink::drain_jsonl))
-/// back into events. Empty lines are skipped; any malformed or unknown
-/// line is an error — the trace format is ours, so leniency would only
-/// hide emitter bugs.
+/// back into events. Empty lines are skipped. Malformed lines — bad
+/// JSON, or a *known* event kind with missing fields — are errors (the
+/// trace format is ours, so that leniency would only hide emitter
+/// bugs); a well-formed line with an *unknown* kind is silently skipped
+/// so an older build keeps working on traces that carry newer event
+/// vocabulary. Use [`parse_jsonl_lenient`] to learn what was skipped.
 pub fn parse_jsonl(input: &str) -> Result<Vec<TracedEvent>, ParseError> {
+    parse_jsonl_lenient(input).map(|(events, _)| events)
+}
+
+/// Like [`parse_jsonl`], but also reports the unknown-kind lines it
+/// skipped so callers (e.g. `trace-tools`) can warn about them. The
+/// oracle's sequence invariant requires strictly *increasing* `seq`,
+/// not contiguous, so a trace with skipped lines still checks clean.
+pub fn parse_jsonl_lenient(
+    input: &str,
+) -> Result<(Vec<TracedEvent>, Vec<SkippedLine>), ParseError> {
     let mut out = Vec::new();
+    let mut skipped = Vec::new();
     for (idx, line) in input.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         match parse_line(line) {
-            Ok(ev) => out.push(ev),
+            Ok(ParsedLine::Event(ev)) => out.push(ev),
+            Ok(ParsedLine::UnknownKind(kind)) => skipped.push(SkippedLine {
+                line: idx + 1,
+                kind,
+            }),
             Err(message) => {
                 return Err(ParseError {
                     line: idx + 1,
@@ -88,7 +116,7 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TracedEvent>, ParseError> {
             }
         }
     }
-    Ok(out)
+    Ok((out, skipped))
 }
 
 /// One decoded scalar JSON value (the trace encoding is flat).
@@ -284,7 +312,14 @@ impl Obj {
     }
 }
 
-fn parse_line(line: &str) -> Result<TracedEvent, String> {
+/// One decoded trace line: an event, or a structurally valid line whose
+/// kind this build does not recognize.
+enum ParsedLine {
+    Event(TracedEvent),
+    UnknownKind(String),
+}
+
+fn parse_line(line: &str) -> Result<ParsedLine, String> {
     let mut cur = Cursor::new(line.trim());
     cur.expect(b'{')?;
     let mut fields = Vec::new();
@@ -308,15 +343,19 @@ fn parse_line(line: &str) -> Result<TracedEvent, String> {
     }
     let obj = Obj(fields);
     let kind = obj.str("ev")?;
-    let event = event_from(&kind, &obj).map_err(|e| format!("{kind}: {e}"))?;
-    Ok(TracedEvent {
-        time: SimTime::from_nanos(obj.u64("t_ns")?),
-        seq: obj.u64("seq")?,
-        event,
-    })
+    // the envelope must still decode, so a skipped line is provably a
+    // trace line (and not arbitrary garbage hiding behind leniency)
+    let time = SimTime::from_nanos(obj.u64("t_ns")?);
+    let seq = obj.u64("seq")?;
+    match event_from(&kind, &obj).map_err(|e| format!("{kind}: {e}"))? {
+        Some(event) => Ok(ParsedLine::Event(TracedEvent { time, seq, event })),
+        None => Ok(ParsedLine::UnknownKind(kind)),
+    }
 }
 
-fn event_from(kind: &str, o: &Obj) -> Result<Event, String> {
+/// Decode the typed event for `kind`; `Ok(None)` when the kind is not
+/// in this build's vocabulary (the lenient parser skips such lines).
+fn event_from(kind: &str, o: &Obj) -> Result<Option<Event>, String> {
     let ev = match kind {
         "read_started" => Event::ReadStarted {
             read: o.u64("read")?,
@@ -359,6 +398,34 @@ fn event_from(kind: &str, o: &Obj) -> Result<Event, String> {
             under_replicated: o.u64("under_replicated")?,
             over_replicated: o.u64("over_replicated")?,
             dark_shards: o.u64("dark_shards")?,
+        },
+        "corruption_injected" => Event::CorruptionInjected {
+            block: o.u64("block")?,
+            node: o.u32("node")?,
+            kind: o.str("kind")?,
+        },
+        "corruption_detected" => Event::CorruptionDetected {
+            block: o.u64("block")?,
+            node: o.u32("node")?,
+            via: o.str("via")?,
+        },
+        "corrupt_quarantined" => Event::CorruptQuarantined {
+            block: o.u64("block")?,
+            node: o.u32("node")?,
+        },
+        "corrupt_repaired" => Event::CorruptRepaired {
+            block: o.u64("block")?,
+            via: o.str("via")?,
+        },
+        "scrub_progress" => Event::ScrubProgress {
+            scanned: o.u64("scanned")?,
+            cursor: o.u64("cursor")?,
+            found: o.u64("found")?,
+        },
+        "data_loss" => Event::DataLoss {
+            block: o.u64("block")?,
+            live_replicas: o.u64("live_replicas")?,
+            clean_retained: o.u64("clean_retained")?,
         },
         "window_emit" => Event::WindowEmit {
             query: o.str("query")?,
@@ -416,9 +483,9 @@ fn event_from(kind: &str, o: &Obj) -> Result<Event, String> {
             job: o.u64("job")?,
             ok: o.bool("ok")?,
         },
-        other => return Err(format!("unknown event kind `{other}`")),
+        _ => return Ok(None),
     };
-    Ok(ev)
+    Ok(Some(ev))
 }
 
 // ---------------------------------------------------------------------
@@ -854,6 +921,31 @@ mod tests {
                 over_replicated: 2,
                 dark_shards: 3,
             },
+            Event::CorruptionInjected {
+                block: 40,
+                node: 4,
+                kind: "torn_write".into(),
+            },
+            Event::CorruptionDetected {
+                block: 40,
+                node: 4,
+                via: "scrub".into(),
+            },
+            Event::CorruptQuarantined { block: 40, node: 4 },
+            Event::CorruptRepaired {
+                block: 40,
+                via: "reconstruct".into(),
+            },
+            Event::ScrubProgress {
+                scanned: 16,
+                cursor: 41,
+                found: 1,
+            },
+            Event::DataLoss {
+                block: 40,
+                live_replicas: 0,
+                clean_retained: 0,
+            },
             Event::WindowEmit {
                 query: "q".into(),
                 group: "g".into(),
@@ -920,12 +1012,34 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.line, 2);
 
-        let err = parse_jsonl("{\"t_ns\":0,\"seq\":0,\"ev\":\"mystery\"}").unwrap_err();
-        assert!(err.message.contains("unknown event kind"), "{err}");
-
         let err = parse_jsonl("{\"t_ns\":0,\"seq\":0,\"ev\":\"read_started\",\"path\":\"/x\"}")
             .unwrap_err();
         assert!(err.message.contains("`read`"), "missing id flagged: {err}");
+    }
+
+    #[test]
+    fn unknown_event_kinds_are_skipped_not_fatal() {
+        // a trace from a newer build: one event this build knows, one it
+        // doesn't — the known event survives, the other is reported
+        let input = "{\"t_ns\":0,\"seq\":0,\"ev\":\"decode_cold\",\"path\":\"/x\"}\n\
+                     {\"t_ns\":1,\"seq\":1,\"ev\":\"quantum_heal\",\"qubits\":3}\n\
+                     {\"t_ns\":2,\"seq\":2,\"ev\":\"read_started\",\"read\":7,\"path\":\"/y\"}\n";
+        let (events, skipped) = parse_jsonl_lenient(input).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].seq, 2, "seq gap survives (oracle allows gaps)");
+        assert_eq!(
+            skipped,
+            vec![SkippedLine {
+                line: 2,
+                kind: "quantum_heal".into()
+            }]
+        );
+        // the plain parser drops them silently
+        assert_eq!(parse_jsonl(input).unwrap().len(), 2);
+
+        // an unknown kind still needs a valid envelope — garbage stays fatal
+        let err = parse_jsonl("{\"ev\":\"mystery\"}").unwrap_err();
+        assert!(err.message.contains("t_ns"), "{err}");
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //! | `encoded_layout` | an encode reports `stripes ≥ 1` and exactly `stripes × parities_per_stripe` parities |
 //! | `encoded_replicas` | while a file is encoded, every verdict for it sees exactly 1 data replica; encode/decode alternate |
 //! | `task_lifecycle` | queued → dispatched(attempt k+1) → retry/finished, never out of order, nothing after a terminal state |
+//! | `no_corrupt_source` | no copy dispatches from a replica the trace has flagged corrupt (until a fresh copy lands on that node) |
+//! | `corruption_unhandled` | every corruption detection is followed by a quarantine or repair before the trace ends |
+//! | `loss_with_live_copies` | a data-loss event may only fire when every copy is dead or corrupt (zero live replicas, zero clean retained copies) |
 
 use crate::telemetry::{Event, TracedEvent};
 use crate::time::SimTime;
@@ -102,6 +105,13 @@ pub struct TraceOracle {
     last_verdict: BTreeMap<String, String>,
     encoded: BTreeSet<String>,
     tasks: BTreeMap<u64, (TaskPhase, u32)>, // job → (phase, attempts)
+    /// Replicas the trace has proven corrupt: (block, node) pairs from a
+    /// detection, cleared when a fresh copy of the block lands on that
+    /// node. Nothing may be served (copied) from them in between.
+    corrupt: BTreeSet<(u64, u32)>,
+    /// Detections not yet answered by a quarantine or repair, keyed to
+    /// the detection event's anchor for end-of-trace reporting.
+    pending_quarantine: BTreeMap<(u64, u32), (u64, SimTime)>,
     violations: Vec<Violation>,
 }
 
@@ -130,7 +140,20 @@ impl TraceOracle {
         &self.violations
     }
 
-    pub fn into_violations(self) -> Vec<Violation> {
+    pub fn into_violations(mut self) -> Vec<Violation> {
+        // end-of-trace accounting: a detection with no quarantine or
+        // repair by now can never be answered
+        for ((block, node), (seq, time)) in std::mem::take(&mut self.pending_quarantine) {
+            self.violations.push(Violation {
+                seq,
+                time,
+                invariant: "corruption_unhandled",
+                detail: format!(
+                    "corruption of block {block} on node {node} detected but never \
+                     quarantined or repaired"
+                ),
+            });
+        }
         self.violations
     }
 
@@ -221,6 +244,16 @@ impl TraceOracle {
                 if self.open_copies.insert(*copy, *target).is_some() {
                     self.flag(ev, "copy_unique", format!("copy {copy} dispatched twice"));
                 }
+                if self.corrupt.contains(&(*block, *source)) {
+                    self.flag(
+                        ev,
+                        "no_corrupt_source",
+                        format!(
+                            "copy {copy} of block {block} dispatched from known-corrupt \
+                             replica on node {source}"
+                        ),
+                    );
+                }
                 for (role, node) in [("source", source), ("target", target)] {
                     if self.down.contains(node) {
                         self.flag(
@@ -245,6 +278,9 @@ impl TraceOracle {
                         format!("copy {copy} (block {block}) completed without dispatch"),
                     );
                 }
+                // a fresh, verified copy landed here: the node may hold
+                // and serve this block again
+                self.corrupt.remove(&(*block, *target));
                 if self.down.contains(target) {
                     self.flag(
                         ev,
@@ -258,7 +294,7 @@ impl TraceOracle {
                 node: Some(n),
                 ..
             } => match kind.as_str() {
-                "crash" | "kill" => {
+                "crash" | "kill" | "torn_crash" => {
                     self.down.insert(*n);
                 }
                 "restart" => {
@@ -448,6 +484,32 @@ impl TraceOracle {
                     );
                 }
             },
+            Event::CorruptionDetected { block, node, .. } => {
+                self.corrupt.insert((*block, *node));
+                self.pending_quarantine
+                    .insert((*block, *node), (ev.seq, ev.time));
+            }
+            Event::CorruptQuarantined { block, node } => {
+                self.pending_quarantine.remove(&(*block, *node));
+            }
+            Event::CorruptRepaired { block, .. } => {
+                // a repair answers every outstanding detection on the block
+                self.pending_quarantine.retain(|&(b, _), _| b != *block);
+            }
+            Event::DataLoss {
+                block,
+                live_replicas,
+                clean_retained,
+            } if (*live_replicas > 0 || *clean_retained > 0) => {
+                self.flag(
+                    ev,
+                    "loss_with_live_copies",
+                    format!(
+                        "block {block} declared lost with {live_replicas} live \
+                             replica(s) and {clean_retained} clean retained cop(y/ies)"
+                    ),
+                );
+            }
             // informational events carry no checkable state (yet)
             _ => {}
         }
@@ -810,6 +872,172 @@ mod tests {
             names,
             ["task_lifecycle", "task_lifecycle", "task_lifecycle"]
         );
+    }
+
+    #[test]
+    fn corrupt_replica_cannot_source_copies_until_recopied() {
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::CorruptionDetected {
+                block: 7,
+                node: 2,
+                via: "scrub".into(),
+            },
+        )
+        .push(0, Event::CorruptQuarantined { block: 7, node: 2 })
+        .push(
+            1,
+            Event::CopyDispatched {
+                copy: 0,
+                block: 7,
+                source: 2,
+                target: 3,
+            },
+        );
+        let v = tr.check();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "no_corrupt_source");
+
+        // a fresh copy landing on the node clears the taint
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::CorruptionDetected {
+                block: 7,
+                node: 2,
+                via: "read".into(),
+            },
+        )
+        .push(0, Event::CorruptQuarantined { block: 7, node: 2 })
+        .push(
+            1,
+            Event::CopyDispatched {
+                copy: 0,
+                block: 7,
+                source: 1,
+                target: 2,
+            },
+        )
+        .push(
+            5,
+            Event::CopyCompleted {
+                copy: 0,
+                block: 7,
+                target: 2,
+            },
+        )
+        .push(
+            6,
+            Event::CopyDispatched {
+                copy: 1,
+                block: 7,
+                source: 2,
+                target: 4,
+            },
+        )
+        .push(
+            9,
+            Event::CopyCompleted {
+                copy: 1,
+                block: 7,
+                target: 4,
+            },
+        );
+        assert_eq!(tr.check(), vec![]);
+    }
+
+    #[test]
+    fn unanswered_detection_is_flagged_at_end_of_trace() {
+        let mut tr = Trace::new();
+        tr.push(
+            3,
+            Event::CorruptionDetected {
+                block: 9,
+                node: 5,
+                via: "read".into(),
+            },
+        );
+        let v = tr.check();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "corruption_unhandled");
+        assert_eq!(v[0].seq, 0);
+
+        // a repair (without an explicit per-node quarantine) answers it
+        let mut tr = Trace::new();
+        tr.push(
+            3,
+            Event::CorruptionDetected {
+                block: 9,
+                node: 5,
+                via: "scrub".into(),
+            },
+        )
+        .push(
+            8,
+            Event::CorruptRepaired {
+                block: 9,
+                via: "copy".into(),
+            },
+        );
+        assert_eq!(tr.check(), vec![]);
+    }
+
+    #[test]
+    fn data_loss_requires_all_copies_dead_or_corrupt() {
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::DataLoss {
+                block: 4,
+                live_replicas: 1,
+                clean_retained: 0,
+            },
+        )
+        .push(
+            1,
+            Event::DataLoss {
+                block: 5,
+                live_replicas: 0,
+                clean_retained: 2,
+            },
+        )
+        .push(
+            2,
+            Event::DataLoss {
+                block: 6,
+                live_replicas: 0,
+                clean_retained: 0,
+            },
+        );
+        let v = tr.check();
+        let names: Vec<&str> = v.iter().map(|v| v.invariant).collect();
+        assert_eq!(names, ["loss_with_live_copies", "loss_with_live_copies"]);
+    }
+
+    #[test]
+    fn torn_crash_downs_the_node_like_a_crash() {
+        let mut tr = Trace::new();
+        tr.push(
+            0,
+            Event::FaultApplied {
+                kind: "torn_crash".into(),
+                node: Some(2),
+                rack: None,
+            },
+        )
+        .push(
+            1,
+            Event::CopyDispatched {
+                copy: 0,
+                block: 1,
+                source: 1,
+                target: 2,
+            },
+        );
+        let v = tr.check();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "copy_live_node");
     }
 
     #[test]

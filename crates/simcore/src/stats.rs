@@ -407,6 +407,12 @@ impl DurabilityLog {
         self.lost.push(DataLossEvent { key, at_secs: at });
     }
 
+    /// Whether [`mark_lost`](Self::mark_lost) has already recorded a
+    /// permanent loss for `key` (further events for it are ignored).
+    pub fn is_lost(&self, key: u64) -> bool {
+        self.lost_keys.contains(&key)
+    }
+
     /// The object was deleted on purpose; drop its open window (an
     /// intentional delete is not an outage).
     pub fn forget(&mut self, key: u64) {

@@ -98,6 +98,33 @@ pub enum Event {
         over_replicated: u64,
         dark_shards: u64,
     },
+    /// A replica (or parity shard) was silently corrupted on disk.
+    /// `kind` is `"replica"`, `"shard"` or `"torn_write"`.
+    CorruptionInjected { block: u64, node: u32, kind: String },
+    /// A checksum mismatch was caught, either on the read path
+    /// (`via == "read"`) or by the background scrubber (`via == "scrub"`).
+    CorruptionDetected { block: u64, node: u32, via: String },
+    /// The corrupt replica was removed from service — no read will be
+    /// routed to it again.
+    CorruptQuarantined { block: u64, node: u32 },
+    /// A quarantined block regained its target replica count through a
+    /// verified repair (`via` is `"copy"` or `"reconstruct"`).
+    CorruptRepaired { block: u64, via: String },
+    /// One scrub pass over the budgeted slice of the block space.
+    ScrubProgress {
+        scanned: u64,
+        cursor: u64,
+        found: u64,
+    },
+    /// A block became unreadable with no surviving clean copy anywhere —
+    /// live replica counts at the moment of loss, so the oracle can
+    /// verify loss is only ever declared when everything is dead or
+    /// corrupt.
+    DataLoss {
+        block: u64,
+        live_replicas: u64,
+        clean_retained: u64,
+    },
 
     // --- CEP layer ---
     /// A sliding-window query emitted a row past its threshold.
@@ -167,6 +194,12 @@ impl Event {
             Event::CopyCompleted { .. } => "copy_completed",
             Event::FaultApplied { .. } => "fault_applied",
             Event::RepairScan { .. } => "repair_scan",
+            Event::CorruptionInjected { .. } => "corruption_injected",
+            Event::CorruptionDetected { .. } => "corruption_detected",
+            Event::CorruptQuarantined { .. } => "corrupt_quarantined",
+            Event::CorruptRepaired { .. } => "corrupt_repaired",
+            Event::ScrubProgress { .. } => "scrub_progress",
+            Event::DataLoss { .. } => "data_loss",
             Event::WindowEmit { .. } => "window_emit",
             Event::Verdict { .. } => "verdict",
             Event::ReplicationBoost { .. } => "replication_boost",
@@ -256,6 +289,42 @@ impl Event {
                 json_u64(out, "under_replicated", *under_replicated);
                 json_u64(out, "over_replicated", *over_replicated);
                 json_u64(out, "dark_shards", *dark_shards);
+            }
+            Event::CorruptionInjected { block, node, kind } => {
+                json_u64(out, "block", *block);
+                json_u64(out, "node", u64::from(*node));
+                json_str(out, "kind", kind);
+            }
+            Event::CorruptionDetected { block, node, via } => {
+                json_u64(out, "block", *block);
+                json_u64(out, "node", u64::from(*node));
+                json_str(out, "via", via);
+            }
+            Event::CorruptQuarantined { block, node } => {
+                json_u64(out, "block", *block);
+                json_u64(out, "node", u64::from(*node));
+            }
+            Event::CorruptRepaired { block, via } => {
+                json_u64(out, "block", *block);
+                json_str(out, "via", via);
+            }
+            Event::ScrubProgress {
+                scanned,
+                cursor,
+                found,
+            } => {
+                json_u64(out, "scanned", *scanned);
+                json_u64(out, "cursor", *cursor);
+                json_u64(out, "found", *found);
+            }
+            Event::DataLoss {
+                block,
+                live_replicas,
+                clean_retained,
+            } => {
+                json_u64(out, "block", *block);
+                json_u64(out, "live_replicas", *live_replicas);
+                json_u64(out, "clean_retained", *clean_retained);
             }
             Event::WindowEmit {
                 query,

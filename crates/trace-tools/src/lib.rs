@@ -18,13 +18,33 @@
 use std::fmt::Write as _;
 
 pub use simcore::spans::oracle::{OracleConfig, TraceOracle, Violation};
-pub use simcore::spans::{parse_jsonl, ParseError, SpanCollector, SpanKind, SpanReport};
+pub use simcore::spans::{
+    parse_jsonl, parse_jsonl_lenient, ParseError, SkippedLine, SpanCollector, SpanKind, SpanReport,
+};
 
-/// Render the summary report for one JSONL trace.
+/// Render the "skipped N unknown-kind line(s)" warning, or nothing when
+/// the whole trace decoded. Forward compatibility: a trace written by a
+/// newer emitter must still summarize/check on the kinds we do know.
+fn skip_warning(skipped: &[SkippedLine]) -> String {
+    if skipped.is_empty() {
+        return String::new();
+    }
+    let mut kinds: Vec<&str> = skipped.iter().map(|s| s.kind.as_str()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    format!(
+        "warning: skipped {} unknown-kind line(s) ({})\n",
+        skipped.len(),
+        kinds.join(", ")
+    )
+}
+
+/// Render the summary report for one JSONL trace. Unknown event kinds
+/// are skipped with a warning, not a hard error.
 pub fn summarize(trace: &str) -> Result<String, ParseError> {
-    let events = parse_jsonl(trace)?;
+    let (events, skipped) = parse_jsonl_lenient(trace)?;
     let report = SpanCollector::collect(&events);
-    let mut out = String::new();
+    let mut out = skip_warning(&skipped);
     let _ = writeln!(
         out,
         "trace: {} events over {:.3} s (t = {:.3} s .. {:.3} s)",
@@ -97,10 +117,11 @@ pub fn summarize(trace: &str) -> Result<String, ParseError> {
 
 /// Run the invariant oracle over a trace. Returns the rendered report
 /// plus the violations themselves (empty means the trace is clean).
+/// Unknown event kinds are skipped with a warning, not a hard error.
 pub fn check(trace: &str, cfg: OracleConfig) -> Result<(String, Vec<Violation>), ParseError> {
-    let events = parse_jsonl(trace)?;
+    let (events, skipped) = parse_jsonl_lenient(trace)?;
     let violations = TraceOracle::check(&events, cfg);
-    let mut out = String::new();
+    let mut out = skip_warning(&skipped);
     if violations.is_empty() {
         let _ = writeln!(out, "checked {} events: OK (0 violations)", events.len());
     } else {
@@ -344,5 +365,23 @@ mod tests {
         assert!(summarize("garbage\n").is_err());
         assert!(check("garbage\n", OracleConfig::default()).is_err());
         assert!(diff("garbage\n", "").is_err());
+    }
+
+    #[test]
+    fn unknown_event_kinds_warn_and_skip() {
+        let mut trace = clean_trace();
+        trace.push_str(
+            "{\"t_ns\":70000000000,\"seq\":99,\"ev\":\"quantum_flux\",\"path\":\"/hot\"}\n",
+        );
+        let text = summarize(&trace).unwrap();
+        assert!(
+            text.contains("warning: skipped 1 unknown-kind line(s) (quantum_flux)"),
+            "{text}"
+        );
+        assert!(text.contains("trace: 9 events"), "known events intact");
+        let (text, violations) = check(&trace, OracleConfig::default()).unwrap();
+        assert!(violations.is_empty(), "{text}");
+        assert!(text.contains("warning: skipped 1"), "{text}");
+        assert!(text.contains("OK (0 violations)"), "{text}");
     }
 }

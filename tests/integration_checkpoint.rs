@@ -81,6 +81,30 @@ fn resume_at_the_first_and_last_tick_boundaries() {
 }
 
 #[test]
+fn resume_is_equivalent_with_corruption_and_scrubbing() {
+    // Mid-run state now includes latent-corruption maps, quarantine
+    // sets and the scrub cursor; the byte-identical guard must still
+    // hold with the storm active and the scrubber mid-sweep, and the
+    // combined trace must show the corruption pipeline actually ran.
+    let (trace_a, state_a) = straight(Scenario::churn_corrupt(), 42);
+    let (trace_b, state_b) = split(Scenario::churn_corrupt(), 42, 25);
+    assert!(
+        trace_a.contains("\"ev\":\"corruption_injected\""),
+        "storm injected rot"
+    );
+    assert!(
+        trace_a.contains("\"ev\":\"scrub_progress\""),
+        "scrubber swept"
+    );
+    assert_eq!(
+        trace_a, trace_b,
+        "prefix+suffix must be the byte-identical straight-through trace"
+    );
+    assert_eq!(state_a, state_b, "final snapshots must compare equal");
+    assert_oracle_clean(&trace_a);
+}
+
+#[test]
 fn snapshot_survives_the_file_round_trip() {
     let mut run = ResumableRun::new(Scenario::churn_tiny(), 5);
     run.run_to_tick(10);

@@ -33,6 +33,9 @@ enum Op {
     Boost { idx: usize, readers: u32 },
     Tick,
     Advance { secs: u64 },
+    Corrupt { node: u32, pick: u64 },
+    TornCrash { node: u32 },
+    Scrub { budget: usize },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -46,6 +49,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0usize..5, 5u32..20).prop_map(|(idx, readers)| Op::Boost { idx, readers }),
         Just(Op::Tick),
         (5u64..300).prop_map(|secs| Op::Advance { secs }),
+        (0u32..18, 0u64..64).prop_map(|(node, pick)| Op::Corrupt { node, pick }),
+        (0u32..18).prop_map(|node| Op::TornCrash { node }),
+        (1usize..32).prop_map(|budget| Op::Scrub { budget }),
     ]
 }
 
@@ -58,6 +64,8 @@ fn healing_manager(cluster: &mut ClusterSim) -> ErmsManager {
         .standby([])
         .encode(false)
         .self_healing(true)
+        .scrubber(true)
+        .scrub_blocks_per_tick(24)
         .task_timeout(SimDuration::from_secs(120))
         .build()
         .expect("valid config");
@@ -189,11 +197,26 @@ proptest! {
                 Op::Advance { secs } => {
                     c.run_until(c.now() + SimDuration::from_secs(secs));
                 }
+                Op::Corrupt { node, pick } => {
+                    c.corrupt_replica(NodeId(node), pick, false);
+                }
+                Op::TornCrash { node } => {
+                    if c.serving_nodes() > 12 && c.crash_node_torn(NodeId(node)) {
+                        crashed.push(NodeId(node));
+                    }
+                }
+                Op::Scrub { budget } => {
+                    c.scrub(budget, &[]);
+                }
             }
         }
 
-        // drain in-flight work and give the healer a few rounds
+        // drain in-flight work and give the healer a few rounds; the
+        // first full-coverage sweep surfaces any rot the per-tick scrub
+        // budget had not reached yet
         c.run_until_quiescent();
+        let total_blocks: usize = c.namespace().files().map(|f| f.blocks.len()).sum();
+        c.scrub(total_blocks + 1, &[]);
         for _ in 0..6 {
             let now = c.now();
             m.tick(&mut c, now);
@@ -201,6 +224,22 @@ proptest! {
         }
         check_accounting(&c);
         check_journal_replay(&m);
+
+        // a full sweep has seen every live replica, so any replica still
+        // in the blockmap is checksum-clean — corruption may outlive the
+        // run only inside crash stashes, never in serving state
+        c.scrub(total_blocks + 1, &[]);
+        for meta in c.namespace().files() {
+            for &b in &meta.blocks {
+                for n in c.blockmap().locations(b) {
+                    prop_assert!(
+                        !c.is_replica_corrupt(b, n),
+                        "{b} of {} still served by corrupt replica on {n}",
+                        meta.path
+                    );
+                }
+            }
+        }
 
         // guarantee 1: a block may only be dark if the durability log
         // recorded it going dark — nothing becomes unreadable silently

@@ -113,6 +113,9 @@ enum Op {
     Read { idx: usize, readers: u32 },
     Tick,
     Advance { secs: u64 },
+    Corrupt { node: u32, pick: u64 },
+    TornCrash { node: u32 },
+    Scrub { budget: usize },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -125,6 +128,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0usize..4, 5u32..25).prop_map(|(idx, readers)| Op::Read { idx, readers }),
         Just(Op::Tick),
         (5u64..300).prop_map(|secs| Op::Advance { secs }),
+        (0u32..18, 0u64..64).prop_map(|(node, pick)| Op::Corrupt { node, pick }),
+        (0u32..18).prop_map(|node| Op::TornCrash { node }),
+        (1usize..32).prop_map(|budget| Op::Scrub { budget }),
     ]
 }
 
@@ -152,6 +158,8 @@ proptest! {
             .standby([])
             .encode(false)
             .self_healing(true)
+            .scrubber(true)
+            .scrub_blocks_per_tick(24)
             .task_timeout(SimDuration::from_secs(120))
             .build()
             .expect("valid config");
@@ -203,6 +211,17 @@ proptest! {
                 }
                 Op::Advance { secs } => {
                     c.run_until(c.now() + SimDuration::from_secs(secs));
+                }
+                Op::Corrupt { node, pick } => {
+                    c.corrupt_replica(NodeId(node), pick, false);
+                }
+                Op::TornCrash { node } => {
+                    if c.serving_nodes() > 12 && c.crash_node_torn(NodeId(node)) {
+                        crashed.push(NodeId(node));
+                    }
+                }
+                Op::Scrub { budget } => {
+                    c.scrub(budget, &[]);
                 }
             }
         }

@@ -120,6 +120,7 @@ pub fn judge_rules() -> JudgeRulesAblation {
         ));
     }
     let snap = FileSnapshot {
+        id: hdfs_sim::FileId(0),
         path: "/skewed".into(),
         replication: 3,
         blocks,

@@ -1,0 +1,108 @@
+//! Quick phase breakdown of the CEP ingest path (dev tool).
+
+use erms::{DataJudge, Thresholds};
+use simcore::SimDuration;
+use std::time::Instant;
+
+fn main() {
+    let n: u64 = 200_000;
+    let paths: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(150);
+    let hot: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
+    let lines = bench::scale::synth_audit_lines(n, paths, hot);
+
+    // parse only (scratch-reuse path, as the judge drains)
+    let mut parser = cep::audit::LineParser::new();
+    let mut scratch = cep::Event::new(simcore::SimTime::ZERO, "");
+    let t0 = Instant::now();
+    let mut field_total = 0usize;
+    for l in &lines {
+        parser.parse_into(l, &mut scratch).unwrap();
+        field_total += scratch.num_fields();
+    }
+    let parse_s = t0.elapsed().as_secs_f64();
+    assert!(field_total > 0);
+
+    // parse with the judge's projection applied
+    let mut proj_parser = cep::audit::LineParser::new();
+    proj_parser.project(&["blk", "cmd", "dn", "src"]);
+    let t0 = Instant::now();
+    let mut field_total = 0usize;
+    for l in &lines {
+        proj_parser.parse_into(l, &mut scratch).unwrap();
+        field_total += scratch.num_fields();
+    }
+    let proj_s = t0.elapsed().as_secs_f64();
+    assert!(field_total > 0);
+    let events: Vec<cep::Event> = lines.iter().map(|l| parser.parse(l).unwrap()).collect();
+
+    // push pre-parsed events through a bare engine with the judge's query set
+    let mut thresholds = Thresholds::calibrate(4.0);
+    thresholds.window = SimDuration::from_secs(600);
+    let mut judge = DataJudge::new(thresholds.clone());
+    let t0 = Instant::now();
+    judge.observe_lines(lines.iter().map(String::as_str));
+    let full_s = t0.elapsed().as_secs_f64();
+
+    // raw engine push with one count query only
+    let mut eng = cep::CepEngine::new();
+    let _q = eng.register(cep::QuerySpec::count_per_group(
+        "audit",
+        "src",
+        SimDuration::from_secs(600),
+    ));
+    let t0 = Instant::now();
+    for e in &events {
+        eng.push(e);
+    }
+    let one_q_s = t0.elapsed().as_secs_f64();
+
+    // tokenization floor: split_whitespace + split_once only
+    let t0 = Instant::now();
+    let mut tok = 0usize;
+    for l in &lines {
+        let l = l.trim();
+        let (ts, rest) = l.split_once(char::is_whitespace).unwrap();
+        tok += ts.len() + rest.len();
+        let body = &rest[20..];
+        for pair in body.split_whitespace() {
+            if let Some((k, v)) = pair.split_once('=') {
+                tok += k.len() + v.len();
+            }
+        }
+    }
+    let tok_s = t0.elapsed().as_secs_f64();
+    assert!(tok > 0);
+    println!(
+        "tokenize floor:  {:8.1} ms  ({:.2} Mev/s)",
+        tok_s * 1e3,
+        n as f64 / tok_s / 1e6
+    );
+
+    println!("events: {n}");
+    println!(
+        "parse only:      {:8.1} ms  ({:.2} Mev/s)",
+        parse_s * 1e3,
+        n as f64 / parse_s / 1e6
+    );
+    println!(
+        "parse projected: {:8.1} ms  ({:.2} Mev/s)",
+        proj_s * 1e3,
+        n as f64 / proj_s / 1e6
+    );
+    println!(
+        "1-query push:    {:8.1} ms  ({:.2} Mev/s)",
+        one_q_s * 1e3,
+        n as f64 / one_q_s / 1e6
+    );
+    println!(
+        "full judge path: {:8.1} ms  ({:.2} Mev/s)",
+        full_s * 1e3,
+        n as f64 / full_s / 1e6
+    );
+}

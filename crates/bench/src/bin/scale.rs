@@ -1,7 +1,7 @@
 //! Control-loop scaling benchmark → `BENCH_scale.json`.
 //!
 //! ```text
-//! scale [small|medium|large|all] [--ceiling-ms N] [--checkpoint-every N]
+//! scale [small|medium|large|xlarge|all] [--ceiling-ms N] [--checkpoint-every N]
 //! ```
 //!
 //! Runs the requested sizes through [`bench::scale`], sampling a
@@ -55,11 +55,13 @@ fn run_size(cfg: &ScaleConfig, checkpoint_every: Option<usize>) -> ScaleResult {
     let a1 = allocs();
     let full = scale::run_mode(cfg, true);
     let a2 = allocs();
-    let cep = scale::cep_push_rate(50_000, cfg.files);
+    let cep = scale::cep_push_rate(50_000, cfg.files, cfg.hot_files);
+    let phases = scale::phase_allocs(cfg, &allocs);
     let mut r = scale::assemble(cfg, incremental, full, cep);
     r.allocations = Some(AllocStats {
         incremental_allocs: a1 - a0,
         full_allocs: a2 - a1,
+        phases: Some(phases),
     });
     r.checkpoints = checkpoints;
     r
@@ -96,7 +98,7 @@ fn main() -> ExitCode {
             name => match ScaleConfig::named(name) {
                 Some(cfg) => sizes.push(cfg),
                 None => {
-                    eprintln!("unknown size {name:?} (small|medium|large|all)");
+                    eprintln!("unknown size {name:?} (small|medium|large|xlarge|all)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -128,6 +130,12 @@ fn main() -> ExitCode {
             r.judged_ratio * 100.0,
             r.cep.events_per_sec
         );
+        if let Some(p) = r.allocations.as_ref().and_then(|a| a.phases.as_ref()) {
+            println!(
+                "  allocations: judge {} | cep {} | telemetry {}",
+                p.judge_allocs, p.cep_allocs, p.telemetry_allocs
+            );
+        }
         if let Some(ck) = &r.checkpoints {
             println!(
                 "  checkpoints: {} snapshot(s) every {} tick(s), {:.1} KiB total, {:.2} ms/save, verified={}",

@@ -1,0 +1,47 @@
+//! Per-tick breakdown of one scale run (dev tool).
+
+use bench::scale::ScaleConfig;
+use erms::ErmsManager;
+use hdfs_sim::topology::{ClientId, Endpoint};
+use simcore::units::MB;
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "xlarge".into());
+    let cfg = ScaleConfig::named(&name).expect("known size");
+    let mut c = bench::scale::scale_cluster(&cfg);
+    let mut m = ErmsManager::new(bench::scale::scale_erms_config(&cfg, false), &mut c)
+        .expect("valid scale manager");
+    for i in 0..cfg.files {
+        c.create_file(&format!("/scale/f{i}"), 64 * MB, 3, None)
+            .expect("cluster sized to hold the namespace");
+    }
+    c.run_until_quiescent();
+    c.run_until(c.now() + cfg.window + cfg.tick_step);
+    c.run_until_quiescent();
+    let now = c.now();
+    let _ = m.tick(&mut c, now);
+    c.run_until(c.now() + cfg.tick_step);
+    c.run_until_quiescent();
+    for tick in 0..cfg.ticks() {
+        if tick < cfg.storm_ticks {
+            for h in 0..cfg.hot_files.min(cfg.files) {
+                for r in 0..cfg.readers_per_hot {
+                    let id = (tick as u32) * 100_000 + (h as u32) * 1_000 + r;
+                    let _ = c.open_read(Endpoint::Client(ClientId(id)), &format!("/scale/f{h}"));
+                }
+            }
+            c.run_until_quiescent();
+        }
+        let now = c.now();
+        let t0 = Instant::now();
+        let r = m.tick(&mut c, now);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "tick {tick:>2}: {ms:8.1} ms judged {:>7} hot {:>3} cooled {:>3} cold {:>7} submitted {:>7} completed {:>7} trimmed {:>6}",
+            r.files_judged, r.hot, r.cooled, r.cold, r.tasks_submitted, r.tasks_completed, r.replicas_trimmed
+        );
+        c.run_until(c.now() + cfg.tick_step);
+        c.run_until_quiescent();
+    }
+}

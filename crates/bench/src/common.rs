@@ -125,7 +125,7 @@ mod tests {
         // base data lands only on active nodes
         c.create_file("/f", 64 * MB, 3, None).unwrap();
         let b = c.namespace().files().next().unwrap().blocks[0];
-        for loc in c.blockmap().locations(b) {
+        for loc in c.blockmap().replica_nodes(b) {
             assert!(loc.0 < 10);
         }
     }

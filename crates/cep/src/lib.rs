@@ -42,6 +42,7 @@ pub mod audit;
 pub mod engine;
 pub mod epl;
 pub mod event;
+pub mod fnv;
 pub mod pattern;
 pub mod query;
 pub mod window;

@@ -9,10 +9,15 @@
 //! datanode).
 
 use crate::event::{Event, Value};
+use crate::fnv::FnvBuildHasher;
 use crate::window::Window;
 use simcore::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Group-key → slot-index map, hashed with the cheap FNV hasher —
+/// group probes happen once per accepted event on the ingest hot path.
+type GroupIndex = HashMap<Arc<str>, u32, FnvBuildHasher>;
 
 /// Window clause of a query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -205,17 +210,17 @@ struct GroupAgg {
 }
 
 impl GroupAgg {
-    fn add(&mut self, event: &Event, agg_field: Option<&str>) {
+    fn add(&mut self, num: Option<f64>) {
         self.events += 1;
-        if let Some(x) = agg_field.and_then(|f| event.get(f).and_then(Value::as_f64)) {
+        if let Some(x) = num {
             self.numeric += 1;
             self.sum += x;
         }
     }
 
-    fn remove(&mut self, event: &Event, agg_field: Option<&str>) {
+    fn remove(&mut self, num: Option<f64>) {
         self.events = self.events.saturating_sub(1);
-        if let Some(x) = agg_field.and_then(|f| event.get(f).and_then(Value::as_f64)) {
+        if let Some(x) = num {
             self.numeric = self.numeric.saturating_sub(1);
             self.sum -= x;
         }
@@ -238,44 +243,216 @@ impl GroupAgg {
     }
 }
 
-/// Intern a group-key [`Value`] as an `Arc<str>`. String values share
-/// the event's existing allocation (a refcount bump); other value kinds
-/// pay one small formatting allocation on entry/exit of the window
-/// instead of one per event per lookup as the old rescan path did.
-fn intern_key(v: &Value) -> Arc<str> {
-    match v {
-        Value::Str(s) => s.clone(),
-        other => Arc::from(other.to_string().as_str()),
+/// One live group: its key and running aggregates. Slots are reused
+/// through a free list once the group's last windowed event departs.
+#[derive(Debug)]
+struct GroupSlot {
+    key: Arc<str>,
+    agg: GroupAgg,
+}
+
+/// Pointer-keyed group-probe memo size (power of two). The hot keys on
+/// an audit storm are a handful of interned `Arc`s, so `Arc::ptr_eq`
+/// resolves most probes without hashing the key bytes.
+const GROUP_MEMO_SLOTS: usize = 16;
+
+/// Per-query group bookkeeping: dense slots addressed by `u32` index,
+/// a key → index hash map, and a pointer-keyed memo over it.
+///
+/// Windowed entries remember their group *index*, so eviction — once
+/// per accepted event at steady state — updates counters by direct
+/// indexing instead of rehashing the key string, and holds no `Arc`
+/// refcount per entry. Only a group's death (last event leaving the
+/// window) pays a map removal.
+#[derive(Debug, Default)]
+struct GroupTable {
+    index: GroupIndex,
+    slots: Vec<GroupSlot>,
+    free: Vec<u32>,
+    /// Direct-mapped `(key, index)` memo keyed by the key's heap
+    /// address. Entries hold the `Arc` so a hit can never alias a
+    /// recycled allocation; freeing a slot invalidates its entries.
+    memo: Vec<Option<(Arc<str>, u32)>>,
+}
+
+impl GroupTable {
+    /// Slot index for an arriving event's group key, allocating one for
+    /// a first-seen key. String keys go through the pointer memo.
+    fn index_of(&mut self, v: &Value) -> u32 {
+        match v {
+            Value::Str(s) => {
+                if self.memo.is_empty() {
+                    self.memo.resize(GROUP_MEMO_SLOTS, None);
+                }
+                let at = (Arc::as_ptr(s) as *const u8 as usize >> 4) & (GROUP_MEMO_SLOTS - 1);
+                if let Some((k, idx)) = &self.memo[at] {
+                    if Arc::ptr_eq(k, s) {
+                        return *idx;
+                    }
+                }
+                let idx = self.index_of_key(s);
+                self.memo[at] = Some((s.clone(), idx));
+                idx
+            }
+            other => self.index_of_key(&Arc::from(other.to_string().as_str())),
+        }
     }
+
+    fn index_of_key(&mut self, key: &Arc<str>) -> u32 {
+        if let Some(&idx) = self.index.get(key.as_ref()) {
+            return idx;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = GroupSlot {
+                    key: key.clone(),
+                    agg: GroupAgg::default(),
+                };
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("fewer than 2^32 live groups");
+                self.slots.push(GroupSlot {
+                    key: key.clone(),
+                    agg: GroupAgg::default(),
+                });
+                idx
+            }
+        };
+        self.index.insert(key.clone(), idx);
+        idx
+    }
+
+    /// Slot index for a key already in the table — no allocation, no
+    /// memo. The full-event eviction path resolves departing keys here.
+    fn lookup(&self, v: &Value) -> Option<u32> {
+        match v {
+            Value::Str(s) => self.index.get(s.as_ref()).copied(),
+            other => self.index.get(other.to_string().as_str()).copied(),
+        }
+    }
+
+    fn add(&mut self, idx: u32, num: Option<f64>) {
+        self.slots[idx as usize].agg.add(num);
+    }
+
+    /// Reverse one departing event; a group hitting zero events is
+    /// removed from the map and its slot recycled.
+    fn remove(&mut self, idx: u32, num: Option<f64>) {
+        let slot = &mut self.slots[idx as usize];
+        slot.agg.remove(num);
+        if slot.agg.events == 0 {
+            self.index.remove(slot.key.as_ref());
+            for m in self.memo.iter_mut() {
+                if matches!(m, Some((_, i)) if *i == idx) {
+                    *m = None;
+                }
+            }
+            self.free.push(idx);
+        }
+    }
+
+    fn key_of(&self, idx: u32) -> &Arc<str> {
+        &self.slots[idx as usize].key
+    }
+
+    fn get(&self, key: &str) -> Option<&GroupAgg> {
+        self.index
+            .get(key)
+            .map(|&idx| &self.slots[idx as usize].agg)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &GroupAgg)> {
+        self.index
+            .iter()
+            .map(|(k, &idx)| (k, &self.slots[idx as usize].agg))
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn clear(&mut self) {
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.memo.clear();
+    }
+}
+
+/// One windowed entry of an incremental query: exactly what eviction
+/// needs to reverse the running aggregates — entry time, group slot
+/// index, aggregate-field sample. A few dozen bytes instead of a
+/// cloned event, and no refcount traffic per entry.
+#[derive(Debug, Clone)]
+struct SlimEntry {
+    time: SimTime,
+    group: Option<u32>,
+    num: Option<f64>,
+}
+
+/// Windowed storage of one query.
+///
+/// Incremental aggregates (`Count`/`Sum`/`Avg`) never re-read stored
+/// events — eviction only reverses counters — so they keep a
+/// [`SlimEntry`] per event instead of cloning the whole event into the
+/// window: no per-event allocation on push, no field lookup on evict.
+/// The non-invertible aggregates keep full events for their
+/// rescan-on-read path.
+#[derive(Debug)]
+enum Store {
+    Events(Window),
+    Slim {
+        spec: WindowSpec,
+        buf: VecDeque<SlimEntry>,
+    },
 }
 
 /// Incremental runtime of one query.
 ///
 /// For `Count`/`Sum`/`Avg` the state keeps per-group running aggregates
 /// (updated as events enter and leave the window), so
-/// [`rows`](Self::rows) is O(live groups) and
+/// [`rows`](Self::rows) is O(live groups · log groups) and
 /// [`value_for`](Self::value_for) is
-/// O(log groups) — not O(window) with a `to_string` per event. The
+/// O(1) — not O(window) with a `to_string` per event. The
 /// non-invertible aggregates (`Max`/`Min`/`CountDistinct`) keep the
 /// rescan-on-read path.
 #[derive(Debug)]
 pub struct QueryState {
     pub spec: QuerySpec,
-    window: Window,
-    /// Per-group running aggregates, keyed by interned group key.
-    groups: BTreeMap<Arc<str>, GroupAgg>,
+    store: Store,
+    /// Per-group running aggregates, indexed slots + key map.
+    groups: GroupTable,
     /// Whole-window aggregate (serves ungrouped queries).
     total: GroupAgg,
 }
 
 impl QueryState {
     pub fn new(spec: QuerySpec) -> Self {
-        let window = spec.window.instantiate();
+        let store = if spec.aggregate.is_incremental() {
+            if let WindowSpec::Length(n) = spec.window {
+                assert!(n > 0, "length window needs capacity >= 1");
+            }
+            Store::Slim {
+                spec: spec.window,
+                buf: VecDeque::new(),
+            }
+        } else {
+            Store::Events(spec.window.instantiate())
+        };
         QueryState {
             spec,
-            window,
-            groups: BTreeMap::new(),
+            store,
+            groups: GroupTable::default(),
             total: GroupAgg::default(),
+        }
+    }
+
+    /// The full-event window (non-incremental aggregates only).
+    fn window(&self) -> &Window {
+        match &self.store {
+            Store::Events(w) => w,
+            Store::Slim { .. } => unreachable!("slim store never serves a window rescan"),
         }
     }
 
@@ -284,52 +461,129 @@ impl QueryState {
         if !self.spec.accepts(event) {
             return false;
         }
-        let agg_field = self.spec.aggregate.field();
-        self.total.add(event, agg_field);
-        if let Some(field) = &self.spec.group_by {
-            if let Some(v) = event.get(field) {
-                self.groups
-                    .entry(intern_key(v))
-                    .or_default()
-                    .add(event, agg_field);
+        let num = self
+            .spec
+            .aggregate
+            .field()
+            .and_then(|f| event.get(f).and_then(Value::as_f64));
+        let group = self
+            .spec
+            .group_by
+            .as_deref()
+            .and_then(|f| event.get(f))
+            .map(|v| self.groups.index_of(v));
+        self.total.add(num);
+        if let Some(gi) = group {
+            self.groups.add(gi, num);
+        }
+        match &mut self.store {
+            Store::Events(w) => {
+                let (groups, spec, total) = (&mut self.groups, &self.spec, &mut self.total);
+                w.push_with(event.clone(), |evicted| {
+                    Self::evict_event(groups, total, spec, &evicted);
+                });
+            }
+            Store::Slim { spec: wspec, buf } => {
+                let (groups, total) = (&mut self.groups, &mut self.total);
+                match wspec {
+                    WindowSpec::Time(span) => {
+                        // Same boundary rule as Window::push_with: evict
+                        // strictly-older-than now - span, keep boundary.
+                        let cutoff = event.time.since(SimTime::ZERO);
+                        buf.push_back(SlimEntry {
+                            time: event.time,
+                            group,
+                            num,
+                        });
+                        while let Some(front) = buf.front() {
+                            if front.time.since(SimTime::ZERO) + *span < cutoff {
+                                let e = buf.pop_front().expect("front exists");
+                                Self::evict_slim(groups, total, e);
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    WindowSpec::Length(capacity) => {
+                        if buf.len() == *capacity {
+                            let e = buf.pop_front().expect("front exists");
+                            Self::evict_slim(groups, total, e);
+                        }
+                        buf.push_back(SlimEntry {
+                            time: event.time,
+                            group,
+                            num,
+                        });
+                    }
+                }
             }
         }
-        let (groups, spec, total) = (&mut self.groups, &self.spec, &mut self.total);
-        self.window.push_with(event.clone(), |evicted| {
-            Self::on_evict(groups, total, spec, &evicted);
-        });
         true
     }
 
-    /// Decrement the running aggregates for an event leaving the window.
-    fn on_evict(
-        groups: &mut BTreeMap<Arc<str>, GroupAgg>,
+    /// Decrement the running aggregates for an event leaving a
+    /// full-event window.
+    fn evict_event(
+        groups: &mut GroupTable,
         total: &mut GroupAgg,
         spec: &QuerySpec,
         evicted: &Event,
     ) {
-        let agg_field = spec.aggregate.field();
-        total.remove(evicted, agg_field);
-        if let Some(field) = &spec.group_by {
-            if let Some(v) = evicted.get(field) {
-                let key = intern_key(v);
-                if let Some(g) = groups.get_mut(key.as_ref()) {
-                    g.remove(evicted, agg_field);
-                    if g.events == 0 {
-                        groups.remove(key.as_ref());
-                    }
-                }
-            }
+        let num = spec
+            .aggregate
+            .field()
+            .and_then(|f| evicted.get(f).and_then(Value::as_f64));
+        let group = spec
+            .group_by
+            .as_deref()
+            .and_then(|f| evicted.get(f))
+            .and_then(|v| groups.lookup(v));
+        Self::evict_slim(
+            groups,
+            total,
+            SlimEntry {
+                time: evicted.time,
+                group,
+                num,
+            },
+        );
+    }
+
+    /// Decrement the running aggregates for one departing entry.
+    fn evict_slim(groups: &mut GroupTable, total: &mut GroupAgg, entry: SlimEntry) {
+        total.remove(entry.num);
+        if let Some(gi) = entry.group {
+            groups.remove(gi, entry.num);
         }
     }
 
     /// Expire stale events at `now`, keeping the running aggregates in
     /// step with the window.
     fn decay(&mut self, now: SimTime) {
-        let (groups, spec, total) = (&mut self.groups, &self.spec, &mut self.total);
-        self.window.expire_with(now, |evicted| {
-            Self::on_evict(groups, total, spec, &evicted);
-        });
+        match &mut self.store {
+            Store::Events(w) => {
+                let (groups, spec, total) = (&mut self.groups, &self.spec, &mut self.total);
+                w.expire_with(now, |evicted| {
+                    Self::evict_event(groups, total, spec, &evicted);
+                });
+            }
+            Store::Slim {
+                spec: WindowSpec::Time(span),
+                buf,
+            } => {
+                let cutoff = now.since(SimTime::ZERO);
+                while let Some(front) = buf.front() {
+                    if front.time.since(SimTime::ZERO) + *span < cutoff {
+                        let e = buf.pop_front().expect("front exists");
+                        Self::evict_slim(&mut self.groups, &mut self.total, e);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Length windows never expire by time.
+            Store::Slim { .. } => {}
+        }
     }
 
     /// Evaluate grouped aggregates at `now`, applying HAVING.
@@ -343,7 +597,7 @@ impl QueryState {
                 let v = if incremental {
                     self.total.value(&self.spec.aggregate)
                 } else {
-                    self.spec.aggregate.apply(self.window.iter())
+                    self.spec.aggregate.apply(self.window().iter())
                 };
                 if self.spec.having.is_none_or(|h| h.test(v)) {
                     rows.push(GroupRow {
@@ -353,7 +607,7 @@ impl QueryState {
                 }
             }
             Some(_) if incremental => {
-                for (key, agg) in &self.groups {
+                for (key, agg) in self.groups.iter() {
                     let v = agg.value(&self.spec.aggregate);
                     if self.spec.having.is_none_or(|h| h.test(v)) {
                         rows.push(GroupRow {
@@ -362,10 +616,13 @@ impl QueryState {
                         });
                     }
                 }
+                // The hash map iterates in arbitrary order; sort to keep
+                // the documented deterministic row order.
+                rows.sort_unstable_by(|a, b| a.key.cmp(&b.key));
             }
             Some(field) => {
                 let mut groups: BTreeMap<String, Vec<&Event>> = BTreeMap::new();
-                for e in self.window.iter() {
+                for e in self.window().iter() {
                     if let Some(v) = e.get(field) {
                         groups.entry(v.to_string()).or_default().push(e);
                     }
@@ -401,7 +658,7 @@ impl QueryState {
                 return if self.spec.aggregate.is_incremental() {
                     self.total.value(&self.spec.aggregate)
                 } else {
-                    self.spec.aggregate.apply(self.window.iter())
+                    self.spec.aggregate.apply(self.window().iter())
                 };
             }
         };
@@ -413,14 +670,17 @@ impl QueryState {
                 .unwrap_or(0.0);
         }
         let events = self
-            .window
+            .window()
             .iter()
             .filter(|e| e.get(field).is_some_and(|v| v.to_string() == key));
         self.spec.aggregate.apply(events)
     }
 
     pub fn window_len(&self) -> usize {
-        self.window.len()
+        match &self.store {
+            Store::Events(w) => w.len(),
+            Store::Slim { buf, .. } => buf.len(),
+        }
     }
 
     /// Live groups currently tracked by the running aggregates.
@@ -445,12 +705,45 @@ impl checkpoint::Checkpointable for QueryState {
                 Value::U64(g.sum.to_bits()),
             ]
         };
+        let window = match &self.store {
+            Store::Events(w) => w.save_state(),
+            Store::Slim { buf, .. } => MapBuilder::new()
+                .str("kind", "slim")
+                .seq(
+                    "buf",
+                    buf.iter()
+                        .map(|e| {
+                            // Fixed 5-slot shape: [time, has_key, key,
+                            // has_num, num_bits] — floats as raw bits so
+                            // round trips are bit-exact. Group indices
+                            // are a runtime detail; the wire format
+                            // carries the key string.
+                            let key = e
+                                .group
+                                .map(|gi| self.groups.key_of(gi).as_ref())
+                                .unwrap_or("");
+                            Value::Seq(vec![
+                                Value::U64(e.time.as_nanos()),
+                                Value::Bool(e.group.is_some()),
+                                Value::Str(key.to_string()),
+                                Value::Bool(e.num.is_some()),
+                                Value::U64(e.num.unwrap_or(0.0).to_bits()),
+                            ])
+                        })
+                        .collect(),
+                )
+                .build(),
+        };
+        // The group map iterates in hash order; serialize sorted so a
+        // snapshot re-saves to identical bytes.
+        let mut groups: Vec<(&Arc<str>, &GroupAgg)> = self.groups.iter().collect();
+        groups.sort_unstable_by(|a, b| a.0.cmp(b.0));
         MapBuilder::new()
-            .put("window", self.window.save_state())
+            .put("window", window)
             .seq(
                 "groups",
-                self.groups
-                    .iter()
+                groups
+                    .into_iter()
                     .map(|(k, g)| {
                         let mut row = vec![Value::Str(k.to_string())];
                         row.extend(agg(g));
@@ -474,7 +767,8 @@ impl checkpoint::Checkpointable for QueryState {
                 sum: f64::from_bits(c::as_u64(&parts[at + 2], "agg sum")?),
             })
         }
-        self.window.load_state(c::get(state, "window")?)?;
+        // Groups load first: slim window entries resolve their group
+        // slot index against the rebuilt table.
         self.groups.clear();
         for row in c::get_seq(state, "groups")? {
             let parts = c::as_seq(row, "groups[]")?;
@@ -484,7 +778,44 @@ impl checkpoint::Checkpointable for QueryState {
                 ));
             }
             let key: Arc<str> = Arc::from(c::as_str(&parts[0], "group key")?);
-            self.groups.insert(key, agg_back(parts, 1)?);
+            let idx = self.groups.index_of_key(&key);
+            self.groups.slots[idx as usize].agg = agg_back(parts, 1)?;
+        }
+        match &mut self.store {
+            Store::Events(w) => w.load_state(c::get(state, "window")?)?,
+            Store::Slim { buf, .. } => {
+                let window = c::get(state, "window")?;
+                if c::get_str(window, "kind")? != "slim" {
+                    return Err(checkpoint::CheckpointError::Corrupt(
+                        "incremental query expects a slim window section".into(),
+                    ));
+                }
+                buf.clear();
+                for row in c::get_seq(window, "buf")? {
+                    let parts = c::as_seq(row, "slim buf[]")?;
+                    if parts.len() != 5 {
+                        return Err(checkpoint::CheckpointError::Corrupt(
+                            "slim entry is not [time, has_key, key, has_num, num]".into(),
+                        ));
+                    }
+                    let group = if c::as_bool(&parts[1], "slim has_key")? {
+                        let key: Arc<str> = Arc::from(c::as_str(&parts[2], "slim key")?);
+                        Some(self.groups.index_of_key(&key))
+                    } else {
+                        None
+                    };
+                    let num = if c::as_bool(&parts[3], "slim has_num")? {
+                        Some(f64::from_bits(c::as_u64(&parts[4], "slim num")?))
+                    } else {
+                        None
+                    };
+                    buf.push_back(SlimEntry {
+                        time: SimTime::from_nanos(c::as_u64(&parts[0], "slim time")?),
+                        group,
+                        num,
+                    });
+                }
+            }
         }
         let total = c::get_seq(state, "total")?;
         if total.len() != 3 {

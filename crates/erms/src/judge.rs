@@ -34,6 +34,10 @@ pub enum DataClass {
 /// What the judge needs to know about a file to classify it.
 #[derive(Debug, Clone)]
 pub struct FileSnapshot {
+    /// Dense namespace id — the key the sharded control loop partitions
+    /// and merges by (`id % shards`), and the sort key that keeps the
+    /// judge pass in namespace-walk order.
+    pub id: hdfs_sim::FileId,
     pub path: String,
     /// Current replication factor `r` of the file's data blocks.
     pub replication: usize,
@@ -73,6 +77,13 @@ pub struct DataJudge {
     p_fresh: cep::engine::PatternId,
     thresholds: Thresholds,
     parse_errors: usize,
+    /// Interning audit-line parser, persistent so field keys and the
+    /// recurring path/node strings are shared across the whole stream.
+    parser: cep::audit::LineParser,
+    /// Interned type name of the derived (datanode, file) events.
+    ty_node_file: std::sync::Arc<str>,
+    /// Interned key of their composite `dn|src` field.
+    key_dn_src: std::sync::Arc<str>,
 }
 
 /// Synthetic event type carrying the (datanode, file) composite key.
@@ -106,6 +117,15 @@ impl DataJudge {
             p_fresh,
             thresholds,
             parse_errors: 0,
+            parser: {
+                let mut p = cep::audit::LineParser::new();
+                // Projection pushdown: the queries and pattern above read
+                // exactly these audit fields; skip materializing the rest.
+                p.project(&["blk", "cmd", "dn", "src"]);
+                p
+            },
+            ty_node_file: std::sync::Arc::from(NODE_FILE_EVENT),
+            key_dn_src: std::sync::Arc::from("dn_src"),
         }
     }
 
@@ -129,18 +149,30 @@ impl DataJudge {
     }
 
     /// Feed raw audit-log lines (the paper's log-parser → CEP pipeline).
+    ///
+    /// One scratch event is refilled per line (`LineParser::parse_into`
+    /// keeps the field vector's allocation), so the drain allocates
+    /// nothing per line at steady state.
     pub fn observe_lines<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) {
+        let mut composite = String::new();
+        let mut event =
+            cep::Event::new_interned(simcore::SimTime::ZERO, self.ty_node_file.clone(), 8);
         for line in lines {
-            match cep::audit::parse_line(line) {
-                Ok(event) => {
+            match self.parser.parse_into(line, &mut event) {
+                Ok(()) => {
                     if event.event_type.as_ref() == BLOCK_EVENT {
                         if let (Some(dn), Some(src)) = (
                             event.get("dn").and_then(|v| v.as_str()),
                             event.get("src").and_then(|v| v.as_str()),
                         ) {
-                            let composite = format!("{dn}|{src}");
-                            let derived = cep::Event::new(event.time, NODE_FILE_EVENT)
-                                .with("dn_src", composite.as_str());
+                            composite.clear();
+                            composite.push_str(dn);
+                            composite.push('|');
+                            composite.push_str(src);
+                            let key = self.parser.intern(&composite);
+                            let mut derived =
+                                cep::Event::new_interned(event.time, self.ty_node_file.clone(), 1);
+                            derived.set_interned(self.key_dn_src.clone(), cep::Value::Str(key));
                             self.engine.push(&derived);
                         }
                     }
@@ -314,6 +346,7 @@ mod tests {
 
     fn snapshot(path: &str, r: usize, blocks: &[u64]) -> FileSnapshot {
         FileSnapshot {
+            id: hdfs_sim::FileId(0),
             path: path.into(),
             replication: r,
             blocks: blocks.iter().map(|&b| BlockId(b)).collect(),

@@ -368,15 +368,69 @@ impl ErmsManager {
             self.snapshot_subset(cluster, &visit)
         };
         report.files_judged = snapshots.len();
-        for snap in &snapshots {
-            let verdict = self.judge.classify(now, snap);
+
+        // 4a. classify, shard by shard. `classify` only reads CEP state
+        // (window decay at a fixed `now` is idempotent), so visiting
+        // files in shard order instead of namespace order changes no
+        // verdict. What it *does* change is telemetry order — the judge
+        // emits `WindowEmit` events as it evaluates queries — so while
+        // classifying we point the judge at a private capture sink and
+        // stash each file's events next to its verdict. The act phase
+        // below replays them in FileId order, which makes the trace
+        // byte-identical for every shard count (and to the pre-sharded
+        // loop).
+        let shards = self.cfg.shards.max(1) as u64;
+        let capture = if self.telemetry.enabled() {
+            Some(TelemetrySink::recording())
+        } else {
+            None
+        };
+        if let Some(cap) = &capture {
+            self.judge.set_telemetry(cap.clone());
+        }
+        let mut judged: Vec<Option<(Judgment, Vec<simcore::telemetry::TracedEvent>)>> =
+            snapshots.iter().map(|_| None).collect();
+        for shard in 0..shards {
+            for (i, snap) in snapshots.iter().enumerate() {
+                if snap.id.0 % shards != shard {
+                    continue;
+                }
+                let verdict = self.judge.classify(now, snap);
+                let emitted = match &capture {
+                    Some(cap) => cap.drain_events(),
+                    None => Vec::new(),
+                };
+                judged[i] = Some((verdict, emitted));
+            }
+        }
+        if capture.is_some() {
+            self.judge.set_telemetry(self.telemetry.clone());
+        }
+
+        // 4b. act on the verdicts in FileId order (the snapshot walk
+        // order), replaying each file's captured window emissions first
+        // so the trace reads exactly as if the file had been classified
+        // in place. Event emission is batched through `pending` when
+        // `telemetry_batch > 1`; the buffer is flushed before anything
+        // that writes to the sink directly (Condor's submit trace), so
+        // batching never reorders the trace — it only amortises the
+        // per-event sink borrow.
+        let batch = self.cfg.telemetry_batch.max(1);
+        let mut pending: Vec<(SimTime, Tel)> = Vec::new();
+        for (snap, slot) in snapshots.iter().zip(judged) {
+            let (verdict, emitted) = slot.expect("every shard slot judged");
+            for ev in emitted {
+                buf_emit(&self.telemetry, &mut pending, batch, ev.time, ev.event);
+            }
             let class = if verdict.class == DataClass::Normal && promoted.contains(&snap.path) {
                 DataClass::Hot
             } else {
                 verdict.class
             };
-            trace!(
-                self.telemetry,
+            buf_emit(
+                &self.telemetry,
+                &mut pending,
+                batch,
                 now,
                 Tel::Verdict {
                     path: snap.path.clone(),
@@ -384,7 +438,7 @@ impl ErmsManager {
                     file_sessions: verdict.n_d,
                     max_block_sessions: verdict.n_b_max,
                     replicas: snap.replication as u32,
-                }
+                },
             );
             if class != DataClass::Cooled {
                 self.cooled_streak.remove(&snap.path);
@@ -409,6 +463,7 @@ impl ErmsManager {
                     if snap.encoded {
                         // `DecodeCold` is traced when the rewrite lands
                         // in `exec_decode`, not at submission.
+                        buf_flush(&self.telemetry, &mut pending);
                         self.submit(
                             now,
                             ErmsTask::Decode {
@@ -418,8 +473,9 @@ impl ErmsManager {
                             Priority::Immediate,
                             &mut report,
                         );
-                    } else if target > snap.replication
-                        && self.submit(
+                    } else if target > snap.replication {
+                        buf_flush(&self.telemetry, &mut pending);
+                        if self.submit(
                             now,
                             ErmsTask::Increase {
                                 path: snap.path.clone(),
@@ -427,18 +483,20 @@ impl ErmsManager {
                             },
                             Priority::Immediate,
                             &mut report,
-                        )
-                    {
-                        trace!(
-                            self.telemetry,
-                            now,
-                            Tel::ReplicationBoost {
-                                path: snap.path.clone(),
-                                from: snap.replication as u32,
-                                to: target as u32,
-                                sessions: verdict.n_d,
-                            }
-                        );
+                        ) {
+                            buf_emit(
+                                &self.telemetry,
+                                &mut pending,
+                                batch,
+                                now,
+                                Tel::ReplicationBoost {
+                                    path: snap.path.clone(),
+                                    from: snap.replication as u32,
+                                    to: target as u32,
+                                    sessions: verdict.n_d,
+                                },
+                            );
+                        }
                     }
                 }
                 DataClass::Cooled => {
@@ -446,9 +504,9 @@ impl ErmsManager {
                     let streak = self.cooled_streak.entry(snap.path.clone()).or_insert(0);
                     *streak += 1;
                     let patient = *streak >= self.cfg.cooled_patience;
-                    if patient
-                        && snap.replication > default_r
-                        && self.submit(
+                    if patient && snap.replication > default_r {
+                        buf_flush(&self.telemetry, &mut pending);
+                        if self.submit(
                             now,
                             ErmsTask::Decrease {
                                 path: snap.path.clone(),
@@ -456,17 +514,19 @@ impl ErmsManager {
                             },
                             Priority::WhenIdle,
                             &mut report,
-                        )
-                    {
-                        trace!(
-                            self.telemetry,
-                            now,
-                            Tel::ReplicationShed {
-                                path: snap.path.clone(),
-                                from: snap.replication as u32,
-                                to: default_r as u32,
-                            }
-                        );
+                        ) {
+                            buf_emit(
+                                &self.telemetry,
+                                &mut pending,
+                                batch,
+                                now,
+                                Tel::ReplicationShed {
+                                    path: snap.path.clone(),
+                                    from: snap.replication as u32,
+                                    to: default_r as u32,
+                                },
+                            );
+                        }
                     }
                 }
                 DataClass::Cold => {
@@ -474,6 +534,7 @@ impl ErmsManager {
                     if self.cfg.enable_encode && !snap.encoded {
                         // `EncodeCold` is traced when the stripes land
                         // in `exec_encode`, not at submission.
+                        buf_flush(&self.telemetry, &mut pending);
                         self.submit(
                             now,
                             ErmsTask::Encode {
@@ -485,10 +546,10 @@ impl ErmsManager {
                     }
                 }
                 DataClass::Normal => {
-                    if fresh.contains(&snap.path)
-                        && !snap.encoded
-                        && snap.replication == default_r
-                        && self.submit(
+                    if fresh.contains(&snap.path) && !snap.encoded && snap.replication == default_r
+                    {
+                        buf_flush(&self.telemetry, &mut pending);
+                        if self.submit(
                             now,
                             ErmsTask::Increase {
                                 path: snap.path.clone(),
@@ -496,23 +557,26 @@ impl ErmsManager {
                             },
                             Priority::Immediate,
                             &mut report,
-                        )
-                    {
-                        trace!(
-                            self.telemetry,
-                            now,
-                            Tel::ReplicationBoost {
-                                path: snap.path.clone(),
-                                from: snap.replication as u32,
-                                to: (default_r + 1) as u32,
-                                sessions: verdict.n_d,
-                            }
-                        );
+                        ) {
+                            buf_emit(
+                                &self.telemetry,
+                                &mut pending,
+                                batch,
+                                now,
+                                Tel::ReplicationBoost {
+                                    path: snap.path.clone(),
+                                    from: snap.replication as u32,
+                                    to: (default_r + 1) as u32,
+                                    sessions: verdict.n_d,
+                                },
+                            );
+                        }
                     }
                 }
             }
             self.note_visit(snap, class, &verdict);
         }
+        buf_flush(&self.telemetry, &mut pending);
 
         // 5. dispatch + execute Condor tasks
         let idle = cluster.is_idle();
@@ -552,6 +616,7 @@ impl ErmsManager {
 
     fn snapshot_of(&self, meta: &hdfs_sim::namespace::FileMeta) -> FileSnapshot {
         FileSnapshot {
+            id: meta.id,
             path: meta.path.clone(),
             replication: meta.replication(),
             blocks: meta.blocks.clone(),
@@ -1235,7 +1300,9 @@ impl ErmsManager {
                     let sources: Vec<NodeId> = recovery
                         .read_from
                         .iter()
-                        .filter_map(|&s| cluster.blockmap().locations(shards[s]).first().copied())
+                        .filter_map(|&s| {
+                            cluster.blockmap().replica_nodes(shards[s]).first().copied()
+                        })
                         .collect();
                     if sources.len() < recovery.read_from.len() {
                         continue; // a survivor went dark mid-scan
@@ -1304,6 +1371,40 @@ fn class_name(class: DataClass) -> &'static str {
         DataClass::Cooled => "cooled",
         DataClass::Normal => "normal",
         DataClass::Cold => "cold",
+    }
+}
+
+/// Emit one trace event through the tick's batch buffer. With
+/// `telemetry_batch == 1` this is a plain [`TelemetrySink::emit`]; with a
+/// larger batch the event queues in `pending` and the sink is borrowed
+/// once per `batch` events via [`TelemetrySink::emit_many`]. Events keep
+/// their push order either way, so batching never changes the trace —
+/// provided [`buf_flush`] runs before anything that writes to the sink
+/// directly (Condor's submit trace, the cluster's copy traces).
+fn buf_emit(
+    sink: &TelemetrySink,
+    pending: &mut Vec<(SimTime, Tel)>,
+    batch: usize,
+    now: SimTime,
+    event: Tel,
+) {
+    if !sink.enabled() {
+        return;
+    }
+    if batch <= 1 {
+        sink.emit(now, event);
+    } else {
+        pending.push((now, event));
+        if pending.len() >= batch {
+            sink.emit_many(pending.drain(..));
+        }
+    }
+}
+
+/// Drain the batch buffer into the sink, preserving order.
+fn buf_flush(sink: &TelemetrySink, pending: &mut Vec<(SimTime, Tel)>) {
+    if !pending.is_empty() {
+        sink.emit_many(pending.drain(..));
     }
 }
 
@@ -1842,7 +1943,7 @@ mod tests {
 
         let victim = c
             .blockmap()
-            .locations(c.namespace().file(f).unwrap().blocks[0])[0];
+            .replica_nodes(c.namespace().file(f).unwrap().blocks[0])[0];
         let (degraded, lost) = c.kill_node(victim);
         assert!(!degraded.is_empty());
         assert!(lost.is_empty(), "3-way replication survives one kill");
@@ -1869,7 +1970,7 @@ mod tests {
         c.run_until_quiescent();
         let victim = c
             .blockmap()
-            .locations(c.namespace().file(f).unwrap().blocks[0])[0];
+            .replica_nodes(c.namespace().file(f).unwrap().blocks[0])[0];
         c.kill_node(victim);
         for _ in 0..4 {
             let now = c.now();
@@ -1911,7 +2012,7 @@ mod tests {
 
         // kill the single holder of the first data block
         let b0 = c.namespace().file(f).unwrap().blocks[0];
-        let victim = c.blockmap().locations(b0)[0];
+        let victim = c.blockmap().replica_nodes(b0)[0];
         let (_, lost) = c.kill_node(victim);
         assert!(lost.contains(&b0), "encoded data block went dark");
         assert!(
@@ -2311,7 +2412,7 @@ mod tests {
         let f = c.create_file("/data", 64 * MB, 3, None).unwrap();
         c.run_until_quiescent();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let victim = c.blockmap().locations(b)[0];
+        let victim = c.blockmap().replica_nodes(b)[0];
         assert!(c.corrupt_replica(victim, 0, false));
         assert_eq!(c.latent_corrupt_count(), 1);
 
@@ -2358,7 +2459,7 @@ mod tests {
         let f = c.create_file("/data", 64 * MB, 3, None).unwrap();
         c.run_until_quiescent();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let victim = c.blockmap().locations(b)[0];
+        let victim = c.blockmap().replica_nodes(b)[0];
         assert!(c.corrupt_replica(victim, 0, false));
         // cripple the cluster so the repair copy crawls
         for n in c.topology().nodes().collect::<Vec<_>>() {
@@ -2386,7 +2487,7 @@ mod tests {
         let f = c.create_file("/data", 64 * MB, 3, None).unwrap();
         c.run_until_quiescent();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let victim = c.blockmap().locations(b)[0];
+        let victim = c.blockmap().replica_nodes(b)[0];
         assert!(c.corrupt_replica(victim, 0, false));
         let now = c.now();
         let r = m.tick(&mut c, now); // detect + quarantine + submit
@@ -2396,7 +2497,7 @@ mod tests {
                              // into the transfer window, then kill the copy's landing node:
                              // torn-crash non-holders until the in-flight copy registers
         c.run_until(c.now() + SimDuration::from_millis(3050));
-        let holders = c.blockmap().locations(b);
+        let holders = c.blockmap().replica_nodes(b).to_vec();
         let latent_before = c.latent_corrupt_count();
         let mut died = None;
         for i in 0..c.config().datanodes {

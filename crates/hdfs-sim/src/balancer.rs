@@ -104,7 +104,7 @@ pub fn plan_moves(cluster: &ClusterSim, threshold: f64) -> Vec<Move> {
         .nodes
         .iter()
         .map(|&(n, _, _)| {
-            let blocks: Vec<BlockId> = cluster.blockmap_blocks_on(n).into_iter().collect();
+            let blocks: Vec<BlockId> = cluster.node_blocks(n).collect();
             (n, blocks)
         })
         .collect();

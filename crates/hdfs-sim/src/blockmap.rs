@@ -1,8 +1,15 @@
-//! The block → replica-locations map.
+//! The block → replica-locations map, in columnar layout.
 //!
 //! The namenode side of replication: which datanodes hold each block,
 //! plus derived under-/over-replication queries that drive both HDFS's
 //! own re-replication after failures and ERMS's elastic actions.
+//!
+//! Block ids are minted from the namespace's monotone counter, so they
+//! are **dense** — the map stores its state as columns indexed by
+//! `BlockId.0` (a sorted replica list per block, a target per block)
+//! instead of hash- or tree-keyed records. Lookups are O(1) array
+//! loads, scans walk contiguous memory in id order, and the checkpoint
+//! section serializes the columns as parallel arrays.
 //!
 //! Alongside the raw locations the map keeps a **deficit index**: each
 //! block's replication *target* (registered by the cluster as files are
@@ -14,20 +21,21 @@
 //! the whole map; the closure-driven
 //! [`under_replicated`](BlockMap::under_replicated) /
 //! [`over_replicated`](BlockMap::over_replicated) scans remain as the
-//! brute-force reference
-//! the property tests compare the index against.
+//! brute-force reference the property tests compare the index against.
 
 use crate::block::BlockId;
 use crate::topology::NodeId;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 #[derive(Debug, Default)]
 pub struct BlockMap {
-    locations: BTreeMap<BlockId, BTreeSet<NodeId>>,
-    /// Desired replica count per block (absent = untracked: the block
-    /// never appears in the derived sets, matching the closure scans'
-    /// `unknown → skip` conventions).
-    targets: BTreeMap<BlockId, usize>,
+    /// Column: replica holders per block, sorted by node id, indexed by
+    /// `BlockId.0`. An empty row means zero live replicas.
+    locations: Vec<Vec<NodeId>>,
+    /// Column: desired replica count per block, indexed by `BlockId.0`
+    /// (`None` = untracked: the block never appears in the derived
+    /// sets, matching the closure scans' `unknown → skip` conventions).
+    targets: Vec<Option<u32>>,
     /// Tracked blocks with `0 < replicas < target`.
     under: BTreeSet<BlockId>,
     /// Tracked blocks with `replicas > target`.
@@ -35,38 +43,64 @@ pub struct BlockMap {
     /// Tracked blocks with zero live replicas (lost unless parity or a
     /// retained crashed disk can bring them back).
     dark: BTreeSet<BlockId>,
+    /// Blocks with at least one live replica.
+    live_blocks: usize,
+    /// Total replica records (Σ per-block row lengths).
+    replicas: usize,
 }
+
+const NO_NODES: &[NodeId] = &[];
 
 impl BlockMap {
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Grow the columns to cover `block`.
+    fn ensure(&mut self, block: BlockId) -> usize {
+        let i = block.0 as usize;
+        if i >= self.locations.len() {
+            self.locations.resize_with(i + 1, Vec::new);
+            self.targets.resize(i + 1, None);
+        }
+        i
+    }
+
     /// Record a replica. Returns false if it was already recorded.
     pub fn add(&mut self, block: BlockId, node: NodeId) -> bool {
-        let added = self.locations.entry(block).or_default().insert(node);
-        if added {
-            self.reindex(block);
+        let i = self.ensure(block);
+        let row = &mut self.locations[i];
+        match row.binary_search(&node) {
+            Ok(_) => false,
+            Err(pos) => {
+                if row.is_empty() {
+                    self.live_blocks += 1;
+                }
+                row.insert(pos, node);
+                self.replicas += 1;
+                self.reindex(block);
+                true
+            }
         }
-        added
     }
 
     /// Remove a replica record. Returns false if it was not present.
     pub fn remove(&mut self, block: BlockId, node: NodeId) -> bool {
-        let removed = match self.locations.get_mut(&block) {
-            Some(set) => {
-                let removed = set.remove(&node);
-                if set.is_empty() {
-                    self.locations.remove(&block);
-                }
-                removed
-            }
-            None => false,
+        let Some(row) = self.locations.get_mut(block.0 as usize) else {
+            return false;
         };
-        if removed {
-            self.reindex(block);
+        match row.binary_search(&node) {
+            Ok(pos) => {
+                row.remove(pos);
+                self.replicas -= 1;
+                if row.is_empty() {
+                    self.live_blocks -= 1;
+                }
+                self.reindex(block);
+                true
+            }
+            Err(_) => false,
         }
-        removed
     }
 
     /// Register the desired replica count for a block, entering it into
@@ -74,62 +108,83 @@ impl BlockMap {
     /// target changes: file create, `setReplication`, parity placement,
     /// encode (data targets drop to 1) and decode.
     pub fn set_target(&mut self, block: BlockId, target: usize) {
-        self.targets.insert(block, target);
+        let i = self.ensure(block);
+        self.targets[i] = Some(target as u32);
         self.reindex(block);
     }
 
     /// The registered replication target for a block, if any.
     pub fn target(&self, block: BlockId) -> Option<usize> {
-        self.targets.get(&block).copied()
+        self.targets
+            .get(block.0 as usize)
+            .copied()
+            .flatten()
+            .map(|t| t as usize)
     }
 
     /// Forget a block entirely (file deleted).
     pub fn drop_block(&mut self, block: BlockId) {
-        self.locations.remove(&block);
-        self.targets.remove(&block);
+        if let Some(row) = self.locations.get_mut(block.0 as usize) {
+            if !row.is_empty() {
+                self.live_blocks -= 1;
+                self.replicas -= row.len();
+                row.clear();
+            }
+        }
+        if let Some(t) = self.targets.get_mut(block.0 as usize) {
+            *t = None;
+        }
         self.under.remove(&block);
         self.over.remove(&block);
         self.dark.remove(&block);
     }
 
     /// Recompute one block's membership in the derived sets after its
-    /// replica count or target changed. O(log n).
+    /// replica count or target changed. O(log deficient).
     fn reindex(&mut self, block: BlockId) {
-        let Some(&target) = self.targets.get(&block) else {
+        let Some(target) = self.target(block) else {
             self.under.remove(&block);
             self.over.remove(&block);
             self.dark.remove(&block);
             return;
         };
-        let count = self.locations.get(&block).map_or(0, BTreeSet::len);
+        let count = self.replica_count(block);
         set_membership(&mut self.dark, block, count == 0);
         set_membership(&mut self.under, block, count > 0 && count < target);
         set_membership(&mut self.over, block, count > target);
     }
 
-    /// Nodes currently holding `block`, in id order.
-    pub fn locations(&self, block: BlockId) -> Vec<NodeId> {
+    /// Nodes currently holding `block`, in id order — a borrowed view
+    /// straight into the column, no allocation.
+    pub fn replica_nodes(&self, block: BlockId) -> &[NodeId] {
         self.locations
-            .get(&block)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+            .get(block.0 as usize)
+            .map_or(NO_NODES, Vec::as_slice)
+    }
+
+    /// Nodes currently holding `block`, in id order.
+    #[deprecated(note = "use `replica_nodes`, which borrows the column instead of allocating")]
+    pub fn locations(&self, block: BlockId) -> Vec<NodeId> {
+        self.replica_nodes(block).to_vec()
     }
 
     pub fn replica_count(&self, block: BlockId) -> usize {
-        self.locations.get(&block).map_or(0, BTreeSet::len)
+        self.locations.get(block.0 as usize).map_or(0, Vec::len)
     }
 
     /// Iterate every (block, replica locations) pair in id order. Blocks
     /// with zero live replicas have no entry — finding those requires
     /// the namespace.
-    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BTreeSet<NodeId>)> + '_ {
-        self.locations.iter().map(|(&b, locs)| (b, locs))
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &[NodeId])> + '_ {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| !row.is_empty())
+            .map(|(i, row)| (BlockId(i as u64), row.as_slice()))
     }
 
     pub fn holds(&self, block: BlockId, node: NodeId) -> bool {
-        self.locations
-            .get(&block)
-            .is_some_and(|s| s.contains(&node))
+        self.replica_nodes(block).binary_search(&node).is_ok()
     }
 
     /// Every (block, deficit) with fewer than `want(block)` replicas.
@@ -142,9 +197,8 @@ impl BlockMap {
         &self,
         mut want: impl FnMut(BlockId) -> usize,
     ) -> Vec<(BlockId, usize)> {
-        self.locations
-            .iter()
-            .filter_map(|(&b, locs)| {
+        self.blocks()
+            .filter_map(|(b, locs)| {
                 let target = want(b);
                 (locs.len() < target).then(|| (b, target - locs.len()))
             })
@@ -155,9 +209,8 @@ impl BlockMap {
     /// Brute-force counterpart of
     /// [`over_replicated_indexed`](Self::over_replicated_indexed).
     pub fn over_replicated(&self, mut want: impl FnMut(BlockId) -> usize) -> Vec<(BlockId, usize)> {
-        self.locations
-            .iter()
-            .filter_map(|(&b, locs)| {
+        self.blocks()
+            .filter_map(|(b, locs)| {
                 let target = want(b);
                 (locs.len() > target).then(|| (b, locs.len() - target))
             })
@@ -172,8 +225,8 @@ impl BlockMap {
         self.under
             .iter()
             .map(|&b| {
-                let count = self.locations.get(&b).map_or(0, BTreeSet::len);
-                (b, self.targets[&b] - count)
+                let target = self.target(b).unwrap_or(0);
+                (b, target - self.replica_count(b))
             })
             .collect()
     }
@@ -183,8 +236,8 @@ impl BlockMap {
         self.over
             .iter()
             .map(|&b| {
-                let count = self.locations.get(&b).map_or(0, BTreeSet::len);
-                (b, count - self.targets[&b])
+                let target = self.target(b).unwrap_or(0);
+                (b, self.replica_count(b) - target)
             })
             .collect()
     }
@@ -203,8 +256,9 @@ impl BlockMap {
         let affected: Vec<BlockId> = self
             .locations
             .iter()
-            .filter(|(_, locs)| locs.contains(&node))
-            .map(|(&b, _)| b)
+            .enumerate()
+            .filter(|(_, row)| row.binary_search(&node).is_ok())
+            .map(|(i, _)| BlockId(i as u64))
             .collect();
         for b in affected {
             self.remove(b, node);
@@ -217,39 +271,50 @@ impl BlockMap {
         (degraded, lost)
     }
 
+    /// Blocks with at least one live replica.
     pub fn num_blocks(&self) -> usize {
-        self.locations.len()
+        self.live_blocks
     }
 
     /// Total replica records (Σ per-block locations).
     pub fn total_replicas(&self) -> usize {
-        self.locations.values().map(BTreeSet::len).sum()
+        self.replicas
     }
 }
 
 impl checkpoint::Checkpointable for BlockMap {
     fn save_state(&self) -> checkpoint::Value {
-        use checkpoint::codec::{seq_of, MapBuilder};
+        use checkpoint::codec::MapBuilder;
         use checkpoint::Value;
-        // Only the raw facts are stored; the under/over/dark derived
+        // Only the raw facts are stored — the under/over/dark derived
         // sets are recomputed on load via the same `reindex` path the
-        // live mutations use.
+        // live mutations use — and they go on the wire **columnar**:
+        // the replica lists as (block ids, row ends, flat node column),
+        // the targets as two parallel arrays.
+        let mut blocks = Vec::with_capacity(self.live_blocks);
+        let mut row_ends = Vec::with_capacity(self.live_blocks);
+        let mut nodes = Vec::with_capacity(self.replicas);
+        let mut end = 0u64;
+        for (b, row) in self.blocks() {
+            blocks.push(Value::U64(b.0));
+            end += row.len() as u64;
+            row_ends.push(Value::U64(end));
+            nodes.extend(row.iter().map(|n| Value::U64(u64::from(n.0))));
+        }
+        let mut target_blocks = Vec::new();
+        let mut target_values = Vec::new();
+        for (i, t) in self.targets.iter().enumerate() {
+            if let Some(t) = t {
+                target_blocks.push(Value::U64(i as u64));
+                target_values.push(Value::U64(u64::from(*t)));
+            }
+        }
         MapBuilder::new()
-            .put(
-                "locations",
-                seq_of(self.locations.iter(), |(b, locs)| {
-                    Value::Seq(vec![
-                        Value::U64(b.0),
-                        Value::Seq(locs.iter().map(|n| Value::U64(u64::from(n.0))).collect()),
-                    ])
-                }),
-            )
-            .put(
-                "targets",
-                seq_of(self.targets.iter(), |(b, t)| {
-                    Value::Seq(vec![Value::U64(b.0), Value::U64(*t as u64)])
-                }),
-            )
+            .put("blocks", Value::Seq(blocks))
+            .put("row_ends", Value::Seq(row_ends))
+            .put("nodes", Value::Seq(nodes))
+            .put("target_blocks", Value::Seq(target_blocks))
+            .put("target_values", Value::Seq(target_values))
             .build()
     }
 
@@ -260,34 +325,42 @@ impl checkpoint::Checkpointable for BlockMap {
         self.under.clear();
         self.over.clear();
         self.dark.clear();
-        for pair in c::get_seq(state, "locations")? {
-            let items = c::as_seq(pair, "locations[]")?;
-            if items.len() != 2 {
+        self.live_blocks = 0;
+        self.replicas = 0;
+        let blocks = c::get_seq(state, "blocks")?;
+        let row_ends = c::get_seq(state, "row_ends")?;
+        let nodes = c::get_seq(state, "nodes")?;
+        if blocks.len() != row_ends.len() {
+            return Err(checkpoint::CheckpointError::Corrupt(
+                "blocks and row_ends columns differ in length".into(),
+            ));
+        }
+        let mut start = 0usize;
+        for (bv, ev) in blocks.iter().zip(row_ends) {
+            let b = BlockId(c::as_u64(bv, "blocks[]")?);
+            let end = c::as_u64(ev, "row_ends[]")? as usize;
+            if end < start || end > nodes.len() {
                 return Err(checkpoint::CheckpointError::Corrupt(
-                    "locations entry is not a (block, nodes) pair".into(),
+                    "row_ends column is not a monotone prefix sum".into(),
                 ));
             }
-            let b = BlockId(c::as_u64(&items[0], "locations[].block")?);
-            let nodes = c::as_seq(&items[1], "locations[].nodes")?
-                .iter()
-                .map(|v| c::as_u64(v, "locations[].nodes[]").map(|n| NodeId(n as u32)))
-                .collect::<Result<BTreeSet<_>, _>>()?;
-            self.locations.insert(b, nodes);
-        }
-        for pair in c::get_seq(state, "targets")? {
-            let items = c::as_seq(pair, "targets[]")?;
-            if items.len() != 2 {
-                return Err(checkpoint::CheckpointError::Corrupt(
-                    "targets entry is not a (block, target) pair".into(),
-                ));
+            for nv in &nodes[start..end] {
+                let n = NodeId(c::as_u64(nv, "nodes[]")? as u32);
+                self.add(b, n);
             }
-            let b = BlockId(c::as_u64(&items[0], "targets[].block")?);
-            let t = c::as_u64(&items[1], "targets[].target")? as usize;
-            self.targets.insert(b, t);
+            start = end;
         }
-        let tracked: Vec<BlockId> = self.targets.keys().copied().collect();
-        for b in tracked {
-            self.reindex(b);
+        let target_blocks = c::get_seq(state, "target_blocks")?;
+        let target_values = c::get_seq(state, "target_values")?;
+        if target_blocks.len() != target_values.len() {
+            return Err(checkpoint::CheckpointError::Corrupt(
+                "target columns differ in length".into(),
+            ));
+        }
+        for (bv, tv) in target_blocks.iter().zip(target_values) {
+            let b = BlockId(c::as_u64(bv, "target_blocks[]")?);
+            let t = c::as_u64(tv, "target_values[]")? as usize;
+            self.set_target(b, t);
         }
         Ok(())
     }
@@ -312,12 +385,22 @@ mod tests {
         assert!(bm.add(BlockId(1), NodeId(0)));
         assert!(!bm.add(BlockId(1), NodeId(0)), "duplicate");
         bm.add(BlockId(1), NodeId(2));
-        assert_eq!(bm.locations(BlockId(1)), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(bm.replica_nodes(BlockId(1)), &[NodeId(0), NodeId(2)]);
         assert_eq!(bm.replica_count(BlockId(1)), 2);
         assert!(bm.holds(BlockId(1), NodeId(2)));
         assert!(bm.remove(BlockId(1), NodeId(0)));
         assert!(!bm.remove(BlockId(1), NodeId(0)));
         assert_eq!(bm.replica_count(BlockId(1)), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_locations_shim_matches_replica_nodes() {
+        let mut bm = BlockMap::new();
+        bm.add(BlockId(3), NodeId(4));
+        bm.add(BlockId(3), NodeId(1));
+        assert_eq!(bm.locations(BlockId(3)), bm.replica_nodes(BlockId(3)));
+        assert!(bm.locations(BlockId(99)).is_empty());
     }
 
     #[test]
@@ -364,9 +447,27 @@ mod tests {
     #[test]
     fn empty_block_queries() {
         let bm = BlockMap::new();
-        assert!(bm.locations(BlockId(9)).is_empty());
+        assert!(bm.replica_nodes(BlockId(9)).is_empty());
         assert_eq!(bm.replica_count(BlockId(9)), 0);
         assert!(!bm.holds(BlockId(9), NodeId(0)));
+    }
+
+    #[test]
+    fn blocks_iterates_live_rows_in_id_order() {
+        let mut bm = BlockMap::new();
+        bm.add(BlockId(5), NodeId(0));
+        bm.add(BlockId(2), NodeId(1));
+        bm.add(BlockId(2), NodeId(0));
+        bm.set_target(BlockId(7), 3); // tracked but dark: no row
+        let rows: Vec<(BlockId, Vec<NodeId>)> =
+            bm.blocks().map(|(b, locs)| (b, locs.to_vec())).collect();
+        assert_eq!(
+            rows,
+            vec![
+                (BlockId(2), vec![NodeId(0), NodeId(1)]),
+                (BlockId(5), vec![NodeId(0)]),
+            ]
+        );
     }
 
     #[test]
@@ -433,6 +534,30 @@ mod tests {
         assert_eq!(bm.dark_blocks().collect::<Vec<_>>(), vec![BlockId(2)]);
     }
 
+    #[test]
+    fn columnar_checkpoint_roundtrip() {
+        use checkpoint::Checkpointable;
+        let mut bm = BlockMap::new();
+        bm.set_target(BlockId(0), 2);
+        bm.set_target(BlockId(3), 1);
+        bm.add(BlockId(0), NodeId(1));
+        bm.add(BlockId(3), NodeId(0));
+        bm.add(BlockId(3), NodeId(2));
+        bm.add(BlockId(5), NodeId(4)); // untracked but live
+        let wire = bm.save_state();
+        let mut back = BlockMap::new();
+        back.load_state(&wire).unwrap();
+        assert_eq!(back.num_blocks(), bm.num_blocks());
+        assert_eq!(back.total_replicas(), bm.total_replicas());
+        assert_eq!(back.replica_nodes(BlockId(3)), bm.replica_nodes(BlockId(3)));
+        assert_eq!(back.target(BlockId(0)), Some(2));
+        assert_eq!(
+            back.under_replicated_indexed(),
+            bm.under_replicated_indexed()
+        );
+        assert_eq!(back.save_state(), wire, "re-save is bit-identical");
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -478,6 +603,11 @@ mod tests {
                         .filter(|&b| bm.target(b).is_some() && bm.replica_count(b) == 0)
                         .collect();
                     prop_assert_eq!(bm.dark_blocks().collect::<Vec<_>>(), dark_ref);
+
+                    let live = bm.blocks().count();
+                    prop_assert_eq!(bm.num_blocks(), live);
+                    let total: usize = bm.blocks().map(|(_, locs)| locs.len()).sum();
+                    prop_assert_eq!(bm.total_replicas(), total);
                 }
             }
         }

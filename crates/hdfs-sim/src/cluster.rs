@@ -465,7 +465,12 @@ impl ClusterSim {
     pub fn node_holds(&self, n: NodeId, b: BlockId) -> bool {
         self.nodes[n.0 as usize].holds(b)
     }
-    /// Blocks stored on a node, in id order.
+    /// Blocks stored on a node, in id order. Borrows the node's sorted
+    /// block column; collect only if you need ownership.
+    pub fn node_blocks(&self, n: NodeId) -> impl Iterator<Item = BlockId> + '_ {
+        self.nodes[n.0 as usize].blocks()
+    }
+    #[deprecated(note = "use `node_blocks`, which iterates the column instead of allocating")]
     pub fn blockmap_blocks_on(&self, n: NodeId) -> Vec<BlockId> {
         self.nodes[n.0 as usize].blocks().collect()
     }
@@ -785,7 +790,7 @@ impl ClusterSim {
             .collect();
         self.namespace.delete_file(id).expect("resolved file");
         for (&b, &len) in all_blocks.iter().zip(&lens) {
-            for n in self.blockmap.locations(b) {
+            for n in self.blockmap.replica_nodes(b) {
                 self.nodes[n.0 as usize].remove_block(b, len);
             }
             self.blockmap.drop_block(b);
@@ -936,8 +941,9 @@ impl ClusterSim {
         let reader = req.reader;
         let holders: Vec<NodeId> = self
             .blockmap
-            .locations(block)
-            .into_iter()
+            .replica_nodes(block)
+            .iter()
+            .copied()
             .filter(|&n| self.nodes[n.0 as usize].is_serving())
             .collect();
         if holders.is_empty() {
@@ -1083,8 +1089,9 @@ impl ClusterSim {
         }
         // a serving source must exist now (it is re-picked at dispatch)
         self.blockmap
-            .locations(block)
-            .into_iter()
+            .replica_nodes(block)
+            .iter()
+            .copied()
             .find(|&n| self.nodes[n.0 as usize].is_serving())?;
         self.copy_load[target.0 as usize] += 1;
         let id = CopyId(self.next_copy);
@@ -1134,8 +1141,9 @@ impl ClusterSim {
                 && self.nodes[ti].free() >= len;
             let holders: Vec<NodeId> = self
                 .blockmap
-                .locations(block)
-                .into_iter()
+                .replica_nodes(block)
+                .iter()
+                .copied()
                 .filter(|&n| self.nodes[n.0 as usize].is_serving())
                 .collect();
             if !target_ok || holders.is_empty() {
@@ -1210,12 +1218,12 @@ impl ClusterSim {
         let Some(info) = self.namespace.block(block).copied() else {
             return Vec::new();
         };
-        let locs = self.blockmap.locations(block);
+        let locs = self.blockmap.replica_nodes(block);
         let racks: Vec<RackId> = locs.iter().map(|&n| self.topology.rack_of(n)).collect();
         let views = self.node_views(Some(block), Some(info.file));
         let ctx = PlacementContext {
             views: &views,
-            replica_locations: &locs,
+            replica_locations: locs,
             replica_racks: &racks,
             default_replication: self.cfg.default_replication,
             writer: None,
@@ -1251,12 +1259,12 @@ impl ClusterSim {
         let Some(info) = self.namespace.block(block).copied() else {
             return 0;
         };
-        let locs = self.blockmap.locations(block);
+        let locs = self.blockmap.replica_nodes(block);
         let racks: Vec<RackId> = locs.iter().map(|&n| self.topology.rack_of(n)).collect();
         let views = self.node_views(Some(block), Some(info.file));
         let ctx = PlacementContext {
             views: &views,
-            replica_locations: &locs,
+            replica_locations: locs,
             replica_racks: &racks,
             default_replication: self.cfg.default_replication,
             writer: None,
@@ -1357,7 +1365,7 @@ impl ClusterSim {
         self.mark_dirty(file);
         for p in parities {
             let len = self.block_len_or_zero(p);
-            for n in self.blockmap.locations(p) {
+            for n in self.blockmap.replica_nodes(p) {
                 self.nodes[n.0 as usize].remove_block(p, len);
             }
             self.blockmap.drop_block(p);
@@ -1930,8 +1938,9 @@ impl ClusterSim {
     fn verify_block_replicas(&mut self, block: BlockId) -> usize {
         let bad: Vec<NodeId> = self
             .blockmap
-            .locations(block)
-            .into_iter()
+            .replica_nodes(block)
+            .iter()
+            .copied()
             .filter(|&n| self.latent_corrupt.contains_key(&(block, n)))
             .collect();
         for n in &bad {
@@ -3311,6 +3320,20 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_blocks_on_shim_matches_node_blocks() {
+        let mut c = sim();
+        c.create_file("/shim", 128 * MB, 3, Some(NodeId(0)))
+            .unwrap();
+        c.run_until_quiescent();
+        for n in 0..c.nodes.len() {
+            let n = NodeId(n as u32);
+            let new: Vec<BlockId> = c.node_blocks(n).collect();
+            assert_eq!(c.blockmap_blocks_on(n), new);
+        }
+    }
+
+    #[test]
     fn checkpoint_mid_flight_resumes_identically() {
         use checkpoint::Checkpointable;
         // Drive two runs from the same script; checkpoint one mid-read
@@ -3562,7 +3585,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 3, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let victim = c.blockmap().locations(b)[0];
+        let victim = c.blockmap().replica_nodes(b)[0];
         c.kill_node(victim);
         assert_eq!(c.blockmap().replica_count(b), 2);
         let copies = c.repair_under_replicated();
@@ -3602,7 +3625,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 1, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let holder = c.blockmap().locations(b)[0];
+        let holder = c.blockmap().replica_nodes(b)[0];
         c.kill_node(holder);
         c.open_read(Endpoint::Client(ClientId(1)), "/f").unwrap();
         c.run_until_quiescent();
@@ -3717,7 +3740,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 128 * MB, 3, None).unwrap();
         let blocks = c.namespace().file(f).unwrap().blocks.clone();
-        let victim = c.blockmap().locations(blocks[0])[0];
+        let victim = c.blockmap().replica_nodes(blocks[0])[0];
         let held = c.node_block_count(victim);
         assert!(held > 0);
         let copies = c.decommission(victim);
@@ -3753,7 +3776,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 128 * MB, 3, Some(NodeId(0))).unwrap();
         let blocks = c.namespace().file(f).unwrap().blocks.clone();
-        let victim = c.blockmap().locations(blocks[0])[0];
+        let victim = c.blockmap().replica_nodes(blocks[0])[0];
         let held = c.node_block_count(victim);
         let used_before = c.storage_used();
         assert!(c.crash_node(victim));
@@ -3776,7 +3799,7 @@ mod tests {
         let f = c.create_file("/keep", 64 * MB, 3, Some(NodeId(0))).unwrap();
         c.create_file("/gone", 64 * MB, 3, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let victim = c.blockmap().locations(b)[0];
+        let victim = c.blockmap().replica_nodes(b)[0];
         c.crash_node(victim);
         // while the node is down: the file is deleted and the block repaired
         assert!(c.delete_file("/gone"));
@@ -3804,7 +3827,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 1, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let holder = c.blockmap().locations(b)[0];
+        let holder = c.blockmap().replica_nodes(b)[0];
         c.run_until(SimTime::from_secs(10));
         c.crash_node(holder);
         assert_eq!(c.durability().open_windows(), 1, "sole replica went dark");
@@ -3826,7 +3849,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 1, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let holder = c.blockmap().locations(b)[0];
+        let holder = c.blockmap().replica_nodes(b)[0];
         let (degraded, lost) = c.kill_node(holder);
         assert!(degraded.is_empty());
         assert_eq!(lost, vec![b]);
@@ -3839,7 +3862,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 1, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let holder = c.blockmap().locations(b)[0];
+        let holder = c.blockmap().replica_nodes(b)[0];
         c.crash_node(holder);
         assert!(c.durability().loss_events().is_empty(), "still on the disk");
         c.kill_node(holder);
@@ -3853,7 +3876,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 1, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let holder = c.blockmap().locations(b)[0];
+        let holder = c.blockmap().replica_nodes(b)[0];
         let orphans = c.power_off(holder).unwrap_err();
         assert_eq!(orphans, vec![b]);
         assert_eq!(c.node_state(holder), NodeState::Active, "unchanged");
@@ -3872,7 +3895,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 1, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let holder = c.blockmap().locations(b)[0];
+        let holder = c.blockmap().replica_nodes(b)[0];
         let empty = NodeId(if holder.0 == 17 { 16 } else { 17 });
         c.designate_standby(&[holder, empty]);
         assert_eq!(c.node_state(holder), NodeState::Active, "refused");
@@ -3886,7 +3909,7 @@ mod tests {
         // single remote replica: the client read crosses the rack uplink
         let f = c.create_file("/f", 64 * MB, 1, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let holder = c.blockmap().locations(b)[0];
+        let holder = c.blockmap().replica_nodes(b)[0];
         let rack = c.topology().rack_of(holder);
         let r = c.open_read(Endpoint::Client(ClientId(1)), "/f").unwrap();
         c.run_until(SimTime::from_millis(100));
@@ -3912,7 +3935,7 @@ mod tests {
         let holder = {
             let f = c.namespace().resolve("/f").unwrap();
             let b = c.namespace().file(f).unwrap().blocks[0];
-            c.blockmap().locations(b)[0]
+            c.blockmap().replica_nodes(b)[0]
         };
         c.open_read(Endpoint::Client(ClientId(1)), "/f").unwrap();
         c.run_until_quiescent();
@@ -3939,7 +3962,7 @@ mod tests {
         let (p0, _) = c.place_parity_block(f, 0, 64 * MB).unwrap();
         let (p1, _) = c.place_parity_block(f, 1, 64 * MB).unwrap();
         c.mark_encoded(f, vec![p0, p1]);
-        let holder = c.blockmap().locations(b)[0];
+        let holder = c.blockmap().replica_nodes(b)[0];
         c.kill_node(holder);
         assert_eq!(c.blockmap().replica_count(b), 0);
         assert!(
@@ -3977,7 +4000,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 2, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let locs = c.blockmap().locations(b);
+        let locs = c.blockmap().replica_nodes(b).to_vec();
         let target = locs[0];
         assert!(
             c.reconstruct_block(b, &[locs[1]], target).is_none(),
@@ -3996,7 +4019,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 3, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let victim = c.blockmap().locations(b)[0];
+        let victim = c.blockmap().replica_nodes(b)[0];
         c.kill_node(victim);
         let copies = c.repair_under_replicated();
         assert_eq!(copies.len(), 1);
@@ -4015,7 +4038,7 @@ mod tests {
         let b = c.namespace().file(f).unwrap().blocks[0];
         // corrupt every replica but one: whichever source the read picks
         // first, it can only finish cleanly from the one clean copy
-        let locs = c.blockmap().locations(b);
+        let locs = c.blockmap().replica_nodes(b).to_vec();
         for &n in &locs[..2] {
             assert!(c.corrupt_replica(n, 0, false));
         }
@@ -4041,7 +4064,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/f", 64 * MB, 3, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        for n in c.blockmap().locations(b) {
+        for &n in c.blockmap().replica_nodes(b).to_vec().iter() {
             assert!(c.corrupt_replica(n, 0, false));
         }
         // a scrub sweep detects and quarantines all three; with zero
@@ -4060,7 +4083,7 @@ mod tests {
         let blocks = c.namespace().file(f).unwrap().blocks.clone();
         assert_eq!(blocks.len(), 4);
         let last = *blocks.last().unwrap();
-        let victim = c.blockmap().locations(last)[0];
+        let victim = c.blockmap().replica_nodes(last)[0];
         assert!(c.corrupt_replica(victim, last.0, false));
         let corrupted = blocks
             .iter()
@@ -4095,7 +4118,7 @@ mod tests {
         let f = c.create_file("/hot", 256 * MB, 3, Some(NodeId(0))).unwrap();
         let blocks = c.namespace().file(f).unwrap().blocks.clone();
         let hot = *blocks.last().unwrap();
-        let victim = c.blockmap().locations(hot)[0];
+        let victim = c.blockmap().replica_nodes(hot)[0];
         assert!(c.corrupt_replica(victim, hot.0, false));
         let corrupted = blocks
             .iter()
@@ -4115,7 +4138,7 @@ mod tests {
         let mut c = sim();
         let f = c.create_file("/t", 64 * MB, 2, Some(NodeId(0))).unwrap();
         let b = c.namespace().file(f).unwrap().blocks[0];
-        let holders = c.blockmap().locations(b);
+        let holders = c.blockmap().replica_nodes(b).to_vec();
         let copies = c.add_replicas(b, 1);
         assert_eq!(copies.len(), 1);
         // let the replication monitor dispatch the staged copy, then
@@ -4157,7 +4180,7 @@ mod tests {
         let f = c.create_file("/f", 256 * MB, 3, Some(NodeId(0))).unwrap();
         let blocks = c.namespace().file(f).unwrap().blocks.clone();
         let b0 = blocks[0];
-        let victim = c.blockmap().locations(b0)[0];
+        let victim = c.blockmap().replica_nodes(b0)[0];
         assert!(c.corrupt_replica(victim, 0, false));
         let (scanned, _) = c.scrub(2, &[]);
         assert_eq!(scanned, 2);

@@ -11,7 +11,7 @@
 use crate::block::BlockId;
 use crate::topology::NodeId;
 use simcore::units::Bytes;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Power/service state of a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +34,10 @@ pub struct DataNode {
     pub state: NodeState,
     pub capacity: Bytes,
     used: Bytes,
-    blocks: BTreeSet<BlockId>,
+    /// Replica list kept sorted by block id — a dense column rather
+    /// than a tree, since membership checks are binary searches and
+    /// scans (checkpoint, crash drain) walk it front to back.
+    blocks: Vec<BlockId>,
     /// Sessions currently being served.
     active_sessions: usize,
     pub max_sessions: usize,
@@ -53,7 +56,7 @@ impl DataNode {
             state,
             capacity,
             used: 0,
-            blocks: BTreeSet::new(),
+            blocks: Vec::new(),
             active_sessions: 0,
             max_sessions,
             wait_queue: VecDeque::new(),
@@ -74,7 +77,7 @@ impl DataNode {
     }
 
     pub fn holds(&self, block: BlockId) -> bool {
-        self.blocks.contains(&block)
+        self.blocks.binary_search(&block).is_ok()
     }
     pub fn block_count(&self) -> usize {
         self.blocks.len()
@@ -86,30 +89,35 @@ impl DataNode {
     /// Store a replica. Returns false (and stores nothing) when the disk
     /// is full or the block is already present.
     pub fn add_block(&mut self, block: BlockId, len: Bytes) -> bool {
-        if self.blocks.contains(&block) || self.free() < len {
-            return false;
+        match self.blocks.binary_search(&block) {
+            Ok(_) => false,
+            Err(pos) => {
+                if self.free() < len {
+                    return false;
+                }
+                self.blocks.insert(pos, block);
+                self.used += len;
+                true
+            }
         }
-        self.blocks.insert(block);
-        self.used += len;
-        true
     }
 
     /// Drop a replica; returns whether it was present.
     pub fn remove_block(&mut self, block: BlockId, len: Bytes) -> bool {
-        if self.blocks.remove(&block) {
-            self.used = self.used.saturating_sub(len);
-            true
-        } else {
-            false
+        match self.blocks.binary_search(&block) {
+            Ok(pos) => {
+                self.blocks.remove(pos);
+                self.used = self.used.saturating_sub(len);
+                true
+            }
+            Err(_) => false,
         }
     }
 
     /// Wipe all data (crash / decommission drain).
     pub fn clear(&mut self) -> Vec<BlockId> {
         self.used = 0;
-        let blocks: Vec<BlockId> = self.blocks.iter().copied().collect();
-        self.blocks.clear();
-        blocks
+        std::mem::take(&mut self.blocks)
     }
 
     pub fn active_sessions(&self) -> usize {
@@ -211,6 +219,10 @@ impl checkpoint::Checkpointable for DataNode {
             .iter()
             .map(|v| c::as_u64(v, "blocks[]").map(BlockId))
             .collect::<Result<_, _>>()?;
+        // the column is sorted by invariant; saved order already is,
+        // but hand-edited snapshots must not break binary search
+        self.blocks.sort_unstable();
+        self.blocks.dedup();
         self.active_sessions = c::get_usize(state, "active_sessions")?;
         self.max_sessions = c::get_usize(state, "max_sessions")?;
         self.wait_queue = c::get_seq(state, "wait_queue")?

@@ -10,6 +10,14 @@ use simcore::units::Bytes;
 use simcore::SimTime;
 use std::collections::BTreeMap;
 
+/// Grow a column so index `i` exists, then write `v` there.
+fn column_put<T>(column: &mut Vec<Option<T>>, i: usize, v: T) {
+    if i >= column.len() {
+        column.resize_with(i + 1, || None);
+    }
+    column[i] = Some(v);
+}
+
 /// How a file's redundancy is currently provided.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageMode {
@@ -46,13 +54,23 @@ impl FileMeta {
 }
 
 /// The namespace: path ↔ file ↔ blocks.
+///
+/// File and block ids come off monotone counters, so both tables are
+/// **columns** indexed by the dense id (`Vec<Option<_>>`), not keyed
+/// maps: lookup is an array load and [`files`](Namespace::files)
+/// iterates in id order by construction. Deleted ids leave a `None`
+/// slot behind — ids are never re-used, so a stale id reads as absent
+/// rather than aliasing a later file.
 #[derive(Debug, Default)]
 pub struct Namespace {
-    files: BTreeMap<FileId, FileMeta>,
+    /// Column: file metadata indexed by `FileId.0`.
+    files: Vec<Option<FileMeta>>,
     by_path: BTreeMap<String, FileId>,
-    blocks: BTreeMap<BlockId, BlockInfo>,
+    /// Column: block metadata indexed by `BlockId.0`.
+    blocks: Vec<Option<BlockInfo>>,
     next_file: u64,
     next_block: u64,
+    live_blocks: usize,
 }
 
 impl Namespace {
@@ -79,8 +97,9 @@ impl Namespace {
         for (index, len) in block_lengths(size, block_size).into_iter().enumerate() {
             let bid = BlockId(self.next_block);
             self.next_block += 1;
-            self.blocks.insert(
-                bid,
+            column_put(
+                &mut self.blocks,
+                bid.0 as usize,
                 BlockInfo {
                     id: bid,
                     file: id,
@@ -89,10 +108,12 @@ impl Namespace {
                     is_parity: false,
                 },
             );
+            self.live_blocks += 1;
             blocks.push(bid);
         }
-        self.files.insert(
-            id,
+        column_put(
+            &mut self.files,
+            id.0 as usize,
             FileMeta {
                 id,
                 path: path.to_string(),
@@ -109,11 +130,12 @@ impl Namespace {
 
     /// Allocate a parity block belonging to `file` (ERMS encode path).
     pub fn allocate_parity_block(&mut self, file: FileId, index: u32, len: Bytes) -> BlockId {
-        debug_assert!(self.files.contains_key(&file));
+        debug_assert!(self.file(file).is_some());
         let bid = BlockId(self.next_block);
         self.next_block += 1;
-        self.blocks.insert(
-            bid,
+        column_put(
+            &mut self.blocks,
+            bid.0 as usize,
             BlockInfo {
                 id: bid,
                 file,
@@ -122,55 +144,61 @@ impl Namespace {
                 is_parity: true,
             },
         );
+        self.live_blocks += 1;
         bid
     }
 
     /// Delete a file, returning every block id (data + parity) it owned.
     pub fn delete_file(&mut self, id: FileId) -> Option<Vec<BlockId>> {
-        let meta = self.files.remove(&id)?;
+        let meta = self.files.get_mut(id.0 as usize)?.take()?;
         self.by_path.remove(&meta.path);
         let mut all = meta.blocks.clone();
         if let StorageMode::Encoded { parity_blocks } = &meta.mode {
             all.extend_from_slice(parity_blocks);
         }
         for b in &all {
-            self.blocks.remove(b);
+            self.forget_block(*b);
         }
         Some(all)
     }
 
     pub fn file(&self, id: FileId) -> Option<&FileMeta> {
-        self.files.get(&id)
+        self.files.get(id.0 as usize)?.as_ref()
     }
     pub fn file_mut(&mut self, id: FileId) -> Option<&mut FileMeta> {
-        self.files.get_mut(&id)
+        self.files.get_mut(id.0 as usize)?.as_mut()
     }
     pub fn resolve(&self, path: &str) -> Option<FileId> {
         self.by_path.get(path).copied()
     }
     pub fn block(&self, id: BlockId) -> Option<&BlockInfo> {
-        self.blocks.get(&id)
+        self.blocks.get(id.0 as usize)?.as_ref()
     }
+    /// Live files in id order (a column scan).
     pub fn files(&self) -> impl Iterator<Item = &FileMeta> {
-        self.files.values()
+        self.files.iter().filter_map(Option::as_ref)
     }
     pub fn num_files(&self) -> usize {
-        self.files.len()
+        self.by_path.len()
     }
     pub fn num_blocks(&self) -> usize {
-        self.blocks.len()
+        self.live_blocks
     }
 
     /// Drop the metadata of a block that no longer exists (parity blocks
     /// removed on decode). Data blocks of live files must not be passed.
     pub fn forget_block(&mut self, id: BlockId) {
-        self.blocks.remove(&id);
+        if let Some(slot) = self.blocks.get_mut(id.0 as usize) {
+            if slot.take().is_some() {
+                self.live_blocks -= 1;
+            }
+        }
     }
 
     /// Record a read access (drives cold-data detection: "the last access
     /// time of the data is old").
     pub fn touch(&mut self, id: FileId, now: SimTime) {
-        if let Some(f) = self.files.get_mut(&id) {
+        if let Some(f) = self.file_mut(id) {
             f.last_access = now;
         }
     }
@@ -183,7 +211,7 @@ impl checkpoint::Checkpointable for Namespace {
         MapBuilder::new()
             .put(
                 "files",
-                seq_of(self.files.values(), |f| {
+                seq_of(self.files(), |f| {
                     let mut b = MapBuilder::new()
                         .u64("id", f.id.0)
                         .str("path", &f.path)
@@ -208,7 +236,7 @@ impl checkpoint::Checkpointable for Namespace {
             )
             .put(
                 "blocks",
-                seq_of(self.blocks.values(), |i| {
+                seq_of(self.blocks.iter().filter_map(Option::as_ref), |i| {
                     MapBuilder::new()
                         .u64("id", i.id.0)
                         .u64("file", i.file.0)
@@ -228,6 +256,7 @@ impl checkpoint::Checkpointable for Namespace {
         self.files.clear();
         self.by_path.clear();
         self.blocks.clear();
+        self.live_blocks = 0;
         for fv in c::get_seq(state, "files")? {
             let id = FileId(c::get_u64(fv, "id")?);
             let path = c::get_str(fv, "path")?.to_string();
@@ -247,8 +276,9 @@ impl checkpoint::Checkpointable for Namespace {
                 },
             };
             self.by_path.insert(path.clone(), id);
-            self.files.insert(
-                id,
+            column_put(
+                &mut self.files,
+                id.0 as usize,
                 FileMeta {
                     id,
                     path,
@@ -262,8 +292,9 @@ impl checkpoint::Checkpointable for Namespace {
         }
         for bv in c::get_seq(state, "blocks")? {
             let id = BlockId(c::get_u64(bv, "id")?);
-            self.blocks.insert(
-                id,
+            column_put(
+                &mut self.blocks,
+                id.0 as usize,
                 BlockInfo {
                     id,
                     file: FileId(c::get_u64(bv, "file")?),
@@ -272,6 +303,7 @@ impl checkpoint::Checkpointable for Namespace {
                     is_parity: c::get_bool(bv, "is_parity")?,
                 },
             );
+            self.live_blocks += 1;
         }
         self.next_file = c::get_u64(state, "next_file")?;
         self.next_block = c::get_u64(state, "next_block")?;

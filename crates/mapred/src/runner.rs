@@ -287,7 +287,7 @@ impl MapReduceRunner {
                         job: j,
                         task: t,
                         block: task.block,
-                        holders: self.cluster.blockmap().locations(task.block),
+                        holders: self.cluster.blockmap().replica_nodes(task.block).to_vec(),
                     });
                 }
             }

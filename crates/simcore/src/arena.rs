@@ -1,0 +1,349 @@
+//! Generational arenas: dense, columnar storage behind typed handles.
+//!
+//! The simulator's core tables (namespace files, block locations,
+//! per-node replica lists) are keyed by dense integer ids minted from
+//! monotone counters, which makes a `Vec` column the natural layout —
+//! O(1) access, no hashing, cache-friendly scans in id order. The
+//! remaining hazard of raw indices is the ABA problem: slot 7 is freed,
+//! re-used for a new record, and a stale index silently reads the new
+//! occupant. [`Arena`] closes that hole with a **generation check**:
+//! every slot carries a generation counter bumped on removal, and a
+//! [`Handle`] only resolves while its generation matches. A stale
+//! handle after a delete is an observable `None`, never a silent hit.
+//!
+//! Determinism: iteration is in slot-index order, insertion re-uses the
+//! lowest freed slot first, and nothing in the structure depends on
+//! hashing — the same operation sequence always produces the same
+//! layout, which keeps traces byte-stable across runs.
+//!
+//! ```
+//! use simcore::arena::Arena;
+//!
+//! let mut files: Arena<String> = Arena::new();
+//! let h = files.insert("/logs/a".to_string());
+//! assert_eq!(files.get(h).map(String::as_str), Some("/logs/a"));
+//!
+//! files.remove(h);
+//! assert_eq!(files.get(h), None, "stale handle is an error, not a hit");
+//!
+//! let h2 = files.insert("/logs/b".to_string());
+//! assert_eq!(h2.index(), h.index(), "slot re-used...");
+//! assert_ne!(h2, h, "...but the old handle still misses");
+//! ```
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed, generation-checked reference into an [`Arena<T>`].
+///
+/// Two `u32`s: the slot index and the generation the slot had when this
+/// handle was minted. Copyable, ordered by (index, generation), and
+/// `!Send`-agnostic (it is plain data). The type parameter exists only
+/// to keep handles from different arenas apart at compile time; it
+/// imposes no bounds on `T`.
+pub struct Handle<T> {
+    index: u32,
+    generation: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Handle<T> {
+    /// The raw slot index. Stable for the handle's lifetime; re-used by
+    /// later inserts after removal (with a different generation).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The generation this handle was minted under.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Rebuild a handle from its raw parts (checkpoint hydration). The
+    /// handle is only valid if the arena's slot still has this
+    /// generation — `get` returns `None` otherwise, so a forged or
+    /// stale pair cannot silently alias a live record.
+    pub fn from_raw(index: u32, generation: u32) -> Self {
+        Handle {
+            index,
+            generation,
+            _marker: PhantomData,
+        }
+    }
+}
+
+// Manual impls: derive would bound them on `T`, but a handle is plain
+// data regardless of what it points at.
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Handle<T> {}
+impl<T> PartialEq for Handle<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.generation == other.generation
+    }
+}
+impl<T> Eq for Handle<T> {}
+impl<T> PartialOrd for Handle<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Handle<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.index, self.generation).cmp(&(other.index, other.generation))
+    }
+}
+impl<T> std::hash::Hash for Handle<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+        self.generation.hash(state);
+    }
+}
+impl<T> fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Handle({}v{})", self.index, self.generation)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generational arena: `Vec`-backed slots, freed slots re-used
+/// lowest-index first, every access generation-checked.
+///
+/// See the [module docs](self) for the why and the determinism
+/// guarantees.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    /// Freed slot indices, kept sorted descending so `pop` hands out
+    /// the lowest index first (deterministic re-use order).
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> Arena<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots (live + freed); the column length.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Store `value`, returning its handle. Re-uses the lowest freed
+    /// slot, or appends a new one.
+    pub fn insert(&mut self, value: T) -> Handle<T> {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none());
+            slot.value = Some(value);
+            return Handle::from_raw(index, slot.generation);
+        }
+        let index = u32::try_from(self.slots.len()).expect("arena exceeds u32 slots");
+        self.slots.push(Slot {
+            generation: 0,
+            value: Some(value),
+        });
+        Handle::from_raw(index, 0)
+    }
+
+    /// The value behind `handle`, or `None` if it was removed (or the
+    /// slot was since re-used — the generation check catches both).
+    pub fn get(&self, handle: Handle<T>) -> Option<&T> {
+        let slot = self.slots.get(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    pub fn get_mut(&mut self, handle: Handle<T>) -> Option<&mut T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Whether `handle` still resolves.
+    pub fn contains(&self, handle: Handle<T>) -> bool {
+        self.get(handle).is_some()
+    }
+
+    /// Remove and return the value behind `handle`. The slot's
+    /// generation is bumped, invalidating every outstanding copy of the
+    /// handle; a second `remove` with the same handle returns `None`.
+    pub fn remove(&mut self, handle: Handle<T>) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.len -= 1;
+        // Keep the free list sorted descending so the lowest index is
+        // re-used first.
+        let pos = self
+            .free
+            .binary_search_by(|&i| handle.index.cmp(&i))
+            .unwrap_or_else(|p| p);
+        self.free.insert(pos, handle.index);
+        Some(value)
+    }
+
+    /// Iterate live `(handle, &value)` pairs in slot-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle<T>, &T)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| {
+            slot.value
+                .as_ref()
+                .map(|v| (Handle::from_raw(i as u32, slot.generation), v))
+        })
+    }
+
+    /// Iterate live values mutably, in slot-index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Handle<T>, &mut T)> + '_ {
+        self.slots.iter_mut().enumerate().filter_map(|(i, slot)| {
+            let generation = slot.generation;
+            slot.value
+                .as_mut()
+                .map(move |v| (Handle::from_raw(i as u32, generation), v))
+        })
+    }
+
+    /// Drop every value and reset to empty (generations restart too —
+    /// only do this when no handles survive, e.g. checkpoint load).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.len = 0;
+    }
+}
+
+impl<T> FromIterator<T> for Arena<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut arena = Arena::new();
+        for value in iter {
+            arena.insert(value);
+        }
+        arena
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut a = Arena::new();
+        let h1 = a.insert(10);
+        let h2 = a.insert(20);
+        assert_eq!(a.get(h1), Some(&10));
+        assert_eq!(a.get(h2), Some(&20));
+        assert_eq!(a.len(), 2);
+        *a.get_mut(h1).unwrap() = 11;
+        assert_eq!(a.get(h1), Some(&11));
+    }
+
+    #[test]
+    fn stale_handle_after_delete_misses() {
+        let mut a = Arena::new();
+        let h = a.insert("x");
+        assert_eq!(a.remove(h), Some("x"));
+        assert_eq!(a.get(h), None, "stale read must not resolve");
+        assert_eq!(a.get_mut(h), None);
+        assert_eq!(a.remove(h), None, "double free must not resolve");
+        assert!(!a.contains(h));
+    }
+
+    #[test]
+    fn reused_slot_does_not_alias_old_handle() {
+        let mut a = Arena::new();
+        let old = a.insert(1);
+        a.remove(old);
+        let new = a.insert(2);
+        assert_eq!(new.index(), old.index(), "slot is re-used");
+        assert_ne!(new.generation(), old.generation());
+        assert_eq!(a.get(old), None, "old handle must miss the new value");
+        assert_eq!(a.get(new), Some(&2));
+    }
+
+    #[test]
+    fn reuse_is_lowest_index_first() {
+        let mut a = Arena::new();
+        let hs: Vec<_> = (0..4).map(|i| a.insert(i)).collect();
+        a.remove(hs[2]);
+        a.remove(hs[0]);
+        let r1 = a.insert(10);
+        let r2 = a.insert(11);
+        assert_eq!(r1.index(), 0, "lowest freed slot first");
+        assert_eq!(r2.index(), 2);
+    }
+
+    #[test]
+    fn iteration_is_in_index_order() {
+        let mut a = Arena::new();
+        let hs: Vec<_> = (0..5).map(|i| a.insert(i * 10)).collect();
+        a.remove(hs[1]);
+        a.remove(hs[3]);
+        let seen: Vec<i32> = a.iter().map(|(_, &v)| v).collect();
+        assert_eq!(seen, vec![0, 20, 40]);
+        let idx: Vec<u32> = a.iter().map(|(h, _)| h.index()).collect();
+        assert_eq!(idx, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn from_raw_respects_generation() {
+        let mut a = Arena::new();
+        let h = a.insert(7);
+        let forged = Handle::<i32>::from_raw(h.index(), h.generation() + 1);
+        assert_eq!(a.get(forged), None);
+        let out_of_range = Handle::<i32>::from_raw(99, 0);
+        assert_eq!(a.get(out_of_range), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = Arena::new();
+        let h = a.insert(1);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.get(h), None);
+    }
+}

@@ -6,6 +6,9 @@
 //!
 //! * [`time`] — a nanosecond-resolution simulated clock ([`SimTime`],
 //!   [`SimDuration`]) with total ordering and saturating arithmetic,
+//! * [`arena`] — generational arenas ([`arena::Arena`],
+//!   [`arena::Handle`]) backing the columnar, dense-id state tables of
+//!   the simulators; stale handles are detected, never silently re-read,
 //! * [`queue`] — a deterministic, cancellable event queue
 //!   ([`EventQueue`]) plus a closure-based orchestration engine
 //!   ([`engine::Engine`]),
@@ -39,6 +42,7 @@
 //! assert_eq!(queue.now(), SimTime::from_secs(2));
 //! ```
 
+pub mod arena;
 pub mod engine;
 pub mod queue;
 pub mod rng;
@@ -48,6 +52,7 @@ pub mod telemetry;
 pub mod time;
 pub mod units;
 
+pub use arena::{Arena, Handle};
 pub use engine::Engine;
 pub use queue::{EventId, EventQueue};
 pub use rng::DetRng;

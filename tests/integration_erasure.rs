@@ -70,7 +70,7 @@ fn single_node_loss_is_recoverable_per_stripe() {
     assert_eq!(stripe.len(), 14);
     let holders: Vec<NodeId> = stripe
         .iter()
-        .map(|&b| cluster.blockmap().locations(b)[0])
+        .map(|&b| cluster.blockmap().replica_nodes(b)[0])
         .collect();
 
     // kill the node holding the most shards of this stripe
@@ -127,7 +127,7 @@ fn parity_placement_avoids_data_heavy_nodes() {
     let stripe: Vec<hdfs_sim::BlockId> = meta.blocks.iter().chain(&parities).copied().collect();
     let mut per_node = std::collections::BTreeMap::new();
     for &b in &stripe {
-        for n in cluster.blockmap().locations(b) {
+        for &n in cluster.blockmap().replica_nodes(b) {
             *per_node.entry(n).or_insert(0u32) += 1;
         }
     }

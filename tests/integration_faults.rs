@@ -81,12 +81,12 @@ fn check_accounting(c: &ClusterSim) {
     for meta in c.namespace().files() {
         for &b in &meta.blocks {
             let info = c.namespace().block(b).expect("live block has metadata");
-            let locs = c.blockmap().locations(b);
+            let locs = c.blockmap().replica_nodes(b);
             total_replicas += locs.len();
-            let mut dedup = locs.clone();
+            let mut dedup = locs.to_vec();
             dedup.dedup();
             assert_eq!(dedup.len(), locs.len(), "duplicate replica records");
-            for n in locs {
+            for &n in locs {
                 assert_ne!(
                     c.node_state(n),
                     NodeState::Dead,
@@ -231,7 +231,7 @@ proptest! {
         c.scrub(total_blocks + 1, &[]);
         for meta in c.namespace().files() {
             for &b in &meta.blocks {
-                for n in c.blockmap().locations(b) {
+                for &n in c.blockmap().replica_nodes(b) {
                     prop_assert!(
                         !c.is_replica_corrupt(b, n),
                         "{b} of {} still served by corrupt replica on {n}",

@@ -68,6 +68,7 @@ fn audit_text_is_the_only_channel_between_cluster_and_judge() {
         .observe_lines(lines.iter().map(String::as_str));
     let now = cluster.now();
     let snap = erms::FileSnapshot {
+        id: hdfs_sim::FileId(0),
         path: "/hot".into(),
         replication: 3,
         blocks: vec![hdfs_sim::BlockId(0)],
@@ -91,7 +92,7 @@ fn boost_survives_node_failure_with_retry() {
     let now = cluster.now();
     manager.tick(&mut cluster, now);
     let block = cluster.namespace().file(file).unwrap().blocks[0];
-    let victim = cluster.blockmap().locations(block)[0];
+    let victim = cluster.blockmap().replica_nodes(block)[0];
     cluster.run_until(cluster.now() + SimDuration::from_secs(4));
     cluster.kill_node(victim);
     cluster.repair_under_replicated();

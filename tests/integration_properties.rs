@@ -54,13 +54,13 @@ fn check_invariants(c: &ClusterSim) {
                 .namespace()
                 .block(b)
                 .expect("live file block has metadata");
-            let locs = c.blockmap().locations(b);
+            let locs = c.blockmap().replica_nodes(b);
             total_replicas += locs.len();
             // no duplicate holders
-            let mut dedup = locs.clone();
+            let mut dedup = locs.to_vec();
             dedup.dedup();
             assert_eq!(dedup.len(), locs.len(), "duplicate replica records");
-            for n in locs {
+            for &n in locs {
                 assert!(
                     c.node_holds(n, b),
                     "blockmap says {n} holds {b} but the node disagrees"

@@ -55,7 +55,7 @@ fn traced_run() -> (String, String) {
 
     // a kill → repair scan re-replicates
     let b = cluster.namespace().files().next().unwrap().blocks[0];
-    let victim = cluster.blockmap().locations(b)[0];
+    let victim = cluster.blockmap().replica_nodes(b)[0];
     cluster.kill_node(victim);
     for _ in 0..4 {
         let now = cluster.now();

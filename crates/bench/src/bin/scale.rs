@@ -64,6 +64,7 @@ fn run_size(cfg: &ScaleConfig, checkpoint_every: Option<usize>) -> ScaleResult {
         phases: Some(phases),
     });
     r.checkpoints = checkpoints;
+    r.profiler = Some(scale::profiler_overhead(r.incremental.mean_tick_ms));
     r
 }
 
@@ -136,6 +137,12 @@ fn main() -> ExitCode {
                 p.judge_allocs, p.cep_allocs, p.telemetry_allocs
             );
         }
+        if let Some(p) = &r.profiler {
+            println!(
+                "  profiler off: {:.2} ns/scope x {:.0} scopes/tick = {:.4}% of a {:.3} ms tick",
+                p.per_scope_ns_disabled, p.scopes_per_tick, p.overhead_pct, p.mean_tick_ms
+            );
+        }
         if let Some(ck) = &r.checkpoints {
             println!(
                 "  checkpoints: {} snapshot(s) every {} tick(s), {:.1} KiB total, {:.2} ms/save, verified={}",
@@ -154,6 +161,17 @@ fn main() -> ExitCode {
         .any(|ck| !ck.verified)
     {
         eprintln!("FAIL: a mid-run snapshot did not re-save to identical bytes");
+        return ExitCode::FAILURE;
+    }
+    if let Some(p) = results
+        .iter()
+        .filter_map(|r| r.profiler.as_ref())
+        .find(|p| p.overhead_pct >= 1.0)
+    {
+        eprintln!(
+            "FAIL: disabled profiler costs {:.3}% of a mean tick (budget < 1%)",
+            p.overhead_pct
+        );
         return ExitCode::FAILURE;
     }
 

@@ -5,8 +5,8 @@
 //! deterministic state into a [`checkpoint::Snapshot`] at any tick
 //! boundary: cluster (namespace, blockmap, flows, durability), ERMS
 //! manager (CEP windows, journal, bookkeeping sets, standby model),
-//! fault-plan cursor, telemetry sequence number and the runner's own
-//! loop state. [`resume`](ResumableRun::resume) rebuilds a run from a
+//! fault-plan cursor, telemetry sequence number, metric registry and
+//! the runner's own loop state. [`resume`](ResumableRun::resume) rebuilds a run from a
 //! snapshot via rebuild-then-hydrate: construct everything from the
 //! named scenario's config (config is *not* serialized), then overwrite
 //! the dynamic state.
@@ -254,6 +254,13 @@ impl ResumableRun {
         }
     }
 
+    /// JSON snapshot of the sink's metric registry at the cluster's
+    /// current time — the integration suite compares this between
+    /// straight-through and resumed runs.
+    pub fn metrics_snapshot(&self) -> Option<String> {
+        self.sink.snapshot_json(self.cluster.now())
+    }
+
     /// Drain the telemetry recorded since the last drain. Draining does
     /// not disturb the sequence numbering, so a prefix drained before
     /// [`save`](Self::save) and the suffix from the resumed run
@@ -273,6 +280,12 @@ impl ResumableRun {
         });
         snap.insert_section("cluster", self.cluster.save_state());
         snap.insert_section("manager", self.manager.save_state());
+        snap.insert_section(
+            "metrics",
+            self.sink
+                .with_metrics(|m| m.save_state())
+                .expect("resumable runs always record"),
+        );
         snap.insert_section(
             "runner",
             c::MapBuilder::new()
@@ -318,6 +331,15 @@ impl ResumableRun {
 
         let sink = TelemetrySink::recording();
         sink.set_seq(c::get_u64(runner, "telemetry_seq")?);
+        // Restore the metric registry so counters/gauges/histograms
+        // continue accumulating from their saved values and the final
+        // metric snapshot matches the straight-through run's. Lenient
+        // on absence: pre-metrics snapshots still resume.
+        if let Ok(section) = snap.section("metrics") {
+            let mut metrics = simcore::MetricsRegistry::default();
+            metrics.load_state(section)?;
+            sink.replace_metrics(metrics);
+        }
         cluster.set_telemetry(sink.clone());
         manager.set_telemetry(sink.clone());
 
@@ -377,14 +399,14 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_carries_the_three_sections() {
+    fn snapshot_carries_the_four_sections() {
         let mut run = ResumableRun::new(Scenario::churn_tiny(), 7);
         run.run_to_tick(3);
         let snap = run.save();
         assert_eq!(snap.meta.tick, 3);
         assert_eq!(snap.meta.scenario, "churn-tiny");
         let names: Vec<&str> = snap.section_names().collect();
-        assert_eq!(names, ["cluster", "manager", "runner"]);
+        assert_eq!(names, ["cluster", "manager", "metrics", "runner"]);
     }
 
     #[test]

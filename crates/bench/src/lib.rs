@@ -28,5 +28,6 @@ pub mod faults;
 pub mod increase;
 pub mod replay;
 pub mod scale;
+pub mod scorecard;
 
 pub use common::Mode;

@@ -143,6 +143,82 @@ pub struct CheckpointStats {
     pub verified: bool,
 }
 
+/// The zero-cost-when-disabled claim for the self-profiler, measured.
+///
+/// A disabled `prof_scope!` is a thread-local flag check; this model
+/// prices that check (`per_scope_ns_disabled`, the *minimum* over
+/// several multi-million-iteration batches, so scheduler noise can only
+/// inflate, never deflate, the floor), counts how many scopes a manager
+/// tick actually enters (`scopes_per_tick`, from an enabled probe run —
+/// the count is a function of the manager config, not the namespace
+/// size), and charges the product against the disabled-mode mean tick.
+/// The scale binary fails the run when `overhead_pct` reaches 1%.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfilerOverhead {
+    /// Cost of one disabled `prof_scope!` check, nanoseconds.
+    pub per_scope_ns_disabled: f64,
+    /// Mean scopes entered per `ErmsManager::tick`.
+    pub scopes_per_tick: f64,
+    /// The disabled-profiler mean tick the overhead is charged against.
+    pub mean_tick_ms: f64,
+    /// Estimated disabled-profiler share of a mean tick, percent.
+    pub overhead_pct: f64,
+}
+
+/// Measure [`ProfilerOverhead`] against `mean_tick_ms` (a
+/// disabled-profiler tick time from [`ModeStats`]).
+pub fn profiler_overhead(mean_tick_ms: f64) -> ProfilerOverhead {
+    use simcore::profiler;
+    assert!(
+        !profiler::is_enabled(),
+        "overhead is priced with the profiler off"
+    );
+    const BATCH: u64 = 4_000_000;
+    let mut per_scope_ns = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for i in 0..BATCH {
+            simcore::prof_scope!("overhead_probe");
+            std::hint::black_box(i);
+        }
+        per_scope_ns = per_scope_ns.min(start.elapsed().as_nanos() as f64 / BATCH as f64);
+    }
+
+    // scopes per tick from an enabled probe storm on a small namespace
+    let probe = ScaleConfig {
+        label: "probe",
+        files: 60,
+        nodes: 9,
+        racks: 3,
+        hot_files: 4,
+        readers_per_hot: 10,
+        storm_ticks: 3,
+        idle_ticks: 8,
+        ..ScaleConfig::small()
+    };
+    profiler::reset();
+    profiler::set_enabled(true);
+    let _ = run_mode(&probe, false);
+    profiler::set_enabled(false);
+    let snap = profiler::snapshot();
+    profiler::reset();
+    let ticks = snap.find("tick").map(|t| t.calls).unwrap_or(0).max(1);
+    let scopes_per_tick = snap.total_calls() as f64 / ticks as f64;
+
+    let overhead_ns = per_scope_ns * scopes_per_tick;
+    let overhead_pct = if mean_tick_ms > 0.0 {
+        100.0 * overhead_ns / (mean_tick_ms * 1e6)
+    } else {
+        0.0
+    };
+    ProfilerOverhead {
+        per_scope_ns_disabled: per_scope_ns,
+        scopes_per_tick,
+        mean_tick_ms,
+        overhead_pct,
+    }
+}
+
 /// Build the cluster for one scale size (shared with the dev probes).
 pub fn scale_cluster(cfg: &ScaleConfig) -> ClusterSim {
     let cluster_cfg = ClusterConfig {
@@ -473,6 +549,8 @@ pub struct ScaleResult {
     /// `None` (→ `null`) unless run with `--checkpoint-every N`; taken
     /// from the incremental-mode run.
     pub checkpoints: Option<CheckpointStats>,
+    /// `None` (→ `null`) when the binary skips the overhead probe.
+    pub profiler: Option<ProfilerOverhead>,
 }
 
 /// Combine the two mode runs and the CEP measurement for one size.
@@ -504,6 +582,7 @@ pub fn assemble(
         cep,
         allocations: None,
         checkpoints: None,
+        profiler: None,
     }
 }
 

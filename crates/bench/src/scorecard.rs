@@ -1,0 +1,691 @@
+//! `bench scorecard` — the per-scenario SLO scorecard behind the
+//! perf-regression gate.
+//!
+//! Runs a fixed matrix of named scenarios (the checkpointing suite's
+//! churn family plus the scale storm) under the self-profiler, and
+//! distils each run into one [`ScenarioCard`]: a flat map of
+//! *deterministic* metrics (read-latency percentiles from span
+//! reconstruction, storage overhead vs the replication ideal, energy
+//! node-seconds, durability and oracle-violation counts, corruption
+//! MTTD/MTTR — all pure functions of the seed) and a flat map of
+//! *wall-clock* metrics (mean/max tick cost, CEP parse rate, run wall
+//! time — host-dependent, never compared exactly). The split mirrors
+//! `trace-tools regress`: deterministic metrics must match a baseline
+//! bit for bit, wall-clock metrics only within a tolerance, and
+//! explicit budgets put hard ceilings/floors on either kind.
+//!
+//! The scorecard binary serialises the matrix to `results/SCORECARD.json`
+//! and the merged profiler tree to `results/profile.json`;
+//! [`baseline_value`] derives the checked-in `results/slo_baseline.json`
+//! the CI gate diffs candidates against.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use erms::ErmsManager;
+use hdfs_sim::topology::{ClientId, Endpoint};
+use hdfs_sim::ClusterSim;
+use serde::Value;
+use simcore::profiler::{self, ProfileNode};
+use simcore::spans::oracle::{OracleConfig, TraceOracle};
+use simcore::spans::{parse_jsonl, SpanCollector, SpanKind};
+use simcore::telemetry::TelemetrySink;
+use simcore::units::MB;
+use simcore::TelemetryEvent;
+
+use crate::checkpointing::{ResumableRun, Scenario};
+use crate::scale::{scale_cluster, scale_erms_config, ScaleConfig};
+
+/// Schema version stamped into every emitted document.
+pub const FORMAT: u64 = 1;
+
+/// Seed every scorecard run uses — the deterministic metrics are a pure
+/// function of it, so the baseline pins it.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Wall-clock tolerance the generated baseline records. Generous on
+/// purpose: CI machines vary wildly, and the budgets (not the
+/// tolerance) carry the hard ceilings.
+pub const DEFAULT_WALLCLOCK_TOLERANCE_PCT: f64 = 400.0;
+
+/// One entry of the scenario matrix.
+#[derive(Debug, Clone)]
+pub enum Case {
+    /// A churn scenario from the checkpointing registry, run through
+    /// [`ResumableRun`] to its horizon.
+    Churn(Scenario),
+    /// A scale-bench flash-crowd storm, driven with a recording sink.
+    Scale(ScaleConfig),
+}
+
+impl Case {
+    pub fn name(&self) -> String {
+        match self {
+            Case::Churn(s) => s.name.to_string(),
+            Case::Scale(c) => format!("scale-{}", c.label),
+        }
+    }
+
+    /// Look a case up by scorecard name (`churn-*` or `scale-*`).
+    pub fn by_name(name: &str) -> Option<Case> {
+        if let Some(s) = Scenario::by_name(name) {
+            return Some(Case::Churn(s));
+        }
+        name.strip_prefix("scale-")
+            .and_then(ScaleConfig::named)
+            .map(Case::Scale)
+    }
+}
+
+/// The default matrix: every churn scenario plus the small scale storm.
+/// `scale-xlarge` is opt-in via the binary's `--xlarge` flag — it runs
+/// minutes, not seconds.
+pub fn default_matrix() -> Vec<Case> {
+    let mut cases: Vec<Case> = Scenario::names()
+        .iter()
+        .map(|n| Case::Churn(Scenario::by_name(n).expect("registry name")))
+        .collect();
+    cases.push(Case::Scale(ScaleConfig::small()));
+    cases
+}
+
+/// One scenario's distilled scorecard row.
+#[derive(Debug, Clone)]
+pub struct ScenarioCard {
+    pub name: String,
+    pub seed: u64,
+    /// Pure functions of the seed: compared *exactly* against a baseline.
+    pub deterministic: BTreeMap<String, f64>,
+    /// Host-dependent timings: compared only within a tolerance.
+    pub wallclock: BTreeMap<String, f64>,
+    /// The scenario's profiler snapshot (tree shape deterministic,
+    /// weights host-dependent).
+    pub profile: ProfileNode,
+}
+
+/// The whole matrix, ready to serialise.
+#[derive(Debug, Clone, Default)]
+pub struct Scorecard {
+    pub scenarios: Vec<ScenarioCard>,
+}
+
+/// Run one case under the profiler and distil its card.
+pub fn run_case(case: &Case, seed: u64) -> ScenarioCard {
+    match case {
+        Case::Churn(s) => run_churn(s.clone(), seed),
+        Case::Scale(c) => run_scale(c, seed),
+    }
+}
+
+/// Run the full matrix.
+pub fn run_matrix(cases: &[Case], seed: u64) -> Scorecard {
+    Scorecard {
+        scenarios: cases.iter().map(|c| run_case(c, seed)).collect(),
+    }
+}
+
+fn run_churn(scenario: Scenario, seed: u64) -> ScenarioCard {
+    let ticks = scenario.total_ticks;
+    profiler::reset();
+    profiler::set_enabled(true);
+    let wall = Instant::now();
+    let mut run = ResumableRun::new(scenario, seed);
+    run.finish();
+    let run_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    profiler::set_enabled(false);
+    let profile = profiler::snapshot();
+    profiler::reset();
+
+    let trace = run.drain_trace();
+    build_card(CardParts {
+        name: run.scenario().name.to_string(),
+        seed,
+        trace: &trace,
+        cluster: run.cluster(),
+        manager: run.manager(),
+        ticks,
+        run_wall_ms,
+        profile,
+    })
+}
+
+/// The scale storm, re-driven with a recording sink (the scale bench
+/// proper runs telemetry-off to time bare ticks; the scorecard wants
+/// the trace). Bootstrap noise is drained before the measured region so
+/// the span metrics cover the storm, not the bulk create.
+fn run_scale(cfg: &ScaleConfig, seed: u64) -> ScenarioCard {
+    profiler::reset();
+    profiler::set_enabled(true);
+    let wall = Instant::now();
+
+    let mut c = scale_cluster(cfg);
+    let sink = TelemetrySink::recording();
+    c.set_telemetry(sink.clone());
+    let mut m =
+        ErmsManager::new(scale_erms_config(cfg, false), &mut c).expect("valid scale manager");
+    m.set_telemetry(sink.clone());
+    for i in 0..cfg.files {
+        c.create_file(&format!("/scale/f{i}"), 64 * MB, 3, None)
+            .expect("cluster sized to hold the namespace");
+    }
+    c.run_until_quiescent();
+    // settle the bulk-create transient exactly like the scale bench:
+    // age the creation audit events out of the CEP window, drain the
+    // dirty set with one untimed tick, then discard the bootstrap trace
+    c.run_until(c.now() + cfg.window + cfg.tick_step);
+    c.run_until_quiescent();
+    let now = c.now();
+    let _ = m.tick(&mut c, now);
+    c.run_until(c.now() + cfg.tick_step);
+    c.run_until_quiescent();
+    let _ = sink.drain_jsonl();
+
+    for tick in 0..cfg.ticks() {
+        if tick < cfg.storm_ticks {
+            for h in 0..cfg.hot_files.min(cfg.files) {
+                for r in 0..cfg.readers_per_hot {
+                    let id = (tick as u32) * 100_000 + (h as u32) * 1_000 + r;
+                    let _ = c.open_read(Endpoint::Client(ClientId(id)), &format!("/scale/f{h}"));
+                }
+            }
+            c.run_until_quiescent();
+        }
+        let now = c.now();
+        let _ = m.tick(&mut c, now);
+        c.run_until(c.now() + cfg.tick_step);
+        c.run_until_quiescent();
+    }
+    let end = c.now();
+    c.durability_mut().finalize(end);
+
+    let run_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    profiler::set_enabled(false);
+    let profile = profiler::snapshot();
+    profiler::reset();
+
+    let trace = sink.drain_jsonl();
+    build_card(CardParts {
+        name: format!("scale-{}", cfg.label),
+        seed,
+        trace: &trace,
+        cluster: &c,
+        manager: &m,
+        ticks: cfg.ticks() as u64,
+        run_wall_ms,
+        profile,
+    })
+}
+
+struct CardParts<'a> {
+    name: String,
+    seed: u64,
+    trace: &'a str,
+    cluster: &'a ClusterSim,
+    manager: &'a ErmsManager,
+    ticks: u64,
+    run_wall_ms: f64,
+    profile: ProfileNode,
+}
+
+/// Distil the metric maps from a finished run's trace and final state.
+fn build_card(p: CardParts<'_>) -> ScenarioCard {
+    let events = parse_jsonl(p.trace).expect("scorecard runs emit well-formed traces");
+    let report = SpanCollector::collect(&events);
+    let read = report.latency(SpanKind::Read);
+
+    let mut oracle = TraceOracle::new(OracleConfig::default());
+    for ev in &events {
+        oracle.observe(ev);
+    }
+    let oracle_violations = oracle.into_violations().len();
+
+    // Corruption lifecycle latencies: first injection → first detection
+    // per block (MTTD), detection → verified repair (MTTR). Sim-time, so
+    // deterministic.
+    let mut injected_at: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut detected_at: BTreeMap<u64, f64> = BTreeMap::new();
+    let (mut injected, mut detected, mut repaired) = (0u64, 0u64, 0u64);
+    let mut detect_lat: Vec<f64> = Vec::new();
+    let mut repair_lat: Vec<f64> = Vec::new();
+    for ev in &events {
+        let t = ev.time.as_secs_f64();
+        match &ev.event {
+            TelemetryEvent::CorruptionInjected { block, .. } => {
+                injected += 1;
+                injected_at.entry(*block).or_insert(t);
+            }
+            TelemetryEvent::CorruptionDetected { block, .. } => {
+                detected += 1;
+                if let Some(&t0) = injected_at.get(block) {
+                    detected_at.entry(*block).or_insert_with(|| {
+                        detect_lat.push(t - t0);
+                        t
+                    });
+                }
+            }
+            TelemetryEvent::CorruptRepaired { block, .. } => {
+                repaired += 1;
+                if let Some(t0) = detected_at.remove(block) {
+                    repair_lat.push(t - t0);
+                    injected_at.remove(block);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+
+    // Storage: actual bytes on disk vs the logical data at the default
+    // replication factor (every scorecard file is created at 3).
+    let logical: u64 = p.cluster.namespace().files().map(|f| f.size).sum();
+    let used = p.cluster.storage_used();
+    let ideal = (logical * 3) as f64;
+    let overhead = if ideal > 0.0 {
+        used as f64 / ideal
+    } else {
+        0.0
+    };
+
+    // Energy: node-seconds the standby pool actually burned vs what an
+    // all-active cluster of the same pool would have.
+    let now = p.cluster.now();
+    let standby_s = p.manager.model().standby_node_seconds(now);
+    let all_active_s = p.manager.model().all_active_node_seconds(now);
+    let saved_pct = if all_active_s > 0.0 {
+        100.0 * (all_active_s - standby_s) / all_active_s
+    } else {
+        0.0
+    };
+
+    let d = p.cluster.durability();
+    let resolved: Vec<f64> = d
+        .windows()
+        .iter()
+        .filter(|w| !w.unresolved)
+        .map(|w| w.duration_secs())
+        .collect();
+    let unresolved = d.windows().iter().filter(|w| w.unresolved).count();
+
+    let mut det = BTreeMap::new();
+    let mut put = |k: &str, v: f64| {
+        det.insert(k.to_string(), v);
+    };
+    put("read_count", read.count as f64);
+    put("read_failed", read.failed as f64);
+    put("read_mean_s", read.mean);
+    put("read_p50_s", read.p50);
+    put("read_p95_s", read.p95);
+    put("read_p99_s", read.p99);
+    put("read_max_s", read.max);
+    put("storage_used_bytes", used as f64);
+    put("storage_overhead_x", overhead);
+    put("energy_standby_node_s", standby_s);
+    put("energy_all_active_node_s", all_active_s);
+    put("energy_saved_pct", saved_pct);
+    put("unavailability_windows", d.windows().len() as f64);
+    put("unresolved_windows", unresolved as f64);
+    put("data_loss_events", d.loss_events().len() as f64);
+    put("durability_mttr_s", mean(&resolved));
+    put("repair_bytes", d.repair_bytes() as f64);
+    put("oracle_violations", oracle_violations as f64);
+    put("corruption_injected", injected as f64);
+    put("corruption_detected", detected as f64);
+    put("corruption_repaired", repaired as f64);
+    put("corruption_mttd_s", mean(&detect_lat));
+    put("corruption_mttr_s", mean(&repair_lat));
+    put("trace_events", events.len() as f64);
+    put("ticks", p.ticks as f64);
+
+    let mut wallclock = BTreeMap::new();
+    wallclock.insert("run_wall_ms".to_string(), p.run_wall_ms);
+    if let Some(tick) = p.profile.find("tick") {
+        if tick.calls > 0 {
+            wallclock.insert(
+                "mean_tick_ms".to_string(),
+                tick.wall_ns as f64 / tick.calls as f64 / 1e6,
+            );
+            wallclock.insert("max_tick_ms".to_string(), tick.max_ns as f64 / 1e6);
+        }
+    }
+    if let Some((calls, wall_ns)) = fold_named(&p.profile, "cep/parse") {
+        if wall_ns > 0 {
+            wallclock.insert(
+                "cep_parse_per_sec".to_string(),
+                calls as f64 / (wall_ns as f64 / 1e9),
+            );
+        }
+    }
+
+    ScenarioCard {
+        name: p.name,
+        seed: p.seed,
+        deterministic: det,
+        wallclock,
+        profile: p.profile,
+    }
+}
+
+/// Fold `(calls, wall_ns)` over every scope with exactly this name —
+/// needed for scopes whose names themselves contain `/` (like
+/// `cep/parse`), which [`ProfileNode::find`]'s path syntax cannot
+/// address, and which may appear under several parents.
+fn fold_named(node: &ProfileNode, name: &str) -> Option<(u64, u64)> {
+    let mut acc: Option<(u64, u64)> = None;
+    fn walk(node: &ProfileNode, name: &str, acc: &mut Option<(u64, u64)>) {
+        if node.name == name {
+            let (c, w) = acc.unwrap_or((0, 0));
+            *acc = Some((c + node.calls, w + node.wall_ns));
+        }
+        for ch in &node.children {
+            walk(ch, name, acc);
+        }
+    }
+    walk(node, name, &mut acc);
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Serialisation
+
+/// Encode an f64 as the narrowest JSON number that round-trips: counts
+/// come out as integers, real measurements as floats.
+fn num(v: f64) -> Value {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        if v >= 0.0 {
+            Value::U64(v as u64)
+        } else {
+            Value::I64(v as i64)
+        }
+    } else {
+        Value::F64(v)
+    }
+}
+
+fn metric_map(m: &BTreeMap<String, f64>) -> Value {
+    Value::Map(m.iter().map(|(k, &v)| (k.clone(), num(v))).collect())
+}
+
+/// Flatten a profiler tree into rows of `/`-joined phase paths — the
+/// per-phase tick breakdown embedded in the scorecard. `calls` is
+/// deterministic; the wall/alloc columns are host-dependent and exist
+/// for humans, not for the exact comparator.
+fn phase_rows(node: &ProfileNode, prefix: &str, out: &mut Vec<Value>) {
+    for child in &node.children {
+        let path = if prefix.is_empty() {
+            child.name.clone()
+        } else {
+            format!("{prefix}/{}", child.name)
+        };
+        out.push(Value::Map(vec![
+            ("phase".to_string(), Value::Str(path.clone())),
+            ("calls".to_string(), Value::U64(child.calls)),
+            ("wall_ns".to_string(), Value::U64(child.wall_ns)),
+            ("max_ns".to_string(), Value::U64(child.max_ns)),
+            ("alloc".to_string(), Value::U64(child.alloc)),
+        ]));
+        phase_rows(child, &path, out);
+    }
+}
+
+impl ScenarioCard {
+    pub fn to_value(&self) -> Value {
+        let mut phases = Vec::new();
+        phase_rows(&self.profile, "", &mut phases);
+        Value::Map(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("seed".to_string(), Value::U64(self.seed)),
+            ("deterministic".to_string(), metric_map(&self.deterministic)),
+            ("wallclock".to_string(), metric_map(&self.wallclock)),
+            ("phases".to_string(), Value::Seq(phases)),
+        ])
+    }
+}
+
+impl Scorecard {
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("format".to_string(), Value::U64(FORMAT)),
+            (
+                "scenarios".to_string(),
+                Value::Seq(self.scenarios.iter().map(|s| s.to_value()).collect()),
+            ),
+        ])
+    }
+
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("value serialises")
+    }
+
+    /// Merge the per-scenario profiler snapshots into one tree whose
+    /// top-level scopes are the scenario names — `results/profile.json`.
+    pub fn merged_profile(&self) -> ProfileNode {
+        ProfileNode {
+            name: String::new(),
+            children: self
+                .scenarios
+                .iter()
+                .map(|s| {
+                    let mut p = s.profile.clone();
+                    p.name = s.name.clone();
+                    p
+                })
+                .collect(),
+            ..ProfileNode::default()
+        }
+    }
+}
+
+/// Derive the SLO baseline document from a measured scorecard: the
+/// deterministic map pinned exactly, the wall-clock map with the
+/// default tolerance, and a budget set with hard bounds — zero oracle
+/// violations, permanent losses capped at what the seed produces, read
+/// p99 and storage overhead within headroom of measured, tick cost
+/// under a generous absolute ceiling, parse rate above a floor.
+pub fn baseline_value(card: &Scorecard) -> Value {
+    let scenarios = card
+        .scenarios
+        .iter()
+        .map(|s| {
+            let mut budgets = vec![
+                budget_max("oracle_violations", 0.0),
+                budget_max(
+                    "data_loss_events",
+                    s.deterministic
+                        .get("data_loss_events")
+                        .copied()
+                        .unwrap_or(0.0),
+                ),
+                budget_max(
+                    "read_p99_s",
+                    headroom(
+                        s.deterministic.get("read_p99_s").copied().unwrap_or(0.0),
+                        2.0,
+                        1.0,
+                    ),
+                ),
+                budget_max(
+                    "storage_overhead_x",
+                    headroom(
+                        s.deterministic
+                            .get("storage_overhead_x")
+                            .copied()
+                            .unwrap_or(1.0),
+                        1.5,
+                        2.0,
+                    ),
+                ),
+            ];
+            if let Some(&mean_tick) = s.wallclock.get("mean_tick_ms") {
+                budgets.push(budget_max("mean_tick_ms", headroom(mean_tick, 20.0, 50.0)));
+            }
+            if let Some(&rate) = s.wallclock.get("cep_parse_per_sec") {
+                budgets.push(budget_min("cep_parse_per_sec", rate / 20.0));
+            }
+            Value::Map(vec![
+                ("name".to_string(), Value::Str(s.name.clone())),
+                ("budgets".to_string(), Value::Seq(budgets)),
+                ("deterministic".to_string(), metric_map(&s.deterministic)),
+                ("wallclock".to_string(), metric_map(&s.wallclock)),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        ("format".to_string(), Value::U64(FORMAT)),
+        (
+            "wallclock_tolerance_pct".to_string(),
+            Value::F64(DEFAULT_WALLCLOCK_TOLERANCE_PCT),
+        ),
+        ("scenarios".to_string(), Value::Seq(scenarios)),
+    ])
+}
+
+/// `measured * factor`, but at least `floor` — budgets must absorb
+/// measurement noise near zero.
+fn headroom(measured: f64, factor: f64, floor: f64) -> f64 {
+    (measured * factor).max(floor)
+}
+
+fn budget_max(metric: &str, max: f64) -> Value {
+    Value::Map(vec![
+        ("metric".to_string(), Value::Str(metric.to_string())),
+        ("max".to_string(), num(max)),
+    ])
+}
+
+fn budget_min(metric: &str, min: f64) -> Value {
+    Value::Map(vec![
+        ("metric".to_string(), Value::Str(metric.to_string())),
+        ("min".to_string(), num(min)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_default_matrix_covers_at_least_five_scenarios() {
+        let m = default_matrix();
+        assert!(m.len() >= 5, "matrix has {} cases", m.len());
+        let names: Vec<String> = m.iter().map(|c| c.name()).collect();
+        for expect in [
+            "churn-small",
+            "churn-small-full",
+            "churn-tiny",
+            "churn-corrupt",
+            "scale-small",
+        ] {
+            assert!(names.iter().any(|n| n == expect), "matrix misses {expect}");
+        }
+    }
+
+    #[test]
+    fn cases_resolve_by_name() {
+        assert!(matches!(Case::by_name("churn-tiny"), Some(Case::Churn(_))));
+        assert!(matches!(Case::by_name("scale-small"), Some(Case::Scale(_))));
+        assert!(Case::by_name("scale-galactic").is_none());
+        assert!(Case::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn a_churn_card_carries_every_metric_family() {
+        let card = run_case(&Case::by_name("churn-tiny").unwrap(), DEFAULT_SEED);
+        assert_eq!(card.name, "churn-tiny");
+        for key in [
+            "read_count",
+            "read_p50_s",
+            "read_p95_s",
+            "read_p99_s",
+            "storage_overhead_x",
+            "energy_saved_pct",
+            "unavailability_windows",
+            "durability_mttr_s",
+            "oracle_violations",
+            "corruption_mttd_s",
+            "trace_events",
+        ] {
+            assert!(card.deterministic.contains_key(key), "missing {key}");
+        }
+        assert!(card.deterministic["read_count"] > 0.0, "crowd read");
+        assert_eq!(card.deterministic["oracle_violations"], 0.0);
+        assert!(card.wallclock.contains_key("mean_tick_ms"));
+        assert!(card.wallclock.contains_key("cep_parse_per_sec"));
+        assert!(card.profile.find("tick").is_some(), "profiler recorded");
+    }
+
+    #[test]
+    fn deterministic_metrics_are_a_pure_function_of_the_seed() {
+        let case = Case::by_name("churn-tiny").unwrap();
+        let a = run_case(&case, 7);
+        let b = run_case(&case, 7);
+        let bits = |m: &BTreeMap<String, f64>| -> Vec<(String, u64)> {
+            m.iter().map(|(k, v)| (k.clone(), v.to_bits())).collect()
+        };
+        assert_eq!(bits(&a.deterministic), bits(&b.deterministic));
+        // the profile *shape* (paths and call counts) is deterministic too
+        fn shape(n: &ProfileNode, prefix: &str, out: &mut Vec<(String, u64)>) {
+            for c in &n.children {
+                let path = format!("{prefix}/{}", c.name);
+                out.push((path.clone(), c.calls));
+                shape(c, &path, out);
+            }
+        }
+        let (mut sa, mut sb) = (Vec::new(), Vec::new());
+        shape(&a.profile, "", &mut sa);
+        shape(&b.profile, "", &mut sb);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn corruption_scenario_measures_the_detection_pipeline() {
+        let card = run_case(&Case::by_name("churn-corrupt").unwrap(), DEFAULT_SEED);
+        assert!(card.deterministic["corruption_injected"] > 0.0);
+        assert!(card.deterministic["corruption_detected"] > 0.0);
+        assert!(card.deterministic["corruption_mttd_s"] > 0.0);
+        assert!(
+            card.profile.find("tick/scrub").is_some(),
+            "scrubber profiled"
+        );
+    }
+
+    #[test]
+    fn the_baseline_passes_its_own_scorecard_through_regress() {
+        let case = Case::by_name("churn-tiny").unwrap();
+        let sc = Scorecard {
+            scenarios: vec![run_case(&case, DEFAULT_SEED)],
+        };
+        let candidate = sc.to_json_pretty();
+        let baseline = serde_json::to_string_pretty(&baseline_value(&sc)).expect("serialises");
+        let (report, findings) =
+            trace_tools::regress(&baseline, &candidate, None).expect("documents parse");
+        assert!(findings.is_empty(), "self-regress must pass:\n{report}");
+        assert!(report.contains("verdict: PASS"));
+    }
+
+    #[test]
+    fn a_seeded_regression_is_caught() {
+        let case = Case::by_name("churn-tiny").unwrap();
+        let sc = Scorecard {
+            scenarios: vec![run_case(&case, DEFAULT_SEED)],
+        };
+        let baseline = serde_json::to_string_pretty(&baseline_value(&sc)).expect("serialises");
+        // corrupt one deterministic metric in the candidate
+        let mut worse = sc.clone();
+        worse.scenarios[0]
+            .deterministic
+            .insert("read_p99_s".to_string(), 1.0e9);
+        let (report, findings) =
+            trace_tools::regress(&baseline, &worse.to_json_pretty(), None).expect("parses");
+        assert!(
+            !findings.is_empty(),
+            "regression must be flagged:\n{report}"
+        );
+        assert!(report.contains("verdict: FAIL"));
+    }
+}

@@ -212,6 +212,7 @@ impl LineParser {
     /// multi-byte text inside a token passes through untouched, but only
     /// ASCII whitespace separates tokens).
     pub fn parse_into(&mut self, line: &str, out: &mut Event) -> Result<(), LineError> {
+        simcore::prof_scope!("cep/parse");
         let line = line.trim();
         if line.is_empty() {
             return Err(LineError::Empty);

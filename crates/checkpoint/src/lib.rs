@@ -42,6 +42,7 @@
 
 pub mod codec;
 pub mod error;
+pub mod metrics;
 pub mod snapshot;
 
 pub use error::CheckpointError;

@@ -226,6 +226,7 @@ impl<P: Clone> Scheduler<P> {
     /// only when `cluster_idle`. Respects the concurrency cap; jobs
     /// still in retry backoff are passed over until their time comes.
     pub fn dispatch(&mut self, now: SimTime, cluster_idle: bool) -> Vec<(JobId, P)> {
+        simcore::prof_scope!("condor/dispatch");
         let mut out = Vec::new();
         while self.running.len() < self.max_concurrent {
             let id = match Self::pop_ready(&mut self.immediate, &self.not_before, now) {

@@ -29,7 +29,7 @@ use condor::{ClassAd, Expr};
 use hdfs_sim::cluster::CopyId;
 use hdfs_sim::{ClusterSim, FileId, NodeId};
 use simcore::telemetry::{Event as Tel, TelemetrySink};
-use simcore::{trace, SimTime};
+use simcore::{prof_scope, trace, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A replication-management task, as journalled by Condor.
@@ -276,10 +276,17 @@ impl ErmsManager {
     pub fn tick(&mut self, cluster: &mut ClusterSim, now: SimTime) -> TickReport {
         let mut report = TickReport::default();
         self.tick_count += 1;
+        prof_scope!("tick");
 
         // 1. audit logs → CEP
-        let lines = cluster.drain_audit();
-        self.judge.observe_lines(lines.iter().map(String::as_str));
+        let lines = {
+            prof_scope!("audit");
+            cluster.drain_audit()
+        };
+        {
+            prof_scope!("cep_drain");
+            self.judge.observe_lines(lines.iter().map(String::as_str));
+        }
 
         // 1b. deleted files: drop every piece of per-path bookkeeping so
         // the manager never leaks state for (or acts on a streak/boost
@@ -297,17 +304,21 @@ impl ErmsManager {
 
         // 3b. self-healing: watchdog, standby eviction, repair scan and
         // dark-shard reconstruction
-        if self.cfg.enable_self_healing {
-            self.heal(cluster, now, &mut report);
-        } else if self.cfg.enable_scrubber {
-            // the scrubber's repair tasks get the timeout watchdog even
-            // without the full self-healing pass
-            self.watchdog_stuck_tasks(cluster, now, &mut report);
+        {
+            prof_scope!("repair_scan");
+            if self.cfg.enable_self_healing {
+                self.heal(cluster, now, &mut report);
+            } else if self.cfg.enable_scrubber {
+                // the scrubber's repair tasks get the timeout watchdog even
+                // without the full self-healing pass
+                self.watchdog_stuck_tasks(cluster, now, &mut report);
+            }
         }
 
         // 3c. background scrubber: budgeted checksum sweep, then
         // verified repair scheduling for quarantined blocks
         if self.cfg.enable_scrubber {
+            prof_scope!("scrub");
             self.scrub_pass(cluster, now, &mut report);
         }
 
@@ -390,17 +401,21 @@ impl ErmsManager {
         }
         let mut judged: Vec<Option<(Judgment, Vec<simcore::telemetry::TracedEvent>)>> =
             snapshots.iter().map(|_| None).collect();
-        for shard in 0..shards {
-            for (i, snap) in snapshots.iter().enumerate() {
-                if snap.id.0 % shards != shard {
-                    continue;
+        {
+            prof_scope!("judge");
+            for shard in 0..shards {
+                prof_scope!(&format!("shard{shard}"));
+                for (i, snap) in snapshots.iter().enumerate() {
+                    if snap.id.0 % shards != shard {
+                        continue;
+                    }
+                    let verdict = self.judge.classify(now, snap);
+                    let emitted = match &capture {
+                        Some(cap) => cap.drain_events(),
+                        None => Vec::new(),
+                    };
+                    judged[i] = Some((verdict, emitted));
                 }
-                let verdict = self.judge.classify(now, snap);
-                let emitted = match &capture {
-                    Some(cap) => cap.drain_events(),
-                    None => Vec::new(),
-                };
-                judged[i] = Some((verdict, emitted));
             }
         }
         if capture.is_some() {
@@ -417,6 +432,14 @@ impl ErmsManager {
         // per-event sink borrow.
         let batch = self.cfg.telemetry_batch.max(1);
         let mut pending: Vec<(SimTime, Tel)> = Vec::new();
+        // Explicit guard (not `prof_scope!`): the merge phase must end
+        // before dispatch below, and a block around the act loop would
+        // re-indent half the function.
+        let merge_scope = if simcore::profiler::is_enabled() {
+            Some(simcore::profiler::enter("merge"))
+        } else {
+            None
+        };
         for (snap, slot) in snapshots.iter().zip(judged) {
             let (verdict, emitted) = slot.expect("every shard slot judged");
             for ev in emitted {
@@ -577,6 +600,7 @@ impl ErmsManager {
             self.note_visit(snap, class, &verdict);
         }
         buf_flush(&self.telemetry, &mut pending);
+        drop(merge_scope);
 
         // 5. dispatch + execute Condor tasks
         let idle = cluster.is_idle();
@@ -597,6 +621,7 @@ impl ErmsManager {
         }
 
         if self.telemetry.enabled() {
+            prof_scope!("telemetry_flush");
             self.telemetry
                 .counter_add("erms.hot_verdicts", report.hot as u64);
             self.telemetry

@@ -21,6 +21,9 @@
 //!   metrics registry with deterministic snapshot order. The event
 //!   vocabulary is domain-shaped but carries only primitive fields, so
 //!   `simcore` stays dependency-free at the bottom of the DAG,
+//! * [`profiler`] — a zero-cost-when-disabled hierarchical wall-clock
+//!   self-profiler ([`prof_scope!`]) whose snapshot *shape* is
+//!   deterministic while its timing weights are host-dependent,
 //! * [`spans`] — the read side of the trace: a JSONL decoder, a
 //!   [`spans::SpanCollector`] that pairs events into causal spans by
 //!   correlation id, and an online invariant oracle
@@ -44,6 +47,7 @@
 
 pub mod arena;
 pub mod engine;
+pub mod profiler;
 pub mod queue;
 pub mod rng;
 pub mod spans;

@@ -485,6 +485,20 @@ impl MetricHistogram {
         &self.buckets
     }
 
+    /// Rebuild a histogram from previously captured parts (the
+    /// checkpoint restore path). The parts must come from
+    /// [`MetricHistogram`]'s own fields — no validation beyond shape is
+    /// attempted.
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64, buckets: Vec<u64>) -> Self {
+        MetricHistogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        }
+    }
+
     /// Estimated value at quantile `q` in `[0, 1]`.
     ///
     /// Walks the cumulative bucket counts and reports the upper bound of
@@ -537,22 +551,65 @@ impl MetricHistogram {
 /// acceptance test leans on.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: std::collections::BTreeMap<&'static str, u64>,
-    gauges: std::collections::BTreeMap<&'static str, f64>,
-    histograms: std::collections::BTreeMap<&'static str, MetricHistogram>,
+    // Keys are Cow so the hot path stays allocation-free (&'static str
+    // borrowed) while checkpoint restore can re-create entries from
+    // parsed JSON (owned). `Cow<str>: Borrow<str>` keeps &str lookups
+    // working against either.
+    counters: std::collections::BTreeMap<std::borrow::Cow<'static, str>, u64>,
+    gauges: std::collections::BTreeMap<std::borrow::Cow<'static, str>, f64>,
+    histograms: std::collections::BTreeMap<std::borrow::Cow<'static, str>, MetricHistogram>,
 }
 
 impl MetricsRegistry {
     pub fn counter_add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+        *self
+            .counters
+            .entry(std::borrow::Cow::Borrowed(name))
+            .or_insert(0) += delta;
     }
 
     pub fn gauge_set(&mut self, name: &'static str, value: f64) {
-        self.gauges.insert(name, value);
+        self.gauges.insert(std::borrow::Cow::Borrowed(name), value);
     }
 
     pub fn observe(&mut self, name: &'static str, value: f64) {
-        self.histograms.entry(name).or_default().observe(value);
+        self.histograms
+            .entry(std::borrow::Cow::Borrowed(name))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Re-create a counter from restored state (owned key).
+    pub fn restore_counter(&mut self, name: &str, value: u64) {
+        self.counters
+            .insert(std::borrow::Cow::Owned(name.to_owned()), value);
+    }
+
+    /// Re-create a gauge from restored state (owned key).
+    pub fn restore_gauge(&mut self, name: &str, value: f64) {
+        self.gauges
+            .insert(std::borrow::Cow::Owned(name.to_owned()), value);
+    }
+
+    /// Re-create a histogram from restored state (owned key).
+    pub fn restore_histogram(&mut self, name: &str, hist: MetricHistogram) {
+        self.histograms
+            .insert(std::borrow::Cow::Owned(name.to_owned()), hist);
+    }
+
+    /// Counters in lexicographic key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+
+    /// Gauges in lexicographic key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+
+    /// Histograms in lexicographic key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &MetricHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_ref(), v))
     }
 
     pub fn counter(&self, name: &str) -> u64 {
@@ -748,6 +805,14 @@ impl TelemetrySink {
     /// Read access to the metrics under this sink (`None` if disabled).
     pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
         self.0.as_ref().map(|i| f(&i.borrow().metrics))
+    }
+
+    /// Swap in a restored registry (the checkpoint resume path); no-op
+    /// on a disabled sink.
+    pub fn replace_metrics(&self, metrics: MetricsRegistry) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().metrics = metrics;
+        }
     }
 
     /// JSON snapshot of every metric at `now`; `None` if disabled.
@@ -965,6 +1030,99 @@ mod tests {
         assert_eq!(h.percentile(1.0), 100.0, "clamped to observed max");
         // p99 lands on the 99th observation, still in the 3.0 bucket.
         assert_eq!(h.percentile(0.99), 4.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = MetricHistogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 0.0);
+        }
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let mut h = MetricHistogram::default();
+        h.observe(37.5);
+        // Every quantile's rank clamps to the one observation, and the
+        // bucket upper bound (64) clamps to observed max.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 37.5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_all_equal_samples_is_the_common_value() {
+        let mut h = MetricHistogram::default();
+        for _ in 0..1000 {
+            h.observe(6.0);
+        }
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 6.0, "q={q}");
+        }
+        assert_eq!(h.mean(), 6.0);
+    }
+
+    #[test]
+    fn p99_of_100_samples_uses_nearest_rank_99() {
+        // Nearest-rank: rank = ceil(0.99 * 100) = 99 — the 99th
+        // observation, NOT the 100th. With 99 samples in bucket 0 and
+        // one outlier, p99 must stay in bucket 0.
+        let mut h = MetricHistogram::default();
+        for _ in 0..99 {
+            h.observe(1.0);
+        }
+        h.observe(1000.0);
+        assert_eq!(h.percentile(0.99), 1.0, "rank 99 is still the 1.0 bucket");
+        assert_eq!(h.percentile(1.0), 1000.0, "rank 100 walks to the outlier");
+        // And the symmetric boundary: 99 outliers push rank 99 up.
+        let mut h2 = MetricHistogram::default();
+        h2.observe(1.0);
+        for _ in 0..99 {
+            h2.observe(1000.0);
+        }
+        assert_eq!(h2.percentile(0.99), 1000.0);
+    }
+
+    #[test]
+    fn histogram_from_parts_roundtrips_exactly() {
+        let mut h = MetricHistogram::default();
+        for v in [0.5, 3.0, 3.0, 700.0] {
+            h.observe(v);
+        }
+        let rebuilt =
+            MetricHistogram::from_parts(h.count, h.sum, h.min, h.max, h.buckets().to_vec());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.percentile(0.99), h.percentile(0.99));
+    }
+
+    #[test]
+    fn restored_registry_snapshots_identically() {
+        let mut reg = MetricsRegistry::default();
+        reg.counter_add("c.one", 5);
+        reg.gauge_set("g.two", -1.25);
+        reg.observe("h.three", 9.0);
+
+        let mut restored = MetricsRegistry::default();
+        for (k, v) in reg.counters() {
+            restored.restore_counter(k, v);
+        }
+        for (k, v) in reg.gauges() {
+            restored.restore_gauge(k, v);
+        }
+        for (k, h) in reg.histograms() {
+            restored.restore_histogram(
+                k,
+                MetricHistogram::from_parts(h.count, h.sum, h.min, h.max, h.buckets().to_vec()),
+            );
+        }
+        let now = SimTime::from_secs(3);
+        assert_eq!(restored.snapshot_json(now), reg.snapshot_json(now));
+        // Owned keys must keep accumulating under the same name as
+        // borrowed ones (Cow lookup transparency).
+        restored.counter_add("c.one", 1);
+        assert_eq!(restored.counter("c.one"), 6);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Offline analysis of telemetry traces: `summary`, `check`, `diff`.
+//! Offline analysis of telemetry traces: `summary`, `check`, `diff`,
+//! `profile`, `regress`.
 //!
 //! The heavy lifting (JSONL decoding, span reconstruction, the
 //! invariant oracle) lives in [`simcore::spans`]; this crate renders
@@ -14,6 +15,11 @@
 //!   listed with their `seq` anchors.
 //! * [`diff`] — compare two traces structurally (event counts and span
 //!   latency summaries), e.g. two different-seed runs of one scenario.
+//! * [`render_profile`] — flame-style text tree for a `profile.json`
+//!   written by the [`simcore::profiler`].
+//! * [`regress`] — compare a scorecard against a checked-in SLO
+//!   baseline: budgets are hard ceilings/floors, deterministic metrics
+//!   must match exactly, wall-clock metrics get a percentage tolerance.
 
 use std::fmt::Write as _;
 
@@ -42,6 +48,12 @@ fn skip_warning(skipped: &[SkippedLine]) -> String {
 /// Render the summary report for one JSONL trace. Unknown event kinds
 /// are skipped with a warning, not a hard error.
 pub fn summarize(trace: &str) -> Result<String, ParseError> {
+    summarize_lenient(trace).map(|(text, _)| text)
+}
+
+/// [`summarize`] plus the number of unknown-kind lines skipped, so
+/// callers (the CLI's `--strict` flag) can turn skips into a failure.
+pub fn summarize_lenient(trace: &str) -> Result<(String, usize), ParseError> {
     let (events, skipped) = parse_jsonl_lenient(trace)?;
     let report = SpanCollector::collect(&events);
     let mut out = skip_warning(&skipped);
@@ -112,13 +124,22 @@ pub fn summarize(trace: &str) -> Result<String, ParseError> {
             .join(" -> ");
         let _ = writeln!(out, "  {path:<24} {line}");
     }
-    Ok(out)
+    Ok((out, skipped.len()))
 }
 
 /// Run the invariant oracle over a trace. Returns the rendered report
 /// plus the violations themselves (empty means the trace is clean).
 /// Unknown event kinds are skipped with a warning, not a hard error.
 pub fn check(trace: &str, cfg: OracleConfig) -> Result<(String, Vec<Violation>), ParseError> {
+    check_lenient(trace, cfg).map(|(text, violations, _)| (text, violations))
+}
+
+/// [`check`] plus the number of unknown-kind lines skipped, so callers
+/// (the CLI's `--strict` flag) can turn skips into a failure.
+pub fn check_lenient(
+    trace: &str,
+    cfg: OracleConfig,
+) -> Result<(String, Vec<Violation>, usize), ParseError> {
     let (events, skipped) = parse_jsonl_lenient(trace)?;
     let violations = TraceOracle::check(&events, cfg);
     let mut out = skip_warning(&skipped);
@@ -136,7 +157,7 @@ pub fn check(trace: &str, cfg: OracleConfig) -> Result<(String, Vec<Violation>),
             let _ = writeln!(out, "  {v}");
         }
     }
-    Ok((out, violations))
+    Ok((out, violations, skipped.len()))
 }
 
 /// Structurally compare two traces. Returns the rendered report and
@@ -204,6 +225,285 @@ pub fn diff(a: &str, b: &str) -> Result<(String, bool), ParseError> {
         }
     );
     Ok((out, differs))
+}
+
+// ---------------------------------------------------------------- profile
+
+/// Reconstruct a [`ProfileNode`](simcore::profiler::ProfileNode) tree
+/// from the generic JSON value of a `profile.json`.
+pub fn profile_from_value(v: &serde::Value) -> Result<simcore::profiler::ProfileNode, String> {
+    let name = v
+        .get("name")
+        .and_then(|n| n.as_str())
+        .ok_or("profile node missing \"name\"")?
+        .to_string();
+    let num = |key: &str| -> Result<u64, String> {
+        match v.get(key) {
+            None => Err(format!("profile node {name:?} missing {key:?}")),
+            Some(n) => as_f64(n)
+                .map(|x| x as u64)
+                .ok_or_else(|| format!("profile node {name:?} field {key:?} is not a number")),
+        }
+    };
+    let (calls, wall_ns, max_ns, alloc) = (
+        num("calls")?,
+        num("wall_ns")?,
+        num("max_ns")?,
+        num("alloc")?,
+    );
+    let mut node = simcore::profiler::ProfileNode {
+        name,
+        calls,
+        wall_ns,
+        max_ns,
+        alloc,
+        children: Vec::new(),
+    };
+    if let Some(children) = v.get("children").and_then(|c| c.as_seq()) {
+        for child in children {
+            node.children.push(profile_from_value(child)?);
+        }
+    }
+    Ok(node)
+}
+
+/// Render a `profile.json` (as written by `bench scorecard` or
+/// [`simcore::profiler::ProfileNode::to_json`]) as the flame-style text
+/// tree.
+pub fn render_profile(json: &str) -> Result<String, String> {
+    let value = serde_json::parse_value(json).map_err(|e| format!("profile parse error: {e}"))?;
+    let root = profile_from_value(&value)?;
+    Ok(simcore::profiler::render_text(&root))
+}
+
+// ---------------------------------------------------------------- regress
+
+/// One SLO/regression finding; `regress` fails when any exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressFinding {
+    pub scenario: String,
+    pub metric: String,
+    pub detail: String,
+}
+
+fn as_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::U64(n) => Some(*n as f64),
+        serde::Value::I64(n) => Some(*n as f64),
+        serde::Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn num_map<'a>(v: &'a serde::Value, key: &str) -> Vec<(&'a str, f64)> {
+    v.get(key)
+        .and_then(|m| m.as_map())
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|(k, val)| as_f64(val).map(|x| (k.as_str(), x)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn scenarios_by_name(doc: &serde::Value) -> Vec<(&str, &serde::Value)> {
+    doc.get("scenarios")
+        .and_then(|s| s.as_seq())
+        .map(|seq| {
+            seq.iter()
+                .filter_map(|s| s.get("name").and_then(|n| n.as_str()).map(|n| (n, s)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare a candidate `SCORECARD.json` against an SLO baseline.
+///
+/// Three classes of findings, all fatal:
+///
+/// * **budget** — the baseline's per-scenario `budgets` entries are
+///   hard `max`/`min` bounds on candidate metrics, independent of what
+///   the baseline itself measured.
+/// * **deterministic** — metrics under a scenario's `deterministic` map
+///   are pure functions of the seed (sim-time latencies, violation
+///   counts, energy integrals) and must match the baseline **exactly**;
+///   any drift means behaviour changed.
+/// * **wallclock** — metrics under `wallclock` are host-dependent
+///   timings; the candidate may be worse than baseline by up to
+///   `tolerance_pct` percent (metrics named `*_per_sec` count as
+///   higher-is-better, everything else as lower-is-better).
+///
+/// `tolerance_pct` falls back to the baseline's
+/// `wallclock_tolerance_pct` (default 100). Returns the rendered report
+/// and the findings; scenarios present only in the candidate are noted
+/// but never fatal, scenarios missing from the candidate are.
+pub fn regress(
+    baseline_json: &str,
+    candidate_json: &str,
+    tolerance_pct: Option<f64>,
+) -> Result<(String, Vec<RegressFinding>), String> {
+    let baseline =
+        serde_json::parse_value(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
+    let candidate = serde_json::parse_value(candidate_json)
+        .map_err(|e| format!("candidate parse error: {e}"))?;
+    let tolerance = tolerance_pct
+        .or_else(|| baseline.get("wallclock_tolerance_pct").and_then(as_f64))
+        .unwrap_or(100.0);
+    if !(0.0..=1e6).contains(&tolerance) {
+        return Err(format!("tolerance {tolerance} out of range"));
+    }
+    let factor = 1.0 + tolerance / 100.0;
+
+    let mut out = String::new();
+    let mut findings = Vec::new();
+    let cand_scenarios = scenarios_by_name(&candidate);
+    let base_scenarios = scenarios_by_name(&baseline);
+    let _ = writeln!(
+        out,
+        "regress: {} baseline scenario(s), wall-clock tolerance {tolerance}%",
+        base_scenarios.len()
+    );
+
+    for (name, base) in &base_scenarios {
+        let Some((_, cand)) = cand_scenarios.iter().find(|(n, _)| n == name) else {
+            findings.push(RegressFinding {
+                scenario: name.to_string(),
+                metric: "<scenario>".into(),
+                detail: "missing from candidate".into(),
+            });
+            let _ = writeln!(out, "  {name}: MISSING from candidate");
+            continue;
+        };
+        let mut scenario_findings = 0usize;
+
+        // budgets: hard bounds on the candidate
+        if let Some(budgets) = base.get("budgets").and_then(|b| b.as_seq()) {
+            let cand_det = num_map(cand, "deterministic");
+            let cand_wall = num_map(cand, "wallclock");
+            let lookup = |metric: &str| -> Option<f64> {
+                cand_det
+                    .iter()
+                    .chain(cand_wall.iter())
+                    .find(|(k, _)| *k == metric)
+                    .map(|(_, v)| *v)
+            };
+            for budget in budgets {
+                let Some(metric) = budget.get("metric").and_then(|m| m.as_str()) else {
+                    continue;
+                };
+                let Some(value) = lookup(metric) else {
+                    findings.push(RegressFinding {
+                        scenario: name.to_string(),
+                        metric: metric.to_string(),
+                        detail: "budgeted metric missing from candidate".into(),
+                    });
+                    scenario_findings += 1;
+                    continue;
+                };
+                if let Some(max) = budget.get("max").and_then(as_f64) {
+                    if value > max {
+                        findings.push(RegressFinding {
+                            scenario: name.to_string(),
+                            metric: metric.to_string(),
+                            detail: format!("budget violation: {value} > max {max}"),
+                        });
+                        scenario_findings += 1;
+                    }
+                }
+                if let Some(min) = budget.get("min").and_then(as_f64) {
+                    if value < min {
+                        findings.push(RegressFinding {
+                            scenario: name.to_string(),
+                            metric: metric.to_string(),
+                            detail: format!("budget violation: {value} < min {min}"),
+                        });
+                        scenario_findings += 1;
+                    }
+                }
+            }
+        }
+
+        // deterministic metrics: exact match required
+        let cand_det = num_map(cand, "deterministic");
+        for (metric, base_v) in num_map(base, "deterministic") {
+            match cand_det.iter().find(|(k, _)| *k == metric) {
+                None => {
+                    findings.push(RegressFinding {
+                        scenario: name.to_string(),
+                        metric: metric.to_string(),
+                        detail: "deterministic metric missing from candidate".into(),
+                    });
+                    scenario_findings += 1;
+                }
+                Some((_, cand_v)) if *cand_v != base_v => {
+                    findings.push(RegressFinding {
+                        scenario: name.to_string(),
+                        metric: metric.to_string(),
+                        detail: format!(
+                            "deterministic drift: baseline {base_v}, candidate {cand_v}"
+                        ),
+                    });
+                    scenario_findings += 1;
+                }
+                Some(_) => {}
+            }
+        }
+
+        // wall-clock metrics: tolerated worsening
+        let cand_wall = num_map(cand, "wallclock");
+        for (metric, base_v) in num_map(base, "wallclock") {
+            let Some((_, cand_v)) = cand_wall.iter().find(|(k, _)| *k == metric) else {
+                findings.push(RegressFinding {
+                    scenario: name.to_string(),
+                    metric: metric.to_string(),
+                    detail: "wall-clock metric missing from candidate".into(),
+                });
+                scenario_findings += 1;
+                continue;
+            };
+            let higher_is_better = metric.ends_with("_per_sec");
+            let regressed = if base_v <= 0.0 {
+                false // nothing meaningful to compare against
+            } else if higher_is_better {
+                *cand_v * factor < base_v
+            } else {
+                *cand_v > base_v * factor
+            };
+            if regressed {
+                findings.push(RegressFinding {
+                    scenario: name.to_string(),
+                    metric: metric.to_string(),
+                    detail: format!(
+                        "wall-clock regression beyond {tolerance}%: baseline {base_v}, candidate {cand_v}"
+                    ),
+                });
+                scenario_findings += 1;
+            }
+        }
+
+        if scenario_findings == 0 {
+            let _ = writeln!(out, "  {name}: OK");
+        } else {
+            let _ = writeln!(out, "  {name}: {scenario_findings} finding(s)");
+        }
+    }
+
+    for (name, _) in &cand_scenarios {
+        if !base_scenarios.iter().any(|(n, _)| n == name) {
+            let _ = writeln!(out, "  {name}: new scenario (no baseline; not gated)");
+        }
+    }
+
+    if findings.is_empty() {
+        let _ = writeln!(out, "verdict: PASS");
+    } else {
+        let _ = writeln!(out, "verdict: FAIL ({} finding(s))", findings.len());
+        for f in &findings {
+            let _ = writeln!(out, "  {} / {}: {}", f.scenario, f.metric, f.detail);
+        }
+    }
+    Ok((out, findings))
 }
 
 #[cfg(test)]
@@ -383,5 +683,128 @@ mod tests {
         assert!(violations.is_empty(), "{text}");
         assert!(text.contains("warning: skipped 1"), "{text}");
         assert!(text.contains("OK (0 violations)"), "{text}");
+    }
+
+    #[test]
+    fn lenient_variants_expose_the_skip_count() {
+        let mut trace = clean_trace();
+        let (_, skipped) = summarize_lenient(&trace).unwrap();
+        assert_eq!(skipped, 0);
+        trace.push_str("{\"t_ns\":1,\"seq\":98,\"ev\":\"quantum_flux\"}\n");
+        trace.push_str("{\"t_ns\":2,\"seq\":99,\"ev\":\"tachyon_burst\"}\n");
+        let (_, skipped) = summarize_lenient(&trace).unwrap();
+        assert_eq!(skipped, 2);
+        let (_, violations, skipped) = check_lenient(&trace, OracleConfig::default()).unwrap();
+        assert!(violations.is_empty());
+        assert_eq!(skipped, 2);
+    }
+
+    // A minimal two-scenario scorecard document. `p99` and `violations`
+    // are deterministic; `mean_tick_ms` is wall-clock.
+    fn scorecard(p99: f64, violations: u64, mean_tick_ms: f64) -> String {
+        format!(
+            r#"{{"format":1,"scenarios":[
+              {{"name":"churn-small","seed":42,
+                "deterministic":{{"read_p99_s":{p99},"oracle_violations":{violations}}},
+                "wallclock":{{"mean_tick_ms":{mean_tick_ms},"cep_events_per_sec":50000}}}}
+            ]}}"#
+        )
+    }
+
+    fn baseline(p99: f64, mean_tick_ms: f64) -> String {
+        format!(
+            r#"{{"format":1,"wallclock_tolerance_pct":100,
+              "scenarios":[
+                {{"name":"churn-small",
+                  "budgets":[{{"metric":"read_p99_s","max":5.0}},
+                             {{"metric":"oracle_violations","max":0}},
+                             {{"metric":"cep_events_per_sec","min":1}}],
+                  "deterministic":{{"read_p99_s":{p99},"oracle_violations":0}},
+                  "wallclock":{{"mean_tick_ms":{mean_tick_ms},"cep_events_per_sec":50000}}}}
+              ]}}"#
+        )
+    }
+
+    #[test]
+    fn regress_passes_an_identical_candidate() {
+        let (text, findings) = regress(&baseline(1.5, 2.0), &scorecard(1.5, 0, 2.0), None).unwrap();
+        assert!(findings.is_empty(), "{text}");
+        assert!(text.contains("verdict: PASS"), "{text}");
+    }
+
+    #[test]
+    fn regress_fails_on_deterministic_drift_even_tiny() {
+        // A seeded synthetic regression: p99 moved by one ULP-ish step.
+        let (text, findings) =
+            regress(&baseline(1.5, 2.0), &scorecard(1.5000001, 0, 2.0), None).unwrap();
+        assert_eq!(findings.len(), 1, "{text}");
+        assert!(findings[0].detail.contains("deterministic drift"));
+        assert!(text.contains("verdict: FAIL"), "{text}");
+    }
+
+    #[test]
+    fn regress_fails_on_budget_violation() {
+        // p99 within exact-match (baseline moved too) but over budget.
+        let (text, findings) = regress(&baseline(6.0, 2.0), &scorecard(6.0, 0, 2.0), None).unwrap();
+        assert_eq!(findings.len(), 1, "{text}");
+        assert!(findings[0].detail.contains("budget violation"));
+        // ...and a violation count over its zero budget also trips.
+        let (_, findings) = regress(&baseline(1.5, 2.0), &scorecard(1.5, 3, 2.0), None).unwrap();
+        assert!(findings
+            .iter()
+            .any(|f| f.metric == "oracle_violations" && f.detail.contains("budget violation")));
+    }
+
+    #[test]
+    fn regress_tolerates_wallclock_jitter_but_not_blowups() {
+        // 100% tolerance: 2.0 ms → 3.9 ms passes, 4.1 ms fails.
+        let (text, findings) = regress(&baseline(1.5, 2.0), &scorecard(1.5, 0, 3.9), None).unwrap();
+        assert!(findings.is_empty(), "{text}");
+        let (text, findings) = regress(&baseline(1.5, 2.0), &scorecard(1.5, 0, 4.1), None).unwrap();
+        assert_eq!(findings.len(), 1, "{text}");
+        assert!(findings[0].detail.contains("wall-clock regression"));
+        // --tolerance-pct widens the gate.
+        let (_, findings) =
+            regress(&baseline(1.5, 2.0), &scorecard(1.5, 0, 4.1), Some(400.0)).unwrap();
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn regress_flags_missing_scenarios_and_ignores_new_ones() {
+        let cand = r#"{"format":1,"scenarios":[
+            {"name":"brand-new","seed":1,"deterministic":{},"wallclock":{}}
+        ]}"#;
+        let (text, findings) = regress(&baseline(1.5, 2.0), cand, None).unwrap();
+        assert_eq!(findings.len(), 1, "{text}");
+        assert!(findings[0].detail.contains("missing from candidate"));
+        assert!(text.contains("brand-new: new scenario"), "{text}");
+    }
+
+    #[test]
+    fn regress_rejects_garbage_inputs() {
+        assert!(regress("not json", &scorecard(1.5, 0, 2.0), None).is_err());
+        assert!(regress(&baseline(1.5, 2.0), "not json", None).is_err());
+    }
+
+    #[test]
+    fn profile_json_round_trips_into_the_text_tree() {
+        simcore::profiler::reset();
+        simcore::profiler::set_enabled(true);
+        {
+            simcore::prof_scope!("tick");
+            simcore::prof_scope!("audit");
+        }
+        simcore::profiler::set_enabled(false);
+        let snap = simcore::profiler::snapshot();
+        simcore::profiler::reset();
+        let json = snap.to_json();
+        let text = render_profile(&json).unwrap();
+        assert!(text.contains("tick"), "{text}");
+        assert!(text.contains("  audit"), "{text}");
+        // round trip preserves the full tree
+        let value = serde_json::parse_value(&json).unwrap();
+        assert_eq!(profile_from_value(&value).unwrap(), snap);
+        assert!(render_profile("{}").is_err());
+        assert!(render_profile("not json").is_err());
     }
 }

@@ -1,11 +1,14 @@
 //! `trace-tools` — analyze telemetry traces from the ERMS simulator.
 //!
 //! ```text
-//! trace-tools summary <trace.jsonl>
+//! trace-tools summary <trace.jsonl> [--strict]
 //! trace-tools check   <trace.jsonl> [--default-replication N]
 //!                                   [--max-replication N]
 //!                                   [--parities-per-stripe N]
+//!                                   [--strict]
 //! trace-tools diff    <a.jsonl> <b.jsonl>
+//! trace-tools profile <profile.json>
+//! trace-tools regress <baseline.json> <candidate.json> [--tolerance-pct N]
 //! trace-tools checkpoint save   --scenario <name> --seed <n> --at-tick <t>
 //!                               --out <snap.json> [--trace <prefix.jsonl>]
 //! trace-tools checkpoint resume --snapshot <snap.json>
@@ -14,26 +17,29 @@
 //! ```
 //!
 //! Exit codes: `0` clean / identical / success, `1` invariant violations
-//! found or traces differ, `2` usage, I/O or parse error (including a
+//! found, traces differ, skipped lines under `--strict`, or SLO/
+//! regression findings, `2` usage, I/O or parse error (including a
 //! snapshot whose format version this build does not speak) — so CI can
-//! gate a build on `trace-tools check`.
+//! gate a build on `trace-tools check` or `trace-tools regress`.
 
 use bench::checkpointing::{ResumableRun, Scenario};
 use checkpoint::Snapshot;
 use std::process::ExitCode;
-use trace_tools::{check, diff, summarize, OracleConfig};
+use trace_tools::{check_lenient, diff, regress, render_profile, summarize_lenient, OracleConfig};
 
 const USAGE: &str = "usage:
-  trace-tools summary <trace.jsonl>
-  trace-tools check   <trace.jsonl> [--default-replication N] [--max-replication N] [--parities-per-stripe N]
+  trace-tools summary <trace.jsonl> [--strict]
+  trace-tools check   <trace.jsonl> [--default-replication N] [--max-replication N] [--parities-per-stripe N] [--strict]
   trace-tools diff    <a.jsonl> <b.jsonl>
+  trace-tools profile <profile.json>
+  trace-tools regress <baseline.json> <candidate.json> [--tolerance-pct N]
   trace-tools checkpoint save   --scenario <name> --seed <n> --at-tick <t> --out <snap.json> [--trace <prefix.jsonl>]
   trace-tools checkpoint resume --snapshot <snap.json> [--trace <suffix.jsonl>] [--restart]
   trace-tools checkpoint info   --snapshot <snap.json>
 
 exit codes:
   0  clean / identical / success
-  1  invariant violations found, or traces differ
+  1  invariant violations found, traces differ, skipped lines under --strict, or regression findings
   2  usage, I/O or parse error (incl. unsupported snapshot version)";
 
 fn fail(msg: &str) -> ExitCode {
@@ -79,6 +85,16 @@ fn u64_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
             .parse::<u64>()
             .map(Some)
             .map_err(|_| format!("{flag} value '{raw}' is not a u64")),
+    }
+}
+
+fn f64_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<f64>, String> {
+    match str_flag(args, flag)? {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| format!("{flag} value '{raw}' is not a number")),
     }
 }
 
@@ -221,18 +237,25 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "summary" => {
+            let strict = bool_flag(&mut args, "--strict");
             let [path] = args.as_slice() else {
                 return fail("summary takes exactly one trace file");
             };
-            match read(path).and_then(|t| summarize(&t).map_err(|e| e.to_string())) {
-                Ok(text) => {
+            match read(path).and_then(|t| summarize_lenient(&t).map_err(|e| e.to_string())) {
+                Ok((text, skipped)) => {
                     print!("{text}");
-                    ExitCode::SUCCESS
+                    if strict && skipped > 0 {
+                        eprintln!("trace-tools: --strict: {skipped} skipped line(s)");
+                        ExitCode::from(1)
+                    } else {
+                        ExitCode::SUCCESS
+                    }
                 }
                 Err(e) => fail(&e),
             }
         }
         "check" => {
+            let strict = bool_flag(&mut args, "--strict");
             let mut cfg = OracleConfig::default();
             let parsed = (|| -> Result<(), String> {
                 if let Some(v) = flag_value(&mut args, "--default-replication")? {
@@ -252,10 +275,13 @@ fn main() -> ExitCode {
             let [path] = args.as_slice() else {
                 return fail("check takes exactly one trace file");
             };
-            match read(path).and_then(|t| check(&t, cfg).map_err(|e| e.to_string())) {
-                Ok((text, violations)) => {
+            match read(path).and_then(|t| check_lenient(&t, cfg).map_err(|e| e.to_string())) {
+                Ok((text, violations, skipped)) => {
                     print!("{text}");
-                    if violations.is_empty() {
+                    if strict && skipped > 0 {
+                        eprintln!("trace-tools: --strict: {skipped} skipped line(s)");
+                        ExitCode::from(1)
+                    } else if violations.is_empty() {
                         ExitCode::SUCCESS
                     } else {
                         ExitCode::from(1)
@@ -276,6 +302,39 @@ fn main() -> ExitCode {
                         ExitCode::from(1)
                     } else {
                         ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "profile" => {
+            let [path] = args.as_slice() else {
+                return fail("profile takes exactly one profile.json file");
+            };
+            match read(path).and_then(|t| render_profile(&t)) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "regress" => {
+            let tolerance = match f64_flag(&mut args, "--tolerance-pct") {
+                Ok(t) => t,
+                Err(e) => return fail(&e),
+            };
+            let [baseline, candidate] = args.as_slice() else {
+                return fail("regress takes a baseline file and a candidate file");
+            };
+            let loaded = read(baseline).and_then(|b| read(candidate).map(|c| (b, c)));
+            match loaded.and_then(|(b, c)| regress(&b, &c, tolerance)) {
+                Ok((text, findings)) => {
+                    print!("{text}");
+                    if findings.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
                     }
                 }
                 Err(e) => fail(&e),

@@ -136,6 +136,177 @@ fn clean_trace_exits_zero_and_tampered_diff_exits_one() {
 }
 
 #[test]
+fn strict_mode_flags_skipped_lines_and_is_quiet_on_clean_traces() {
+    let clean = tmp("strict-clean.jsonl");
+    let dirty = tmp("strict-dirty.jsonl");
+    let snap = tmp("strict-snap.json");
+    let _cleanup = Cleanup(vec![clean.clone(), dirty.clone(), snap.clone()]);
+
+    let out = run(&[
+        "checkpoint",
+        "save",
+        "--scenario",
+        "churn-tiny",
+        "--seed",
+        "3",
+        "--at-tick",
+        "2",
+        "--out",
+        snap.to_str().unwrap(),
+        "--trace",
+        clean.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "save succeeds");
+
+    // a fully parseable trace passes strict summary and strict check
+    assert_eq!(
+        code(&run(&["summary", clean.to_str().unwrap(), "--strict"])),
+        0
+    );
+    assert_eq!(
+        code(&run(&["check", clean.to_str().unwrap(), "--strict"])),
+        0
+    );
+
+    // splice in a line from a foreign tool: lenient modes shrug, strict
+    // modes exit 1 and say how many lines they dropped
+    let jsonl = std::fs::read_to_string(&clean).unwrap();
+    std::fs::write(
+        &dirty,
+        format!("{jsonl}{{\"ev\":\"from_the_future\",\"t_ns\":1,\"seq\":999999999}}\n"),
+    )
+    .unwrap();
+    for mode in ["summary", "check"] {
+        let lenient = run(&[mode, dirty.to_str().unwrap()]);
+        assert_eq!(code(&lenient), 0, "{mode} stays lenient without --strict");
+        let text = String::from_utf8(lenient.stdout).unwrap();
+        assert!(text.contains("skipped"), "{mode} reports the skip: {text}");
+
+        let strict = run(&[mode, dirty.to_str().unwrap(), "--strict"]);
+        assert_eq!(code(&strict), 1, "{mode} --strict turns skips into failure");
+        let err = String::from_utf8(strict.stderr).unwrap();
+        assert!(
+            err.contains("1 skipped line"),
+            "{mode} --strict counts the skips: {err}"
+        );
+    }
+}
+
+#[test]
+fn regress_gates_pass_fail_and_garbage_with_distinct_codes() {
+    let baseline = tmp("regress-base.json");
+    let same = tmp("regress-same.json");
+    let worse = tmp("regress-worse.json");
+    let garbage = tmp("regress-garbage.json");
+    let _cleanup = Cleanup(vec![
+        baseline.clone(),
+        same.clone(),
+        worse.clone(),
+        garbage.clone(),
+    ]);
+
+    std::fs::write(
+        &baseline,
+        r#"{"format":1,"wallclock_tolerance_pct":100,"scenarios":[
+            {"name":"churn-x",
+             "budgets":[{"metric":"oracle_violations","max":0}],
+             "deterministic":{"read_p99_s":2.5,"oracle_violations":0},
+             "wallclock":{"mean_tick_ms":1.0}}]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &same,
+        r#"{"format":1,"scenarios":[
+            {"name":"churn-x",
+             "deterministic":{"read_p99_s":2.5,"oracle_violations":0},
+             "wallclock":{"mean_tick_ms":1.5}}]}"#,
+    )
+    .unwrap();
+    // a seeded regression: deterministic drift plus a blown budget
+    std::fs::write(
+        &worse,
+        r#"{"format":1,"scenarios":[
+            {"name":"churn-x",
+             "deterministic":{"read_p99_s":9.9,"oracle_violations":3},
+             "wallclock":{"mean_tick_ms":1.5}}]}"#,
+    )
+    .unwrap();
+    std::fs::write(&garbage, "not json at all").unwrap();
+
+    let pass = run(&[
+        "regress",
+        baseline.to_str().unwrap(),
+        same.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&pass), 0, "identical deterministic metrics pass");
+    let text = String::from_utf8(pass.stdout).unwrap();
+    assert!(text.contains("verdict: PASS"), "report verdicts: {text}");
+
+    let fail = run(&[
+        "regress",
+        baseline.to_str().unwrap(),
+        worse.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&fail), 1, "a regression exits 1");
+    let text = String::from_utf8(fail.stdout).unwrap();
+    assert!(text.contains("verdict: FAIL"), "report verdicts: {text}");
+    assert!(text.contains("read_p99_s"), "names the metric: {text}");
+
+    // tolerance is a flag: a huge wall-clock swing passes at 10000%
+    let wide = run(&[
+        "regress",
+        baseline.to_str().unwrap(),
+        same.to_str().unwrap(),
+        "--tolerance-pct",
+        "10000",
+    ]);
+    assert_eq!(code(&wide), 0);
+
+    assert_eq!(
+        code(&run(&[
+            "regress",
+            baseline.to_str().unwrap(),
+            garbage.to_str().unwrap()
+        ])),
+        2,
+        "unparseable candidate is a usage-class error"
+    );
+    assert_eq!(code(&run(&["regress", baseline.to_str().unwrap()])), 2);
+}
+
+#[test]
+fn profile_renders_the_flame_tree_and_rejects_garbage() {
+    let profile = tmp("profile.json");
+    let garbage = tmp("profile-garbage.json");
+    let _cleanup = Cleanup(vec![profile.clone(), garbage.clone()]);
+
+    std::fs::write(
+        &profile,
+        r#"{"name":"","calls":0,"wall_ns":0,"max_ns":0,"alloc":0,"children":[
+            {"name":"tick","calls":10,"wall_ns":5000000,"max_ns":900000,"alloc":42,
+             "children":[{"name":"judge","calls":10,"wall_ns":4000000,"max_ns":800000,
+                          "alloc":40,"children":[]}]}]}"#,
+    )
+    .unwrap();
+    let out = run(&["profile", profile.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("tick"), "tree lists the phase: {text}");
+    assert!(text.contains("judge"), "tree nests children: {text}");
+    assert!(text.contains("parent%"), "tree shows shares: {text}");
+
+    std::fs::write(&garbage, "[]").unwrap();
+    assert_eq!(code(&run(&["profile", garbage.to_str().unwrap()])), 2);
+    assert_eq!(
+        code(&run(&[
+            "profile",
+            tmp("missing-profile.json").to_str().unwrap()
+        ])),
+        2
+    );
+}
+
+#[test]
 fn unsupported_snapshot_version_is_a_typed_error_not_a_panic() {
     let snap = tmp("future.json");
     let _cleanup = Cleanup(vec![snap.clone()]);

@@ -4,8 +4,9 @@
 //! scorecard [scenario...] [--seed N] [--xlarge] [--write-baseline]
 //! ```
 //!
-//! Runs the scorecard matrix (default: every churn scenario plus
-//! `scale-small`; `--xlarge` appends the 100k-file storm) under the
+//! Runs the scorecard matrix (default: every churn and production
+//! traffic scenario plus `scale-small`; `--xlarge` appends the
+//! 100k-file storm) under the
 //! self-profiler, prints the per-scenario summary table, and archives
 //! `results/SCORECARD.json` (metric maps + per-phase breakdown) and
 //! `results/profile.json` (the merged flame tree, scenario names at the
@@ -68,7 +69,7 @@ fn main() -> ExitCode {
             name => match Case::by_name(name) {
                 Some(c) => cases.push(c),
                 None => {
-                    eprintln!("unknown scenario {name:?} (churn-*|scale-*)");
+                    eprintln!("unknown scenario {name:?} (churn-*|prod-*|soak-*|scale-*)");
                     return ExitCode::FAILURE;
                 }
             },

@@ -1,0 +1,163 @@
+//! Segmented long-horizon soak runner.
+//!
+//! ```text
+//! soak --list
+//! soak <scenario> [--seed N] [--straight] [--trace-out F] [--ckpt-out F]
+//! soak <scenario> --segments K [--segment I] [--ckpt-in F] [--ckpt-out F] [--trace-out F] [--seed N]
+//! ```
+//!
+//! Three modes:
+//! * `--straight` — the reference run, one unbroken horizon;
+//! * `--segments K` (no `--segment`) — all `K` segments in this
+//!   process, snapshots pushed through their JSON wire format between
+//!   segments exactly as CI shards would exchange them;
+//! * `--segments K --segment I` — one shard's share: segment 0 starts
+//!   fresh, later segments resume `--ckpt-in`; every non-final segment
+//!   writes `--ckpt-out` for the next shard.
+//!
+//! The trace chunk goes to `--trace-out` (one shard's chunk in sharded
+//! mode; shards concatenate chunks in segment order and gate the result
+//! with `trace-tools diff` against a `--straight` trace plus
+//! `trace-tools check`).
+
+use bench::checkpointing::Scenario;
+use bench::soak;
+use checkpoint::Snapshot;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("soak: {msg}");
+    eprintln!(
+        "usage: soak --list | soak <scenario> [--seed N] [--straight | --segments K [--segment I] [--ckpt-in F]] [--ckpt-out F] [--trace-out F]"
+    );
+    ExitCode::from(2)
+}
+
+fn str_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let v = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(v))
+}
+
+fn u64_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    match str_flag(args, flag)? {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("{flag} value '{raw}' is not a u64")),
+    }
+}
+
+fn bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if bool_flag(&mut args, "--list") {
+        for name in Scenario::names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let parsed = (|| -> Result<_, String> {
+        let seed = u64_flag(&mut args, "--seed")?.unwrap_or(42);
+        let straight = bool_flag(&mut args, "--straight");
+        let segments = u64_flag(&mut args, "--segments")?;
+        let segment = u64_flag(&mut args, "--segment")?;
+        let ckpt_in = str_flag(&mut args, "--ckpt-in")?;
+        let ckpt_out = str_flag(&mut args, "--ckpt-out")?;
+        let trace_out = str_flag(&mut args, "--trace-out")?;
+        if args.len() != 1 {
+            return Err(format!("expected exactly one scenario, got {args:?}"));
+        }
+        let scenario = Scenario::by_name(&args[0])
+            .ok_or_else(|| format!("unknown scenario {:?} (try --list)", args[0]))?;
+        Ok((
+            scenario, seed, straight, segments, segment, ckpt_in, ckpt_out, trace_out,
+        ))
+    })();
+    let (scenario, seed, straight, segments, segment, ckpt_in, ckpt_out, trace_out) = match parsed {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+
+    let (label, trace, snapshot) = if straight {
+        if segments.is_some() || segment.is_some() || ckpt_in.is_some() {
+            return fail("--straight takes no segment flags");
+        }
+        let (trace, snap) = soak::run_straight(scenario.clone(), seed);
+        ("straight".to_string(), trace, snap)
+    } else {
+        let Some(segments) = segments else {
+            return fail("need --straight or --segments K");
+        };
+        match segment {
+            None => {
+                if ckpt_in.is_some() {
+                    return fail("--ckpt-in only makes sense with --segment");
+                }
+                let (trace, snap) = soak::run_segmented(scenario.clone(), seed, segments);
+                (format!("{segments} segments"), trace, snap)
+            }
+            Some(index) => {
+                let prior = match &ckpt_in {
+                    None => None,
+                    Some(path) => match Snapshot::read_file(std::path::Path::new(path)) {
+                        Ok(s) => Some(s),
+                        Err(e) => return fail(&format!("cannot load {path}: {e}")),
+                    },
+                };
+                match soak::run_segment(scenario.clone(), seed, segments, index, prior.as_ref()) {
+                    Ok(out) => (
+                        format!("segment {}/{segments}", index + 1),
+                        out.trace,
+                        out.snapshot,
+                    ),
+                    Err(e) => return fail(&format!("segment {index} failed: {e}")),
+                }
+            }
+        }
+    };
+
+    if let Some(path) = &trace_out {
+        if let Err(e) = write_file(path, &trace) {
+            return fail(&e);
+        }
+    }
+    if let Some(path) = &ckpt_out {
+        if let Err(e) = snapshot.write_file(std::path::Path::new(path)) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+    }
+    println!(
+        "{} {} seed {}: {} trace events to tick {}{}{}",
+        scenario.name,
+        label,
+        seed,
+        trace.lines().count(),
+        snapshot.meta.tick,
+        trace_out
+            .map(|p| format!(", trace {p}"))
+            .unwrap_or_default(),
+        ckpt_out.map(|p| format!(", ckpt {p}")).unwrap_or_default(),
+    );
+    ExitCode::SUCCESS
+}

@@ -26,6 +26,7 @@ use hdfs_sim::{ClusterConfig, ClusterSim, NodeId};
 use simcore::telemetry::TelemetrySink;
 use simcore::units::{Bytes, MB};
 use simcore::{SimDuration, SimTime};
+use workload::{DiurnalConfig, FlashCrowdConfig, IngestScanConfig, ProdScenario, TieredConfig};
 
 /// A named, code-defined scenario shape. Snapshots store only the name
 /// (plus seed), so resuming looks the config up here — the snapshot
@@ -53,6 +54,13 @@ pub struct Scenario {
     pub full_rescan: bool,
     /// Background scrubber on (with the default per-tick budget).
     pub scrubber: bool,
+    /// Erasure-code cold data (the tiered scenarios' whole point).
+    pub encode: bool,
+    /// Production-shaped traffic driving the run: the trace synthesised
+    /// from this config (and the run seed) is quantised onto the tick
+    /// grid — file creations and job reads fire at their tick's
+    /// deadline. `None` means the classic `/churn` warm-up shape.
+    pub workload: Option<ProdScenario>,
 }
 
 impl Scenario {
@@ -74,6 +82,8 @@ impl Scenario {
             standby: 15..18,
             full_rescan: false,
             scrubber: false,
+            encode: false,
+            workload: None,
         }
     }
 
@@ -110,6 +120,102 @@ impl Scenario {
         s
     }
 
+    /// Base shape for the production-traffic scenarios: no `/churn`
+    /// warm-up corpus (the trace brings its own files), faults tuned per
+    /// scenario, otherwise the churn defaults.
+    fn prod_base() -> Self {
+        Scenario {
+            num_files: 0,
+            warmup_read_ticks: 0,
+            reads_per_tick: 0,
+            ..Self::churn_small()
+        }
+    }
+
+    /// One simulated day of six-tenant Zipf traffic with staggered
+    /// diurnal peaks — the shape the elastic scale-up/down loop tracks.
+    pub fn prod_diurnal() -> Self {
+        let mut fault = FaultConfig::paper_default();
+        fault.horizon = SimDuration::from_hours(24);
+        fault.node_mtbf = SimDuration::from_hours(8);
+        Scenario {
+            name: "prod-diurnal",
+            fault,
+            tick: SimDuration::from_secs(240),
+            total_ticks: 360 + 20,
+            workload: Some(ProdScenario::Diurnal(DiurnalConfig::default())),
+            ..Self::prod_base()
+        }
+    }
+
+    /// Four hours of background Zipf reads punctuated by correlated
+    /// cross-file flash crowds (whole file groups slammed at once).
+    pub fn prod_flashcrowd() -> Self {
+        let mut fault = FaultConfig::paper_default();
+        fault.horizon = SimDuration::from_mins(210);
+        Scenario {
+            name: "prod-flashcrowd",
+            fault,
+            tick: SimDuration::from_secs(60),
+            total_ticks: 240 + 16,
+            workload: Some(ProdScenario::FlashCrowd(FlashCrowdConfig::default())),
+            ..Self::prod_base()
+        }
+    }
+
+    /// Six hours of continuous ingest (write pressure all horizon long)
+    /// with fresh-read validation traffic and periodic namespace scans.
+    pub fn prod_ingest() -> Self {
+        let mut fault = FaultConfig::paper_default();
+        fault.horizon = SimDuration::from_hours(5);
+        fault.node_mtbf = SimDuration::from_hours(3);
+        Scenario {
+            name: "prod-ingest",
+            fault,
+            tick: SimDuration::from_secs(60),
+            total_ticks: 360 + 16,
+            workload: Some(ProdScenario::IngestScan(IngestScanConfig::default())),
+            ..Self::prod_base()
+        }
+    }
+
+    /// Eight hours of wave-structured arrivals cooling past the
+    /// cold-age threshold, with erasure coding switched on so the
+    /// cold-data policy actually trades storage against repair latency.
+    pub fn prod_tiered() -> Self {
+        let mut fault = FaultConfig::paper_default();
+        fault.horizon = SimDuration::from_hours(7);
+        fault.node_mtbf = SimDuration::from_hours(4);
+        Scenario {
+            name: "prod-tiered",
+            fault,
+            tick: SimDuration::from_secs(120),
+            total_ticks: 240 + 16,
+            encode: true,
+            workload: Some(ProdScenario::Tiered(TieredConfig::default())),
+            ..Self::prod_base()
+        }
+    }
+
+    /// The long-horizon soak: two simulated days of diurnal traffic
+    /// with node churn *and* silent corruption under the scrubber —
+    /// the scenario `bench soak` splits across checkpointed segments.
+    pub fn soak_diurnal() -> Self {
+        let mut fault = FaultConfig::paper_default();
+        fault.horizon = SimDuration::from_hours(46);
+        fault.node_mtbf = SimDuration::from_hours(16);
+        let fault = fault.with_corruption(SimDuration::from_hours(8), 0.0, 0.3);
+        Scenario {
+            name: "soak-diurnal",
+            fault,
+            tick: SimDuration::from_secs(120),
+            total_ticks: 1440 + 20,
+            scrubber: true,
+            workload: Some(ProdScenario::Diurnal(DiurnalConfig::soak())),
+            ..Self::prod_base()
+        }
+    }
+
     /// Look a scenario up by the name a snapshot recorded.
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
@@ -117,6 +223,11 @@ impl Scenario {
             "churn-small-full" => Some(Self::churn_small_full()),
             "churn-tiny" => Some(Self::churn_tiny()),
             "churn-corrupt" => Some(Self::churn_corrupt()),
+            "prod-diurnal" => Some(Self::prod_diurnal()),
+            "prod-flashcrowd" => Some(Self::prod_flashcrowd()),
+            "prod-ingest" => Some(Self::prod_ingest()),
+            "prod-tiered" => Some(Self::prod_tiered()),
+            "soak-diurnal" => Some(Self::soak_diurnal()),
             _ => None,
         }
     }
@@ -127,6 +238,11 @@ impl Scenario {
             "churn-small-full",
             "churn-tiny",
             "churn-corrupt",
+            "prod-diurnal",
+            "prod-flashcrowd",
+            "prod-ingest",
+            "prod-tiered",
+            "soak-diurnal",
         ]
     }
 
@@ -138,12 +254,44 @@ impl Scenario {
             .thresholds(thresholds)
             .standby(self.standby.clone().map(NodeId))
             .self_healing(true)
-            .encode(false)
+            .encode(self.encode)
             .scrubber(self.scrubber)
             .full_rescan(self.full_rescan)
             .build()
             .expect("scenario config is valid")
     }
+
+    /// Quantise the production trace (if any) onto the tick grid. Fully
+    /// derived from (scenario shape, seed), so resume regenerates it —
+    /// the ops schedule never enters a snapshot, exactly like the fault
+    /// plan. Times past the horizon clamp into the last tick; a job
+    /// never precedes its input file, so in-tick create-before-read
+    /// ordering keeps every read satisfiable.
+    fn workload_ops(&self, seed: u64) -> Option<WorkloadOps> {
+        // Salted so the trace generator's streams never mirror the
+        // fault plan's, which is seeded with the raw run seed.
+        const TRACE_SEED_SALT: u64 = 0x7ACE_5EED;
+        let trace = self.workload.as_ref()?.generate(seed ^ TRACE_SEED_SALT);
+        let tick_secs = self.tick.as_secs_f64();
+        let last = self.total_ticks.saturating_sub(1);
+        let tick_of = |t: f64| ((t / tick_secs) as u64).min(last) as usize;
+        let mut creates = vec![Vec::new(); self.total_ticks as usize];
+        let mut reads = vec![Vec::new(); self.total_ticks as usize];
+        for f in &trace.files {
+            creates[tick_of(f.created_at_secs)].push((f.path.clone(), f.size));
+        }
+        for j in &trace.jobs {
+            reads[tick_of(j.submit_at_secs)].push(j.input.clone());
+        }
+        Some(WorkloadOps { creates, reads })
+    }
+}
+
+/// A production trace flattened onto the tick grid: what to create and
+/// read at each tick boundary.
+struct WorkloadOps {
+    creates: Vec<Vec<(String, Bytes)>>,
+    reads: Vec<Vec<String>>,
 }
 
 /// A scenario run that can be snapshotted at any tick boundary.
@@ -153,6 +301,9 @@ pub struct ResumableRun {
     cluster: ClusterSim,
     manager: ErmsManager,
     injector: FaultInjector,
+    /// Regenerated from (scenario, seed) on construction *and* resume —
+    /// never serialized, like the fault plan.
+    ops: Option<WorkloadOps>,
     sink: TelemetrySink,
     tick_idx: u64,
     deadline: SimTime,
@@ -180,12 +331,14 @@ impl ResumableRun {
         }
         cluster.run_until_quiescent();
         let injector = FaultInjector::from_config(&scenario.fault, nodes, racks, seed);
+        let ops = scenario.workload_ops(seed);
         ResumableRun {
             scenario,
             seed,
             cluster,
             manager,
             injector,
+            ops,
             sink,
             tick_idx: 0,
             deadline: SimTime::ZERO,
@@ -225,6 +378,23 @@ impl ResumableRun {
                     )),
                     "/churn/f0",
                 );
+            }
+        }
+        if let Some(ops) = &self.ops {
+            let t = self.tick_idx as usize;
+            for (path, size) in &ops.creates[t] {
+                // placement can fail transiently under churn (racks
+                // down); the trace just loses that file's traffic
+                let _ = self.cluster.create_file(path, *size, 3, None);
+            }
+            for (pos, path) in ops.reads[t].iter().enumerate() {
+                let client = ClientId(
+                    (self.tick_idx as u32)
+                        .wrapping_mul(131)
+                        .wrapping_add(pos as u32)
+                        % 4096,
+                );
+                let _ = self.cluster.open_read(Endpoint::Client(client), path);
             }
         }
         self.injector.apply_due(&mut self.cluster, self.deadline);
@@ -343,12 +513,14 @@ impl ResumableRun {
         cluster.set_telemetry(sink.clone());
         manager.set_telemetry(sink.clone());
 
+        let ops = scenario.workload_ops(seed);
         Ok(ResumableRun {
             scenario,
             seed,
             cluster,
             manager,
             injector,
+            ops,
             sink,
             tick_idx,
             deadline,
@@ -396,6 +568,55 @@ mod tests {
                 "{name} ends before its fault horizon"
             );
         }
+    }
+
+    #[test]
+    fn prod_scenarios_quantise_their_trace_onto_the_tick_grid() {
+        for name in [
+            "prod-diurnal",
+            "prod-flashcrowd",
+            "prod-ingest",
+            "prod-tiered",
+        ] {
+            let s = Scenario::by_name(name).unwrap();
+            let ops = s.workload_ops(42).expect("prod scenarios carry a trace");
+            assert_eq!(ops.creates.len(), s.total_ticks as usize);
+            assert_eq!(ops.reads.len(), s.total_ticks as usize);
+            let creates: usize = ops.creates.iter().map(Vec::len).sum();
+            let reads: usize = ops.reads.iter().map(Vec::len).sum();
+            assert!(creates > 0, "{name} schedules no file creations");
+            assert!(
+                reads > creates,
+                "{name} is not read-dominated: {reads}/{creates}"
+            );
+            // every read targets a file some tick creates, never earlier
+            let mut born = std::collections::BTreeMap::new();
+            for (t, c) in ops.creates.iter().enumerate() {
+                for (path, _) in c {
+                    born.insert(path.as_str(), t);
+                }
+            }
+            for (t, r) in ops.reads.iter().enumerate() {
+                for path in r {
+                    let b = born.get(path.as_str()).expect("read of unknown file");
+                    assert!(*b <= t, "{name}: {path} read at tick {t}, born {b}");
+                }
+            }
+        }
+        assert!(Scenario::churn_small().workload_ops(42).is_none());
+    }
+
+    #[test]
+    fn prod_traffic_reaches_the_cluster() {
+        let mut run = ResumableRun::new(Scenario::prod_flashcrowd(), 7);
+        // the flash-crowd corpus lands inside the first 5% of the horizon
+        run.run_to_tick(14);
+        let s = Scenario::prod_flashcrowd();
+        let expect = match &s.workload {
+            Some(ProdScenario::FlashCrowd(c)) => c.groups * c.files_per_group,
+            _ => unreachable!(),
+        };
+        assert_eq!(run.cluster().namespace().num_files(), expect);
     }
 
     #[test]

@@ -29,5 +29,6 @@ pub mod increase;
 pub mod replay;
 pub mod scale;
 pub mod scorecard;
+pub mod soak;
 
 pub use common::Mode;

@@ -2,7 +2,9 @@
 //! perf-regression gate.
 //!
 //! Runs a fixed matrix of named scenarios (the checkpointing suite's
-//! churn family plus the scale storm) under the self-profiler, and
+//! churn family, the production-traffic family — diurnal multi-tenant,
+//! flash crowds, ingest+scan, tiered pressure — plus the scale storm)
+//! under the self-profiler, and
 //! distils each run into one [`ScenarioCard`]: a flat map of
 //! *deterministic* metrics (read-latency percentiles from span
 //! reconstruction, storage overhead vs the replication ideal, energy
@@ -53,7 +55,7 @@ pub const DEFAULT_WALLCLOCK_TOLERANCE_PCT: f64 = 400.0;
 pub enum Case {
     /// A churn scenario from the checkpointing registry, run through
     /// [`ResumableRun`] to its horizon.
-    Churn(Scenario),
+    Churn(Box<Scenario>),
     /// A scale-bench flash-crowd storm, driven with a recording sink.
     Scale(ScaleConfig),
 }
@@ -66,10 +68,11 @@ impl Case {
         }
     }
 
-    /// Look a case up by scorecard name (`churn-*` or `scale-*`).
+    /// Look a case up by scorecard name (any checkpointing-registry
+    /// scenario — `churn-*`, `prod-*`, `soak-*` — or `scale-*`).
     pub fn by_name(name: &str) -> Option<Case> {
         if let Some(s) = Scenario::by_name(name) {
-            return Some(Case::Churn(s));
+            return Some(Case::Churn(Box::new(s)));
         }
         name.strip_prefix("scale-")
             .and_then(ScaleConfig::named)
@@ -77,13 +80,16 @@ impl Case {
     }
 }
 
-/// The default matrix: every churn scenario plus the small scale storm.
-/// `scale-xlarge` is opt-in via the binary's `--xlarge` flag — it runs
-/// minutes, not seconds.
+/// The default matrix: every churn and production-traffic scenario plus
+/// the small scale storm. The `soak-*` family is excluded — multi-day
+/// horizons belong to `bench soak` and its sharded CI job, not the
+/// per-commit scorecard. `scale-xlarge` is opt-in via the binary's
+/// `--xlarge` flag — it runs minutes, not seconds.
 pub fn default_matrix() -> Vec<Case> {
     let mut cases: Vec<Case> = Scenario::names()
         .iter()
-        .map(|n| Case::Churn(Scenario::by_name(n).expect("registry name")))
+        .filter(|n| !n.starts_with("soak-"))
+        .map(|n| Case::Churn(Box::new(Scenario::by_name(n).expect("registry name"))))
         .collect();
     cases.push(Case::Scale(ScaleConfig::small()));
     cases
@@ -112,7 +118,7 @@ pub struct Scorecard {
 /// Run one case under the profiler and distil its card.
 pub fn run_case(case: &Case, seed: u64) -> ScenarioCard {
     match case {
-        Case::Churn(s) => run_churn(s.clone(), seed),
+        Case::Churn(s) => run_churn((**s).clone(), seed),
         Case::Scale(c) => run_scale(c, seed),
     }
 }
@@ -570,19 +576,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn the_default_matrix_covers_at_least_five_scenarios() {
+    fn the_default_matrix_covers_churn_production_and_scale() {
         let m = default_matrix();
-        assert!(m.len() >= 5, "matrix has {} cases", m.len());
+        assert!(m.len() >= 9, "matrix has {} cases", m.len());
         let names: Vec<String> = m.iter().map(|c| c.name()).collect();
         for expect in [
             "churn-small",
             "churn-small-full",
             "churn-tiny",
             "churn-corrupt",
+            "prod-diurnal",
+            "prod-flashcrowd",
+            "prod-ingest",
+            "prod-tiered",
             "scale-small",
         ] {
             assert!(names.iter().any(|n| n == expect), "matrix misses {expect}");
         }
+        // the multi-day soaks stay out of the per-commit gate
+        assert!(
+            !names.iter().any(|n| n.starts_with("soak-")),
+            "soaks belong to the soak job, not the scorecard"
+        );
+    }
+
+    #[test]
+    fn soak_scenarios_still_resolve_as_explicit_cases() {
+        assert!(matches!(
+            Case::by_name("soak-diurnal"),
+            Some(Case::Churn(_))
+        ));
     }
 
     #[test]

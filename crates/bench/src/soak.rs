@@ -1,0 +1,165 @@
+//! Segmented long-horizon soaks on top of [`ResumableRun`].
+//!
+//! A soak executes a multi-day scenario in `K` checkpointed segments so
+//! CI shards (or interrupted local runs) can split the horizon: segment
+//! 0 starts fresh and saves a snapshot at its boundary; segment `i`
+//! resumes that snapshot, runs to the next boundary, saves again; the
+//! last segment finishes the run (quiescent drain + durability
+//! finalize, exactly like a straight-through [`ResumableRun::finish`]).
+//! Each segment drains its telemetry chunk, and the resume-equivalence
+//! contract generalises from one split to many: the concatenated chunks
+//! are byte-identical to the straight-through trace, and the final
+//! snapshots compare equal. `tests/integration_soak.rs` and the CI
+//! `soak` job both assert exactly that via [`run_straight`] /
+//! [`run_segment`].
+
+use crate::checkpointing::{ResumableRun, Scenario};
+use checkpoint::{CheckpointError, Snapshot};
+
+/// Cumulative segment end ticks: `total_ticks` split into `segments`
+/// near-equal parts (earlier segments take the remainder), last entry
+/// always `total_ticks`.
+pub fn boundaries(total_ticks: u64, segments: u64) -> Vec<u64> {
+    assert!(segments > 0, "a soak needs at least one segment");
+    let base = total_ticks / segments;
+    let rem = total_ticks % segments;
+    let mut out = Vec::with_capacity(segments as usize);
+    let mut acc = 0;
+    for i in 0..segments {
+        acc += base + u64::from(i < rem);
+        out.push(acc);
+    }
+    out
+}
+
+/// What one segment produced.
+pub struct SegmentOutcome {
+    /// Telemetry chunk drained from this segment only.
+    pub trace: String,
+    /// State at the segment's end boundary (for the final segment:
+    /// after `finish`, i.e. the same snapshot a straight-through run
+    /// saves at the end).
+    pub snapshot: Snapshot,
+    /// True for the final segment.
+    pub is_last: bool,
+}
+
+/// Run segment `index` of a `segments`-way soak. Segment 0 starts
+/// fresh; later segments resume `prior` (the previous segment's
+/// snapshot), which is validated against the expected scenario, seed
+/// and boundary tick so shards can't silently mix runs.
+pub fn run_segment(
+    scenario: Scenario,
+    seed: u64,
+    segments: u64,
+    index: u64,
+    prior: Option<&Snapshot>,
+) -> Result<SegmentOutcome, CheckpointError> {
+    let bounds = boundaries(scenario.total_ticks, segments);
+    if index >= segments {
+        return Err(CheckpointError::Corrupt(format!(
+            "segment {index} of a {segments}-segment soak"
+        )));
+    }
+    let mut run = if index == 0 {
+        if prior.is_some() {
+            return Err(CheckpointError::Corrupt(
+                "segment 0 starts fresh, not from a snapshot".into(),
+            ));
+        }
+        ResumableRun::new(scenario, seed)
+    } else {
+        let snap = prior.ok_or_else(|| {
+            CheckpointError::Corrupt(format!("segment {index} needs the prior snapshot"))
+        })?;
+        let expect_tick = bounds[index as usize - 1];
+        if snap.meta.scenario != scenario.name
+            || snap.meta.seed != seed
+            || snap.meta.tick != expect_tick
+        {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot is {}/seed {}/tick {}, segment {index} expects {}/seed {seed}/tick {expect_tick}",
+                snap.meta.scenario, snap.meta.seed, snap.meta.tick, scenario.name
+            )));
+        }
+        ResumableRun::resume(snap)?
+    };
+
+    let is_last = index == segments - 1;
+    if is_last {
+        run.finish();
+    } else {
+        run.run_to_tick(bounds[index as usize]);
+    }
+    let trace = run.drain_trace();
+    let snapshot = run.save();
+    Ok(SegmentOutcome {
+        trace,
+        snapshot,
+        is_last,
+    })
+}
+
+/// Straight-through reference run: full trace + final snapshot.
+pub fn run_straight(scenario: Scenario, seed: u64) -> (String, Snapshot) {
+    let mut run = ResumableRun::new(scenario, seed);
+    run.finish();
+    let trace = run.drain_trace();
+    let snap = run.save();
+    (trace, snap)
+}
+
+/// Run all `segments` in-process, pushing every hand-off snapshot
+/// through its JSON wire format (what the CI shards actually exchange).
+/// Returns the concatenated trace and the final snapshot.
+pub fn run_segmented(scenario: Scenario, seed: u64, segments: u64) -> (String, Snapshot) {
+    let mut trace = String::new();
+    let mut carry: Option<Snapshot> = None;
+    for index in 0..segments {
+        let out = run_segment(scenario.clone(), seed, segments, index, carry.as_ref())
+            .expect("segment runs");
+        trace.push_str(&out.trace);
+        let wire = out.snapshot.to_json();
+        carry = Some(Snapshot::from_json(&wire).expect("snapshot round-trips"));
+    }
+    (trace, carry.expect("at least one segment"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_partition_the_horizon() {
+        assert_eq!(boundaries(70, 2), [35, 70]);
+        assert_eq!(boundaries(70, 3), [24, 47, 70]);
+        assert_eq!(boundaries(5, 8), [1, 2, 3, 4, 5, 5, 5, 5]);
+        assert_eq!(boundaries(136, 1), [136]);
+    }
+
+    #[test]
+    fn segment_rejects_mismatched_handoffs() {
+        let s = Scenario::churn_tiny();
+        let out = run_segment(s.clone(), 7, 2, 0, None).unwrap();
+        assert!(!out.is_last);
+        // wrong seed
+        assert!(run_segment(s.clone(), 8, 2, 1, Some(&out.snapshot)).is_err());
+        // wrong segment index (boundary tick mismatch)
+        assert!(run_segment(s.clone(), 7, 3, 1, Some(&out.snapshot)).is_err());
+        // missing snapshot
+        assert!(run_segment(s.clone(), 7, 2, 1, None).is_err());
+        // segment 0 with a snapshot
+        assert!(run_segment(s.clone(), 7, 2, 0, Some(&out.snapshot)).is_err());
+        // out of range
+        assert!(run_segment(s, 7, 2, 2, Some(&out.snapshot)).is_err());
+    }
+
+    #[test]
+    fn three_segments_match_straight_through() {
+        let (straight, final_a) = run_straight(Scenario::churn_tiny(), 11);
+        let (segmented, final_b) = run_segmented(Scenario::churn_tiny(), 11, 3);
+        assert!(!straight.is_empty());
+        assert_eq!(straight, segmented, "segment chunks must concatenate");
+        assert_eq!(final_a.to_json(), final_b.to_json());
+    }
+}

@@ -276,6 +276,66 @@ mod tests {
     }
 
     #[test]
+    fn expiry_boundary_is_inclusive_then_exclusive() {
+        // front.time + within < now is the eviction rule: an A is still
+        // live when now == A.time + within, and gone one second later.
+        let mut p = create_then_open(60);
+        p.offer(&audit(0, "create", "/a"));
+        // a non-matching event exactly at the boundary must not evict
+        assert!(p.offer(&audit(60, "delete", "/other")).is_empty());
+        assert_eq!(p.pending_len(), 1, "A survives until exactly t+within");
+        // one second past the boundary the A is expired
+        assert!(p.offer(&audit(61, "open", "/a")).is_empty());
+        assert_eq!(p.pending_len(), 0, "A dropped past t+within");
+    }
+
+    #[test]
+    fn b_batch_completes_distinct_keys_at_most_one_each() {
+        let mut p = create_then_open(600);
+        // two As per key, three distinct keys
+        for path in ["/a", "/b", "/c"] {
+            p.offer(&audit(0, "create", path));
+            p.offer(&audit(1, "create", path));
+        }
+        assert_eq!(p.pending_len(), 6);
+        // a batch of Bs arriving together, one per key: each completes
+        // exactly one pending A (the oldest for its key), never both
+        let mut completed = Vec::new();
+        for path in ["/a", "/b", "/c"] {
+            completed.extend(p.offer(&audit(10, "open", path)));
+        }
+        assert_eq!(completed.len(), 3, "one match per distinct key");
+        for m in &completed {
+            assert_eq!(m.first.time, SimTime::from_secs(0), "oldest A per key");
+        }
+        assert_eq!(p.pending_len(), 3, "second A of each key still waits");
+        assert_eq!(p.matches_emitted(), 3);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_pending_state() {
+        use checkpoint::Checkpointable;
+        let mut p = create_then_open(600);
+        p.offer(&audit(0, "create", "/a"));
+        p.offer(&audit(5, "create", "/b"));
+        p.offer(&audit(10, "open", "/a"));
+        assert_eq!((p.pending_len(), p.matches_emitted()), (1, 1));
+
+        let saved = p.save_state();
+        let mut restored = create_then_open(600);
+        restored.load_state(&saved).unwrap();
+        assert_eq!(restored.pending_len(), 1);
+        assert_eq!(restored.matches_emitted(), 1);
+
+        // both matchers see the same future and produce identical output
+        let m_live = p.offer(&audit(20, "open", "/b"));
+        let m_back = restored.offer(&audit(20, "open", "/b"));
+        assert_eq!(m_live, m_back);
+        assert_eq!(m_back.len(), 1);
+        assert_eq!(m_back[0].first.time, SimTime::from_secs(5));
+    }
+
+    #[test]
     fn event_matching_both_legs_does_not_self_match() {
         // A == B filter: an event must not complete itself
         let filt = EventFilter::of_type("tick");

@@ -162,12 +162,6 @@ impl BlockMap {
             .map_or(NO_NODES, Vec::as_slice)
     }
 
-    /// Nodes currently holding `block`, in id order.
-    #[deprecated(note = "use `replica_nodes`, which borrows the column instead of allocating")]
-    pub fn locations(&self, block: BlockId) -> Vec<NodeId> {
-        self.replica_nodes(block).to_vec()
-    }
-
     pub fn replica_count(&self, block: BlockId) -> usize {
         self.locations.get(block.0 as usize).map_or(0, Vec::len)
     }
@@ -391,16 +385,6 @@ mod tests {
         assert!(bm.remove(BlockId(1), NodeId(0)));
         assert!(!bm.remove(BlockId(1), NodeId(0)));
         assert_eq!(bm.replica_count(BlockId(1)), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_locations_shim_matches_replica_nodes() {
-        let mut bm = BlockMap::new();
-        bm.add(BlockId(3), NodeId(4));
-        bm.add(BlockId(3), NodeId(1));
-        assert_eq!(bm.locations(BlockId(3)), bm.replica_nodes(BlockId(3)));
-        assert!(bm.locations(BlockId(99)).is_empty());
     }
 
     #[test]

@@ -470,10 +470,6 @@ impl ClusterSim {
     pub fn node_blocks(&self, n: NodeId) -> impl Iterator<Item = BlockId> + '_ {
         self.nodes[n.0 as usize].blocks()
     }
-    #[deprecated(note = "use `node_blocks`, which iterates the column instead of allocating")]
-    pub fn blockmap_blocks_on(&self, n: NodeId) -> Vec<BlockId> {
-        self.nodes[n.0 as usize].blocks().collect()
-    }
     pub fn peak_sessions(&self, n: NodeId) -> usize {
         self.nodes[n.0 as usize].peak_sessions
     }
@@ -2093,6 +2089,18 @@ impl ClusterSim {
         resources.dedup();
         let now = self.now();
         let flow = self.net.start(now, len * sources.len() as Bytes, resources);
+        trace!(
+            self.telemetry,
+            now,
+            Tel::ReconstructDispatched {
+                copy: id.0,
+                block: block.0,
+                sources: sources.len() as u64,
+                target: target.0,
+            }
+        );
+        self.telemetry
+            .counter_add("hdfs.reconstructions_dispatched", 1);
         self.transfers.insert(
             flow,
             Transfer::Reconstruct {
@@ -3317,20 +3325,6 @@ mod tests {
 
     fn sim() -> ClusterSim {
         ClusterSim::new(ClusterConfig::paper_testbed(), Box::new(DefaultRackAware))
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_blocks_on_shim_matches_node_blocks() {
-        let mut c = sim();
-        c.create_file("/shim", 128 * MB, 3, Some(NodeId(0)))
-            .unwrap();
-        c.run_until_quiescent();
-        for n in 0..c.nodes.len() {
-            let n = NodeId(n as u32);
-            let new: Vec<BlockId> = c.node_blocks(n).collect();
-            assert_eq!(c.blockmap_blocks_on(n), new);
-        }
     }
 
     #[test]

@@ -384,6 +384,12 @@ fn event_from(kind: &str, o: &Obj) -> Result<Option<Event>, String> {
             source: o.u32("source")?,
             target: o.u32("target")?,
         },
+        "reconstruct_dispatched" => Event::ReconstructDispatched {
+            copy: o.u64("copy")?,
+            block: o.u64("block")?,
+            sources: o.u64("sources")?,
+            target: o.u32("target")?,
+        },
         "copy_completed" => Event::CopyCompleted {
             copy: o.u64("copy")?,
             block: o.u64("block")?,

@@ -20,7 +20,7 @@
 //! | `seq_monotone` | `seq` strictly increases over the trace |
 //! | `time_monotone` | event time never goes backwards |
 //! | `session_unique` | read/write ids open once, finish only if open |
-//! | `copy_unique` | copy ids dispatch once, complete only if dispatched |
+//! | `copy_unique` | copy ids dispatch once (plain copy or reconstruction), complete only if dispatched |
 //! | `copy_live_node` | no copy dispatches from/to — or completes on — a node the trace has declared dead or powered down |
 //! | `action_needs_verdict` | every boost follows a hot/normal verdict for the path; every shed follows a cooled verdict |
 //! | `replication_bounds` | boosts raise within `(from, max_replication]`; sheds lower to `[default_replication, from)`; verdict replica counts stay in `[1, max_replication]` |
@@ -264,6 +264,35 @@ impl TraceOracle {
                             ),
                         );
                     }
+                }
+            }
+            Event::ReconstructDispatched {
+                copy,
+                block,
+                target,
+                ..
+            } => {
+                // shares the copy-id space with plain copies, so the
+                // dispatch-once / complete-only-if-dispatched invariant
+                // covers reconstructions too; the corrupt-source check
+                // does not apply (sources stream sibling stripe blocks,
+                // and RS decode verifies them — a rotten shard fails
+                // the reconstruction rather than propagating)
+                if self.open_copies.insert(*copy, *target).is_some() {
+                    self.flag(
+                        ev,
+                        "copy_unique",
+                        format!("reconstruct {copy} dispatched twice"),
+                    );
+                }
+                if self.down.contains(target) {
+                    self.flag(
+                        ev,
+                        "copy_live_node",
+                        format!(
+                            "reconstruct {copy} (block {block}) dispatched to dead node {target}"
+                        ),
+                    );
                 }
             }
             Event::CopyCompleted {

@@ -84,6 +84,17 @@ pub enum Event {
         source: u32,
         target: u32,
     },
+    /// An RS reconstruction stream was dispatched: the target pulls one
+    /// shard from each of `sources` stripe members. Shares the copy-id
+    /// space with [`Event::CopyDispatched`]; completion surfaces as
+    /// [`Event::CopyCompleted`]. Sources hold *sibling* stripe blocks,
+    /// not the dark block itself, so only their count is recorded.
+    ReconstructDispatched {
+        copy: u64,
+        block: u64,
+        sources: u64,
+        target: u32,
+    },
     /// A replication / reconstruction stream delivered its replica.
     CopyCompleted { copy: u64, block: u64, target: u32 },
     /// An injected fault (or recovery) took effect.
@@ -191,6 +202,7 @@ impl Event {
             Event::WriteStarted { .. } => "write_started",
             Event::WriteFinished { .. } => "write_finished",
             Event::CopyDispatched { .. } => "copy_dispatched",
+            Event::ReconstructDispatched { .. } => "reconstruct_dispatched",
             Event::CopyCompleted { .. } => "copy_completed",
             Event::FaultApplied { .. } => "fault_applied",
             Event::RepairScan { .. } => "repair_scan",
@@ -261,6 +273,17 @@ impl Event {
                 json_u64(out, "copy", *copy);
                 json_u64(out, "block", *block);
                 json_u64(out, "source", u64::from(*source));
+                json_u64(out, "target", u64::from(*target));
+            }
+            Event::ReconstructDispatched {
+                copy,
+                block,
+                sources,
+                target,
+            } => {
+                json_u64(out, "copy", *copy);
+                json_u64(out, "block", *block);
+                json_u64(out, "sources", *sources);
                 json_u64(out, "target", u64::from(*target));
             }
             Event::CopyCompleted {

@@ -332,7 +332,10 @@ fn scenarios_by_name(doc: &serde::Value) -> Vec<(&str, &serde::Value)> {
 /// * **wallclock** — metrics under `wallclock` are host-dependent
 ///   timings; the candidate may be worse than baseline by up to
 ///   `tolerance_pct` percent (metrics named `*_per_sec` count as
-///   higher-is-better, everything else as lower-is-better).
+///   higher-is-better, everything else as lower-is-better). Metrics
+///   named `max_*` are single-observation extremes — one scheduler
+///   hiccup moves them an order of magnitude, so they are recorded but
+///   never gated; bound them with a budget if a hard ceiling is wanted.
 ///
 /// `tolerance_pct` falls back to the baseline's
 /// `wallclock_tolerance_pct` (default 100). Returns the rendered report
@@ -462,6 +465,12 @@ pub fn regress(
                 scenario_findings += 1;
                 continue;
             };
+            if metric.starts_with("max_") {
+                // single-observation extremes (max_tick_ms): any one
+                // descheduled tick moves them past any sane tolerance,
+                // so they inform but never gate — budgets still apply
+                continue;
+            }
             let higher_is_better = metric.ends_with("_per_sec");
             let regressed = if base_v <= 0.0 {
                 false // nothing meaningful to compare against
@@ -767,6 +776,28 @@ mod tests {
         let (_, findings) =
             regress(&baseline(1.5, 2.0), &scorecard(1.5, 0, 4.1), Some(400.0)).unwrap();
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn regress_never_gates_single_observation_extremes() {
+        // max_* wallclock metrics: one descheduled tick can move them
+        // 10×, so an arbitrary blowup must not fail the gate...
+        let base = r#"{"format":1,"wallclock_tolerance_pct":100,"scenarios":[
+            {"name":"s","deterministic":{},
+             "wallclock":{"mean_tick_ms":2.0,"max_tick_ms":0.5}}]}"#;
+        let cand = r#"{"format":1,"scenarios":[
+            {"name":"s","seed":42,"deterministic":{},
+             "wallclock":{"mean_tick_ms":2.0,"max_tick_ms":50.0}}]}"#;
+        let (text, findings) = regress(base, cand, None).unwrap();
+        assert!(findings.is_empty(), "{text}");
+        // ...but a budget on the same metric still provides a hard cap.
+        let base_budgeted = r#"{"format":1,"wallclock_tolerance_pct":100,"scenarios":[
+            {"name":"s","budgets":[{"metric":"max_tick_ms","max":10.0}],
+             "deterministic":{},
+             "wallclock":{"mean_tick_ms":2.0,"max_tick_ms":0.5}}]}"#;
+        let (text, findings) = regress(base_budgeted, cand, None).unwrap();
+        assert_eq!(findings.len(), 1, "{text}");
+        assert!(findings[0].detail.contains("budget violation"));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`swim`] — the SWIM-like trace generator: lognormal file sizes,
 //!   Poisson job arrivals, popularity-driven input selection; traces are
 //!   serde-serialisable so a figure run can be archived and re-replayed;
+//! * [`scenarios`] — production-shaped traffic beyond the stationary
+//!   SWIM shape: multi-tenant diurnal cycles, correlated cross-file
+//!   flash crowds, write-heavy ingest alongside periodic scans, and
+//!   tiered-storage pressure, all emitting the same [`Trace`] format;
 //! * [`testdfsio`] — the TestDFSIO-shaped concurrent-reader benchmark
 //!   used by Figures 6, 8 and 9 ("we directly read data from HDFS
 //!   instead of by Map/Reduce framework").
@@ -32,9 +36,13 @@
 //! ```
 
 pub mod popularity;
+pub mod scenarios;
 pub mod swim;
 pub mod testdfsio;
 
 pub use popularity::PopularityModel;
+pub use scenarios::{
+    DiurnalConfig, FlashCrowdConfig, IngestScanConfig, ProdScenario, TieredConfig,
+};
 pub use swim::{Trace, TraceConfig, TraceFile, TraceJob};
 pub use testdfsio::{DfsIoReport, DfsIoSpec};

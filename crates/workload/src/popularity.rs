@@ -11,8 +11,108 @@
 //!
 //! Sampling a file for a job at time `t` draws from the normalised
 //! product of the two.
+//!
+//! ## Sampling cost
+//!
+//! The instantaneous weight factors into two components that are
+//! *static per file* once it is born:
+//!
+//! ```text
+//! w_i(t) = base_i · (floor + (1-floor)·exp(-(t-c_i)/τ))
+//!        = floor·base_i  +  (1-floor)·exp(-t/τ) · base_i·exp(c_i/τ)
+//! ```
+//!
+//! so [`PopularityModel::sample`] keeps two Fenwick (binary-indexed)
+//! prefix-sum trees — one over `base_i` and one over the
+//! freshness-scaled `base_i·exp((c_i-t₀)/τ)` — inserts files as they are
+//! born, and draws in O(log N) by descending whichever component the
+//! uniform draw lands in. The freshness tree carries a sliding reference
+//! time `t₀` and is rebased (O(born)) whenever the exponent would drift
+//! out of `f64` range, so multi-day horizons over 100k-file namespaces
+//! stay exact. [`PopularityModel::sample_naive`] is the O(N) reference
+//! path the equivalence tests pin the tree sampler against.
 
 use simcore::{DetRng, SimDuration, SimTime};
+
+/// Exponent span after which the freshness tree is rebased to a new
+/// reference time. Well inside `f64` range (exp(60) ≈ 1.1e26) so sums
+/// of many entries never overflow.
+const REBASE_SPAN: f64 = 60.0;
+
+/// Fenwick (binary-indexed) tree over per-file weights supporting point
+/// updates, total, and "select the index covering prefix mass `x`".
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    /// 1-based internal tree; `tree[i]` sums the range `(i-lowbit(i), i]`.
+    tree: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0.0; n + 1],
+            values: vec![0.0; n],
+        }
+    }
+
+    /// Set index `i` to `v` (delta-propagated).
+    fn set(&mut self, i: usize, v: f64) {
+        let delta = v - self.values[i];
+        if delta == 0.0 {
+            return;
+        }
+        self.values[i] = v;
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] += delta;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut j = self.values.len();
+        while j > 0 {
+            sum += self.tree[j];
+            j -= j & j.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Smallest index whose inclusive prefix sum exceeds `x`, i.e. the
+    /// file a uniform draw of prefix mass `x` lands on. Landing exactly
+    /// on a boundary (or past the total, from float rounding) resolves
+    /// to the nearest *positive-weight* index, so zero-weight (unborn)
+    /// entries are never returned.
+    fn select(&self, mut x: f64) -> Option<usize> {
+        let n = self.values.len();
+        let mut pos = 0usize; // count of fully consumed leading entries
+        let mut mask = n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && self.tree[next] <= x {
+                x -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        // pos ∈ [0, n]; rounding can leave it on a zero-weight entry or
+        // one past the end — snap to a positive-weight neighbour.
+        if pos < n && self.values[pos] > 0.0 {
+            return Some(pos);
+        }
+        self.values[..pos.min(n)]
+            .iter()
+            .rposition(|&v| v > 0.0)
+            .or_else(|| {
+                self.values[pos.min(n)..]
+                    .iter()
+                    .position(|&v| v > 0.0)
+                    .map(|k| pos + k)
+            })
+    }
+}
 
 /// The popularity model over `n` files.
 #[derive(Debug, Clone)]
@@ -25,6 +125,17 @@ pub struct PopularityModel {
     tau: SimDuration,
     /// Weight floor as a fraction of the base weight (cold-tail reads).
     floor: f64,
+    /// File indices sorted by creation time (ties by index) — the order
+    /// files enter the trees as sample times advance.
+    by_creation: Vec<u32>,
+    /// How many of `by_creation` are currently inserted.
+    born: usize,
+    /// Reference time (seconds) of the freshness tree's scaled values.
+    fresh_t0: f64,
+    /// Prefix sums of `base_i` over born files.
+    floor_tree: Fenwick,
+    /// Prefix sums of `base_i·exp((c_i - fresh_t0)/τ)` over born files.
+    fresh_tree: Fenwick,
 }
 
 impl PopularityModel {
@@ -33,19 +144,30 @@ impl PopularityModel {
         assert!(!created.is_empty());
         assert!((0.0..=1.0).contains(&floor));
         let n = created.len();
-        let base = (0..n)
+        let base: Vec<f64> = (0..n)
             .map(|rank| 1.0 / ((rank + 1) as f64).powf(exponent))
             .collect();
+        let mut by_creation: Vec<u32> = (0..n as u32).collect();
+        by_creation.sort_by_key(|&i| (created[i as usize], i));
         PopularityModel {
             base,
             created,
             tau,
             floor,
+            by_creation,
+            born: 0,
+            fresh_t0: 0.0,
+            floor_tree: Fenwick::new(n),
+            fresh_tree: Fenwick::new(n),
         }
     }
 
     pub fn num_files(&self) -> usize {
         self.base.len()
+    }
+
+    fn tau_secs(&self) -> f64 {
+        self.tau.as_secs_f64().max(f64::EPSILON)
     }
 
     /// Instantaneous sampling weight of file `i` at time `t`. Zero until
@@ -55,28 +177,112 @@ impl PopularityModel {
             return 0.0;
         }
         let age = (t - self.created[i]).as_secs_f64();
-        let tau = self.tau.as_secs_f64().max(f64::EPSILON);
-        let freshness = (-age / tau).exp();
+        let freshness = (-age / self.tau_secs()).exp();
         self.base[i] * (self.floor + (1.0 - self.floor) * freshness)
     }
 
-    /// Sample a file index at time `t`. Returns `None` when no file
-    /// exists yet.
-    pub fn sample(&self, t: SimTime, rng: &mut DetRng) -> Option<usize> {
+    /// Recompute every born file's freshness value against a new
+    /// reference time. O(born); runs only when the exponent span since
+    /// the last rebase exceeds [`REBASE_SPAN`] · τ.
+    fn rebase_fresh(&mut self, t0: f64) {
+        self.fresh_t0 = t0;
+        let tau = self.tau_secs();
+        for k in 0..self.born {
+            let i = self.by_creation[k] as usize;
+            let v = self.base[i] * ((self.created[i].as_secs_f64() - t0) / tau).exp();
+            self.fresh_tree.set(i, v);
+        }
+    }
+
+    /// Bring the born set (and the trees) in line with time `t`. Handles
+    /// time moving either direction; forward-only in the common case.
+    fn sync(&mut self, t: SimTime) {
+        let n = self.num_files();
+        let tau = self.tau_secs();
+        while self.born < n {
+            let i = self.by_creation[self.born] as usize;
+            if self.created[i] > t {
+                break;
+            }
+            let c = self.created[i].as_secs_f64();
+            if (c - self.fresh_t0) / tau > REBASE_SPAN {
+                self.rebase_fresh(c);
+            }
+            self.floor_tree.set(i, self.base[i]);
+            let v = self.base[i] * ((c - self.fresh_t0) / tau).exp();
+            self.fresh_tree.set(i, v);
+            self.born += 1;
+        }
+        while self.born > 0 {
+            let i = self.by_creation[self.born - 1] as usize;
+            if self.created[i] <= t {
+                break;
+            }
+            self.floor_tree.set(i, 0.0);
+            self.fresh_tree.set(i, 0.0);
+            self.born -= 1;
+        }
+        // keep the query-time decay factor representable
+        if self.born > 0 && (t.as_secs_f64() - self.fresh_t0) / tau > REBASE_SPAN {
+            self.rebase_fresh(t.as_secs_f64());
+        }
+    }
+
+    /// Sample a file index at time `t` in O(log N). Returns `None` when
+    /// no file exists yet. Consumes exactly one uniform draw, like
+    /// [`sample_naive`](Self::sample_naive); the two paths draw from the
+    /// same distribution (the equivalence test pins them together) but
+    /// not the same exact index sequence.
+    pub fn sample(&mut self, t: SimTime, rng: &mut DetRng) -> Option<usize> {
+        self.sync(t);
+        if self.born == 0 {
+            return None;
+        }
+        let decay = (-(t.as_secs_f64() - self.fresh_t0) / self.tau_secs()).exp();
+        let floor_total = self.floor * self.floor_tree.total();
+        let fresh_coeff = (1.0 - self.floor) * decay;
+        let fresh_total = fresh_coeff * self.fresh_tree.total();
+        let total = floor_total + fresh_total;
+        if !(total > 0.0 && total.is_finite()) {
+            // degenerate weights (all-underflowed freshness with a zero
+            // floor) — fall back to the reference path
+            return self.sample_naive(t, rng);
+        }
+        let x = rng.gen_f64() * total;
+        if x < floor_total {
+            self.floor_tree.select(x / self.floor)
+        } else {
+            self.fresh_tree.select((x - floor_total) / fresh_coeff)
+        }
+    }
+
+    /// The O(N) reference sampler: recomputes every weight and walks the
+    /// running sum. Kept as the semantic spec for [`sample`](Self::sample)
+    /// and for the equivalence tests.
+    pub fn sample_naive(&self, t: SimTime, rng: &mut DetRng) -> Option<usize> {
         let weights: Vec<f64> = (0..self.num_files()).map(|i| self.weight(i, t)).collect();
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
             return None;
         }
-        let mut x = rng.gen_f64() * total;
-        for (i, w) in weights.iter().enumerate() {
-            x -= w;
-            if x <= 0.0 {
-                return Some(i);
-            }
-        }
-        Some(self.num_files() - 1)
+        let x = rng.gen_f64() * total;
+        pick_index(&weights, x)
     }
+}
+
+/// Walk `weights`' running sum until it covers `x`. When float
+/// accumulation leaves `x` uncovered past the last element, fall back to
+/// the last *positive-weight* index — never an unborn (zero-weight)
+/// file, which the old `weights.len() - 1` fallback could return when
+/// the tail of the namespace did not exist yet.
+fn pick_index(weights: &[f64], mut x: f64) -> Option<usize> {
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 && *w > 0.0 {
+            return Some(i);
+        }
+    }
+    weights.iter().rposition(|&w| w > 0.0)
 }
 
 #[cfg(test)]
@@ -126,7 +332,7 @@ mod tests {
 
     #[test]
     fn sampling_is_head_heavy_and_fresh_biased() {
-        let m = model(50);
+        let mut m = model(50);
         let mut rng = DetRng::new(7);
         let t = SimTime::from_secs(200); // files 0,1,2 exist; 2 is freshest
         let mut counts = [0u32; 50];
@@ -146,7 +352,7 @@ mod tests {
     #[test]
     fn sample_before_any_creation() {
         let created = vec![SimTime::from_secs(100)];
-        let m = PopularityModel::new(created, 1.1, SimDuration::from_secs(10), 0.1);
+        let mut m = PopularityModel::new(created, 1.1, SimDuration::from_secs(10), 0.1);
         let mut rng = DetRng::new(1);
         assert_eq!(m.sample(SimTime::from_secs(0), &mut rng), None);
         assert_eq!(m.sample(SimTime::from_secs(100), &mut rng), Some(0));
@@ -154,8 +360,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let m = model(20);
         let draw = |seed| {
+            let mut m = model(20);
             let mut rng = DetRng::new(seed);
             (0..100)
                 .map(|i| m.sample(SimTime::from_secs(1000 + i), &mut rng))
@@ -163,5 +369,107 @@ mod tests {
         };
         assert_eq!(draw(42), draw(42));
         assert_ne!(draw(42), draw(43));
+    }
+
+    /// Total variation distance between empirical draw frequencies and
+    /// the exact distribution implied by [`PopularityModel::weight`].
+    fn tvd_vs_exact(m: &PopularityModel, t: SimTime, counts: &[u32], draws: usize) -> f64 {
+        let weights: Vec<f64> = (0..m.num_files()).map(|i| m.weight(i, t)).collect();
+        let total: f64 = weights.iter().sum();
+        counts
+            .iter()
+            .zip(&weights)
+            .map(|(&c, &w)| (c as f64 / draws as f64 - w / total).abs())
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Both sampling paths draw from the exact distribution defined by
+    /// `weight()`: empirical frequencies match the true probabilities
+    /// within total-variation distance at every probed time, including
+    /// mid-birth times where part of the namespace is unborn.
+    #[test]
+    fn tree_sampler_matches_naive_distribution() {
+        const DRAWS: usize = 60_000;
+        let mut m = model(120);
+        for t_secs in [150u64, 2_000, 6_500, 40_000] {
+            let t = SimTime::from_secs(t_secs);
+            let mut fast = vec![0u32; 120];
+            let mut naive = vec![0u32; 120];
+            let mut rng_a = DetRng::new(9);
+            let mut rng_b = DetRng::new(10);
+            for _ in 0..DRAWS {
+                fast[m.sample(t, &mut rng_a).unwrap()] += 1;
+                naive[m.sample_naive(t, &mut rng_b).unwrap()] += 1;
+            }
+            let tvd_fast = tvd_vs_exact(&m, t, &fast, DRAWS);
+            let tvd_naive = tvd_vs_exact(&m, t, &naive, DRAWS);
+            assert!(tvd_fast < 0.02, "t={t_secs}: tree sampler TVD {tvd_fast}");
+            assert!(
+                tvd_naive < 0.02,
+                "t={t_secs}: naive sampler TVD {tvd_naive}"
+            );
+            // and neither path ever draws an unborn file
+            for (i, (&a, &b)) in fast.iter().zip(&naive).enumerate() {
+                if m.weight(i, t) == 0.0 {
+                    assert_eq!((a, b), (0, 0), "unborn file {i} drawn at t={t_secs}");
+                }
+            }
+        }
+    }
+
+    /// Regression for the rounding fallback: when accumulation error
+    /// leaves `x` uncovered, the walk must land on the last
+    /// positive-weight file, never on an unborn zero-weight tail entry.
+    #[test]
+    fn pick_index_fallback_skips_zero_weight_tail() {
+        let weights = [0.4, 0.6, 0.0, 0.0];
+        // x past the true total simulates float overshoot
+        assert_eq!(pick_index(&weights, 1.0 + 1e-9), Some(1));
+        assert_eq!(pick_index(&weights, f64::MAX), Some(1));
+        // a landing exactly on a zero-weight entry resolves to a positive one
+        assert_eq!(pick_index(&[0.0, 1.0, 0.0], 1.0), Some(1));
+        // all-zero weights have no valid pick
+        assert_eq!(pick_index(&[0.0, 0.0], 0.5), None);
+    }
+
+    /// Time moving backwards un-inserts files; unborn files are never
+    /// drawn afterwards.
+    #[test]
+    fn time_can_move_backwards() {
+        let mut m = model(30);
+        let mut rng = DetRng::new(3);
+        for _ in 0..100 {
+            assert!(m.sample(SimTime::from_secs(2950), &mut rng).is_some());
+        }
+        for _ in 0..2_000 {
+            let i = m.sample(SimTime::from_secs(250), &mut rng).unwrap();
+            assert!(i <= 2, "file {i} unborn at t=250");
+        }
+    }
+
+    /// Creation spans far exceeding τ force freshness-tree rebases; the
+    /// sampler must stay finite and still agree with the naive path.
+    #[test]
+    fn wide_creation_span_rebases_without_overflow() {
+        let created: Vec<SimTime> = (0..40).map(|i| SimTime::from_secs(i * 50_000)).collect();
+        let mut m = PopularityModel::new(created, 1.1, SimDuration::from_secs(300), 0.02);
+        let t = SimTime::from_secs(40 * 50_000);
+        const DRAWS: usize = 40_000;
+        let mut fast = vec![0u32; 40];
+        let mut naive = vec![0u32; 40];
+        let mut rng_a = DetRng::new(5);
+        let mut rng_b = DetRng::new(6);
+        for _ in 0..DRAWS {
+            fast[m.sample(t, &mut rng_a).unwrap()] += 1;
+            naive[m.sample_naive(t, &mut rng_b).unwrap()] += 1;
+        }
+        let tvd_fast = tvd_vs_exact(&m, t, &fast, DRAWS);
+        let tvd_naive = tvd_vs_exact(&m, t, &naive, DRAWS);
+        assert!(
+            tvd_fast < 0.02,
+            "tree sampler TVD {tvd_fast} across rebases"
+        );
+        assert!(tvd_naive < 0.02, "naive sampler TVD {tvd_naive}");
     }
 }

@@ -1,0 +1,815 @@
+//! Production-shaped scenario generators.
+//!
+//! The SWIM generator ([`crate::swim`]) is stationary: one Zipf
+//! popularity law, one Poisson arrival rate, for the whole horizon.
+//! Production cluster traces are not — the tiered-storage literature
+//! (arXiv 1907.02394) characterises multi-tenant traffic with diurnal
+//! cycles, correlated cross-file flash crowds, continuous ingest
+//! pipelines running next to periodic scans, and pressure that migrates
+//! between storage tiers as data cools. This module synthesises those
+//! four shapes, each seeded and fully deterministic, all emitting the
+//! same [`Trace`] format the replay and soak drivers already consume.
+//!
+//! Every generator follows the same discipline as [`crate::swim`]:
+//! fork one RNG stream per concern (files vs arrivals) so a parameter
+//! tweak in one leg never perturbs the draws of another, timestamp
+//! everything in seconds, and sort jobs by submit time before emission
+//! so downstream drivers can binary-search the schedule.
+
+use crate::popularity::PopularityModel;
+use crate::swim::{Trace, TraceFile, TraceJob};
+use simcore::units::{Bytes, MB};
+use simcore::{DetRng, SimDuration, SimTime};
+
+/// Lognormal file size clamped to `[min_mb, max_mb]`, in bytes.
+fn lognormal_size(rng: &mut DetRng, mu: f64, sigma: f64, min_mb: u64, max_mb: u64) -> Bytes {
+    let mb = rng.lognormal(mu, sigma).clamp(min_mb as f64, max_mb as f64);
+    (mb.round() as u64) * MB
+}
+
+/// Finalise a job list: stable-sort by submit time (ties keep the
+/// deterministic insertion order) and name jobs in submission order.
+fn finalize_jobs(mut jobs: Vec<TraceJob>) -> Vec<TraceJob> {
+    jobs.sort_by(|a, b| a.submit_at_secs.partial_cmp(&b.submit_at_secs).unwrap());
+    for (j, job) in jobs.iter_mut().enumerate() {
+        job.name = format!("job_{j:05}");
+    }
+    jobs
+}
+
+/// Multi-tenant Zipfian traffic with per-tenant diurnal cycles.
+///
+/// Each tenant owns a namespace subtree and a popularity model over its
+/// own files; tenant share of traffic is itself Zipf. Tenant activity
+/// follows a raised-cosine day curve with staggered peaks, so
+/// cluster-wide load breathes but never fully sleeps — the shape the
+/// elastic replica manager's scale-up/scale-down loop has to track.
+#[derive(Debug, Clone)]
+pub struct DiurnalConfig {
+    pub tenants: usize,
+    pub files_per_tenant: usize,
+    pub horizon_secs: f64,
+    /// Length of one diurnal cycle (86 400 for a real day).
+    pub day_secs: f64,
+    /// Cluster-wide arrival rate at a tenant's peak, jobs/hour.
+    pub peak_jobs_per_hour: f64,
+    /// Depth of the trough: 0 = flat, 1 = silent at the trough.
+    pub diurnal_depth: f64,
+    /// Zipf exponent of the tenant traffic shares.
+    pub tenant_zipf: f64,
+    /// Zipf exponent of per-tenant file popularity.
+    pub zipf_exponent: f64,
+    pub popularity_tau_secs: f64,
+    pub popularity_floor: f64,
+    pub file_size_mu: f64,
+    pub file_size_sigma: f64,
+    pub min_file_mb: u64,
+    pub max_file_mb: u64,
+    pub compute_per_block_secs: f64,
+    pub reduce_secs: f64,
+}
+
+impl Default for DiurnalConfig {
+    /// One simulated day, six tenants — the scorecard shape.
+    fn default() -> Self {
+        DiurnalConfig {
+            tenants: 6,
+            files_per_tenant: 8,
+            horizon_secs: 86_400.0,
+            day_secs: 86_400.0,
+            peak_jobs_per_hour: 240.0,
+            diurnal_depth: 0.8,
+            tenant_zipf: 1.0,
+            zipf_exponent: 1.1,
+            popularity_tau_secs: 7200.0,
+            popularity_floor: 0.08,
+            file_size_mu: 4.8, // e^4.8 ≈ 122 MB median
+            file_size_sigma: 0.6,
+            min_file_mb: 64,
+            max_file_mb: 512,
+            compute_per_block_secs: 2.0,
+            reduce_secs: 5.0,
+        }
+    }
+}
+
+impl DiurnalConfig {
+    /// Two simulated days at a lower rate — the soak shape. Long enough
+    /// that every tenant crosses two full peak/trough cycles.
+    pub fn soak() -> Self {
+        DiurnalConfig {
+            horizon_secs: 172_800.0,
+            peak_jobs_per_hour: 90.0,
+            ..Self::default()
+        }
+    }
+
+    /// Tenant `k`'s activity multiplier at time `t`: a raised cosine
+    /// peaking at the tenant's staggered phase, in `[1 - depth, 1]`.
+    fn activity(&self, tenant: usize, t: f64) -> f64 {
+        let phase = self.day_secs * tenant as f64 / self.tenants.max(1) as f64;
+        let angle = 2.0 * std::f64::consts::PI * (t - phase) / self.day_secs;
+        (1.0 - self.diurnal_depth) + self.diurnal_depth * 0.5 * (1.0 + angle.cos())
+    }
+}
+
+/// Background Zipf traffic punctuated by correlated cross-file flash
+/// crowds: an episode picks a file *group* (a dataset's partitions) and
+/// slams every file in it with a train of jobs inside a short span —
+/// the paper's "hot data requested by many distributed clients
+/// concurrently", but correlated across files instead of one at a time.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdConfig {
+    pub groups: usize,
+    pub files_per_group: usize,
+    pub horizon_secs: f64,
+    /// Mean inter-arrival of the background (non-crowd) jobs.
+    pub background_interarrival_secs: f64,
+    /// Number of flash-crowd episodes across the horizon.
+    pub crowds: usize,
+    /// Jobs aimed at *each* file of the crowded group.
+    pub crowd_jobs_per_file: usize,
+    /// All of one episode's jobs land inside this span.
+    pub crowd_span_secs: f64,
+    /// Zipf exponent for which group a crowd hits.
+    pub group_zipf: f64,
+    pub zipf_exponent: f64,
+    pub popularity_tau_secs: f64,
+    pub popularity_floor: f64,
+    pub file_size_mu: f64,
+    pub file_size_sigma: f64,
+    pub min_file_mb: u64,
+    pub max_file_mb: u64,
+    pub compute_per_block_secs: f64,
+    pub reduce_secs: f64,
+}
+
+impl Default for FlashCrowdConfig {
+    fn default() -> Self {
+        FlashCrowdConfig {
+            groups: 8,
+            files_per_group: 5,
+            horizon_secs: 14_400.0,
+            background_interarrival_secs: 30.0,
+            crowds: 6,
+            crowd_jobs_per_file: 20,
+            crowd_span_secs: 120.0,
+            group_zipf: 1.0,
+            zipf_exponent: 1.1,
+            popularity_tau_secs: 3600.0,
+            popularity_floor: 0.1,
+            file_size_mu: 4.8,
+            file_size_sigma: 0.6,
+            min_file_mb: 64,
+            max_file_mb: 512,
+            compute_per_block_secs: 2.0,
+            reduce_secs: 5.0,
+        }
+    }
+}
+
+/// Write-heavy continuous ingest running alongside periodic scan jobs.
+///
+/// New files land throughout the horizon (the write pressure), each
+/// read a few times while fresh; meanwhile a scheduled scan sweeps the
+/// namespace in round-robin batches, touching cold files the freshness
+/// bias would otherwise never revisit.
+#[derive(Debug, Clone)]
+pub struct IngestScanConfig {
+    /// Files present at t≈0.
+    pub initial_files: usize,
+    /// Files ingested across the horizon.
+    pub ingest_files: usize,
+    pub horizon_secs: f64,
+    /// Reads of each ingested file shortly after it lands.
+    pub fresh_reads_per_ingest: usize,
+    /// Mean delay from ingest to each fresh read.
+    pub fresh_read_lag_secs: f64,
+    /// Scan sweeps start every this-many seconds.
+    pub scan_every_secs: f64,
+    /// Files touched per sweep (round-robin cursor over the namespace).
+    pub scan_files_per_sweep: usize,
+    /// Submit gap between consecutive jobs of one sweep.
+    pub scan_spacing_secs: f64,
+    pub file_size_mu: f64,
+    pub file_size_sigma: f64,
+    pub min_file_mb: u64,
+    pub max_file_mb: u64,
+    pub compute_per_block_secs: f64,
+    pub reduce_secs: f64,
+}
+
+impl Default for IngestScanConfig {
+    fn default() -> Self {
+        IngestScanConfig {
+            initial_files: 12,
+            ingest_files: 48,
+            horizon_secs: 21_600.0,
+            fresh_reads_per_ingest: 4,
+            fresh_read_lag_secs: 180.0,
+            scan_every_secs: 1800.0,
+            scan_files_per_sweep: 16,
+            scan_spacing_secs: 2.0,
+            file_size_mu: 5.0,
+            file_size_sigma: 0.5,
+            min_file_mb: 64,
+            max_file_mb: 512,
+            compute_per_block_secs: 2.0,
+            reduce_secs: 5.0,
+        }
+    }
+}
+
+/// Tiered-storage pressure: files arrive in waves, traffic concentrates
+/// on the newest wave (short freshness τ relative to wave spacing) while
+/// older waves cool past the manager's cold-age threshold — with the
+/// occasional floor-driven read reaching back into the cold tier. Run
+/// with erasure coding enabled, this is the scenario where the
+/// cold-data policy's storage/latency trade actually shows.
+#[derive(Debug, Clone)]
+pub struct TieredConfig {
+    pub waves: usize,
+    pub files_per_wave: usize,
+    pub horizon_secs: f64,
+    /// A wave's creations spread over this window from its start.
+    pub wave_window_secs: f64,
+    pub mean_interarrival_secs: f64,
+    pub zipf_exponent: f64,
+    /// Short relative to wave spacing, so old waves actually go cold.
+    pub popularity_tau_secs: f64,
+    /// Small but positive: the cold tier still sees the odd read.
+    pub popularity_floor: f64,
+    pub file_size_mu: f64,
+    pub file_size_sigma: f64,
+    pub min_file_mb: u64,
+    pub max_file_mb: u64,
+    pub compute_per_block_secs: f64,
+    pub reduce_secs: f64,
+}
+
+impl Default for TieredConfig {
+    fn default() -> Self {
+        TieredConfig {
+            waves: 4,
+            files_per_wave: 12,
+            horizon_secs: 28_800.0,
+            wave_window_secs: 1800.0,
+            mean_interarrival_secs: 20.0,
+            zipf_exponent: 1.05,
+            popularity_tau_secs: 3600.0,
+            popularity_floor: 0.03,
+            file_size_mu: 4.8,
+            file_size_sigma: 0.6,
+            min_file_mb: 64,
+            max_file_mb: 384,
+            compute_per_block_secs: 2.0,
+            reduce_secs: 5.0,
+        }
+    }
+}
+
+/// A production-shaped scenario: four traffic shapes behind one
+/// `generate` entry point, so drivers (replay, soak, scorecard) stay
+/// agnostic of which shape they are running.
+#[derive(Debug, Clone)]
+pub enum ProdScenario {
+    Diurnal(DiurnalConfig),
+    FlashCrowd(FlashCrowdConfig),
+    IngestScan(IngestScanConfig),
+    Tiered(TieredConfig),
+}
+
+impl ProdScenario {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProdScenario::Diurnal(_) => "diurnal",
+            ProdScenario::FlashCrowd(_) => "flash-crowd",
+            ProdScenario::IngestScan(_) => "ingest-scan",
+            ProdScenario::Tiered(_) => "tiered",
+        }
+    }
+
+    /// Synthesise the trace. Same seed ⇒ byte-identical trace.
+    pub fn generate(&self, seed: u64) -> Trace {
+        match self {
+            ProdScenario::Diurnal(c) => generate_diurnal(c, seed),
+            ProdScenario::FlashCrowd(c) => generate_flash_crowd(c, seed),
+            ProdScenario::IngestScan(c) => generate_ingest_scan(c, seed),
+            ProdScenario::Tiered(c) => generate_tiered(c, seed),
+        }
+    }
+}
+
+fn generate_diurnal(cfg: &DiurnalConfig, seed: u64) -> Trace {
+    assert!(cfg.tenants > 0 && cfg.files_per_tenant > 0);
+    assert!(cfg.day_secs > 0.0 && (0.0..=1.0).contains(&cfg.diurnal_depth));
+    let mut rng = DetRng::new(seed);
+    let mut file_rng = rng.fork(1);
+    let mut job_rng = rng.fork(2);
+
+    // Each tenant's files appear over the first tenth of the horizon,
+    // ordered so index tracks creation (popularity rank by index).
+    let window = cfg.horizon_secs / 10.0;
+    let mut files = Vec::new();
+    let mut models = Vec::new();
+    for k in 0..cfg.tenants {
+        let mut created: Vec<f64> = (0..cfg.files_per_tenant)
+            .map(|_| file_rng.gen_f64() * window)
+            .collect();
+        created.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let start = files.len();
+        for (i, &t) in created.iter().enumerate() {
+            files.push(TraceFile {
+                path: format!("/prod/diurnal/t{k}/f{i:03}"),
+                size: lognormal_size(
+                    &mut file_rng,
+                    cfg.file_size_mu,
+                    cfg.file_size_sigma,
+                    cfg.min_file_mb,
+                    cfg.max_file_mb,
+                ),
+                created_at_secs: t,
+            });
+        }
+        models.push((
+            start,
+            PopularityModel::new(
+                created.iter().map(|&t| SimTime::from_secs_f64(t)).collect(),
+                cfg.zipf_exponent,
+                SimDuration::from_secs_f64(cfg.popularity_tau_secs),
+                cfg.popularity_floor,
+            ),
+        ));
+    }
+
+    // Thinned Poisson process: candidates arrive at the peak rate, a
+    // candidate picks its tenant Zipf-wise and survives with the
+    // tenant's diurnal activity factor at that instant.
+    let peak_rate_per_sec = cfg.peak_jobs_per_hour / 3600.0;
+    let mut jobs = Vec::new();
+    let mut t = window * 0.2; // first files exist
+    loop {
+        t += job_rng.exp(1.0 / peak_rate_per_sec);
+        if t > cfg.horizon_secs {
+            break;
+        }
+        let tenant = job_rng.zipf(cfg.tenants, cfg.tenant_zipf);
+        if !job_rng.chance(cfg.activity(tenant, t)) {
+            continue;
+        }
+        let (start, model) = &mut models[tenant];
+        let Some(fi) = model.sample(SimTime::from_secs_f64(t), &mut job_rng) else {
+            continue;
+        };
+        jobs.push(TraceJob {
+            name: String::new(),
+            input: files[*start + fi].path.clone(),
+            submit_at_secs: t,
+            compute_per_block_secs: cfg.compute_per_block_secs,
+            reduce_secs: cfg.reduce_secs,
+        });
+    }
+
+    Trace {
+        config_seed: seed,
+        files,
+        jobs: finalize_jobs(jobs),
+    }
+}
+
+fn generate_flash_crowd(cfg: &FlashCrowdConfig, seed: u64) -> Trace {
+    assert!(cfg.groups > 0 && cfg.files_per_group > 0);
+    let mut rng = DetRng::new(seed);
+    let mut file_rng = rng.fork(1);
+    let mut job_rng = rng.fork(2);
+    let mut crowd_rng = rng.fork(3);
+
+    // Grouped namespace; all files land in the first 5% of the horizon.
+    let window = cfg.horizon_secs / 20.0;
+    let mut files = Vec::new();
+    let mut created = Vec::new();
+    for g in 0..cfg.groups {
+        for i in 0..cfg.files_per_group {
+            let t = file_rng.gen_f64() * window;
+            created.push(SimTime::from_secs_f64(t));
+            files.push(TraceFile {
+                path: format!("/prod/crowd/g{g}/f{i:02}"),
+                size: lognormal_size(
+                    &mut file_rng,
+                    cfg.file_size_mu,
+                    cfg.file_size_sigma,
+                    cfg.min_file_mb,
+                    cfg.max_file_mb,
+                ),
+                created_at_secs: t,
+            });
+        }
+    }
+    let mut model = PopularityModel::new(
+        created,
+        cfg.zipf_exponent,
+        SimDuration::from_secs_f64(cfg.popularity_tau_secs),
+        cfg.popularity_floor,
+    );
+
+    // Background traffic: plain popularity-driven Poisson reads.
+    let mut jobs = Vec::new();
+    let mut t = window;
+    loop {
+        t += job_rng.exp(cfg.background_interarrival_secs);
+        if t > cfg.horizon_secs {
+            break;
+        }
+        let Some(fi) = model.sample(SimTime::from_secs_f64(t), &mut job_rng) else {
+            continue;
+        };
+        jobs.push(TraceJob {
+            name: String::new(),
+            input: files[fi].path.clone(),
+            submit_at_secs: t,
+            compute_per_block_secs: cfg.compute_per_block_secs,
+            reduce_secs: cfg.reduce_secs,
+        });
+    }
+
+    // Crowd episodes: evenly spaced with jitter, each slamming a whole
+    // Zipf-chosen group — every file in the group, many jobs per file,
+    // all inside the episode span.
+    for c in 0..cfg.crowds {
+        let center = cfg.horizon_secs * (c as f64 + 1.0) / (cfg.crowds as f64 + 1.0);
+        let jitter = (crowd_rng.gen_f64() - 0.5) * cfg.crowd_span_secs;
+        let start = (center + jitter - cfg.crowd_span_secs / 2.0).max(window);
+        let group = crowd_rng.zipf(cfg.groups, cfg.group_zipf);
+        for i in 0..cfg.files_per_group {
+            let path = format!("/prod/crowd/g{group}/f{i:02}");
+            for _ in 0..cfg.crowd_jobs_per_file {
+                jobs.push(TraceJob {
+                    name: String::new(),
+                    input: path.clone(),
+                    submit_at_secs: start + crowd_rng.gen_f64() * cfg.crowd_span_secs,
+                    compute_per_block_secs: cfg.compute_per_block_secs,
+                    reduce_secs: cfg.reduce_secs,
+                });
+            }
+        }
+    }
+
+    Trace {
+        config_seed: seed,
+        files,
+        jobs: finalize_jobs(jobs),
+    }
+}
+
+fn generate_ingest_scan(cfg: &IngestScanConfig, seed: u64) -> Trace {
+    assert!(cfg.initial_files + cfg.ingest_files > 0);
+    let mut rng = DetRng::new(seed);
+    let mut file_rng = rng.fork(1);
+    let mut job_rng = rng.fork(2);
+
+    // Initial corpus at t≈0, then a steady drip of ingested files across
+    // the whole horizon (evenly spaced starts with jitter, so the write
+    // pressure never lets up).
+    let mut files = Vec::new();
+    for i in 0..cfg.initial_files {
+        files.push(TraceFile {
+            path: format!("/prod/ingest/f{i:04}"),
+            size: lognormal_size(
+                &mut file_rng,
+                cfg.file_size_mu,
+                cfg.file_size_sigma,
+                cfg.min_file_mb,
+                cfg.max_file_mb,
+            ),
+            created_at_secs: file_rng.gen_f64() * 60.0,
+        });
+    }
+    let slot = cfg.horizon_secs / (cfg.ingest_files.max(1) as f64 + 1.0);
+    for n in 0..cfg.ingest_files {
+        let i = cfg.initial_files + n;
+        let t = slot * (n as f64 + 0.5 + file_rng.gen_f64() * 0.5);
+        files.push(TraceFile {
+            path: format!("/prod/ingest/f{i:04}"),
+            size: lognormal_size(
+                &mut file_rng,
+                cfg.file_size_mu,
+                cfg.file_size_sigma,
+                cfg.min_file_mb,
+                cfg.max_file_mb,
+            ),
+            created_at_secs: t,
+        });
+    }
+
+    // Fresh reads: each ingested file is read a few times shortly after
+    // landing — the "validate what you just wrote" traffic.
+    let mut jobs = Vec::new();
+    for f in &files[cfg.initial_files..] {
+        for _ in 0..cfg.fresh_reads_per_ingest {
+            jobs.push(TraceJob {
+                name: String::new(),
+                input: f.path.clone(),
+                submit_at_secs: f.created_at_secs + job_rng.exp(cfg.fresh_read_lag_secs),
+                compute_per_block_secs: cfg.compute_per_block_secs,
+                reduce_secs: cfg.reduce_secs,
+            });
+        }
+    }
+
+    // Scan sweeps: a round-robin cursor walks the namespace in batches,
+    // reading whatever exists by sweep time — cold files included.
+    let mut cursor = 0usize;
+    let mut sweep_start = cfg.scan_every_secs;
+    while sweep_start < cfg.horizon_secs {
+        let existing: Vec<&TraceFile> = files
+            .iter()
+            .filter(|f| f.created_at_secs <= sweep_start)
+            .collect();
+        if !existing.is_empty() {
+            for s in 0..cfg.scan_files_per_sweep {
+                let f = existing[(cursor + s) % existing.len()];
+                jobs.push(TraceJob {
+                    name: String::new(),
+                    input: f.path.clone(),
+                    submit_at_secs: sweep_start + s as f64 * cfg.scan_spacing_secs,
+                    compute_per_block_secs: cfg.compute_per_block_secs,
+                    reduce_secs: cfg.reduce_secs,
+                });
+            }
+            cursor = (cursor + cfg.scan_files_per_sweep) % existing.len();
+        }
+        sweep_start += cfg.scan_every_secs;
+    }
+
+    Trace {
+        config_seed: seed,
+        files,
+        jobs: finalize_jobs(jobs),
+    }
+}
+
+fn generate_tiered(cfg: &TieredConfig, seed: u64) -> Trace {
+    assert!(cfg.waves > 0 && cfg.files_per_wave > 0);
+    let mut rng = DetRng::new(seed);
+    let mut file_rng = rng.fork(1);
+    let mut job_rng = rng.fork(2);
+
+    // Waves of files at regular intervals; inside a wave, creations
+    // spread over the wave window. Freshness τ ≪ wave spacing, so by
+    // the time wave w+1 peaks, wave w has cooled toward the floor.
+    let wave_gap = cfg.horizon_secs / cfg.waves as f64;
+    let mut files = Vec::new();
+    for w in 0..cfg.waves {
+        let wave_start = w as f64 * wave_gap;
+        let mut times: Vec<f64> = (0..cfg.files_per_wave)
+            .map(|_| wave_start + file_rng.gen_f64() * cfg.wave_window_secs)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, &t) in times.iter().enumerate() {
+            files.push(TraceFile {
+                path: format!("/prod/tiered/w{w}/f{i:03}"),
+                size: lognormal_size(
+                    &mut file_rng,
+                    cfg.file_size_mu,
+                    cfg.file_size_sigma,
+                    cfg.min_file_mb,
+                    cfg.max_file_mb,
+                ),
+                created_at_secs: t,
+            });
+        }
+    }
+    // The model assigns Zipf base weight by index, so feeding files in
+    // wave order would hand the oldest wave the top ranks forever. Deal
+    // ranks round-robin across waves instead: every wave carries
+    // comparable base mass, and *freshness* — not rank — decides which
+    // tier is hot.
+    let rank_to_file: Vec<usize> = (0..cfg.waves * cfg.files_per_wave)
+        .map(|r| (r % cfg.waves) * cfg.files_per_wave + r / cfg.waves)
+        .collect();
+    let mut model = PopularityModel::new(
+        rank_to_file
+            .iter()
+            .map(|&f| SimTime::from_secs_f64(files[f].created_at_secs))
+            .collect(),
+        cfg.zipf_exponent,
+        SimDuration::from_secs_f64(cfg.popularity_tau_secs),
+        cfg.popularity_floor,
+    );
+
+    // One global popularity-driven Poisson stream: the freshness bias
+    // concentrates it on the newest wave, the floor keeps a trickle of
+    // cold-tier reads alive.
+    let mut jobs = Vec::new();
+    let mut t = files.first().map(|f| f.created_at_secs).unwrap_or(0.0);
+    loop {
+        t += job_rng.exp(cfg.mean_interarrival_secs);
+        if t > cfg.horizon_secs {
+            break;
+        }
+        let Some(rank) = model.sample(SimTime::from_secs_f64(t), &mut job_rng) else {
+            continue;
+        };
+        jobs.push(TraceJob {
+            name: String::new(),
+            input: files[rank_to_file[rank]].path.clone(),
+            submit_at_secs: t,
+            compute_per_block_secs: cfg.compute_per_block_secs,
+            reduce_secs: cfg.reduce_secs,
+        });
+    }
+
+    Trace {
+        config_seed: seed,
+        files,
+        jobs: finalize_jobs(jobs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn all_scenarios() -> Vec<ProdScenario> {
+        vec![
+            ProdScenario::Diurnal(DiurnalConfig::default()),
+            ProdScenario::FlashCrowd(FlashCrowdConfig::default()),
+            ProdScenario::IngestScan(IngestScanConfig::default()),
+            ProdScenario::Tiered(TieredConfig::default()),
+        ]
+    }
+
+    #[test]
+    fn every_scenario_is_deterministic_and_seed_sensitive() {
+        for s in all_scenarios() {
+            let a = s.generate(11);
+            let b = s.generate(11);
+            assert_eq!(a, b, "{} not deterministic", s.kind());
+            let c = s.generate(12);
+            assert_ne!(a, c, "{} ignores the seed", s.kind());
+        }
+    }
+
+    #[test]
+    fn jobs_are_ordered_named_sequentially_and_reference_live_files() {
+        for s in all_scenarios() {
+            let t = s.generate(3);
+            assert!(!t.jobs.is_empty(), "{} emits no jobs", s.kind());
+            let by_path: BTreeMap<&str, f64> = t
+                .files
+                .iter()
+                .map(|f| (f.path.as_str(), f.created_at_secs))
+                .collect();
+            assert_eq!(by_path.len(), t.files.len(), "duplicate paths");
+            for (j, job) in t.jobs.iter().enumerate() {
+                assert_eq!(job.name, format!("job_{j:05}"));
+                let created = *by_path
+                    .get(job.input.as_str())
+                    .unwrap_or_else(|| panic!("{}: job reads unknown file", s.kind()));
+                assert!(
+                    job.submit_at_secs >= created,
+                    "{}: {} read {:.0}s before it exists",
+                    s.kind(),
+                    job.input,
+                    created - job.submit_at_secs
+                );
+            }
+            for w in t.jobs.windows(2) {
+                assert!(w[0].submit_at_secs <= w[1].submit_at_secs);
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_traffic_actually_breathes() {
+        let t = ProdScenario::Diurnal(DiurnalConfig::default()).generate(7);
+        // bucket arrivals by hour; peak hour should dominate the trough
+        let mut hourly = [0u32; 24];
+        for j in &t.jobs {
+            hourly[((j.submit_at_secs / 3600.0) as usize).min(23)] += 1;
+        }
+        let max = *hourly.iter().max().unwrap();
+        let min = *hourly.iter().min().unwrap();
+        assert!(
+            max >= 2 * min.max(1),
+            "no diurnal swing: max {max}/h min {min}/h"
+        );
+        // multi-tenant: more than one tenant subtree sees traffic
+        let tenants: std::collections::BTreeSet<&str> = t
+            .jobs
+            .iter()
+            .map(|j| j.input.split('/').nth(3).unwrap())
+            .collect();
+        assert!(tenants.len() >= 3, "only {} tenants active", tenants.len());
+    }
+
+    #[test]
+    fn flash_crowds_spike_and_correlate_across_a_group() {
+        let cfg = FlashCrowdConfig::default();
+        let t = ProdScenario::FlashCrowd(cfg.clone()).generate(5);
+        // split the horizon into span-sized windows; the busiest window
+        // must hold a whole episode (≫ background) and touch the whole
+        // crowded group
+        let buckets = (cfg.horizon_secs / cfg.crowd_span_secs) as usize + 1;
+        let mut counts = vec![0u32; buckets];
+        for j in &t.jobs {
+            counts[(j.submit_at_secs / cfg.crowd_span_secs) as usize] += 1;
+        }
+        let background_per_window = cfg.crowd_span_secs / cfg.background_interarrival_secs;
+        let peak = *counts.iter().max().unwrap();
+        assert!(
+            peak as f64 > 10.0 * background_per_window,
+            "no crowd spike: peak window {peak} vs background {background_per_window:.0}"
+        );
+        let peak_window = counts.iter().position(|&c| c == peak).unwrap();
+        let lo = peak_window as f64 * cfg.crowd_span_secs;
+        let groups_hit: std::collections::BTreeSet<&str> = t
+            .jobs
+            .iter()
+            .filter(|j| j.submit_at_secs >= lo && j.submit_at_secs < lo + 2.0 * cfg.crowd_span_secs)
+            .map(|j| j.input.rsplit_once('/').unwrap().0)
+            .collect();
+        let crowded = groups_hit
+            .iter()
+            .map(|g| {
+                t.jobs
+                    .iter()
+                    .filter(|j| {
+                        j.input.starts_with(*g)
+                            && j.submit_at_secs >= lo
+                            && j.submit_at_secs < lo + 2.0 * cfg.crowd_span_secs
+                    })
+                    .map(|j| j.input.as_str())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len()
+            })
+            .max()
+            .unwrap();
+        assert_eq!(
+            crowded, cfg.files_per_group,
+            "crowd does not span the whole group"
+        );
+    }
+
+    #[test]
+    fn ingest_spreads_writes_and_scans_revisit_cold_files() {
+        let cfg = IngestScanConfig::default();
+        let t = ProdScenario::IngestScan(cfg.clone()).generate(9);
+        // writes keep landing: ingested files in every quarter of the horizon
+        for q in 0..4 {
+            let lo = cfg.horizon_secs * q as f64 / 4.0;
+            let hi = cfg.horizon_secs * (q + 1) as f64 / 4.0;
+            assert!(
+                t.files
+                    .iter()
+                    .any(|f| f.created_at_secs >= lo && f.created_at_secs < hi),
+                "no ingest in quarter {q}"
+            );
+        }
+        // scans reach old data: some job reads an initial file late
+        let initial: std::collections::BTreeSet<&str> = t
+            .files
+            .iter()
+            .take(cfg.initial_files)
+            .map(|f| f.path.as_str())
+            .collect();
+        assert!(
+            t.jobs
+                .iter()
+                .any(|j| initial.contains(j.input.as_str())
+                    && j.submit_at_secs > cfg.horizon_secs / 2.0),
+            "scans never revisit the initial corpus"
+        );
+    }
+
+    #[test]
+    fn tiered_traffic_follows_the_newest_wave() {
+        let cfg = TieredConfig::default();
+        let t = ProdScenario::Tiered(cfg.clone()).generate(13);
+        let wave_gap = cfg.horizon_secs / cfg.waves as f64;
+        // during the last wave's reign, the newest wave dominates but the
+        // floor still produces some cold-tier reads
+        let last_start = (cfg.waves - 1) as f64 * wave_gap + cfg.wave_window_secs;
+        let late: Vec<&TraceJob> = t
+            .jobs
+            .iter()
+            .filter(|j| j.submit_at_secs >= last_start)
+            .collect();
+        assert!(!late.is_empty());
+        let newest_prefix = format!("/prod/tiered/w{}/", cfg.waves - 1);
+        let newest = late
+            .iter()
+            .filter(|j| j.input.starts_with(&newest_prefix))
+            .count();
+        assert!(
+            newest * 2 > late.len(),
+            "newest wave is not dominant late: {newest}/{}",
+            late.len()
+        );
+        assert!(
+            late.iter().any(|j| !j.input.starts_with(&newest_prefix)),
+            "cold tier never read"
+        );
+    }
+}

@@ -123,7 +123,7 @@ impl Trace {
             .collect();
 
         // popularity model over those files
-        let model = PopularityModel::new(
+        let mut model = PopularityModel::new(
             files
                 .iter()
                 .map(|f| SimTime::from_secs_f64(f.created_at_secs))

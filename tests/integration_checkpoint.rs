@@ -81,6 +81,16 @@ fn resume_at_the_first_and_last_tick_boundaries() {
 }
 
 #[test]
+fn resume_is_equivalent_with_production_traffic_and_encoding() {
+    // The tiered scenario drives wave-structured workload traffic
+    // (creates + reads regenerated from the seed on resume, never
+    // serialized) with cold-data erasure coding on — the checkpoint now
+    // lands mid-trace with stripes, EC state and the ops schedule all
+    // in play.
+    assert_equivalent(Scenario::prod_tiered, 42, 100);
+}
+
+#[test]
 fn resume_is_equivalent_with_corruption_and_scrubbing() {
     // Mid-run state now includes latent-corruption maps, quarantine
     // sets and the scrub cursor; the byte-identical guard must still

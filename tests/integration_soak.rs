@@ -1,0 +1,74 @@
+//! Soak-equivalence guard: the PR-5 single-split resume contract,
+//! generalised to the segmented long-horizon runner.
+//!
+//! A soak executed in K checkpointed segments — every hand-off snapshot
+//! pushed through its JSON wire format, exactly what CI shards exchange
+//! as artifacts — must produce a telemetry trace byte-identical to the
+//! straight-through run, an equal final snapshot, and a trace the
+//! invariant oracle passes clean. The guard runs the production-traffic
+//! scenarios (workload-driven creates/reads over the tick grid), so it
+//! also proves the ops schedule regenerates identically on resume.
+
+use bench::checkpointing::Scenario;
+use bench::soak::{boundaries, run_segment, run_segmented, run_straight};
+use trace_tools::{check, OracleConfig};
+
+fn assert_soak_equivalent(scenario: fn() -> Scenario, seed: u64, segments: u64) -> String {
+    let (straight, final_a) = run_straight(scenario(), seed);
+    let (segmented, final_b) = run_segmented(scenario(), seed, segments);
+    assert!(!straight.is_empty(), "soak traced events");
+    assert_eq!(
+        straight, segmented,
+        "{segments} segment chunks must concatenate into the straight-through trace"
+    );
+    assert_eq!(
+        final_a.to_json(),
+        final_b.to_json(),
+        "final snapshots must compare equal"
+    );
+    let (text, violations) = check(&straight, OracleConfig::default()).expect("trace parses");
+    assert!(violations.is_empty(), "oracle violations:\n{text}");
+    straight
+}
+
+#[test]
+fn production_soak_in_three_segments_matches_straight_through() {
+    let trace = assert_soak_equivalent(Scenario::prod_flashcrowd, 42, 3);
+    // the production traffic actually drove the cluster across segments
+    assert!(
+        trace.contains("/prod/crowd/"),
+        "trace shows no workload traffic"
+    );
+    assert!(trace.contains("\"ev\":\"read_started\""));
+}
+
+#[test]
+fn corruption_soak_in_two_segments_matches_straight_through() {
+    let trace = assert_soak_equivalent(Scenario::churn_corrupt, 42, 2);
+    assert!(
+        trace.contains("\"ev\":\"corruption_injected\""),
+        "storm injected rot"
+    );
+}
+
+#[test]
+fn segment_count_one_degenerates_to_straight_through() {
+    let (straight, final_a) = run_straight(Scenario::churn_tiny(), 9);
+    let (one, final_b) = run_segmented(Scenario::churn_tiny(), 9, 1);
+    assert_eq!(straight, one);
+    assert_eq!(final_a.to_json(), final_b.to_json());
+}
+
+#[test]
+fn uneven_segment_boundaries_still_reach_the_horizon() {
+    let s = Scenario::churn_tiny();
+    let bounds = boundaries(s.total_ticks, 4);
+    assert_eq!(*bounds.last().unwrap(), s.total_ticks);
+    // a mid-run segment reports its boundary tick in the snapshot it
+    // hands to the next shard
+    let out = run_segment(s.clone(), 3, 4, 0, None).expect("segment 0 runs");
+    assert_eq!(out.snapshot.meta.tick, bounds[0]);
+    assert!(!out.is_last);
+    let out1 = run_segment(s, 3, 4, 1, Some(&out.snapshot)).expect("segment 1 resumes");
+    assert_eq!(out1.snapshot.meta.tick, bounds[1]);
+}

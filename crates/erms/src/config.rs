@@ -1,11 +1,17 @@
 //! ERMS configuration.
 
+use crate::judge::JudgeBackend;
 use crate::replication::IncreaseStrategy;
 use crate::thresholds::Thresholds;
 use erasure::StripeLayout;
 use hdfs_sim::NodeId;
 use simcore::SimDuration;
 use std::fmt;
+
+/// Default seed for learned-judge exploration streams. A fixed
+/// constant, not randomness: runs that never set
+/// [`ErmsConfigBuilder::judge_seed`] stay reproducible by construction.
+pub const DEFAULT_JUDGE_SEED: u64 = 0x0E1A_571C_1EA2;
 
 /// Why an [`ErmsConfig`] (or its [`Thresholds`]) was rejected.
 ///
@@ -166,6 +172,16 @@ pub struct ErmsConfig {
     /// order, and therefore the trace bytes, are unchanged — batching
     /// only amortizes sink touches.
     pub telemetry_batch: usize,
+    /// Which judge backend classifies files: the paper's threshold
+    /// rules (default), or one of the learned judges from the `policy`
+    /// crate. The audit→CEP pipeline, sharded judge pass and
+    /// `FileId`-ordered merge are identical for every backend; only the
+    /// per-file decision differs.
+    pub judge_backend: JudgeBackend,
+    /// Seed for learned-backend exploration streams (ignored by the
+    /// rules backend). Fixed default so unseeded runs stay
+    /// deterministic.
+    pub judge_seed: u64,
 }
 
 impl ErmsConfig {
@@ -192,6 +208,8 @@ impl ErmsConfig {
             full_rescan: false,
             shards: 1,
             telemetry_batch: 1,
+            judge_backend: JudgeBackend::Rules,
+            judge_seed: DEFAULT_JUDGE_SEED,
         }
     }
 
@@ -377,6 +395,19 @@ impl ErmsConfigBuilder {
         self
     }
 
+    /// Select the judge backend (see [`ErmsConfig::judge_backend`]).
+    pub fn judge_backend(mut self, backend: JudgeBackend) -> Self {
+        self.cfg.judge_backend = backend;
+        self
+    }
+
+    /// Seed the learned-backend exploration streams (see
+    /// [`ErmsConfig::judge_seed`]).
+    pub fn judge_seed(mut self, seed: u64) -> Self {
+        self.cfg.judge_seed = seed;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ErmsConfig, ConfigError> {
         self.cfg.validate()?;
@@ -484,6 +515,21 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, ConfigError::ZeroTelemetryBatch);
         assert!(err.to_string().contains("telemetry_batch"));
+    }
+
+    #[test]
+    fn judge_backend_defaults_to_rules_and_is_selectable() {
+        let cfg = ErmsConfig::builder().build().unwrap();
+        assert_eq!(cfg.judge_backend, JudgeBackend::Rules);
+        assert_eq!(cfg.judge_seed, DEFAULT_JUDGE_SEED);
+
+        let cfg = ErmsConfig::builder()
+            .judge_backend(JudgeBackend::QLearning)
+            .judge_seed(7)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.judge_backend, JudgeBackend::QLearning);
+        assert_eq!(cfg.judge_seed, 7);
     }
 
     #[test]

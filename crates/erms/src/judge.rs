@@ -12,8 +12,13 @@
 //!   "the data D that contributes the largest access" to it.
 //!
 //! Classification implements Formulas (1)–(6) verbatim; thresholds come
-//! from [`crate::thresholds::Thresholds`].
+//! from [`crate::thresholds::Thresholds`]. The formulas themselves live
+//! in [`classify_with_rules`], a free function over the `policy` crate's
+//! [`CepProbe`] view of the windowed counts, so the same decision logic
+//! serves both [`DataJudge::classify`] and the [`RulesPolicy`] backend
+//! the manager drives through the [`JudgePolicy`] trait.
 
+use crate::config::ConfigError;
 use crate::thresholds::Thresholds;
 use cep::audit::{AUDIT_EVENT, BLOCK_EVENT};
 use cep::pattern::{EventFilter, FollowedBy};
@@ -22,49 +27,9 @@ use cep::{CepEngine, QuerySpec, Value};
 use simcore::telemetry::TelemetrySink;
 use simcore::{SimDuration, SimTime};
 
-/// The four data classes of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DataClass {
-    Hot,
-    Cooled,
-    Normal,
-    Cold,
-}
-
-/// What the judge needs to know about a file to classify it.
-#[derive(Debug, Clone)]
-pub struct FileSnapshot {
-    /// Dense namespace id — the key the sharded control loop partitions
-    /// and merges by (`id % shards`), and the sort key that keeps the
-    /// judge pass in namespace-walk order.
-    pub id: hdfs_sim::FileId,
-    pub path: String,
-    /// Current replication factor `r` of the file's data blocks.
-    pub replication: usize,
-    /// Data block ids; rendered to their client-trace names (`blk_N`)
-    /// only at query time, so snapshotting a file allocates no strings.
-    pub blocks: Vec<hdfs_sim::BlockId>,
-    pub last_access: SimTime,
-    /// Whether ERMS has boosted this file above the default factor.
-    pub boosted: bool,
-    /// Whether the file is already erasure-encoded.
-    pub encoded: bool,
-}
-
-/// A classification result.
-#[derive(Debug, Clone)]
-pub struct Judgment {
-    pub path: String,
-    pub class: DataClass,
-    /// Windowed access count `N_d`.
-    pub n_d: f64,
-    /// Largest windowed per-block count `N_b` seen while classifying
-    /// (0 when Formula (1) short-circuited before the block scan).
-    pub n_b_max: f64,
-    /// Which formula fired (1, 2, 3 for hot; 5 cooled; 6 cold; 0 normal;
-    /// 4 when promoted via datanode overload).
-    pub rule: u8,
-}
+pub use policy::{
+    CepProbe, DataClass, FileSnapshot, JudgeBackend, JudgePolicy, JudgeRule, Judgment, RewardMeters,
+};
 
 /// CEP-backed data-type judge.
 pub struct DataJudge {
@@ -84,14 +49,27 @@ pub struct DataJudge {
     ty_node_file: std::sync::Arc<str>,
     /// Interned key of their composite `dn|src` field.
     key_dn_src: std::sync::Arc<str>,
+    /// Scratch for rendering `BlockId`s to their client-trace names in
+    /// the [`CepProbe`] impl; excluded from checkpoints.
+    blk_key: String,
 }
 
 /// Synthetic event type carrying the (datanode, file) composite key.
 const NODE_FILE_EVENT: &str = "block_read_by_node";
 
 impl DataJudge {
+    /// Build a judge, panicking on invalid thresholds. Thin wrapper
+    /// over [`try_new`](Self::try_new) for tests and callers holding
+    /// already-validated thresholds; the manager goes through the
+    /// fallible path.
     pub fn new(thresholds: Thresholds) -> Self {
-        thresholds.validate().expect("valid thresholds");
+        Self::try_new(thresholds).expect("valid thresholds")
+    }
+
+    /// Build a judge, returning the typed [`ConfigError`] when the
+    /// thresholds are inconsistent instead of panicking.
+    pub fn try_new(thresholds: Thresholds) -> Result<Self, ConfigError> {
+        thresholds.validate()?;
         let w = thresholds.window;
         let mut engine = CepEngine::new();
         let q_file = engine.register(count_query(AUDIT_EVENT, "src", w));
@@ -108,7 +86,7 @@ impl DataJudge {
             within: w,
             key_field: Some("src".into()),
         });
-        DataJudge {
+        Ok(DataJudge {
             engine,
             q_file,
             q_block,
@@ -126,7 +104,8 @@ impl DataJudge {
             },
             ty_node_file: std::sync::Arc::from(NODE_FILE_EVENT),
             key_dn_src: std::sync::Arc::from("dn_src"),
-        }
+            blk_key: String::new(),
+        })
     }
 
     /// Install a telemetry sink on the underlying CEP engine so every
@@ -210,62 +189,8 @@ impl DataJudge {
 
     /// Classify one file per Formulas (1)–(3), (5), (6).
     pub fn classify(&mut self, now: SimTime, file: &FileSnapshot) -> Judgment {
-        let r = file.replication.max(1) as f64;
-        let t = &self.thresholds;
-        let (tau_hot, block_burst, block_warm, epsilon, tau_cooled, tau_cold, cold_age) = (
-            t.tau_hot,
-            t.block_burst,
-            t.block_warm,
-            t.epsilon,
-            t.tau_cooled,
-            t.tau_cold,
-            t.cold_age,
-        );
-        // N_d is the file's windowed access count. MapReduce inflates the
-        // raw open count by the file's block count (every map task opens
-        // the file to read its split), so normalise per block: the result
-        // counts *whole-file accesses* (jobs/clients) in the window, which
-        // is the concurrency Formula (1) compares against per-replica
-        // session capacity.
-        let raw_opens = self.file_accesses(now, &file.path);
-        let n_d = raw_opens / file.blocks.len().max(1) as f64;
-
-        // Formula (1): per-replica file pressure
-        if n_d / r > tau_hot {
-            return judgment(file, DataClass::Hot, n_d, 0.0, 1);
-        }
-        // Formulas (2) and (3): per-block pressure
-        let n_blocks = file.blocks.len();
-        let mut n_b_max = 0.0f64;
-        if n_blocks > 0 {
-            use std::fmt::Write as _;
-            let mut key = String::new();
-            let mut warm_blocks = 0usize;
-            for &b in &file.blocks {
-                key.clear();
-                write!(key, "{b}").expect("writing to a String cannot fail");
-                let n_b = self.block_accesses(now, &key);
-                n_b_max = n_b_max.max(n_b);
-                if n_b / r > block_burst {
-                    return judgment(file, DataClass::Hot, n_d, n_b_max, 2);
-                }
-                if n_b / r > block_warm {
-                    warm_blocks += 1;
-                }
-            }
-            if warm_blocks as f64 / n_blocks as f64 > epsilon {
-                return judgment(file, DataClass::Hot, n_d, n_b_max, 3);
-            }
-        }
-        // Formula (5): boosted file whose demand fell away
-        if file.boosted && n_d / r < tau_cooled {
-            return judgment(file, DataClass::Cooled, n_d, n_b_max, 5);
-        }
-        // Formula (6): quiet and old → cold
-        if !file.encoded && n_d / r < tau_cold && now.since(file.last_access) > cold_age {
-            return judgment(file, DataClass::Cold, n_d, n_b_max, 6);
-        }
-        judgment(file, DataClass::Normal, n_d, n_b_max, 0)
+        let thresholds = self.thresholds.clone();
+        classify_with_rules(&thresholds, now, file, self)
     }
 
     /// Formula (4): datanodes whose windowed session count exceeds τ_DN,
@@ -324,11 +249,145 @@ impl checkpoint::Checkpointable for DataJudge {
     }
 }
 
+/// The judge reads its own CEP engine through the probe view; the
+/// scratch `blk_key` keeps per-block queries allocation-free at steady
+/// state. Query order (and therefore `WindowEmit` telemetry order) is
+/// exactly the order [`classify_with_rules`] asks in.
+impl CepProbe for DataJudge {
+    fn file_accesses(&mut self, now: SimTime, path: &str) -> f64 {
+        self.engine.value_for(self.q_file, now, path)
+    }
+
+    fn block_accesses(&mut self, now: SimTime, block: hdfs_sim::BlockId) -> f64 {
+        use std::fmt::Write as _;
+        self.blk_key.clear();
+        write!(self.blk_key, "{block}").expect("writing to a String cannot fail");
+        self.engine.value_for(self.q_block, now, &self.blk_key)
+    }
+}
+
+/// Formulas (1)–(3), (5), (6) as a pure decision over probed counts.
+///
+/// The probe is consulted lazily and in a fixed order — file count
+/// first, then each block in order, stopping at the first formula that
+/// fires — because each probe call emits `WindowEmit` telemetry and the
+/// call order is part of the byte-identical trace contract.
+pub fn classify_with_rules(
+    t: &Thresholds,
+    now: SimTime,
+    file: &FileSnapshot,
+    probe: &mut dyn CepProbe,
+) -> Judgment {
+    let r = file.replication.max(1) as f64;
+    let (tau_hot, block_burst, block_warm, epsilon, tau_cooled, tau_cold, cold_age) = (
+        t.tau_hot,
+        t.block_burst,
+        t.block_warm,
+        t.epsilon,
+        t.tau_cooled,
+        t.tau_cold,
+        t.cold_age,
+    );
+    // N_d is the file's windowed access count. MapReduce inflates the
+    // raw open count by the file's block count (every map task opens
+    // the file to read its split), so normalise per block: the result
+    // counts *whole-file accesses* (jobs/clients) in the window, which
+    // is the concurrency Formula (1) compares against per-replica
+    // session capacity.
+    let raw_opens = probe.file_accesses(now, &file.path);
+    let n_d = raw_opens / file.blocks.len().max(1) as f64;
+
+    // Formula (1): per-replica file pressure
+    if n_d / r > tau_hot {
+        return judgment(file, DataClass::Hot, n_d, 0.0, JudgeRule::FilePressure);
+    }
+    // Formulas (2) and (3): per-block pressure
+    let n_blocks = file.blocks.len();
+    let mut n_b_max = 0.0f64;
+    if n_blocks > 0 {
+        let mut warm_blocks = 0usize;
+        for &b in &file.blocks {
+            let n_b = probe.block_accesses(now, b);
+            n_b_max = n_b_max.max(n_b);
+            if n_b / r > block_burst {
+                return judgment(file, DataClass::Hot, n_d, n_b_max, JudgeRule::BlockBurst);
+            }
+            if n_b / r > block_warm {
+                warm_blocks += 1;
+            }
+        }
+        if warm_blocks as f64 / n_blocks as f64 > epsilon {
+            return judgment(file, DataClass::Hot, n_d, n_b_max, JudgeRule::WarmFraction);
+        }
+    }
+    // Formula (5): boosted file whose demand fell away
+    if file.boosted && n_d / r < tau_cooled {
+        return judgment(file, DataClass::Cooled, n_d, n_b_max, JudgeRule::Cooled);
+    }
+    // Formula (6): quiet and old → cold
+    if !file.encoded && n_d / r < tau_cold && now.since(file.last_access) > cold_age {
+        return judgment(file, DataClass::Cold, n_d, n_b_max, JudgeRule::ColdAge);
+    }
+    judgment(file, DataClass::Normal, n_d, n_b_max, JudgeRule::Normal)
+}
+
+/// The paper's threshold machine as a [`JudgePolicy`] backend: a
+/// stateless wrapper over [`classify_with_rules`] probing the manager's
+/// [`DataJudge`]. Stateless because the formulas *are* configuration —
+/// everything dynamic (the CEP windows) lives in the judge it probes.
+pub struct RulesPolicy {
+    thresholds: Thresholds,
+}
+
+impl RulesPolicy {
+    /// Thresholds are assumed already validated (the manager constructs
+    /// the [`DataJudge`] through [`DataJudge::try_new`] first).
+    pub fn new(thresholds: Thresholds) -> Self {
+        RulesPolicy { thresholds }
+    }
+}
+
+impl JudgePolicy for RulesPolicy {
+    fn backend(&self) -> JudgeBackend {
+        JudgeBackend::Rules
+    }
+
+    fn classify(
+        &mut self,
+        now: SimTime,
+        file: &FileSnapshot,
+        _fresh: bool,
+        probe: &mut dyn CepProbe,
+    ) -> Judgment {
+        classify_with_rules(&self.thresholds, now, file, probe)
+    }
+}
+
+impl checkpoint::Checkpointable for RulesPolicy {
+    fn save_state(&self) -> checkpoint::Value {
+        // stateless: the thresholds are rebuilt from scenario config
+        checkpoint::codec::MapBuilder::new().build()
+    }
+
+    fn load_state(
+        &mut self,
+        _state: &checkpoint::Value,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        Ok(())
+    }
+}
+
 fn count_query(event_type: &str, field: &str, window: SimDuration) -> QuerySpec {
     QuerySpec::count_per_group(event_type, field, window)
 }
 
-fn judgment(file: &FileSnapshot, class: DataClass, n_d: f64, n_b_max: f64, rule: u8) -> Judgment {
+fn judgment(
+    file: &FileSnapshot,
+    class: DataClass,
+    n_d: f64,
+    n_b_max: f64,
+    rule: JudgeRule,
+) -> Judgment {
     Judgment {
         path: file.path.clone(),
         class,
@@ -383,7 +442,7 @@ mod tests {
         j.observe_lines(lines.iter().map(String::as_str));
         let v = j.classify(SimTime::from_secs(30), &file);
         assert_eq!(v.class, DataClass::Hot);
-        assert_eq!(v.rule, 1);
+        assert_eq!(v.rule, JudgeRule::FilePressure);
         assert_eq!(v.n_d, 13.0);
     }
 
@@ -399,7 +458,7 @@ mod tests {
         j.observe_lines(lines.iter().map(String::as_str));
         let v = j.classify(SimTime::from_secs(20), &file);
         assert_eq!(v.class, DataClass::Hot);
-        assert_eq!(v.rule, 2);
+        assert_eq!(v.rule, JudgeRule::BlockBurst);
     }
 
     #[test]
@@ -417,7 +476,7 @@ mod tests {
         j.observe_lines(lines.iter().map(String::as_str));
         let v = j.classify(SimTime::from_secs(20), &file);
         assert_eq!(v.class, DataClass::Hot);
-        assert_eq!(v.rule, 3);
+        assert_eq!(v.rule, JudgeRule::WarmFraction);
     }
 
     #[test]
@@ -433,7 +492,7 @@ mod tests {
         );
         let v = j.classify(SimTime::from_secs(10), &file);
         assert_eq!(v.class, DataClass::Cooled);
-        assert_eq!(v.rule, 5);
+        assert_eq!(v.rule, JudgeRule::Cooled);
         // the same traffic on an unboosted file is just normal
         let plain = snapshot("/f", 6, &[1]);
         let v = j.classify(SimTime::from_secs(10), &plain);
@@ -448,7 +507,7 @@ mod tests {
         // no accesses in window, last touch 2h ago (> cold_age 1h)
         let v = j.classify(SimTime::from_secs(7200), &file);
         assert_eq!(v.class, DataClass::Cold);
-        assert_eq!(v.rule, 6);
+        assert_eq!(v.rule, JudgeRule::ColdAge);
         // recently-touched quiet file is NOT cold
         file.last_access = SimTime::from_secs(7000);
         let v = j.classify(SimTime::from_secs(7200), &file);

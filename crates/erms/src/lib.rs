@@ -58,7 +58,10 @@ pub mod thresholds;
 
 pub use calibrate::{probe, ProbeConfig, ProbeResult};
 pub use config::{ConfigError, ErmsConfig, ErmsConfigBuilder};
-pub use judge::{DataClass, DataJudge, FileSnapshot, Judgment};
+pub use judge::{
+    classify_with_rules, CepProbe, DataClass, DataJudge, FileSnapshot, JudgeBackend, JudgePolicy,
+    JudgeRule, Judgment, RulesPolicy,
+};
 pub use manager::{ErmsManager, ErmsTask, TickReport};
 pub use model::ActiveStandbyModel;
 pub use placement::ErmsPlacement;
@@ -74,7 +77,7 @@ pub use thresholds::Thresholds;
 /// spelling out five crate paths.
 pub mod prelude {
     pub use crate::config::{ConfigError, ErmsConfig, ErmsConfigBuilder};
-    pub use crate::judge::DataClass;
+    pub use crate::judge::{DataClass, JudgeBackend, JudgeRule};
     pub use crate::manager::{ErmsManager, ErmsTask, TickReport};
     pub use crate::placement::ErmsPlacement;
     pub use crate::replication::IncreaseStrategy;

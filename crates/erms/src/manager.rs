@@ -19,7 +19,10 @@
 //! also how commissioning picks its standby node.
 
 use crate::config::{ConfigError, ErmsConfig};
-use crate::judge::{DataClass, DataJudge, FileSnapshot, Judgment};
+use crate::judge::{
+    DataClass, DataJudge, FileSnapshot, JudgeBackend, JudgePolicy, Judgment, RewardMeters,
+    RulesPolicy,
+};
 use crate::model::ActiveStandbyModel;
 use crate::replication::optimal_replication;
 use condor::matchmaker::Matchmaker;
@@ -125,6 +128,11 @@ pub struct TickReport {
 pub struct ErmsManager {
     cfg: ErmsConfig,
     judge: DataJudge,
+    /// The decision backend driven through dyn dispatch in the judge
+    /// pass: the paper's rules by default, or a learned judge from the
+    /// `policy` crate (selected by `cfg.judge_backend`). The `judge`
+    /// field above stays the CEP feature plumbing for every backend.
+    policy: Box<dyn JudgePolicy>,
     condor: Scheduler<ErmsTask>,
     model: ActiveStandbyModel,
     matchmaker: Matchmaker,
@@ -223,7 +231,8 @@ impl ErmsManager {
             Scheduler::new(cfg.max_concurrent_tasks, cfg.max_task_attempts)
         };
         Ok(ErmsManager {
-            judge: DataJudge::new(cfg.thresholds.clone()),
+            judge: DataJudge::try_new(cfg.thresholds.clone())?,
+            policy: build_policy(&cfg, cluster.config().default_replication),
             condor,
             model,
             matchmaker: Matchmaker::new(),
@@ -261,6 +270,10 @@ impl ErmsManager {
 
     pub fn judge(&mut self) -> &mut DataJudge {
         &mut self.judge
+    }
+    /// Which decision backend this manager was built with.
+    pub fn judge_backend(&self) -> JudgeBackend {
+        self.policy.backend()
     }
     pub fn model(&self) -> &ActiveStandbyModel {
         &self.model
@@ -399,17 +412,50 @@ impl ErmsManager {
         if let Some(cap) = &capture {
             self.judge.set_telemetry(cap.clone());
         }
+        // Reward meters for learning backends — the storage/energy
+        // accounting the system already keeps, sampled once per tick.
+        // Skipped entirely for backends that don't want a reward (the
+        // rules), so the default path does no extra namespace walks.
+        let meters = if self.policy.wants_reward() {
+            let logical: u64 = cluster.namespace().files().map(|f| f.size).sum();
+            let ideal = logical as f64 * default_r as f64;
+            let storage_overhead = if ideal > 0.0 {
+                cluster.storage_used() as f64 / ideal
+            } else {
+                1.0
+            };
+            let standby_total = self.model.standby_nodes().count();
+            let standby_on_frac = if standby_total > 0 {
+                self.model.powered_on().len() as f64 / standby_total as f64
+            } else {
+                0.0
+            };
+            RewardMeters {
+                storage_overhead,
+                standby_on_frac,
+            }
+        } else {
+            RewardMeters::default()
+        };
+        self.policy.begin_pass(now, &meters);
         let mut judged: Vec<Option<(Judgment, Vec<simcore::telemetry::TracedEvent>)>> =
             snapshots.iter().map(|_| None).collect();
         {
             prof_scope!("judge");
+            // Split borrow: the policy decides, probing the judge's CEP
+            // windows. Backends are visit-order independent by contract
+            // (frozen tables, per-(pass, file) RNG, per-file beliefs),
+            // so shard order changes no verdict — the same invariant the
+            // rules satisfied by only reading idempotent window state.
+            let (judge, policy) = (&mut self.judge, &mut self.policy);
             for shard in 0..shards {
                 prof_scope!(&format!("shard{shard}"));
                 for (i, snap) in snapshots.iter().enumerate() {
                     if snap.id.0 % shards != shard {
                         continue;
                     }
-                    let verdict = self.judge.classify(now, snap);
+                    let verdict =
+                        policy.classify(now, snap, fresh.contains(&snap.path), &mut *judge);
                     let emitted = match &capture {
                         Some(cap) => cap.drain_events(),
                         None => Vec::new(),
@@ -418,6 +464,7 @@ impl ErmsManager {
                 }
             }
         }
+        self.policy.end_pass();
         if capture.is_some() {
             self.judge.set_telemetry(self.telemetry.clone());
         }
@@ -680,6 +727,7 @@ impl ErmsManager {
         self.active.remove(path);
         self.cold_due.remove(path);
         self.inflight.retain(|(p, _), _| p != path);
+        self.policy.forget_path(path);
     }
 
     /// Maintain the incremental visit sets after judging one file.
@@ -1390,6 +1438,32 @@ enum PendingOrDone {
     AwaitingCopies,
 }
 
+/// Build the configured judge backend. The learned backends share one
+/// discretizer derived from the rule thresholds plus the namespace's
+/// default replication, so their feature fences line up with the
+/// decision boundaries the rules (and the manager's gating) use.
+fn build_policy(cfg: &ErmsConfig, default_replication: usize) -> Box<dyn JudgePolicy> {
+    let t = &cfg.thresholds;
+    let disc = policy::Discretizer {
+        tau_hot: t.tau_hot,
+        block_burst: t.block_burst,
+        block_warm: t.block_warm,
+        tau_cooled: t.tau_cooled,
+        tau_cold: t.tau_cold,
+        window_secs: t.window.as_secs_f64(),
+        cold_age_secs: t.cold_age.as_secs_f64(),
+        default_replication,
+    };
+    match cfg.judge_backend {
+        JudgeBackend::Rules => Box::new(RulesPolicy::new(t.clone())),
+        JudgeBackend::QLearning => Box::new(policy::QLearningJudge::new(
+            policy::QConfig::new(disc),
+            cfg.judge_seed,
+        )),
+        JudgeBackend::Hmm => Box::new(policy::HmmJudge::new(policy::HmmConfig::new(disc))),
+    }
+}
+
 fn class_name(class: DataClass) -> &'static str {
     match class {
         DataClass::Hot => "hot",
@@ -1493,6 +1567,7 @@ impl checkpoint::Checkpointable for ErmsManager {
         use checkpoint::Value;
         MapBuilder::new()
             .put("judge", self.judge.save_state())
+            .put("policy", self.policy.save_state())
             .put("condor", self.condor.save_state_with(ck::task))
             .put("model", self.model.save_state())
             .put("boosted", seq_of(&self.boosted, |p| Value::Str(p.clone())))
@@ -1572,6 +1647,7 @@ impl checkpoint::Checkpointable for ErmsManager {
             Ok(c::as_str(v, what)?.to_string())
         }
         self.judge.load_state(c::get(state, "judge")?)?;
+        self.policy.load_state(c::get(state, "policy")?)?;
         self.condor
             .load_state_with(c::get(state, "condor")?, ck::task_back)?;
         self.model.load_state(c::get(state, "model")?)?;

@@ -81,6 +81,32 @@ fn resume_at_the_first_and_last_tick_boundaries() {
 }
 
 #[test]
+fn resume_is_equivalent_with_the_qlearning_judge() {
+    // Mid-run state now includes the Q-table (sparse diffs against the
+    // warm-start init), visit counts and the pending reward map; the
+    // byte-identical guard must hold with ε-greedy exploration and
+    // batched end-of-pass updates in flight.
+    assert_equivalent(Scenario::churn_learned_q, 42, 25);
+}
+
+#[test]
+fn resume_is_equivalent_with_the_hmm_judge() {
+    // Per-path posterior beliefs (raw f64 bits) must survive the
+    // snapshot so the forward filter continues from the exact state.
+    assert_equivalent(Scenario::churn_learned_hmm, 42, 25);
+}
+
+#[test]
+fn learned_backends_are_deterministic_per_seed() {
+    for s in [Scenario::churn_learned_q, Scenario::churn_learned_hmm] {
+        let (trace_a, state_a) = straight(s(), 7);
+        let (trace_b, state_b) = straight(s(), 7);
+        assert_eq!(trace_a, trace_b, "{}: same seed, same trace", s().name);
+        assert_eq!(state_a, state_b, "{}: same seed, same state", s().name);
+    }
+}
+
+#[test]
 fn resume_is_equivalent_with_production_traffic_and_encoding() {
     // The tiered scenario drives wave-structured workload traffic
     // (creates + reads regenerated from the seed on resume, never

@@ -78,7 +78,12 @@ fn audit_text_is_the_only_channel_between_cluster_and_judge() {
     };
     let verdict = manager.judge().classify(now, &snap);
     assert_eq!(verdict.class, erms::DataClass::Hot);
-    assert_eq!(verdict.rule, 1);
+    assert_eq!(verdict.rule, erms::JudgeRule::FilePressure);
+    assert_eq!(
+        verdict.rule.code(),
+        1,
+        "wire code for Formula (1) is stable"
+    );
 }
 
 #[test]
